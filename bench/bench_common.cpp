@@ -1,0 +1,64 @@
+#include "bench_common.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace nocalert::bench {
+
+BenchOptions
+parseBenchOptions(int argc, const char *const *argv)
+{
+    CommandLine cli(argc, argv,
+                    {"sites", "rate", "seed", "warm", "observe",
+                     "drain", "full", "epoch", "wires"});
+
+    BenchOptions options;
+    options.full = cli.getBool("full", false);
+
+    fault::CampaignConfig &campaign = options.campaign;
+    campaign.network.width = 8;
+    campaign.network.height = 8;
+    campaign.traffic.injectionRate = cli.getDouble("rate", 0.04);
+    campaign.traffic.seed =
+        static_cast<std::uint64_t>(cli.getInt("seed", 1));
+    campaign.observeWindow = cli.getInt("observe", 3200);
+    campaign.drainLimit = cli.getInt("drain", 6000);
+    campaign.maxSites = static_cast<unsigned>(
+        cli.getInt("sites", options.full ? 0 : 100));
+    campaign.forever.epochLength = cli.getInt("epoch", 1500);
+    campaign.wireSitesOnly = cli.getBool("wires", false);
+
+    options.warmInstant = cli.getInt("warm", 2000);
+    return options;
+}
+
+fault::CampaignResult
+runCampaign(const fault::CampaignConfig &config, const std::string &label)
+{
+    std::fprintf(stderr, "[%s] injecting %u sites (mesh %dx%d, rate "
+                         "%.3f, warmup %lld)...\n",
+                 label.c_str(), config.maxSites, config.network.width,
+                 config.network.height, config.traffic.injectionRate,
+                 static_cast<long long>(config.warmup));
+    const auto start = std::chrono::steady_clock::now();
+
+    fault::FaultCampaign campaign(config);
+    std::atomic<std::size_t> last_decile{0};
+    const fault::CampaignResult result = campaign.run(
+        [&](std::size_t done, std::size_t total) {
+            const std::size_t decile = 10 * done / total;
+            if (decile > last_decile.exchange(decile))
+                std::fprintf(stderr, ".");
+        });
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(stderr, " done: %zu runs in %.1fs\n",
+                 result.runs.size(), seconds);
+    return result;
+}
+
+} // namespace nocalert::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benchmark binaries: the
+ * paper's evaluation platform (8x8 mesh, 4 atomic VCs, 5-flit
+ * buffers, XY routing, uniform random traffic) plus standard flags.
+ *
+ * Defaults are sized to finish in tens of seconds on one core using a
+ * stratified fault-site sample; pass --full for a paper-scale
+ * exhaustive sweep (hours).
+ */
+
+#ifndef NOCALERT_BENCH_COMMON_HPP
+#define NOCALERT_BENCH_COMMON_HPP
+
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "util/cli.hpp"
+
+namespace nocalert::bench {
+
+/** Parsed options shared by the campaign-driven benches. */
+struct BenchOptions
+{
+    fault::CampaignConfig campaign;
+    bool full = false;
+
+    /** Warmup used for the paper's "cycle 32K" warm-network instant. */
+    noc::Cycle warmInstant = 2000;
+};
+
+/** Standard flag set: --sites --rate --seed --warm --observe --full. */
+BenchOptions parseBenchOptions(int argc, const char *const *argv);
+
+/** Run a campaign, printing progress dots to stderr. */
+fault::CampaignResult runCampaign(const fault::CampaignConfig &config,
+                                  const std::string &label);
+
+} // namespace nocalert::bench
+
+#endif // NOCALERT_BENCH_COMMON_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Figure 10 plus the Section 5.5 hardware numbers: the
+ * NoCAlert area overhead as a function of the VCs per input port,
+ * compared with double modular redundancy of the control logic
+ * ("DMR-CL"), plus power overhead and critical-path impact.
+ *
+ * Paper reference: NoCAlert 1.38%-4.42% area (avg ~3%), fairly flat
+ * over 2-8 VCs; DMR-CL 5.41% -> 31.32%; power 0.3%-1.2% (avg 0.7%);
+ * critical path at most 3%, around 1% on average.
+ *
+ * Usage: fig10_hw_overhead (no flags; the sweep is analytic)
+ */
+
+#include <cstdio>
+
+#include "hw/report.hpp"
+#include "util/table.hpp"
+
+using namespace nocalert;
+
+int
+main()
+{
+    std::printf("Figure 10 — hardware overhead vs VCs per port "
+                "(65 nm gate model; 5-port router, 5-flit buffers, "
+                "128-bit flits)\n\n");
+
+    Table table({"VCs", "router um2", "NoCAlert um2",
+                 "NoCAlert area", "DMR-CL area", "power", "crit path"});
+
+    double area_sum = 0;
+    double power_sum = 0;
+    double cp_sum = 0;
+    int rows = 0;
+    for (unsigned vcs = 2; vcs <= 8; ++vcs) {
+        noc::NetworkConfig config;
+        config.router.numVcs = vcs;
+        const hw::HwReport report = hw::makeHwReport(config);
+        table.addRow({std::to_string(vcs),
+                      Table::num(report.routerArea, 0),
+                      Table::num(report.nocalertArea, 0),
+                      Table::pct(report.nocalertAreaOverheadPct, 2),
+                      Table::pct(report.dmrAreaOverheadPct, 2),
+                      Table::pct(report.nocalertPowerOverheadPct, 2),
+                      Table::pct(report.criticalPathImpactPct, 2)});
+        area_sum += report.nocalertAreaOverheadPct;
+        power_sum += report.nocalertPowerOverheadPct;
+        cp_sum += report.criticalPathImpactPct;
+        ++rows;
+    }
+    table.print();
+
+    std::printf("\naverages: area %.2f%% (paper ~3%%), power %.2f%% "
+                "(paper ~0.7%%), critical path %.2f%% (paper ~1%%)\n",
+                area_sum / rows, power_sum / rows, cp_sum / rows);
+    std::printf("paper Fig 10: NoCAlert 1.38%%..4.42%% fairly flat; "
+                "DMR-CL 5.41%% -> 31.32%% over 2..8 VCs\n");
+    return 0;
+}

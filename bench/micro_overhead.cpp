@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks: simulator throughput with and
+ * without the NoCAlert checker banks attached, checker-bank
+ * evaluation in isolation, fault-site enumeration, and warm-network
+ * snapshot cost. (These measure the *simulator*, not the modelled
+ * hardware — the hardware overheads are fig10_hw_overhead's job.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/nocalert.hpp"
+#include "fault/site.hpp"
+#include "noc/network.hpp"
+
+using namespace nocalert;
+
+namespace {
+
+noc::NetworkConfig
+meshConfig(int side)
+{
+    noc::NetworkConfig config;
+    config.width = side;
+    config.height = side;
+    return config;
+}
+
+noc::TrafficSpec
+trafficSpec(double rate)
+{
+    noc::TrafficSpec spec;
+    spec.injectionRate = rate;
+    spec.seed = 11;
+    return spec;
+}
+
+void
+BM_NetworkCycle(benchmark::State &state)
+{
+    noc::Network net(meshConfig(static_cast<int>(state.range(0))),
+                     trafficSpec(0.05));
+    net.run(500); // warm
+    for (auto _ : state)
+        net.step();
+    state.SetItemsProcessed(state.iterations() *
+                            net.config().numNodes());
+}
+BENCHMARK(BM_NetworkCycle)->Arg(4)->Arg(8);
+
+void
+BM_NetworkCycleWithNoCAlert(benchmark::State &state)
+{
+    noc::Network net(meshConfig(static_cast<int>(state.range(0))),
+                     trafficSpec(0.05));
+    core::NoCAlertEngine engine(net);
+    net.run(500);
+    for (auto _ : state)
+        net.step();
+    state.SetItemsProcessed(state.iterations() *
+                            net.config().numNodes());
+}
+BENCHMARK(BM_NetworkCycleWithNoCAlert)->Arg(4)->Arg(8);
+
+void
+BM_CheckerBankEvaluation(benchmark::State &state)
+{
+    noc::Network net(meshConfig(4), trafficSpec(0.1));
+    net.run(300);
+    // Evaluate the bank over a live router's final wires repeatedly.
+    core::CheckerContext ctx{&net.config(), &net.routing()};
+    net.step();
+    const noc::Router &router = net.router(5);
+    std::vector<core::Assertion> out;
+    for (auto _ : state) {
+        out.clear();
+        core::evaluateCheckers(router, router.wires(), ctx, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CheckerBankEvaluation);
+
+void
+BM_WarmSnapshotCopy(benchmark::State &state)
+{
+    noc::Network net(meshConfig(8), trafficSpec(0.05));
+    net.run(1000);
+    for (auto _ : state) {
+        noc::Network copy(net);
+        benchmark::DoNotOptimize(copy.cycle());
+    }
+}
+BENCHMARK(BM_WarmSnapshotCopy);
+
+void
+BM_FaultSiteEnumeration(benchmark::State &state)
+{
+    const auto config = meshConfig(8);
+    for (auto _ : state) {
+        auto sites = fault::FaultSiteCatalog::enumerateNetwork(config);
+        benchmark::DoNotOptimize(sites);
+    }
+}
+BENCHMARK(BM_FaultSiteEnumeration);
+
+} // namespace

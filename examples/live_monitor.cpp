@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Live monitoring with the recovery policy engine: demonstrates how a
+ * fault recovery/reconfiguration mechanism couples to NoCAlert (the
+ * paper's intended deployment). The policy implements the paper's
+ * observations — the Cautious state for the low-risk checkers
+ * (invariants 1/3, Observation 2) and persistence filtering for
+ * invariant 5 (Observation 3) — and hands the user a module-level
+ * fault locus when it triggers.
+ *
+ *   ./live_monitor [--kind transient|permanent|intermittent]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/nocalert.hpp"
+#include "fault/injector.hpp"
+#include "noc/network.hpp"
+#include "recovery/policy.hpp"
+#include "util/cli.hpp"
+
+using namespace nocalert;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv, {"kind", "rate", "cycles"});
+    const std::string kind_name = cli.getString("kind", "permanent");
+
+    fault::FaultKind kind = fault::FaultKind::Permanent;
+    if (kind_name == "transient")
+        kind = fault::FaultKind::Transient;
+    else if (kind_name == "intermittent")
+        kind = fault::FaultKind::Intermittent;
+
+    noc::NetworkConfig config;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = cli.getDouble("rate", 0.05);
+
+    noc::Network network(config, traffic);
+    core::NoCAlertEngine engine(network);
+
+    // ---- Couple the recovery policy to the alert stream ----
+    recovery::RecoveryController controller;
+    controller.onTrigger([](const recovery::RecoveryEvent &event) {
+        std::printf("  [recovery] cycle %lld: TRIGGERED by checker %u "
+                    "(%s) at router %d port %s vc %d -> reconfigure/"
+                    "drain here\n",
+                    static_cast<long long>(event.cycle),
+                    core::invariantIndex(event.trigger),
+                    core::invariantName(event.trigger), event.router,
+                    noc::portName(event.port), event.vc);
+    });
+    engine.onAlert([&controller](const core::Assertion &assertion) {
+        const core::InvariantInfo &info =
+            core::invariantInfo(assertion.id);
+        std::printf("  [alert] cycle %lld: checker %u (%s) at router "
+                    "%d (risk: %s)\n",
+                    static_cast<long long>(assertion.cycle),
+                    core::invariantIndex(assertion.id), info.name,
+                    assertion.router,
+                    info.risk == core::RiskLevel::Low ? "low"
+                    : info.risk == core::RiskLevel::PermanentSensitive
+                        ? "permanent-sensitive"
+                        : "standard");
+        controller.onAlert(assertion);
+    });
+    network.setCycleObserver([&controller](const noc::Network &net) {
+        controller.onCycle(net.cycle());
+    });
+
+    network.run(1000);
+    std::printf("warmed up: %s\n", network.stats().summary().c_str());
+    std::printf("recovery level: %s\n\n",
+                recovery::responseLevelName(controller.level()));
+
+    // A stuck arbiter grant line: forced high it grants a client that
+    // never requested (invariant 4); forced low it silently skips a
+    // requester (invariant 5 — a NOP when transient, a stuck arbiter
+    // when permanent). Both symptoms localize to the same module.
+    fault::FaultSite site;
+    site.router = config.nodeAt({4, 4});
+    site.signal = fault::SignalClass::Sa1Grant;
+    site.port = noc::portIndex(noc::Port::West);
+    site.bit = 0;
+
+    std::printf("injecting %s fault: %s\n", kind_name.c_str(),
+                site.describe().c_str());
+    fault::FaultInjector injector;
+    injector.arm({site, network.cycle(), kind, /*period=*/40,
+                  /*duty=*/4});
+    injector.attach(network);
+
+    network.run(cli.getInt("cycles", 3000));
+
+    std::printf("\ntotal alerts: %zu, recovery level: %s\n",
+                engine.log().count(),
+                recovery::responseLevelName(controller.level()));
+    std::printf("(standard-risk checkers trigger recovery on the "
+                "first assertion with a module-level locus; a "
+                "permanent fault keeps the flag raised every cycle — "
+                "the paper's transient/permanent distinction, "
+                "Section 5.2)\n");
+    return 0;
+}

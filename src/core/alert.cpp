@@ -1,0 +1,90 @@
+#include "core/alert.hpp"
+
+#include <algorithm>
+
+namespace nocalert::core {
+
+void
+AlertLog::record(const Assertion &assertion)
+{
+    alerts_.push_back(assertion);
+    per_invariant_[invariantIndex(assertion.id)] += 1;
+}
+
+void
+AlertLog::record(const std::vector<Assertion> &assertions)
+{
+    for (const Assertion &a : assertions)
+        record(a);
+}
+
+void
+AlertLog::clear()
+{
+    alerts_.clear();
+    per_invariant_.fill(0);
+}
+
+std::optional<noc::Cycle>
+AlertLog::firstCycle() const
+{
+    if (alerts_.empty())
+        return std::nullopt;
+    // Assertions arrive in cycle order.
+    return alerts_.front().cycle;
+}
+
+std::optional<noc::Cycle>
+AlertLog::firstCautiousCycle() const
+{
+    auto low_risk = [](InvariantId id) {
+        return invariantInfo(id).risk == RiskLevel::Low;
+    };
+    // A standard-risk assertion triggers at its own cycle; low-risk
+    // assertions only count once corroborated, at the corroborating
+    // assertion's cycle.
+    for (const Assertion &a : alerts_)
+        if (!low_risk(a.id))
+            return a.cycle;
+    return std::nullopt;
+}
+
+std::uint64_t
+AlertLog::countFor(InvariantId id) const
+{
+    return per_invariant_[invariantIndex(id)];
+}
+
+std::vector<InvariantId>
+AlertLog::invariantsAtCycle(noc::Cycle cycle) const
+{
+    std::vector<InvariantId> ids;
+    for (const Assertion &a : alerts_) {
+        if (a.cycle != cycle)
+            continue;
+        if (std::find(ids.begin(), ids.end(), a.id) == ids.end())
+            ids.push_back(a.id);
+    }
+    return ids;
+}
+
+std::vector<InvariantId>
+AlertLog::distinctInvariants() const
+{
+    std::vector<InvariantId> ids;
+    for (unsigned i = 1; i <= kNumInvariants; ++i)
+        if (per_invariant_[i] > 0)
+            ids.push_back(static_cast<InvariantId>(i));
+    return ids;
+}
+
+bool
+AlertLog::anyAtOrAfter(noc::Cycle cycle) const
+{
+    return std::any_of(alerts_.begin(), alerts_.end(),
+                       [cycle](const Assertion &a) {
+                           return a.cycle >= cycle;
+                       });
+}
+
+} // namespace nocalert::core

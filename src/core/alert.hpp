@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Alert collection and queries over raised assertions.
+ *
+ * The alert log is what a fault-recovery mechanism would consume: the
+ * paper couples NoCAlert with recovery schemes that react to the first
+ * assertion (optionally deferring on low-risk checkers — the
+ * "Cautious" policy of Observation 2).
+ */
+
+#ifndef NOCALERT_CORE_ALERT_HPP
+#define NOCALERT_CORE_ALERT_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/checkers.hpp"
+#include "core/invariant.hpp"
+#include "noc/types.hpp"
+
+namespace nocalert::core {
+
+/** Accumulated assertions of one run with derived queries. */
+class AlertLog
+{
+  public:
+    /** Append an assertion. */
+    void record(const Assertion &assertion);
+
+    /** Append many assertions. */
+    void record(const std::vector<Assertion> &assertions);
+
+    /** Drop everything. */
+    void clear();
+
+    /** All assertions in arrival order. */
+    const std::vector<Assertion> &alerts() const { return alerts_; }
+
+    /** Total number of assertions raised. */
+    std::size_t count() const { return alerts_.size(); }
+
+    /** True iff no assertion was raised. */
+    bool empty() const { return alerts_.empty(); }
+
+    /** Cycle of the first assertion, if any. */
+    std::optional<noc::Cycle> firstCycle() const;
+
+    /**
+     * Cycle of the first assertion that the Cautious policy reacts to:
+     * low-risk invariants (1 and 3) are ignored unless a standard-risk
+     * assertion is eventually raised as well.
+     */
+    std::optional<noc::Cycle> firstCautiousCycle() const;
+
+    /** Number of times invariant @p id fired. */
+    std::uint64_t countFor(InvariantId id) const;
+
+    /** Distinct invariants that fired at cycle @p cycle. */
+    std::vector<InvariantId> invariantsAtCycle(noc::Cycle cycle) const;
+
+    /** Distinct invariants that fired over the whole run. */
+    std::vector<InvariantId> distinctInvariants() const;
+
+    /** True iff an assertion was raised at or after @p cycle. */
+    bool anyAtOrAfter(noc::Cycle cycle) const;
+
+  private:
+    std::vector<Assertion> alerts_;
+    std::array<std::uint64_t, kNumInvariants + 1> per_invariant_ = {};
+};
+
+} // namespace nocalert::core
+
+#endif // NOCALERT_CORE_ALERT_HPP

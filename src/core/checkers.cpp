@@ -1,0 +1,466 @@
+#include "core/checkers.hpp"
+
+#include "util/bits.hpp"
+
+namespace nocalert::core {
+
+using noc::Flit;
+using noc::FlitType;
+using noc::InputPortWires;
+using noc::isHead;
+using noc::isTail;
+using noc::kMaxVcs;
+using noc::kNumPorts;
+using noc::OutputPortWires;
+using noc::Port;
+using noc::portIndex;
+using noc::RouterWires;
+using noc::VcSnapshot;
+using noc::VcState;
+
+namespace {
+
+/** Small helper collecting assertions with shared cycle/router tags. */
+class Collector
+{
+  public:
+    Collector(const RouterWires &wires, std::vector<Assertion> &out)
+        : wires_(wires), out_(out)
+    {
+    }
+
+    void
+    fire(InvariantId id, int port = -1, int vc = -1)
+    {
+        out_.push_back({id, wires_.cycle, wires_.router, port, vc});
+    }
+
+  private:
+    const RouterWires &wires_;
+    std::vector<Assertion> &out_;
+};
+
+/** Generic arbiter checks (invariants 4, 5, 6) for one instance. */
+void
+checkArbiter(Collector &col, std::uint64_t req, std::uint64_t grant,
+             unsigned num_clients, int port, int vc)
+{
+    req &= lowMask(num_clients);
+    grant &= lowMask(num_clients);
+    if ((grant & ~req) != 0)
+        col.fire(InvariantId::GrantWithoutRequest, port, vc);
+    if (req != 0 && grant == 0)
+        col.fire(InvariantId::GrantToNobody, port, vc);
+    if (!isAtMostOneHot(grant))
+        col.fire(InvariantId::GrantNotOneHot, port, vc);
+}
+
+/** SA1 winner as the downstream mux sees it (-1 = no grant). */
+int
+sa1Winner(const InputPortWires &ipw, unsigned num_vcs)
+{
+    const std::uint64_t grant = ipw.sa1Grant & lowMask(num_vcs);
+    return grant ? lowestSetBit(grant) : -1;
+}
+
+} // namespace
+
+void
+evaluateCheckers(const noc::Router &router, const RouterWires &wires,
+                 const CheckerContext &ctx, std::vector<Assertion> &out)
+{
+    Collector col(wires, out);
+    const noc::RouterParams &params = router.params();
+    const unsigned num_vcs = params.numVcs;
+    const auto depth = static_cast<std::uint8_t>(params.bufferDepth);
+    const noc::NodeId node = wires.router;
+    const bool has_va = num_vcs > 1;
+
+    // ==================================================================
+    // Routing Computation unit (invariants 1-3)
+    // ==================================================================
+    for (int p = 0; p < kNumPorts; ++p) {
+        const InputPortWires &ipw = wires.in[p];
+        if (ipw.rcDone == 0)
+            continue;
+        const int o = ipw.rcOutPort;
+        const bool out_in_range = o >= 0 && o < kNumPorts;
+        const bool connected =
+            out_in_range && ctx.config->portConnected(node, o);
+
+        if (!out_in_range || !connected) {
+            col.fire(InvariantId::InvalidRcOutput, p, ipw.rcVc);
+        } else {
+            if (!ctx.routing->legalTurn(ipw.rcFlit, p, o))
+                col.fire(InvariantId::IllegalTurn, p, ipw.rcVc);
+            if (ctx.routing->minimalRequired() && ipw.rcHeadValid &&
+                isHead(ipw.rcHeadType) &&
+                !ctx.routing->minimalStep(*ctx.config, node, ipw.rcFlit,
+                                          o)) {
+                col.fire(InvariantId::NonMinimalRoute, p, ipw.rcVc);
+            }
+        }
+
+        // Invariant 20/21: RC completion requires a header at the head
+        // of a non-empty buffer.
+        if (!ipw.rcHeadValid)
+            col.fire(InvariantId::RcOnEmptyVc, p, ipw.rcVc);
+        else if (!isHead(ipw.rcHeadType))
+            col.fire(InvariantId::RcOnNonHeaderFlit, p, ipw.rcVc);
+
+        // Invariant 17 (pipeline order, RC flavour): RC may only
+        // complete on VCs that were awaiting routing.
+        if ((ipw.rcDone & ~ipw.rcWaiting & lowMask(num_vcs)) != 0)
+            col.fire(InvariantId::ConsistentVcState, p, ipw.rcVc);
+
+        // Invariant 31: one RC completion per port per cycle (atomic).
+        if (params.atomicBuffers && has_va &&
+            popcount(ipw.rcDone & lowMask(num_vcs)) > 1) {
+            col.fire(InvariantId::ConcurrentRcMultipleVcs, p);
+        }
+    }
+
+    // ==================================================================
+    // Arbiters: SA1, SA2, VA2 (invariants 4-6 per instance)
+    // ==================================================================
+    for (int p = 0; p < kNumPorts; ++p)
+        checkArbiter(col, wires.in[p].sa1Req, wires.in[p].sa1Grant,
+                     num_vcs, p, -1);
+    for (int o = 0; o < kNumPorts; ++o)
+        checkArbiter(col, wires.out[o].sa2Req, wires.out[o].sa2Grant,
+                     kNumPorts, o, -1);
+    if (has_va) {
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned w = 0; w < num_vcs; ++w) {
+                checkArbiter(col, wires.out[o].va2Req[w],
+                             wires.out[o].va2Grant[w],
+                             kNumPorts * kMaxVcs, o, static_cast<int>(w));
+            }
+            // Invariant 19 (defensive flavour): grants on out-of-range
+            // output-VC arbiters cannot exist.
+            for (unsigned w = num_vcs; w < kMaxVcs; ++w)
+                if (wires.out[o].va2Grant[w] != 0)
+                    col.fire(InvariantId::InvalidOutputVcValue, o,
+                             static_cast<int>(w));
+        }
+    }
+
+    // ==================================================================
+    // VA global grants: invariants 7, 8, 10, 12, 17, 22, 23
+    // ==================================================================
+    std::uint64_t va_granted_clients = 0; // for invariant 8 and 17-SA
+    if (has_va) {
+        for (int o = 0; o < kNumPorts; ++o) {
+            const OutputPortWires &opw = wires.out[o];
+            for (unsigned w = 0; w < num_vcs; ++w) {
+                std::uint64_t grant =
+                    opw.va2Grant[w] & lowMask(kNumPorts * kMaxVcs);
+                if (grant == 0)
+                    continue;
+
+                // Invariant 7: target output VC must be free with room.
+                const noc::OutVcSnapshot &ov = opw.outVc[w];
+                const bool room = params.atomicBuffers
+                    ? ov.credits == depth : ov.credits > 0;
+                if (!ov.free || !room)
+                    col.fire(InvariantId::GrantToOccupiedOrFullVc, o,
+                             static_cast<int>(w));
+
+                while (grant != 0) {
+                    const int client = lowestSetBit(grant);
+                    grant = clearBit(grant,
+                                     static_cast<unsigned>(client));
+                    const int p = client / static_cast<int>(kMaxVcs);
+                    const unsigned v =
+                        static_cast<unsigned>(client) % kMaxVcs;
+                    if (p >= kNumPorts || v >= num_vcs)
+                        continue;
+                    const VcSnapshot &snap = wires.in[p].vc[v];
+
+                    // Invariant 8: an input VC must not win multiple
+                    // output VCs in one cycle.
+                    if (getBit(va_granted_clients,
+                               static_cast<unsigned>(client))) {
+                        col.fire(InvariantId::OneToOneVcAssignment, p,
+                                 static_cast<int>(v));
+                    }
+                    va_granted_clients = setBit(
+                        va_granted_clients,
+                        static_cast<unsigned>(client));
+
+                    // Invariant 10: the granted VC sits at the port RC
+                    // selected for this packet.
+                    if (snap.outPort != o)
+                        col.fire(InvariantId::VaAgreesWithRc, p,
+                                 static_cast<int>(v));
+
+                    // Invariant 12: VA2 winners must be VA1 winners.
+                    if (snap.va1CandidateVc != static_cast<int>(w))
+                        col.fire(InvariantId::IntraVaStageOrder, p,
+                                 static_cast<int>(v));
+
+                    // Invariant 17: VA acts only on allocation-waiting
+                    // VCs.
+                    if (snap.state != VcState::VcAllocWait)
+                        col.fire(InvariantId::ConsistentVcState, p,
+                                 static_cast<int>(v));
+
+                    // Invariants 22/23: VA completes only with a header
+                    // at the head of a non-empty buffer.
+                    if (!snap.headValid)
+                        col.fire(InvariantId::VaOnEmptyVc, p,
+                                 static_cast<int>(v));
+                    else if (!isHead(snap.headType))
+                        col.fire(InvariantId::VaOnNonHeaderFlit, p,
+                                 static_cast<int>(v));
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // SA global grants: invariants 9, 11, 13, 17
+    // ==================================================================
+    std::uint64_t sa_granted_ports = 0;
+    for (int o = 0; o < kNumPorts; ++o) {
+        std::uint64_t grant = wires.out[o].sa2Grant & lowMask(kNumPorts);
+        while (grant != 0) {
+            const int p = lowestSetBit(grant);
+            grant = clearBit(grant, static_cast<unsigned>(p));
+
+            // Invariant 9: one output port per input port per cycle.
+            if (getBit(sa_granted_ports, static_cast<unsigned>(p)))
+                col.fire(InvariantId::OneToOnePortAssignment, p);
+            sa_granted_ports = setBit(sa_granted_ports,
+                                      static_cast<unsigned>(p));
+
+            // Invariant 13: SA2 win requires an SA1 win.
+            const int v = sa1Winner(wires.in[p], num_vcs);
+            if (v < 0) {
+                col.fire(InvariantId::IntraSaStageOrder, p);
+                continue;
+            }
+
+            const VcSnapshot &snap =
+                wires.in[p].vc[static_cast<unsigned>(v)];
+
+            // Invariant 11: the switch must move the flit toward the
+            // port RC chose.
+            if (snap.outPort != o)
+                col.fire(InvariantId::SaAgreesWithRc, p, v);
+
+            // Invariant 17 (SA flavour): SA acts on Active VCs only
+            // (except the same-cycle VA+SA of the speculative design).
+            const bool va_this_cycle = getBit(
+                va_granted_clients,
+                noc::vaClient(p, static_cast<unsigned>(v)));
+            const bool spec_ok = params.speculative && va_this_cycle;
+            if (snap.state != VcState::Active && !spec_ok)
+                col.fire(InvariantId::ConsistentVcState, p, v);
+        }
+    }
+
+    // ==================================================================
+    // Crossbar (invariants 14-16)
+    // ==================================================================
+    for (int o = 0; o < kNumPorts; ++o)
+        if (!isAtMostOneHot(wires.xbarCol[o]))
+            col.fire(InvariantId::XbarColumnOneHot, o);
+    for (int p = 0; p < kNumPorts; ++p)
+        if (!isAtMostOneHot(wires.xbarRow[p]))
+            col.fire(InvariantId::XbarRowOneHot, p);
+    if (wires.xbarFlitsIn != wires.xbarFlitsOut)
+        col.fire(InvariantId::XbarFlitConservation);
+
+    // ==================================================================
+    // Buffer writes (invariants 18, 25-28, 30) and reads (24, 29)
+    // ==================================================================
+    for (int p = 0; p < kNumPorts; ++p) {
+        const InputPortWires &ipw = wires.in[p];
+
+        const std::uint32_t we = ipw.writeEnable &
+            static_cast<std::uint32_t>(lowMask(num_vcs));
+        const std::uint32_t re = ipw.readEnable &
+            static_cast<std::uint32_t>(lowMask(num_vcs));
+
+        // Invariants 29/30: one read and one write per port per cycle.
+        if (has_va && popcount(we) > 1)
+            col.fire(InvariantId::ConcurrentWriteMultipleVcs, p);
+        if (has_va && popcount(re) > 1)
+            col.fire(InvariantId::ConcurrentReadMultipleVcs, p);
+
+        // Invariant 24: reads that hit an empty buffer.
+        std::uint32_t empty_reads = ipw.readEmpty &
+            static_cast<std::uint32_t>(lowMask(num_vcs));
+        while (empty_reads != 0) {
+            const unsigned v =
+                static_cast<unsigned>(lowestSetBit(empty_reads));
+            empty_reads = static_cast<std::uint32_t>(
+                clearBit(empty_reads, v));
+            col.fire(InvariantId::ReadFromEmptyBuffer, p,
+                     static_cast<int>(v));
+        }
+
+        // Per-VC write checks.
+        std::uint32_t writes = we;
+        while (writes != 0) {
+            const unsigned v =
+                static_cast<unsigned>(lowestSetBit(writes));
+            writes = static_cast<std::uint32_t>(clearBit(writes, v));
+            const VcSnapshot &snap = ipw.vc[v];
+            const Flit &flit = ipw.inFlit;
+
+            // Invariant 25: write into a full buffer.
+            if (snap.occupancy >= depth)
+                col.fire(InvariantId::WriteToFullBuffer, p,
+                         static_cast<int>(v));
+
+            // Invariant 18: only headers may enter a free VC.
+            if (snap.state == VcState::Idle && !isHead(flit.type))
+                col.fire(InvariantId::HeaderOnlyIntoFreeVc, p,
+                         static_cast<int>(v));
+
+            if (params.atomicBuffers) {
+                // Invariant 26: headers only into completely free VCs.
+                if (isHead(flit.type) &&
+                    (snap.state != VcState::Idle || snap.occupancy > 0)) {
+                    col.fire(InvariantId::BufferAtomicityViolation, p,
+                             static_cast<int>(v));
+                }
+            } else {
+                // Invariant 27: a tail may only be followed by a header.
+                const bool stream_open =
+                    snap.flitsArrived > 0 && !snap.tailArrived;
+                if (isHead(flit.type) && stream_open)
+                    col.fire(InvariantId::NonAtomicPacketMixing, p,
+                             static_cast<int>(v));
+                if (!isHead(flit.type) && !stream_open &&
+                    snap.occupancy > 0) {
+                    col.fire(InvariantId::NonAtomicPacketMixing, p,
+                             static_cast<int>(v));
+                }
+            }
+
+            // Invariant 28: per-class packet length.
+            const unsigned expected = isHead(flit.type)
+                ? (flit.msgClass < params.classes.size()
+                       ? params.classLength(flit.msgClass) : 0)
+                : snap.expectedLength;
+            const unsigned count =
+                isHead(flit.type) ? 1 : snap.flitsArrived + 1;
+            if (expected != 0) {
+                if (isTail(flit.type) && count != expected)
+                    col.fire(InvariantId::PacketFlitCountViolation, p,
+                             static_cast<int>(v));
+                else if (!isTail(flit.type) && count >= expected)
+                    col.fire(InvariantId::PacketFlitCountViolation, p,
+                             static_cast<int>(v));
+            }
+        }
+    }
+
+    // ==================================================================
+    // Continuous VC-state register consistency (invariants 2, 17, 19)
+    // ==================================================================
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            const VcSnapshot &snap = wires.in[p].vc[v];
+            const bool routed = snap.state == VcState::VcAllocWait ||
+                                snap.state == VcState::Active;
+            if (routed) {
+                const bool ok = snap.outPort >= 0 &&
+                    snap.outPort < kNumPorts &&
+                    ctx.config->portConnected(node, snap.outPort);
+                if (!ok)
+                    col.fire(InvariantId::InvalidRcOutput, p,
+                             static_cast<int>(v));
+            }
+            if (snap.state == VcState::Active &&
+                (snap.outVc < 0 ||
+                 snap.outVc >= static_cast<int>(num_vcs))) {
+                col.fire(InvariantId::InvalidOutputVcValue, p,
+                         static_cast<int>(v));
+            }
+            // A VC holding a packet pre-SA always has its header
+            // buffered; an empty buffer — or a non-header flit — at
+            // its head means the state register and the buffer
+            // disagree.
+            if (snap.state == VcState::RouteWait ||
+                snap.state == VcState::VcAllocWait) {
+                if (snap.occupancy == 0 ||
+                    (snap.headValid && !isHead(snap.headType))) {
+                    col.fire(InvariantId::ConsistentVcState, p,
+                             static_cast<int>(v));
+                }
+            }
+            // The reverse disagreement: a free VC never holds flits.
+            if (snap.state == VcState::Idle && snap.occupancy > 0)
+                col.fire(InvariantId::ConsistentVcState, p,
+                         static_cast<int>(v));
+        }
+    }
+
+    // ==================================================================
+    // Extension (beyond Table 1, opt-in): allocation-table consistency.
+    // An occupied output VC must have a live Active owner whose saved
+    // route points back at it; otherwise the allocation has leaked and
+    // the VC will starve silently (fatal in single-VC designs).
+    // ==================================================================
+    if (params.extendedChecks) {
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned w = 0; w < num_vcs; ++w) {
+                const noc::OutVcState &ov = router.outVcState(o, w);
+                if (ov.free)
+                    continue;
+                bool consistent = ov.ownerPort >= 0 &&
+                                  ov.ownerPort < kNumPorts &&
+                                  ov.ownerVc >= 0 &&
+                                  ov.ownerVc <
+                                      static_cast<int>(num_vcs);
+                if (consistent) {
+                    const noc::VcRecord &owner = router.vcRecord(
+                        ov.ownerPort,
+                        static_cast<unsigned>(ov.ownerVc));
+                    consistent = owner.state == VcState::Active &&
+                                 owner.outPort == o &&
+                                 owner.outVc == static_cast<int>(w);
+                }
+                if (!consistent)
+                    col.fire(InvariantId::ConsistentVcState, o,
+                             static_cast<int>(w));
+            }
+        }
+    }
+
+    // ==================================================================
+    // Network level (invariant 32): local ejection destination
+    // ==================================================================
+    if (wires.ejectValid && isHead(wires.ejectFlit.type) &&
+        wires.ejectFlit.dst != node) {
+        col.fire(InvariantId::EjectionAtWrongDestination,
+                 portIndex(Port::Local));
+    }
+}
+
+void
+evaluateNiCheckers(const noc::NetworkInterface &ni,
+                   const noc::NiWires &wires,
+                   std::vector<Assertion> &out)
+{
+    if (wires.anomalies == 0)
+        return;
+    const int local = portIndex(Port::Local);
+    auto fire = [&](InvariantId id) {
+        out.push_back({id, wires.cycle, ni.node(), local, -1});
+    };
+    if (wires.anomalies & noc::kNiWrongDestination)
+        fire(InvariantId::EjectionAtWrongDestination);
+    if (wires.anomalies & noc::kNiUnexpectedFlit)
+        fire(InvariantId::EjectionAtWrongDestination);
+    if (wires.anomalies & noc::kNiOrderViolation)
+        fire(InvariantId::EjectionAtWrongDestination);
+    if (wires.anomalies & noc::kNiCountViolation)
+        fire(InvariantId::PacketFlitCountViolation);
+}
+
+} // namespace nocalert::core

@@ -1,0 +1,49 @@
+#include "core/nocalert.hpp"
+
+namespace nocalert::core {
+
+NoCAlertEngine::NoCAlertEngine(noc::Network &network, bool attach_now)
+    : network_(network)
+{
+    ctx_.config = &network.config();
+    ctx_.routing = &network.routing();
+
+    if (attach_now) {
+        network.setRouterObserver(
+            [this](const noc::Router &router,
+                   const noc::RouterWires &wires) {
+                observeRouter(router, wires);
+            });
+        network.setNiObserver(
+            [this](const noc::NetworkInterface &ni,
+                   const noc::NiWires &wires) { observeNi(ni, wires); });
+    }
+}
+
+void
+NoCAlertEngine::observeRouter(const noc::Router &router,
+                              const noc::RouterWires &wires)
+{
+    scratch_.clear();
+    evaluateCheckers(router, wires, ctx_, scratch_);
+    for (const Assertion &a : scratch_) {
+        log_.record(a);
+        if (callback_)
+            callback_(a);
+    }
+}
+
+void
+NoCAlertEngine::observeNi(const noc::NetworkInterface &ni,
+                          const noc::NiWires &wires)
+{
+    scratch_.clear();
+    evaluateNiCheckers(ni, wires, scratch_);
+    for (const Assertion &a : scratch_) {
+        log_.record(a);
+        if (callback_)
+            callback_(a);
+    }
+}
+
+} // namespace nocalert::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The NoCAlert engine: attaches the checker banks to every router and
+ * network interface of a network and accumulates the resulting alert
+ * stream, optionally forwarding it to a recovery callback.
+ *
+ * This is the library's main entry point for users who simply want
+ * run-time fault detection: construct a network, construct a
+ * NoCAlertEngine over it, run, and inspect (or react to) the alerts.
+ */
+
+#ifndef NOCALERT_CORE_NOCALERT_HPP
+#define NOCALERT_CORE_NOCALERT_HPP
+
+#include <functional>
+
+#include "core/alert.hpp"
+#include "core/checkers.hpp"
+#include "noc/network.hpp"
+
+namespace nocalert::core {
+
+/** Run-time invariance-checking engine for one network instance. */
+class NoCAlertEngine
+{
+  public:
+    /** Invoked synchronously for every raised assertion. */
+    using AlertCallback = std::function<void(const Assertion &)>;
+
+    /**
+     * Construct an engine for @p network and install its observers.
+     * The engine must outlive the network's use of the observers;
+     * detach (or destroy the network) before destroying the engine.
+     *
+     * Note: the network supports a single router/NI observer. When
+     * several engines must watch one network (e.g. NoCAlert plus the
+     * ForEVeR baseline in the fault campaign), leave @p attach_now
+     * false and compose the observe* calls manually.
+     */
+    explicit NoCAlertEngine(noc::Network &network, bool attach_now = true);
+
+    /** Feed one router's finished cycle into the checker banks. */
+    void observeRouter(const noc::Router &router,
+                       const noc::RouterWires &wires);
+
+    /** Feed one NI's finished cycle into the end-to-end checkers. */
+    void observeNi(const noc::NetworkInterface &ni,
+                   const noc::NiWires &wires);
+
+    /** Alert log accumulated so far. */
+    const AlertLog &log() const { return log_; }
+
+    /** Drop all accumulated alerts (e.g. after warmup). */
+    void clearLog() { log_.clear(); }
+
+    /** Register a recovery callback fired on every assertion. */
+    void onAlert(AlertCallback callback) { callback_ = std::move(callback); }
+
+  private:
+    noc::Network &network_;
+    CheckerContext ctx_;
+    AlertLog log_;
+    AlertCallback callback_;
+    std::vector<Assertion> scratch_;
+};
+
+} // namespace nocalert::core
+
+#endif // NOCALERT_CORE_NOCALERT_HPP

@@ -1,0 +1,264 @@
+#include "fault/campaign.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "core/nocalert.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::fault {
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::TruePositive: return "true-positive";
+      case Outcome::FalsePositive: return "false-positive";
+      case Outcome::TrueNegative: return "true-negative";
+      case Outcome::FalseNegative: return "false-negative";
+    }
+    return "?";
+}
+
+namespace {
+
+Outcome
+classify(bool detected, bool violated)
+{
+    if (detected)
+        return violated ? Outcome::TruePositive : Outcome::FalsePositive;
+    return violated ? Outcome::FalseNegative : Outcome::TrueNegative;
+}
+
+} // namespace
+
+Outcome
+FaultRunResult::outcome() const
+{
+    return classify(detected, violated);
+}
+
+Outcome
+FaultRunResult::cautiousOutcome() const
+{
+    return classify(detectedCautious, violated);
+}
+
+Outcome
+FaultRunResult::foreverOutcome() const
+{
+    return classify(foreverDetected, violated);
+}
+
+double
+CampaignSummary::pct(std::uint64_t count) const
+{
+    if (runs == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(count) /
+           static_cast<double>(runs);
+}
+
+CampaignSummary
+CampaignResult::summarize() const
+{
+    CampaignSummary summary;
+    summary.runs = runs.size();
+
+    for (const FaultRunResult &run : runs) {
+        summary.nocalert[static_cast<unsigned>(run.outcome())] += 1;
+        summary.cautious[static_cast<unsigned>(run.cautiousOutcome())] += 1;
+        summary.forever[static_cast<unsigned>(run.foreverOutcome())] += 1;
+
+        if (run.outcome() == Outcome::TruePositive)
+            summary.detectionLatency.add(run.detectionLatency);
+        if (run.foreverOutcome() == Outcome::TruePositive)
+            summary.foreverLatency.add(run.foreverLatency);
+        if (run.detected)
+            summary.simultaneous.add(run.simultaneousCheckers);
+
+        for (core::InvariantId id : run.invariants)
+            summary.perInvariant[core::invariantIndex(id)] += 1;
+
+        if (!run.alertAtInjection) {
+            ++summary.noInstantAlert;
+            if (run.detected) {
+                ++summary.noInstantCaughtLater;
+            } else if (run.violated) {
+                ++summary.noInstantViolatedUndetected;
+            } else {
+                ++summary.noInstantBenignUndetected;
+            }
+        }
+    }
+    return summary;
+}
+
+FaultCampaign::FaultCampaign(CampaignConfig config)
+    : config_(std::move(config))
+{
+    config_.network.validate();
+    // Generation must stop so runs can drain and bounded delivery is
+    // decidable within the horizon.
+    config_.traffic.stopCycle = config_.warmup + config_.observeWindow;
+}
+
+FaultRunResult
+FaultCampaign::runSingle(const CampaignConfig &config,
+                         const noc::Network &base,
+                         const GoldenReference &golden,
+                         const FaultSite &site)
+{
+    noc::Network net(base);
+
+    core::NoCAlertEngine engine(net, /*attach_now=*/false);
+    std::optional<forever::ForeverModel> fever;
+    if (config.runForever)
+        fever.emplace(net, config.forever, /*attach_now=*/false);
+
+    net.setRouterObserver([&](const noc::Router &router,
+                              const noc::RouterWires &wires) {
+        engine.observeRouter(router, wires);
+        if (fever)
+            fever->observeRouter(router, wires);
+    });
+    net.setNiObserver([&](const noc::NetworkInterface &ni,
+                          const noc::NiWires &wires) {
+        engine.observeNi(ni, wires);
+        if (fever)
+            fever->observeNi(ni, wires);
+    });
+    if (fever) {
+        net.setCycleObserver(
+            [&](const noc::Network &n) { fever->onCycleEnd(n); });
+    }
+
+    FaultRunResult result;
+    result.site = site;
+    result.injectCycle = net.cycle();
+
+    FaultInjector injector;
+    injector.arm({site, result.injectCycle, config.kind});
+    injector.attach(net);
+
+    net.run(config.observeWindow);
+    result.drained = net.drain(config.drainLimit);
+
+    // ForEVeR's counter alarms fire at epoch boundaries; give it one
+    // full epoch past quiescence so a stuck counter is evaluated even
+    // when the network otherwise went idle.
+    if (fever)
+        net.run(config.forever.epochLength + 2);
+
+    const GoldenComparison comparison =
+        golden.compare(net.collectEjections(), result.drained);
+    result.violated = comparison.violated();
+    result.violatedConditions = comparison.conditions();
+
+    const core::AlertLog &log = engine.log();
+    if (auto first = log.firstCycle()) {
+        result.detected = true;
+        result.detectionLatency = *first - result.injectCycle;
+        result.alertAtInjection = *first == result.injectCycle;
+        result.simultaneousCheckers =
+            static_cast<unsigned>(log.invariantsAtCycle(*first).size());
+    }
+    if (auto first = log.firstCautiousCycle()) {
+        result.detectedCautious = true;
+        result.cautiousLatency = *first - result.injectCycle;
+    }
+    result.invariants = log.distinctInvariants();
+
+    if (fever) {
+        if (auto first = fever->firstDetection()) {
+            result.foreverDetected = true;
+            result.foreverLatency = *first - result.injectCycle;
+        }
+    }
+
+    return result;
+}
+
+CampaignResult
+FaultCampaign::run(const Progress &progress)
+{
+    CampaignResult result;
+    result.config = config_;
+
+    // ---- Warm snapshot ----
+    noc::Network base(config_.network, config_.traffic);
+    {
+        // Any assertion during warmup would poison every
+        // classification; the engine enforces the zero-false-alarm
+        // property of the clean network.
+        core::NoCAlertEngine warm_guard(base);
+        base.run(config_.warmup);
+        NOCALERT_ASSERT(warm_guard.log().empty(),
+                        "checker asserted during fault-free warmup");
+        base.setRouterObserver(nullptr);
+        base.setNiObserver(nullptr);
+    }
+
+    // ---- Golden reference ----
+    noc::Network golden(base);
+    {
+        core::NoCAlertEngine golden_guard(golden);
+        golden.run(config_.observeWindow);
+        const bool drained = golden.drain(config_.drainLimit);
+        if (!drained) {
+            NOCALERT_FATAL("golden run failed to drain within ",
+                           config_.drainLimit,
+                           " cycles; lower the injection rate");
+        }
+        NOCALERT_ASSERT(golden_guard.log().empty(),
+                        "checker asserted during fault-free golden run");
+    }
+    const GoldenReference reference(golden.collectEjections());
+    result.goldenFlits = reference.flitCount();
+
+    // ---- Site selection ----
+    std::vector<FaultSite> population =
+        FaultSiteCatalog::enumerateNetwork(config_.network);
+    if (config_.wireSitesOnly) {
+        std::erase_if(population, [](const FaultSite &site) {
+            return isStateSignal(site.signal);
+        });
+    }
+    result.totalSitesEnumerated = population.size();
+    const std::vector<FaultSite> sites = FaultSiteCatalog::sampleSites(
+        std::move(population), config_.maxSites, config_.sampleSeed);
+
+    // ---- Fault runs ----
+    result.runs.resize(sites.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= sites.size())
+                return;
+            result.runs[i] =
+                runSingle(config_, base, reference, sites[i]);
+            const std::size_t completed = done.fetch_add(1) + 1;
+            if (progress)
+                progress(completed, sites.size());
+        }
+    };
+
+    const unsigned threads = std::max(1u, config_.threads);
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    return result;
+}
+
+} // namespace nocalert::fault

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The fault-injection campaign (paper Section 5.3): run a fault-free
+ * golden reference, then one fault-injected run per sampled site, and
+ * classify every run into True/False Positive/Negative for NoCAlert
+ * (plain and Cautious) and for the ForEVeR baseline.
+ *
+ * A warmed-up network is snapshotted once and copied per run, so the
+ * cost of reaching steady state (the paper's cycle-32K instant) is
+ * paid a single time.
+ */
+
+#ifndef NOCALERT_FAULT_CAMPAIGN_HPP
+#define NOCALERT_FAULT_CAMPAIGN_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/invariant.hpp"
+#include "fault/golden.hpp"
+#include "fault/injector.hpp"
+#include "fault/site.hpp"
+#include "forever/forever.hpp"
+#include "noc/network.hpp"
+#include "util/histogram.hpp"
+
+namespace nocalert::fault {
+
+/** Detection-outcome classification (paper Section 5.4). */
+enum class Outcome : std::uint8_t {
+    TruePositive,  ///< Detected, and correctness was really violated.
+    FalsePositive, ///< Detected, but the fault proved benign.
+    TrueNegative,  ///< Not detected, and the fault proved benign.
+    FalseNegative, ///< Not detected, but correctness was violated.
+};
+
+/** Name of an outcome. */
+const char *outcomeName(Outcome outcome);
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    noc::NetworkConfig network;
+    noc::TrafficSpec traffic;
+
+    /** Cycles before injection (0 = paper's "cycle 0" empty network;
+     *  thousands = the warmed-up "cycle 32K" instant). */
+    noc::Cycle warmup = 0;
+
+    /** Cycles of live traffic observed after the injection. */
+    noc::Cycle observeWindow = 4000;
+
+    /** Extra cycles allowed for the network to drain afterwards. */
+    noc::Cycle drainLimit = 12000;
+
+    /** Temporal fault behaviour. */
+    FaultKind kind = FaultKind::Transient;
+
+    /** Stratified site-sample size (0 = exhaustive sweep). */
+    unsigned maxSites = 400;
+
+    /**
+     * Restrict the fault surface to combinational wires (module
+     * inputs/outputs), excluding the architectural-register classes.
+     * Approximates the paper's 205-locations-per-router accounting,
+     * whose population is dominated by module-I/O signals.
+     */
+    bool wireSitesOnly = false;
+
+    /** Seed for site sampling. */
+    std::uint64_t sampleSeed = 7;
+
+    /** Also run the ForEVeR baseline on every run. */
+    bool runForever = true;
+    forever::ForeverConfig forever;
+
+    /** Worker threads (1 = serial). */
+    unsigned threads = 1;
+};
+
+/** Classification record of one fault-injected run. */
+struct FaultRunResult
+{
+    FaultSite site;
+    noc::Cycle injectCycle = 0;
+
+    // ---- Ground truth from the golden reference ----
+    bool violated = false;
+    std::uint8_t violatedConditions = 0;
+    bool drained = true;
+
+    // ---- NoCAlert ----
+    bool detected = false;
+    noc::Cycle detectionLatency = -1;
+    bool detectedCautious = false;
+    noc::Cycle cautiousLatency = -1;
+    bool alertAtInjection = false;
+    unsigned simultaneousCheckers = 0;
+    std::vector<core::InvariantId> invariants;
+
+    // ---- ForEVeR ----
+    bool foreverDetected = false;
+    noc::Cycle foreverLatency = -1;
+
+    Outcome outcome() const;
+    Outcome cautiousOutcome() const;
+    Outcome foreverOutcome() const;
+};
+
+/** Aggregates over a finished campaign. */
+struct CampaignSummary
+{
+    std::uint64_t runs = 0;
+
+    std::array<std::uint64_t, 4> nocalert = {};  ///< By Outcome index.
+    std::array<std::uint64_t, 4> cautious = {};
+    std::array<std::uint64_t, 4> forever = {};
+
+    Histogram detectionLatency;  ///< NoCAlert, true positives only.
+    Histogram foreverLatency;    ///< ForEVeR, true positives only.
+    Histogram simultaneous;      ///< Checkers asserted at first detection.
+
+    /** Fault runs in which invariant i participated (index 1..32). */
+    std::array<std::uint64_t, core::kNumInvariants + 1> perInvariant = {};
+
+    // ---- Observation 5 partition (faults with no same-cycle alert) ----
+    std::uint64_t noInstantAlert = 0;
+    std::uint64_t noInstantCaughtLater = 0;
+    std::uint64_t noInstantBenignUndetected = 0;
+    std::uint64_t noInstantViolatedUndetected = 0; ///< Must stay zero.
+
+    /** Percentage helper: count / runs * 100. */
+    double pct(std::uint64_t count) const;
+};
+
+/** Full campaign output. */
+struct CampaignResult
+{
+    CampaignConfig config;
+    std::size_t totalSitesEnumerated = 0;
+    std::size_t goldenFlits = 0;
+    std::vector<FaultRunResult> runs;
+
+    CampaignSummary summarize() const;
+};
+
+/** Campaign driver. */
+class FaultCampaign
+{
+  public:
+    /** Per-run progress callback (completed runs, total runs). */
+    using Progress = std::function<void(std::size_t, std::size_t)>;
+
+    explicit FaultCampaign(CampaignConfig config);
+
+    /** Execute the whole campaign. */
+    CampaignResult run(const Progress &progress = nullptr);
+
+    /**
+     * Execute a single fault-injected run against a prepared warm
+     * snapshot and golden reference (building block for tests).
+     */
+    static FaultRunResult runSingle(const CampaignConfig &config,
+                                    const noc::Network &base,
+                                    const GoldenReference &golden,
+                                    const FaultSite &site);
+
+  private:
+    CampaignConfig config_;
+};
+
+} // namespace nocalert::fault
+
+#endif // NOCALERT_FAULT_CAMPAIGN_HPP

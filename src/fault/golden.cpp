@@ -1,0 +1,138 @@
+#include "fault/golden.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nocalert::fault {
+
+using core::kBoundedDelivery;
+using core::kNoCorruptionOrMixing;
+using core::kNoFlitDrop;
+using core::kNoNewFlitGeneration;
+
+const char *
+violationTypeName(GoldenViolation::Type type)
+{
+    switch (type) {
+      case GoldenViolation::Type::FlitLost: return "flit-lost";
+      case GoldenViolation::Type::NewFlit: return "new-flit";
+      case GoldenViolation::Type::WrongDestination: return "wrong-dest";
+      case GoldenViolation::Type::OrderViolation: return "order";
+      case GoldenViolation::Type::NotDrained: return "not-drained";
+    }
+    return "?";
+}
+
+std::string
+GoldenViolation::describe() const
+{
+    std::ostringstream os;
+    os << violationTypeName(type) << " pkt=" << packet << " seq=" << seq
+       << " node=" << node;
+    return os.str();
+}
+
+std::uint8_t
+GoldenComparison::conditions() const
+{
+    std::uint8_t bits = 0;
+    for (const GoldenViolation &v : violations) {
+        switch (v.type) {
+          case GoldenViolation::Type::FlitLost:
+            bits |= kNoFlitDrop;
+            break;
+          case GoldenViolation::Type::NewFlit:
+            bits |= kNoNewFlitGeneration;
+            break;
+          case GoldenViolation::Type::WrongDestination:
+          case GoldenViolation::Type::OrderViolation:
+            bits |= kNoCorruptionOrMixing;
+            break;
+          case GoldenViolation::Type::NotDrained:
+            bits |= kBoundedDelivery;
+            break;
+        }
+    }
+    return bits;
+}
+
+GoldenReference::GoldenReference(
+    const std::vector<noc::EjectionRecord> &golden)
+{
+    for (const noc::EjectionRecord &rec : golden) {
+        const Key key{rec.flit.packet, rec.flit.seq};
+        const auto [it, inserted] = flits_.emplace(key, rec.node);
+        if (!inserted) {
+            NOCALERT_PANIC("golden run ejected flit twice: pkt=",
+                           rec.flit.packet, " seq=", rec.flit.seq);
+        }
+    }
+}
+
+GoldenComparison
+GoldenReference::compare(const std::vector<noc::EjectionRecord> &faulty,
+                         bool drained) const
+{
+    GoldenComparison result;
+    std::map<Key, unsigned> seen;
+    // Last ejected sequence number per (packet, node), to verify
+    // intra-packet order within each node's time-ordered log.
+    std::map<std::pair<noc::PacketId, noc::NodeId>, int> last_seq;
+
+    for (const noc::EjectionRecord &rec : faulty) {
+        const Key key{rec.flit.packet, rec.flit.seq};
+        const auto golden_it = flits_.find(key);
+
+        if (golden_it == flits_.end()) {
+            result.violations.push_back(
+                {GoldenViolation::Type::NewFlit, rec.flit.packet,
+                 rec.flit.seq, rec.node});
+            continue;
+        }
+
+        unsigned &count = seen[key];
+        ++count;
+        if (count > 1) {
+            result.violations.push_back(
+                {GoldenViolation::Type::NewFlit, rec.flit.packet,
+                 rec.flit.seq, rec.node});
+            continue;
+        }
+
+        if (golden_it->second != rec.node) {
+            result.violations.push_back(
+                {GoldenViolation::Type::WrongDestination,
+                 rec.flit.packet, rec.flit.seq, rec.node});
+            continue;
+        }
+
+        auto &last = last_seq[{rec.flit.packet, rec.node}];
+        // Default-constructed value is 0; store seq+1 so seq 0 works.
+        if (static_cast<int>(rec.flit.seq) + 1 <= last) {
+            result.violations.push_back(
+                {GoldenViolation::Type::OrderViolation,
+                 rec.flit.packet, rec.flit.seq, rec.node});
+        }
+        if (static_cast<int>(rec.flit.seq) + 1 > last)
+            last = static_cast<int>(rec.flit.seq) + 1;
+    }
+
+    for (const auto &[key, node] : flits_) {
+        if (seen.find(key) == seen.end()) {
+            result.violations.push_back(
+                {GoldenViolation::Type::FlitLost, key.first, key.second,
+                 node});
+        }
+    }
+
+    if (!drained) {
+        result.violations.push_back(
+            {GoldenViolation::Type::NotDrained, noc::kInvalidPacket, 0,
+             noc::kInvalidNode});
+    }
+
+    return result;
+}
+
+} // namespace nocalert::fault

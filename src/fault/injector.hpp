@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Single-bit fault injection into router wires and registers.
+ *
+ * A fault is a bit flip at a FaultSite applied at its signal's tap
+ * point. Transient faults flip once; permanent faults behave as
+ * stuck-inverted (the flip is re-applied every cycle); intermittent
+ * faults flip during a duty window of every period. The paper's
+ * headline evaluation uses single-bit single-event transients and
+ * notes that permanent/intermittent faults trigger the same checkers,
+ * persistently (Section 5.2).
+ */
+
+#ifndef NOCALERT_FAULT_INJECTOR_HPP
+#define NOCALERT_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/site.hpp"
+#include "noc/network.hpp"
+#include "noc/router.hpp"
+
+namespace nocalert::fault {
+
+/** Temporal behaviour of a fault. */
+enum class FaultKind : std::uint8_t {
+    Transient,    ///< Applied at exactly one cycle.
+    Intermittent, ///< Applied during a duty window of each period.
+    Permanent,    ///< Applied at every cycle from onset.
+};
+
+/** Name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** A fault site plus its temporal activation. */
+struct FaultSpec
+{
+    FaultSite site;
+    noc::Cycle cycle = 0;    ///< Onset cycle.
+    FaultKind kind = FaultKind::Transient;
+    noc::Cycle period = 10;  ///< Intermittent: period length.
+    noc::Cycle duty = 1;     ///< Intermittent: active cycles per period.
+};
+
+/** Applies armed faults through a network's tap hook. */
+class FaultInjector
+{
+  public:
+    /** Arm a fault (several may be armed for multi-fault studies). */
+    void arm(const FaultSpec &spec) { faults_.push_back(spec); }
+
+    /** Disarm everything. */
+    void clear() { faults_.clear(); }
+
+    /** Armed faults. */
+    const std::vector<FaultSpec> &faults() const { return faults_; }
+
+    /** Install this injector as @p network's tap hook. */
+    void attach(noc::Network &network);
+
+    /** The tap hook, for manual composition with other hooks. */
+    noc::Router::TapHook hook();
+
+    /** Number of bit flips performed so far. */
+    std::uint64_t applications() const { return applications_; }
+
+    /** True iff @p spec is active at @p cycle. */
+    static bool activeAt(const FaultSpec &spec, noc::Cycle cycle);
+
+    /**
+     * Flip the site's bit in @p wires / @p router state. Exposed for
+     * targeted unit tests of individual checkers.
+     */
+    static void applyToRouter(noc::Router &router,
+                              noc::RouterWires &wires,
+                              const FaultSite &site);
+
+  private:
+    void onTap(noc::Router &router, noc::TapPoint tap,
+               noc::RouterWires &wires);
+
+    std::vector<FaultSpec> faults_;
+    std::uint64_t applications_ = 0;
+};
+
+} // namespace nocalert::fault
+
+#endif // NOCALERT_FAULT_INJECTOR_HPP

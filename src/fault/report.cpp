@@ -1,0 +1,74 @@
+#include "fault/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace nocalert::fault {
+
+void
+writeCampaignCsv(const CampaignResult &result, std::ostream &os)
+{
+    os << "router,signal,port,vc,bit,violated,conditions,drained,"
+          "detected,latency,cautious,cautious_latency,at_injection,"
+          "simultaneous,invariants,forever_detected,forever_latency\n";
+    for (const FaultRunResult &run : result.runs) {
+        os << run.site.router << ','
+           << signalClassName(run.site.signal) << ','
+           << noc::portName(run.site.port) << ',' << run.site.vc << ','
+           << run.site.bit << ',' << (run.violated ? 1 : 0) << ','
+           << static_cast<unsigned>(run.violatedConditions) << ','
+           << (run.drained ? 1 : 0) << ',' << (run.detected ? 1 : 0)
+           << ',' << run.detectionLatency << ','
+           << (run.detectedCautious ? 1 : 0) << ','
+           << run.cautiousLatency << ','
+           << (run.alertAtInjection ? 1 : 0) << ','
+           << run.simultaneousCheckers << ',';
+        // Invariant list as a ;-joined field.
+        os << '"';
+        for (std::size_t i = 0; i < run.invariants.size(); ++i) {
+            if (i)
+                os << ';';
+            os << core::invariantIndex(run.invariants[i]);
+        }
+        os << '"' << ',' << (run.foreverDetected ? 1 : 0) << ','
+           << run.foreverLatency << '\n';
+    }
+}
+
+std::string
+summaryText(const CampaignResult &result)
+{
+    const CampaignSummary summary = result.summarize();
+
+    Table table({"detector", "true-pos", "false-pos", "true-neg",
+                 "false-neg"});
+    auto row = [&](const char *name,
+                   const std::array<std::uint64_t, 4> &counts) {
+        table.addRow({name,
+                      Table::pct(summary.pct(counts[0])),
+                      Table::pct(summary.pct(counts[1])),
+                      Table::pct(summary.pct(counts[2])),
+                      Table::pct(summary.pct(counts[3]))});
+    };
+    row("NoCAlert", summary.nocalert);
+    row("NoCAlert Cautious", summary.cautious);
+    if (result.config.runForever)
+        row("ForEVeR", summary.forever);
+
+    std::ostringstream os;
+    os << "campaign: " << summary.runs << " runs over "
+       << result.totalSitesEnumerated << " enumerated sites, golden "
+       << result.goldenFlits << " flits\n";
+    os << table.toText();
+    if (!summary.detectionLatency.empty()) {
+        os << "NoCAlert latency: same-cycle "
+           << Table::pct(100.0 * summary.detectionLatency.cdfAt(0), 1)
+           << ", max " << summary.detectionLatency.max()
+           << " cycles\n";
+    }
+    return os.str();
+}
+
+} // namespace nocalert::fault

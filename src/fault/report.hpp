@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Campaign result export: per-run CSV (one row per injected fault,
+ * suitable for external plotting/statistics) and a compact text
+ * summary shared by examples and benches.
+ */
+
+#ifndef NOCALERT_FAULT_REPORT_HPP
+#define NOCALERT_FAULT_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/campaign.hpp"
+
+namespace nocalert::fault {
+
+/**
+ * Write one CSV row per fault run: site coordinates, ground truth,
+ * detector verdicts, and latencies. Columns:
+ * router,signal,port,vc,bit,violated,conditions,drained,
+ * detected,latency,cautious,cautious_latency,at_injection,
+ * simultaneous,invariants,forever_detected,forever_latency
+ */
+void writeCampaignCsv(const CampaignResult &result, std::ostream &os);
+
+/** Render the summary (outcome matrix + latency stats) as text. */
+std::string summaryText(const CampaignResult &result);
+
+} // namespace nocalert::fault
+
+#endif // NOCALERT_FAULT_REPORT_HPP

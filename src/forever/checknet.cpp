@@ -1,0 +1,35 @@
+#include "forever/checknet.hpp"
+
+namespace nocalert::forever {
+
+CheckerNetwork::CheckerNetwork(const noc::NetworkConfig &config,
+                               noc::Cycle hop_latency)
+    : config_(&config), hop_latency_(hop_latency)
+{
+}
+
+noc::Cycle
+CheckerNetwork::send(noc::Cycle now, noc::NodeId src, noc::NodeId dst,
+                     std::uint32_t flits)
+{
+    const noc::Cycle arrival =
+        now + config_->hopDistance(src, dst) * hop_latency_ + 1;
+    pending_.emplace(arrival, Notification{dst, flits});
+    ++pending_count_;
+    return arrival;
+}
+
+std::vector<Notification>
+CheckerNetwork::deliverUpTo(noc::Cycle now)
+{
+    std::vector<Notification> delivered;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first <= now) {
+        delivered.push_back(it->second);
+        it = pending_.erase(it);
+        --pending_count_;
+    }
+    return delivered;
+}
+
+} // namespace nocalert::forever

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Behavioural model of the ForEVeR fault-detection framework (Parikh
+ * & Bertacco, MICRO 2011), the paper's comparison baseline
+ * (Sections 2.2 and 5).
+ *
+ * Three detectors cooperate:
+ *  1. Destination counters fed by checker-network notifications: every
+ *     source notifies the destination of an incoming packet's flit
+ *     count ahead of time; the destination decrements per ejected
+ *     flit. Time is split into epochs (default 1,500 cycles — the
+ *     shortest the paper found free of excessive false positives);
+ *     an alarm is raised when a counter fails to touch zero within an
+ *     epoch, or ever goes negative.
+ *  2. The Allocation Comparator (Shamshiri et al.): instantaneous
+ *     detection of invalid arbiter operations (grants without
+ *     requests, non-one-hot grants).
+ *  3. An end-to-end checker at the ejection interface.
+ *
+ * Detection latency is dominated by the epoch quantization, which is
+ * exactly the behaviour Figure 7 of the NoCAlert paper contrasts with
+ * NoCAlert's same-cycle assertions.
+ */
+
+#ifndef NOCALERT_FOREVER_FOREVER_HPP
+#define NOCALERT_FOREVER_FOREVER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "forever/checknet.hpp"
+#include "noc/network.hpp"
+
+namespace nocalert::forever {
+
+/** ForEVeR parameters. */
+struct ForeverConfig
+{
+    noc::Cycle epochLength = 1500;
+    noc::Cycle hopLatency = 1;
+    bool useAllocationComparator = true;
+    bool useEndToEnd = true;
+};
+
+/** One ForEVeR detection event. */
+struct ForeverAlert
+{
+    enum class Source : std::uint8_t {
+        CounterEpoch,        ///< Counter failed to reach zero in an epoch.
+        NegativeCounter,     ///< More flits arrived than were notified.
+        AllocationComparator,///< Invalid arbiter operation.
+        EndToEnd,            ///< Ejection-interface check.
+    };
+
+    Source source = Source::CounterEpoch;
+    noc::Cycle cycle = 0;
+    noc::NodeId node = noc::kInvalidNode;
+};
+
+/** Name of an alert source. */
+const char *foreverSourceName(ForeverAlert::Source source);
+
+/** ForEVeR attached to one network instance. */
+class ForeverModel
+{
+  public:
+    /**
+     * Construct over @p network. Counters are synchronized to the
+     * network's current in-flight traffic so the model can attach to
+     * a warmed-up snapshot without spurious alarms.
+     *
+     * With @p attach_now the model installs itself as the network's
+     * router/NI/cycle observer; otherwise compose the observe* calls
+     * manually (as the fault campaign does to run ForEVeR alongside
+     * NoCAlert on one run).
+     */
+    ForeverModel(noc::Network &network, const ForeverConfig &config,
+                 bool attach_now = true);
+
+    /** Allocation-comparator tap on a router's finished cycle. */
+    void observeRouter(const noc::Router &router,
+                       const noc::RouterWires &wires);
+
+    /** Notification/counter/end-to-end tap on an NI's cycle. */
+    void observeNi(const noc::NetworkInterface &ni,
+                   const noc::NiWires &wires);
+
+    /** Epoch bookkeeping; call once per completed network cycle. */
+    void onCycleEnd(const noc::Network &network);
+
+    /** All detection events so far. */
+    const std::vector<ForeverAlert> &alerts() const { return alerts_; }
+
+    /** Cycle of the first detection event, if any. */
+    std::optional<noc::Cycle> firstDetection() const;
+
+    /** Drop accumulated alerts. */
+    void clearAlerts() { alerts_.clear(); }
+
+    /** Current counter value of node @p node (tests). */
+    std::int64_t counter(noc::NodeId node) const
+    {
+        return counters_[static_cast<std::size_t>(node)];
+    }
+
+  private:
+    void recordAlert(ForeverAlert::Source source, noc::Cycle cycle,
+                     noc::NodeId node);
+
+    noc::Network &network_;
+    ForeverConfig config_;
+    CheckerNetwork checknet_;
+
+    std::vector<std::int64_t> counters_;
+    std::vector<std::int64_t> epoch_min_;
+    noc::Cycle start_cycle_ = 0;
+
+    std::vector<ForeverAlert> alerts_;
+};
+
+} // namespace nocalert::forever
+
+#endif // NOCALERT_FOREVER_FOREVER_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gate inventories of the 32 NoCAlert checkers.
+ *
+ * The defining property (paper Section 4.2, Figure 4): a checker that
+ * only tests whether an output is *illegal given the input* is far
+ * cheaper than the unit producing the output — e.g. the
+ * grant-without-request checker needs two gates per arbiter client
+ * plus an OR tree (linear), while the arbiter itself grows
+ * polynomially. Every inventory below is linear in the width of the
+ * vector it monitors, and purely combinational (no flip-flops).
+ */
+
+#ifndef NOCALERT_HW_CHECKCOST_HPP
+#define NOCALERT_HW_CHECKCOST_HPP
+
+#include <vector>
+
+#include "core/invariant.hpp"
+#include "hw/gates.hpp"
+#include "noc/config.hpp"
+
+namespace nocalert::hw {
+
+/** Gate inventory of all instances of checker @p id in one router. */
+GateCounts checkerGates(core::InvariantId id,
+                        const noc::NetworkConfig &config);
+
+/** Sum over the applicable checkers for @p config's router. */
+GateCounts nocalertTotal(const noc::NetworkConfig &config);
+
+/**
+ * Gate inventory of the DMR-CL alternative: full duplication of the
+ * control logic plus output comparators (paper Figure 10's "most
+ * complete fault detection solution possible, albeit very
+ * expensive").
+ */
+GateCounts dmrControlLogic(const noc::NetworkConfig &config);
+
+/** Per-checker cost rows (for the Table 1 catalog bench). */
+struct CheckerCostRow
+{
+    core::InvariantId id;
+    GateCounts gates;
+};
+
+/** Costs of every applicable checker. */
+std::vector<CheckerCostRow> checkerCostTable(
+    const noc::NetworkConfig &config);
+
+} // namespace nocalert::hw
+
+#endif // NOCALERT_HW_CHECKCOST_HPP

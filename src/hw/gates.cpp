@@ -1,0 +1,73 @@
+#include "hw/gates.hpp"
+
+namespace nocalert::hw {
+
+GateCounts &
+GateCounts::operator+=(const GateCounts &other)
+{
+    inv += other.inv;
+    and2 += other.and2;
+    or2 += other.or2;
+    xor2 += other.xor2;
+    mux2 += other.mux2;
+    dff += other.dff;
+    return *this;
+}
+
+GateCounts
+GateCounts::operator+(const GateCounts &other) const
+{
+    GateCounts result = *this;
+    result += other;
+    return result;
+}
+
+GateCounts
+GateCounts::operator*(double factor) const
+{
+    return {inv * factor, and2 * factor, or2 * factor,
+            xor2 * factor, mux2 * factor, dff * factor};
+}
+
+double
+GateCounts::combinational() const
+{
+    return inv + and2 + or2 + xor2 + mux2;
+}
+
+const GateLibrary &
+GateLibrary::typical65nm()
+{
+    static const GateLibrary library;
+    return library;
+}
+
+double
+GateLibrary::gateEquivalents(const GateCounts &counts) const
+{
+    return counts.inv * invGe + counts.and2 * and2Ge +
+           counts.or2 * or2Ge + counts.xor2 * xor2Ge +
+           counts.mux2 * mux2Ge + counts.dff * dffGe;
+}
+
+double
+GateLibrary::areaUm2(const GateCounts &counts) const
+{
+    return gateEquivalents(counts) * um2PerGe;
+}
+
+double
+GateLibrary::power(const GateCounts &counts, double activity) const
+{
+    const double comb_ge = counts.inv * invGe + counts.and2 * and2Ge +
+                           counts.or2 * or2Ge + counts.xor2 * xor2Ge +
+                           counts.mux2 * mux2Ge;
+    const double dff_ge = counts.dff * dffGe;
+    const double dynamic =
+        comb_ge * dynPerGe * activity +
+        dff_ge * dynPerGe * (activity + dffClockFactor);
+    const double leakage = (comb_ge + dff_ge) * leakPerGe;
+    return dynamic + leakage;
+}
+
+} // namespace nocalert::hw

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Gate-level cost primitives for the 65 nm hardware model.
+ *
+ * The paper's hardware evaluation synthesizes the router + NoCAlert
+ * in Verilog with commercial 65 nm libraries (Section 5.5). We cannot
+ * run Synopsys DC here, so src/hw re-derives the paper's *relative*
+ * claims from first principles: every module is expressed as a gate
+ * inventory, and area/power/timing are computed from per-gate
+ * constants typical of 65 nm standard cells. The claims under test —
+ * checkers are far cheaper than the modules they check, NoCAlert area
+ * stays ~3% while DMR grows linearly with VC count, power overhead is
+ * sub-1% because checkers are unclocked — depend only on these
+ * ratios, not on absolute library numbers.
+ */
+
+#ifndef NOCALERT_HW_GATES_HPP
+#define NOCALERT_HW_GATES_HPP
+
+#include <string>
+
+namespace nocalert::hw {
+
+/** Inventory of standard cells (fractional counts allowed). */
+struct GateCounts
+{
+    double inv = 0;  ///< Inverters.
+    double and2 = 0; ///< 2-input AND/NAND.
+    double or2 = 0;  ///< 2-input OR/NOR.
+    double xor2 = 0; ///< 2-input XOR/XNOR.
+    double mux2 = 0; ///< 2-input multiplexers.
+    double dff = 0;  ///< D flip-flops.
+
+    GateCounts &operator+=(const GateCounts &other);
+    GateCounts operator+(const GateCounts &other) const;
+    GateCounts operator*(double factor) const;
+
+    /** Total combinational cells (everything but DFFs). */
+    double combinational() const;
+
+    /** Total cells. */
+    double total() const { return combinational() + dff; }
+};
+
+/** 65 nm standard-cell library constants. */
+struct GateLibrary
+{
+    // NAND2-equivalent areas (gate equivalents), typical 65 nm values.
+    double invGe = 0.67;
+    double and2Ge = 1.33;
+    double or2Ge = 1.33;
+    double xor2Ge = 2.67;
+    double mux2Ge = 2.33;
+    double dffGe = 4.67;
+
+    /** Area of one gate equivalent in um^2 (65 nm: ~2.08 um^2). */
+    double um2PerGe = 2.08;
+
+    /** Dynamic energy per GE per transition, normalized units. */
+    double dynPerGe = 1.0;
+
+    /** Clock-tree + internal power of a DFF relative to a GE of
+     *  combinational logic at 50% data activity (DFFs burn power on
+     *  every clock edge regardless of data). */
+    double dffClockFactor = 3.0;
+
+    /** Leakage per GE, normalized units. */
+    double leakPerGe = 0.05;
+
+    /** Default library. */
+    static const GateLibrary &typical65nm();
+
+    /** Gate-equivalent count of an inventory. */
+    double gateEquivalents(const GateCounts &counts) const;
+
+    /** Area in um^2. */
+    double areaUm2(const GateCounts &counts) const;
+
+    /**
+     * Power in normalized units at @p activity switching probability.
+     * DFFs additionally pay the clock factor at every cycle.
+     */
+    double power(const GateCounts &counts, double activity = 0.5) const;
+};
+
+} // namespace nocalert::hw
+
+#endif // NOCALERT_HW_GATES_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gate inventories of the baseline router's modules as functions of
+ * the micro-architectural parameters (ports P, VCs V, depth B, flit
+ * width W). Growth orders follow the canonical implementations:
+ * buffers are linear in V*B*W, the separable VA allocator is
+ * quadratic in P*V (one P*V-input arbiter per output VC), arbiters
+ * are quadratic in their client count, the crossbar quadratic in P.
+ */
+
+#ifndef NOCALERT_HW_MODULES_HPP
+#define NOCALERT_HW_MODULES_HPP
+
+#include <string>
+#include <vector>
+
+#include "hw/gates.hpp"
+#include "noc/config.hpp"
+
+namespace nocalert::hw {
+
+/** Gate inventory of one named router module group. */
+struct ModuleCost
+{
+    std::string name;
+    GateCounts gates;
+    bool controlLogic = false; ///< Part of the control plane (DMR scope).
+};
+
+/** Round-robin arbiter over @p clients requesters. */
+GateCounts arbiterGates(unsigned clients);
+
+/** One VC FIFO buffer: @p depth flits of @p width bits. */
+GateCounts fifoGates(unsigned depth, unsigned width);
+
+/** P x P crossbar of @p width-bit ports. */
+GateCounts crossbarGates(unsigned ports, unsigned width);
+
+/** One RC unit (coordinate comparison + direction encode). */
+GateCounts rcUnitGates(int mesh_width, int mesh_height);
+
+/** One VC status table entry (state machine registers + next-state). */
+GateCounts vcStateGates(unsigned num_vcs, unsigned depth);
+
+/** One output-VC tracker (free bit, owner, credit counter). */
+GateCounts outVcTrackerGates(unsigned num_vcs, unsigned depth,
+                             unsigned ports);
+
+/**
+ * Complete router inventory, split into named module groups.
+ * The control-logic flag marks the DMR-CL duplication scope
+ * (everything except buffer/crossbar datapath).
+ */
+std::vector<ModuleCost> routerModules(const noc::NetworkConfig &config);
+
+/** Sum of all module gate counts. */
+GateCounts routerTotal(const noc::NetworkConfig &config);
+
+/** Sum of the control-logic modules only. */
+GateCounts routerControlLogic(const noc::NetworkConfig &config);
+
+} // namespace nocalert::hw
+
+#endif // NOCALERT_HW_MODULES_HPP

@@ -1,0 +1,96 @@
+#include "hw/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+
+namespace nocalert::hw {
+
+namespace {
+
+/** Typical 65 nm gate delay (ps) for a loaded 2-input stage. */
+constexpr double kGateDelayPs = 28.0;
+
+/** Flop clock->Q plus setup (ps). */
+constexpr double kSequentialOverheadPs = 150.0;
+
+/** Logic depth of an N-client round-robin arbiter. */
+double
+arbiterDepth(unsigned clients)
+{
+    const double n = clients < 2 ? 2.0 : static_cast<double>(clients);
+    return 2.0 * std::ceil(std::log2(n)) + 4.0;
+}
+
+} // namespace
+
+double
+criticalPathPs(const noc::NetworkConfig &config)
+{
+    const unsigned p = noc::kNumPorts;
+    const unsigned v = config.router.numVcs;
+
+    // Stage depths (gates): the separable VA's global stage arbitrates
+    // among P*V clients and dominates as V grows; SA chains SA1 into
+    // the SA2 request mux; ST is a mux tree plus buffer read.
+    const double va_depth = v > 1 ? arbiterDepth(p * v) + 2 : 0.0;
+    const double sa_depth = arbiterDepth(v) + arbiterDepth(p) + 3;
+    const double st_depth =
+        std::ceil(std::log2(static_cast<double>(p))) + 4 +
+        std::ceil(std::log2(
+            static_cast<double>(config.router.bufferDepth)));
+    const double rc_depth =
+        2.0 * bitsFor(static_cast<unsigned>(
+                  std::max(config.width, config.height))) + 3;
+
+    const double depth =
+        std::max({va_depth, sa_depth, st_depth, rc_depth});
+    return depth * kGateDelayPs + kSequentialOverheadPs;
+}
+
+HwReport
+makeHwReport(const noc::NetworkConfig &config)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+
+    HwReport report;
+    report.numVcs = config.router.numVcs;
+
+    const GateCounts router = routerTotal(config);
+    const GateCounts control = routerControlLogic(config);
+    const GateCounts checkers = nocalertTotal(config);
+    const GateCounts dmr = dmrControlLogic(config);
+
+    report.routerArea = lib.areaUm2(router);
+    report.controlLogicArea = lib.areaUm2(control);
+    report.nocalertArea = lib.areaUm2(checkers);
+    report.dmrArea = lib.areaUm2(dmr);
+    report.nocalertAreaOverheadPct =
+        100.0 * report.nocalertArea / report.routerArea;
+    report.dmrAreaOverheadPct = 100.0 * report.dmrArea / report.routerArea;
+
+    // Checkers are pure combinational logic: they add switching
+    // capacitance but no clocked elements, so their power share is
+    // well below their area share (the router's flop arrays dominate).
+    report.routerPower = lib.power(router);
+    report.nocalertPower = lib.power(checkers);
+    report.nocalertPowerOverheadPct =
+        100.0 * report.nocalertPower / report.routerPower;
+
+    // Checkers tap existing wires: the only timing cost is the extra
+    // fanout load on the monitored nets (roughly one gate load on the
+    // deepest stage's output). They sit off the computation path and
+    // never gate it.
+    report.baselineCriticalPath = criticalPathPs(config);
+    report.nocalertCriticalPath =
+        report.baselineCriticalPath + 0.4 * kGateDelayPs;
+    report.criticalPathImpactPct =
+        100.0 *
+        (report.nocalertCriticalPath - report.baselineCriticalPath) /
+        report.baselineCriticalPath;
+
+    return report;
+}
+
+} // namespace nocalert::hw

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The hardware-evaluation report: area / power / timing of the
+ * baseline router, NoCAlert's overhead, and the DMR-CL comparison
+ * (paper Section 5.5, Figure 10).
+ */
+
+#ifndef NOCALERT_HW_REPORT_HPP
+#define NOCALERT_HW_REPORT_HPP
+
+#include "hw/checkcost.hpp"
+#include "hw/gates.hpp"
+#include "hw/modules.hpp"
+#include "noc/config.hpp"
+
+namespace nocalert::hw {
+
+/** Area/power/timing summary for one router configuration. */
+struct HwReport
+{
+    unsigned numVcs = 0;
+
+    // ---- Area (um^2 at 65 nm) ----
+    double routerArea = 0;
+    double controlLogicArea = 0;
+    double nocalertArea = 0;
+    double dmrArea = 0;
+    double nocalertAreaOverheadPct = 0;
+    double dmrAreaOverheadPct = 0;
+
+    // ---- Power (normalized units, 50% switching activity) ----
+    double routerPower = 0;
+    double nocalertPower = 0;
+    double nocalertPowerOverheadPct = 0;
+
+    // ---- Timing (ps) ----
+    double baselineCriticalPath = 0;
+    double nocalertCriticalPath = 0;
+    double criticalPathImpactPct = 0;
+};
+
+/** Build the report for @p config using the typical 65 nm library. */
+HwReport makeHwReport(const noc::NetworkConfig &config);
+
+/**
+ * Baseline critical-path estimate in ps: the slowest pipeline stage
+ * (the global allocation stages dominate as V grows).
+ */
+double criticalPathPs(const noc::NetworkConfig &config);
+
+} // namespace nocalert::hw
+
+#endif // NOCALERT_HW_REPORT_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Round-robin and matrix arbiters.
+ *
+ * Arbiters are the workhorses of the VA and SA pipeline stages. The
+ * grant computation is exposed as a pure function of (request vector,
+ * priority state) so the router can place both vectors on the cycle's
+ * wire record, where fault injection and the NoCAlert checkers
+ * (invariances 4-6) can see them.
+ */
+
+#ifndef NOCALERT_NOC_ARBITER_HPP
+#define NOCALERT_NOC_ARBITER_HPP
+
+#include <cstdint>
+
+namespace nocalert::noc {
+
+/**
+ * Round-robin arbiter over up to 64 clients.
+ *
+ * The rotating priority pointer is architectural state (a fault
+ * injection target). Grants are one-hot; a zero request vector yields
+ * a zero grant vector.
+ */
+class RoundRobinArbiter
+{
+  public:
+    /** Construct for @p num_clients clients. */
+    explicit RoundRobinArbiter(unsigned num_clients = 1);
+
+    /** Number of clients. */
+    unsigned numClients() const { return num_clients_; }
+
+    /** Current priority pointer (client index searched first). */
+    unsigned pointer() const { return pointer_; }
+
+    /** Overwrite the priority pointer (fault injection hook). */
+    void setPointer(unsigned pointer) { pointer_ = pointer; }
+
+    /**
+     * Pure grant computation: the first requesting client at or after
+     * @p pointer (mod @p num_clients) wins. Returns a one-hot grant
+     * vector, or 0 when @p requests is 0.
+     */
+    static std::uint64_t compute(std::uint64_t requests, unsigned pointer,
+                                 unsigned num_clients);
+
+    /**
+     * Commit the pointer update implied by @p grant (the winner's
+     * successor gains top priority). Non-one-hot grants — possible
+     * only under fault injection — leave the pointer unchanged, as a
+     * corrupted grant vector would feed garbage into the pointer
+     * update logic in hardware; keeping it stable is the benign
+     * modelling choice.
+     */
+    void commit(std::uint64_t grant);
+
+  private:
+    unsigned num_clients_;
+    unsigned pointer_ = 0;
+};
+
+/**
+ * Matrix arbiter over up to 16 clients: maintains a least-recently-
+ * granted priority matrix. Functionally interchangeable with the
+ * round-robin arbiter; provided as an alternative implementation for
+ * the hardware model and for arbiter unit tests.
+ */
+class MatrixArbiter
+{
+  public:
+    /** Construct for @p num_clients clients (<= 16). */
+    explicit MatrixArbiter(unsigned num_clients = 1);
+
+    /** Number of clients. */
+    unsigned numClients() const { return num_clients_; }
+
+    /** Compute the grant for @p requests and update priorities. */
+    std::uint64_t arbitrate(std::uint64_t requests);
+
+    /** True iff client @p row currently has priority over @p col. */
+    bool hasPriority(unsigned row, unsigned col) const;
+
+  private:
+    unsigned num_clients_;
+    /** matrix_[i] bit j set => client i beats client j. */
+    std::uint64_t matrix_[16] = {};
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_ARBITER_HPP

@@ -1,0 +1,72 @@
+#include "noc/buffer.hpp"
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+VcFifo::VcFifo(unsigned depth)
+    : slots_(depth), depth_(depth)
+{
+    NOCALERT_ASSERT(depth >= 1, "FIFO depth must be positive");
+}
+
+bool
+VcFifo::push(const Flit &flit)
+{
+    if (full())
+        return false;
+    slots_[(head_ + count_) % depth_] = flit;
+    ++count_;
+    return true;
+}
+
+Flit
+VcFifo::pop()
+{
+    Flit flit = slots_[head_];
+    if (count_ > 0) {
+        head_ = (head_ + 1) % depth_;
+        --count_;
+    }
+    return flit;
+}
+
+const Flit &
+VcFifo::peek(unsigned offset) const
+{
+    return slots_[(head_ + offset) % depth_];
+}
+
+void
+VcFifo::clear()
+{
+    head_ = 0;
+    count_ = 0;
+}
+
+const char *
+vcStateName(VcState state)
+{
+    switch (state) {
+      case VcState::Idle: return "Idle";
+      case VcState::RouteWait: return "RouteWait";
+      case VcState::VcAllocWait: return "VcAllocWait";
+      case VcState::Active: return "Active";
+    }
+    return "?";
+}
+
+void
+VcRecord::reset()
+{
+    state = VcState::Idle;
+    outPort = kInvalidPort;
+    outVc = -1;
+    msgClass = 0;
+    flitsArrived = 0;
+    expectedLength = 0;
+    lastWrittenType = FlitType::Tail;
+    tailArrived = false;
+}
+
+} // namespace nocalert::noc

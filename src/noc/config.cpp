@@ -1,0 +1,129 @@
+#include "noc/config.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+const char *
+routingAlgoName(RoutingAlgo algo)
+{
+    switch (algo) {
+      case RoutingAlgo::XY: return "XY";
+      case RoutingAlgo::YX: return "YX";
+      case RoutingAlgo::WestFirst: return "WestFirst";
+      case RoutingAlgo::O1Turn: return "O1Turn";
+    }
+    return "?";
+}
+
+unsigned
+RouterParams::vcClass(unsigned vc) const
+{
+    NOCALERT_ASSERT(vc < numVcs, "vc ", vc, " out of range");
+    NOCALERT_ASSERT(!classes.empty(), "no message classes configured");
+    // Contiguous partition: with C classes and V VCs, class c owns VCs
+    // [c*V/C, (c+1)*V/C).
+    auto c = static_cast<unsigned>(classes.size());
+    return static_cast<unsigned>(
+        (static_cast<std::uint64_t>(vc) * c) / numVcs);
+}
+
+std::vector<unsigned>
+RouterParams::classVcs(unsigned cls) const
+{
+    std::vector<unsigned> vcs;
+    for (unsigned v = 0; v < numVcs; ++v)
+        if (vcClass(v) == cls)
+            vcs.push_back(v);
+    return vcs;
+}
+
+std::uint16_t
+RouterParams::classLength(unsigned cls) const
+{
+    NOCALERT_ASSERT(cls < classes.size(), "class ", cls, " out of range");
+    return classes[cls].packetLength;
+}
+
+void
+RouterParams::validate() const
+{
+    if (numVcs < 1 || numVcs > 8)
+        NOCALERT_FATAL("numVcs must be in [1,8], got ", numVcs);
+    if (bufferDepth < 1 || bufferDepth > 15)
+        NOCALERT_FATAL("bufferDepth must be in [1,15], got ", bufferDepth);
+    if (classes.empty())
+        NOCALERT_FATAL("at least one message class is required");
+    if (classes.size() > numVcs)
+        NOCALERT_FATAL("more message classes (", classes.size(),
+                       ") than VCs (", numVcs, ")");
+    for (const auto &cls : classes) {
+        if (cls.packetLength < 1)
+            NOCALERT_FATAL("message class '", cls.name,
+                           "' has zero packet length");
+        if (cls.packetLength > bufferDepth)
+            NOCALERT_FATAL("message class '", cls.name, "' packets (",
+                           cls.packetLength, " flits) exceed the VC depth (",
+                           bufferDepth, "); atomic VCs could deadlock");
+    }
+}
+
+Coord
+NetworkConfig::coordOf(NodeId node) const
+{
+    NOCALERT_ASSERT(node >= 0 && node < numNodes(), "bad node ", node);
+    return {node % width, node / width};
+}
+
+NodeId
+NetworkConfig::nodeAt(Coord c) const
+{
+    NOCALERT_ASSERT(c.x >= 0 && c.x < width && c.y >= 0 && c.y < height,
+                    "bad coord ", toString(c));
+    return c.y * width + c.x;
+}
+
+NodeId
+NetworkConfig::neighborOf(NodeId node, int port) const
+{
+    Coord c = coordOf(node);
+    switch (static_cast<Port>(port)) {
+      case Port::North: c.y += 1; break;
+      case Port::South: c.y -= 1; break;
+      case Port::East: c.x += 1; break;
+      case Port::West: c.x -= 1; break;
+      default: return kInvalidNode;
+    }
+    if (c.x < 0 || c.x >= width || c.y < 0 || c.y >= height)
+        return kInvalidNode;
+    return nodeAt(c);
+}
+
+bool
+NetworkConfig::portConnected(NodeId node, int port) const
+{
+    if (port == portIndex(Port::Local))
+        return true;
+    return neighborOf(node, port) != kInvalidNode;
+}
+
+int
+NetworkConfig::hopDistance(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+void
+NetworkConfig::validate() const
+{
+    if (width < 2 || height < 2)
+        NOCALERT_FATAL("mesh must be at least 2x2, got ",
+                       width, "x", height);
+    router.validate();
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Static configuration of routers and the network.
+ *
+ * The defaults reproduce the paper's evaluation platform (Section 5.1):
+ * an 8x8 mesh of five-stage pipelined routers with four 5-flit-deep
+ * atomic VCs per input port, 128-bit links, wormhole switching,
+ * credit-based flow control, and deterministic XY routing.
+ */
+
+#ifndef NOCALERT_NOC_CONFIG_HPP
+#define NOCALERT_NOC_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/types.hpp"
+
+namespace nocalert::noc {
+
+/** Selectable routing algorithms (see routing.hpp). */
+enum class RoutingAlgo {
+    XY,        ///< Dimension-ordered, X first (paper baseline).
+    YX,        ///< Dimension-ordered, Y first.
+    WestFirst, ///< Turn-model adaptive: west hops first, then adaptive.
+    O1Turn,    ///< Per-packet random choice between XY and YX.
+};
+
+/** Name of a routing algorithm. */
+const char *routingAlgoName(RoutingAlgo algo);
+
+/**
+ * One protocol-level message class.
+ *
+ * Classes model the cache-coherence message types sharing the network;
+ * VCs are statically partitioned among classes so protocol deadlock is
+ * avoided, and every packet of a class has the same fixed length
+ * (which invariant 28 checks).
+ */
+struct MessageClassSpec
+{
+    std::string name;
+    std::uint16_t packetLength = 1; ///< Flits per packet of this class.
+};
+
+/** Per-router micro-architectural parameters. */
+struct RouterParams
+{
+    /** Virtual channels per input port. */
+    unsigned numVcs = 4;
+
+    /** Buffer depth (flits) of each VC. */
+    unsigned bufferDepth = 5;
+
+    /**
+     * Atomic VCs: a buffer may hold flits of only one packet at a
+     * time, and an output VC is only granted when the downstream
+     * buffer is completely empty. Non-atomic VCs may interleave whole
+     * packets back-to-back (invariant 27 applies instead of 26).
+     */
+    bool atomicBuffers = true;
+
+    /**
+     * Speculative pipeline (Section 4.4 variant): SA may be won in the
+     * same cycle VA completes, shortening the pipeline by one stage
+     * and relaxing the VA-before-SA ordering invariant.
+     */
+    bool speculative = false;
+
+    /** Flit (and link) width in bits; used by the hardware model. */
+    unsigned flitWidthBits = 128;
+
+    /**
+     * Arm the extension checkers beyond the paper's Table-1 set:
+     * cross-module allocation-consistency assertions (an occupied
+     * output VC must have a live owner whose route registers point
+     * back at it). Off by default — the faithful 32-checker
+     * configuration. These close part of the silent-starvation gap
+     * that single-VC designs expose (see EXPERIMENTS.md).
+     */
+    bool extendedChecks = false;
+
+    /** Protocol message classes sharing the network. */
+    std::vector<MessageClassSpec> classes = {
+        {"ctrl", 1},
+        {"data", 5},
+    };
+
+    /** Message class a VC belongs to (contiguous partition). */
+    unsigned vcClass(unsigned vc) const;
+
+    /** VCs belonging to message class @p cls, in increasing order. */
+    std::vector<unsigned> classVcs(unsigned cls) const;
+
+    /** Packet length of message class @p cls. */
+    std::uint16_t classLength(unsigned cls) const;
+
+    /** Abort with a message if the parameters are inconsistent. */
+    void validate() const;
+};
+
+/** Whole-network configuration. */
+struct NetworkConfig
+{
+    /** Mesh width (columns). */
+    int width = 8;
+
+    /** Mesh height (rows). */
+    int height = 8;
+
+    /** Router micro-architecture. */
+    RouterParams router;
+
+    /** Routing algorithm. */
+    RoutingAlgo routing = RoutingAlgo::XY;
+
+    /** Number of nodes in the mesh. */
+    int numNodes() const { return width * height; }
+
+    /** Coordinate of a node id. */
+    Coord coordOf(NodeId node) const;
+
+    /** Node id of a coordinate. */
+    NodeId nodeAt(Coord c) const;
+
+    /** Neighbor of @p node through mesh port @p port, or kInvalidNode. */
+    NodeId neighborOf(NodeId node, int port) const;
+
+    /** True iff @p node has a link on mesh port @p port. */
+    bool portConnected(NodeId node, int port) const;
+
+    /** Minimal hop distance between two nodes. */
+    int hopDistance(NodeId a, NodeId b) const;
+
+    /** Abort with a message if the configuration is inconsistent. */
+    void validate() const;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_CONFIG_HPP

@@ -1,0 +1,45 @@
+#include "noc/crossbar.hpp"
+
+#include "util/bits.hpp"
+
+namespace nocalert::noc {
+
+Crossbar::Result
+Crossbar::transfer(const std::array<std::optional<Flit>, kNumPorts> &inputs,
+                   const std::array<std::uint32_t, kNumPorts> &rows)
+{
+    Result result;
+
+    for (int i = 0; i < kNumPorts; ++i)
+        if (inputs[i].has_value())
+            ++result.flitsIn;
+
+    // Column vectors are the transpose of the row vectors.
+    for (int i = 0; i < kNumPorts; ++i) {
+        for (int j = 0; j < kNumPorts; ++j) {
+            if (getBit(rows[i], static_cast<unsigned>(j)))
+                result.col[j] = static_cast<std::uint32_t>(
+                    setBit(result.col[j], static_cast<unsigned>(i)));
+        }
+    }
+
+    // Each output multiplexer forwards the lowest-numbered selected
+    // input that actually carries a flit.
+    for (int j = 0; j < kNumPorts; ++j) {
+        std::uint32_t selects = result.col[j];
+        while (selects != 0) {
+            int i = lowestSetBit(selects);
+            selects = static_cast<std::uint32_t>(
+                clearBit(selects, static_cast<unsigned>(i)));
+            if (inputs[i].has_value()) {
+                result.output[j] = inputs[i];
+                ++result.flitsOut;
+                break;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The P x P crossbar switch.
+ *
+ * Modelled as one multiplexer per output column driven by a column
+ * control vector (derived from the row selects the switch allocator
+ * produces). Under fault injection a row select may be zero (the flit
+ * read from its buffer vanishes), multi-hot (unwanted multicast —
+ * invariance 15), or two rows may target one column (flit collision —
+ * invariance 14): the transfer function models all of these
+ * faithfully so the network-level consequences are real.
+ */
+
+#ifndef NOCALERT_NOC_CROSSBAR_HPP
+#define NOCALERT_NOC_CROSSBAR_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "noc/flit.hpp"
+#include "noc/types.hpp"
+
+namespace nocalert::noc {
+
+/** Stateless crossbar transfer function. */
+class Crossbar
+{
+  public:
+    /** Outcome of one cycle's traversal. */
+    struct Result
+    {
+        /** Flit driven onto each output port (if any). */
+        std::array<std::optional<Flit>, kNumPorts> output;
+
+        /** Column control vectors (per output, over inputs). */
+        std::array<std::uint32_t, kNumPorts> col = {};
+
+        /** Number of valid input flits presented. */
+        int flitsIn = 0;
+
+        /** Number of output ports driven. */
+        int flitsOut = 0;
+    };
+
+    /**
+     * Drive the switch.
+     *
+     * @param inputs Flit presented by each input row (nullopt = idle).
+     * @param rows   Row control vector per input (bit j = drive output j).
+     *
+     * When several rows select the same column, the lowest-numbered
+     * row wins the output multiplexer and the other flits are lost on
+     * the switch — the hardware analogue of a collision.
+     */
+    static Result transfer(
+        const std::array<std::optional<Flit>, kNumPorts> &inputs,
+        const std::array<std::uint32_t, kNumPorts> &rows);
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_CROSSBAR_HPP

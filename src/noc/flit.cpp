@@ -1,0 +1,54 @@
+#include "noc/flit.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+const char *
+flitTypeName(FlitType type)
+{
+    switch (type) {
+      case FlitType::Head: return "H";
+      case FlitType::Body: return "B";
+      case FlitType::Tail: return "T";
+      case FlitType::HeadTail: return "HT";
+    }
+    return "?";
+}
+
+std::string
+Flit::toString() const
+{
+    std::ostringstream os;
+    os << "flit{" << flitTypeName(type) << " pkt=" << packet
+       << " seq=" << seq << " " << src << "->" << dst
+       << " cls=" << int(msgClass) << " vc=" << int(vc) << "}";
+    return os.str();
+}
+
+Flit
+Packet::makeFlit(std::uint16_t seq) const
+{
+    NOCALERT_ASSERT(seq < length, "flit seq ", seq, " out of range for "
+                    "packet of length ", length);
+    Flit flit;
+    if (length == 1)
+        flit.type = FlitType::HeadTail;
+    else if (seq == 0)
+        flit.type = FlitType::Head;
+    else if (seq + 1 == length)
+        flit.type = FlitType::Tail;
+    else
+        flit.type = FlitType::Body;
+    flit.packet = id;
+    flit.seq = seq;
+    flit.src = src;
+    flit.dst = dst;
+    flit.msgClass = msgClass;
+    flit.injected = created;
+    return flit;
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,186 @@
+#include "noc/interface.hpp"
+
+#include "util/bits.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+NetworkInterface::NetworkInterface(const NetworkConfig &config, NodeId node)
+    : node_(node), params_(config.router)
+{
+    trackers_.resize(params_.numVcs);
+    for (auto &tracker : trackers_)
+        tracker.credits = static_cast<std::uint8_t>(params_.bufferDepth);
+    reassembly_.resize(params_.numVcs);
+    class_rr_.assign(params_.classes.size(), 0);
+}
+
+void
+NetworkInterface::enqueue(const Packet &packet)
+{
+    NOCALERT_ASSERT(packet.src == node_, "packet src ", packet.src,
+                    " queued at node ", node_);
+    queue_.push_back(packet);
+}
+
+void
+NetworkInterface::evaluate(Cycle cycle, LinkIo &io)
+{
+    wires_ = NiWires{};
+    wires_.cycle = cycle;
+    wires_.node = node_;
+
+    // Credits returned by the router's local input port.
+    for (unsigned v = 0; v < params_.numVcs; ++v) {
+        if (getBit(io.creditIn, v)) {
+            VcTracker &tracker = trackers_[v];
+            if (tracker.credits < params_.bufferDepth)
+                ++tracker.credits;
+        }
+    }
+
+    doEject(cycle, io);
+    doInject(cycle, io);
+}
+
+std::vector<std::pair<NodeId, unsigned>>
+NetworkInterface::pendingFlitsByDst(bool include_queued) const
+{
+    std::vector<std::pair<NodeId, unsigned>> pending;
+    if (streaming_) {
+        pending.emplace_back(
+            current_.dst,
+            static_cast<unsigned>(current_.length - next_seq_));
+    }
+    if (include_queued) {
+        // The streaming packet (if any) is still queue_.front().
+        for (std::size_t i = streaming_ ? 1 : 0; i < queue_.size(); ++i)
+            pending.emplace_back(queue_[i].dst, queue_[i].length);
+    }
+    return pending;
+}
+
+void
+NetworkInterface::doInject(Cycle cycle, LinkIo &io)
+{
+    (void)cycle;
+    if (!streaming_ && !queue_.empty()) {
+        const Packet &pkt = queue_.front();
+        const unsigned cls =
+            pkt.msgClass < params_.classes.size() ? pkt.msgClass : 0;
+        // Pick a free VC of the packet's class; atomic VCs additionally
+        // require the downstream buffer to be fully drained.
+        const auto vcs = params_.classVcs(cls);
+        const unsigned start = class_rr_[cls] % vcs.size();
+        for (std::size_t i = 0; i < vcs.size(); ++i) {
+            const unsigned v = vcs[(start + i) % vcs.size()];
+            const VcTracker &tracker = trackers_[v];
+            const bool drained =
+                tracker.credits == params_.bufferDepth;
+            if (tracker.free &&
+                (params_.atomicBuffers ? drained
+                                       : tracker.credits > 0)) {
+                streaming_ = true;
+                current_ = pkt;
+                next_seq_ = 0;
+                stream_vc_ = v;
+                trackers_[v].free = false;
+                class_rr_[cls] =
+                    static_cast<std::uint8_t>((start + i + 1) % vcs.size());
+                break;
+            }
+        }
+    }
+
+    if (!streaming_)
+        return;
+
+    VcTracker &tracker = trackers_[stream_vc_];
+    if (tracker.credits == 0)
+        return; // downstream buffer full; retry next cycle
+
+    Flit flit = current_.makeFlit(next_seq_);
+    flit.vc = static_cast<std::uint8_t>(stream_vc_);
+    io.outValid = true;
+    io.outFlit = flit;
+    --tracker.credits;
+    ++flits_injected_;
+    wires_.injectValid = true;
+    wires_.injectFlit = flit;
+
+    ++next_seq_;
+    if (next_seq_ == current_.length) {
+        streaming_ = false;
+        tracker.free = true; // reallocation still gated by credits
+        queue_.pop_front();
+        ++packets_injected_;
+    }
+}
+
+void
+NetworkInterface::doEject(Cycle cycle, LinkIo &io)
+{
+    if (!io.inValid)
+        return;
+
+    const Flit &flit = io.inFlit;
+    ++flits_ejected_;
+    log_.push_back({cycle, node_, flit});
+    wires_.ejectValid = true;
+    wires_.ejectFlit = flit;
+
+    // Return a credit for the router's local-output path. The credit
+    // is indexed by the VC the flit arrived on.
+    const unsigned v = flit.vc & lowMask(bitsFor(params_.numVcs));
+    if (v < params_.numVcs)
+        io.creditOut = static_cast<std::uint32_t>(
+            setBit(io.creditOut, v));
+
+    // ---- End-to-end (network-level) invariance checks ----
+    Reassembly &asm_state =
+        reassembly_[v < params_.numVcs ? v : 0];
+
+    if (isHead(flit.type)) {
+        if (flit.dst != node_)
+            wires_.anomalies |= kNiWrongDestination;
+        if (asm_state.open)
+            wires_.anomalies |= kNiUnexpectedFlit; // previous unfinished
+        asm_state.open = true;
+        asm_state.packet = flit.packet;
+        asm_state.nextSeq = 1;
+        if (flit.seq != 0)
+            wires_.anomalies |= kNiOrderViolation;
+    } else {
+        if (!asm_state.open) {
+            wires_.anomalies |= kNiUnexpectedFlit;
+        } else if (flit.packet != asm_state.packet ||
+                   flit.seq != asm_state.nextSeq) {
+            wires_.anomalies |= kNiOrderViolation;
+            asm_state.nextSeq =
+                static_cast<std::uint16_t>(flit.seq + 1);
+        } else {
+            ++asm_state.nextSeq;
+        }
+    }
+
+    if (isTail(flit.type)) {
+        const unsigned expected =
+            flit.msgClass < params_.classes.size()
+                ? params_.classLength(flit.msgClass) : 0;
+        if (expected != 0 &&
+            static_cast<unsigned>(flit.seq) + 1 != expected) {
+            wires_.anomalies |= kNiCountViolation;
+        }
+        if (asm_state.open && flit.packet == asm_state.packet &&
+            wires_.anomalies == 0) {
+            ++packets_ejected_;
+            latency_sum_ +=
+                static_cast<std::uint64_t>(cycle - flit.injected);
+        }
+        asm_state.open = false;
+        asm_state.packet = kInvalidPacket;
+        asm_state.nextSeq = 0;
+    }
+}
+
+} // namespace nocalert::noc

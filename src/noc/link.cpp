@@ -1,0 +1,22 @@
+#include "noc/link.hpp"
+
+namespace nocalert::noc {
+
+void
+Link::tick()
+{
+    recvValid = sendValid;
+    recvFlit = sendFlit;
+    sendValid = false;
+
+    creditRecv = creditSend;
+    creditSend = 0;
+}
+
+void
+Link::clear()
+{
+    *this = Link{};
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,312 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
+    : config_(config),
+      routing_(makeRouting(config.routing)),
+      traffic_(config, traffic)
+{
+    config_.validate();
+    const int nodes = config_.numNodes();
+    routers_.reserve(nodes);
+    nis_.reserve(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+        routers_.emplace_back(config_, n);
+        nis_.emplace_back(config_, n);
+    }
+    buildTopology();
+}
+
+Network::Network(const Network &other)
+    : config_(other.config_),
+      routing_(makeRouting(other.config_.routing)),
+      routers_(other.routers_),
+      nis_(other.nis_),
+      links_(other.links_),
+      in_link_(other.in_link_),
+      out_link_(other.out_link_),
+      traffic_(other.traffic_),
+      cycle_(other.cycle_)
+{
+    // Hooks and observers intentionally not copied: they are bound to
+    // engines observing the original instance.
+}
+
+Network &
+Network::operator=(const Network &other)
+{
+    if (this == &other)
+        return *this;
+    config_ = other.config_;
+    routing_ = makeRouting(other.config_.routing);
+    routers_ = other.routers_;
+    nis_ = other.nis_;
+    links_ = other.links_;
+    in_link_ = other.in_link_;
+    out_link_ = other.out_link_;
+    traffic_ = other.traffic_;
+    cycle_ = other.cycle_;
+    tap_hook_ = nullptr;
+    router_observer_ = nullptr;
+    ni_observer_ = nullptr;
+    cycle_observer_ = nullptr;
+    return *this;
+}
+
+void
+Network::buildTopology()
+{
+    const int nodes = config_.numNodes();
+    in_link_.assign(static_cast<std::size_t>(nodes) * kNumPorts, -1);
+    out_link_.assign(static_cast<std::size_t>(nodes) * kNumPorts, -1);
+
+    auto add_link = [&]() {
+        links_.emplace_back();
+        return static_cast<int>(links_.size() - 1);
+    };
+
+    for (NodeId n = 0; n < nodes; ++n) {
+        // Mesh links: one directed link into each connected input port.
+        for (int p = 0; p < 4; ++p) {
+            const NodeId m = config_.neighborOf(n, p);
+            if (m == kInvalidNode)
+                continue;
+            const int link = add_link();
+            in_link_[static_cast<std::size_t>(n) * kNumPorts +
+                     static_cast<std::size_t>(p)] = link;
+            out_link_[static_cast<std::size_t>(m) * kNumPorts +
+                      static_cast<std::size_t>(oppositePort(p))] = link;
+        }
+        // Local links: NI -> router (injection) and router -> NI.
+        const int lp = portIndex(Port::Local);
+        in_link_[static_cast<std::size_t>(n) * kNumPorts +
+                 static_cast<std::size_t>(lp)] = add_link();
+        out_link_[static_cast<std::size_t>(n) * kNumPorts +
+                  static_cast<std::size_t>(lp)] = add_link();
+    }
+}
+
+int
+Network::inLinkIndex(NodeId node, int port) const
+{
+    return in_link_[static_cast<std::size_t>(node) * kNumPorts +
+                    static_cast<std::size_t>(port)];
+}
+
+int
+Network::outLinkIndex(NodeId node, int port) const
+{
+    return out_link_[static_cast<std::size_t>(node) * kNumPorts +
+                     static_cast<std::size_t>(port)];
+}
+
+Router &
+Network::router(NodeId node)
+{
+    return routers_[static_cast<std::size_t>(node)];
+}
+
+const Router &
+Network::router(NodeId node) const
+{
+    return routers_[static_cast<std::size_t>(node)];
+}
+
+NetworkInterface &
+Network::ni(NodeId node)
+{
+    return nis_[static_cast<std::size_t>(node)];
+}
+
+const NetworkInterface &
+Network::ni(NodeId node) const
+{
+    return nis_[static_cast<std::size_t>(node)];
+}
+
+void
+Network::step()
+{
+    const int nodes = config_.numNodes();
+    const int lp = portIndex(Port::Local);
+
+    // ---- Network interfaces: traffic generation, inject, eject ----
+    for (NodeId n = 0; n < nodes; ++n) {
+        if (auto pkt = traffic_.generate(config_, n, cycle_))
+            nis_[static_cast<std::size_t>(n)].enqueue(*pkt);
+
+        Link &inj = links_[static_cast<std::size_t>(inLinkIndex(n, lp))];
+        Link &ejc = links_[static_cast<std::size_t>(outLinkIndex(n, lp))];
+
+        NetworkInterface::LinkIo io;
+        io.inValid = ejc.recvValid;
+        io.inFlit = ejc.recvFlit;
+        io.creditIn = inj.creditRecv;
+
+        NetworkInterface &ni = nis_[static_cast<std::size_t>(n)];
+        ni.evaluate(cycle_, io);
+
+        if (io.outValid) {
+            inj.sendValid = true;
+            inj.sendFlit = io.outFlit;
+        }
+        ejc.creditSend |= io.creditOut;
+
+        if (ni_observer_)
+            ni_observer_(ni, ni.wires());
+    }
+
+    // ---- Routers ----
+    Router::Context ctx{&config_, routing_.get()};
+    for (NodeId n = 0; n < nodes; ++n) {
+        Router::LinkIo io;
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int li = inLinkIndex(n, p);
+            if (li >= 0) {
+                const Link &link = links_[static_cast<std::size_t>(li)];
+                io.inValid[p] = link.recvValid;
+                io.inFlit[p] = link.recvFlit;
+            }
+            const int lo = outLinkIndex(n, p);
+            if (lo >= 0)
+                io.creditIn[p] =
+                    links_[static_cast<std::size_t>(lo)].creditRecv;
+        }
+
+        Router &router = routers_[static_cast<std::size_t>(n)];
+        router.evaluate(ctx, cycle_, io,
+                        tap_hook_ ? &tap_hook_ : nullptr);
+
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int lo = outLinkIndex(n, p);
+            if (lo >= 0 && io.outValid[p]) {
+                Link &link = links_[static_cast<std::size_t>(lo)];
+                link.sendValid = true;
+                link.sendFlit = io.outFlit[p];
+            }
+            const int li = inLinkIndex(n, p);
+            if (li >= 0)
+                links_[static_cast<std::size_t>(li)].creditSend |=
+                    io.creditOut[p];
+        }
+
+        if (router_observer_)
+            router_observer_(router, router.wires());
+    }
+
+    // ---- Links advance ----
+    for (Link &link : links_)
+        link.tick();
+
+    ++cycle_;
+
+    if (cycle_observer_)
+        cycle_observer_(*this);
+}
+
+std::vector<std::uint64_t>
+Network::countInFlightFlitsPerDst(bool include_queued) const
+{
+    std::vector<std::uint64_t> counts(
+        static_cast<std::size_t>(config_.numNodes()), 0);
+    auto tally = [&](NodeId dst, std::uint64_t n) {
+        if (dst >= 0 && dst < config_.numNodes())
+            counts[static_cast<std::size_t>(dst)] += n;
+    };
+
+    for (const NetworkInterface &ni : nis_)
+        for (const auto &[dst, n] : ni.pendingFlitsByDst(include_queued))
+            tally(dst, n);
+
+    for (const Router &router : routers_) {
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < config_.router.numVcs; ++v) {
+                const VcFifo &fifo = router.fifo(p, v);
+                for (unsigned i = 0; i < fifo.size(); ++i)
+                    tally(fifo.peek(i).dst, 1);
+            }
+        }
+    }
+
+    for (const Link &link : links_) {
+        if (link.sendValid)
+            tally(link.sendFlit.dst, 1);
+        if (link.recvValid)
+            tally(link.recvFlit.dst, 1);
+    }
+    return counts;
+}
+
+void
+Network::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Network::drain(Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (quiescent())
+            return true;
+        step();
+    }
+    return quiescent();
+}
+
+bool
+Network::quiescent() const
+{
+    for (const Router &router : routers_)
+        if (!router.idle())
+            return false;
+    for (const NetworkInterface &ni : nis_)
+        if (!ni.idle())
+            return false;
+    for (const Link &link : links_)
+        if (link.sendValid || link.recvValid)
+            return false;
+    return true;
+}
+
+NetworkStats
+Network::stats() const
+{
+    NetworkStats stats;
+    stats.cycles = cycle_;
+    stats.packetsCreated = traffic_.packetsCreated();
+    for (const NetworkInterface &ni : nis_) {
+        stats.packetsInjected += ni.packetsInjected();
+        stats.packetsEjected += ni.packetsEjected();
+        stats.flitsInjected += ni.flitsInjected();
+        stats.flitsEjected += ni.flitsEjected();
+        stats.latencySum += ni.latencySum();
+    }
+    return stats;
+}
+
+std::vector<EjectionRecord>
+Network::collectEjections() const
+{
+    std::vector<EjectionRecord> all;
+    for (const NetworkInterface &ni : nis_) {
+        all.insert(all.end(), ni.ejectionLog().begin(),
+                   ni.ejectionLog().end());
+    }
+    return all;
+}
+
+void
+Network::clearEjectionLogs()
+{
+    for (NetworkInterface &ni : nis_)
+        ni.clearLog();
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The mesh network: routers, links, network interfaces, and the
+ * synchronous cycle loop.
+ *
+ * The network is value-semantic: copying it snapshots the *entire*
+ * machine state (buffers, credits, arbiter pointers, in-flight link
+ * values, NI queues, traffic-generator RNG streams). The fault
+ * campaign warms one network up and then copies it once per injection
+ * run, which is what makes thousands of injections affordable.
+ *
+ * Observers (the NoCAlert engine, the ForEVeR model, fault injectors)
+ * attach to a network instance and are deliberately *not* copied.
+ */
+
+#ifndef NOCALERT_NOC_NETWORK_HPP
+#define NOCALERT_NOC_NETWORK_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/interface.hpp"
+#include "noc/link.hpp"
+#include "noc/router.hpp"
+#include "noc/stats.hpp"
+#include "noc/traffic.hpp"
+
+namespace nocalert::noc {
+
+/** A complete mesh NoC with attached traffic sources. */
+class Network
+{
+  public:
+    /**
+     * Called once per router per cycle after the router finished
+     * evaluating (all wires final). Checker engines live here.
+     */
+    using RouterObserver =
+        std::function<void(const Router &, const RouterWires &)>;
+
+    /** Called once per NI per cycle after it evaluated. */
+    using NiObserver =
+        std::function<void(const NetworkInterface &, const NiWires &)>;
+
+    /** Called once at the end of every step() (all state committed). */
+    using CycleObserver = std::function<void(const Network &)>;
+
+    /** Build a network for @p config driven by @p traffic. */
+    Network(const NetworkConfig &config, const TrafficSpec &traffic);
+
+    /** Deep copy; hooks and observers are NOT carried over. */
+    Network(const Network &other);
+    Network &operator=(const Network &other);
+
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Configuration the network was built with. */
+    const NetworkConfig &config() const { return config_; }
+
+    /** The routing algorithm instance in use. */
+    const RoutingAlgorithm &routing() const { return *routing_; }
+
+    /** Current simulation time (cycles completed). */
+    Cycle cycle() const { return cycle_; }
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Advance @p cycles clock cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until no traffic remains anywhere (delivered or stuck) or
+     * @p max_cycles additional cycles elapse. Returns true iff the
+     * network fully drained. Traffic generation should have stopped
+     * (TrafficSpec::stopCycle) for this to terminate.
+     */
+    bool drain(Cycle max_cycles);
+
+    /** True iff no flit is buffered, queued, scheduled, or in flight. */
+    bool quiescent() const;
+
+    /** Router of node @p node. */
+    Router &router(NodeId node);
+    const Router &router(NodeId node) const;
+
+    /** Network interface of node @p node. */
+    NetworkInterface &ni(NodeId node);
+    const NetworkInterface &ni(NodeId node) const;
+
+    /** Traffic generator (shared by all nodes). */
+    TrafficGenerator &traffic() { return traffic_; }
+    const TrafficGenerator &traffic() const { return traffic_; }
+
+    /** Install the per-router tap hook (fault injection). */
+    void setTapHook(Router::TapHook hook) { tap_hook_ = std::move(hook); }
+
+    /** Install the per-router cycle observer (checker engines). */
+    void setRouterObserver(RouterObserver obs)
+    {
+        router_observer_ = std::move(obs);
+    }
+
+    /** Install the per-NI cycle observer. */
+    void setNiObserver(NiObserver obs) { ni_observer_ = std::move(obs); }
+
+    /** Install the end-of-cycle observer. */
+    void setCycleObserver(CycleObserver obs)
+    {
+        cycle_observer_ = std::move(obs);
+    }
+
+    /**
+     * Count in-flight flits grouped by destination node: flits in
+     * router buffers, on links, and the unsent remainder of packets
+     * already streaming out of an NI. With @p include_queued, packets
+     * still waiting in NI queues are counted too. Used to initialize
+     * end-to-end monitors attached to a warmed-up network.
+     */
+    std::vector<std::uint64_t>
+    countInFlightFlitsPerDst(bool include_queued = true) const;
+
+    /** Aggregate statistics collected so far. */
+    NetworkStats stats() const;
+
+    /** Concatenated ejection logs of all NIs, by node then time. */
+    std::vector<EjectionRecord> collectEjections() const;
+
+    /** Discard all NI ejection logs (e.g. after warmup). */
+    void clearEjectionLogs();
+
+  private:
+    void buildTopology();
+    int inLinkIndex(NodeId node, int port) const;
+    int outLinkIndex(NodeId node, int port) const;
+
+    NetworkConfig config_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+
+    std::vector<Router> routers_;
+    std::vector<NetworkInterface> nis_;
+    std::vector<Link> links_;
+    std::vector<int> in_link_;  // [node * kNumPorts + port]
+    std::vector<int> out_link_; // [node * kNumPorts + port]
+
+    TrafficGenerator traffic_;
+    Cycle cycle_ = 0;
+
+    Router::TapHook tap_hook_;
+    RouterObserver router_observer_;
+    NiObserver ni_observer_;
+    CycleObserver cycle_observer_;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_NETWORK_HPP

@@ -1,0 +1,201 @@
+#include "noc/routing.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+namespace {
+
+/** True iff @p node is a valid id in @p config. */
+bool
+validNode(const NetworkConfig &config, NodeId node)
+{
+    return node >= 0 && node < config.numNodes();
+}
+
+/** Dimension-ordered route: X first iff @p x_first. */
+int
+dorRoute(const NetworkConfig &config, NodeId here, const Flit &flit,
+         bool x_first)
+{
+    if (!validNode(config, flit.dst))
+        return kInvalidPort; // garbage header; RC emits an invalid output
+    if (flit.dst == here)
+        return portIndex(Port::Local);
+
+    Coord hc = config.coordOf(here);
+    Coord dc = config.coordOf(flit.dst);
+    int dx = dc.x - hc.x;
+    int dy = dc.y - hc.y;
+
+    if (x_first) {
+        if (dx > 0)
+            return portIndex(Port::East);
+        if (dx < 0)
+            return portIndex(Port::West);
+        return dy > 0 ? portIndex(Port::North) : portIndex(Port::South);
+    }
+    if (dy > 0)
+        return portIndex(Port::North);
+    if (dy < 0)
+        return portIndex(Port::South);
+    return dx > 0 ? portIndex(Port::East) : portIndex(Port::West);
+}
+
+/** Shared structural rules: U-turns and malformed ports are illegal. */
+bool
+structurallyLegal(int in_port, int out_port)
+{
+    if (out_port < 0 || out_port >= kNumPorts)
+        return false;
+    if (in_port < 0 || in_port >= kNumPorts)
+        return false;
+    // A mesh-port U-turn sends the flit straight back where it came
+    // from; no minimal deadlock-free algorithm permits it.
+    if (isMeshPort(out_port) && out_port == in_port)
+        return false;
+    return true;
+}
+
+/** DOR turn rule: under X-first, Y-axis input must not turn to X. */
+bool
+dorLegalTurn(bool x_first, int in_port, int out_port)
+{
+    if (!structurallyLegal(in_port, out_port))
+        return false;
+    if (out_port == portIndex(Port::Local) ||
+        in_port == portIndex(Port::Local)) {
+        return true;
+    }
+    Axis in_axis = portAxis(in_port);
+    Axis out_axis = portAxis(out_port);
+    if (x_first && in_axis == Axis::Y && out_axis == Axis::X)
+        return false;
+    if (!x_first && in_axis == Axis::X && out_axis == Axis::Y)
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+RoutingAlgorithm::minimalStep(const NetworkConfig &config, NodeId here,
+                              const Flit &flit, int out_port) const
+{
+    if (!validNode(config, flit.dst))
+        return false;
+    if (out_port == portIndex(Port::Local))
+        return flit.dst == here;
+    NodeId next = config.neighborOf(here, out_port);
+    if (next == kInvalidNode)
+        return false;
+    return config.hopDistance(next, flit.dst) <
+           config.hopDistance(here, flit.dst);
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(RoutingAlgo algo)
+{
+    switch (algo) {
+      case RoutingAlgo::XY:
+        return std::make_unique<DimensionOrderRouting>(true);
+      case RoutingAlgo::YX:
+        return std::make_unique<DimensionOrderRouting>(false);
+      case RoutingAlgo::WestFirst:
+        return std::make_unique<WestFirstRouting>();
+      case RoutingAlgo::O1Turn:
+        return std::make_unique<O1TurnRouting>();
+    }
+    NOCALERT_PANIC("unknown routing algorithm");
+}
+
+DimensionOrderRouting::DimensionOrderRouting(bool x_first)
+    : x_first_(x_first)
+{
+}
+
+RoutingAlgo
+DimensionOrderRouting::kind() const
+{
+    return x_first_ ? RoutingAlgo::XY : RoutingAlgo::YX;
+}
+
+int
+DimensionOrderRouting::route(const NetworkConfig &config, NodeId here,
+                             const Flit &flit, int /*in_port*/) const
+{
+    return dorRoute(config, here, flit, x_first_);
+}
+
+bool
+DimensionOrderRouting::legalTurn(const Flit & /*flit*/, int in_port,
+                                 int out_port) const
+{
+    return dorLegalTurn(x_first_, in_port, out_port);
+}
+
+int
+WestFirstRouting::route(const NetworkConfig &config, NodeId here,
+                        const Flit &flit, int /*in_port*/) const
+{
+    if (!validNode(config, flit.dst))
+        return kInvalidPort;
+    if (flit.dst == here)
+        return portIndex(Port::Local);
+
+    Coord hc = config.coordOf(here);
+    Coord dc = config.coordOf(flit.dst);
+    int dx = dc.x - hc.x;
+    int dy = dc.y - hc.y;
+
+    if (dx < 0)
+        return portIndex(Port::West);
+    // Adaptive among the productive non-west directions; deterministic
+    // selection: larger remaining offset first, X breaking ties.
+    if (dx > 0 && std::abs(dx) >= std::abs(dy))
+        return portIndex(Port::East);
+    if (dy > 0)
+        return portIndex(Port::North);
+    if (dy < 0)
+        return portIndex(Port::South);
+    return portIndex(Port::East);
+}
+
+bool
+WestFirstRouting::legalTurn(const Flit & /*flit*/, int in_port,
+                            int out_port) const
+{
+    if (!structurallyLegal(in_port, out_port))
+        return false;
+    // Turning *into* West is forbidden unless the packet was already
+    // travelling west (entered through the East port) or is being
+    // injected locally.
+    if (out_port == portIndex(Port::West)) {
+        return in_port == portIndex(Port::East) ||
+               in_port == portIndex(Port::Local);
+    }
+    return true;
+}
+
+bool
+O1TurnRouting::xFirst(const Flit &flit)
+{
+    return (flit.packet & 1ULL) == 0;
+}
+
+int
+O1TurnRouting::route(const NetworkConfig &config, NodeId here,
+                     const Flit &flit, int /*in_port*/) const
+{
+    return dorRoute(config, here, flit, xFirst(flit));
+}
+
+bool
+O1TurnRouting::legalTurn(const Flit &flit, int in_port, int out_port) const
+{
+    return dorLegalTurn(xFirst(flit), in_port, out_port);
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Routing algorithms and the legality predicates the checkers use.
+ *
+ * Each algorithm provides (a) the routing function proper (consumed by
+ * the RC pipeline stage) and (b) the functional rules it is governed
+ * by — turn legality and minimality — from which the RC invariances
+ * (1-3 in Table 1) are derived. The checkers deliberately do NOT
+ * recompute the route (that would be modular redundancy); they only
+ * test the cheap necessary conditions every legal output satisfies.
+ */
+
+#ifndef NOCALERT_NOC_ROUTING_HPP
+#define NOCALERT_NOC_ROUTING_HPP
+
+#include <memory>
+
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+#include "noc/types.hpp"
+
+namespace nocalert::noc {
+
+/**
+ * Abstract routing algorithm.
+ *
+ * All provided algorithms are minimal and deterministic (adaptivity,
+ * where present, uses a deterministic selection function so that
+ * golden-reference runs are exactly reproducible).
+ */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /** Algorithm identifier. */
+    virtual RoutingAlgo kind() const = 0;
+
+    /**
+     * Compute the output port for @p flit (a header) located at router
+     * @p here having entered through @p in_port. Returns a port index;
+     * Local when @p here is the destination.
+     */
+    virtual int route(const NetworkConfig &config, NodeId here,
+                      const Flit &flit, int in_port) const = 0;
+
+    /**
+     * Turn legality rule (invariance 1). True iff a packet of @p flit
+     * entering through @p in_port may legally leave through
+     * @p out_port under this algorithm's deadlock-avoidance rules.
+     * U-turns (out_port == in_port on a mesh port) are illegal for
+     * every algorithm.
+     */
+    virtual bool legalTurn(const Flit &flit, int in_port,
+                           int out_port) const = 0;
+
+    /**
+     * True iff the algorithm guarantees minimal paths, enabling the
+     * non-minimal-routing invariance (3).
+     */
+    virtual bool minimalRequired() const { return true; }
+
+    /**
+     * Minimal-step rule (invariance 3): true iff sending the flit
+     * through @p out_port from @p here strictly decreases the hop
+     * distance to its destination (or ejects it at the destination).
+     * Only meaningful when minimalRequired().
+     */
+    bool minimalStep(const NetworkConfig &config, NodeId here,
+                     const Flit &flit, int out_port) const;
+};
+
+/** Instantiate a routing algorithm by id. */
+std::unique_ptr<RoutingAlgorithm> makeRouting(RoutingAlgo algo);
+
+/**
+ * Dimension-ordered routing: X fully first (XY) or Y fully first (YX).
+ * XY is the paper's baseline. Forbidden turns: XY forbids any
+ * Y-dimension input turning to an X-dimension output; YX the converse.
+ */
+class DimensionOrderRouting : public RoutingAlgorithm
+{
+  public:
+    /** @param x_first true for XY, false for YX. */
+    explicit DimensionOrderRouting(bool x_first);
+
+    RoutingAlgo kind() const override;
+    int route(const NetworkConfig &config, NodeId here, const Flit &flit,
+              int in_port) const override;
+    bool legalTurn(const Flit &flit, int in_port,
+                   int out_port) const override;
+
+  private:
+    bool x_first_;
+};
+
+/**
+ * West-first turn-model routing (Glass & Ni). All westward hops are
+ * taken first; afterwards the packet may move adaptively among the
+ * remaining productive directions (selection here: largest remaining
+ * offset, deterministic). Forbidden turns: any turn into West.
+ */
+class WestFirstRouting : public RoutingAlgorithm
+{
+  public:
+    RoutingAlgo kind() const override { return RoutingAlgo::WestFirst; }
+    int route(const NetworkConfig &config, NodeId here, const Flit &flit,
+              int in_port) const override;
+    bool legalTurn(const Flit &flit, int in_port,
+                   int out_port) const override;
+};
+
+/**
+ * O1Turn: each packet independently uses XY or YX, chosen by packet-id
+ * parity (deterministic stand-in for the random coin of the original
+ * proposal). Turn legality depends on the packet's chosen order, which
+ * invariance 1 recovers from the flit's packet id.
+ */
+class O1TurnRouting : public RoutingAlgorithm
+{
+  public:
+    RoutingAlgo kind() const override { return RoutingAlgo::O1Turn; }
+    int route(const NetworkConfig &config, NodeId here, const Flit &flit,
+              int in_port) const override;
+    bool legalTurn(const Flit &flit, int in_port,
+                   int out_port) const override;
+
+    /** True iff @p flit routes X-first. */
+    static bool xFirst(const Flit &flit);
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_ROUTING_HPP

@@ -1,0 +1,37 @@
+#include "noc/stats.hpp"
+
+#include <sstream>
+
+namespace nocalert::noc {
+
+double
+NetworkStats::avgPacketLatency() const
+{
+    if (packetsEjected == 0)
+        return 0.0;
+    return static_cast<double>(latencySum) /
+           static_cast<double>(packetsEjected);
+}
+
+double
+NetworkStats::throughput(int num_nodes) const
+{
+    if (cycles <= 0 || num_nodes <= 0)
+        return 0.0;
+    return static_cast<double>(flitsEjected) /
+           (static_cast<double>(cycles) * num_nodes);
+}
+
+std::string
+NetworkStats::summary() const
+{
+    std::ostringstream os;
+    os << "cycles=" << cycles
+       << " pkts(created/injected/ejected)=" << packetsCreated << "/"
+       << packetsInjected << "/" << packetsEjected
+       << " flits(in/out)=" << flitsInjected << "/" << flitsEjected
+       << " avgLat=" << avgPacketLatency();
+    return os.str();
+}
+
+} // namespace nocalert::noc

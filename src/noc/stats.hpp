@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Aggregated network performance statistics.
+ */
+
+#ifndef NOCALERT_NOC_STATS_HPP
+#define NOCALERT_NOC_STATS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "noc/types.hpp"
+
+namespace nocalert::noc {
+
+/** Whole-network counters collected from the network interfaces. */
+struct NetworkStats
+{
+    std::uint64_t packetsCreated = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t latencySum = 0;
+    Cycle cycles = 0;
+
+    /** Mean packet latency in cycles (0 when nothing was delivered). */
+    double avgPacketLatency() const;
+
+    /** Delivered flits per node per cycle. */
+    double throughput(int num_nodes) const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_STATS_HPP

@@ -1,0 +1,150 @@
+#include "noc/trace.hpp"
+
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace nocalert::noc {
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::BufferWrite: return "BW";
+      case TraceKind::RcDone: return "RC";
+      case TraceKind::VaGrant: return "VA";
+      case TraceKind::SaGrant: return "SA";
+      case TraceKind::FlitOut: return "OUT";
+      case TraceKind::Eject: return "EJ";
+      case TraceKind::Inject: return "IN";
+      case TraceKind::Credit: return "CR";
+    }
+    return "?";
+}
+
+std::string
+TraceEvent::toString() const
+{
+    std::ostringstream os;
+    os << "c=" << cycle << " r" << router << " "
+       << traceKindName(kind);
+    if (port >= 0)
+        os << " p=" << portName(port);
+    if (vc >= 0)
+        os << " vc=" << vc;
+    if (kind != TraceKind::Credit && flit.packet != kInvalidPacket) {
+        os << " " << flitTypeName(flit.type) << " pkt=" << flit.packet
+           << "." << flit.seq << " ->" << flit.dst;
+    }
+    return os.str();
+}
+
+void
+TraceRecorder::record(TraceEvent event)
+{
+    if (filter_ && !filter_(event))
+        return;
+    if (limit_ != 0 && events_.size() >= limit_)
+        events_.erase(events_.begin());
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::observeRouter(const Router &router,
+                             const RouterWires &wires)
+{
+    const unsigned num_vcs = router.params().numVcs;
+    const Cycle cycle = wires.cycle;
+    const NodeId node = wires.router;
+
+    for (int p = 0; p < kNumPorts; ++p) {
+        const InputPortWires &ipw = wires.in[p];
+
+        if (ipw.inValid) {
+            const int vc = ipw.writeEnable
+                ? lowestSetBit(ipw.writeEnable) : -1;
+            record({TraceKind::BufferWrite, cycle, node, p, vc,
+                    ipw.inFlit});
+        }
+        if (ipw.rcDone != 0) {
+            TraceEvent event{TraceKind::RcDone, cycle, node, p,
+                             ipw.rcVc, ipw.rcFlit};
+            record(std::move(event));
+        }
+        // Credits returned upstream.
+        std::uint32_t credits =
+            ipw.creditSend & static_cast<std::uint32_t>(lowMask(num_vcs));
+        while (credits != 0) {
+            const int vc = lowestSetBit(credits);
+            credits = static_cast<std::uint32_t>(
+                clearBit(credits, static_cast<unsigned>(vc)));
+            record({TraceKind::Credit, cycle, node, p, vc, Flit{}});
+        }
+    }
+
+    for (int o = 0; o < kNumPorts; ++o) {
+        const OutputPortWires &opw = wires.out[o];
+        for (unsigned w = 0; w < num_vcs; ++w) {
+            std::uint64_t grant = opw.va2Grant[w];
+            while (grant != 0) {
+                const int client = lowestSetBit(grant);
+                grant = clearBit(grant, static_cast<unsigned>(client));
+                record({TraceKind::VaGrant, cycle, node, o,
+                        static_cast<int>(w), Flit{}});
+            }
+        }
+        if (opw.sa2Grant != 0)
+            record({TraceKind::SaGrant, cycle, node, o,
+                    opw.outValid ? opw.outFlit.vc : -1, Flit{}});
+        if (opw.outValid) {
+            const TraceKind kind = o == portIndex(Port::Local)
+                ? TraceKind::Eject : TraceKind::FlitOut;
+            record({kind, cycle, node, o, opw.outFlit.vc, opw.outFlit});
+        }
+    }
+}
+
+void
+TraceRecorder::observeNi(const NetworkInterface &ni, const NiWires &wires)
+{
+    if (wires.injectValid) {
+        record({TraceKind::Inject, wires.cycle, ni.node(),
+                portIndex(Port::Local), wires.injectFlit.vc,
+                wires.injectFlit});
+    }
+}
+
+std::string
+TraceRecorder::dump() const
+{
+    std::ostringstream os;
+    for (const TraceEvent &event : events_)
+        os << event.toString() << "\n";
+    return os.str();
+}
+
+TraceFilter
+TraceRecorder::routerFilter(NodeId node)
+{
+    return [node](const TraceEvent &event) {
+        return event.router == node;
+    };
+}
+
+TraceFilter
+TraceRecorder::packetFilter(PacketId packet)
+{
+    return [packet](const TraceEvent &event) {
+        return event.flit.packet == packet;
+    };
+}
+
+TraceFilter
+TraceRecorder::windowFilter(Cycle first, Cycle last)
+{
+    return [first, last](const TraceEvent &event) {
+        return event.cycle >= first && event.cycle <= last;
+    };
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Human-readable event tracing for debugging router behaviour.
+ *
+ * A TraceRecorder attaches to a network as (one of) its observers and
+ * converts the per-cycle wire records into a compact textual event
+ * stream: flit movements, pipeline-stage completions, allocations,
+ * and credit returns. Filters keep the output focused on a router,
+ * a packet, or a cycle window.
+ *
+ * This is developer tooling: the fault campaign never uses it, but
+ * diagnosing *why* a particular injected fault cascaded the way it
+ * did is much faster with a trace of the cycles around the injection.
+ */
+
+#ifndef NOCALERT_NOC_TRACE_HPP
+#define NOCALERT_NOC_TRACE_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "noc/interface.hpp"
+#include "noc/router.hpp"
+#include "noc/signals.hpp"
+
+namespace nocalert::noc {
+
+/** Categories of trace events. */
+enum class TraceKind : std::uint8_t {
+    BufferWrite, ///< Flit written into an input VC.
+    RcDone,      ///< Routing computed for a VC.
+    VaGrant,     ///< Output VC allocated.
+    SaGrant,     ///< Switch traversal granted.
+    FlitOut,     ///< Flit left through an output port.
+    Eject,       ///< Flit delivered to the local NI.
+    Inject,      ///< Flit entered from the local NI.
+    Credit,      ///< Credit returned upstream.
+};
+
+/** Name of a trace kind. */
+const char *traceKindName(TraceKind kind);
+
+/** One trace event. */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::BufferWrite;
+    Cycle cycle = 0;
+    NodeId router = kInvalidNode;
+    int port = -1;
+    int vc = -1;
+    Flit flit; ///< Valid for flit-carrying events.
+
+    /** Single-line rendering, e.g. "c=120 r5 SA p=E vc=2 pkt=7.3". */
+    std::string toString() const;
+};
+
+/** Event filter; return true to keep the event. */
+using TraceFilter = std::function<bool(const TraceEvent &)>;
+
+/** Collects (and optionally filters) events from a network. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() = default;
+
+    /** Keep only events accepted by @p filter. */
+    void setFilter(TraceFilter filter) { filter_ = std::move(filter); }
+
+    /** Bound memory use: keep at most @p limit events (0 = unlimited,
+     *  older events are dropped first when bounded). */
+    void setLimit(std::size_t limit) { limit_ = limit; }
+
+    /** Feed one router cycle (compose into the network observer). */
+    void observeRouter(const Router &router, const RouterWires &wires);
+
+    /** Feed one NI cycle. */
+    void observeNi(const NetworkInterface &ni, const NiWires &wires);
+
+    /** Recorded events in order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Drop all events. */
+    void clear() { events_.clear(); }
+
+    /** Render all events, one per line. */
+    std::string dump() const;
+
+    // ---- Convenience filters ----
+
+    /** Keep events of one router. */
+    static TraceFilter routerFilter(NodeId node);
+
+    /** Keep events of one packet. */
+    static TraceFilter packetFilter(PacketId packet);
+
+    /** Keep events inside [first, last]. */
+    static TraceFilter windowFilter(Cycle first, Cycle last);
+
+  private:
+    void record(TraceEvent event);
+
+    TraceFilter filter_;
+    std::size_t limit_ = 0;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_TRACE_HPP

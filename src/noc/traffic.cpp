@@ -1,0 +1,166 @@
+#include "noc/traffic.hpp"
+
+#include "util/bits.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom: return "uniform";
+      case TrafficPattern::Transpose: return "transpose";
+      case TrafficPattern::BitComplement: return "bit-complement";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::Tornado: return "tornado";
+      case TrafficPattern::Shuffle: return "shuffle";
+      case TrafficPattern::BitReverse: return "bit-reverse";
+      case TrafficPattern::Neighbor: return "neighbor";
+    }
+    return "?";
+}
+
+TrafficGenerator::TrafficGenerator(const NetworkConfig &config,
+                                   const TrafficSpec &spec)
+    : spec_(spec)
+{
+    if (spec_.injectionRate < 0 || spec_.injectionRate > 1)
+        NOCALERT_FATAL("injection rate must be in [0,1], got ",
+                       spec_.injectionRate);
+    if (!spec_.classWeights.empty() &&
+        spec_.classWeights.size() != config.router.classes.size()) {
+        NOCALERT_FATAL("classWeights size (", spec_.classWeights.size(),
+                       ") != number of classes (",
+                       config.router.classes.size(), ")");
+    }
+
+    const int nodes = config.numNodes();
+    rngs_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n)
+        rngs_.emplace_back(spec_.seed,
+                           0x5851f42d4c957f2dULL + 2 *
+                               static_cast<std::uint64_t>(n));
+    counts_.assign(nodes, 0);
+}
+
+NodeId
+TrafficGenerator::patternDestination(const NetworkConfig &config,
+                                     NodeId node, Pcg32 &rng) const
+{
+    const Coord c = config.coordOf(node);
+    switch (spec_.pattern) {
+      case TrafficPattern::UniformRandom: {
+        // Uniform over the other numNodes-1 nodes.
+        auto pick = rng.nextBounded(
+            static_cast<std::uint32_t>(config.numNodes() - 1));
+        NodeId dst = static_cast<NodeId>(pick);
+        if (dst >= node)
+            ++dst;
+        return dst;
+      }
+      case TrafficPattern::Transpose:
+        return config.nodeAt({c.y % config.width, c.x % config.height});
+      case TrafficPattern::BitComplement:
+        return config.nodeAt({config.width - 1 - c.x,
+                              config.height - 1 - c.y});
+      case TrafficPattern::Hotspot: {
+        if (rng.nextBool(spec_.hotspotFraction) &&
+            spec_.hotspot != node) {
+            return spec_.hotspot;
+        }
+        auto pick = rng.nextBounded(
+            static_cast<std::uint32_t>(config.numNodes() - 1));
+        NodeId dst = static_cast<NodeId>(pick);
+        if (dst >= node)
+            ++dst;
+        return dst;
+      }
+      case TrafficPattern::Tornado:
+        return config.nodeAt({(c.x + config.width / 2) % config.width,
+                              c.y});
+      case TrafficPattern::Shuffle: {
+        // Classic perfect shuffle on the node id: left-rotate by one
+        // bit within bitsFor(numNodes) bits. Exact for power-of-two
+        // node counts; off-mesh rotations wrap via modulo.
+        const unsigned bits = bitsFor(
+            static_cast<std::uint64_t>(config.numNodes()));
+        const auto id = static_cast<std::uint64_t>(node);
+        const std::uint64_t rotated =
+            ((id << 1) | (id >> (bits - 1))) & lowMask(bits);
+        return static_cast<NodeId>(
+            rotated % static_cast<std::uint64_t>(config.numNodes()));
+      }
+      case TrafficPattern::BitReverse: {
+        const unsigned bits = bitsFor(
+            static_cast<std::uint64_t>(config.numNodes()));
+        std::uint64_t reversed = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            if (getBit(static_cast<std::uint64_t>(node), b))
+                reversed = setBit(reversed, bits - 1 - b);
+        return static_cast<NodeId>(
+            reversed % static_cast<std::uint64_t>(config.numNodes()));
+      }
+      case TrafficPattern::Neighbor:
+        return config.nodeAt({(c.x + 1) % config.width, c.y});
+    }
+    NOCALERT_PANIC("unknown traffic pattern");
+}
+
+std::optional<Packet>
+TrafficGenerator::generate(const NetworkConfig &config, NodeId node,
+                           Cycle cycle)
+{
+    Pcg32 &rng = rngs_[static_cast<std::size_t>(node)];
+
+    // Fixed draw schedule per call: one Bernoulli trial, and packet
+    // parameters only when it succeeds (the success path is identical
+    // across golden/faulty runs because it depends only on the RNG).
+    const bool fire = rng.nextBool(spec_.injectionRate);
+    if (!fire)
+        return std::nullopt;
+    if (spec_.stopCycle >= 0 && cycle >= spec_.stopCycle)
+        return std::nullopt;
+
+    const NodeId dst = patternDestination(config, node, rng);
+    if (dst == node)
+        return std::nullopt; // self-directed permutation slot: idle node
+
+    // Message class selection by weight.
+    const std::size_t num_classes = config.router.classes.size();
+    std::uint8_t cls = 0;
+    const double roll = rng.nextDouble();
+    if (spec_.classWeights.empty()) {
+        cls = static_cast<std::uint8_t>(
+            static_cast<std::size_t>(roll * static_cast<double>(
+                num_classes)) % num_classes);
+    } else {
+        double total = 0;
+        for (double w : spec_.classWeights)
+            total += w;
+        double acc = 0;
+        for (std::size_t i = 0; i < num_classes; ++i) {
+            acc += spec_.classWeights[i] / total;
+            if (roll < acc) {
+                cls = static_cast<std::uint8_t>(i);
+                break;
+            }
+            if (i + 1 == num_classes)
+                cls = static_cast<std::uint8_t>(i);
+        }
+    }
+
+    Packet pkt;
+    pkt.id = (static_cast<std::uint64_t>(node) << 40) |
+             counts_[static_cast<std::size_t>(node)];
+    ++counts_[static_cast<std::size_t>(node)];
+    ++packets_created_;
+    pkt.src = node;
+    pkt.dst = dst;
+    pkt.msgClass = cls;
+    pkt.length = config.router.classLength(cls);
+    pkt.created = cycle;
+    return pkt;
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synthetic traffic generation (paper Section 5.1: uniform random at
+ * various injection rates; classic permutation patterns are provided
+ * for broader stress testing).
+ *
+ * Generation is a pure function of (node, cycle, per-node RNG stream):
+ * it never observes network state, so a golden run and a fault-
+ * injected run of the same seed see byte-identical packet sequences —
+ * the property the golden-reference comparison rests on.
+ */
+
+#ifndef NOCALERT_NOC_TRAFFIC_HPP
+#define NOCALERT_NOC_TRAFFIC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/flit.hpp"
+#include "util/rng.hpp"
+
+namespace nocalert::noc {
+
+/** Spatial traffic patterns. */
+enum class TrafficPattern {
+    UniformRandom, ///< Destination uniform over all other nodes.
+    Transpose,     ///< (x,y) -> (y,x).
+    BitComplement, ///< (x,y) -> (W-1-x, H-1-y).
+    Hotspot,       ///< Uniform, with extra probability mass on one node.
+    Tornado,       ///< (x,y) -> ((x + W/2) mod W, y).
+    Shuffle,       ///< Node-id left-rotate by one bit (power-of-two meshes).
+    BitReverse,    ///< Node-id bit reversal (power-of-two meshes).
+    Neighbor,      ///< (x,y) -> ((x+1) mod W, y): nearest-neighbor.
+};
+
+/** Name of a traffic pattern. */
+const char *trafficPatternName(TrafficPattern pattern);
+
+/** Traffic generator parameters. */
+struct TrafficSpec
+{
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+
+    /** Packet injection probability per node per cycle. */
+    double injectionRate = 0.05;
+
+    /** RNG seed; per-node streams are derived from it. */
+    std::uint64_t seed = 1;
+
+    /** Cycle at which generation stops (-1 = never). */
+    Cycle stopCycle = -1;
+
+    /**
+     * Relative weights of the message classes; empty = equal weights.
+     * Must match the number of classes configured on the routers.
+     */
+    std::vector<double> classWeights;
+
+    /** Hotspot node (Hotspot pattern only). */
+    NodeId hotspot = 0;
+
+    /** Probability a packet targets the hotspot (Hotspot only). */
+    double hotspotFraction = 0.2;
+};
+
+/**
+ * Deterministic per-node traffic source.
+ *
+ * Value-semantic: copying a Network copies the generator state, so a
+ * snapshot resumed later produces exactly the traffic the original
+ * would have.
+ */
+class TrafficGenerator
+{
+  public:
+    /** Construct for @p config with parameters @p spec. */
+    TrafficGenerator(const NetworkConfig &config, const TrafficSpec &spec);
+
+    /** The parameters this generator runs with. */
+    const TrafficSpec &spec() const { return spec_; }
+
+    /**
+     * Decide whether node @p node creates a packet at @p cycle, and
+     * build it if so. Draws a fixed number of random values per call
+     * so generator state stays aligned across runs.
+     */
+    std::optional<Packet> generate(const NetworkConfig &config,
+                                   NodeId node, Cycle cycle);
+
+    /** Packets created so far (all nodes). */
+    std::uint64_t packetsCreated() const { return packets_created_; }
+
+  private:
+    NodeId patternDestination(const NetworkConfig &config, NodeId node,
+                              Pcg32 &rng) const;
+
+    TrafficSpec spec_;
+    std::vector<Pcg32> rngs_;            // per node
+    std::vector<std::uint64_t> counts_;  // per node packet counter
+    std::uint64_t packets_created_ = 0;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_TRAFFIC_HPP

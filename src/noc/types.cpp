@@ -1,0 +1,54 @@
+#include "noc/types.hpp"
+
+#include "util/log.hpp"
+
+namespace nocalert::noc {
+
+const char *
+portName(int port)
+{
+    switch (port) {
+      case 0: return "N";
+      case 1: return "E";
+      case 2: return "S";
+      case 3: return "W";
+      case 4: return "L";
+      default: return "?";
+    }
+}
+
+int
+oppositePort(int port)
+{
+    switch (static_cast<Port>(port)) {
+      case Port::North: return portIndex(Port::South);
+      case Port::South: return portIndex(Port::North);
+      case Port::East: return portIndex(Port::West);
+      case Port::West: return portIndex(Port::East);
+      default:
+        NOCALERT_PANIC("no opposite for port ", port);
+    }
+}
+
+std::string
+toString(const Coord &c)
+{
+    return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+}
+
+Axis
+portAxis(int port)
+{
+    switch (static_cast<Port>(port)) {
+      case Port::East:
+      case Port::West:
+        return Axis::X;
+      case Port::North:
+      case Port::South:
+        return Axis::Y;
+      default:
+        return Axis::None;
+    }
+}
+
+} // namespace nocalert::noc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Elementary vocabulary of the on-chip network model: ports,
+ * directions, node coordinates, cycle counts.
+ *
+ * The baseline router (paper Section 3.1) has five ports: the four
+ * cardinal mesh directions plus the local port connecting the
+ * processing element's network interface.
+ */
+
+#ifndef NOCALERT_NOC_TYPES_HPP
+#define NOCALERT_NOC_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nocalert::noc {
+
+/** Simulation time in clock cycles. */
+using Cycle = std::int64_t;
+
+/** Flat node / router identifier (y * width + x). */
+using NodeId = int;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Router port indices. Ports double as direction identifiers. */
+enum class Port : int {
+    North = 0,
+    East = 1,
+    South = 2,
+    West = 3,
+    Local = 4,
+};
+
+/** Number of ports on the baseline mesh router. */
+inline constexpr int kNumPorts = 5;
+
+/** Sentinel port value meaning "not assigned / invalid". */
+inline constexpr int kInvalidPort = -1;
+
+/** Convert a port enum to its integer index. */
+constexpr int
+portIndex(Port p)
+{
+    return static_cast<int>(p);
+}
+
+/** Convert an integer index to a Port. @pre 0 <= index < kNumPorts. */
+constexpr Port
+portFromIndex(int index)
+{
+    return static_cast<Port>(index);
+}
+
+/** Human-readable port name ("N", "E", "S", "W", "L", or "?"). */
+const char *portName(int port);
+
+/** True iff the port is one of the four mesh directions. */
+constexpr bool
+isMeshPort(int port)
+{
+    return port >= 0 && port < 4;
+}
+
+/** The mesh direction opposite to @p port (N<->S, E<->W). */
+int oppositePort(int port);
+
+/** 2-D mesh coordinate. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &) const = default;
+};
+
+/** Format a coordinate as "(x,y)". */
+std::string toString(const Coord &c);
+
+/**
+ * Classification of the mesh dimension a port belongs to, used by
+ * routing-turn legality checks (X = East/West, Y = North/South).
+ */
+enum class Axis { X, Y, None };
+
+/** Axis of a port (Local and invalid ports map to Axis::None). */
+Axis portAxis(int port);
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_TYPES_HPP

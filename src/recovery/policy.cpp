@@ -1,0 +1,112 @@
+#include "recovery/policy.hpp"
+
+namespace nocalert::recovery {
+
+const char *
+responseLevelName(ResponseLevel level)
+{
+    switch (level) {
+      case ResponseLevel::None: return "none";
+      case ResponseLevel::Cautious: return "cautious";
+      case ResponseLevel::Triggered: return "triggered";
+    }
+    return "?";
+}
+
+RecoveryController::RecoveryController(RecoveryConfig config)
+    : config_(config)
+{
+}
+
+void
+RecoveryController::escalate(ResponseLevel level,
+                             const core::Assertion &assertion)
+{
+    if (level <= level_)
+        return;
+    level_ = level;
+    events_.push_back({assertion.cycle, level, assertion.id,
+                       assertion.router, assertion.port, assertion.vc});
+    if (level == ResponseLevel::Triggered && callback_)
+        callback_(events_.back());
+}
+
+void
+RecoveryController::onAlert(const core::Assertion &assertion)
+{
+    last_cycle_ = assertion.cycle;
+    if (level_ == ResponseLevel::Triggered)
+        return;
+
+    const core::InvariantInfo &info = core::invariantInfo(assertion.id);
+    switch (info.risk) {
+      case core::RiskLevel::Low:
+        if (config_.deferLowRisk) {
+            // Observation 2: benign when alone; arm the cautious state
+            // and wait for corroboration.
+            cautious_since_ = assertion.cycle;
+            escalate(ResponseLevel::Cautious, assertion);
+            return;
+        }
+        break;
+
+      case core::RiskLevel::PermanentSensitive: {
+        // Observation 3: a transient "grant to nobody" is a pipeline
+        // NOP; only persistence from the same router means a stuck
+        // arbiter.
+        if (assertion.router == persistent_router_ &&
+            assertion.cycle - persistent_last_ <=
+                config_.cautiousTimeout) {
+            ++persistent_count_;
+        } else {
+            persistent_router_ = assertion.router;
+            persistent_count_ = 1;
+        }
+        persistent_last_ = assertion.cycle;
+        if (persistent_count_ >= config_.persistenceThreshold) {
+            escalate(ResponseLevel::Triggered, assertion);
+        } else {
+            cautious_since_ = assertion.cycle;
+            escalate(ResponseLevel::Cautious, assertion);
+        }
+        return;
+      }
+
+      case core::RiskLevel::Standard:
+        break;
+    }
+
+    escalate(ResponseLevel::Triggered, assertion);
+}
+
+void
+RecoveryController::onCycle(noc::Cycle cycle)
+{
+    last_cycle_ = cycle;
+    if (level_ == ResponseLevel::Cautious &&
+        cycle - cautious_since_ > config_.cautiousTimeout) {
+        // The low-risk assertion was never corroborated: stand down
+        // (the paper's benign RC-misdirection case).
+        level_ = ResponseLevel::None;
+        persistent_count_ = 0;
+    }
+}
+
+std::optional<RecoveryEvent>
+RecoveryController::trigger() const
+{
+    for (const RecoveryEvent &event : events_)
+        if (event.level == ResponseLevel::Triggered)
+            return event;
+    return std::nullopt;
+}
+
+void
+RecoveryController::reset()
+{
+    level_ = ResponseLevel::None;
+    persistent_count_ = 0;
+    persistent_router_ = noc::kInvalidNode;
+}
+
+} // namespace nocalert::recovery

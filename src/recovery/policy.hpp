@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Recovery reaction policy driven by NoCAlert assertions.
+ *
+ * The paper positions NoCAlert as the detection half of a
+ * detection+recovery pair (Section 1, contribution 2) and derives the
+ * reaction policy from its observations:
+ *
+ *  - Observation 2: invariances 1 and 3 (RC misdirections) asserted
+ *    *alone* never led to network-level incorrectness — a recovery
+ *    mechanism should enter a "cautious" state and defer until
+ *    corroborated.
+ *  - Observation 3: invariance 5 (grant to nobody) is a NOP-like
+ *    hiccup when transient but catastrophic when permanent — react
+ *    only to persistence.
+ *  - Everything else warrants an immediate trigger, with the
+ *    assertion's (router, port, vc) giving module-level localization.
+ *
+ * The controller is a policy engine only: what "recovery" does
+ * (reconfiguration, rerouting, draining) is the user's callback.
+ */
+
+#ifndef NOCALERT_RECOVERY_POLICY_HPP
+#define NOCALERT_RECOVERY_POLICY_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/alert.hpp"
+
+namespace nocalert::recovery {
+
+/** Escalation level of the recovery controller. */
+enum class ResponseLevel : std::uint8_t {
+    None,     ///< No suspicious activity.
+    Cautious, ///< Low-risk/unconfirmed assertions seen; deferring.
+    Triggered,///< Recovery invoked.
+};
+
+/** Name of a response level. */
+const char *responseLevelName(ResponseLevel level);
+
+/** Policy parameters. */
+struct RecoveryConfig
+{
+    /** Defer on low-risk checkers (invariants 1 and 3). */
+    bool deferLowRisk = true;
+
+    /**
+     * Assertions of a permanent-sensitive checker (invariant 5) from
+     * the same router within the window needed before triggering.
+     */
+    unsigned persistenceThreshold = 3;
+
+    /** Cycles a cautious state survives without corroboration. */
+    noc::Cycle cautiousTimeout = 64;
+};
+
+/** One recorded policy decision. */
+struct RecoveryEvent
+{
+    noc::Cycle cycle = 0;
+    ResponseLevel level = ResponseLevel::None;
+    core::InvariantId trigger = core::InvariantId::IllegalTurn;
+    noc::NodeId router = noc::kInvalidNode;
+    int port = -1;
+    int vc = -1;
+};
+
+/** Assertion-driven recovery policy engine. */
+class RecoveryController
+{
+  public:
+    /** Invoked exactly once when the policy escalates to Triggered. */
+    using TriggerCallback = std::function<void(const RecoveryEvent &)>;
+
+    explicit RecoveryController(RecoveryConfig config = {});
+
+    /** Feed an assertion (wire to NoCAlertEngine::onAlert). */
+    void onAlert(const core::Assertion &assertion);
+
+    /** Advance time (cautious-state decay); call once per cycle, or
+     *  at least whenever the current cycle is known. */
+    void onCycle(noc::Cycle cycle);
+
+    /** Current escalation level. */
+    ResponseLevel level() const { return level_; }
+
+    /** True once recovery has been invoked. */
+    bool triggered() const { return level_ == ResponseLevel::Triggered; }
+
+    /**
+     * Module-level fault localization: the locus of the triggering
+     * assertion (router, port, vc), once triggered.
+     */
+    std::optional<RecoveryEvent> trigger() const;
+
+    /** Every escalation decision taken, in order. */
+    const std::vector<RecoveryEvent> &events() const { return events_; }
+
+    /** Register the recovery action. */
+    void onTrigger(TriggerCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
+
+    /** Reset to None (e.g. after the recovery action completed). */
+    void reset();
+
+  private:
+    void escalate(ResponseLevel level, const core::Assertion &assertion);
+
+    RecoveryConfig config_;
+    ResponseLevel level_ = ResponseLevel::None;
+    TriggerCallback callback_;
+    std::vector<RecoveryEvent> events_;
+
+    noc::Cycle cautious_since_ = 0;
+    noc::Cycle last_cycle_ = 0;
+
+    // Persistence tracking for the permanent-sensitive checker.
+    noc::NodeId persistent_router_ = noc::kInvalidNode;
+    unsigned persistent_count_ = 0;
+    noc::Cycle persistent_last_ = 0;
+};
+
+} // namespace nocalert::recovery
+
+#endif // NOCALERT_RECOVERY_POLICY_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ *
+ * Control signals in the router model are stored as unsigned integers
+ * (request vectors, grant vectors, one-hot selects). These helpers keep
+ * the intent of each operation readable at the call site.
+ */
+
+#ifndef NOCALERT_UTIL_BITS_HPP
+#define NOCALERT_UTIL_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace nocalert {
+
+/** Return the number of set bits in @p value. */
+inline int
+popcount(std::uint64_t value)
+{
+    return std::popcount(value);
+}
+
+/** True iff @p value has exactly one bit set. */
+inline bool
+isOneHot(std::uint64_t value)
+{
+    return std::has_single_bit(value);
+}
+
+/** True iff @p value has at most one bit set (zero or one-hot). */
+inline bool
+isAtMostOneHot(std::uint64_t value)
+{
+    return value == 0 || std::has_single_bit(value);
+}
+
+/** Return bit @p pos of @p value (0 or 1). */
+inline bool
+getBit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Return @p value with bit @p pos set. */
+inline std::uint64_t
+setBit(std::uint64_t value, unsigned pos)
+{
+    return value | (1ULL << pos);
+}
+
+/** Return @p value with bit @p pos cleared. */
+inline std::uint64_t
+clearBit(std::uint64_t value, unsigned pos)
+{
+    return value & ~(1ULL << pos);
+}
+
+/** Return @p value with bit @p pos flipped. */
+inline std::uint64_t
+flipBit(std::uint64_t value, unsigned pos)
+{
+    return value ^ (1ULL << pos);
+}
+
+/** Index of the lowest set bit; undefined for zero input. */
+inline int
+lowestSetBit(std::uint64_t value)
+{
+    return std::countr_zero(value);
+}
+
+/** Mask with the low @p n bits set. */
+inline std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** Number of bits needed to represent values in [0, n-1]; >= 1. */
+inline unsigned
+bitsFor(std::uint64_t n)
+{
+    if (n <= 2)
+        return 1;
+    return static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_BITS_HPP

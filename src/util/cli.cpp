@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace nocalert {
+
+CommandLine::CommandLine(int argc, const char *const *argv,
+                         std::vector<std::string> known)
+{
+    auto is_known = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            NOCALERT_FATAL("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+
+        std::string name;
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // "--flag value" form: consume the next token if it does not
+            // look like another flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+
+        if (!is_known(name)) {
+            std::string usage = "known flags:";
+            for (const auto &k : known)
+                usage += " --" + k;
+            NOCALERT_FATAL("unknown flag --", name, "; ", usage);
+        }
+        values_[name] = value;
+    }
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name,
+                       const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CommandLine::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    try {
+        return std::stoll(it->second);
+    } catch (...) {
+        NOCALERT_FATAL("flag --", name, " expects an integer, got '",
+                       it->second, "'");
+    }
+}
+
+double
+CommandLine::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (...) {
+        NOCALERT_FATAL("flag --", name, " expects a number, got '",
+                       it->second, "'");
+    }
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    NOCALERT_FATAL("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+} // namespace nocalert

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by benches and examples.
+ *
+ * Supports "--name value" and "--name=value" long options plus bare
+ * boolean switches ("--full"). Unrecognized flags are fatal so typos in
+ * experiment invocations never silently fall back to defaults.
+ */
+
+#ifndef NOCALERT_UTIL_CLI_HPP
+#define NOCALERT_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nocalert {
+
+/** Parsed command line with typed accessors and default values. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv. @p known lists every accepted flag name (without the
+     * leading dashes); anything else aborts with a usage hint.
+     */
+    CommandLine(int argc, const char *const *argv,
+                std::vector<std::string> known);
+
+    /** True iff the flag was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of a flag, or @p fallback when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value of a flag, or @p fallback when absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+
+    /** Double value of a flag, or @p fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean switch: present without value, or =true/=false. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_CLI_HPP

@@ -1,0 +1,84 @@
+#include "util/histogram.hpp"
+
+#include "util/log.hpp"
+
+namespace nocalert {
+
+void
+Histogram::add(std::int64_t value, std::uint64_t count)
+{
+    counts_[value] += count;
+    total_ += count;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[value, count] : other.counts_)
+        add(value, count);
+}
+
+double
+Histogram::mean() const
+{
+    NOCALERT_ASSERT(total_ > 0, "mean of empty histogram");
+    double sum = 0;
+    for (const auto &[value, count] : counts_)
+        sum += static_cast<double>(value) * static_cast<double>(count);
+    return sum / static_cast<double>(total_);
+}
+
+std::int64_t
+Histogram::min() const
+{
+    NOCALERT_ASSERT(total_ > 0, "min of empty histogram");
+    return counts_.begin()->first;
+}
+
+std::int64_t
+Histogram::max() const
+{
+    NOCALERT_ASSERT(total_ > 0, "max of empty histogram");
+    return counts_.rbegin()->first;
+}
+
+std::int64_t
+Histogram::percentile(double fraction) const
+{
+    NOCALERT_ASSERT(total_ > 0, "percentile of empty histogram");
+    NOCALERT_ASSERT(fraction > 0 && fraction <= 1.0,
+                    "fraction out of range: ", fraction);
+    auto needed = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(total_) + 0.999999);
+    if (needed == 0)
+        needed = 1;
+    std::uint64_t seen = 0;
+    for (const auto &[value, count] : counts_) {
+        seen += count;
+        if (seen >= needed)
+            return value;
+    }
+    return counts_.rbegin()->first;
+}
+
+double
+Histogram::cdfAt(std::int64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t seen = 0;
+    for (const auto &[v, count] : counts_) {
+        if (v > value)
+            break;
+        seen += count;
+    }
+    return static_cast<double>(seen) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+Histogram::points() const
+{
+    return {counts_.begin(), counts_.end()};
+}
+
+} // namespace nocalert

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Integer-valued histogram used for latency distributions and the
+ * cumulative curves of Figures 7 and 9.
+ */
+
+#ifndef NOCALERT_UTIL_HISTOGRAM_HPP
+#define NOCALERT_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nocalert {
+
+/**
+ * Sparse histogram over non-negative integer samples.
+ *
+ * Keeps exact counts per value (sample spaces here are small: cycle
+ * deltas, checker counts), and derives mean / percentiles / CDF.
+ */
+class Histogram
+{
+  public:
+    /** Record one occurrence of @p value. */
+    void add(std::int64_t value, std::uint64_t count = 1);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Total number of recorded samples. */
+    std::uint64_t count() const { return total_; }
+
+    /** True iff no samples were recorded. */
+    bool empty() const { return total_ == 0; }
+
+    /** Arithmetic mean of the samples. @pre !empty(). */
+    double mean() const;
+
+    /** Smallest recorded value. @pre !empty(). */
+    std::int64_t min() const;
+
+    /** Largest recorded value. @pre !empty(). */
+    std::int64_t max() const;
+
+    /**
+     * Smallest value v such that at least @p fraction of the samples
+     * are <= v. @pre !empty() and 0 < fraction <= 1.
+     */
+    std::int64_t percentile(double fraction) const;
+
+    /** Fraction of samples <= @p value (empirical CDF). */
+    double cdfAt(std::int64_t value) const;
+
+    /** (value, count) pairs in increasing value order. */
+    std::vector<std::pair<std::int64_t, std::uint64_t>> points() const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nocalert {
+
+namespace {
+bool log_quiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    log_quiet = quiet;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    if (!log_quiet)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (!log_quiet)
+        std::fprintf(stdout, "info: %s\n", message.c_str());
+}
+
+} // namespace nocalert

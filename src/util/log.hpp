@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * - panic():  an internal simulator bug; should never happen regardless
+ *             of user input. Aborts (so a debugger/core dump sees it).
+ * - fatal():  the simulation cannot continue because of user input
+ *             (bad configuration, invalid arguments). Exits cleanly.
+ * - warn():   something questionable but survivable happened.
+ * - inform(): plain status output.
+ */
+
+#ifndef NOCALERT_UTIL_LOG_HPP
+#define NOCALERT_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace nocalert {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+/** Enable/disable warn()/inform() output (tests silence it). */
+void setLogQuiet(bool quiet);
+
+/** Format a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace nocalert
+
+#define NOCALERT_PANIC(...) \
+    ::nocalert::panicImpl(__FILE__, __LINE__, \
+                          ::nocalert::formatMessage(__VA_ARGS__))
+
+#define NOCALERT_FATAL(...) \
+    ::nocalert::fatalImpl(::nocalert::formatMessage(__VA_ARGS__))
+
+#define NOCALERT_WARN(...) \
+    ::nocalert::warnImpl(::nocalert::formatMessage(__VA_ARGS__))
+
+#define NOCALERT_INFORM(...) \
+    ::nocalert::informImpl(::nocalert::formatMessage(__VA_ARGS__))
+
+/** Invariant check for simulator-internal consistency (always on). */
+#define NOCALERT_ASSERT(cond, ...)                                   \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            NOCALERT_PANIC("assertion failed: " #cond " ",            \
+                           ::nocalert::formatMessage(__VA_ARGS__));   \
+        }                                                             \
+    } while (0)
+
+#endif // NOCALERT_UTIL_LOG_HPP

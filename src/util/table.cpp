@@ -1,0 +1,121 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nocalert {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    NOCALERT_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    NOCALERT_ASSERT(cells.size() == headers_.size(),
+                    "row has ", cells.size(), " cells, expected ",
+                    headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto emit_rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &row : rows_)
+        emit_row(row);
+    emit_rule();
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << quote(headers_[c]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toText().c_str(), stdout);
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+Table::pct(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+    return buf;
+}
+
+} // namespace nocalert

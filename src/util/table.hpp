@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width console table and CSV emission for benchmark reports.
+ *
+ * Every bench binary regenerating a paper figure prints a table with
+ * the same rows/series the paper reports; this class keeps that output
+ * aligned and optionally mirrors it to CSV for plotting.
+ */
+
+#ifndef NOCALERT_UTIL_TABLE_HPP
+#define NOCALERT_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace nocalert {
+
+/** Column-aligned text table with an optional title and CSV export. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void setTitle(std::string title);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the aligned table to a string. */
+    std::string toText() const;
+
+    /** Render as CSV (RFC-4180-ish; quotes cells containing commas). */
+    std::string toCsv() const;
+
+    /** Print toText() to stdout. */
+    void print() const;
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with @p decimals decimal places. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format a percentage (value already in percent units). */
+    static std::string pct(double value, int decimals = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_TABLE_HPP

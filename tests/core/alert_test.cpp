@@ -1,0 +1,106 @@
+#include "core/alert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::core {
+namespace {
+
+Assertion
+make(InvariantId id, noc::Cycle cycle)
+{
+    return {id, cycle, 0, 0, 0};
+}
+
+TEST(AlertLog, EmptyQueries)
+{
+    AlertLog log;
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.count(), 0u);
+    EXPECT_FALSE(log.firstCycle().has_value());
+    EXPECT_FALSE(log.firstCautiousCycle().has_value());
+    EXPECT_TRUE(log.distinctInvariants().empty());
+    EXPECT_FALSE(log.anyAtOrAfter(0));
+}
+
+TEST(AlertLog, FirstCycleAndCounts)
+{
+    AlertLog log;
+    log.record(make(InvariantId::GrantWithoutRequest, 10));
+    log.record(make(InvariantId::GrantWithoutRequest, 11));
+    log.record(make(InvariantId::XbarRowOneHot, 11));
+    EXPECT_EQ(log.count(), 3u);
+    EXPECT_EQ(*log.firstCycle(), 10);
+    EXPECT_EQ(log.countFor(InvariantId::GrantWithoutRequest), 2u);
+    EXPECT_EQ(log.countFor(InvariantId::XbarRowOneHot), 1u);
+    EXPECT_EQ(log.countFor(InvariantId::IllegalTurn), 0u);
+}
+
+TEST(AlertLog, CautiousIgnoresLoneLowRisk)
+{
+    AlertLog log;
+    log.record(make(InvariantId::IllegalTurn, 5));
+    log.record(make(InvariantId::NonMinimalRoute, 6));
+    EXPECT_TRUE(log.firstCycle().has_value());
+    EXPECT_FALSE(log.firstCautiousCycle().has_value());
+}
+
+TEST(AlertLog, CautiousTriggersOnCorroboration)
+{
+    AlertLog log;
+    log.record(make(InvariantId::IllegalTurn, 5));
+    log.record(make(InvariantId::ReadFromEmptyBuffer, 9));
+    EXPECT_EQ(*log.firstCycle(), 5);
+    EXPECT_EQ(*log.firstCautiousCycle(), 9);
+}
+
+TEST(AlertLog, InvariantsAtCycleDeduplicates)
+{
+    AlertLog log;
+    log.record(make(InvariantId::GrantNotOneHot, 7));
+    log.record(make(InvariantId::GrantNotOneHot, 7));
+    log.record(make(InvariantId::GrantWithoutRequest, 7));
+    log.record(make(InvariantId::IllegalTurn, 8));
+    const auto ids = log.invariantsAtCycle(7);
+    EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(AlertLog, DistinctInvariantsSorted)
+{
+    AlertLog log;
+    log.record(make(InvariantId::WriteToFullBuffer, 3));
+    log.record(make(InvariantId::IllegalTurn, 4));
+    const auto ids = log.distinctInvariants();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], InvariantId::IllegalTurn);
+    EXPECT_EQ(ids[1], InvariantId::WriteToFullBuffer);
+}
+
+TEST(AlertLog, AnyAtOrAfter)
+{
+    AlertLog log;
+    log.record(make(InvariantId::IllegalTurn, 10));
+    EXPECT_TRUE(log.anyAtOrAfter(10));
+    EXPECT_TRUE(log.anyAtOrAfter(5));
+    EXPECT_FALSE(log.anyAtOrAfter(11));
+}
+
+TEST(AlertLog, ClearResets)
+{
+    AlertLog log;
+    log.record(make(InvariantId::IllegalTurn, 1));
+    log.clear();
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.countFor(InvariantId::IllegalTurn), 0u);
+}
+
+TEST(AlertLog, BatchRecord)
+{
+    AlertLog log;
+    std::vector<Assertion> batch = {make(InvariantId::IllegalTurn, 1),
+                                    make(InvariantId::RcOnEmptyVc, 2)};
+    log.record(batch);
+    EXPECT_EQ(log.count(), 2u);
+}
+
+} // namespace
+} // namespace nocalert::core

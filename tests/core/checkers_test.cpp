@@ -1,0 +1,815 @@
+/**
+ * @file
+ * Per-invariant checker tests: for each of the 32 Table-1 checkers a
+ * targeted wire/register corruption is crafted and the specific
+ * invariant must fire. The mutations model exactly the single-bit
+ * control upsets of the paper's fault model.
+ */
+
+#include "core/checkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/nocalert.hpp"
+#include "util/bits.hpp"
+
+namespace nocalert::core {
+namespace {
+
+using noc::FlitType;
+using noc::isHead;
+using noc::kNumPorts;
+using noc::Port;
+using noc::portIndex;
+using noc::Router;
+using noc::RouterWires;
+using noc::TapPoint;
+using noc::VcState;
+
+constexpr int kL = portIndex(Port::Local);
+
+/**
+ * Run a 4x4 mesh under uniform traffic with a one-shot mutation hook:
+ * the hook fires when its enabling condition is met, corrupting wires
+ * or state; the NoCAlert engine then collects the assertions.
+ */
+class MutationHarness
+{
+  public:
+    using Mutation = std::function<bool(Router &, TapPoint, RouterWires &)>;
+
+    explicit MutationHarness(noc::NetworkConfig config = smallMesh())
+        : net_(config, trafficSpec()), engine_(net_)
+    {
+    }
+
+    static noc::NetworkConfig
+    smallMesh()
+    {
+        noc::NetworkConfig config;
+        config.width = 4;
+        config.height = 4;
+        return config;
+    }
+
+    static noc::TrafficSpec
+    trafficSpec()
+    {
+        noc::TrafficSpec spec;
+        spec.injectionRate = 0.15;
+        spec.seed = 77;
+        return spec;
+    }
+
+    /** Run until the mutation fired plus @p extra cycles. */
+    void
+    run(Mutation mutation, noc::Cycle warmup = 30, noc::Cycle extra = 80)
+    {
+        net_.setTapHook([this, mutation](Router &router, TapPoint tap,
+                                         RouterWires &wires) {
+            if (fired_ || wires.cycle < warmup_)
+                return;
+            if (mutation(router, tap, wires))
+                fired_ = true;
+        });
+        warmup_ = warmup;
+        noc::Cycle deadline = 4000;
+        while (!fired_ && net_.cycle() < deadline)
+            net_.step();
+        ASSERT_TRUE(fired_) << "mutation never found its trigger";
+        net_.run(extra);
+    }
+
+    const AlertLog &log() const { return engine_.log(); }
+    noc::Network &net() { return net_; }
+    bool fired() const { return fired_; }
+
+  private:
+    noc::Network net_;
+    NoCAlertEngine engine_;
+    bool fired_ = false;
+    noc::Cycle warmup_ = 0;
+};
+
+TEST(Checkers, CleanRunRaisesNothing)
+{
+    noc::Network net(MutationHarness::smallMesh(),
+                     MutationHarness::trafficSpec());
+    NoCAlertEngine engine(net);
+    net.run(1500);
+    EXPECT_EQ(engine.log().count(), 0u);
+}
+
+TEST(Checkers, Inv01_IllegalTurn)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRc)
+            return false;
+        // A header arriving on a Y-dimension input redirected to an
+        // X-dimension output: forbidden under XY routing.
+        for (int p : {portIndex(Port::North), portIndex(Port::South)}) {
+            if (w.in[p].rcDone != 0 && w.in[p].rcHeadValid &&
+                isHead(w.in[p].rcHeadType)) {
+                w.in[p].rcOutPort = portIndex(Port::East);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::IllegalTurn), 0u);
+}
+
+TEST(Checkers, Inv02_InvalidRcOutput)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRc)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (w.in[p].rcDone != 0) {
+                w.in[p].rcOutPort = 7; // nonexistent port
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::InvalidRcOutput), 0u);
+}
+
+TEST(Checkers, Inv03_NonMinimalRoute)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRc)
+            return false;
+        // Reverse an eastbound decision to west: still a legal turn
+        // from the local port, but a step away from the destination.
+        // The router must not sit on column 0, where West would be a
+        // disconnected port (invariance 2 territory instead).
+        if (router.node() % 4 != 0 && w.in[kL].rcDone != 0 &&
+            w.in[kL].rcHeadValid && isHead(w.in[kL].rcHeadType) &&
+            w.in[kL].rcOutPort == portIndex(Port::East)) {
+            w.in[kL].rcOutPort = portIndex(Port::West);
+            return true;
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::NonMinimalRoute), 0u);
+}
+
+TEST(Checkers, Inv04_GrantWithoutRequest)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa1)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (w.in[p].sa1Req == 0 && w.in[p].sa1Grant == 0) {
+                w.in[p].sa1Grant = 1;
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::GrantWithoutRequest), 0u);
+}
+
+TEST(Checkers, Inv05_GrantToNobody)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa1)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (w.in[p].sa1Req != 0) {
+                w.in[p].sa1Grant = 0;
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::GrantToNobody), 0u);
+}
+
+TEST(Checkers, Inv06_GrantNotOneHot)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa1)
+            return false;
+        const unsigned v = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (isOneHot(w.in[p].sa1Grant)) {
+                const unsigned winner =
+                    static_cast<unsigned>(lowestSetBit(w.in[p].sa1Grant));
+                w.in[p].sa1Grant = setBit(w.in[p].sa1Grant,
+                                          (winner + 1) % v);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::GrantNotOneHot), 0u);
+}
+
+TEST(Checkers, Inv07_GrantToOccupiedOrFullVc)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterVa2)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        // Find an occupied output VC and force a grant onto it.
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (!w.out[o].outVc[v].free &&
+                    w.out[o].va2Grant[v] == 0) {
+                    w.out[o].va2Grant[v] = 1; // client (port 0, vc 0)
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::GrantToOccupiedOrFullVc), 0u);
+}
+
+TEST(Checkers, Inv08_OneToOneVcAssignment)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterVa2)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (isOneHot(w.out[o].va2Grant[v])) {
+                    // Grant the same client a second output VC.
+                    const unsigned other = (v + 1) % num_vcs;
+                    w.out[o].va2Grant[other] |= w.out[o].va2Grant[v];
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::OneToOneVcAssignment), 0u);
+}
+
+TEST(Checkers, Inv09_OneToOnePortAssignment)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa2)
+            return false;
+        for (int o = 0; o < kNumPorts; ++o) {
+            if (isOneHot(w.out[o].sa2Grant)) {
+                // A second output port also grants this input port.
+                const int other = (o + 1) % kNumPorts;
+                w.out[other].sa2Grant |= w.out[o].sa2Grant;
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::OneToOnePortAssignment), 0u);
+}
+
+TEST(Checkers, Inv10_VaAgreesWithRc)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterVa2)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (w.out[o].va2Grant[v] != 0) {
+                    // Move the grant to a different output port: the
+                    // winner's RC register still points at o.
+                    const int other = (o + 1) % kNumPorts;
+                    w.out[other].va2Grant[v] = w.out[o].va2Grant[v];
+                    w.out[o].va2Grant[v] = 0;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::VaAgreesWithRc), 0u);
+}
+
+TEST(Checkers, Inv11_SaAgreesWithRc)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa2)
+            return false;
+        for (int o = 0; o < kNumPorts; ++o) {
+            if (w.out[o].sa2Grant != 0) {
+                const int other = (o + 1) % kNumPorts;
+                w.out[other].sa2Grant = w.out[o].sa2Grant;
+                w.out[o].sa2Grant = 0;
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::SaAgreesWithRc), 0u);
+}
+
+TEST(Checkers, Inv12_IntraVaStageOrder)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterVa2)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int o = 0; o < kNumPorts; ++o) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (w.out[o].va2Grant[v] != 0) {
+                    // Shift the grant to a different output VC of the
+                    // same port: the winner never selected it in VA1.
+                    const unsigned other = (v + 1) % num_vcs;
+                    w.out[o].va2Grant[other] = w.out[o].va2Grant[v];
+                    w.out[o].va2Grant[v] = 0;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::IntraVaStageOrder), 0u);
+}
+
+TEST(Checkers, Inv13_IntraSaStageOrder)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSa2)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        // Grant an input port whose SA1 stage granted nothing.
+        for (int p = 0; p < kNumPorts; ++p) {
+            if ((w.in[p].sa1Grant & lowMask(num_vcs)) == 0) {
+                w.out[portIndex(Port::East)].sa2Grant = setBit(
+                    w.out[portIndex(Port::East)].sa2Grant,
+                    static_cast<unsigned>(p));
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::IntraSaStageOrder), 0u);
+}
+
+TEST(Checkers, Inv14_XbarColumnOneHot)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        // Two schedule entries steering different inputs into the
+        // same output column.
+        noc::XbarSchedule &a = router.schedule(0);
+        noc::XbarSchedule &b = router.schedule(1);
+        if (a.valid || b.valid)
+            return false;
+        a = {true, 0, 1u << portIndex(Port::Local), 0};
+        b = {true, 0, 1u << portIndex(Port::Local), 0};
+        return true;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::XbarColumnOneHot), 0u);
+}
+
+TEST(Checkers, Inv15_XbarRowOneHot)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        noc::XbarSchedule &entry = router.schedule(kL);
+        if (!entry.valid || popcount(entry.rowMask) != 1)
+            return false;
+        entry.rowMask |= 1u << ((lowestSetBit(entry.rowMask) + 1) %
+                                kNumPorts); // unwanted multicast
+        return true;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::XbarRowOneHot), 0u);
+}
+
+TEST(Checkers, Inv16_XbarFlitConservation)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            noc::XbarSchedule &entry = router.schedule(p);
+            if (entry.valid) {
+                entry.rowMask = 0; // the read flit vanishes
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::XbarFlitConservation), 0u);
+}
+
+TEST(Checkers, Inv17_ConsistentVcState)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRc)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            // Mark RC done on a VC that was not awaiting routing.
+            const std::uint32_t not_waiting =
+                ~w.in[p].rcWaiting & lowMask(num_vcs);
+            if (w.in[p].rcDone != 0 && not_waiting != 0) {
+                w.in[p].rcDone |= 1u << lowestSetBit(not_waiting);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::ConsistentVcState), 0u);
+}
+
+TEST(Checkers, Inv18_HeaderOnlyIntoFreeVc)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterInputs)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (!w.in[p].inValid || isHead(w.in[p].inFlit.type))
+                continue;
+            // Steer a body flit into an idle VC.
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (w.in[p].vc[v].state == VcState::Idle &&
+                    w.in[p].vc[v].occupancy == 0) {
+                    w.in[p].writeEnable = 1u << v;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::HeaderOnlyIntoFreeVc), 0u);
+}
+
+TEST(Checkers, Inv19_InvalidOutputVcValue)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                noc::VcRecord &rec = router.vcRecord(p, v);
+                if (rec.state == VcState::Active) {
+                    rec.outVc = 7; // beyond any configured VC count
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::InvalidOutputVcValue), 0u);
+}
+
+TEST(Checkers, Inv20_RcOnNonHeaderFlit)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRcReq)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                const auto &fifo = router.fifo(p, v);
+                // An active mid-packet VC: its head is a body flit.
+                if (router.vcRecord(p, v).state == VcState::Active &&
+                    !fifo.empty() && !isHead(fifo.peek(0).type)) {
+                    w.in[p].rcWaiting = 1u << v;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::RcOnNonHeaderFlit), 0u);
+}
+
+TEST(Checkers, Inv21_RcOnEmptyVc)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRcReq)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (router.vcRecord(p, v).state == VcState::Idle &&
+                    router.fifo(p, v).empty()) {
+                    w.in[p].rcWaiting = 1u << v;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::RcOnEmptyVc), 0u);
+}
+
+TEST(Checkers, Inv22_VaOnNonHeaderFlit)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                noc::VcRecord &rec = router.vcRecord(p, v);
+                const auto &fifo = router.fifo(p, v);
+                // Re-wind an active mid-stream VC into the VA stage:
+                // the flit at its head is a body flit.
+                if (rec.state == VcState::Active && !fifo.empty() &&
+                    !isHead(fifo.peek(0).type) && rec.outPort >= 0) {
+                    rec.state = VcState::VcAllocWait;
+                    rec.outVc = -1;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::VaOnNonHeaderFlit), 0u);
+}
+
+TEST(Checkers, Inv23_VaOnEmptyVc)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            noc::VcRecord &rec = router.vcRecord(kL, v);
+            if (rec.state == VcState::Idle &&
+                router.fifo(kL, v).empty()) {
+                // A corrupted state register: the VC claims a packet
+                // awaits allocation, but its buffer is empty.
+                rec.state = VcState::VcAllocWait;
+                rec.outPort = portIndex(Port::East);
+                rec.msgClass = 0;
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::VaOnEmptyVc), 0u);
+}
+
+TEST(Checkers, Inv24_ReadFromEmptyBuffer)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            if (router.fifo(kL, v).empty() &&
+                !router.schedule(kL).valid) {
+                router.schedule(kL) = {
+                    true, static_cast<std::uint8_t>(v),
+                    1u << portIndex(Port::East), 0};
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::ReadFromEmptyBuffer), 0u);
+}
+
+TEST(Checkers, Inv25_WriteToFullBuffer)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterInputs)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (!w.in[p].inValid || w.in[p].writeEnable == 0)
+                continue;
+            const unsigned v =
+                static_cast<unsigned>(lowestSetBit(w.in[p].writeEnable));
+            // Pre-fill the target buffer to capacity: the incoming
+            // write-enable now targets a full FIFO.
+            noc::VcFifo &fifo = router.fifo(p, v);
+            while (!fifo.full())
+                fifo.push(w.in[p].inFlit);
+            return true;
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::WriteToFullBuffer), 0u);
+}
+
+TEST(Checkers, Inv26_BufferAtomicityViolation)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterInputs)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (!w.in[p].inValid || !isHead(w.in[p].inFlit.type))
+                continue;
+            // Steer a header into an occupied VC.
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (w.in[p].vc[v].state != VcState::Idle &&
+                    w.in[p].vc[v].occupancy > 0 &&
+                    w.in[p].vc[v].occupancy <
+                        router.params().bufferDepth) {
+                    w.in[p].writeEnable = 1u << v;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::BufferAtomicityViolation), 0u);
+}
+
+TEST(Checkers, Inv27_NonAtomicPacketMixing)
+{
+    noc::NetworkConfig config = MutationHarness::smallMesh();
+    config.router.atomicBuffers = false;
+    MutationHarness h(config);
+    h.run([](Router &router, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterInputs)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (!w.in[p].inValid || isHead(w.in[p].inFlit.type))
+                continue;
+            // A body flit following a completed packet (tail already
+            // written): in a non-atomic VC only a header may follow.
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                if (w.in[p].vc[v].tailArrived &&
+                    w.in[p].vc[v].occupancy > 0 &&
+                    w.in[p].vc[v].occupancy <
+                        router.params().bufferDepth) {
+                    w.in[p].writeEnable = 1u << v;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::NonAtomicPacketMixing), 0u);
+}
+
+TEST(Checkers, Inv28_PacketFlitCountViolation)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                noc::VcRecord &rec = router.vcRecord(p, v);
+                // Corrupt the flit counter mid-packet: the tail will
+                // arrive with the wrong count.
+                if (rec.state == VcState::Active && !rec.tailArrived &&
+                    rec.flitsArrived >= 1 && rec.expectedLength == 5) {
+                    rec.flitsArrived += 2;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::PacketFlitCountViolation), 0u);
+}
+
+TEST(Checkers, Inv29_ConcurrentReadMultipleVcs)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterSt)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (popcount(w.in[p].readEnable) == 1) {
+                // A stuck read-enable line on a second VC.
+                const unsigned v = static_cast<unsigned>(
+                    lowestSetBit(w.in[p].readEnable));
+                w.in[p].readEnable |= 1u << ((v + 1) % 4);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::ConcurrentReadMultipleVcs), 0u);
+}
+
+TEST(Checkers, Inv30_ConcurrentWriteMultipleVcs)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterInputs)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (popcount(w.in[p].writeEnable) == 1) {
+                const unsigned v = static_cast<unsigned>(
+                    lowestSetBit(w.in[p].writeEnable));
+                w.in[p].writeEnable |= 1u << ((v + 1) % 4);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::ConcurrentWriteMultipleVcs),
+              0u);
+}
+
+TEST(Checkers, Inv31_ConcurrentRcMultipleVcs)
+{
+    MutationHarness h;
+    h.run([](Router &, TapPoint tap, RouterWires &w) {
+        if (tap != TapPoint::AfterRc)
+            return false;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (popcount(w.in[p].rcDone) == 1) {
+                const unsigned v = static_cast<unsigned>(
+                    lowestSetBit(w.in[p].rcDone));
+                w.in[p].rcDone |= 1u << ((v + 1) % 4);
+                return true;
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::ConcurrentRcMultipleVcs), 0u);
+}
+
+TEST(Checkers, Inv32_EjectionAtWrongDestination)
+{
+    MutationHarness h;
+    h.run([](Router &router, TapPoint tap, RouterWires &) {
+        if (tap != TapPoint::CycleStart)
+            return false;
+        const unsigned num_vcs = router.params().numVcs;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (p == kL)
+                continue; // locally injected traffic may eject here
+            for (unsigned v = 0; v < num_vcs; ++v) {
+                noc::VcRecord &rec = router.vcRecord(p, v);
+                const auto &fifo = router.fifo(p, v);
+                // Redirect a transiting packet's route register to the
+                // local port: its header will eject at the wrong node.
+                if (rec.state == VcState::VcAllocWait &&
+                    !fifo.empty() && isHead(fifo.peek(0).type) &&
+                    fifo.peek(0).dst != router.node()) {
+                    rec.outPort = kL;
+                    return true;
+                }
+            }
+        }
+        return false;
+    });
+    EXPECT_GT(h.log().countFor(InvariantId::EjectionAtWrongDestination),
+              0u);
+}
+
+TEST(NiCheckers, MapAnomaliesToInvariants)
+{
+    noc::NetworkConfig config = MutationHarness::smallMesh();
+    noc::NetworkInterface ni(config, 5);
+    noc::NiWires wires;
+    wires.cycle = 3;
+    wires.node = 5;
+    wires.anomalies = noc::kNiWrongDestination | noc::kNiCountViolation;
+
+    std::vector<Assertion> out;
+    evaluateNiCheckers(ni, wires, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, InvariantId::EjectionAtWrongDestination);
+    EXPECT_EQ(out[1].id, InvariantId::PacketFlitCountViolation);
+    EXPECT_EQ(out[0].cycle, 3);
+    EXPECT_EQ(out[0].router, 5);
+
+    out.clear();
+    wires.anomalies = 0;
+    evaluateNiCheckers(ni, wires, out);
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace nocalert::core

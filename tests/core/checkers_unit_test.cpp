@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Pure-function tests of evaluateCheckers over hand-built wire
+ * records: each scenario constructs exactly one anomalous signal
+ * pattern and asserts the precise checker verdict, independent of any
+ * network simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+
+namespace nocalert::core {
+namespace {
+
+using noc::Flit;
+using noc::FlitType;
+using noc::kNumPorts;
+using noc::Port;
+using noc::portIndex;
+using noc::RouterWires;
+using noc::VcState;
+
+class CheckerWiresFixture : public ::testing::Test
+{
+  protected:
+    CheckerWiresFixture()
+        : config_(makeConfig()),
+          routing_(noc::makeRouting(config_.routing)),
+          router_(config_, kNode)
+    {
+        wires_.clear(100, kNode);
+        ctx_.config = &config_;
+        ctx_.routing = routing_.get();
+    }
+
+    static noc::NetworkConfig
+    makeConfig()
+    {
+        noc::NetworkConfig config;
+        config.width = 4;
+        config.height = 4;
+        return config;
+    }
+
+    std::vector<Assertion>
+    evaluate()
+    {
+        std::vector<Assertion> out;
+        evaluateCheckers(router_, wires_, ctx_, out);
+        return out;
+    }
+
+    static bool
+    fired(const std::vector<Assertion> &out, InvariantId id)
+    {
+        for (const Assertion &a : out)
+            if (a.id == id)
+                return true;
+        return false;
+    }
+
+    static constexpr noc::NodeId kNode = 5; // (1,1): all ports live
+
+    noc::NetworkConfig config_;
+    std::unique_ptr<noc::RoutingAlgorithm> routing_;
+    noc::Router router_;
+    CheckerContext ctx_;
+    RouterWires wires_;
+};
+
+TEST_F(CheckerWiresFixture, QuiescentWiresRaiseNothing)
+{
+    EXPECT_TRUE(evaluate().empty());
+}
+
+TEST_F(CheckerWiresFixture, ArbiterTruthTable)
+{
+    // grant & ~req -> 4; req & !grant -> 5; multi-hot grant -> 6.
+    wires_.in[0].sa1Req = 0b0010;
+    wires_.in[0].sa1Grant = 0b0010;
+    EXPECT_TRUE(evaluate().empty()); // legal grant
+
+    wires_.in[0].sa1Grant = 0b0100;
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::GrantWithoutRequest));
+    // A grant WAS produced (to the wrong client), so invariance 5 —
+    // "no winner despite requests" — stays silent.
+    EXPECT_FALSE(fired(out, InvariantId::GrantToNobody));
+
+    wires_.in[0].sa1Grant = 0;
+    out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::GrantToNobody));
+    EXPECT_FALSE(fired(out, InvariantId::GrantWithoutRequest));
+
+    wires_.in[0].sa1Req = 0b0110;
+    wires_.in[0].sa1Grant = 0b0110;
+    out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::GrantNotOneHot));
+    EXPECT_FALSE(fired(out, InvariantId::GrantWithoutRequest));
+}
+
+TEST_F(CheckerWiresFixture, XbarVectorChecks)
+{
+    wires_.xbarRow[0] = 0b00011; // multicast row
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::XbarRowOneHot));
+
+    wires_.xbarRow[0] = 0;
+    wires_.xbarCol[2] = 0b01010; // collision column
+    out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::XbarColumnOneHot));
+    EXPECT_FALSE(fired(out, InvariantId::XbarRowOneHot));
+}
+
+TEST_F(CheckerWiresFixture, XbarConservation)
+{
+    wires_.xbarFlitsIn = 2;
+    wires_.xbarFlitsOut = 1;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::XbarFlitConservation));
+}
+
+TEST_F(CheckerWiresFixture, RcIllegalTurnAndRange)
+{
+    const int north = portIndex(Port::North);
+    wires_.in[north].rcDone = 1;
+    wires_.in[north].rcVc = 0;
+    wires_.in[north].rcWaiting = 1;
+    wires_.in[north].rcHeadValid = true;
+    wires_.in[north].rcHeadType = FlitType::Head;
+    Flit header;
+    header.type = FlitType::Head;
+    header.dst = 6; // one hop east of node 5
+    wires_.in[north].rcFlit = header;
+
+    // Y-input turning to X under XY: invariance 1 (and minimal, so no
+    // invariance 3 confusion: East IS the minimal direction).
+    wires_.in[north].rcOutPort = portIndex(Port::East);
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::IllegalTurn));
+    EXPECT_FALSE(fired(out, InvariantId::InvalidRcOutput));
+
+    // Out-of-range port: invariance 2 swallows the case.
+    wires_.in[north].rcOutPort = 6;
+    out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::InvalidRcOutput));
+    EXPECT_FALSE(fired(out, InvariantId::IllegalTurn));
+}
+
+TEST_F(CheckerWiresFixture, RcOnGarbage)
+{
+    const int local = portIndex(Port::Local);
+    wires_.in[local].rcDone = 1;
+    wires_.in[local].rcVc = 0;
+    wires_.in[local].rcWaiting = 1;
+    wires_.in[local].rcOutPort = portIndex(Port::East);
+
+    wires_.in[local].rcHeadValid = false; // empty buffer
+    EXPECT_TRUE(fired(evaluate(), InvariantId::RcOnEmptyVc));
+
+    wires_.in[local].rcHeadValid = true;
+    wires_.in[local].rcHeadType = FlitType::Body;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::RcOnNonHeaderFlit));
+}
+
+TEST_F(CheckerWiresFixture, WriteChecks)
+{
+    const int west = portIndex(Port::West);
+    auto &ipw = wires_.in[west];
+    ipw.inValid = true;
+    ipw.writeEnable = 1u << 1;
+
+    // Body into an Idle VC: invariance 18.
+    ipw.inFlit.type = FlitType::Body;
+    ipw.inFlit.msgClass = 1;
+    ipw.vc[1].state = VcState::Idle;
+    ipw.vc[1].occupancy = 0;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::HeaderOnlyIntoFreeVc));
+
+    // Header into an occupied VC: invariance 26 (atomic buffers).
+    ipw.inFlit.type = FlitType::Head;
+    ipw.vc[1].state = VcState::Active;
+    ipw.vc[1].occupancy = 2;
+    ipw.vc[1].outPort = portIndex(Port::East);
+    ipw.vc[1].outVc = 2;
+    ipw.vc[1].headValid = true;
+    ipw.vc[1].headType = FlitType::Head;
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::BufferAtomicityViolation));
+
+    // Write into a full buffer: invariance 25.
+    ipw.vc[1].occupancy = config_.router.bufferDepth;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::WriteToFullBuffer));
+}
+
+TEST_F(CheckerWiresFixture, FlitCountChecks)
+{
+    const int east = portIndex(Port::East);
+    auto &ipw = wires_.in[east];
+    ipw.inValid = true;
+    ipw.writeEnable = 1u << 2;
+    auto &snap = ipw.vc[2];
+    snap.state = VcState::Active;
+    snap.outPort = portIndex(Port::West);
+    snap.outVc = 3;
+    snap.occupancy = 2;
+    snap.headValid = true;
+    snap.headType = FlitType::Head;
+    snap.flitsArrived = 2;
+    snap.expectedLength = 5;
+
+    // A tail arriving as the 3rd of 5 flits: invariance 28.
+    ipw.inFlit.type = FlitType::Tail;
+    ipw.inFlit.msgClass = 1;
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::PacketFlitCountViolation));
+
+    // The 3rd body flit is fine.
+    ipw.inFlit.type = FlitType::Body;
+    EXPECT_FALSE(
+        fired(evaluate(), InvariantId::PacketFlitCountViolation));
+
+    // A 6th flit overruns the class length.
+    snap.flitsArrived = 5;
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::PacketFlitCountViolation));
+}
+
+TEST_F(CheckerWiresFixture, PortLevelMultiEnable)
+{
+    wires_.in[0].writeEnable = 0b0011;
+    wires_.in[0].inValid = true;
+    wires_.in[0].inFlit.type = FlitType::Head;
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::ConcurrentWriteMultipleVcs));
+
+    wires_.in[1].readEnable = 0b1010;
+    out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::ConcurrentReadMultipleVcs));
+}
+
+TEST_F(CheckerWiresFixture, EjectionDestinationCheck)
+{
+    wires_.ejectValid = true;
+    wires_.ejectFlit.type = FlitType::Head;
+    wires_.ejectFlit.dst = 9; // not node 5
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::EjectionAtWrongDestination));
+
+    wires_.ejectFlit.dst = kNode;
+    EXPECT_FALSE(
+        fired(evaluate(), InvariantId::EjectionAtWrongDestination));
+}
+
+TEST_F(CheckerWiresFixture, ContinuousRegisterConsistency)
+{
+    // Active VC with an out-of-range outVc: invariance 19.
+    auto &snap = wires_.in[2].vc[0];
+    snap.state = VcState::Active;
+    snap.outPort = portIndex(Port::East);
+    snap.outVc = 6;
+    snap.occupancy = 1;
+    snap.headValid = true;
+    snap.headType = FlitType::Body;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::InvalidOutputVcValue));
+
+    // Routed state pointing at a disconnected port: invariance 2.
+    snap.outVc = 1;
+    snap.outPort = 7;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::InvalidRcOutput));
+
+    // RouteWait with an empty buffer: invariance 17.
+    snap.state = VcState::RouteWait;
+    snap.outPort = noc::kInvalidPort;
+    snap.occupancy = 0;
+    snap.headValid = false;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::ConsistentVcState));
+}
+
+TEST_F(CheckerWiresFixture, VaGrantScenarios)
+{
+    const int east = portIndex(Port::East);
+    const unsigned client = noc::vaClient(portIndex(Port::West), 1);
+
+    // Prepare a legal-looking waiting VC at (West, 1).
+    auto &snap = wires_.in[portIndex(Port::West)].vc[1];
+    snap.state = VcState::VcAllocWait;
+    snap.outPort = east;
+    snap.occupancy = 1;
+    snap.headValid = true;
+    snap.headType = FlitType::Head;
+    snap.va1CandidateVc = 0;
+
+    auto &opw = wires_.out[east];
+    opw.outVc[0].free = true;
+    opw.outVc[0].credits =
+        static_cast<std::uint8_t>(config_.router.bufferDepth);
+    opw.va2Req[0] = 1ULL << client;
+    opw.va2Grant[0] = 1ULL << client;
+    EXPECT_TRUE(evaluate().empty()); // fully legal allocation
+
+    // Grant to an occupied output VC: invariance 7.
+    opw.outVc[0].free = false;
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::GrantToOccupiedOrFullVc));
+    opw.outVc[0].free = true;
+
+    // Grant with insufficient credits (atomic): invariance 7.
+    opw.outVc[0].credits = 2;
+    EXPECT_TRUE(
+        fired(evaluate(), InvariantId::GrantToOccupiedOrFullVc));
+    opw.outVc[0].credits =
+        static_cast<std::uint8_t>(config_.router.bufferDepth);
+
+    // Granted VC differs from the VA1 candidate: invariance 12.
+    snap.va1CandidateVc = 1;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::IntraVaStageOrder));
+    snap.va1CandidateVc = 0;
+
+    // Grant at an output the RC stage never chose: invariance 10.
+    snap.outPort = portIndex(Port::North);
+    EXPECT_TRUE(fired(evaluate(), InvariantId::VaAgreesWithRc));
+    snap.outPort = east;
+
+    // Same client granted two output VCs: invariance 8.
+    opw.va2Req[1] = 1ULL << client;
+    opw.va2Grant[1] = 1ULL << client;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::OneToOneVcAssignment));
+    opw.va2Req[1] = opw.va2Grant[1] = 0;
+
+    // VA completion on a body-headed VC: invariance 22.
+    snap.headType = FlitType::Body;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::VaOnNonHeaderFlit));
+    snap.headType = FlitType::Head;
+
+    // VA completion on an empty VC: invariance 23 (and 17).
+    snap.occupancy = 0;
+    snap.headValid = false;
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::VaOnEmptyVc));
+    EXPECT_TRUE(fired(out, InvariantId::ConsistentVcState));
+}
+
+TEST_F(CheckerWiresFixture, SaGrantScenarios)
+{
+    const int east = portIndex(Port::East);
+    const int west = portIndex(Port::West);
+
+    // A legal SA pass: West's VC 2 is Active toward East.
+    auto &snap = wires_.in[west].vc[2];
+    snap.state = VcState::Active;
+    snap.outPort = east;
+    snap.outVc = 3;
+    snap.occupancy = 1;
+    snap.headValid = true;
+    snap.headType = FlitType::Body;
+    wires_.in[west].sa1Req = 1u << 2;
+    wires_.in[west].sa1Grant = 1u << 2;
+    wires_.out[east].sa2Req = 1u << west;
+    wires_.out[east].sa2Grant = 1u << west;
+    EXPECT_TRUE(evaluate().empty());
+
+    // SA2 win without an SA1 win: invariance 13.
+    wires_.in[west].sa1Grant = 0;
+    wires_.in[west].sa1Req = 0;
+    auto out = evaluate();
+    EXPECT_TRUE(fired(out, InvariantId::IntraSaStageOrder));
+    wires_.in[west].sa1Req = 1u << 2;
+    wires_.in[west].sa1Grant = 1u << 2;
+
+    // SA2 grant at an output the winner never routed to: inv 11.
+    snap.outPort = portIndex(Port::North);
+    EXPECT_TRUE(fired(evaluate(), InvariantId::SaAgreesWithRc));
+    snap.outPort = east;
+
+    // Two outputs granting the same input port: invariance 9.
+    wires_.out[portIndex(Port::North)].sa2Req = 1u << west;
+    wires_.out[portIndex(Port::North)].sa2Grant = 1u << west;
+    EXPECT_TRUE(fired(evaluate(), InvariantId::OneToOnePortAssignment));
+}
+
+TEST_F(CheckerWiresFixture, SpeculativeAllowsSameCycleVaSa)
+{
+    // In the speculative variant, an SA grant to a VC whose VA grant
+    // landed this very cycle is legal; in the baseline it violates
+    // pipeline order (invariance 17).
+    auto arrange = [](noc::RouterWires &wires,
+                      const noc::NetworkConfig &config) {
+        const int east = portIndex(Port::East);
+        const int west = portIndex(Port::West);
+        auto &snap = wires.in[west].vc[1];
+        snap.state = VcState::VcAllocWait; // VA not yet committed
+        snap.outPort = east;
+        snap.occupancy = 1;
+        snap.headValid = true;
+        snap.headType = FlitType::Head;
+        snap.va1CandidateVc = 0;
+        auto &opw = wires.out[east];
+        opw.outVc[0].free = true;
+        opw.outVc[0].credits =
+            static_cast<std::uint8_t>(config.router.bufferDepth);
+        const unsigned client = noc::vaClient(west, 1);
+        opw.va2Req[0] = 1ULL << client;
+        opw.va2Grant[0] = 1ULL << client;
+        wires.in[west].sa1Req = 1u << 1;
+        wires.in[west].sa1Grant = 1u << 1;
+        opw.sa2Req = 1u << west;
+        opw.sa2Grant = 1u << west;
+    };
+
+    arrange(wires_, config_);
+    EXPECT_TRUE(fired(evaluate(), InvariantId::ConsistentVcState));
+
+    noc::NetworkConfig spec_config = makeConfig();
+    spec_config.router.speculative = true;
+    noc::Router spec_router(spec_config, kNode);
+    noc::RouterWires spec_wires;
+    spec_wires.clear(100, kNode);
+    arrange(spec_wires, spec_config);
+    std::vector<Assertion> out;
+    evaluateCheckers(spec_router, spec_wires, ctx_, out);
+    EXPECT_FALSE(fired(out, InvariantId::ConsistentVcState));
+}
+
+TEST_F(CheckerWiresFixture, AssertionCarriesLocus)
+{
+    wires_.in[3].sa1Req = 0;
+    wires_.in[3].sa1Grant = 1;
+    const auto out = evaluate();
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].cycle, 100);
+    EXPECT_EQ(out[0].router, kNode);
+    EXPECT_EQ(out[0].port, 3);
+}
+
+} // namespace
+} // namespace nocalert::core

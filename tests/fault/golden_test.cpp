@@ -1,0 +1,148 @@
+#include "fault/golden.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::fault {
+namespace {
+
+noc::EjectionRecord
+rec(noc::PacketId pkt, std::uint16_t seq, noc::NodeId node,
+    noc::Cycle cycle)
+{
+    noc::EjectionRecord record;
+    record.cycle = cycle;
+    record.node = node;
+    record.flit.packet = pkt;
+    record.flit.seq = seq;
+    record.flit.dst = node;
+    return record;
+}
+
+std::vector<noc::EjectionRecord>
+goldenLog()
+{
+    return {rec(1, 0, 5, 10), rec(1, 1, 5, 11), rec(1, 2, 5, 12),
+            rec(2, 0, 7, 20)};
+}
+
+TEST(GoldenReference, IdenticalLogIsClean)
+{
+    GoldenReference golden(goldenLog());
+    EXPECT_EQ(golden.flitCount(), 4u);
+    const auto cmp = golden.compare(goldenLog(), /*drained=*/true);
+    EXPECT_FALSE(cmp.violated());
+    EXPECT_EQ(cmp.conditions(), 0);
+}
+
+TEST(GoldenReference, TimingShiftsAreBenign)
+{
+    GoldenReference golden(goldenLog());
+    auto late = goldenLog();
+    for (auto &record : late)
+        record.cycle += 500; // slower delivery is not a violation
+    EXPECT_FALSE(golden.compare(late, true).violated());
+}
+
+TEST(GoldenReference, MissingFlitIsDrop)
+{
+    GoldenReference golden(goldenLog());
+    auto faulty = goldenLog();
+    faulty.erase(faulty.begin() + 1); // lose pkt 1 seq 1
+    const auto cmp = golden.compare(faulty, true);
+    ASSERT_TRUE(cmp.violated());
+    EXPECT_EQ(cmp.violations[0].type, GoldenViolation::Type::FlitLost);
+    EXPECT_EQ(cmp.violations[0].packet, 1u);
+    EXPECT_EQ(cmp.violations[0].seq, 1);
+    EXPECT_TRUE(cmp.conditions() & core::kNoFlitDrop);
+}
+
+TEST(GoldenReference, UnknownFlitIsNew)
+{
+    GoldenReference golden(goldenLog());
+    auto faulty = goldenLog();
+    faulty.push_back(rec(9, 0, 3, 30)); // never created in golden
+    const auto cmp = golden.compare(faulty, true);
+    ASSERT_TRUE(cmp.violated());
+    EXPECT_EQ(cmp.violations[0].type, GoldenViolation::Type::NewFlit);
+    EXPECT_TRUE(cmp.conditions() & core::kNoNewFlitGeneration);
+}
+
+TEST(GoldenReference, DuplicateFlitIsNew)
+{
+    GoldenReference golden(goldenLog());
+    auto faulty = goldenLog();
+    faulty.push_back(rec(2, 0, 7, 25));
+    const auto cmp = golden.compare(faulty, true);
+    ASSERT_TRUE(cmp.violated());
+    EXPECT_EQ(cmp.violations[0].type, GoldenViolation::Type::NewFlit);
+}
+
+TEST(GoldenReference, WrongNodeIsMisdelivery)
+{
+    GoldenReference golden(goldenLog());
+    auto faulty = goldenLog();
+    faulty[3].node = 8; // pkt 2 ejected at node 8 instead of 7
+    const auto cmp = golden.compare(faulty, true);
+    ASSERT_TRUE(cmp.violated());
+    bool wrong_dest = false;
+    for (const auto &v : cmp.violations)
+        wrong_dest |= v.type == GoldenViolation::Type::WrongDestination;
+    EXPECT_TRUE(wrong_dest);
+    EXPECT_TRUE(cmp.conditions() & core::kNoCorruptionOrMixing);
+}
+
+TEST(GoldenReference, ReorderIsOrderViolation)
+{
+    GoldenReference golden(goldenLog());
+    std::vector<noc::EjectionRecord> faulty = {
+        rec(1, 0, 5, 10), rec(1, 2, 5, 11), rec(1, 1, 5, 12),
+        rec(2, 0, 7, 20)};
+    const auto cmp = golden.compare(faulty, true);
+    ASSERT_TRUE(cmp.violated());
+    bool order = false;
+    for (const auto &v : cmp.violations)
+        order |= v.type == GoldenViolation::Type::OrderViolation;
+    EXPECT_TRUE(order);
+}
+
+TEST(GoldenReference, NotDrainedIsBoundedDeliveryViolation)
+{
+    GoldenReference golden(goldenLog());
+    const auto cmp = golden.compare(goldenLog(), /*drained=*/false);
+    ASSERT_TRUE(cmp.violated());
+    EXPECT_EQ(cmp.violations[0].type, GoldenViolation::Type::NotDrained);
+    EXPECT_TRUE(cmp.conditions() & core::kBoundedDelivery);
+}
+
+TEST(GoldenReference, MultipleViolationsAccumulate)
+{
+    GoldenReference golden(goldenLog());
+    std::vector<noc::EjectionRecord> faulty = {
+        rec(1, 0, 5, 10), // seq 1, 2 lost
+        rec(9, 0, 3, 15), // new
+    };
+    const auto cmp = golden.compare(faulty, false);
+    EXPECT_GE(cmp.violations.size(), 4u);
+    const std::uint8_t conditions = cmp.conditions();
+    EXPECT_TRUE(conditions & core::kNoFlitDrop);
+    EXPECT_TRUE(conditions & core::kNoNewFlitGeneration);
+    EXPECT_TRUE(conditions & core::kBoundedDelivery);
+}
+
+TEST(GoldenReference, DescribeIsReadable)
+{
+    GoldenViolation v{GoldenViolation::Type::FlitLost, 12, 3, 4};
+    const std::string text = v.describe();
+    EXPECT_NE(text.find("flit-lost"), std::string::npos);
+    EXPECT_NE(text.find("pkt=12"), std::string::npos);
+}
+
+TEST(GoldenReference, DuplicateGoldenEjectionIsAnInternalBug)
+{
+    auto bad = goldenLog();
+    bad.push_back(bad.front());
+    EXPECT_DEATH(GoldenReference{bad}, "ejected flit twice");
+}
+
+} // namespace
+} // namespace nocalert::fault

@@ -1,0 +1,221 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::fault {
+namespace {
+
+TEST(FaultKinds, ActivationWindows)
+{
+    FaultSpec transient;
+    transient.cycle = 100;
+    transient.kind = FaultKind::Transient;
+    EXPECT_FALSE(FaultInjector::activeAt(transient, 99));
+    EXPECT_TRUE(FaultInjector::activeAt(transient, 100));
+    EXPECT_FALSE(FaultInjector::activeAt(transient, 101));
+
+    FaultSpec permanent;
+    permanent.cycle = 100;
+    permanent.kind = FaultKind::Permanent;
+    EXPECT_FALSE(FaultInjector::activeAt(permanent, 99));
+    EXPECT_TRUE(FaultInjector::activeAt(permanent, 100));
+    EXPECT_TRUE(FaultInjector::activeAt(permanent, 100000));
+
+    FaultSpec intermittent;
+    intermittent.cycle = 100;
+    intermittent.kind = FaultKind::Intermittent;
+    intermittent.period = 10;
+    intermittent.duty = 2;
+    EXPECT_TRUE(FaultInjector::activeAt(intermittent, 100));
+    EXPECT_TRUE(FaultInjector::activeAt(intermittent, 101));
+    EXPECT_FALSE(FaultInjector::activeAt(intermittent, 102));
+    EXPECT_TRUE(FaultInjector::activeAt(intermittent, 110));
+    EXPECT_FALSE(FaultInjector::activeAt(intermittent, 99));
+}
+
+TEST(FaultKinds, Names)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::Transient), "transient");
+    EXPECT_STREQ(faultKindName(FaultKind::Permanent), "permanent");
+    EXPECT_STREQ(faultKindName(FaultKind::Intermittent), "intermittent");
+}
+
+class ApplyFixture : public ::testing::Test
+{
+  protected:
+    ApplyFixture() : router_(config(), 5) { wires_.clear(0, 5); }
+
+    static noc::NetworkConfig
+    config()
+    {
+        noc::NetworkConfig cfg;
+        cfg.width = 4;
+        cfg.height = 4;
+        return cfg;
+    }
+
+    void
+    apply(SignalClass cls, int port, int vc, unsigned bit)
+    {
+        FaultInjector::applyToRouter(router_, wires_,
+                                     {5, cls, port, vc, bit});
+    }
+
+    noc::Router router_;
+    noc::RouterWires wires_;
+};
+
+TEST_F(ApplyFixture, WireFlipsToggle)
+{
+    apply(SignalClass::Sa1Grant, 1, -1, 2);
+    EXPECT_EQ(wires_.in[1].sa1Grant, 0b100u);
+    apply(SignalClass::Sa1Grant, 1, -1, 2);
+    EXPECT_EQ(wires_.in[1].sa1Grant, 0u);
+}
+
+TEST_F(ApplyFixture, WriteEnableAndCredits)
+{
+    apply(SignalClass::WriteEnable, 0, -1, 3);
+    EXPECT_EQ(wires_.in[0].writeEnable, 0b1000u);
+    apply(SignalClass::CreditRecv, 2, -1, 1);
+    EXPECT_EQ(wires_.out[2].creditRecv, 0b10u);
+}
+
+TEST_F(ApplyFixture, Va2Indexing)
+{
+    apply(SignalClass::Va2Grant, 3, 2, 17);
+    EXPECT_EQ(wires_.out[3].va2Grant[2], 1ULL << 17);
+}
+
+TEST_F(ApplyFixture, RcOutPortFieldEncoding)
+{
+    wires_.in[0].rcOutPort = 1;
+    apply(SignalClass::RcOutPort, 0, -1, 2);
+    EXPECT_EQ(wires_.in[0].rcOutPort, 5); // 0b001 ^ 0b100
+    // A -1 sentinel is encoded as the all-ones field value.
+    wires_.in[0].rcOutPort = noc::kInvalidPort;
+    apply(SignalClass::RcOutPort, 0, -1, 0);
+    EXPECT_EQ(wires_.in[0].rcOutPort, 6); // 0b111 ^ 0b001
+}
+
+TEST_F(ApplyFixture, StateRegisterFaults)
+{
+    noc::VcRecord &rec = router_.vcRecord(2, 1);
+    rec.state = noc::VcState::Active; // encoded 3
+    apply(SignalClass::StVcState, 2, 1, 0);
+    EXPECT_EQ(rec.state, noc::VcState::VcAllocWait); // 3 ^ 1 = 2
+
+    rec.outPort = 1;
+    apply(SignalClass::StVcOutPort, 2, 1, 1);
+    EXPECT_EQ(rec.outPort, 3);
+
+    rec.outVc = 0;
+    apply(SignalClass::StVcOutVc, 2, 1, 1);
+    EXPECT_EQ(rec.outVc, 2);
+}
+
+TEST_F(ApplyFixture, OutVcStateFaults)
+{
+    noc::OutVcState &ov = router_.outVcState(1, 0);
+    EXPECT_TRUE(ov.free);
+    apply(SignalClass::StOutVcFree, 1, 0, 0);
+    EXPECT_FALSE(ov.free);
+
+    EXPECT_EQ(ov.credits, 5); // buffer depth
+    apply(SignalClass::StCredits, 1, 0, 1);
+    EXPECT_EQ(ov.credits, 7);
+    apply(SignalClass::StCredits, 1, 0, 2);
+    EXPECT_EQ(ov.credits, 3);
+}
+
+TEST_F(ApplyFixture, ArbiterPointerFaults)
+{
+    router_.sa1Arbiter(0).setPointer(1);
+    apply(SignalClass::StSa1Pointer, 0, -1, 1);
+    EXPECT_EQ(router_.sa1Arbiter(0).pointer(), 3u);
+    router_.sa2Arbiter(4).setPointer(0);
+    apply(SignalClass::StSa2Pointer, 4, -1, 2);
+    EXPECT_EQ(router_.sa2Arbiter(4).pointer(), 4u);
+}
+
+TEST_F(ApplyFixture, ScheduleRegisterFaults)
+{
+    noc::XbarSchedule &sched = router_.schedule(3);
+    apply(SignalClass::StSchedValid, 3, -1, 0);
+    EXPECT_TRUE(sched.valid);
+    apply(SignalClass::StSchedVc, 3, -1, 1);
+    EXPECT_EQ(sched.vc, 2);
+    apply(SignalClass::StSchedRow, 3, -1, 4);
+    EXPECT_EQ(sched.rowMask, 0b10000u);
+    apply(SignalClass::StSchedOutVc, 3, -1, 0);
+    EXPECT_EQ(sched.outVcWire, 1);
+}
+
+TEST(FaultInjector, AppliesOnlyAtMatchingTapAndCycle)
+{
+    noc::NetworkConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.0;
+    noc::Network net(cfg, traffic);
+
+    FaultInjector injector;
+    FaultSite site{5, SignalClass::Sa1Grant, 0, -1, 0};
+    injector.arm({site, 10, FaultKind::Transient});
+    injector.attach(net);
+
+    net.run(10);
+    EXPECT_EQ(injector.applications(), 0u);
+    net.step(); // cycle 10 evaluates now
+    EXPECT_EQ(injector.applications(), 1u);
+    net.run(10);
+    EXPECT_EQ(injector.applications(), 1u);
+}
+
+TEST(FaultInjector, PermanentKeepsApplying)
+{
+    noc::NetworkConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.0;
+    noc::Network net(cfg, traffic);
+
+    FaultInjector injector;
+    injector.arm({{5, SignalClass::StOutVcFree, 0, 0, 0},
+                  5,
+                  FaultKind::Permanent});
+    injector.attach(net);
+    net.run(20);
+    EXPECT_EQ(injector.applications(), 15u);
+    // Stuck-inverted: the bit toggles every cycle relative to the
+    // healthy value; with nothing else writing it, it oscillates.
+}
+
+TEST(FaultInjector, MultipleFaultsCanBeArmed)
+{
+    noc::NetworkConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.0;
+    noc::Network net(cfg, traffic);
+
+    FaultInjector injector;
+    injector.arm({{3, SignalClass::StCredits, 0, 0, 0},
+                  2,
+                  FaultKind::Transient});
+    injector.arm({{7, SignalClass::StCredits, 0, 0, 0},
+                  4,
+                  FaultKind::Transient});
+    injector.attach(net);
+    net.run(10);
+    EXPECT_EQ(injector.applications(), 2u);
+    EXPECT_EQ(injector.faults().size(), 2u);
+    injector.clear();
+    EXPECT_TRUE(injector.faults().empty());
+}
+
+} // namespace
+} // namespace nocalert::fault

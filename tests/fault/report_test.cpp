@@ -1,0 +1,76 @@
+#include "fault/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nocalert::fault {
+namespace {
+
+CampaignResult
+tinyCampaign()
+{
+    CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.warmup = 100;
+    config.observeWindow = 800;
+    config.drainLimit = 3000;
+    config.maxSites = 8;
+    config.forever.epochLength = 300;
+    return FaultCampaign(config).run();
+}
+
+TEST(CampaignReport, CsvHasHeaderAndOneRowPerRun)
+{
+    const CampaignResult result = tinyCampaign();
+    std::ostringstream os;
+    writeCampaignCsv(result, os);
+    const std::string csv = os.str();
+
+    std::size_t lines = 0;
+    for (char ch : csv)
+        lines += ch == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, result.runs.size() + 1);
+    EXPECT_EQ(csv.rfind("router,signal,port", 0), 0u);
+    // Signal names appear verbatim.
+    EXPECT_NE(csv.find(signalClassName(result.runs[0].site.signal)),
+              std::string::npos);
+}
+
+TEST(CampaignReport, CsvEncodesVerdicts)
+{
+    const CampaignResult result = tinyCampaign();
+    std::ostringstream os;
+    writeCampaignCsv(result, os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line); // header
+    std::size_t row = 0;
+    while (std::getline(is, line)) {
+        const FaultRunResult &run = result.runs[row++];
+        // The detected flag is column 9 (0-indexed 8).
+        std::vector<std::string> cells;
+        std::string cell;
+        std::istringstream ls(line);
+        while (std::getline(ls, cell, ','))
+            cells.push_back(cell);
+        ASSERT_GE(cells.size(), 17u);
+        EXPECT_EQ(cells[8], run.detected ? "1" : "0");
+        EXPECT_EQ(cells[5], run.violated ? "1" : "0");
+    }
+    EXPECT_EQ(row, result.runs.size());
+}
+
+TEST(CampaignReport, SummaryTextMentionsDetectors)
+{
+    const CampaignResult result = tinyCampaign();
+    const std::string text = summaryText(result);
+    EXPECT_NE(text.find("NoCAlert"), std::string::npos);
+    EXPECT_NE(text.find("ForEVeR"), std::string::npos);
+    EXPECT_NE(text.find("campaign: 8 runs"), std::string::npos);
+}
+
+} // namespace
+} // namespace nocalert::fault

@@ -1,0 +1,131 @@
+#include "fault/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace nocalert::fault {
+namespace {
+
+noc::NetworkConfig
+mesh(int w = 8, int h = 8)
+{
+    noc::NetworkConfig config;
+    config.width = w;
+    config.height = h;
+    return config;
+}
+
+TEST(FaultSites, EveryClassHasTapAndName)
+{
+    for (int c = 0; c <= static_cast<int>(SignalClass::StSchedOutVc);
+         ++c) {
+        const auto cls = static_cast<SignalClass>(c);
+        EXPECT_STRNE(signalClassName(cls), "?");
+        // Tap lookup must not crash and state signals go to CycleStart.
+        const noc::TapPoint tap = signalTapPoint(cls);
+        if (isStateSignal(cls))
+            EXPECT_EQ(tap, noc::TapPoint::CycleStart);
+        else
+            EXPECT_NE(tap, noc::TapPoint::CycleStart);
+    }
+}
+
+TEST(FaultSites, CenterRouterHasMoreSitesThanCorner)
+{
+    const auto cfg = mesh();
+    const auto corner = FaultSiteCatalog::enumerateRouter(cfg, 0);
+    const auto center =
+        FaultSiteCatalog::enumerateRouter(cfg, cfg.nodeAt({4, 4}));
+    EXPECT_GT(center.size(), corner.size());
+    // A corner router has 3 connected ports vs 5 at the center.
+    EXPECT_NEAR(static_cast<double>(corner.size()) / center.size(),
+                3.0 / 5.0, 0.15);
+}
+
+TEST(FaultSites, CornerSitesOnlyUseConnectedPorts)
+{
+    const auto cfg = mesh();
+    // Node 0 = (0,0): South and West are disconnected.
+    for (const FaultSite &site : FaultSiteCatalog::enumerateRouter(cfg, 0))
+        EXPECT_TRUE(cfg.portConnected(0, site.port)) << site.describe();
+}
+
+TEST(FaultSites, NetworkEnumerationCoversAllRouters)
+{
+    const auto cfg = mesh(4, 4);
+    const auto sites = FaultSiteCatalog::enumerateNetwork(cfg);
+    std::set<noc::NodeId> routers;
+    for (const FaultSite &site : sites)
+        routers.insert(site.router);
+    EXPECT_EQ(routers.size(), 16u);
+}
+
+TEST(FaultSites, PaperScaleCount)
+{
+    // The paper reports 205 locations per full 5-port router and
+    // 11,808 across the 8x8 mesh; our enumeration is finer-grained
+    // (more signal classes) but must be of the same order.
+    const auto cfg = mesh();
+    const auto center =
+        FaultSiteCatalog::enumerateRouter(cfg, cfg.nodeAt({4, 4}));
+    EXPECT_GT(center.size(), 205u);
+    EXPECT_LT(center.size(), 205u * 10);
+}
+
+TEST(FaultSites, SampleIsDeterministic)
+{
+    const auto cfg = mesh(4, 4);
+    const auto a = FaultSiteCatalog::sampleNetwork(cfg, 50, 9);
+    const auto b = FaultSiteCatalog::sampleNetwork(cfg, 50, 9);
+    ASSERT_EQ(a.size(), 50u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FaultSites, SampleIsStratifiedAcrossClasses)
+{
+    const auto cfg = mesh(4, 4);
+    const auto sample = FaultSiteCatalog::sampleNetwork(cfg, 100, 1);
+    std::map<SignalClass, int> per_class;
+    for (const FaultSite &site : sample)
+        ++per_class[site.signal];
+    // Every signal class present in the full enumeration must appear.
+    std::set<SignalClass> all_classes;
+    for (const FaultSite &site : FaultSiteCatalog::enumerateNetwork(cfg))
+        all_classes.insert(site.signal);
+    EXPECT_EQ(per_class.size(), all_classes.size());
+}
+
+TEST(FaultSites, SampleZeroMeansAll)
+{
+    const auto cfg = mesh(4, 4);
+    EXPECT_EQ(FaultSiteCatalog::sampleNetwork(cfg, 0, 1).size(),
+              FaultSiteCatalog::enumerateNetwork(cfg).size());
+}
+
+TEST(FaultSites, DescribeIsInformative)
+{
+    FaultSite site{12, SignalClass::Sa1Grant, 1, -1, 2};
+    const std::string text = site.describe();
+    EXPECT_NE(text.find("r12"), std::string::npos);
+    EXPECT_NE(text.find("Sa1Grant"), std::string::npos);
+    EXPECT_NE(text.find("bit=2"), std::string::npos);
+}
+
+TEST(FaultSites, NoVaSitesWithSingleVc)
+{
+    auto cfg = mesh(4, 4);
+    cfg.router.numVcs = 1;
+    cfg.router.classes = {{"data", 5}};
+    for (const FaultSite &site : FaultSiteCatalog::enumerateNetwork(cfg)) {
+        EXPECT_NE(site.signal, SignalClass::Va2Req) << site.describe();
+        EXPECT_NE(site.signal, SignalClass::Va2Grant) << site.describe();
+        EXPECT_NE(site.signal, SignalClass::Va1Candidate)
+            << site.describe();
+    }
+}
+
+} // namespace
+} // namespace nocalert::fault

@@ -1,0 +1,68 @@
+#include "forever/checknet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::forever {
+namespace {
+
+noc::NetworkConfig
+mesh()
+{
+    noc::NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    return config;
+}
+
+TEST(CheckerNetwork, ArrivalTimeByHopDistance)
+{
+    const auto cfg = mesh();
+    CheckerNetwork net(cfg, /*hop_latency=*/1);
+    // (0,0) -> (3,3) is 6 hops: arrival at 100 + 6 + 1.
+    const noc::Cycle arrival =
+        net.send(100, cfg.nodeAt({0, 0}), cfg.nodeAt({3, 3}), 5);
+    EXPECT_EQ(arrival, 107);
+}
+
+TEST(CheckerNetwork, HopLatencyScales)
+{
+    const auto cfg = mesh();
+    CheckerNetwork net(cfg, /*hop_latency=*/3);
+    const noc::Cycle arrival = net.send(0, 0, 1, 1);
+    EXPECT_EQ(arrival, 4); // 1 hop * 3 + 1
+}
+
+TEST(CheckerNetwork, DeliversInOrderUpToNow)
+{
+    const auto cfg = mesh();
+    CheckerNetwork net(cfg, 1);
+    net.send(0, 0, 1, 2);                 // arrives 2
+    net.send(0, 0, cfg.nodeAt({3, 0}), 7); // arrives 4
+    EXPECT_EQ(net.inFlight(), 2u);
+
+    auto early = net.deliverUpTo(1);
+    EXPECT_TRUE(early.empty());
+
+    auto first = net.deliverUpTo(2);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].dst, 1);
+    EXPECT_EQ(first[0].flits, 2u);
+    EXPECT_EQ(net.inFlight(), 1u);
+
+    auto second = net.deliverUpTo(10);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].flits, 7u);
+    EXPECT_EQ(net.inFlight(), 0u);
+}
+
+TEST(CheckerNetwork, ManyNotificationsSameCycle)
+{
+    const auto cfg = mesh();
+    CheckerNetwork net(cfg, 1);
+    for (int i = 0; i < 10; ++i)
+        net.send(0, 0, 1, 1);
+    EXPECT_EQ(net.deliverUpTo(2).size(), 10u);
+}
+
+} // namespace
+} // namespace nocalert::forever

@@ -1,0 +1,186 @@
+#include "forever/forever.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+
+namespace nocalert::forever {
+namespace {
+
+noc::NetworkConfig
+mesh()
+{
+    noc::NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    return config;
+}
+
+noc::TrafficSpec
+traffic(double rate, noc::Cycle stop = -1)
+{
+    noc::TrafficSpec spec;
+    spec.injectionRate = rate;
+    spec.stopCycle = stop;
+    spec.seed = 31;
+    return spec;
+}
+
+ForeverConfig
+shortEpochs()
+{
+    ForeverConfig config;
+    config.epochLength = 300;
+    return config;
+}
+
+TEST(Forever, QuietOnHealthyNetwork)
+{
+    noc::Network net(mesh(), traffic(0.05));
+    ForeverModel fever(net, shortEpochs());
+    net.run(2500); // several epochs
+    EXPECT_TRUE(fever.alerts().empty());
+    EXPECT_FALSE(fever.firstDetection().has_value());
+}
+
+TEST(Forever, QuietWhenAttachedToWarmNetwork)
+{
+    noc::Network net(mesh(), traffic(0.05));
+    net.run(800); // warm up with traffic in flight
+    ForeverModel fever(net, shortEpochs());
+    net.run(2000);
+    EXPECT_TRUE(fever.alerts().empty());
+}
+
+TEST(Forever, CountersReturnToZeroAfterDrain)
+{
+    noc::Network net(mesh(), traffic(0.05, 500));
+    ForeverModel fever(net, shortEpochs());
+    net.run(500);
+    ASSERT_TRUE(net.drain(3000));
+    for (noc::NodeId n = 0; n < net.config().numNodes(); ++n)
+        EXPECT_EQ(fever.counter(n), 0) << "node " << n;
+}
+
+TEST(Forever, DetectsStrandedFlitsViaEpochCounter)
+{
+    noc::Network net(mesh(), traffic(0.05));
+    net.run(300);
+    ForeverConfig config = shortEpochs();
+    // Counters only: isolate the epoch-based detection path.
+    config.useAllocationComparator = false;
+    config.useEndToEnd = false;
+    ForeverModel fever(net, config);
+
+    // A stuck-at-zero credit line: router 5 believes every eastbound
+    // buffer is permanently full, stranding all traffic through it.
+    // No invariance is violated anywhere (nothing illegal is ever
+    // output), so this permanent-fault class is exactly where the
+    // end-to-end counter scheme earns its keep.
+    const noc::Cycle mutation_cycle = net.cycle();
+    net.setTapHook([&](noc::Router &router, noc::TapPoint tap,
+                       noc::RouterWires &) {
+        if (router.node() != 5 || tap != noc::TapPoint::CycleStart)
+            return;
+        for (unsigned v = 0; v < router.params().numVcs; ++v)
+            router.outVcState(noc::portIndex(noc::Port::East), v)
+                .credits = 0;
+    });
+
+    net.run(2000);
+    ASSERT_TRUE(fever.firstDetection().has_value());
+    // Epoch-based detection: latency is on the epoch scale, far from
+    // instantaneous (the contrast of paper Figure 7).
+    EXPECT_GT(*fever.firstDetection() - mutation_cycle, 100);
+    bool counter_alert = false;
+    for (const ForeverAlert &alert : fever.alerts())
+        counter_alert |=
+            alert.source == ForeverAlert::Source::CounterEpoch;
+    EXPECT_TRUE(counter_alert);
+}
+
+TEST(Forever, AllocationComparatorIsInstant)
+{
+    noc::Network net(mesh(), traffic(0.1));
+    net.run(200);
+    ForeverModel fever(net, shortEpochs());
+
+    fault::FaultInjector injector;
+    // Grant-without-request at an SA1 arbiter: AC territory.
+    injector.arm({{5, fault::SignalClass::Sa1Grant, 4, -1, 0},
+                  net.cycle() + 3,
+                  fault::FaultKind::Permanent});
+    net.setTapHook(injector.hook());
+    net.run(50);
+
+    ASSERT_FALSE(fever.alerts().empty());
+    bool ac = false;
+    for (const ForeverAlert &alert : fever.alerts())
+        ac |= alert.source == ForeverAlert::Source::AllocationComparator;
+    EXPECT_TRUE(ac);
+}
+
+TEST(Forever, EndToEndCatchesMisdelivery)
+{
+    noc::Network net(mesh(), traffic(0.1));
+    net.run(100);
+    ForeverModel fever(net, shortEpochs());
+
+    // Redirect a transiting packet to the local port of router 5.
+    bool mutated = false;
+    net.setTapHook([&](noc::Router &router, noc::TapPoint tap,
+                       noc::RouterWires &) {
+        if (mutated || router.node() != 5 ||
+            tap != noc::TapPoint::CycleStart)
+            return;
+        for (int p = 0; p < noc::kNumPorts - 1; ++p) {
+            for (unsigned v = 0; v < 4; ++v) {
+                noc::VcRecord &rec = router.vcRecord(p, v);
+                const auto &fifo = router.fifo(p, v);
+                if (rec.state == noc::VcState::VcAllocWait &&
+                    !fifo.empty() && fifo.peek(0).dst != 5) {
+                    rec.outPort = noc::portIndex(noc::Port::Local);
+                    mutated = true;
+                    return;
+                }
+            }
+        }
+    });
+    net.run(600);
+    ASSERT_TRUE(mutated);
+    ASSERT_FALSE(fever.alerts().empty());
+    bool end_to_end = false;
+    for (const ForeverAlert &alert : fever.alerts())
+        end_to_end |= alert.source == ForeverAlert::Source::EndToEnd;
+    EXPECT_TRUE(end_to_end);
+}
+
+TEST(Forever, SourceNames)
+{
+    EXPECT_STREQ(foreverSourceName(ForeverAlert::Source::CounterEpoch),
+                 "counter-epoch");
+    EXPECT_STREQ(foreverSourceName(ForeverAlert::Source::EndToEnd),
+                 "end-to-end");
+}
+
+TEST(Forever, DetectorsCanBeDisabled)
+{
+    noc::Network net(mesh(), traffic(0.1));
+    net.run(100);
+    ForeverConfig config = shortEpochs();
+    config.useAllocationComparator = false;
+    ForeverModel fever(net, config);
+
+    fault::FaultInjector injector;
+    injector.arm({{5, fault::SignalClass::Sa1Grant, 4, -1, 0},
+                  net.cycle() + 3,
+                  fault::FaultKind::Transient});
+    net.setTapHook(injector.hook());
+    net.run(20);
+    for (const ForeverAlert &alert : fever.alerts())
+        EXPECT_NE(alert.source,
+                  ForeverAlert::Source::AllocationComparator);
+}
+
+} // namespace
+} // namespace nocalert::forever

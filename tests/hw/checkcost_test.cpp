@@ -1,0 +1,127 @@
+#include "hw/checkcost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/modules.hpp"
+
+namespace nocalert::hw {
+namespace {
+
+noc::NetworkConfig
+configWithVcs(unsigned vcs)
+{
+    noc::NetworkConfig config;
+    config.router.numVcs = vcs;
+    if (vcs == 1)
+        config.router.classes = {{"data", 5}};
+    return config;
+}
+
+TEST(CheckerCost, AllCheckersAreCombinational)
+{
+    const auto cfg = configWithVcs(4);
+    for (const CheckerCostRow &row : checkerCostTable(cfg)) {
+        EXPECT_DOUBLE_EQ(row.gates.dff, 0.0)
+            << core::invariantName(row.id);
+        EXPECT_GT(row.gates.combinational(), 0.0)
+            << core::invariantName(row.id);
+    }
+}
+
+TEST(CheckerCost, CheckerMuchCheaperThanCheckedUnit)
+{
+    // The paper's Figure 4 claim: the grant-without-request checker is
+    // linear in clients while the arbiter grows polynomially.
+    const auto cfg = configWithVcs(4);
+    const GateLibrary &lib = GateLibrary::typical65nm();
+
+    // All arbiter checkers (inv 4-6) vs all allocator hardware.
+    double checker_area = 0;
+    for (auto id :
+         {core::InvariantId::GrantWithoutRequest,
+          core::InvariantId::GrantToNobody,
+          core::InvariantId::GrantNotOneHot}) {
+        checker_area += lib.areaUm2(checkerGates(id, cfg));
+    }
+    double allocator_area = 0;
+    for (const ModuleCost &module : routerModules(cfg))
+        if (module.name == "va allocator" || module.name == "sa allocator")
+            allocator_area += lib.areaUm2(module.gates);
+    EXPECT_LT(checker_area, allocator_area / 2);
+}
+
+TEST(CheckerCost, CheckerGrowthIsGentlerThanArbiterGrowth)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    auto ratio = [&](unsigned vcs) {
+        const auto cfg = configWithVcs(vcs);
+        const double checker = lib.areaUm2(checkerGates(
+            core::InvariantId::GrantWithoutRequest, cfg));
+        double alloc = 0;
+        for (const ModuleCost &module : routerModules(cfg))
+            if (module.name == "va allocator" ||
+                module.name == "sa allocator")
+                alloc += lib.areaUm2(module.gates);
+        return checker / alloc;
+    };
+    // As VCs grow, the checker's share of the allocator shrinks.
+    EXPECT_GT(ratio(2), ratio(8));
+}
+
+TEST(CheckerCost, AtomicityCheckersFollowBufferMode)
+{
+    auto atomic_cfg = configWithVcs(4);
+    auto rows = checkerCostTable(atomic_cfg);
+    auto has = [&](core::InvariantId id) {
+        for (const CheckerCostRow &row : rows)
+            if (row.id == id)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has(core::InvariantId::BufferAtomicityViolation));
+    EXPECT_FALSE(has(core::InvariantId::NonAtomicPacketMixing));
+
+    atomic_cfg.router.atomicBuffers = false;
+    rows = checkerCostTable(atomic_cfg);
+    EXPECT_FALSE(has(core::InvariantId::BufferAtomicityViolation));
+    EXPECT_TRUE(has(core::InvariantId::NonAtomicPacketMixing));
+}
+
+TEST(CheckerCost, VcLessDesignDropsVaCheckers)
+{
+    const auto rows = checkerCostTable(configWithVcs(1));
+    for (const CheckerCostRow &row : rows) {
+        EXPECT_NE(row.id, core::InvariantId::VaAgreesWithRc);
+        EXPECT_NE(row.id, core::InvariantId::IntraVaStageOrder);
+        EXPECT_NE(row.id, core::InvariantId::ConcurrentReadMultipleVcs);
+    }
+    // But the universal checkers stay.
+    bool has_turn = false;
+    for (const CheckerCostRow &row : rows)
+        has_turn |= row.id == core::InvariantId::IllegalTurn;
+    EXPECT_TRUE(has_turn);
+}
+
+TEST(CheckerCost, DmrCostsFarMoreThanNoCAlert)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    for (unsigned vcs : {2u, 4u, 8u}) {
+        const auto cfg = configWithVcs(vcs);
+        EXPECT_GT(lib.areaUm2(dmrControlLogic(cfg)),
+                  2 * lib.areaUm2(nocalertTotal(cfg)))
+            << vcs << " VCs";
+    }
+}
+
+TEST(CheckerCost, TotalIncludesCombiningTree)
+{
+    const auto cfg = configWithVcs(4);
+    const GateCounts total = nocalertTotal(cfg);
+    double sum = 0;
+    for (const CheckerCostRow &row : checkerCostTable(cfg))
+        sum += row.gates.total();
+    EXPECT_GT(total.total(), sum); // + the final OR tree
+}
+
+} // namespace
+} // namespace nocalert::hw

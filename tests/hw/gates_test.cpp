@@ -1,0 +1,67 @@
+#include "hw/gates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::hw {
+namespace {
+
+TEST(GateCounts, Arithmetic)
+{
+    GateCounts a{1, 2, 3, 4, 5, 6};
+    GateCounts b{10, 20, 30, 40, 50, 60};
+    const GateCounts sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.inv, 11);
+    EXPECT_DOUBLE_EQ(sum.dff, 66);
+    const GateCounts scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.xor2, 8);
+    EXPECT_DOUBLE_EQ(a.combinational(), 15);
+    EXPECT_DOUBLE_EQ(a.total(), 21);
+}
+
+TEST(GateLibrary, AreaMonotonicInGates)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    GateCounts small{10, 10, 10, 0, 0, 0};
+    GateCounts large{10, 10, 10, 0, 0, 100};
+    EXPECT_GT(lib.areaUm2(large), lib.areaUm2(small));
+    EXPECT_GT(lib.areaUm2(small), 0.0);
+}
+
+TEST(GateLibrary, GateEquivalentWeights)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    GateCounts one_dff{0, 0, 0, 0, 0, 1};
+    GateCounts one_inv{1, 0, 0, 0, 0, 0};
+    // A flip-flop is far larger than an inverter.
+    EXPECT_GT(lib.gateEquivalents(one_dff),
+              4 * lib.gateEquivalents(one_inv));
+}
+
+TEST(GateLibrary, DffsDominatePower)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    GateCounts comb{0, 100, 0, 0, 0, 0};
+    GateCounts seq{0, 0, 0, 0, 0, 100};
+    // Clock load makes sequential power much higher than equal-GE
+    // combinational power: the reason NoCAlert's unclocked checkers
+    // have a power share below their area share.
+    EXPECT_GT(lib.power(seq), 2 * lib.power(comb));
+}
+
+TEST(GateLibrary, PowerScalesWithActivity)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    GateCounts comb{0, 100, 100, 0, 0, 0};
+    EXPECT_GT(lib.power(comb, 0.5), lib.power(comb, 0.1));
+}
+
+TEST(GateLibrary, ZeroGatesZeroEverything)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    GateCounts none;
+    EXPECT_DOUBLE_EQ(lib.areaUm2(none), 0.0);
+    EXPECT_DOUBLE_EQ(lib.power(none), 0.0);
+}
+
+} // namespace
+} // namespace nocalert::hw

@@ -1,0 +1,105 @@
+#include "hw/modules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::hw {
+namespace {
+
+noc::NetworkConfig
+configWithVcs(unsigned vcs)
+{
+    noc::NetworkConfig config;
+    config.router.numVcs = vcs;
+    if (vcs == 1)
+        config.router.classes = {{"data", 5}};
+    return config;
+}
+
+TEST(Modules, ArbiterGrowsSuperLinearly)
+{
+    const double g4 = arbiterGates(4).total();
+    const double g8 = arbiterGates(8).total();
+    const double g16 = arbiterGates(16).total();
+    EXPECT_GT(g8, 1.9 * g4);
+    EXPECT_GT(g16, 2.1 * g8); // the quadratic term kicks in
+}
+
+TEST(Modules, FifoDominatedByStorage)
+{
+    const GateCounts fifo = fifoGates(5, 128);
+    EXPECT_GT(fifo.dff, 5 * 128 - 1);
+    EXPECT_GT(fifo.dff, fifo.combinational());
+}
+
+TEST(Modules, CrossbarQuadraticInPorts)
+{
+    EXPECT_GT(crossbarGates(10, 64).mux2, 3 * crossbarGates(5, 64).mux2);
+}
+
+TEST(Modules, RouterInventoryComplete)
+{
+    const auto modules = routerModules(configWithVcs(4));
+    EXPECT_GE(modules.size(), 7u);
+    bool has_buffers = false;
+    bool has_va = false;
+    for (const ModuleCost &module : modules) {
+        if (module.name == "input buffers") {
+            has_buffers = true;
+            EXPECT_FALSE(module.controlLogic);
+        }
+        if (module.name == "va allocator") {
+            has_va = true;
+            EXPECT_TRUE(module.controlLogic);
+        }
+    }
+    EXPECT_TRUE(has_buffers);
+    EXPECT_TRUE(has_va);
+}
+
+TEST(Modules, NoVaModuleWithoutVcs)
+{
+    for (const ModuleCost &module : routerModules(configWithVcs(1)))
+        EXPECT_NE(module.name, "va allocator");
+}
+
+TEST(Modules, BuffersDominateRouterArea)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    const auto modules = routerModules(configWithVcs(4));
+    double buffers = 0;
+    double total = 0;
+    for (const ModuleCost &module : modules) {
+        total += lib.areaUm2(module.gates);
+        if (module.name == "input buffers")
+            buffers = lib.areaUm2(module.gates);
+    }
+    EXPECT_GT(buffers / total, 0.4); // buffers are the big consumer
+}
+
+TEST(Modules, ControlShareGrowsWithVcs)
+{
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    auto control_share = [&](unsigned vcs) {
+        const auto cfg = configWithVcs(vcs);
+        return lib.areaUm2(routerControlLogic(cfg)) /
+               lib.areaUm2(routerTotal(cfg));
+    };
+    // The VA allocator's quadratic growth makes the control plane an
+    // increasing fraction of the router as VCs are added — the trend
+    // behind DMR-CL's escalating cost in Figure 10.
+    EXPECT_LT(control_share(2), control_share(4));
+    EXPECT_LT(control_share(4), control_share(8));
+}
+
+TEST(Modules, TotalsMatchSumOfModules)
+{
+    const auto cfg = configWithVcs(4);
+    const GateLibrary &lib = GateLibrary::typical65nm();
+    double sum = 0;
+    for (const ModuleCost &module : routerModules(cfg))
+        sum += lib.areaUm2(module.gates);
+    EXPECT_NEAR(lib.areaUm2(routerTotal(cfg)), sum, 1e-6);
+}
+
+} // namespace
+} // namespace nocalert::hw

@@ -1,0 +1,85 @@
+#include "hw/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::hw {
+namespace {
+
+noc::NetworkConfig
+configWithVcs(unsigned vcs)
+{
+    noc::NetworkConfig config;
+    config.router.numVcs = vcs;
+    return config;
+}
+
+TEST(HwReport, PaperFigure10Shape)
+{
+    // Paper: NoCAlert area overhead 1.38%-4.42% (avg ~3%), roughly
+    // flat over 2-8 VCs; DMR-CL grows from ~5.4% to ~31.3%.
+    const HwReport r2 = makeHwReport(configWithVcs(2));
+    const HwReport r4 = makeHwReport(configWithVcs(4));
+    const HwReport r8 = makeHwReport(configWithVcs(8));
+
+    for (const HwReport &r : {r2, r4, r8}) {
+        EXPECT_GT(r.nocalertAreaOverheadPct, 0.5);
+        EXPECT_LT(r.nocalertAreaOverheadPct, 8.0);
+        EXPECT_GT(r.dmrAreaOverheadPct, r.nocalertAreaOverheadPct);
+    }
+    // DMR escalates with VC count much faster than NoCAlert.
+    EXPECT_GT(r8.dmrAreaOverheadPct, 2.5 * r2.dmrAreaOverheadPct);
+    EXPECT_LT(r8.nocalertAreaOverheadPct,
+              2.5 * r2.nocalertAreaOverheadPct);
+    EXPECT_GT(r8.dmrAreaOverheadPct, 15.0);
+}
+
+TEST(HwReport, PowerOverheadBelowAreaOverhead)
+{
+    // Paper: power overhead 0.3%-1.2% — below the area overhead
+    // because checkers are unclocked.
+    for (unsigned vcs : {2u, 4u, 8u}) {
+        const HwReport r = makeHwReport(configWithVcs(vcs));
+        EXPECT_LT(r.nocalertPowerOverheadPct, r.nocalertAreaOverheadPct);
+        EXPECT_LT(r.nocalertPowerOverheadPct, 2.0);
+        EXPECT_GT(r.nocalertPowerOverheadPct, 0.05);
+    }
+}
+
+TEST(HwReport, CriticalPathImpactTiny)
+{
+    for (unsigned vcs : {2u, 4u, 8u}) {
+        const HwReport r = makeHwReport(configWithVcs(vcs));
+        EXPECT_GT(r.criticalPathImpactPct, 0.0);
+        EXPECT_LT(r.criticalPathImpactPct, 3.0); // paper: at most 3%
+        EXPECT_GT(r.nocalertCriticalPath, r.baselineCriticalPath);
+    }
+}
+
+TEST(HwReport, CriticalPathGrowsWithVcs)
+{
+    // More VA2 clients -> deeper allocator -> slower clock.
+    EXPECT_GT(criticalPathPs(configWithVcs(8)),
+              criticalPathPs(configWithVcs(2)));
+}
+
+TEST(HwReport, AreasAreConsistent)
+{
+    const HwReport r = makeHwReport(configWithVcs(4));
+    EXPECT_GT(r.routerArea, r.controlLogicArea);
+    EXPECT_GT(r.controlLogicArea, r.nocalertArea);
+    EXPECT_GT(r.dmrArea, r.controlLogicArea); // duplication + compare
+    EXPECT_NEAR(r.nocalertAreaOverheadPct,
+                100.0 * r.nocalertArea / r.routerArea, 1e-9);
+}
+
+TEST(HwReport, RouterAreaPlausibleFor65nm)
+{
+    // A 5-port 4-VC 128-bit router at 65 nm is a few hundred thousand
+    // um^2 in published syntheses; the model must be in that decade.
+    const HwReport r = makeHwReport(configWithVcs(4));
+    EXPECT_GT(r.routerArea, 5e4);
+    EXPECT_LT(r.routerArea, 5e6);
+}
+
+} // namespace
+} // namespace nocalert::hw

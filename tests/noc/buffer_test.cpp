@@ -1,0 +1,183 @@
+#include "noc/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::noc {
+namespace {
+
+Flit
+makeFlit(PacketId pkt, std::uint16_t seq, FlitType type = FlitType::Body)
+{
+    Flit f;
+    f.packet = pkt;
+    f.seq = seq;
+    f.type = type;
+    return f;
+}
+
+TEST(VcFifo, StartsEmpty)
+{
+    VcFifo fifo(4);
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_FALSE(fifo.full());
+    EXPECT_EQ(fifo.size(), 0u);
+    EXPECT_EQ(fifo.depth(), 4u);
+}
+
+TEST(VcFifo, FifoOrder)
+{
+    VcFifo fifo(4);
+    for (std::uint16_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(fifo.push(makeFlit(1, i)));
+    EXPECT_TRUE(fifo.full());
+    for (std::uint16_t i = 0; i < 4; ++i)
+        EXPECT_EQ(fifo.pop().seq, i);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(VcFifo, PushToFullDrops)
+{
+    VcFifo fifo(2);
+    EXPECT_TRUE(fifo.push(makeFlit(1, 0)));
+    EXPECT_TRUE(fifo.push(makeFlit(1, 1)));
+    EXPECT_FALSE(fifo.push(makeFlit(1, 2)));
+    EXPECT_EQ(fifo.size(), 2u);
+    EXPECT_EQ(fifo.pop().seq, 0);
+}
+
+TEST(VcFifo, PopEmptyReturnsStaleHeadSlot)
+{
+    VcFifo fifo(3);
+    fifo.push(makeFlit(7, 0));
+    fifo.pop();
+    // Empty now; the head slot has advanced past the popped flit. A
+    // stale read must not move pointers or underflow.
+    const Flit stale = fifo.pop();
+    EXPECT_TRUE(fifo.empty());
+    // The next push/pop cycle still behaves correctly.
+    fifo.push(makeFlit(8, 1));
+    EXPECT_EQ(fifo.pop().packet, 8u);
+    (void)stale;
+}
+
+TEST(VcFifo, StaleReadReturnsPreviousContents)
+{
+    VcFifo fifo(2);
+    fifo.push(makeFlit(5, 3));
+    EXPECT_EQ(fifo.pop().packet, 5u);
+    fifo.push(makeFlit(6, 0));
+    EXPECT_EQ(fifo.pop().packet, 6u);
+    // Head now points at the slot that held packet 5's flit.
+    EXPECT_EQ(fifo.pop().packet, 5u);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(VcFifo, PeekBeyondSizeSeesStaleSlots)
+{
+    VcFifo fifo(3);
+    fifo.push(makeFlit(1, 0));
+    fifo.push(makeFlit(1, 1));
+    fifo.pop();
+    EXPECT_EQ(fifo.peek(0).seq, 1);
+    // peek(1) wraps into stale territory without crashing.
+    (void)fifo.peek(1);
+    (void)fifo.peek(2);
+}
+
+TEST(VcFifo, WrapAroundManyTimes)
+{
+    VcFifo fifo(3);
+    for (std::uint16_t i = 0; i < 100; ++i) {
+        EXPECT_TRUE(fifo.push(makeFlit(9, i)));
+        EXPECT_EQ(fifo.pop().seq, i);
+    }
+}
+
+TEST(VcFifo, ClearResetsPointers)
+{
+    VcFifo fifo(4);
+    fifo.push(makeFlit(1, 0));
+    fifo.push(makeFlit(1, 1));
+    fifo.clear();
+    EXPECT_TRUE(fifo.empty());
+    fifo.push(makeFlit(2, 5));
+    EXPECT_EQ(fifo.pop().seq, 5);
+}
+
+TEST(VcRecord, ResetClearsEverything)
+{
+    VcRecord rec;
+    rec.state = VcState::Active;
+    rec.outPort = 2;
+    rec.outVc = 3;
+    rec.msgClass = 1;
+    rec.flitsArrived = 4;
+    rec.expectedLength = 5;
+    rec.tailArrived = true;
+    rec.lastWrittenType = FlitType::Body;
+    rec.reset();
+    EXPECT_EQ(rec.state, VcState::Idle);
+    EXPECT_EQ(rec.outPort, kInvalidPort);
+    EXPECT_EQ(rec.outVc, -1);
+    EXPECT_EQ(rec.msgClass, 0);
+    EXPECT_EQ(rec.flitsArrived, 0u);
+    EXPECT_EQ(rec.expectedLength, 0u);
+    EXPECT_FALSE(rec.tailArrived);
+}
+
+TEST(VcState, Names)
+{
+    EXPECT_STREQ(vcStateName(VcState::Idle), "Idle");
+    EXPECT_STREQ(vcStateName(VcState::RouteWait), "RouteWait");
+    EXPECT_STREQ(vcStateName(VcState::VcAllocWait), "VcAllocWait");
+    EXPECT_STREQ(vcStateName(VcState::Active), "Active");
+}
+
+TEST(FlitTypes, HeadTailPredicates)
+{
+    EXPECT_TRUE(isHead(FlitType::Head));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isHead(FlitType::Body));
+    EXPECT_TRUE(isTail(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+}
+
+TEST(Packet, MakeFlitTypes)
+{
+    Packet pkt;
+    pkt.id = 1;
+    pkt.src = 0;
+    pkt.dst = 5;
+    pkt.length = 4;
+    EXPECT_EQ(pkt.makeFlit(0).type, FlitType::Head);
+    EXPECT_EQ(pkt.makeFlit(1).type, FlitType::Body);
+    EXPECT_EQ(pkt.makeFlit(2).type, FlitType::Body);
+    EXPECT_EQ(pkt.makeFlit(3).type, FlitType::Tail);
+
+    Packet single;
+    single.id = 2;
+    single.length = 1;
+    EXPECT_EQ(single.makeFlit(0).type, FlitType::HeadTail);
+}
+
+TEST(Packet, MakeFlitCarriesMetadata)
+{
+    Packet pkt;
+    pkt.id = 77;
+    pkt.src = 3;
+    pkt.dst = 9;
+    pkt.msgClass = 1;
+    pkt.length = 2;
+    pkt.created = 123;
+    const Flit f = pkt.makeFlit(1);
+    EXPECT_EQ(f.packet, 77u);
+    EXPECT_EQ(f.seq, 1);
+    EXPECT_EQ(f.src, 3);
+    EXPECT_EQ(f.dst, 9);
+    EXPECT_EQ(f.msgClass, 1);
+    EXPECT_EQ(f.injected, 123);
+}
+
+} // namespace
+} // namespace nocalert::noc

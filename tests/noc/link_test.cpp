@@ -1,0 +1,58 @@
+#include "noc/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::noc {
+namespace {
+
+TEST(Link, OneCycleLatency)
+{
+    Link link;
+    link.sendValid = true;
+    link.sendFlit.packet = 42;
+    EXPECT_FALSE(link.recvValid);
+    link.tick();
+    EXPECT_TRUE(link.recvValid);
+    EXPECT_EQ(link.recvFlit.packet, 42u);
+    EXPECT_FALSE(link.sendValid);
+    link.tick();
+    EXPECT_FALSE(link.recvValid);
+}
+
+TEST(Link, CreditChannelIndependent)
+{
+    Link link;
+    link.creditSend = 0b101;
+    link.tick();
+    EXPECT_EQ(link.creditRecv, 0b101u);
+    EXPECT_EQ(link.creditSend, 0u);
+    link.tick();
+    EXPECT_EQ(link.creditRecv, 0u);
+}
+
+TEST(Link, BackToBackFlits)
+{
+    Link link;
+    for (std::uint16_t i = 0; i < 5; ++i) {
+        link.sendValid = true;
+        link.sendFlit.seq = i;
+        link.tick();
+        EXPECT_TRUE(link.recvValid);
+        EXPECT_EQ(link.recvFlit.seq, i);
+    }
+}
+
+TEST(Link, ClearDropsInFlight)
+{
+    Link link;
+    link.sendValid = true;
+    link.creditSend = 3;
+    link.tick();
+    link.clear();
+    EXPECT_FALSE(link.recvValid);
+    EXPECT_FALSE(link.sendValid);
+    EXPECT_EQ(link.creditRecv, 0u);
+}
+
+} // namespace
+} // namespace nocalert::noc

@@ -1,0 +1,206 @@
+#include "noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::noc {
+namespace {
+
+NetworkConfig
+mesh(int w = 4, int h = 4)
+{
+    NetworkConfig config;
+    config.width = w;
+    config.height = h;
+    return config;
+}
+
+Flit
+headerTo(NodeId dst, PacketId pkt = 0)
+{
+    Flit f;
+    f.type = FlitType::Head;
+    f.dst = dst;
+    f.packet = pkt;
+    return f;
+}
+
+constexpr int kN = portIndex(Port::North);
+constexpr int kE = portIndex(Port::East);
+constexpr int kS = portIndex(Port::South);
+constexpr int kW = portIndex(Port::West);
+constexpr int kL = portIndex(Port::Local);
+
+TEST(XyRouting, XFirstThenY)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    // From (1,1) to (3,2): X first -> East.
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}),
+                          headerTo(cfg.nodeAt({3, 2})), kL), kE);
+    // Same column, to the north -> North.
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}),
+                          headerTo(cfg.nodeAt({1, 3})), kL), kN);
+    // Same column, to the south -> South.
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}),
+                          headerTo(cfg.nodeAt({1, 0})), kL), kS);
+    // Westward.
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}),
+                          headerTo(cfg.nodeAt({0, 1})), kL), kW);
+}
+
+TEST(XyRouting, EjectsAtDestination)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    const NodeId n = cfg.nodeAt({2, 2});
+    EXPECT_EQ(algo->route(cfg, n, headerTo(n), kN), kL);
+}
+
+TEST(XyRouting, InvalidDestinationGivesInvalidPort)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    Flit garbage = headerTo(0);
+    garbage.dst = 999;
+    EXPECT_EQ(algo->route(cfg, 0, garbage, kL), kInvalidPort);
+}
+
+TEST(XyRouting, TurnLegality)
+{
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    const Flit f = headerTo(0);
+    // X input may turn anywhere (except U-turn).
+    EXPECT_TRUE(algo->legalTurn(f, kE, kN));
+    EXPECT_TRUE(algo->legalTurn(f, kW, kS));
+    EXPECT_TRUE(algo->legalTurn(f, kE, kW));
+    // Y input may not turn back to X.
+    EXPECT_FALSE(algo->legalTurn(f, kN, kE));
+    EXPECT_FALSE(algo->legalTurn(f, kS, kW));
+    // Y straight-through is fine.
+    EXPECT_TRUE(algo->legalTurn(f, kN, kS));
+    // Local is unrestricted.
+    EXPECT_TRUE(algo->legalTurn(f, kL, kE));
+    EXPECT_TRUE(algo->legalTurn(f, kN, kL));
+    // U-turns are never legal.
+    EXPECT_FALSE(algo->legalTurn(f, kE, kE));
+    EXPECT_FALSE(algo->legalTurn(f, kN, kN));
+    // Out-of-range ports are illegal.
+    EXPECT_FALSE(algo->legalTurn(f, kE, 7));
+    EXPECT_FALSE(algo->legalTurn(f, kE, -1));
+}
+
+TEST(YxRouting, YFirstThenX)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::YX);
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}),
+                          headerTo(cfg.nodeAt({3, 2})), kL), kN);
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 2}),
+                          headerTo(cfg.nodeAt({3, 2})), kL), kE);
+    // YX forbids X-input -> Y-output turns.
+    const Flit f = headerTo(0);
+    EXPECT_FALSE(algo->legalTurn(f, kE, kN));
+    EXPECT_TRUE(algo->legalTurn(f, kN, kE));
+}
+
+TEST(WestFirst, WestHopsComeFirst)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::WestFirst);
+    // Destination to the south-west: west first.
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({3, 3}),
+                          headerTo(cfg.nodeAt({1, 1})), kL), kW);
+    // No west component: adaptive, must be a productive direction.
+    const int out = algo->route(cfg, cfg.nodeAt({0, 0}),
+                                headerTo(cfg.nodeAt({2, 3})), kL);
+    EXPECT_TRUE(out == kE || out == kN);
+}
+
+TEST(WestFirst, TurnRules)
+{
+    const auto algo = makeRouting(RoutingAlgo::WestFirst);
+    const Flit f = headerTo(0);
+    // Turning into West is only legal from East input (already going
+    // west) or from Local.
+    EXPECT_TRUE(algo->legalTurn(f, kE, kW));
+    EXPECT_TRUE(algo->legalTurn(f, kL, kW));
+    EXPECT_FALSE(algo->legalTurn(f, kN, kW));
+    EXPECT_FALSE(algo->legalTurn(f, kS, kW));
+    // Everything else is free (it's an adaptive turn model).
+    EXPECT_TRUE(algo->legalTurn(f, kN, kE));
+    EXPECT_TRUE(algo->legalTurn(f, kE, kN));
+}
+
+TEST(O1Turn, PacketParityPicksOrder)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::O1Turn);
+    const Flit even = headerTo(cfg.nodeAt({3, 2}), 0);
+    const Flit odd = headerTo(cfg.nodeAt({3, 2}), 1);
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}), even, kL), kE); // XY
+    EXPECT_EQ(algo->route(cfg, cfg.nodeAt({1, 1}), odd, kL), kN);  // YX
+    // Turn legality matches the chosen order.
+    EXPECT_FALSE(algo->legalTurn(even, kN, kE));
+    EXPECT_TRUE(algo->legalTurn(odd, kN, kE));
+    EXPECT_TRUE(algo->legalTurn(even, kE, kN));
+    EXPECT_FALSE(algo->legalTurn(odd, kE, kN));
+}
+
+TEST(MinimalStep, DetectsProgress)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    const NodeId here = cfg.nodeAt({1, 1});
+    const Flit f = headerTo(cfg.nodeAt({3, 1}));
+    EXPECT_TRUE(algo->minimalStep(cfg, here, f, kE));
+    EXPECT_FALSE(algo->minimalStep(cfg, here, f, kW));
+    EXPECT_FALSE(algo->minimalStep(cfg, here, f, kN));
+    EXPECT_FALSE(algo->minimalStep(cfg, here, f, kL));
+    // Ejection is the minimal step at the destination.
+    EXPECT_TRUE(algo->minimalStep(cfg, f.dst, headerTo(f.dst), kL));
+}
+
+TEST(MinimalStep, OffMeshIsNotMinimal)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::XY);
+    // West from column 0 leaves the mesh.
+    EXPECT_FALSE(algo->minimalStep(cfg, cfg.nodeAt({0, 1}),
+                                   headerTo(cfg.nodeAt({3, 1})), kW));
+}
+
+TEST(AllAlgorithms, RouteIsAlwaysLegalAndMinimal)
+{
+    const auto cfg = mesh(5, 3);
+    for (RoutingAlgo kind : {RoutingAlgo::XY, RoutingAlgo::YX,
+                             RoutingAlgo::WestFirst, RoutingAlgo::O1Turn}) {
+        const auto algo = makeRouting(kind);
+        for (NodeId src = 0; src < cfg.numNodes(); ++src) {
+            for (NodeId dst = 0; dst < cfg.numNodes(); ++dst) {
+                for (PacketId pkt = 0; pkt < 2; ++pkt) {
+                    const Flit f = headerTo(dst, pkt);
+                    const int out = algo->route(cfg, src, f, kL);
+                    ASSERT_TRUE(algo->legalTurn(f, kL, out))
+                        << routingAlgoName(kind) << " " << src << "->"
+                        << dst;
+                    ASSERT_TRUE(algo->minimalStep(cfg, src, f, out))
+                        << routingAlgoName(kind) << " " << src << "->"
+                        << dst;
+                }
+            }
+        }
+    }
+}
+
+TEST(Factory, KindsRoundTrip)
+{
+    EXPECT_EQ(makeRouting(RoutingAlgo::XY)->kind(), RoutingAlgo::XY);
+    EXPECT_EQ(makeRouting(RoutingAlgo::YX)->kind(), RoutingAlgo::YX);
+    EXPECT_EQ(makeRouting(RoutingAlgo::WestFirst)->kind(),
+              RoutingAlgo::WestFirst);
+    EXPECT_EQ(makeRouting(RoutingAlgo::O1Turn)->kind(),
+              RoutingAlgo::O1Turn);
+}
+
+} // namespace
+} // namespace nocalert::noc

@@ -1,0 +1,45 @@
+#include "noc/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert::noc {
+namespace {
+
+TEST(Stats, EmptyStatsAreZero)
+{
+    NetworkStats stats;
+    EXPECT_DOUBLE_EQ(stats.avgPacketLatency(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.throughput(64), 0.0);
+}
+
+TEST(Stats, AverageLatency)
+{
+    NetworkStats stats;
+    stats.packetsEjected = 4;
+    stats.latencySum = 100;
+    EXPECT_DOUBLE_EQ(stats.avgPacketLatency(), 25.0);
+}
+
+TEST(Stats, Throughput)
+{
+    NetworkStats stats;
+    stats.flitsEjected = 640;
+    stats.cycles = 100;
+    EXPECT_DOUBLE_EQ(stats.throughput(64), 0.1);
+    EXPECT_DOUBLE_EQ(stats.throughput(0), 0.0);
+}
+
+TEST(Stats, SummaryMentionsKeyNumbers)
+{
+    NetworkStats stats;
+    stats.cycles = 42;
+    stats.packetsCreated = 7;
+    stats.flitsInjected = 21;
+    const std::string text = stats.summary();
+    EXPECT_NE(text.find("cycles=42"), std::string::npos);
+    EXPECT_NE(text.find("7/"), std::string::npos);
+    EXPECT_NE(text.find("21/"), std::string::npos);
+}
+
+} // namespace
+} // namespace nocalert::noc

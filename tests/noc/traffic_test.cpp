@@ -1,0 +1,278 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nocalert::noc {
+namespace {
+
+NetworkConfig
+mesh(int w = 4, int h = 4)
+{
+    NetworkConfig config;
+    config.width = w;
+    config.height = h;
+    return config;
+}
+
+TEST(Traffic, Deterministic)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 0.3;
+    spec.seed = 99;
+    TrafficGenerator a(cfg, spec);
+    TrafficGenerator b(cfg, spec);
+    for (Cycle c = 0; c < 200; ++c) {
+        for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+            const auto pa = a.generate(cfg, n, c);
+            const auto pb = b.generate(cfg, n, c);
+            ASSERT_EQ(pa.has_value(), pb.has_value());
+            if (pa) {
+                EXPECT_EQ(pa->id, pb->id);
+                EXPECT_EQ(pa->dst, pb->dst);
+                EXPECT_EQ(pa->msgClass, pb->msgClass);
+            }
+        }
+    }
+}
+
+TEST(Traffic, CopyPreservesStream)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 0.5;
+    TrafficGenerator a(cfg, spec);
+    for (Cycle c = 0; c < 50; ++c)
+        for (NodeId n = 0; n < cfg.numNodes(); ++n)
+            (void)a.generate(cfg, n, c);
+    TrafficGenerator b = a;
+    for (Cycle c = 50; c < 100; ++c) {
+        for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+            const auto pa = a.generate(cfg, n, c);
+            const auto pb = b.generate(cfg, n, c);
+            ASSERT_EQ(pa.has_value(), pb.has_value());
+            if (pa)
+                EXPECT_EQ(pa->id, pb->id);
+        }
+    }
+}
+
+TEST(Traffic, RateIsRespected)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 0.1;
+    TrafficGenerator gen(cfg, spec);
+    std::uint64_t fired = 0;
+    const Cycle cycles = 2000;
+    for (Cycle c = 0; c < cycles; ++c)
+        for (NodeId n = 0; n < cfg.numNodes(); ++n)
+            fired += gen.generate(cfg, n, c).has_value() ? 1 : 0;
+    const double rate = static_cast<double>(fired) /
+                        (static_cast<double>(cycles) * cfg.numNodes());
+    EXPECT_NEAR(rate, 0.1, 0.01);
+    EXPECT_EQ(gen.packetsCreated(), fired);
+}
+
+TEST(Traffic, StopCycleHonored)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    spec.stopCycle = 10;
+    TrafficGenerator gen(cfg, spec);
+    EXPECT_TRUE(gen.generate(cfg, 0, 9).has_value());
+    EXPECT_FALSE(gen.generate(cfg, 0, 10).has_value());
+    EXPECT_FALSE(gen.generate(cfg, 0, 1000).has_value());
+}
+
+TEST(Traffic, UniformNeverSelfDirected)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    for (Cycle c = 0; c < 100; ++c) {
+        for (NodeId n = 0; n < cfg.numNodes(); ++n) {
+            const auto pkt = gen.generate(cfg, n, c);
+            ASSERT_TRUE(pkt.has_value());
+            EXPECT_NE(pkt->dst, n);
+            EXPECT_EQ(pkt->src, n);
+        }
+    }
+}
+
+TEST(Traffic, UniformCoversDestinations)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    std::map<NodeId, int> seen;
+    for (Cycle c = 0; c < 500; ++c)
+        if (auto pkt = gen.generate(cfg, 0, c))
+            ++seen[pkt->dst];
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(cfg.numNodes() - 1));
+}
+
+TEST(Traffic, TransposePattern)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Transpose;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    const NodeId src = cfg.nodeAt({3, 1});
+    const auto pkt = gen.generate(cfg, src, 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, cfg.nodeAt({1, 3}));
+    // Diagonal nodes send to themselves -> no packet.
+    EXPECT_FALSE(gen.generate(cfg, cfg.nodeAt({2, 2}), 0).has_value());
+}
+
+TEST(Traffic, BitComplementPattern)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::BitComplement;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    const auto pkt = gen.generate(cfg, cfg.nodeAt({0, 0}), 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, cfg.nodeAt({3, 3}));
+}
+
+TEST(Traffic, TornadoPattern)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Tornado;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    const auto pkt = gen.generate(cfg, cfg.nodeAt({1, 2}), 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, cfg.nodeAt({3, 2}));
+}
+
+TEST(Traffic, ShufflePattern)
+{
+    const auto cfg = mesh(); // 16 nodes, 4 bits
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Shuffle;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    // Node 3 = 0b0011 -> rotate-left -> 0b0110 = 6.
+    const auto pkt = gen.generate(cfg, 3, 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, 6);
+    // Node 9 = 0b1001 -> 0b0011 = 3.
+    const auto pkt2 = gen.generate(cfg, 9, 0);
+    ASSERT_TRUE(pkt2.has_value());
+    EXPECT_EQ(pkt2->dst, 3);
+    // Fixed points (0, 15) send to themselves -> no packet.
+    EXPECT_FALSE(gen.generate(cfg, 0, 0).has_value());
+    EXPECT_FALSE(gen.generate(cfg, 15, 0).has_value());
+}
+
+TEST(Traffic, BitReversePattern)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::BitReverse;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    // Node 1 = 0b0001 -> 0b1000 = 8.
+    const auto pkt = gen.generate(cfg, 1, 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, 8);
+    // Palindromic ids are fixed points.
+    EXPECT_FALSE(gen.generate(cfg, 0b1001, 0).has_value());
+}
+
+TEST(Traffic, NeighborPattern)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Neighbor;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    const auto pkt = gen.generate(cfg, cfg.nodeAt({1, 2}), 0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->dst, cfg.nodeAt({2, 2}));
+    // Row wrap-around.
+    const auto wrap = gen.generate(cfg, cfg.nodeAt({3, 0}), 0);
+    ASSERT_TRUE(wrap.has_value());
+    EXPECT_EQ(wrap->dst, cfg.nodeAt({0, 0}));
+}
+
+TEST(Traffic, HotspotBias)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.pattern = TrafficPattern::Hotspot;
+    spec.injectionRate = 1.0;
+    spec.hotspot = 5;
+    spec.hotspotFraction = 0.5;
+    TrafficGenerator gen(cfg, spec);
+    int to_hotspot = 0;
+    int total = 0;
+    for (Cycle c = 0; c < 1000; ++c) {
+        if (auto pkt = gen.generate(cfg, 0, c)) {
+            ++total;
+            to_hotspot += pkt->dst == 5 ? 1 : 0;
+        }
+    }
+    EXPECT_GT(static_cast<double>(to_hotspot) / total, 0.4);
+}
+
+TEST(Traffic, ClassWeights)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    spec.classWeights = {3.0, 1.0};
+    TrafficGenerator gen(cfg, spec);
+    int cls0 = 0;
+    int total = 0;
+    for (Cycle c = 0; c < 2000; ++c) {
+        if (auto pkt = gen.generate(cfg, 1, c)) {
+            ++total;
+            cls0 += pkt->msgClass == 0 ? 1 : 0;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(cls0) / total, 0.75, 0.05);
+}
+
+TEST(Traffic, PacketIdsUniqueAcrossNodes)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    std::map<PacketId, int> ids;
+    for (Cycle c = 0; c < 100; ++c)
+        for (NodeId n = 0; n < cfg.numNodes(); ++n)
+            if (auto pkt = gen.generate(cfg, n, c))
+                ++ids[pkt->id];
+    for (const auto &[id, count] : ids)
+        EXPECT_EQ(count, 1) << "duplicate packet id " << id;
+}
+
+TEST(Traffic, LengthMatchesClass)
+{
+    const auto cfg = mesh();
+    TrafficSpec spec;
+    spec.injectionRate = 1.0;
+    TrafficGenerator gen(cfg, spec);
+    for (Cycle c = 0; c < 200; ++c) {
+        if (auto pkt = gen.generate(cfg, 2, c)) {
+            EXPECT_EQ(pkt->length,
+                      cfg.router.classLength(pkt->msgClass));
+        }
+    }
+}
+
+} // namespace
+} // namespace nocalert::noc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property sweep: NoCAlert raises ZERO assertions on a healthy
+ * network, whatever the configuration, traffic pattern, or load.
+ * This is the foundation of the paper's classification methodology —
+ * any assertion in a fault-injected run is attributable to the fault.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/nocalert.hpp"
+#include "forever/forever.hpp"
+#include "noc/network.hpp"
+
+namespace nocalert::core {
+namespace {
+
+struct CleanCase
+{
+    unsigned vcs;
+    bool atomic;
+    bool speculative;
+    noc::RoutingAlgo routing;
+    noc::TrafficPattern pattern;
+    double rate;
+    std::uint64_t seed;
+};
+
+std::string
+caseName(const testing::TestParamInfo<CleanCase> &info)
+{
+    const CleanCase &c = info.param;
+    std::string name = std::string("v") + std::to_string(c.vcs);
+    name += c.atomic ? "_atomic" : "_nonatomic";
+    if (c.speculative)
+        name += "_spec";
+    name += std::string("_") + routingAlgoName(c.routing);
+    name += std::string("_") + trafficPatternName(c.pattern);
+    name += "_r" + std::to_string(static_cast<int>(c.rate * 1000));
+    name += "_s" + std::to_string(c.seed);
+    for (char &ch : name)
+        if (ch == '-')
+            ch = '_';
+    return name;
+}
+
+class CleanRunProperty : public testing::TestWithParam<CleanCase>
+{
+};
+
+TEST_P(CleanRunProperty, NoFalseAlarms)
+{
+    const CleanCase &c = GetParam();
+    noc::NetworkConfig config;
+    config.width = 5;
+    config.height = 5;
+    config.router.numVcs = c.vcs;
+    config.router.atomicBuffers = c.atomic;
+    config.router.speculative = c.speculative;
+    config.routing = c.routing;
+    if (c.vcs == 1)
+        config.router.classes = {{"data", 5}};
+
+    noc::TrafficSpec traffic;
+    traffic.pattern = c.pattern;
+    traffic.injectionRate = c.rate;
+    traffic.seed = c.seed;
+    traffic.stopCycle = 1200;
+
+    noc::Network net(config, traffic);
+    NoCAlertEngine engine(net);
+    net.run(1200);
+    net.drain(8000);
+
+    EXPECT_EQ(engine.log().count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Microarchitectures, CleanRunProperty,
+    testing::Values(
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 1},
+        CleanCase{2, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 2},
+        CleanCase{8, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 3},
+        CleanCase{1, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.03, 4},
+        CleanCase{4, false, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 5},
+        CleanCase{4, true, true, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 6},
+        CleanCase{4, false, true, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 7}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    RoutingAndPatterns, CleanRunProperty,
+    testing::Values(
+        CleanCase{4, true, false, noc::RoutingAlgo::YX,
+                  noc::TrafficPattern::UniformRandom, 0.05, 8},
+        CleanCase{4, true, false, noc::RoutingAlgo::WestFirst,
+                  noc::TrafficPattern::UniformRandom, 0.05, 9},
+        CleanCase{4, true, false, noc::RoutingAlgo::O1Turn,
+                  noc::TrafficPattern::UniformRandom, 0.05, 10},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::Transpose, 0.05, 11},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::BitComplement, 0.05, 12},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::Tornado, 0.05, 13},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::Hotspot, 0.04, 14},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::Shuffle, 0.05, 20},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::BitReverse, 0.05, 21},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::Neighbor, 0.08, 22}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, CleanRunProperty,
+    testing::Values(
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.01, 15},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.10, 16},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.18, 17},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 18},
+        CleanCase{4, true, false, noc::RoutingAlgo::XY,
+                  noc::TrafficPattern::UniformRandom, 0.05, 19}),
+    caseName);
+
+TEST(CleanRunForever, NoFalseAlarmsAtModerateLoad)
+{
+    noc::NetworkConfig config;
+    config.width = 5;
+    config.height = 5;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.05;
+    traffic.seed = 3;
+
+    noc::Network net(config, traffic);
+    forever::ForeverModel fever(net, {});
+    net.run(4000); // several 1,500-cycle epochs
+    EXPECT_TRUE(fever.alerts().empty());
+}
+
+} // namespace
+} // namespace nocalert::core

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Property sweep: across mesh sizes, VC counts, buffer depths,
+ * routing algorithms, injection rates, and seeds, a healthy network
+ * must deliver every flit exactly once, in order, at its destination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/network.hpp"
+
+namespace nocalert::noc {
+namespace {
+
+struct DeliveryCase
+{
+    int width;
+    int height;
+    unsigned vcs;
+    unsigned depth;
+    RoutingAlgo routing;
+    bool atomic;
+    bool speculative;
+    double rate;
+    std::uint64_t seed;
+};
+
+std::string
+caseName(const testing::TestParamInfo<DeliveryCase> &info)
+{
+    const DeliveryCase &c = info.param;
+    std::string name = std::to_string(c.width) + "x" +
+                       std::to_string(c.height) + "_v" +
+                       std::to_string(c.vcs) + "_d" +
+                       std::to_string(c.depth) + "_" +
+                       routingAlgoName(c.routing);
+    name += c.atomic ? "_atomic" : "_nonatomic";
+    if (c.speculative)
+        name += "_spec";
+    name += "_r" + std::to_string(static_cast<int>(c.rate * 1000));
+    name += "_s" + std::to_string(c.seed);
+    return name;
+}
+
+class DeliveryProperty : public testing::TestWithParam<DeliveryCase>
+{
+};
+
+TEST_P(DeliveryProperty, ExactlyOnceInOrderDelivery)
+{
+    const DeliveryCase &c = GetParam();
+    NetworkConfig config;
+    config.width = c.width;
+    config.height = c.height;
+    config.router.numVcs = c.vcs;
+    config.router.bufferDepth = c.depth;
+    config.router.atomicBuffers = c.atomic;
+    config.router.speculative = c.speculative;
+    config.routing = c.routing;
+    if (c.vcs == 1)
+        config.router.classes = {{"data", std::uint16_t(
+            std::min<unsigned>(5, c.depth))}};
+    else
+        config.router.classes = {
+            {"ctrl", 1},
+            {"data", std::uint16_t(std::min<unsigned>(5, c.depth))}};
+
+    TrafficSpec traffic;
+    traffic.injectionRate = c.rate;
+    traffic.seed = c.seed;
+    traffic.stopCycle = 700;
+
+    Network net(config, traffic);
+    net.run(700);
+    ASSERT_TRUE(net.drain(8000)) << "network failed to drain";
+
+    const NetworkStats stats = net.stats();
+    EXPECT_EQ(stats.packetsCreated, stats.packetsInjected);
+    EXPECT_EQ(stats.flitsInjected, stats.flitsEjected);
+    EXPECT_EQ(stats.packetsInjected, stats.packetsEjected);
+
+    std::map<std::pair<PacketId, std::uint16_t>, int> seen;
+    std::map<PacketId, int> order;
+    for (const EjectionRecord &rec : net.collectEjections()) {
+        EXPECT_EQ(rec.flit.dst, rec.node);
+        ++seen[{rec.flit.packet, rec.flit.seq}];
+        auto [it, fresh] = order.try_emplace(rec.flit.packet, 0);
+        EXPECT_EQ(rec.flit.seq, it->second);
+        ++it->second;
+    }
+    for (const auto &[key, count] : seen)
+        EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshSizes, DeliveryProperty,
+    testing::Values(
+        DeliveryCase{2, 2, 4, 5, RoutingAlgo::XY, true, false, 0.05, 1},
+        DeliveryCase{3, 5, 4, 5, RoutingAlgo::XY, true, false, 0.05, 2},
+        DeliveryCase{8, 8, 4, 5, RoutingAlgo::XY, true, false, 0.03, 3},
+        DeliveryCase{6, 3, 4, 5, RoutingAlgo::XY, true, false, 0.05, 4}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    VcAndDepth, DeliveryProperty,
+    testing::Values(
+        DeliveryCase{4, 4, 1, 5, RoutingAlgo::XY, true, false, 0.03, 5},
+        DeliveryCase{4, 4, 2, 5, RoutingAlgo::XY, true, false, 0.05, 6},
+        DeliveryCase{4, 4, 8, 5, RoutingAlgo::XY, true, false, 0.05, 7},
+        DeliveryCase{4, 4, 4, 2, RoutingAlgo::XY, true, false, 0.05, 8},
+        DeliveryCase{4, 4, 4, 8, RoutingAlgo::XY, true, false, 0.08, 9}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    RoutingAlgos, DeliveryProperty,
+    testing::Values(
+        DeliveryCase{5, 5, 4, 5, RoutingAlgo::YX, true, false, 0.05, 10},
+        DeliveryCase{5, 5, 4, 5, RoutingAlgo::WestFirst, true, false,
+                     0.05, 11},
+        DeliveryCase{5, 5, 4, 5, RoutingAlgo::O1Turn, true, false, 0.05,
+                     12}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, DeliveryProperty,
+    testing::Values(
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, false, false, 0.05, 13},
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, true, true, 0.05, 14},
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, false, true, 0.05, 15}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadLevels, DeliveryProperty,
+    testing::Values(
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, true, false, 0.01, 16},
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, true, false, 0.10, 17},
+        DeliveryCase{4, 4, 4, 5, RoutingAlgo::XY, true, false, 0.20, 18}),
+    caseName);
+
+} // namespace
+} // namespace nocalert::noc

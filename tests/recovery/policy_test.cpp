@@ -1,0 +1,172 @@
+#include "recovery/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/nocalert.hpp"
+#include "fault/injector.hpp"
+#include "noc/network.hpp"
+
+namespace nocalert::recovery {
+namespace {
+
+core::Assertion
+assertion(core::InvariantId id, noc::Cycle cycle, noc::NodeId router = 5,
+          int port = 1, int vc = 2)
+{
+    return {id, cycle, router, port, vc};
+}
+
+TEST(RecoveryPolicy, StandardRiskTriggersImmediately)
+{
+    RecoveryController controller;
+    bool fired = false;
+    controller.onTrigger([&](const RecoveryEvent &event) {
+        fired = true;
+        EXPECT_EQ(event.router, 5);
+        EXPECT_EQ(event.port, 1);
+        EXPECT_EQ(event.vc, 2);
+    });
+    controller.onAlert(
+        assertion(core::InvariantId::ReadFromEmptyBuffer, 100));
+    EXPECT_TRUE(controller.triggered());
+    EXPECT_TRUE(fired);
+    ASSERT_TRUE(controller.trigger().has_value());
+    EXPECT_EQ(controller.trigger()->trigger,
+              core::InvariantId::ReadFromEmptyBuffer);
+}
+
+TEST(RecoveryPolicy, LoneLowRiskStaysCautiousThenDecays)
+{
+    RecoveryController controller;
+    controller.onAlert(assertion(core::InvariantId::IllegalTurn, 100));
+    EXPECT_EQ(controller.level(), ResponseLevel::Cautious);
+    controller.onCycle(130);
+    EXPECT_EQ(controller.level(), ResponseLevel::Cautious);
+    controller.onCycle(200); // past the 64-cycle timeout
+    EXPECT_EQ(controller.level(), ResponseLevel::None);
+    EXPECT_FALSE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, LowRiskCorroboratedTriggers)
+{
+    RecoveryController controller;
+    controller.onAlert(assertion(core::InvariantId::NonMinimalRoute, 50));
+    EXPECT_EQ(controller.level(), ResponseLevel::Cautious);
+    controller.onAlert(
+        assertion(core::InvariantId::BufferAtomicityViolation, 55));
+    EXPECT_TRUE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, LowRiskDeferralCanBeDisabled)
+{
+    RecoveryConfig config;
+    config.deferLowRisk = false;
+    RecoveryController controller(config);
+    controller.onAlert(assertion(core::InvariantId::IllegalTurn, 10));
+    EXPECT_TRUE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, GrantToNobodyNeedsPersistence)
+{
+    RecoveryController controller; // threshold 3
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 10));
+    EXPECT_FALSE(controller.triggered());
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 11));
+    EXPECT_FALSE(controller.triggered());
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 12));
+    EXPECT_TRUE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, PersistenceRequiresSameRouter)
+{
+    RecoveryController controller;
+    controller.onAlert(
+        assertion(core::InvariantId::GrantToNobody, 10, /*router=*/1));
+    controller.onAlert(
+        assertion(core::InvariantId::GrantToNobody, 11, /*router=*/2));
+    controller.onAlert(
+        assertion(core::InvariantId::GrantToNobody, 12, /*router=*/3));
+    EXPECT_FALSE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, PersistenceWindowExpires)
+{
+    RecoveryController controller;
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 10));
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 20));
+    // A gap beyond the 64-cycle window restarts the count.
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 200));
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 201));
+    EXPECT_FALSE(controller.triggered());
+    controller.onAlert(assertion(core::InvariantId::GrantToNobody, 202));
+    EXPECT_TRUE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, TriggerFiresOnce)
+{
+    RecoveryController controller;
+    int fires = 0;
+    controller.onTrigger([&](const RecoveryEvent &) { ++fires; });
+    controller.onAlert(assertion(core::InvariantId::XbarRowOneHot, 5));
+    controller.onAlert(assertion(core::InvariantId::XbarRowOneHot, 6));
+    controller.onAlert(
+        assertion(core::InvariantId::WriteToFullBuffer, 7));
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(controller.events().size(), 1u);
+}
+
+TEST(RecoveryPolicy, ResetAllowsReuse)
+{
+    RecoveryController controller;
+    controller.onAlert(assertion(core::InvariantId::XbarRowOneHot, 5));
+    ASSERT_TRUE(controller.triggered());
+    controller.reset();
+    EXPECT_EQ(controller.level(), ResponseLevel::None);
+    controller.onAlert(assertion(core::InvariantId::XbarRowOneHot, 9));
+    EXPECT_TRUE(controller.triggered());
+}
+
+TEST(RecoveryPolicy, LevelNames)
+{
+    EXPECT_STREQ(responseLevelName(ResponseLevel::None), "none");
+    EXPECT_STREQ(responseLevelName(ResponseLevel::Cautious), "cautious");
+    EXPECT_STREQ(responseLevelName(ResponseLevel::Triggered),
+                 "triggered");
+}
+
+TEST(RecoveryPolicy, EndToEndWithInjectedFault)
+{
+    noc::NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.1;
+    traffic.seed = 7;
+
+    noc::Network net(config, traffic);
+    core::NoCAlertEngine engine(net);
+    RecoveryController controller;
+    engine.onAlert([&controller](const core::Assertion &a) {
+        controller.onAlert(a);
+    });
+    net.setCycleObserver([&controller](const noc::Network &n) {
+        controller.onCycle(n.cycle());
+    });
+
+    net.run(200);
+    EXPECT_EQ(controller.level(), ResponseLevel::None);
+
+    fault::FaultInjector injector;
+    injector.arm({{5, fault::SignalClass::Sa2Grant, 1, -1, 3},
+                  net.cycle(),
+                  fault::FaultKind::Transient});
+    injector.attach(net);
+    net.run(100);
+
+    EXPECT_TRUE(controller.triggered());
+    ASSERT_TRUE(controller.trigger().has_value());
+    EXPECT_EQ(controller.trigger()->router, 5);
+}
+
+} // namespace
+} // namespace nocalert::recovery

@@ -1,0 +1,70 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert {
+namespace {
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(0b1011), 3);
+    EXPECT_EQ(popcount(~0ULL), 64);
+}
+
+TEST(Bits, OneHot)
+{
+    EXPECT_FALSE(isOneHot(0));
+    EXPECT_TRUE(isOneHot(1));
+    EXPECT_TRUE(isOneHot(1ULL << 63));
+    EXPECT_FALSE(isOneHot(0b11));
+}
+
+TEST(Bits, AtMostOneHot)
+{
+    EXPECT_TRUE(isAtMostOneHot(0));
+    EXPECT_TRUE(isAtMostOneHot(0b100));
+    EXPECT_FALSE(isAtMostOneHot(0b101));
+}
+
+TEST(Bits, GetSetClearFlip)
+{
+    std::uint64_t v = 0;
+    v = setBit(v, 3);
+    EXPECT_TRUE(getBit(v, 3));
+    EXPECT_FALSE(getBit(v, 2));
+    v = flipBit(v, 2);
+    EXPECT_TRUE(getBit(v, 2));
+    v = clearBit(v, 3);
+    EXPECT_FALSE(getBit(v, 3));
+    EXPECT_EQ(v, 0b100u);
+}
+
+TEST(Bits, LowestSetBit)
+{
+    EXPECT_EQ(lowestSetBit(0b1000), 3);
+    EXPECT_EQ(lowestSetBit(1), 0);
+    EXPECT_EQ(lowestSetBit(0b1010), 1);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(3), 0b111u);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+    EXPECT_EQ(lowMask(65), ~0ULL);
+}
+
+TEST(Bits, BitsFor)
+{
+    EXPECT_EQ(bitsFor(1), 1u);
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(4), 2u);
+    EXPECT_EQ(bitsFor(5), 3u);
+    EXPECT_EQ(bitsFor(8), 3u);
+    EXPECT_EQ(bitsFor(9), 4u);
+}
+
+} // namespace
+} // namespace nocalert

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert {
+namespace {
+
+CommandLine
+parse(std::vector<const char *> args, std::vector<std::string> known)
+{
+    args.insert(args.begin(), "prog");
+    return CommandLine(static_cast<int>(args.size()), args.data(),
+                       std::move(known));
+}
+
+TEST(CommandLine, EqualsForm)
+{
+    const auto cli = parse({"--rate=0.25"}, {"rate"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("rate", 0), 0.25);
+}
+
+TEST(CommandLine, SpaceForm)
+{
+    const auto cli = parse({"--sites", "42"}, {"sites"});
+    EXPECT_EQ(cli.getInt("sites", 0), 42);
+}
+
+TEST(CommandLine, BareSwitch)
+{
+    const auto cli = parse({"--full"}, {"full"});
+    EXPECT_TRUE(cli.getBool("full", false));
+    EXPECT_TRUE(cli.has("full"));
+}
+
+TEST(CommandLine, DefaultsWhenAbsent)
+{
+    const auto cli = parse({}, {"x"});
+    EXPECT_FALSE(cli.has("x"));
+    EXPECT_EQ(cli.getInt("x", 7), 7);
+    EXPECT_EQ(cli.getString("x", "d"), "d");
+    EXPECT_FALSE(cli.getBool("x", false));
+}
+
+TEST(CommandLine, BoolValues)
+{
+    EXPECT_TRUE(parse({"--f=true"}, {"f"}).getBool("f", false));
+    EXPECT_FALSE(parse({"--f=false"}, {"f"}).getBool("f", true));
+    EXPECT_TRUE(parse({"--f=1"}, {"f"}).getBool("f", false));
+    EXPECT_FALSE(parse({"--f=no"}, {"f"}).getBool("f", true));
+}
+
+TEST(CommandLine, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(parse({"--oops"}, {"ok"}), testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(CommandLine, BadIntegerIsFatal)
+{
+    EXPECT_EXIT(parse({"--n=abc"}, {"n"}).getInt("n", 0),
+                testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(CommandLine, SwitchFollowedByFlag)
+{
+    const auto cli = parse({"--full", "--n", "3"}, {"full", "n"});
+    EXPECT_TRUE(cli.getBool("full", false));
+    EXPECT_EQ(cli.getInt("n", 0), 3);
+}
+
+} // namespace
+} // namespace nocalert

@@ -1,0 +1,97 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert {
+namespace {
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.cdfAt(100), 0.0);
+    EXPECT_TRUE(h.points().empty());
+}
+
+TEST(Histogram, BasicStats)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(2);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(10, 5);
+    h.add(20, 5);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.percentile(0.5), 50);
+    EXPECT_EQ(h.percentile(0.99), 99);
+    EXPECT_EQ(h.percentile(1.0), 100);
+    EXPECT_EQ(h.percentile(0.01), 1);
+}
+
+TEST(Histogram, Cdf)
+{
+    Histogram h;
+    h.add(0, 97);
+    h.add(9, 2);
+    h.add(28, 1);
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.97);
+    EXPECT_DOUBLE_EQ(h.cdfAt(8), 0.97);
+    EXPECT_DOUBLE_EQ(h.cdfAt(9), 0.99);
+    EXPECT_DOUBLE_EQ(h.cdfAt(28), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(-1), 0.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a;
+    a.add(1);
+    Histogram b;
+    b.add(3, 2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.max(), 3);
+}
+
+TEST(Histogram, NegativeValues)
+{
+    Histogram h;
+    h.add(-5);
+    h.add(5);
+    EXPECT_EQ(h.min(), -5);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, PointsSorted)
+{
+    Histogram h;
+    h.add(7);
+    h.add(1);
+    h.add(7);
+    const auto points = h.points();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].first, 1);
+    EXPECT_EQ(points[1].first, 7);
+    EXPECT_EQ(points[1].second, 2u);
+}
+
+} // namespace
+} // namespace nocalert

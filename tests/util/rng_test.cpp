@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nocalert {
+namespace {
+
+TEST(Pcg32, SameSeedSameSequence)
+{
+    Pcg32 a(123);
+    Pcg32 b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1);
+    Pcg32 b(2);
+    int differences = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() != b.next())
+            ++differences;
+    EXPECT_GT(differences, 90);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(7, 100);
+    Pcg32 b(7, 101);
+    int differences = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() != b.next())
+            ++differences;
+    EXPECT_GT(differences, 90);
+}
+
+TEST(Pcg32, CopyPreservesFutureOutput)
+{
+    Pcg32 a(42);
+    for (int i = 0; i < 17; ++i)
+        a.next();
+    Pcg32 b = a;
+    EXPECT_EQ(a, b);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint32_t v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Pcg32, BoundedCoversAllValues)
+{
+    Pcg32 rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.nextBounded(8)];
+    for (int v = 0; v < 8; ++v) {
+        EXPECT_GT(seen[v], 800) << "value " << v;
+        EXPECT_LT(seen[v], 1200) << "value " << v;
+    }
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, BernoulliMatchesProbability)
+{
+    Pcg32 rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.05) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.05, 0.01);
+}
+
+TEST(Pcg32, ReseedResets)
+{
+    Pcg32 a(21);
+    const std::uint32_t first = a.next();
+    a.next();
+    a.seed(21);
+    EXPECT_EQ(a.next(), first);
+}
+
+} // namespace
+} // namespace nocalert

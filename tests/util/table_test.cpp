@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalert {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long-header"});
+    t.addRow({"xxxx", "1"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("| a    | long-header |"), std::string::npos);
+    EXPECT_NE(text.find("| xxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, TitleAppears)
+{
+    Table t({"c"});
+    t.setTitle("My Title");
+    EXPECT_EQ(t.toText().rfind("My Title\n", 0), 0u);
+}
+
+TEST(Table, CsvBasic)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t({"x"});
+    t.addRow({"a,b"});
+    t.addRow({"he said \"hi\""});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace nocalert
