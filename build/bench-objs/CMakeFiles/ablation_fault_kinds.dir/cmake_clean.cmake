@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fault_kinds"
+  "../bench/ablation_fault_kinds.pdb"
+  "CMakeFiles/ablation_fault_kinds.dir/ablation_fault_kinds.cpp.o"
+  "CMakeFiles/ablation_fault_kinds.dir/ablation_fault_kinds.cpp.o.d"
+  "CMakeFiles/ablation_fault_kinds.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_fault_kinds.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multifault"
+  "../bench/ablation_multifault.pdb"
+  "CMakeFiles/ablation_multifault.dir/ablation_multifault.cpp.o"
+  "CMakeFiles/ablation_multifault.dir/ablation_multifault.cpp.o.d"
+  "CMakeFiles/ablation_multifault.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_multifault.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multifault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

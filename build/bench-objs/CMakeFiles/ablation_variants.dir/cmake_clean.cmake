@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variants"
+  "../bench/ablation_variants.pdb"
+  "CMakeFiles/ablation_variants.dir/ablation_variants.cpp.o"
+  "CMakeFiles/ablation_variants.dir/ablation_variants.cpp.o.d"
+  "CMakeFiles/ablation_variants.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_variants.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

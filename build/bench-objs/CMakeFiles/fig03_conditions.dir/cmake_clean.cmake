@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_conditions"
+  "../bench/fig03_conditions.pdb"
+  "CMakeFiles/fig03_conditions.dir/bench_common.cpp.o"
+  "CMakeFiles/fig03_conditions.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig03_conditions.dir/fig03_conditions.cpp.o"
+  "CMakeFiles/fig03_conditions.dir/fig03_conditions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_coverage"
+  "../bench/fig06_coverage.pdb"
+  "CMakeFiles/fig06_coverage.dir/bench_common.cpp.o"
+  "CMakeFiles/fig06_coverage.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig06_coverage.dir/fig06_coverage.cpp.o"
+  "CMakeFiles/fig06_coverage.dir/fig06_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

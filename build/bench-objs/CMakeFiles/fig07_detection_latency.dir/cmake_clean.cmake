@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_detection_latency"
+  "../bench/fig07_detection_latency.pdb"
+  "CMakeFiles/fig07_detection_latency.dir/bench_common.cpp.o"
+  "CMakeFiles/fig07_detection_latency.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig07_detection_latency.dir/fig07_detection_latency.cpp.o"
+  "CMakeFiles/fig07_detection_latency.dir/fig07_detection_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

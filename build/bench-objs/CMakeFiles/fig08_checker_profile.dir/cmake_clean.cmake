@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_checker_profile"
+  "../bench/fig08_checker_profile.pdb"
+  "CMakeFiles/fig08_checker_profile.dir/bench_common.cpp.o"
+  "CMakeFiles/fig08_checker_profile.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig08_checker_profile.dir/fig08_checker_profile.cpp.o"
+  "CMakeFiles/fig08_checker_profile.dir/fig08_checker_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_checker_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

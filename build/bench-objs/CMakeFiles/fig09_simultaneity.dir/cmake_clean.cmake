@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_simultaneity"
+  "../bench/fig09_simultaneity.pdb"
+  "CMakeFiles/fig09_simultaneity.dir/bench_common.cpp.o"
+  "CMakeFiles/fig09_simultaneity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig09_simultaneity.dir/fig09_simultaneity.cpp.o"
+  "CMakeFiles/fig09_simultaneity.dir/fig09_simultaneity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_simultaneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

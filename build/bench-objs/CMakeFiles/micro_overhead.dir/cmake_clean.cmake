@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_overhead"
+  "../bench/micro_overhead.pdb"
+  "CMakeFiles/micro_overhead.dir/micro_overhead.cpp.o"
+  "CMakeFiles/micro_overhead.dir/micro_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

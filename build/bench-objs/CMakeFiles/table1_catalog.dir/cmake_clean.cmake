@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_catalog"
+  "../bench/table1_catalog.pdb"
+  "CMakeFiles/table1_catalog.dir/table1_catalog.cpp.o"
+  "CMakeFiles/table1_catalog.dir/table1_catalog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_curve.dir/latency_curve.cpp.o"
+  "CMakeFiles/latency_curve.dir/latency_curve.cpp.o.d"
+  "latency_curve"
+  "latency_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

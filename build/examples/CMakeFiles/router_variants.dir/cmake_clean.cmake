@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_variants.dir/router_variants.cpp.o"
+  "CMakeFiles/router_variants.dir/router_variants.cpp.o.d"
+  "router_variants"
+  "router_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

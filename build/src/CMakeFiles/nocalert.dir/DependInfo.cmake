@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alert.cpp" "src/CMakeFiles/nocalert.dir/core/alert.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/core/alert.cpp.o.d"
+  "/root/repo/src/core/checkers.cpp" "src/CMakeFiles/nocalert.dir/core/checkers.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/core/checkers.cpp.o.d"
+  "/root/repo/src/core/invariant.cpp" "src/CMakeFiles/nocalert.dir/core/invariant.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/core/invariant.cpp.o.d"
+  "/root/repo/src/core/nocalert.cpp" "src/CMakeFiles/nocalert.dir/core/nocalert.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/core/nocalert.cpp.o.d"
+  "/root/repo/src/fault/campaign.cpp" "src/CMakeFiles/nocalert.dir/fault/campaign.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/fault/campaign.cpp.o.d"
+  "/root/repo/src/fault/golden.cpp" "src/CMakeFiles/nocalert.dir/fault/golden.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/fault/golden.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/CMakeFiles/nocalert.dir/fault/injector.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/fault/injector.cpp.o.d"
+  "/root/repo/src/fault/report.cpp" "src/CMakeFiles/nocalert.dir/fault/report.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/fault/report.cpp.o.d"
+  "/root/repo/src/fault/site.cpp" "src/CMakeFiles/nocalert.dir/fault/site.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/fault/site.cpp.o.d"
+  "/root/repo/src/forever/checknet.cpp" "src/CMakeFiles/nocalert.dir/forever/checknet.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/forever/checknet.cpp.o.d"
+  "/root/repo/src/forever/forever.cpp" "src/CMakeFiles/nocalert.dir/forever/forever.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/forever/forever.cpp.o.d"
+  "/root/repo/src/hw/checkcost.cpp" "src/CMakeFiles/nocalert.dir/hw/checkcost.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/hw/checkcost.cpp.o.d"
+  "/root/repo/src/hw/gates.cpp" "src/CMakeFiles/nocalert.dir/hw/gates.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/hw/gates.cpp.o.d"
+  "/root/repo/src/hw/modules.cpp" "src/CMakeFiles/nocalert.dir/hw/modules.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/hw/modules.cpp.o.d"
+  "/root/repo/src/hw/report.cpp" "src/CMakeFiles/nocalert.dir/hw/report.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/hw/report.cpp.o.d"
+  "/root/repo/src/noc/arbiter.cpp" "src/CMakeFiles/nocalert.dir/noc/arbiter.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/arbiter.cpp.o.d"
+  "/root/repo/src/noc/buffer.cpp" "src/CMakeFiles/nocalert.dir/noc/buffer.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/buffer.cpp.o.d"
+  "/root/repo/src/noc/config.cpp" "src/CMakeFiles/nocalert.dir/noc/config.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/config.cpp.o.d"
+  "/root/repo/src/noc/crossbar.cpp" "src/CMakeFiles/nocalert.dir/noc/crossbar.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/crossbar.cpp.o.d"
+  "/root/repo/src/noc/flit.cpp" "src/CMakeFiles/nocalert.dir/noc/flit.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/flit.cpp.o.d"
+  "/root/repo/src/noc/interface.cpp" "src/CMakeFiles/nocalert.dir/noc/interface.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/interface.cpp.o.d"
+  "/root/repo/src/noc/link.cpp" "src/CMakeFiles/nocalert.dir/noc/link.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/link.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/CMakeFiles/nocalert.dir/noc/network.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/CMakeFiles/nocalert.dir/noc/router.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/CMakeFiles/nocalert.dir/noc/routing.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/routing.cpp.o.d"
+  "/root/repo/src/noc/signals.cpp" "src/CMakeFiles/nocalert.dir/noc/signals.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/signals.cpp.o.d"
+  "/root/repo/src/noc/stats.cpp" "src/CMakeFiles/nocalert.dir/noc/stats.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/stats.cpp.o.d"
+  "/root/repo/src/noc/trace.cpp" "src/CMakeFiles/nocalert.dir/noc/trace.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/trace.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/CMakeFiles/nocalert.dir/noc/traffic.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/traffic.cpp.o.d"
+  "/root/repo/src/noc/types.cpp" "src/CMakeFiles/nocalert.dir/noc/types.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/noc/types.cpp.o.d"
+  "/root/repo/src/recovery/policy.cpp" "src/CMakeFiles/nocalert.dir/recovery/policy.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/recovery/policy.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/nocalert.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/nocalert.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/nocalert.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/nocalert.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/nocalert.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/nocalert.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alert_test.cpp" "tests/CMakeFiles/test_core.dir/core/alert_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/alert_test.cpp.o.d"
+  "/root/repo/tests/core/checkers_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkers_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkers_test.cpp.o.d"
+  "/root/repo/tests/core/checkers_unit_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkers_unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkers_unit_test.cpp.o.d"
+  "/root/repo/tests/core/extended_checks_test.cpp" "tests/CMakeFiles/test_core.dir/core/extended_checks_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extended_checks_test.cpp.o.d"
+  "/root/repo/tests/core/invariant_test.cpp" "tests/CMakeFiles/test_core.dir/core/invariant_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/invariant_test.cpp.o.d"
+  "/root/repo/tests/core/nocalert_test.cpp" "tests/CMakeFiles/test_core.dir/core/nocalert_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nocalert_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nocalert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/alert_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/alert_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/checkers_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkers_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/checkers_unit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkers_unit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extended_checks_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extended_checks_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/invariant_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/invariant_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nocalert_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nocalert_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

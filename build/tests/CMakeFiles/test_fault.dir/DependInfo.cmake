@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/campaign_test.cpp" "tests/CMakeFiles/test_fault.dir/fault/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/campaign_test.cpp.o.d"
+  "/root/repo/tests/fault/golden_test.cpp" "tests/CMakeFiles/test_fault.dir/fault/golden_test.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/golden_test.cpp.o.d"
+  "/root/repo/tests/fault/injector_test.cpp" "tests/CMakeFiles/test_fault.dir/fault/injector_test.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/injector_test.cpp.o.d"
+  "/root/repo/tests/fault/report_test.cpp" "tests/CMakeFiles/test_fault.dir/fault/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/report_test.cpp.o.d"
+  "/root/repo/tests/fault/site_test.cpp" "tests/CMakeFiles/test_fault.dir/fault/site_test.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/site_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nocalert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

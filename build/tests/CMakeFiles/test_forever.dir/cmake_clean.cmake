@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forever.dir/forever/checknet_test.cpp.o"
+  "CMakeFiles/test_forever.dir/forever/checknet_test.cpp.o.d"
+  "CMakeFiles/test_forever.dir/forever/forever_test.cpp.o"
+  "CMakeFiles/test_forever.dir/forever/forever_test.cpp.o.d"
+  "test_forever"
+  "test_forever.pdb"
+  "test_forever[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forever.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/arbiter_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/arbiter_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/arbiter_test.cpp.o.d"
+  "/root/repo/tests/noc/buffer_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/buffer_test.cpp.o.d"
+  "/root/repo/tests/noc/config_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/config_test.cpp.o.d"
+  "/root/repo/tests/noc/crossbar_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/crossbar_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/crossbar_test.cpp.o.d"
+  "/root/repo/tests/noc/interface_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/interface_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/interface_test.cpp.o.d"
+  "/root/repo/tests/noc/link_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/link_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/link_test.cpp.o.d"
+  "/root/repo/tests/noc/network_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/network_test.cpp.o.d"
+  "/root/repo/tests/noc/router_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/router_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/router_test.cpp.o.d"
+  "/root/repo/tests/noc/routing_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o.d"
+  "/root/repo/tests/noc/stats_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/stats_test.cpp.o.d"
+  "/root/repo/tests/noc/trace_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/trace_test.cpp.o.d"
+  "/root/repo/tests/noc/traffic_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o.d"
+  "/root/repo/tests/noc/wormhole_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/wormhole_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/wormhole_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nocalert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

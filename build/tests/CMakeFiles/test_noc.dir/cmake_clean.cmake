@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/arbiter_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/arbiter_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/buffer_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/buffer_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/config_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/config_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/crossbar_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/interface_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/interface_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/link_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/link_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/network_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/network_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/router_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/router_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/routing_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/routing_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/stats_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/stats_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/trace_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/trace_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/traffic_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/wormhole_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/wormhole_test.cpp.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/clean_run_property_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/clean_run_property_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/delivery_property_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/delivery_property_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/fault_property_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/fault_property_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/snapshot_property_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/snapshot_property_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
