@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the campaign persistence
+ * layer: JSON write, parse + validate, shard merge, and the
+ * summarize() pass — the per-checkpoint and per-merge costs a sharded
+ * sweep pays, measured on synthetic results so no simulation runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fault/serialize.hpp"
+
+using namespace nocalert;
+using namespace nocalert::fault;
+
+namespace {
+
+CampaignResult
+syntheticResult(std::size_t runs, unsigned shard_index = 0,
+                unsigned shard_count = 1)
+{
+    CampaignResult result;
+    result.config.shardIndex = shard_index;
+    result.config.shardCount = shard_count;
+    result.totalSitesEnumerated = runs * 4;
+    result.goldenFlits = 123456;
+    result.shardRunsPlanned = (runs + shard_count - 1 - shard_index) /
+                              shard_count;
+
+    for (std::size_t i = shard_index; i < runs; i += shard_count) {
+        FaultRunResult run;
+        run.sampleIndex = i;
+        run.site.router = static_cast<noc::NodeId>(i % 64);
+        run.site.signal = static_cast<SignalClass>(i % kNumSignalClasses);
+        run.site.port = static_cast<int>(i % 5);
+        run.site.vc = static_cast<int>(i % 4);
+        run.site.bit = static_cast<unsigned>(i % 3);
+        run.injectCycle = 32000;
+        run.violated = i % 3 == 0;
+        run.detected = i % 3 != 1;
+        run.detectionLatency = run.detected
+                                   ? static_cast<noc::Cycle>(i % 40)
+                                   : kNoDetection;
+        run.simultaneousCheckers = run.detected ? 1 + i % 4 : 0;
+        if (run.detected)
+            run.invariants = {static_cast<core::InvariantId>(1 + i % 32)};
+        result.runs.push_back(std::move(run));
+    }
+    return result;
+}
+
+void
+BM_WriteCampaignJson(benchmark::State &state)
+{
+    const CampaignResult result =
+        syntheticResult(static_cast<std::size_t>(state.range(0)));
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const std::string text = writeCampaignJson(result);
+        bytes = text.size();
+        benchmark::DoNotOptimize(text);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(result.runs.size()));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WriteCampaignJson)->Arg(100)->Arg(2000);
+
+void
+BM_ReadCampaignJson(benchmark::State &state)
+{
+    const std::string text = writeCampaignJson(
+        syntheticResult(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+        auto result = readCampaignJson(text);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ReadCampaignJson)->Arg(100)->Arg(2000);
+
+void
+BM_MergeShards(benchmark::State &state)
+{
+    const auto total = static_cast<std::size_t>(state.range(0));
+    constexpr unsigned kShards = 4;
+    std::vector<CampaignResult> shards;
+    for (unsigned i = 0; i < kShards; ++i)
+        shards.push_back(syntheticResult(total, i, kShards));
+    for (auto _ : state) {
+        auto merged = mergeCampaignShards(shards);
+        benchmark::DoNotOptimize(merged);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeShards)->Arg(2000);
+
+void
+BM_Summarize(benchmark::State &state)
+{
+    const CampaignResult result =
+        syntheticResult(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const CampaignSummary summary = result.summarize();
+        benchmark::DoNotOptimize(summary);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Summarize)->Arg(2000);
+
+} // namespace

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Sharded, resumable fault-injection campaigns with JSON results —
+ * the distributed front-end of FaultCampaign (used by CI's campaign
+ * smoke check and by multi-machine sweeps).
+ *
+ *   campaign_shard run    --out s0.json [--shard 0/2] [--checkpoint c.json]
+ *                         [--mesh N] [--sites N] [--rate R] [--seed S]
+ *                         [--warmup N] [--threads N] [--limit N]
+ *                         [--checkpoint-every N]
+ *   campaign_shard resume --checkpoint c.json [--out s0.json] [--threads N]
+ *   campaign_shard merge  --out merged.json s0.json s1.json ...
+ *   campaign_shard verify a.json b.json
+ *
+ * `run` executes one shard (default 0/1, i.e. the whole campaign) and
+ * writes the result JSON; the checkpoint (default: the --out file)
+ * makes a killed run resumable. `--limit N` stops after N new runs,
+ * leaving a valid checkpoint — a deterministic stand-in for a kill.
+ * `resume` re-reads a checkpoint's embedded config and finishes the
+ * shard. `merge` recombines a full set of shard files into a document
+ * bit-identical to an unsharded run. `verify` checks that two result
+ * files describe the same campaign with identical runs and summaries
+ * and that neither contains a NoCAlert false negative — exit status 1
+ * on any mismatch.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/report.hpp"
+#include "fault/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace nocalert;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: campaign_shard <run|resume|merge|verify> "
+                 "[options]\n");
+    return 2;
+}
+
+void
+parseShardSelector(const std::string &selector, fault::CampaignConfig &config)
+{
+    const std::size_t slash = selector.find('/');
+    if (slash == std::string::npos)
+        NOCALERT_FATAL("--shard expects i/N, got '", selector, "'");
+    try {
+        config.shardIndex =
+            static_cast<unsigned>(std::stoul(selector.substr(0, slash)));
+        config.shardCount =
+            static_cast<unsigned>(std::stoul(selector.substr(slash + 1)));
+    } catch (...) {
+        NOCALERT_FATAL("--shard expects i/N, got '", selector, "'");
+    }
+}
+
+void
+writeResultOrDie(const fault::CampaignResult &result,
+                 const std::string &path)
+{
+    std::string error;
+    if (!fault::saveCampaignResult(result, path, &error))
+        NOCALERT_FATAL(error);
+}
+
+fault::CampaignResult
+loadResultOrDie(const std::string &path)
+{
+    std::string error;
+    auto result = fault::loadCampaignResult(path, &error);
+    if (!result)
+        NOCALERT_FATAL(error);
+    return std::move(*result);
+}
+
+int
+runShard(fault::FaultCampaign &campaign,
+         const fault::FaultCampaign::RunOptions &options,
+         const std::string &out)
+{
+    const fault::CampaignResult result = campaign.run(
+        [](std::size_t done, std::size_t total) {
+            if (done % 10 == 0 || done == total)
+                std::printf("  %zu/%zu runs\n", done, total);
+        },
+        options);
+    writeResultOrDie(result, out);
+
+    if (!result.complete()) {
+        std::printf("shard incomplete (%zu of %zu runs); resume with:\n"
+                    "  campaign_shard resume --checkpoint %s\n",
+                    result.runs.size(), result.shardRunsPlanned,
+                    result.config.checkpointPath.c_str());
+        return 0;
+    }
+    std::printf("%s", fault::summaryText(result).c_str());
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    CommandLine cli(argc, argv,
+                    {"out", "shard", "checkpoint", "checkpoint-every",
+                     "mesh", "sites", "rate", "seed", "warmup",
+                     "threads", "limit"});
+
+    fault::CampaignConfig config;
+    config.network.width = static_cast<int>(cli.getInt("mesh", 4));
+    config.network.height = config.network.width;
+    config.traffic.injectionRate = cli.getDouble("rate", 0.05);
+    config.traffic.seed =
+        static_cast<std::uint64_t>(cli.getInt("seed", 3));
+    config.warmup = cli.getInt("warmup", 200);
+    config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
+    config.threads = static_cast<unsigned>(cli.getInt("threads", 2));
+    parseShardSelector(cli.getString("shard", "0/1"), config);
+
+    const std::string out = cli.getString("out", "campaign.json");
+    config.checkpointPath = cli.getString("checkpoint", out);
+    config.checkpointEvery = static_cast<unsigned>(
+        cli.getInt("checkpoint-every", config.checkpointEvery));
+
+    fault::FaultCampaign::RunOptions options;
+    options.maxNewRuns =
+        static_cast<std::size_t>(cli.getInt("limit", 0));
+
+    std::printf("running shard %u/%u (%u sites sampled, mesh %dx%d)\n",
+                config.shardIndex, config.shardCount, config.maxSites,
+                config.network.width, config.network.height);
+    fault::FaultCampaign campaign(config);
+    return runShard(campaign, options, out);
+}
+
+int
+cmdResume(int argc, char **argv)
+{
+    CommandLine cli(argc, argv, {"checkpoint", "out", "threads"});
+    const std::string checkpoint = cli.getString("checkpoint", "");
+    if (checkpoint.empty())
+        NOCALERT_FATAL("resume requires --checkpoint FILE");
+
+    fault::CampaignConfig config = loadResultOrDie(checkpoint).config;
+    config.checkpointPath = checkpoint;
+    if (cli.has("threads"))
+        config.threads =
+            static_cast<unsigned>(cli.getInt("threads", config.threads));
+
+    const std::string out = cli.getString("out", checkpoint);
+    std::printf("resuming shard %u/%u from %s\n", config.shardIndex,
+                config.shardCount, checkpoint.c_str());
+    fault::FaultCampaign campaign(config);
+    return runShard(campaign, {}, out);
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    CommandLine cli(argc, argv, {"out"}, /*allow_positionals=*/true);
+    if (cli.positionals().empty())
+        NOCALERT_FATAL("merge requires shard files as arguments");
+
+    std::vector<fault::CampaignResult> shards;
+    for (const std::string &path : cli.positionals())
+        shards.push_back(loadResultOrDie(path));
+
+    std::string error;
+    auto merged = fault::mergeCampaignShards(shards, &error);
+    if (!merged)
+        NOCALERT_FATAL("merge failed: ", error);
+
+    const std::string out = cli.getString("out", "merged.json");
+    writeResultOrDie(*merged, out);
+    std::printf("%s", fault::summaryText(*merged).c_str());
+    std::printf("merged %zu shards into %s\n", shards.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdVerify(int argc, char **argv)
+{
+    CommandLine cli(argc, argv, {}, /*allow_positionals=*/true);
+    if (cli.positionals().size() != 2)
+        NOCALERT_FATAL("verify requires exactly two result files");
+
+    const fault::CampaignResult a =
+        loadResultOrDie(cli.positionals()[0]);
+    const fault::CampaignResult b =
+        loadResultOrDie(cli.positionals()[1]);
+
+    int failures = 0;
+    auto check = [&](bool ok, const char *what) {
+        std::printf("  %-28s %s\n", what, ok ? "ok" : "MISMATCH");
+        failures += ok ? 0 : 1;
+    };
+
+    check(a.complete() && b.complete(), "both complete");
+    check(fault::campaignIdentityJson(a.config) ==
+              fault::campaignIdentityJson(b.config),
+          "campaign identity");
+    check(a.totalSitesEnumerated == b.totalSitesEnumerated &&
+              a.goldenFlits == b.goldenFlits,
+          "enumeration + golden");
+
+    // Per-run records and derived summaries must be bit-identical.
+    JsonValue runs_a, runs_b;
+    for (const fault::FaultRunResult &run : a.runs)
+        runs_a.push(fault::toJson(run));
+    for (const fault::FaultRunResult &run : b.runs)
+        runs_b.push(fault::toJson(run));
+    check(runs_a.dump() == runs_b.dump(), "per-run records");
+
+    const auto summary_a = a.summarize();
+    const auto summary_b = b.summarize();
+    check(fault::toJson(summary_a).dump() ==
+              fault::toJson(summary_b).dump(),
+          "summaries");
+
+    const auto fn = static_cast<unsigned>(fault::Outcome::FalseNegative);
+    check(summary_a.nocalert[fn] == 0 && summary_b.nocalert[fn] == 0,
+          "zero false negatives");
+
+    if (failures) {
+        std::printf("verify FAILED (%d checks)\n", failures);
+        return 1;
+    }
+    std::printf("verify passed: %llu runs, summaries bit-identical\n",
+                static_cast<unsigned long long>(summary_a.runs));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    // Shift so each subcommand parses only its own flags.
+    argc -= 1;
+    argv += 1;
+    if (command == "run")
+        return cmdRun(argc, argv);
+    if (command == "resume")
+        return cmdResume(argc, argv);
+    if (command == "merge")
+        return cmdMerge(argc, argv);
+    if (command == "verify")
+        return cmdVerify(argc, argv);
+    return usage();
+}

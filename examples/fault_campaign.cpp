@@ -11,6 +11,7 @@
 
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
+#include "fault/serialize.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -21,7 +22,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"sites", "warmup", "rate", "threads", "seed",
-                     "mesh", "csv"});
+                     "mesh", "csv", "json"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
@@ -77,6 +78,14 @@ main(int argc, char **argv)
         std::ofstream file(path);
         fault::writeCampaignCsv(result, file);
         std::printf("per-run records written to %s\n", path.c_str());
+    }
+    if (cli.has("json")) {
+        const std::string path = cli.getString("json", "campaign.json");
+        std::string error;
+        if (!fault::saveCampaignResult(result, path, &error))
+            std::printf("JSON export failed: %s\n", error.c_str());
+        else
+            std::printf("result JSON written to %s\n", path.c_str());
     }
     return 0;
 }

@@ -1,9 +1,14 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "core/nocalert.hpp"
+#include "fault/serialize.hpp"
 #include "util/log.hpp"
 
 namespace nocalert::fault {
@@ -98,6 +103,11 @@ FaultCampaign::FaultCampaign(CampaignConfig config)
     : config_(std::move(config))
 {
     config_.network.validate();
+    if (config_.shardCount == 0 ||
+        config_.shardIndex >= config_.shardCount) {
+        NOCALERT_FATAL("invalid shard selector ", config_.shardIndex,
+                       "/", config_.shardCount);
+    }
     // Generation must stop so runs can drain and bounded delivery is
     // decidable within the horizon.
     config_.traffic.stopCycle = config_.warmup + config_.observeWindow;
@@ -179,8 +189,52 @@ FaultCampaign::runSingle(const CampaignConfig &config,
     return result;
 }
 
+namespace {
+
+/** Restore completed runs from a checkpoint written by an earlier
+ *  invocation of the same campaign shard; fatal on any mismatch (a
+ *  checkpoint must never silently corrupt a campaign). */
+std::unordered_map<std::size_t, FaultRunResult>
+restoreCheckpoint(const CampaignConfig &config,
+                  const std::vector<FaultSite> &sites)
+{
+    std::unordered_map<std::size_t, FaultRunResult> restored;
+    if (config.checkpointPath.empty() ||
+        !std::filesystem::exists(config.checkpointPath))
+        return restored;
+
+    std::string error;
+    auto checkpoint = loadCampaignResult(config.checkpointPath, &error);
+    if (!checkpoint)
+        NOCALERT_FATAL("cannot resume from checkpoint: ", error);
+    if (campaignIdentityJson(checkpoint->config).dump() !=
+        campaignIdentityJson(config).dump()) {
+        NOCALERT_FATAL("checkpoint '", config.checkpointPath,
+                       "' belongs to a different campaign");
+    }
+    if (checkpoint->config.shardIndex != config.shardIndex ||
+        checkpoint->config.shardCount != config.shardCount) {
+        NOCALERT_FATAL("checkpoint '", config.checkpointPath,
+                       "' belongs to shard ",
+                       checkpoint->config.shardIndex, "/",
+                       checkpoint->config.shardCount, ", not ",
+                       config.shardIndex, "/", config.shardCount);
+    }
+    for (FaultRunResult &run : checkpoint->runs) {
+        if (run.sampleIndex >= sites.size() ||
+            !(sites[run.sampleIndex] == run.site)) {
+            NOCALERT_FATAL("checkpoint '", config.checkpointPath,
+                           "' does not match the sampled site list");
+        }
+        restored.emplace(run.sampleIndex, std::move(run));
+    }
+    return restored;
+}
+
+} // namespace
+
 CampaignResult
-FaultCampaign::run(const Progress &progress)
+FaultCampaign::run(const Progress &progress, const RunOptions &options)
 {
     CampaignResult result;
     result.config = config_;
@@ -228,21 +282,76 @@ FaultCampaign::run(const Progress &progress)
     const std::vector<FaultSite> sites = FaultSiteCatalog::sampleSites(
         std::move(population), config_.maxSites, config_.sampleSeed);
 
+    // ---- Shard selection ----
+    // A shard owns the sampled indices congruent to its shardIndex;
+    // the subset depends only on the deterministic sample order, so N
+    // shards partition exactly an unsharded run's work.
+    std::vector<std::size_t> shard_indices;
+    for (std::size_t i = config_.shardIndex; i < sites.size();
+         i += config_.shardCount)
+        shard_indices.push_back(i);
+    result.shardRunsPlanned = shard_indices.size();
+
+    // ---- Resume ----
+    std::unordered_map<std::size_t, FaultRunResult> done_runs =
+        restoreCheckpoint(config_, sites);
+
+    std::vector<std::size_t> todo;
+    for (std::size_t index : shard_indices) {
+        if (!done_runs.count(index))
+            todo.push_back(index);
+    }
+    if (options.maxNewRuns != 0 && todo.size() > options.maxNewRuns)
+        todo.resize(options.maxNewRuns);
+
     // ---- Fault runs ----
-    result.runs.resize(sites.size());
+    auto snapshot = [&]() {
+        // Completed runs in global order — the checkpoint and the
+        // final result, independent of thread completion order.
+        CampaignResult partial = result;
+        partial.runs.clear(); // result may already hold a snapshot
+        partial.runs.reserve(done_runs.size());
+        for (const auto &[index, run] : done_runs)
+            partial.runs.push_back(run);
+        std::sort(partial.runs.begin(), partial.runs.end(),
+                  [](const FaultRunResult &a, const FaultRunResult &b) {
+                      return a.sampleIndex < b.sampleIndex;
+                  });
+        return partial;
+    };
+    auto writeCheckpoint = [&]() {
+        std::string error;
+        if (!saveCampaignResult(snapshot(), config_.checkpointPath,
+                                &error))
+            NOCALERT_FATAL("checkpoint write failed: ", error);
+    };
+
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::mutex done_mutex;
+    std::size_t completed = done_runs.size();
+    std::size_t since_checkpoint = 0;
+    const unsigned checkpoint_every = std::max(1u, config_.checkpointEvery);
 
     auto worker = [&]() {
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= sites.size())
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= todo.size())
                 return;
-            result.runs[i] =
-                runSingle(config_, base, reference, sites[i]);
-            const std::size_t completed = done.fetch_add(1) + 1;
+            const std::size_t index = todo[slot];
+            FaultRunResult run =
+                runSingle(config_, base, reference, sites[index]);
+            run.sampleIndex = index;
+
+            std::lock_guard<std::mutex> lock(done_mutex);
+            done_runs.emplace(index, std::move(run));
+            ++completed;
+            if (!config_.checkpointPath.empty() &&
+                ++since_checkpoint >= checkpoint_every) {
+                since_checkpoint = 0;
+                writeCheckpoint();
+            }
             if (progress)
-                progress(completed, sites.size());
+                progress(completed, shard_indices.size());
         }
     };
 
@@ -258,6 +367,9 @@ FaultCampaign::run(const Progress &progress)
             thread.join();
     }
 
+    result = snapshot();
+    if (!config_.checkpointPath.empty())
+        writeCheckpoint();
     return result;
 }
 

@@ -14,8 +14,10 @@
 #define NOCALERT_FAULT_CAMPAIGN_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/invariant.hpp"
@@ -38,6 +40,13 @@ enum class Outcome : std::uint8_t {
 
 /** Name of an outcome. */
 const char *outcomeName(Outcome outcome);
+
+/**
+ * Sentinel latency meaning "this detector never fired". Kept at -1
+ * (Cycle is signed) so serialized results and CSV exports stay
+ * readable; compare against this constant rather than a literal.
+ */
+inline constexpr noc::Cycle kNoDetection = -1;
 
 /** Campaign parameters. */
 struct CampaignConfig
@@ -78,11 +87,38 @@ struct CampaignConfig
 
     /** Worker threads (1 = serial). */
     unsigned threads = 1;
+
+    // ---- Sharding (distributed / CI campaigns) ----
+
+    /**
+     * Shard selector: of the deterministically sampled site list,
+     * this campaign runs sites whose sample index i satisfies
+     * i % shardCount == shardIndex. Selection depends only on the
+     * sampled order (never on threads), so N shards partition exactly
+     * the runs a single unsharded process would execute.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
+    /**
+     * When non-empty, a checkpoint (the partial CampaignResult as
+     * JSON) is written here every checkpointEvery completed runs and
+     * once more at the end. An existing checkpoint for the same
+     * campaign is loaded on start and its completed runs are skipped,
+     * so a killed shard resumes where it left off.
+     */
+    std::string checkpointPath;
+    unsigned checkpointEvery = 25;
 };
 
 /** Classification record of one fault-injected run. */
 struct FaultRunResult
 {
+    /** Position of the site in the campaign's sampled order; global
+     *  across shards, so merged shard results interleave back into
+     *  exactly the unsharded run order. */
+    std::size_t sampleIndex = 0;
+
     FaultSite site;
     noc::Cycle injectCycle = 0;
 
@@ -93,16 +129,16 @@ struct FaultRunResult
 
     // ---- NoCAlert ----
     bool detected = false;
-    noc::Cycle detectionLatency = -1;
+    noc::Cycle detectionLatency = kNoDetection;
     bool detectedCautious = false;
-    noc::Cycle cautiousLatency = -1;
+    noc::Cycle cautiousLatency = kNoDetection;
     bool alertAtInjection = false;
     unsigned simultaneousCheckers = 0;
     std::vector<core::InvariantId> invariants;
 
     // ---- ForEVeR ----
     bool foreverDetected = false;
-    noc::Cycle foreverLatency = -1;
+    noc::Cycle foreverLatency = kNoDetection;
 
     Outcome outcome() const;
     Outcome cautiousOutcome() const;
@@ -135,13 +171,22 @@ struct CampaignSummary
     double pct(std::uint64_t count) const;
 };
 
-/** Full campaign output. */
+/** Full campaign (or single-shard) output. */
 struct CampaignResult
 {
     CampaignConfig config;
     std::size_t totalSitesEnumerated = 0;
     std::size_t goldenFlits = 0;
+
+    /** Runs this shard is responsible for (== runs.size() once the
+     *  shard has finished; larger while a checkpoint is partial). */
+    std::size_t shardRunsPlanned = 0;
+
+    /** Completed runs in increasing sampleIndex order. */
     std::vector<FaultRunResult> runs;
+
+    /** True iff every planned run of this shard has completed. */
+    bool complete() const { return runs.size() == shardRunsPlanned; }
 
     CampaignSummary summarize() const;
 };
@@ -153,10 +198,26 @@ class FaultCampaign
     /** Per-run progress callback (completed runs, total runs). */
     using Progress = std::function<void(std::size_t, std::size_t)>;
 
+    /** Knobs of one run() invocation (not part of campaign identity). */
+    struct RunOptions
+    {
+        /**
+         * Stop after this many *new* runs (0 = no limit), leaving the
+         * checkpoint resumable — a deterministic stand-in for a killed
+         * process in tests and CI.
+         */
+        std::size_t maxNewRuns = 0;
+    };
+
     explicit FaultCampaign(CampaignConfig config);
 
-    /** Execute the whole campaign. */
-    CampaignResult run(const Progress &progress = nullptr);
+    /** Execute this shard of the campaign (resuming any checkpoint). */
+    CampaignResult run(const Progress &progress = nullptr)
+    {
+        return run(progress, RunOptions{});
+    }
+    CampaignResult run(const Progress &progress,
+                       const RunOptions &options);
 
     /**
      * Execute a single fault-injected run against a prepared warm

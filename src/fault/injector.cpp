@@ -19,6 +19,17 @@ faultKindName(FaultKind kind)
     return "?";
 }
 
+std::optional<FaultKind>
+faultKindFromName(std::string_view name)
+{
+    for (int i = 0; i <= static_cast<int>(FaultKind::Permanent); ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
 void
 FaultInjector::attach(noc::Network &network)
 {

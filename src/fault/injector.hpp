@@ -15,6 +15,8 @@
 #define NOCALERT_FAULT_INJECTOR_HPP
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "fault/site.hpp"
@@ -32,6 +34,9 @@ enum class FaultKind : std::uint8_t {
 
 /** Name of a fault kind. */
 const char *faultKindName(FaultKind kind);
+
+/** Inverse of faultKindName (nullopt for unknown names). */
+std::optional<FaultKind> faultKindFromName(std::string_view name);
 
 /** A fault site plus its temporal activation. */
 struct FaultSpec

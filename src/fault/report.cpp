@@ -2,10 +2,26 @@
 
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "util/table.hpp"
 
 namespace nocalert::fault {
+
+namespace {
+
+/** Latency cell: the cycle delta, or an empty cell when the detector
+ *  never fired — kNoDetection stays an in-memory sentinel and never
+ *  leaks into exported data as a misleading numeric value. */
+std::string
+latencyCell(noc::Cycle latency)
+{
+    if (latency == kNoDetection)
+        return "";
+    return std::to_string(static_cast<long long>(latency));
+}
+
+} // namespace
 
 void
 writeCampaignCsv(const CampaignResult &result, std::ostream &os)
@@ -20,9 +36,9 @@ writeCampaignCsv(const CampaignResult &result, std::ostream &os)
            << run.site.bit << ',' << (run.violated ? 1 : 0) << ','
            << static_cast<unsigned>(run.violatedConditions) << ','
            << (run.drained ? 1 : 0) << ',' << (run.detected ? 1 : 0)
-           << ',' << run.detectionLatency << ','
+           << ',' << latencyCell(run.detectionLatency) << ','
            << (run.detectedCautious ? 1 : 0) << ','
-           << run.cautiousLatency << ','
+           << latencyCell(run.cautiousLatency) << ','
            << (run.alertAtInjection ? 1 : 0) << ','
            << run.simultaneousCheckers << ',';
         // Invariant list as a ;-joined field.
@@ -33,7 +49,7 @@ writeCampaignCsv(const CampaignResult &result, std::ostream &os)
             os << core::invariantIndex(run.invariants[i]);
         }
         os << '"' << ',' << (run.foreverDetected ? 1 : 0) << ','
-           << run.foreverLatency << '\n';
+           << latencyCell(run.foreverLatency) << '\n';
     }
 }
 

@@ -1,0 +1,742 @@
+#include "fault/serialize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nocalert::fault {
+
+namespace {
+
+// ------------------------------------------------------------- readers
+
+/**
+ * First-error-wins extraction over one JSON object. Typed getters
+ * record a message into the shared error slot and return a default on
+ * any mismatch, so deserializers read every field linearly and check
+ * ok() once at the end.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue &json, std::string what,
+                 std::string &error)
+        : json_(json), what_(std::move(what)), error_(error)
+    {
+        if (!json_.isObject())
+            fail(what_ + " is not a JSON object");
+    }
+
+    bool ok() const { return error_.empty(); }
+
+    const JsonValue *get(const char *key)
+    {
+        if (!ok())
+            return nullptr;
+        const JsonValue *value = json_.find(key);
+        if (!value)
+            fail(what_ + " is missing field '" + key + "'");
+        return value;
+    }
+
+    std::int64_t i64(const char *key)
+    {
+        const JsonValue *value = get(key);
+        if (value && value->type() != JsonValue::Type::Int)
+            fail(fieldError(key, "an integer"));
+        return ok() ? value->asInt() : 0;
+    }
+
+    std::uint64_t u64(const char *key)
+    {
+        const JsonValue *value = get(key);
+        if (value &&
+            !(value->type() == JsonValue::Type::Uint ||
+              (value->type() == JsonValue::Type::Int && value->asInt() >= 0)))
+            fail(fieldError(key, "a non-negative integer"));
+        return ok() ? value->asUint() : 0;
+    }
+
+    unsigned u32(const char *key)
+    {
+        const std::uint64_t value = u64(key);
+        if (ok() && value > UINT32_MAX)
+            fail(fieldError(key, "a 32-bit value"));
+        return static_cast<unsigned>(value);
+    }
+
+    int i32(const char *key)
+    {
+        const std::int64_t value = i64(key);
+        if (ok() && (value < INT32_MIN || value > INT32_MAX))
+            fail(fieldError(key, "a 32-bit value"));
+        return static_cast<int>(value);
+    }
+
+    bool boolean(const char *key)
+    {
+        const JsonValue *value = get(key);
+        if (value && !value->isBool())
+            fail(fieldError(key, "a boolean"));
+        return ok() ? value->boolean() : false;
+    }
+
+    double number(const char *key)
+    {
+        const JsonValue *value = get(key);
+        if (value && !value->isNumber())
+            fail(fieldError(key, "a number"));
+        return ok() ? value->asDouble() : 0.0;
+    }
+
+    std::string str(const char *key)
+    {
+        const JsonValue *value = get(key);
+        if (value && !value->isString())
+            fail(fieldError(key, "a string"));
+        return ok() ? value->string() : std::string();
+    }
+
+    const JsonValue::Array &arr(const char *key)
+    {
+        static const JsonValue::Array empty;
+        const JsonValue *value = get(key);
+        if (value && !value->isArray())
+            fail(fieldError(key, "an array"));
+        return ok() ? value->array() : empty;
+    }
+
+    void fail(const std::string &message)
+    {
+        if (error_.empty())
+            error_ = message;
+    }
+
+    std::string fieldError(const char *key, const char *expected) const
+    {
+        return what_ + " field '" + key + "' must be " + expected;
+    }
+
+  private:
+    const JsonValue &json_;
+    std::string what_;
+    std::string &error_;
+};
+
+template <typename T>
+std::optional<T>
+finish(T value, std::string &error, std::string *out_error)
+{
+    if (error.empty())
+        return value;
+    if (out_error)
+        *out_error = error;
+    return std::nullopt;
+}
+
+// ---------------------------------------------------- nested sections
+
+JsonValue
+routerParamsJson(const noc::RouterParams &router)
+{
+    JsonValue classes;
+    for (const noc::MessageClassSpec &cls : router.classes) {
+        JsonValue entry;
+        entry.set("name", cls.name);
+        entry.set("packetLength", cls.packetLength);
+        classes.push(std::move(entry));
+    }
+    if (classes.isNull())
+        classes = JsonValue(JsonValue::Array{});
+
+    JsonValue json;
+    json.set("numVcs", router.numVcs);
+    json.set("bufferDepth", router.bufferDepth);
+    json.set("atomicBuffers", router.atomicBuffers);
+    json.set("speculative", router.speculative);
+    json.set("flitWidthBits", router.flitWidthBits);
+    json.set("extendedChecks", router.extendedChecks);
+    json.set("classes", std::move(classes));
+    return json;
+}
+
+void
+routerParamsFromJson(const JsonValue &json, noc::RouterParams &router,
+                     std::string &error)
+{
+    ObjectReader reader(json, "router params", error);
+    router.numVcs = reader.u32("numVcs");
+    router.bufferDepth = reader.u32("bufferDepth");
+    router.atomicBuffers = reader.boolean("atomicBuffers");
+    router.speculative = reader.boolean("speculative");
+    router.flitWidthBits = reader.u32("flitWidthBits");
+    router.extendedChecks = reader.boolean("extendedChecks");
+    router.classes.clear();
+    for (const JsonValue &entry : reader.arr("classes")) {
+        ObjectReader cls(entry, "message class", error);
+        noc::MessageClassSpec spec;
+        spec.name = cls.str("name");
+        const unsigned length = cls.u32("packetLength");
+        if (error.empty() && length > UINT16_MAX)
+            cls.fail("message class packetLength out of range");
+        spec.packetLength = static_cast<std::uint16_t>(length);
+        router.classes.push_back(std::move(spec));
+    }
+}
+
+JsonValue
+networkConfigJson(const noc::NetworkConfig &network)
+{
+    JsonValue json;
+    json.set("width", network.width);
+    json.set("height", network.height);
+    json.set("routing", noc::routingAlgoName(network.routing));
+    json.set("router", routerParamsJson(network.router));
+    return json;
+}
+
+void
+networkConfigFromJson(const JsonValue &json, noc::NetworkConfig &network,
+                      std::string &error)
+{
+    ObjectReader reader(json, "network config", error);
+    network.width = reader.i32("width");
+    network.height = reader.i32("height");
+    const std::string routing = reader.str("routing");
+    if (error.empty()) {
+        if (auto algo = noc::routingAlgoFromName(routing))
+            network.routing = *algo;
+        else
+            reader.fail("unknown routing algorithm '" + routing + "'");
+    }
+    if (const JsonValue *router = reader.get("router"))
+        routerParamsFromJson(*router, network.router, error);
+}
+
+JsonValue
+trafficSpecJson(const noc::TrafficSpec &traffic)
+{
+    JsonValue weights = JsonValue(JsonValue::Array{});
+    for (double w : traffic.classWeights)
+        weights.push(w);
+
+    JsonValue json;
+    json.set("pattern", noc::trafficPatternName(traffic.pattern));
+    json.set("injectionRate", traffic.injectionRate);
+    json.set("seed", traffic.seed);
+    json.set("stopCycle", traffic.stopCycle);
+    json.set("classWeights", std::move(weights));
+    json.set("hotspot", traffic.hotspot);
+    json.set("hotspotFraction", traffic.hotspotFraction);
+    return json;
+}
+
+void
+trafficSpecFromJson(const JsonValue &json, noc::TrafficSpec &traffic,
+                    std::string &error)
+{
+    ObjectReader reader(json, "traffic spec", error);
+    const std::string pattern = reader.str("pattern");
+    if (error.empty()) {
+        if (auto p = noc::trafficPatternFromName(pattern))
+            traffic.pattern = *p;
+        else
+            reader.fail("unknown traffic pattern '" + pattern + "'");
+    }
+    traffic.injectionRate = reader.number("injectionRate");
+    traffic.seed = reader.u64("seed");
+    traffic.stopCycle = reader.i64("stopCycle");
+    traffic.classWeights.clear();
+    for (const JsonValue &w : reader.arr("classWeights")) {
+        if (!w.isNumber()) {
+            reader.fail("traffic classWeights must be numbers");
+            break;
+        }
+        traffic.classWeights.push_back(w.asDouble());
+    }
+    traffic.hotspot = reader.i32("hotspot");
+    traffic.hotspotFraction = reader.number("hotspotFraction");
+}
+
+JsonValue
+foreverConfigJson(const forever::ForeverConfig &config)
+{
+    JsonValue json;
+    json.set("epochLength", config.epochLength);
+    json.set("hopLatency", config.hopLatency);
+    json.set("useAllocationComparator", config.useAllocationComparator);
+    json.set("useEndToEnd", config.useEndToEnd);
+    return json;
+}
+
+void
+foreverConfigFromJson(const JsonValue &json,
+                      forever::ForeverConfig &config, std::string &error)
+{
+    ObjectReader reader(json, "forever config", error);
+    config.epochLength = reader.i64("epochLength");
+    config.hopLatency = reader.i64("hopLatency");
+    config.useAllocationComparator =
+        reader.boolean("useAllocationComparator");
+    config.useEndToEnd = reader.boolean("useEndToEnd");
+}
+
+JsonValue
+faultSiteJson(const FaultSite &site)
+{
+    JsonValue json;
+    json.set("router", site.router);
+    json.set("signal", signalClassName(site.signal));
+    json.set("port", site.port);
+    json.set("vc", site.vc);
+    json.set("bit", site.bit);
+    return json;
+}
+
+void
+faultSiteFromJson(const JsonValue &json, FaultSite &site,
+                  std::string &error)
+{
+    ObjectReader reader(json, "fault site", error);
+    site.router = reader.i32("router");
+    const std::string signal = reader.str("signal");
+    if (error.empty()) {
+        if (auto cls = signalClassFromName(signal))
+            site.signal = *cls;
+        else
+            reader.fail("unknown signal class '" + signal + "'");
+    }
+    site.port = reader.i32("port");
+    site.vc = reader.i32("vc");
+    site.bit = reader.u32("bit");
+}
+
+JsonValue
+histogramJson(const Histogram &histogram)
+{
+    JsonValue points = JsonValue(JsonValue::Array{});
+    for (const auto &[value, count] : histogram.points()) {
+        JsonValue point = JsonValue(JsonValue::Array{});
+        point.push(value);
+        point.push(count);
+        points.push(std::move(point));
+    }
+    return points;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- config
+
+JsonValue
+toJson(const CampaignConfig &config)
+{
+    JsonValue json;
+    json.set("network", networkConfigJson(config.network));
+    json.set("traffic", trafficSpecJson(config.traffic));
+    json.set("warmup", config.warmup);
+    json.set("observeWindow", config.observeWindow);
+    json.set("drainLimit", config.drainLimit);
+    json.set("kind", faultKindName(config.kind));
+    json.set("maxSites", config.maxSites);
+    json.set("wireSitesOnly", config.wireSitesOnly);
+    json.set("sampleSeed", config.sampleSeed);
+    json.set("runForever", config.runForever);
+    json.set("forever", foreverConfigJson(config.forever));
+    json.set("threads", config.threads);
+    json.set("shardIndex", config.shardIndex);
+    json.set("shardCount", config.shardCount);
+    json.set("checkpointPath", config.checkpointPath);
+    json.set("checkpointEvery", config.checkpointEvery);
+    return json;
+}
+
+JsonValue
+campaignIdentityJson(const CampaignConfig &config)
+{
+    static constexpr const char *kExecutionKeys[] = {
+        "threads", "shardIndex", "shardCount", "checkpointPath",
+        "checkpointEvery"};
+
+    const JsonValue full = toJson(config);
+    JsonValue identity;
+    for (const auto &[key, value] : full.object()) {
+        const bool execution =
+            std::find(std::begin(kExecutionKeys), std::end(kExecutionKeys),
+                      key) != std::end(kExecutionKeys);
+        if (!execution)
+            identity.set(key, value);
+    }
+    return identity;
+}
+
+std::optional<CampaignConfig>
+campaignConfigFromJson(const JsonValue &json, std::string *out_error)
+{
+    std::string error;
+    CampaignConfig config;
+    ObjectReader reader(json, "campaign config", error);
+
+    if (const JsonValue *network = reader.get("network"))
+        networkConfigFromJson(*network, config.network, error);
+    if (const JsonValue *traffic = reader.get("traffic"))
+        trafficSpecFromJson(*traffic, config.traffic, error);
+    config.warmup = reader.i64("warmup");
+    config.observeWindow = reader.i64("observeWindow");
+    config.drainLimit = reader.i64("drainLimit");
+    const std::string kind = reader.str("kind");
+    if (error.empty()) {
+        if (auto k = faultKindFromName(kind))
+            config.kind = *k;
+        else
+            reader.fail("unknown fault kind '" + kind + "'");
+    }
+    config.maxSites = reader.u32("maxSites");
+    config.wireSitesOnly = reader.boolean("wireSitesOnly");
+    config.sampleSeed = reader.u64("sampleSeed");
+    config.runForever = reader.boolean("runForever");
+    if (const JsonValue *forever = reader.get("forever"))
+        foreverConfigFromJson(*forever, config.forever, error);
+    config.threads = reader.u32("threads");
+    config.shardIndex = reader.u32("shardIndex");
+    config.shardCount = reader.u32("shardCount");
+    config.checkpointPath = reader.str("checkpointPath");
+    config.checkpointEvery = reader.u32("checkpointEvery");
+
+    return finish(std::move(config), error, out_error);
+}
+
+// ---------------------------------------------------------------- runs
+
+JsonValue
+toJson(const FaultRunResult &run)
+{
+    JsonValue invariants = JsonValue(JsonValue::Array{});
+    for (core::InvariantId id : run.invariants)
+        invariants.push(core::invariantIndex(id));
+
+    JsonValue json;
+    json.set("sampleIndex", run.sampleIndex);
+    json.set("site", faultSiteJson(run.site));
+    json.set("injectCycle", run.injectCycle);
+    json.set("violated", run.violated);
+    json.set("violatedConditions", run.violatedConditions);
+    json.set("drained", run.drained);
+    json.set("detected", run.detected);
+    json.set("detectionLatency", run.detectionLatency);
+    json.set("detectedCautious", run.detectedCautious);
+    json.set("cautiousLatency", run.cautiousLatency);
+    json.set("alertAtInjection", run.alertAtInjection);
+    json.set("simultaneousCheckers", run.simultaneousCheckers);
+    json.set("invariants", std::move(invariants));
+    json.set("foreverDetected", run.foreverDetected);
+    json.set("foreverLatency", run.foreverLatency);
+    return json;
+}
+
+std::optional<FaultRunResult>
+faultRunFromJson(const JsonValue &json, std::string *out_error)
+{
+    std::string error;
+    FaultRunResult run;
+    ObjectReader reader(json, "fault run", error);
+
+    run.sampleIndex = reader.u64("sampleIndex");
+    if (const JsonValue *site = reader.get("site"))
+        faultSiteFromJson(*site, run.site, error);
+    run.injectCycle = reader.i64("injectCycle");
+    run.violated = reader.boolean("violated");
+    const unsigned conditions = reader.u32("violatedConditions");
+    if (error.empty() && conditions > UINT8_MAX)
+        reader.fail("violatedConditions out of range");
+    run.violatedConditions = static_cast<std::uint8_t>(conditions);
+    run.drained = reader.boolean("drained");
+    run.detected = reader.boolean("detected");
+    run.detectionLatency = reader.i64("detectionLatency");
+    run.detectedCautious = reader.boolean("detectedCautious");
+    run.cautiousLatency = reader.i64("cautiousLatency");
+    run.alertAtInjection = reader.boolean("alertAtInjection");
+    run.simultaneousCheckers = reader.u32("simultaneousCheckers");
+    run.invariants.clear();
+    for (const JsonValue &id : reader.arr("invariants")) {
+        if (id.type() != JsonValue::Type::Int || id.asInt() < 1 ||
+            id.asInt() > static_cast<std::int64_t>(core::kNumInvariants)) {
+            reader.fail("invariant index out of range");
+            break;
+        }
+        run.invariants.push_back(
+            static_cast<core::InvariantId>(id.asInt()));
+    }
+    run.foreverDetected = reader.boolean("foreverDetected");
+    run.foreverLatency = reader.i64("foreverLatency");
+
+    // Latency fields are either a non-negative cycle delta (only when
+    // the detector fired) or the kNoDetection sentinel.
+    if (error.empty()) {
+        auto check = [&](bool fired, noc::Cycle latency,
+                         const char *field) {
+            if (fired ? latency < 0 : latency != kNoDetection)
+                reader.fail(std::string(field) +
+                            " inconsistent with its detection flag");
+        };
+        check(run.detected, run.detectionLatency, "detectionLatency");
+        check(run.detectedCautious, run.cautiousLatency,
+              "cautiousLatency");
+        check(run.foreverDetected, run.foreverLatency, "foreverLatency");
+    }
+
+    return finish(std::move(run), error, out_error);
+}
+
+// -------------------------------------------------------------- result
+
+JsonValue
+toJson(const CampaignResult &result)
+{
+    JsonValue runs = JsonValue(JsonValue::Array{});
+    for (const FaultRunResult &run : result.runs)
+        runs.push(toJson(run));
+
+    JsonValue json;
+    json.set("schema", kCampaignSchemaName);
+    json.set("version", kCampaignSchemaVersion);
+    json.set("config", toJson(result.config));
+    json.set("totalSitesEnumerated", result.totalSitesEnumerated);
+    json.set("goldenFlits", result.goldenFlits);
+    json.set("shardRunsPlanned", result.shardRunsPlanned);
+    json.set("runs", std::move(runs));
+    return json;
+}
+
+std::optional<CampaignResult>
+campaignResultFromJson(const JsonValue &json, std::string *out_error)
+{
+    std::string error;
+    CampaignResult result;
+    ObjectReader reader(json, "campaign result", error);
+
+    const std::string schema = reader.str("schema");
+    if (error.empty() && schema != kCampaignSchemaName)
+        reader.fail("not a campaign document (schema '" + schema + "')");
+    const std::int64_t version = reader.i64("version");
+    if (error.empty() && version != kCampaignSchemaVersion)
+        reader.fail("unsupported campaign schema version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kCampaignSchemaVersion) + ")");
+
+    if (const JsonValue *config = reader.get("config")) {
+        if (auto parsed = campaignConfigFromJson(*config, &error))
+            result.config = std::move(*parsed);
+    }
+    result.totalSitesEnumerated = reader.u64("totalSitesEnumerated");
+    result.goldenFlits = reader.u64("goldenFlits");
+    result.shardRunsPlanned = reader.u64("shardRunsPlanned");
+    for (const JsonValue &entry : reader.arr("runs")) {
+        if (auto run = faultRunFromJson(entry, &error))
+            result.runs.push_back(std::move(*run));
+        else
+            break;
+    }
+    if (error.empty()) {
+        for (std::size_t i = 1; i < result.runs.size(); ++i) {
+            if (result.runs[i - 1].sampleIndex >=
+                result.runs[i].sampleIndex) {
+                reader.fail("runs are not in increasing sampleIndex "
+                            "order");
+                break;
+            }
+        }
+        if (result.runs.size() > result.shardRunsPlanned)
+            reader.fail("more runs than shardRunsPlanned");
+    }
+
+    return finish(std::move(result), error, out_error);
+}
+
+JsonValue
+toJson(const CampaignSummary &summary)
+{
+    auto outcomes = [](const std::array<std::uint64_t, 4> &counts) {
+        JsonValue json = JsonValue(JsonValue::Array{});
+        for (std::uint64_t c : counts)
+            json.push(c);
+        return json;
+    };
+
+    JsonValue per_invariant = JsonValue(JsonValue::Array{});
+    for (std::uint64_t c : summary.perInvariant)
+        per_invariant.push(c);
+
+    JsonValue json;
+    json.set("runs", summary.runs);
+    json.set("nocalert", outcomes(summary.nocalert));
+    json.set("cautious", outcomes(summary.cautious));
+    json.set("forever", outcomes(summary.forever));
+    json.set("detectionLatency", histogramJson(summary.detectionLatency));
+    json.set("foreverLatency", histogramJson(summary.foreverLatency));
+    json.set("simultaneous", histogramJson(summary.simultaneous));
+    json.set("perInvariant", std::move(per_invariant));
+    json.set("noInstantAlert", summary.noInstantAlert);
+    json.set("noInstantCaughtLater", summary.noInstantCaughtLater);
+    json.set("noInstantBenignUndetected",
+             summary.noInstantBenignUndetected);
+    json.set("noInstantViolatedUndetected",
+             summary.noInstantViolatedUndetected);
+    return json;
+}
+
+// ---------------------------------------------------- documents, files
+
+std::string
+writeCampaignJson(const CampaignResult &result)
+{
+    return toJson(result).dump(2) + "\n";
+}
+
+std::optional<CampaignResult>
+readCampaignJson(std::string_view text, std::string *out_error)
+{
+    std::string error;
+    const std::optional<JsonValue> json = parseJson(text, &error);
+    if (!json) {
+        if (out_error)
+            *out_error = error;
+        return std::nullopt;
+    }
+    return campaignResultFromJson(*json, out_error);
+}
+
+bool
+saveCampaignResult(const CampaignResult &result, const std::string &path,
+                   std::string *out_error)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            if (out_error)
+                *out_error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        file << writeCampaignJson(result);
+        file.flush();
+        if (!file) {
+            if (out_error)
+                *out_error = "write to '" + tmp + "' failed";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (out_error)
+            *out_error = "rename '" + tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<CampaignResult>
+loadCampaignResult(const std::string &path, std::string *out_error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        if (out_error)
+            *out_error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::string error;
+    auto result = readCampaignJson(buffer.str(), &error);
+    if (!result && out_error)
+        *out_error = path + ": " + error;
+    return result;
+}
+
+// --------------------------------------------------------------- merge
+
+std::optional<CampaignResult>
+mergeCampaignShards(std::span<const CampaignResult> shards,
+                    std::string *out_error)
+{
+    std::string error;
+    auto fail = [&](const std::string &message) {
+        error = message;
+        return finish(CampaignResult{}, error, out_error);
+    };
+
+    if (shards.empty())
+        return fail("no shards to merge");
+
+    const CampaignResult &first = shards.front();
+    const unsigned count = std::max(1u, first.config.shardCount);
+    if (shards.size() != count)
+        return fail("expected " + std::to_string(count) +
+                    " shards, got " + std::to_string(shards.size()));
+
+    const JsonValue identity = campaignIdentityJson(first.config);
+    std::vector<bool> seen(count, false);
+
+    CampaignResult merged;
+    merged.config = first.config;
+    merged.config.shardIndex = 0;
+    merged.config.shardCount = 1;
+    merged.config.checkpointPath.clear();
+    merged.totalSitesEnumerated = first.totalSitesEnumerated;
+    merged.goldenFlits = first.goldenFlits;
+
+    for (const CampaignResult &shard : shards) {
+        const unsigned index = shard.config.shardIndex;
+        if (shard.config.shardCount != count || index >= count)
+            return fail("shard selector " + std::to_string(index) + "/" +
+                        std::to_string(shard.config.shardCount) +
+                        " does not fit a " + std::to_string(count) +
+                        "-way campaign");
+        if (seen[index])
+            return fail("duplicate shard " + std::to_string(index));
+        seen[index] = true;
+        if (campaignIdentityJson(shard.config) != identity)
+            return fail("shard " + std::to_string(index) +
+                        " was run with a different campaign config");
+        if (!shard.complete())
+            return fail("shard " + std::to_string(index) +
+                        " is incomplete (" +
+                        std::to_string(shard.runs.size()) + " of " +
+                        std::to_string(shard.shardRunsPlanned) +
+                        " runs)");
+        if (shard.totalSitesEnumerated != merged.totalSitesEnumerated ||
+            shard.goldenFlits != merged.goldenFlits)
+            return fail("shard " + std::to_string(index) +
+                        " disagrees on site enumeration or golden "
+                        "reference");
+        for (const FaultRunResult &run : shard.runs) {
+            if (run.sampleIndex % count != index)
+                return fail("run with sampleIndex " +
+                            std::to_string(run.sampleIndex) +
+                            " does not belong to shard " +
+                            std::to_string(index));
+        }
+        merged.shardRunsPlanned += shard.shardRunsPlanned;
+        merged.runs.insert(merged.runs.end(), shard.runs.begin(),
+                           shard.runs.end());
+    }
+
+    std::sort(merged.runs.begin(), merged.runs.end(),
+              [](const FaultRunResult &a, const FaultRunResult &b) {
+                  return a.sampleIndex < b.sampleIndex;
+              });
+    for (std::size_t i = 1; i < merged.runs.size(); ++i) {
+        if (merged.runs[i - 1].sampleIndex ==
+            merged.runs[i].sampleIndex)
+            return fail("duplicate sampleIndex " +
+                        std::to_string(merged.runs[i].sampleIndex) +
+                        " across shards");
+    }
+
+    return finish(std::move(merged), error, out_error);
+}
+
+} // namespace nocalert::fault

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Versioned JSON serialization of fault-campaign configurations and
+ * results, plus the shard-merge path.
+ *
+ * A CampaignResult document carries a schema tag and version so a
+ * reader can reject files written by an incompatible build instead of
+ * silently misreading them. Serialization is deterministic (object
+ * members in a fixed order, exact integers, shortest round-trip
+ * doubles): two equal results serialize to byte-identical JSON, which
+ * is what the CI campaign-smoke check and the merge acceptance test
+ * compare.
+ *
+ * The same format doubles as the shard checkpoint: a partial result
+ * (shardRunsPlanned > runs.size()) written periodically by
+ * FaultCampaign::run lets a killed shard resume from its last
+ * completed run.
+ */
+
+#ifndef NOCALERT_FAULT_SERIALIZE_HPP
+#define NOCALERT_FAULT_SERIALIZE_HPP
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "fault/campaign.hpp"
+#include "util/json.hpp"
+
+namespace nocalert::fault {
+
+/** Version of the campaign JSON schema this build reads and writes. */
+inline constexpr std::int64_t kCampaignSchemaVersion = 1;
+
+/** Schema tag stored in every campaign document. */
+inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";
+
+// ---- Structure -> JSON ----
+
+JsonValue toJson(const CampaignConfig &config);
+JsonValue toJson(const FaultRunResult &run);
+JsonValue toJson(const CampaignResult &result); ///< Adds schema header.
+JsonValue toJson(const CampaignSummary &summary);
+
+/**
+ * The subset of a config that defines campaign *identity*: everything
+ * except execution knobs (threads, shard selection, checkpointing).
+ * Two shards / a checkpoint and its resumer must agree on this.
+ */
+JsonValue campaignIdentityJson(const CampaignConfig &config);
+
+// ---- JSON -> structure (nullopt + *error on malformed input) ----
+
+std::optional<CampaignConfig> campaignConfigFromJson(
+    const JsonValue &json, std::string *error = nullptr);
+std::optional<FaultRunResult> faultRunFromJson(
+    const JsonValue &json, std::string *error = nullptr);
+
+/** Rejects documents whose schema tag or version does not match. */
+std::optional<CampaignResult> campaignResultFromJson(
+    const JsonValue &json, std::string *error = nullptr);
+
+// ---- Whole-document text and file helpers ----
+
+/** Pretty-printed JSON document (2-space indent, trailing newline). */
+std::string writeCampaignJson(const CampaignResult &result);
+
+std::optional<CampaignResult> readCampaignJson(
+    std::string_view text, std::string *error = nullptr);
+
+/** Write atomically (temp file + rename), false + *error on failure. */
+bool saveCampaignResult(const CampaignResult &result,
+                        const std::string &path,
+                        std::string *error = nullptr);
+
+std::optional<CampaignResult> loadCampaignResult(
+    const std::string &path, std::string *error = nullptr);
+
+// ---- Shard merge ----
+
+/**
+ * Recombine the outputs of a sharded campaign. Requires a complete
+ * cover: every shard present exactly once, each complete, and all
+ * agreeing on campaign identity and on the deterministic globals
+ * (totalSitesEnumerated, goldenFlits). The merged result has runs in
+ * global sampleIndex order and an unsharded config, so its summary —
+ * and its serialized form — is bit-identical to the same campaign run
+ * in a single process.
+ */
+std::optional<CampaignResult> mergeCampaignShards(
+    std::span<const CampaignResult> shards,
+    std::string *error = nullptr);
+
+} // namespace nocalert::fault
+
+#endif // NOCALERT_FAULT_SERIALIZE_HPP

@@ -45,6 +45,17 @@ signalClassName(SignalClass cls)
     return "?";
 }
 
+std::optional<SignalClass>
+signalClassFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < kNumSignalClasses; ++i) {
+        const auto cls = static_cast<SignalClass>(i);
+        if (name == signalClassName(cls))
+            return cls;
+    }
+    return std::nullopt;
+}
+
 bool
 isStateSignal(SignalClass cls)
 {

@@ -21,7 +21,9 @@
 #define NOCALERT_FAULT_SITE_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "noc/config.hpp"
@@ -60,8 +62,15 @@ enum class SignalClass : std::uint8_t {
     StSchedOutVc, ///< Schedule register outgoing VC id bits.
 };
 
+/** Number of signal classes (contiguous enum, 0-based). */
+inline constexpr unsigned kNumSignalClasses =
+    static_cast<unsigned>(SignalClass::StSchedOutVc) + 1;
+
 /** Name of a signal class. */
 const char *signalClassName(SignalClass cls);
+
+/** Inverse of signalClassName (nullopt for unknown names). */
+std::optional<SignalClass> signalClassFromName(std::string_view name);
 
 /** True iff the class is an architectural register (CycleStart tap). */
 bool isStateSignal(SignalClass cls);

@@ -18,6 +18,17 @@ routingAlgoName(RoutingAlgo algo)
     return "?";
 }
 
+std::optional<RoutingAlgo>
+routingAlgoFromName(std::string_view name)
+{
+    for (int i = 0; i <= static_cast<int>(RoutingAlgo::O1Turn); ++i) {
+        const auto algo = static_cast<RoutingAlgo>(i);
+        if (name == routingAlgoName(algo))
+            return algo;
+    }
+    return std::nullopt;
+}
+
 unsigned
 RouterParams::vcClass(unsigned vc) const
 {

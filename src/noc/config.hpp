@@ -12,7 +12,9 @@
 #define NOCALERT_NOC_CONFIG_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "noc/types.hpp"
@@ -29,6 +31,9 @@ enum class RoutingAlgo {
 
 /** Name of a routing algorithm. */
 const char *routingAlgoName(RoutingAlgo algo);
+
+/** Inverse of routingAlgoName (nullopt for unknown names). */
+std::optional<RoutingAlgo> routingAlgoFromName(std::string_view name);
 
 /**
  * One protocol-level message class.

@@ -21,6 +21,17 @@ trafficPatternName(TrafficPattern pattern)
     return "?";
 }
 
+std::optional<TrafficPattern>
+trafficPatternFromName(std::string_view name)
+{
+    for (int i = 0; i <= static_cast<int>(TrafficPattern::Neighbor); ++i) {
+        const auto pattern = static_cast<TrafficPattern>(i);
+        if (name == trafficPatternName(pattern))
+            return pattern;
+    }
+    return std::nullopt;
+}
+
 TrafficGenerator::TrafficGenerator(const NetworkConfig &config,
                                    const TrafficSpec &spec)
     : spec_(spec)

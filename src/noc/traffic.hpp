@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "noc/config.hpp"
@@ -37,6 +38,9 @@ enum class TrafficPattern {
 
 /** Name of a traffic pattern. */
 const char *trafficPatternName(TrafficPattern pattern);
+
+/** Inverse of trafficPatternName (nullopt for unknown names). */
+std::optional<TrafficPattern> trafficPatternFromName(std::string_view name);
 
 /** Traffic generator parameters. */
 struct TrafficSpec

@@ -7,7 +7,8 @@
 namespace nocalert {
 
 CommandLine::CommandLine(int argc, const char *const *argv,
-                         std::vector<std::string> known)
+                         std::vector<std::string> known,
+                         bool allow_positionals)
 {
     auto is_known = [&](const std::string &name) {
         return std::find(known.begin(), known.end(), name) != known.end();
@@ -15,8 +16,12 @@ CommandLine::CommandLine(int argc, const char *const *argv,
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
-            NOCALERT_FATAL("unexpected positional argument: ", arg);
+        if (arg.rfind("--", 0) != 0) {
+            if (!allow_positionals)
+                NOCALERT_FATAL("unexpected positional argument: ", arg);
+            positionals_.push_back(std::move(arg));
+            continue;
+        }
         arg = arg.substr(2);
 
         std::string name;

@@ -24,9 +24,14 @@ class CommandLine
     /**
      * Parse argv. @p known lists every accepted flag name (without the
      * leading dashes); anything else aborts with a usage hint.
+     *
+     * With @p allow_positionals, non-flag tokens that do not follow a
+     * value-less flag are collected into positionals() instead of
+     * aborting (used by subcommand CLIs taking file lists).
      */
     CommandLine(int argc, const char *const *argv,
-                std::vector<std::string> known);
+                std::vector<std::string> known,
+                bool allow_positionals = false);
 
     /** True iff the flag was present (with or without a value). */
     bool has(const std::string &name) const;
@@ -44,8 +49,15 @@ class CommandLine
     /** Boolean switch: present without value, or =true/=false. */
     bool getBool(const std::string &name, bool fallback) const;
 
+    /** Non-flag arguments, in order (allow_positionals mode only). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
 };
 
 } // namespace nocalert

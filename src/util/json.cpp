@@ -1,0 +1,590 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace nocalert {
+
+JsonValue::JsonValue(double value)
+{
+    if (!std::isfinite(value))
+        NOCALERT_FATAL("JSON cannot represent non-finite number");
+    value_ = value;
+}
+
+bool
+JsonValue::boolean() const
+{
+    NOCALERT_ASSERT(isBool(), "JSON value is not a boolean");
+    return std::get<bool>(value_);
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    switch (type()) {
+      case Type::Int:
+        return std::get<std::int64_t>(value_);
+      case Type::Uint: {
+        const auto u = std::get<std::uint64_t>(value_);
+        NOCALERT_ASSERT(u <= static_cast<std::uint64_t>(INT64_MAX),
+                        "JSON integer out of int64 range");
+        return static_cast<std::int64_t>(u);
+      }
+      case Type::Double: {
+        const double d = std::get<double>(value_);
+        const auto i = static_cast<std::int64_t>(d);
+        NOCALERT_ASSERT(static_cast<double>(i) == d,
+                        "JSON number is not an exact integer");
+        return i;
+      }
+      default:
+        NOCALERT_PANIC("JSON value is not a number");
+    }
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    switch (type()) {
+      case Type::Int: {
+        const auto i = std::get<std::int64_t>(value_);
+        NOCALERT_ASSERT(i >= 0, "JSON integer is negative");
+        return static_cast<std::uint64_t>(i);
+      }
+      case Type::Uint:
+        return std::get<std::uint64_t>(value_);
+      case Type::Double: {
+        const double d = std::get<double>(value_);
+        const auto u = static_cast<std::uint64_t>(d);
+        NOCALERT_ASSERT(d >= 0 && static_cast<double>(u) == d,
+                        "JSON number is not an exact unsigned integer");
+        return u;
+      }
+      default:
+        NOCALERT_PANIC("JSON value is not a number");
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (type()) {
+      case Type::Int:
+        return static_cast<double>(std::get<std::int64_t>(value_));
+      case Type::Uint:
+        return static_cast<double>(std::get<std::uint64_t>(value_));
+      case Type::Double:
+        return std::get<double>(value_);
+      default:
+        NOCALERT_PANIC("JSON value is not a number");
+    }
+}
+
+const std::string &
+JsonValue::string() const
+{
+    NOCALERT_ASSERT(isString(), "JSON value is not a string");
+    return std::get<std::string>(value_);
+}
+
+const JsonValue::Array &
+JsonValue::array() const
+{
+    NOCALERT_ASSERT(isArray(), "JSON value is not an array");
+    return std::get<Array>(value_);
+}
+
+const JsonValue::Object &
+JsonValue::object() const
+{
+    NOCALERT_ASSERT(isObject(), "JSON value is not an object");
+    return std::get<Object>(value_);
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : std::get<Object>(value_)) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+JsonValue::set(std::string key, JsonValue value)
+{
+    if (isNull())
+        value_ = Object{};
+    NOCALERT_ASSERT(isObject(), "JSON set() on a non-object");
+    auto &members = std::get<Object>(value_);
+    for (auto &[k, v] : members) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    members.emplace_back(std::move(key), std::move(value));
+}
+
+void
+JsonValue::push(JsonValue value)
+{
+    if (isNull())
+        value_ = Array{};
+    NOCALERT_ASSERT(isArray(), "JSON push() on a non-array");
+    std::get<Array>(value_).push_back(std::move(value));
+}
+
+// ---------------------------------------------------------------- writer
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char ch : s) {
+        const auto byte = static_cast<unsigned char>(ch);
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (byte < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    // Shortest representation that round-trips; force a fractional
+    // marker so the value re-parses as a double, not an integer.
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), value);
+    NOCALERT_ASSERT(ec == std::errc(), "double formatting failed");
+    std::string_view text(buf, static_cast<std::size_t>(end - buf));
+    out += text;
+    if (text.find_first_of(".eE") == std::string_view::npos)
+        out += ".0";
+}
+
+void
+dumpValue(const JsonValue &value, std::string &out, int indent, int depth)
+{
+    const std::string_view sep = indent > 0 ? ": " : ":";
+    auto newline = [&](int level) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * level), ' ');
+        }
+    };
+
+    switch (value.type()) {
+      case JsonValue::Type::Null:
+        out += "null";
+        break;
+      case JsonValue::Type::Bool:
+        out += value.boolean() ? "true" : "false";
+        break;
+      case JsonValue::Type::Int:
+        out += std::to_string(value.asInt());
+        break;
+      case JsonValue::Type::Uint:
+        out += std::to_string(value.asUint());
+        break;
+      case JsonValue::Type::Double:
+        appendNumber(out, value.asDouble());
+        break;
+      case JsonValue::Type::String:
+        appendEscaped(out, value.string());
+        break;
+      case JsonValue::Type::Array: {
+        const auto &items = value.array();
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            dumpValue(items[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case JsonValue::Type::Object: {
+        const auto &members = value.object();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, members[i].first);
+            out += sep;
+            dumpValue(members[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpValue(*this, out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+/** Recursive-descent parser over a string_view with offset errors. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue> parse(std::string *error)
+    {
+        JsonValue value;
+        if (!parseValue(value, 0)) {
+            if (error)
+                *error = error_;
+            return std::nullopt;
+        }
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON document");
+            if (error)
+                *error = error_;
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 200;
+
+    bool fail(const std::string &message)
+    {
+        if (error_.empty())
+            error_ = message + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return fail(std::string("expected '") + expected + "'");
+    }
+
+    bool literal(std::string_view word, JsonValue value, JsonValue &out)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        out = std::move(value);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n': return literal("null", JsonValue(nullptr), out);
+          case 't': return literal("true", JsonValue(true), out);
+          case 'f': return literal("false", JsonValue(false), out);
+          case '"': return parseString(out);
+          case '[': return parseArray(out, depth);
+          case '{': return parseObject(out, depth);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        bool is_integer = true;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch >= '0' && ch <= '9') {
+                ++pos_;
+            } else if (ch == '.' || ch == 'e' || ch == 'E' || ch == '+' ||
+                       ch == '-') {
+                is_integer = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-")
+            return fail("invalid number");
+        const char *first = token.data();
+        const char *last = token.data() + token.size();
+
+        if (is_integer) {
+            std::int64_t i = 0;
+            auto r = std::from_chars(first, last, i);
+            if (r.ec == std::errc() && r.ptr == last) {
+                out = JsonValue(i);
+                return true;
+            }
+            if (token[0] != '-') {
+                std::uint64_t u = 0;
+                r = std::from_chars(first, last, u);
+                if (r.ec == std::errc() && r.ptr == last) {
+                    out = JsonValue(u);
+                    return true;
+                }
+            }
+            // Out of 64-bit range: fall through to double.
+        }
+        double d = 0.0;
+        const auto r = std::from_chars(first, last, d);
+        if (r.ec != std::errc() || r.ptr != last || !std::isfinite(d)) {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        out = JsonValue(d);
+        return true;
+    }
+
+    static void appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parseHex4(std::uint32_t &value)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char ch = text_[pos_ + static_cast<std::size_t>(i)];
+            value <<= 4;
+            if (ch >= '0' && ch <= '9')
+                value |= static_cast<std::uint32_t>(ch - '0');
+            else if (ch >= 'a' && ch <= 'f')
+                value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+            else if (ch >= 'A' && ch <= 'F')
+                value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+            else
+                return fail("invalid \\u escape");
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool parseString(JsonValue &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = JsonValue(std::move(s));
+        return true;
+    }
+
+    bool parseRawString(std::string &s)
+    {
+        if (!consume('"'))
+            return false;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char ch = text_[pos_];
+            if (ch == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return fail("raw control character in string");
+            if (ch != '\\') {
+                s += ch;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'u': {
+                  std::uint32_t cp = 0;
+                  if (!parseHex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // High surrogate: must pair with a low one.
+                      if (text_.substr(pos_, 2) != "\\u")
+                          return fail("unpaired surrogate");
+                      pos_ += 2;
+                      std::uint32_t low = 0;
+                      if (!parseHex4(low))
+                          return false;
+                      if (low < 0xDC00 || low > 0xDFFF)
+                          return fail("invalid low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (low - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("unpaired surrogate");
+                  }
+                  appendUtf8(s, cp);
+                  break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool parseArray(JsonValue &out, int depth)
+    {
+        if (!consume('['))
+            return false;
+        JsonValue::Array items;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = JsonValue(std::move(items));
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!parseValue(item, depth + 1))
+                return false;
+            items.push_back(std::move(item));
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!consume(']'))
+                return false;
+            out = JsonValue(std::move(items));
+            return true;
+        }
+    }
+
+    bool parseObject(JsonValue &out, int depth)
+    {
+        if (!consume('{'))
+            return false;
+        JsonValue::Object members;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = JsonValue(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWhitespace();
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            members.emplace_back(std::move(key), std::move(value));
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!consume('}'))
+                return false;
+            out = JsonValue(std::move(members));
+            return true;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+} // namespace nocalert

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal self-contained JSON document model, writer, and parser —
+ * no external dependencies. Built for campaign serialization
+ * (serialize.hpp): deterministic output (objects keep insertion
+ * order), exact integer round-trips, and shortest-round-trip doubles,
+ * so that re-serializing a parsed document reproduces it byte for
+ * byte.
+ */
+
+#ifndef NOCALERT_UTIL_JSON_HPP
+#define NOCALERT_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nocalert {
+
+/**
+ * One JSON value: null, boolean, number, string, array, or object.
+ *
+ * Numbers distinguish integers from doubles. Integers that fit in
+ * int64 are normalized to the signed representation (so a value
+ * written from a uint64 and re-parsed compares equal); only values
+ * above INT64_MAX use the unsigned alternative.
+ */
+class JsonValue
+{
+  public:
+    using Array = std::vector<JsonValue>;
+    /** Insertion-ordered key/value list: deterministic serialization. */
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool value) : value_(value) {}
+    JsonValue(double value);
+    JsonValue(const char *value) : value_(std::string(value)) {}
+    JsonValue(std::string value) : value_(std::move(value)) {}
+    JsonValue(std::string_view value) : value_(std::string(value)) {}
+    JsonValue(Array value) : value_(std::move(value)) {}
+    JsonValue(Object value) : value_(std::move(value)) {}
+
+    /** Any integral type; values that fit in int64 normalize to Int. */
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+    JsonValue(T value)
+    {
+        if constexpr (std::is_signed_v<T>) {
+            value_ = static_cast<std::int64_t>(value);
+        } else {
+            const auto u = static_cast<std::uint64_t>(value);
+            if (u <= static_cast<std::uint64_t>(INT64_MAX))
+                value_ = static_cast<std::int64_t>(u);
+            else
+                value_ = u;
+        }
+    }
+
+    Type type() const { return static_cast<Type>(value_.index()); }
+
+    bool isNull() const { return type() == Type::Null; }
+    bool isBool() const { return type() == Type::Bool; }
+    bool isNumber() const
+    {
+        return type() == Type::Int || type() == Type::Uint ||
+               type() == Type::Double;
+    }
+    bool isString() const { return type() == Type::String; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isObject() const { return type() == Type::Object; }
+
+    // Checked accessors; a type mismatch is a programming error and
+    // aborts (use type()/find() to validate untrusted documents).
+    bool boolean() const;
+    std::int64_t asInt() const;   ///< Int, or Uint/Double exactly in range.
+    std::uint64_t asUint() const; ///< Non-negative Int, Uint, exact Double.
+    double asDouble() const;      ///< Any number.
+    const std::string &string() const;
+    const Array &array() const;
+    const Object &object() const;
+
+    /** Member lookup; nullptr when absent or when this is no object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Append (or replace) an object member; converts Null to Object. */
+    void set(std::string key, JsonValue value);
+
+    /** Append an array element; converts Null to Array. */
+    void push(JsonValue value);
+
+    /**
+     * Serialize. @p indent 0 emits the compact one-line form; a
+     * positive indent pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+    bool operator==(const JsonValue &) const = default;
+
+  private:
+    std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t,
+                 double, std::string, Array, Object>
+        value_ = nullptr;
+};
+
+/**
+ * Parse one JSON document (trailing garbage is an error). On failure
+ * returns nullopt and, when @p error is non-null, stores a message
+ * with the byte offset of the problem.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_JSON_HPP

@@ -45,9 +45,10 @@ TEST(InvariantCatalog, RiskLevelsMatchPaperObservations)
     // Nothing else is special.
     std::set<unsigned> special = {1, 3, 5};
     for (const InvariantInfo &info : invariantCatalog()) {
-        if (!special.count(invariantIndex(info.id)))
+        if (!special.count(invariantIndex(info.id))) {
             EXPECT_EQ(info.risk, RiskLevel::Standard)
                 << invariantIndex(info.id);
+        }
     }
 }
 

@@ -96,11 +96,12 @@ TEST(Campaign, DetectionLatencyOnlyForDetectedRuns)
             EXPECT_GE(run.simultaneousCheckers, 1u);
             EXPECT_FALSE(run.invariants.empty());
         } else {
-            EXPECT_EQ(run.detectionLatency, -1);
+            EXPECT_EQ(run.detectionLatency, kNoDetection);
             EXPECT_TRUE(run.invariants.empty());
         }
-        if (run.detectedCautious)
+        if (run.detectedCautious) {
             EXPECT_TRUE(run.detected);
+        }
         if (run.alertAtInjection) {
             EXPECT_TRUE(run.detected);
             EXPECT_EQ(run.detectionLatency, 0);
@@ -148,8 +149,9 @@ TEST(Campaign, RunSingleBuildingBlock)
     EXPECT_EQ(run.injectCycle, config.warmup);
     EXPECT_EQ(run.site, site);
     // Either detected or benign — never a silent violation.
-    if (!run.detected)
+    if (!run.detected) {
         EXPECT_FALSE(run.violated);
+    }
 }
 
 TEST(Campaign, WireSitesOnlyExcludesRegisters)
@@ -170,7 +172,7 @@ TEST(Campaign, ForeverCanBeDisabled)
     const auto result = FaultCampaign(config).run();
     for (const FaultRunResult &run : result.runs) {
         EXPECT_FALSE(run.foreverDetected);
-        EXPECT_EQ(run.foreverLatency, -1);
+        EXPECT_EQ(run.foreverLatency, kNoDetection);
     }
 }
 

@@ -50,15 +50,24 @@ TEST(CampaignReport, CsvEncodesVerdicts)
     std::size_t row = 0;
     while (std::getline(is, line)) {
         const FaultRunResult &run = result.runs[row++];
-        // The detected flag is column 9 (0-indexed 8).
+        // Split keeping empty cells (a trailing comma is a real cell).
         std::vector<std::string> cells;
-        std::string cell;
-        std::istringstream ls(line);
-        while (std::getline(ls, cell, ','))
-            cells.push_back(cell);
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t comma = line.find(',', start);
+            cells.push_back(line.substr(start, comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
         ASSERT_GE(cells.size(), 17u);
         EXPECT_EQ(cells[8], run.detected ? "1" : "0");
         EXPECT_EQ(cells[5], run.violated ? "1" : "0");
+        // Latency cells are empty exactly when the detector did not
+        // fire (kNoDetection never leaks into the export).
+        EXPECT_EQ(cells[9].empty(), !run.detected);
+        EXPECT_EQ(cells[9].find('-'), std::string::npos);
+        EXPECT_EQ(cells[16].empty(), !run.foreverDetected);
     }
     EXPECT_EQ(row, result.runs.size());
 }

@@ -1,0 +1,390 @@
+#include "fault/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nocalert::fault {
+namespace {
+
+/** A result whose every field differs from its default. */
+CampaignResult
+syntheticResult()
+{
+    CampaignResult result;
+    CampaignConfig &config = result.config;
+    config.network.width = 3;
+    config.network.height = 5;
+    config.network.routing = noc::RoutingAlgo::WestFirst;
+    config.network.router.numVcs = 6;
+    config.network.router.bufferDepth = 9;
+    config.network.router.atomicBuffers = false;
+    config.network.router.speculative = true;
+    config.network.router.flitWidthBits = 64;
+    config.network.router.extendedChecks = true;
+    config.network.router.classes = {{"req", 2}, {"resp", 7}};
+    config.traffic.pattern = noc::TrafficPattern::Hotspot;
+    config.traffic.injectionRate = 0.031;
+    config.traffic.seed = 99;
+    config.traffic.stopCycle = 4321;
+    config.traffic.classWeights = {0.25, 0.75};
+    config.traffic.hotspot = 11;
+    config.traffic.hotspotFraction = 0.4;
+    config.warmup = 777;
+    config.observeWindow = 2500;
+    config.drainLimit = 9000;
+    config.kind = FaultKind::Intermittent;
+    config.maxSites = 55;
+    config.wireSitesOnly = true;
+    config.sampleSeed = 31;
+    config.runForever = false;
+    config.forever.epochLength = 640;
+    config.forever.hopLatency = 2;
+    config.forever.useAllocationComparator = false;
+    config.forever.useEndToEnd = false;
+    config.threads = 3;
+    config.shardIndex = 1;
+    config.shardCount = 4;
+    config.checkpointPath = "shards/s1.json";
+    config.checkpointEvery = 7;
+
+    result.totalSitesEnumerated = 4242;
+    result.goldenFlits = 1234;
+    result.shardRunsPlanned = 3;
+
+    FaultRunResult detected;
+    detected.sampleIndex = 1;
+    detected.site = {7, SignalClass::StCredits,
+                     noc::portIndex(noc::Port::West), 2, 3};
+    detected.injectCycle = 777;
+    detected.violated = true;
+    detected.violatedConditions = 5;
+    detected.drained = false;
+    detected.detected = true;
+    detected.detectionLatency = 0;
+    detected.detectedCautious = true;
+    detected.cautiousLatency = 12;
+    detected.alertAtInjection = true;
+    detected.simultaneousCheckers = 4;
+    detected.invariants = {core::InvariantId::GrantWithoutRequest,
+                           core::InvariantId::EjectionAtWrongDestination};
+    detected.foreverDetected = true;
+    detected.foreverLatency = 1400;
+    result.runs.push_back(detected);
+
+    FaultRunResult benign;
+    benign.sampleIndex = 5;
+    benign.site = {0, SignalClass::Sa1Req,
+                   noc::portIndex(noc::Port::Local), 0, 1};
+    benign.injectCycle = 778;
+    result.runs.push_back(benign);
+
+    return result;
+}
+
+void
+expectRunsEqual(const FaultRunResult &a, const FaultRunResult &b)
+{
+    EXPECT_EQ(a.sampleIndex, b.sampleIndex);
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_EQ(a.injectCycle, b.injectCycle);
+    EXPECT_EQ(a.violated, b.violated);
+    EXPECT_EQ(a.violatedConditions, b.violatedConditions);
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.detectionLatency, b.detectionLatency);
+    EXPECT_EQ(a.detectedCautious, b.detectedCautious);
+    EXPECT_EQ(a.cautiousLatency, b.cautiousLatency);
+    EXPECT_EQ(a.alertAtInjection, b.alertAtInjection);
+    EXPECT_EQ(a.simultaneousCheckers, b.simultaneousCheckers);
+    EXPECT_EQ(a.invariants, b.invariants);
+    EXPECT_EQ(a.foreverDetected, b.foreverDetected);
+    EXPECT_EQ(a.foreverLatency, b.foreverLatency);
+}
+
+TEST(Serialize, RoundTripPreservesEveryField)
+{
+    const CampaignResult original = syntheticResult();
+    const std::string text = writeCampaignJson(original);
+
+    std::string error;
+    const auto restored = readCampaignJson(text, &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+
+    const CampaignConfig &a = original.config;
+    const CampaignConfig &b = restored->config;
+    EXPECT_EQ(a.network.width, b.network.width);
+    EXPECT_EQ(a.network.height, b.network.height);
+    EXPECT_EQ(a.network.routing, b.network.routing);
+    EXPECT_EQ(a.network.router.numVcs, b.network.router.numVcs);
+    EXPECT_EQ(a.network.router.bufferDepth, b.network.router.bufferDepth);
+    EXPECT_EQ(a.network.router.atomicBuffers,
+              b.network.router.atomicBuffers);
+    EXPECT_EQ(a.network.router.speculative, b.network.router.speculative);
+    EXPECT_EQ(a.network.router.flitWidthBits,
+              b.network.router.flitWidthBits);
+    EXPECT_EQ(a.network.router.extendedChecks,
+              b.network.router.extendedChecks);
+    ASSERT_EQ(a.network.router.classes.size(),
+              b.network.router.classes.size());
+    for (std::size_t i = 0; i < a.network.router.classes.size(); ++i) {
+        EXPECT_EQ(a.network.router.classes[i].name,
+                  b.network.router.classes[i].name);
+        EXPECT_EQ(a.network.router.classes[i].packetLength,
+                  b.network.router.classes[i].packetLength);
+    }
+    EXPECT_EQ(a.traffic.pattern, b.traffic.pattern);
+    EXPECT_EQ(a.traffic.injectionRate, b.traffic.injectionRate);
+    EXPECT_EQ(a.traffic.seed, b.traffic.seed);
+    EXPECT_EQ(a.traffic.stopCycle, b.traffic.stopCycle);
+    EXPECT_EQ(a.traffic.classWeights, b.traffic.classWeights);
+    EXPECT_EQ(a.traffic.hotspot, b.traffic.hotspot);
+    EXPECT_EQ(a.traffic.hotspotFraction, b.traffic.hotspotFraction);
+    EXPECT_EQ(a.warmup, b.warmup);
+    EXPECT_EQ(a.observeWindow, b.observeWindow);
+    EXPECT_EQ(a.drainLimit, b.drainLimit);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.maxSites, b.maxSites);
+    EXPECT_EQ(a.wireSitesOnly, b.wireSitesOnly);
+    EXPECT_EQ(a.sampleSeed, b.sampleSeed);
+    EXPECT_EQ(a.runForever, b.runForever);
+    EXPECT_EQ(a.forever.epochLength, b.forever.epochLength);
+    EXPECT_EQ(a.forever.hopLatency, b.forever.hopLatency);
+    EXPECT_EQ(a.forever.useAllocationComparator,
+              b.forever.useAllocationComparator);
+    EXPECT_EQ(a.forever.useEndToEnd, b.forever.useEndToEnd);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.shardIndex, b.shardIndex);
+    EXPECT_EQ(a.shardCount, b.shardCount);
+    EXPECT_EQ(a.checkpointPath, b.checkpointPath);
+    EXPECT_EQ(a.checkpointEvery, b.checkpointEvery);
+
+    EXPECT_EQ(original.totalSitesEnumerated,
+              restored->totalSitesEnumerated);
+    EXPECT_EQ(original.goldenFlits, restored->goldenFlits);
+    EXPECT_EQ(original.shardRunsPlanned, restored->shardRunsPlanned);
+    ASSERT_EQ(original.runs.size(), restored->runs.size());
+    for (std::size_t i = 0; i < original.runs.size(); ++i)
+        expectRunsEqual(original.runs[i], restored->runs[i]);
+
+    // Serialization is deterministic: re-writing the parsed result
+    // reproduces the document byte for byte.
+    EXPECT_EQ(writeCampaignJson(*restored), text);
+}
+
+TEST(Serialize, RejectsMismatchedSchemaVersion)
+{
+    JsonValue json = toJson(syntheticResult());
+    json.set("version", kCampaignSchemaVersion + 1);
+    std::string error;
+    EXPECT_FALSE(campaignResultFromJson(json, &error).has_value());
+    EXPECT_NE(error.find("version"), std::string::npos);
+
+    json.set("version", kCampaignSchemaVersion);
+    json.set("schema", "something-else");
+    error.clear();
+    EXPECT_FALSE(campaignResultFromJson(json, &error).has_value());
+    EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(Serialize, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(readCampaignJson("{not json", &error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    // Wrong field type.
+    JsonValue json = toJson(syntheticResult());
+    json.set("goldenFlits", "lots");
+    EXPECT_FALSE(campaignResultFromJson(json).has_value());
+
+    // Unknown enum name.
+    CampaignResult bad_enum = syntheticResult();
+    JsonValue doc = toJson(bad_enum);
+    // Dig out config.kind and corrupt it.
+    JsonValue config = *doc.find("config");
+    config.set("kind", "cosmic-ray");
+    doc.set("config", std::move(config));
+    error.clear();
+    EXPECT_FALSE(campaignResultFromJson(doc, &error).has_value());
+    EXPECT_NE(error.find("cosmic-ray"), std::string::npos);
+
+    // Latency inconsistent with the detection flag.
+    CampaignResult bad_latency = syntheticResult();
+    bad_latency.runs[1].detectionLatency = 5; // but detected == false
+    EXPECT_FALSE(
+        campaignResultFromJson(toJson(bad_latency), &error).has_value());
+}
+
+TEST(Serialize, IdentityExcludesExecutionKnobs)
+{
+    CampaignConfig a;
+    CampaignConfig b;
+    b.threads = 16;
+    b.shardIndex = 2;
+    b.shardCount = 8;
+    b.checkpointPath = "elsewhere.json";
+    b.checkpointEvery = 1;
+    EXPECT_EQ(campaignIdentityJson(a), campaignIdentityJson(b));
+
+    b.sampleSeed += 1;
+    EXPECT_NE(campaignIdentityJson(a), campaignIdentityJson(b));
+}
+
+// ---- End-to-end sharding, checkpointing, and merge ----
+
+CampaignConfig
+tinyCampaign()
+{
+    CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = 13;
+    config.warmup = 200;
+    config.observeWindow = 1200;
+    config.drainLimit = 4000;
+    config.maxSites = 16;
+    config.forever.epochLength = 400;
+    return config;
+}
+
+TEST(Sharding, MergedShardsAreBitIdenticalToUnshardedRun)
+{
+    const CampaignResult whole = FaultCampaign(tinyCampaign()).run();
+    ASSERT_TRUE(whole.complete());
+
+    std::vector<CampaignResult> shards;
+    for (unsigned i = 0; i < 2; ++i) {
+        CampaignConfig config = tinyCampaign();
+        config.shardIndex = i;
+        config.shardCount = 2;
+        // Thread count must not matter for the merged outcome.
+        config.threads = i + 1;
+        shards.push_back(FaultCampaign(config).run());
+        ASSERT_TRUE(shards.back().complete());
+        EXPECT_LT(shards.back().runs.size(), whole.runs.size());
+    }
+
+    std::string error;
+    auto merged = mergeCampaignShards(shards, &error);
+    ASSERT_TRUE(merged.has_value()) << error;
+
+    // The merged document matches the single-process run exactly —
+    // same runs in the same order and a bit-identical summary — once
+    // the execution knobs (threads) agree.
+    ASSERT_EQ(merged->runs.size(), whole.runs.size());
+    for (std::size_t i = 0; i < whole.runs.size(); ++i)
+        expectRunsEqual(merged->runs[i], whole.runs[i]);
+    EXPECT_EQ(toJson(merged->summarize()).dump(),
+              toJson(whole.summarize()).dump());
+    CampaignResult aligned = *merged;
+    aligned.config.threads = whole.config.threads;
+    EXPECT_EQ(writeCampaignJson(aligned), writeCampaignJson(whole));
+}
+
+TEST(Sharding, MergeRejectsBadShardSets)
+{
+    CampaignConfig config = tinyCampaign();
+    config.maxSites = 6;
+    config.shardCount = 2;
+    config.shardIndex = 0;
+    const CampaignResult shard0 = FaultCampaign(config).run();
+
+    std::string error;
+    // Missing shard 1.
+    EXPECT_FALSE(mergeCampaignShards({&shard0, 1}, &error).has_value());
+    EXPECT_NE(error.find("expected 2 shards"), std::string::npos);
+
+    // Duplicate shard 0.
+    std::vector<CampaignResult> dup = {shard0, shard0};
+    EXPECT_FALSE(mergeCampaignShards(dup, &error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+
+    // Identity mismatch.
+    config.shardIndex = 1;
+    config.sampleSeed += 1;
+    std::vector<CampaignResult> mixed = {shard0,
+                                         FaultCampaign(config).run()};
+    EXPECT_FALSE(mergeCampaignShards(mixed, &error).has_value());
+    EXPECT_NE(error.find("different campaign"), std::string::npos);
+
+    // Incomplete shard.
+    std::vector<CampaignResult> partial = {shard0, shard0};
+    partial[1].config.shardIndex = 1;
+    partial[1].runs.clear();
+    EXPECT_FALSE(mergeCampaignShards(partial, &error).has_value());
+    EXPECT_NE(error.find("incomplete"), std::string::npos);
+}
+
+TEST(Sharding, InterruptedShardResumesFromCheckpoint)
+{
+    const std::string checkpoint =
+        testing::TempDir() + "nocalert_resume_checkpoint.json";
+    std::remove(checkpoint.c_str());
+
+    CampaignConfig config = tinyCampaign();
+    config.maxSites = 8;
+    config.checkpointPath = checkpoint;
+    config.checkpointEvery = 1;
+
+    // Reference: the same shard in one uninterrupted pass.
+    CampaignConfig plain = config;
+    plain.checkpointPath.clear();
+    const CampaignResult whole = FaultCampaign(plain).run();
+
+    // First pass "killed" after 3 runs: checkpoint survives.
+    FaultCampaign::RunOptions options;
+    options.maxNewRuns = 3;
+    const CampaignResult partial =
+        FaultCampaign(config).run(nullptr, options);
+    EXPECT_FALSE(partial.complete());
+    EXPECT_EQ(partial.runs.size(), 3u);
+
+    // Second pass resumes: only the remaining runs execute.
+    std::size_t executed = 0;
+    std::size_t total_seen = 0;
+    const CampaignResult resumed = FaultCampaign(config).run(
+        [&](std::size_t, std::size_t total) {
+            ++executed;
+            total_seen = total;
+        });
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(executed, whole.runs.size() - 3);
+    EXPECT_EQ(total_seen, whole.runs.size());
+
+    // The resumed result is exactly the uninterrupted one (modulo the
+    // checkpoint path execution knob).
+    ASSERT_EQ(resumed.runs.size(), whole.runs.size());
+    for (std::size_t i = 0; i < whole.runs.size(); ++i)
+        expectRunsEqual(resumed.runs[i], whole.runs[i]);
+    EXPECT_EQ(toJson(resumed.summarize()).dump(),
+              toJson(whole.summarize()).dump());
+
+    // The checkpoint file itself is the finished shard.
+    std::string error;
+    const auto from_disk = loadCampaignResult(checkpoint, &error);
+    ASSERT_TRUE(from_disk.has_value()) << error;
+    EXPECT_TRUE(from_disk->complete());
+    std::remove(checkpoint.c_str());
+}
+
+TEST(Sharding, CheckpointFromDifferentCampaignIsFatal)
+{
+    const std::string checkpoint =
+        testing::TempDir() + "nocalert_foreign_checkpoint.json";
+
+    CampaignConfig config = tinyCampaign();
+    config.maxSites = 4;
+    config.checkpointPath = checkpoint;
+    FaultCampaign(config).run();
+
+    config.sampleSeed += 1; // now a different campaign
+    EXPECT_DEATH(FaultCampaign(config).run(), "different campaign");
+    std::remove(checkpoint.c_str());
+}
+
+} // namespace
+} // namespace nocalert::fault

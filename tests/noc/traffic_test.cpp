@@ -53,8 +53,9 @@ TEST(Traffic, CopyPreservesStream)
             const auto pa = a.generate(cfg, n, c);
             const auto pb = b.generate(cfg, n, c);
             ASSERT_EQ(pa.has_value(), pb.has_value());
-            if (pa)
+            if (pa) {
                 EXPECT_EQ(pa->id, pb->id);
+            }
         }
     }
 }

@@ -124,9 +124,10 @@ TEST(FaultProperty, ForeverAlsoHasNoFalseNegativesHere)
         EXPECT_FALSE(run.violated && !run.foreverDetected)
             << "ForEVeR false negative at " << run.site.describe();
         // And ForEVeR is never *faster* than NoCAlert's assertions.
-        if (run.detected && run.foreverDetected)
+        if (run.detected && run.foreverDetected) {
             EXPECT_LE(run.detectionLatency, run.foreverLatency)
                 << run.site.describe();
+        }
     }
 }
 

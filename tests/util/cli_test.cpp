@@ -6,11 +6,12 @@ namespace nocalert {
 namespace {
 
 CommandLine
-parse(std::vector<const char *> args, std::vector<std::string> known)
+parse(std::vector<const char *> args, std::vector<std::string> known,
+      bool allow_positionals = false)
 {
     args.insert(args.begin(), "prog");
     return CommandLine(static_cast<int>(args.size()), args.data(),
-                       std::move(known));
+                       std::move(known), allow_positionals);
 }
 
 TEST(CommandLine, EqualsForm)
@@ -66,6 +67,31 @@ TEST(CommandLine, SwitchFollowedByFlag)
     const auto cli = parse({"--full", "--n", "3"}, {"full", "n"});
     EXPECT_TRUE(cli.getBool("full", false));
     EXPECT_EQ(cli.getInt("n", 0), 3);
+}
+
+TEST(CommandLine, PositionalsAreFatalByDefault)
+{
+    EXPECT_EXIT(parse({"stray.json"}, {"out"}),
+                testing::ExitedWithCode(1), "positional");
+}
+
+TEST(CommandLine, PositionalsCollectedWhenAllowed)
+{
+    const auto cli = parse({"a.json", "--out", "m.json", "b.json"},
+                           {"out"}, /*allow_positionals=*/true);
+    EXPECT_EQ(cli.getString("out", ""), "m.json");
+    ASSERT_EQ(cli.positionals().size(), 2u);
+    EXPECT_EQ(cli.positionals()[0], "a.json");
+    EXPECT_EQ(cli.positionals()[1], "b.json");
+}
+
+TEST(CommandLine, ValueFlagStillConsumesNonFlagToken)
+{
+    // "--out m.json" binds m.json to the flag even in positional mode.
+    const auto cli = parse({"--out", "m.json"}, {"out"},
+                           /*allow_positionals=*/true);
+    EXPECT_EQ(cli.getString("out", ""), "m.json");
+    EXPECT_TRUE(cli.positionals().empty());
 }
 
 } // namespace

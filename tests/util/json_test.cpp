@@ -1,0 +1,151 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace nocalert {
+namespace {
+
+TEST(Json, PrimitivesDumpCompactly)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(-7).dump(), "-7");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+    EXPECT_EQ(JsonValue(JsonValue::Array{}).dump(), "[]");
+    EXPECT_EQ(JsonValue(JsonValue::Object{}).dump(), "{}");
+}
+
+TEST(Json, IntegersNormalizeAcrossSignedness)
+{
+    // A uint64 that fits in int64 compares equal to the int64 form,
+    // so writer-side types never break round-trip equality.
+    EXPECT_EQ(JsonValue(std::uint64_t{5}), JsonValue(std::int64_t{5}));
+    EXPECT_EQ(JsonValue(std::uint64_t{5}).type(), JsonValue::Type::Int);
+
+    const auto big = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(JsonValue(big).type(), JsonValue::Type::Uint);
+    EXPECT_EQ(JsonValue(big).dump(), "18446744073709551615");
+}
+
+TEST(Json, DoublesKeepFractionalMarker)
+{
+    // Doubles must re-parse as doubles, not integers.
+    EXPECT_EQ(JsonValue(1.0).dump(), "1.0");
+    EXPECT_EQ(JsonValue(0.05).dump(), "0.05");
+    const auto parsed = parseJson(JsonValue(1.0).dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type(), JsonValue::Type::Double);
+}
+
+TEST(Json, StringEscaping)
+{
+    const std::string raw = "a\"b\\c\nd\te\x01"
+                            "f";
+    EXPECT_EQ(JsonValue(raw).dump(),
+              "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    const auto parsed = parseJson(JsonValue(raw).dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->string(), raw);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndReplaces)
+{
+    JsonValue obj;
+    obj.set("b", 1);
+    obj.set("a", 2);
+    obj.set("b", 3); // replace, not append
+    EXPECT_EQ(obj.dump(), "{\"b\":3,\"a\":2}");
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_EQ(obj.find("a")->asInt(), 2);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, ParseNestedDocument)
+{
+    const auto parsed = parseJson(
+        R"({"list":[1,-2,3.5,true,null,"x"],"nested":{"k":[{}]}})");
+    ASSERT_TRUE(parsed.has_value());
+    const auto &list = parsed->find("list")->array();
+    ASSERT_EQ(list.size(), 6u);
+    EXPECT_EQ(list[0].asInt(), 1);
+    EXPECT_EQ(list[1].asInt(), -2);
+    EXPECT_DOUBLE_EQ(list[2].asDouble(), 3.5);
+    EXPECT_TRUE(list[3].boolean());
+    EXPECT_TRUE(list[4].isNull());
+    EXPECT_EQ(list[5].string(), "x");
+    EXPECT_TRUE(parsed->find("nested")->find("k")->array()[0].isObject());
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    const auto parsed = parseJson(R"("\u00e9\ud83d\ude00")");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->string(), "\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(Json, PrettyDumpRoundTrips)
+{
+    JsonValue doc;
+    doc.set("name", "campaign");
+    doc.set("runs", JsonValue(JsonValue::Array{JsonValue(1),
+                                               JsonValue(2)}));
+    const std::string pretty = doc.dump(2);
+    EXPECT_NE(pretty.find("\n  \"name\""), std::string::npos);
+    const auto parsed = parseJson(pretty);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, doc);
+    // And compact output re-parses to the same value too.
+    EXPECT_EQ(*parseJson(doc.dump()), doc);
+}
+
+TEST(Json, ParseErrorsCarryOffsets)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("", &error).has_value());
+    EXPECT_NE(error.find("end of input"), std::string::npos);
+
+    error.clear();
+    EXPECT_FALSE(parseJson("{\"a\":1} x", &error).has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+
+    for (const char *bad :
+         {"{", "[1,", "\"unterminated", "tru", "1.2.3", "-",
+          "{\"a\" 1}", "\"\\q\"", "\"\\ud800\""}) {
+        EXPECT_FALSE(parseJson(bad).has_value()) << bad;
+    }
+}
+
+TEST(Json, DeepNestingIsRejectedNotCrashed)
+{
+    std::string deep(5000, '[');
+    deep += std::string(5000, ']');
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, &error).has_value());
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+TEST(Json, NumbersRoundTripExactly)
+{
+    for (const std::int64_t value :
+         {std::int64_t{0}, std::int64_t{-1},
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()}) {
+        const auto parsed = parseJson(JsonValue(value).dump());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->asInt(), value);
+    }
+    for (const double value : {0.1, 1e-300, 6.02e23, -2.5}) {
+        const auto parsed = parseJson(JsonValue(value).dump());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->asDouble(), value); // bitwise round-trip
+    }
+}
+
+} // namespace
+} // namespace nocalert
