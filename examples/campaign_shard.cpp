@@ -113,7 +113,7 @@ cmdRun(int argc, char **argv)
     CommandLine cli(argc, argv,
                     {"out", "shard", "checkpoint", "checkpoint-every",
                      "mesh", "sites", "rate", "seed", "warmup",
-                     "threads", "limit"});
+                     "threads", "limit", "dense-kernel"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 4));
@@ -124,6 +124,7 @@ cmdRun(int argc, char **argv)
     config.warmup = cli.getInt("warmup", 200);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.threads = static_cast<unsigned>(cli.getInt("threads", 2));
+    config.denseKernel = cli.getBool("dense-kernel", false);
     parseShardSelector(cli.getString("shard", "0/1"), config);
 
     const std::string out = cli.getString("out", "campaign.json");

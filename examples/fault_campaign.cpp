@@ -22,7 +22,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"sites", "warmup", "rate", "threads", "seed",
-                     "mesh", "csv", "json"});
+                     "mesh", "csv", "json", "dense-kernel"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
@@ -32,6 +32,7 @@ main(int argc, char **argv)
     config.warmup = cli.getInt("warmup", 1000);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.threads = static_cast<unsigned>(cli.getInt("threads", 4));
+    config.denseKernel = cli.getBool("dense-kernel", false);
 
     std::printf("running %u-site campaign on a %dx%d mesh "
                 "(warmup %lld cycles)...\n",

@@ -117,7 +117,7 @@ main(int argc, char **argv)
                     {"mesh", "width", "height", "vcs", "depth",
                      "routing", "pattern", "rate", "cycles", "seed",
                      "fault", "kind", "trace", "non-atomic",
-                     "speculative"});
+                     "speculative", "dense-kernel"});
 
     noc::NetworkConfig config;
     config.width = static_cast<int>(
@@ -143,6 +143,8 @@ main(int argc, char **argv)
     traffic.stopCycle = cycles;
 
     noc::Network network(config, traffic);
+    if (cli.getBool("dense-kernel", false))
+        network.setKernelMode(noc::KernelMode::Dense);
     core::NoCAlertEngine engine(network);
 
     recovery::RecoveryController controller;

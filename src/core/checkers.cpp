@@ -1,6 +1,7 @@
 #include "core/checkers.hpp"
 
 #include "util/bits.hpp"
+#include "util/log.hpp"
 
 namespace nocalert::core {
 
@@ -67,7 +68,8 @@ sa1Winner(const InputPortWires &ipw, unsigned num_vcs)
 
 void
 evaluateCheckers(const noc::Router &router, const RouterWires &wires,
-                 const CheckerContext &ctx, std::vector<Assertion> &out)
+                 const CheckerContext &ctx, std::vector<Assertion> &out,
+                 bool use_quiescence_shortcut)
 {
     Collector col(wires, out);
     const noc::RouterParams &params = router.params();
@@ -76,10 +78,23 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     const noc::NodeId node = wires.router;
     const bool has_va = num_vcs > 1;
 
+    // Quiescent ports: one cheap predicate retires the whole per-port
+    // checker group (see the header contract; equivalence is exact).
+    std::array<bool, kNumPorts> in_q = {};
+    std::array<bool, kNumPorts> out_q = {};
+    if (use_quiescence_shortcut) {
+        for (int p = 0; p < kNumPorts; ++p) {
+            in_q[p] = noc::inputPortQuiescent(wires.in[p], num_vcs);
+            out_q[p] = noc::outputPortQuiescent(wires.out[p]);
+        }
+    }
+
     // ==================================================================
     // Routing Computation unit (invariants 1-3)
     // ==================================================================
     for (int p = 0; p < kNumPorts; ++p) {
+        if (in_q[p])
+            continue;
         const InputPortWires &ipw = wires.in[p];
         if (ipw.rcDone == 0)
             continue;
@@ -124,13 +139,17 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     // Arbiters: SA1, SA2, VA2 (invariants 4-6 per instance)
     // ==================================================================
     for (int p = 0; p < kNumPorts; ++p)
-        checkArbiter(col, wires.in[p].sa1Req, wires.in[p].sa1Grant,
-                     num_vcs, p, -1);
+        if (!in_q[p])
+            checkArbiter(col, wires.in[p].sa1Req, wires.in[p].sa1Grant,
+                         num_vcs, p, -1);
     for (int o = 0; o < kNumPorts; ++o)
-        checkArbiter(col, wires.out[o].sa2Req, wires.out[o].sa2Grant,
-                     kNumPorts, o, -1);
+        if (!out_q[o])
+            checkArbiter(col, wires.out[o].sa2Req, wires.out[o].sa2Grant,
+                         kNumPorts, o, -1);
     if (has_va) {
         for (int o = 0; o < kNumPorts; ++o) {
+            if (out_q[o])
+                continue;
             for (unsigned w = 0; w < num_vcs; ++w) {
                 checkArbiter(col, wires.out[o].va2Req[w],
                              wires.out[o].va2Grant[w],
@@ -151,6 +170,8 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     std::uint64_t va_granted_clients = 0; // for invariant 8 and 17-SA
     if (has_va) {
         for (int o = 0; o < kNumPorts; ++o) {
+            if (out_q[o])
+                continue; // no VA2 grants anywhere on this port
             const OutputPortWires &opw = wires.out[o];
             for (unsigned w = 0; w < num_vcs; ++w) {
                 std::uint64_t grant =
@@ -223,6 +244,8 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     // ==================================================================
     std::uint64_t sa_granted_ports = 0;
     for (int o = 0; o < kNumPorts; ++o) {
+        if (out_q[o])
+            continue; // sa2Grant == 0
         std::uint64_t grant = wires.out[o].sa2Grant & lowMask(kNumPorts);
         while (grant != 0) {
             const int p = lowestSetBit(grant);
@@ -276,6 +299,8 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     // Buffer writes (invariants 18, 25-28, 30) and reads (24, 29)
     // ==================================================================
     for (int p = 0; p < kNumPorts; ++p) {
+        if (in_q[p])
+            continue; // no enables, no empty-read flags
         const InputPortWires &ipw = wires.in[p];
 
         const std::uint32_t we = ipw.writeEnable &
@@ -363,6 +388,8 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
     // Continuous VC-state register consistency (invariants 2, 17, 19)
     // ==================================================================
     for (int p = 0; p < kNumPorts; ++p) {
+        if (in_q[p])
+            continue; // every snapshot Idle with an empty buffer
         for (unsigned v = 0; v < num_vcs; ++v) {
             const VcSnapshot &snap = wires.in[p].vc[v];
             const bool routed = snap.state == VcState::VcAllocWait ||
@@ -440,6 +467,41 @@ evaluateCheckers(const noc::Router &router, const RouterWires &wires,
         col.fire(InvariantId::EjectionAtWrongDestination,
                  portIndex(Port::Local));
     }
+}
+
+void
+verifyQuiescentInvariant(const noc::NetworkConfig &config)
+{
+    noc::Router router(config, 0);
+    const auto routing = noc::makeRouting(config.routing);
+    noc::Router::Context rctx{&config, routing.get()};
+    noc::Router::LinkIo io;
+    router.evaluate(rctx, 0, io, nullptr);
+
+    NOCALERT_ASSERT(router.quiescent(),
+                    "reset-state router not quiescent after an "
+                    "input-free cycle");
+    const RouterWires &wires = router.wires();
+    NOCALERT_ASSERT(
+        noc::routerWiresQuiescent(wires, config.router.numVcs),
+        "reset-state router wires fail the quiescence predicates");
+    for (int p = 0; p < kNumPorts; ++p) {
+        NOCALERT_ASSERT(!io.outValid[p] && io.creditOut[p] == 0,
+                        "quiescent router drove port ", p);
+    }
+
+    CheckerContext ctx{&config, routing.get()};
+    std::vector<Assertion> alerts;
+    evaluateCheckers(router, wires, ctx, alerts,
+                     /*use_quiescence_shortcut=*/false);
+    NOCALERT_ASSERT(alerts.empty(),
+                    "quiescent wires raised ", alerts.size(),
+                    " assertions in the ungated checker bank");
+    evaluateCheckers(router, wires, ctx, alerts,
+                     /*use_quiescence_shortcut=*/true);
+    NOCALERT_ASSERT(alerts.empty(),
+                    "checker shortcut raised assertions on quiescent "
+                    "wires");
 }
 
 void

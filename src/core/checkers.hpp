@@ -48,11 +48,32 @@ struct CheckerContext
  * (including pre-cycle register snapshots) is part of the wire record
  * or the router's architectural state, exactly as a hardware checker
  * would tap flops and wires.
+ *
+ * With @p use_quiescence_shortcut (the default), the per-port checker
+ * groups of provably quiescent ports are skipped: a quiescent wire
+ * bundle satisfies every checker of that port trivially (certified at
+ * start-up by verifyQuiescentInvariant, and by construction of the
+ * predicates — every gated condition is zero). The router-wide groups
+ * (crossbar, extended allocation-table, ejection) always run, since
+ * unit tests and faults can raise them on otherwise quiescent wires.
+ * Passing false evaluates every checker unconditionally; both settings
+ * produce identical assertions for any wire record.
  */
 void evaluateCheckers(const noc::Router &router,
                       const noc::RouterWires &wires,
                       const CheckerContext &ctx,
-                      std::vector<Assertion> &out);
+                      std::vector<Assertion> &out,
+                      bool use_quiescence_shortcut = true);
+
+/**
+ * One-shot certificate behind the active-set kernel and the checker
+ * shortcut: evaluate a fresh (reset-state) router of @p config with no
+ * link inputs and assert that (a) it stays quiescent, (b) its wires
+ * satisfy the quiescence predicates, (c) it drives no link outputs,
+ * and (d) the full ungated checker bank raises nothing. Aborts via
+ * NOCALERT_ASSERT on violation. Cheap enough to run per engine.
+ */
+void verifyQuiescentInvariant(const noc::NetworkConfig &config);
 
 /**
  * Evaluate the network-level (end-to-end) checkers attached to a

@@ -8,6 +8,11 @@ NoCAlertEngine::NoCAlertEngine(noc::Network &network, bool attach_now)
     ctx_.config = &network.config();
     ctx_.routing = &network.routing();
 
+    // Certify the quiescence invariant the active-set kernel and the
+    // checker shortcut rely on for this configuration (aborts if a
+    // quiescent router could ever raise or drive anything).
+    verifyQuiescentInvariant(network.config());
+
     if (attach_now) {
         network.setRouterObserver(
             [this](const noc::Router &router,

@@ -241,6 +241,8 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
 
     // ---- Warm snapshot ----
     noc::Network base(config_.network, config_.traffic);
+    base.setKernelMode(config_.denseKernel ? noc::KernelMode::Dense
+                                           : noc::KernelMode::Active);
     {
         // Any assertion during warmup would poison every
         // classification; the engine enforces the zero-false-alarm

@@ -85,6 +85,14 @@ struct CampaignConfig
     bool runForever = true;
     forever::ForeverConfig forever;
 
+    /**
+     * Escape hatch: run every simulation on the dense kernel instead
+     * of the active-set kernel. Results are bit-identical either way
+     * (the kernel-equivalence tests assert it); use this to
+     * cross-check a suspect campaign or to time the dense baseline.
+     */
+    bool denseKernel = false;
+
     /** Worker threads (1 = serial). */
     unsigned threads = 1;
 

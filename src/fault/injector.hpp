@@ -61,7 +61,12 @@ class FaultInjector
     /** Armed faults. */
     const std::vector<FaultSpec> &faults() const { return faults_; }
 
-    /** Install this injector as @p network's tap hook. */
+    /**
+     * Install this injector as @p network's tap hook and narrow the
+     * network's tap focus to the armed routers (they stay pinned in
+     * the active set so injections fire on schedule even on idle
+     * routers; everything else remains skippable).
+     */
     void attach(noc::Network &network);
 
     /** The tap hook, for manual composition with other hooks. */

@@ -346,6 +346,7 @@ toJson(const CampaignConfig &config)
     json.set("sampleSeed", config.sampleSeed);
     json.set("runForever", config.runForever);
     json.set("forever", foreverConfigJson(config.forever));
+    json.set("denseKernel", config.denseKernel);
     json.set("threads", config.threads);
     json.set("shardIndex", config.shardIndex);
     json.set("shardCount", config.shardCount);
@@ -357,9 +358,11 @@ toJson(const CampaignConfig &config)
 JsonValue
 campaignIdentityJson(const CampaignConfig &config)
 {
+    // denseKernel is execution detail too: both kernels produce
+    // bit-identical results, so shards may mix them freely.
     static constexpr const char *kExecutionKeys[] = {
         "threads", "shardIndex", "shardCount", "checkpointPath",
-        "checkpointEvery"};
+        "checkpointEvery", "denseKernel"};
 
     const JsonValue full = toJson(config);
     JsonValue identity;
@@ -400,6 +403,7 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
     config.runForever = reader.boolean("runForever");
     if (const JsonValue *forever = reader.get("forever"))
         foreverConfigFromJson(*forever, config.forever, error);
+    config.denseKernel = reader.boolean("denseKernel");
     config.threads = reader.u32("threads");
     config.shardIndex = reader.u32("shardIndex");
     config.shardCount = reader.u32("shardCount");

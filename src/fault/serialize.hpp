@@ -30,8 +30,12 @@
 
 namespace nocalert::fault {
 
-/** Version of the campaign JSON schema this build reads and writes. */
-inline constexpr std::int64_t kCampaignSchemaVersion = 1;
+/**
+ * Version of the campaign JSON schema this build reads and writes.
+ * History: 1 = initial sharded/resumable format; 2 = adds the
+ * CampaignConfig "denseKernel" execution field.
+ */
+inline constexpr std::int64_t kCampaignSchemaVersion = 2;
 
 /** Schema tag stored in every campaign document. */
 inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";

@@ -43,6 +43,18 @@ NetworkInterface::evaluate(Cycle cycle, LinkIo &io)
     doInject(cycle, io);
 }
 
+void
+NetworkInterface::applyCreditIncrements(std::uint32_t credit_in)
+{
+    for (unsigned v = 0; v < params_.numVcs; ++v) {
+        if (getBit(credit_in, v)) {
+            VcTracker &tracker = trackers_[v];
+            if (tracker.credits < params_.bufferDepth)
+                ++tracker.credits;
+        }
+    }
+}
+
 std::vector<std::pair<NodeId, unsigned>>
 NetworkInterface::pendingFlitsByDst(bool include_queued) const
 {

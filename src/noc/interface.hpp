@@ -90,6 +90,15 @@ class NetworkInterface
     /** Evaluate one cycle of injection and ejection. */
     void evaluate(Cycle cycle, LinkIo &io);
 
+    /**
+     * Credit-only fast path for the active-set kernel: apply credits
+     * returning from the router (@p credit_in, per-VC mask) to an
+     * idle NI without evaluating it. For an idle NI with no arriving
+     * flit this is the only state change evaluate() would make —
+     * nothing can inject or eject — so the skip is unobservable.
+     */
+    void applyCreditIncrements(std::uint32_t credit_in);
+
     /** Observable signals of the most recent cycle. */
     const NiWires &wires() const { return wires_; }
 

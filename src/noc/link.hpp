@@ -34,6 +34,19 @@ struct Link
     /** Per-VC credit bits arriving at the producer this cycle. */
     std::uint32_t creditRecv = 0;
 
+    /**
+     * True iff anything is in flight on either channel. A non-busy
+     * link carries no information: ticking it is a no-op apart from
+     * refreshing the (never observed) stale flit payload, which is
+     * what lets the active-set kernel skip it.
+     */
+    bool
+    busy() const
+    {
+        return sendValid || recvValid || creditSend != 0 ||
+               creditRecv != 0;
+    }
+
     /** Advance one cycle: move written values to the arrival side. */
     void tick();
 

@@ -20,6 +20,8 @@ Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
         nis_.emplace_back(config_, n);
     }
     buildTopology();
+    router_live_.assign(static_cast<std::size_t>(nodes), 0);
+    force_active_.assign(static_cast<std::size_t>(nodes), 0);
 }
 
 Network::Network(const Network &other)
@@ -31,10 +33,16 @@ Network::Network(const Network &other)
       in_link_(other.in_link_),
       out_link_(other.out_link_),
       traffic_(other.traffic_),
-      cycle_(other.cycle_)
+      cycle_(other.cycle_),
+      kernel_mode_(other.kernel_mode_)
 {
     // Hooks and observers intentionally not copied: they are bound to
-    // engines observing the original instance.
+    // engines observing the original instance. The activity pins that
+    // exist for their benefit (tap_force_all_, force_active_) reset
+    // with them; liveness is recomputed from the copied state.
+    force_active_.assign(
+        static_cast<std::size_t>(config_.numNodes()), 0);
+    recomputeLiveness();
 }
 
 Network &
@@ -51,11 +59,43 @@ Network::operator=(const Network &other)
     out_link_ = other.out_link_;
     traffic_ = other.traffic_;
     cycle_ = other.cycle_;
+    kernel_mode_ = other.kernel_mode_;
+    tap_force_all_ = false;
+    force_active_.assign(
+        static_cast<std::size_t>(config_.numNodes()), 0);
+    recomputeLiveness();
+    router_evals_ = 0;
+    ni_evals_ = 0;
     tap_hook_ = nullptr;
     router_observer_ = nullptr;
     ni_observer_ = nullptr;
     cycle_observer_ = nullptr;
     return *this;
+}
+
+void
+Network::recomputeLiveness()
+{
+    const std::size_t nodes =
+        static_cast<std::size_t>(config_.numNodes());
+    router_live_.resize(nodes);
+    for (std::size_t n = 0; n < nodes; ++n)
+        router_live_[n] = routers_[n].quiescent() ? 0 : 1;
+}
+
+void
+Network::forceRouterActive(NodeId node)
+{
+    force_active_[static_cast<std::size_t>(node)] = 1;
+}
+
+void
+Network::setTapFocus(const std::vector<NodeId> &nodes)
+{
+    tap_force_all_ = false;
+    for (NodeId n : nodes)
+        if (n >= 0 && n < config_.numNodes())
+            force_active_[static_cast<std::size_t>(n)] = 1;
 }
 
 void
@@ -108,6 +148,10 @@ Network::outLinkIndex(NodeId node, int port) const
 Router &
 Network::router(NodeId node)
 {
+    // The caller may mutate architectural state behind the kernel's
+    // back; drop the router's quiescence certificate so the active
+    // kernel re-evaluates it.
+    router_live_[static_cast<std::size_t>(node)] = 1;
     return routers_[static_cast<std::size_t>(node)];
 }
 
@@ -132,6 +176,15 @@ Network::ni(NodeId node) const
 void
 Network::step()
 {
+    if (kernel_mode_ == KernelMode::Dense)
+        stepDense();
+    else
+        stepActive();
+}
+
+void
+Network::stepDense()
+{
     const int nodes = config_.numNodes();
     const int lp = portIndex(Port::Local);
 
@@ -150,6 +203,7 @@ Network::step()
 
         NetworkInterface &ni = nis_[static_cast<std::size_t>(n)];
         ni.evaluate(cycle_, io);
+        ++ni_evals_;
 
         if (io.outValid) {
             inj.sendValid = true;
@@ -181,6 +235,9 @@ Network::step()
         Router &router = routers_[static_cast<std::size_t>(n)];
         router.evaluate(ctx, cycle_, io,
                         tap_hook_ ? &tap_hook_ : nullptr);
+        ++router_evals_;
+        router_live_[static_cast<std::size_t>(n)] =
+            router.quiescent() ? 0 : 1;
 
         for (int p = 0; p < kNumPorts; ++p) {
             const int lo = outLinkIndex(n, p);
@@ -202,6 +259,138 @@ Network::step()
     // ---- Links advance ----
     for (Link &link : links_)
         link.tick();
+
+    ++cycle_;
+
+    if (cycle_observer_)
+        cycle_observer_(*this);
+}
+
+void
+Network::stepActive()
+{
+    const int nodes = config_.numNodes();
+    const int lp = portIndex(Port::Local);
+
+    // ---- Network interfaces ----
+    //
+    // An NI whose queue is empty, that is not streaming, and whose
+    // links carry neither a flit nor a credit cannot change state or
+    // drive outputs; its wires would show no injection, no ejection
+    // and zero anomalies, so skipping evaluation (and its observer) is
+    // unobservable. An idle NI woken only by returning credits takes
+    // the credit fast path (NetworkInterface::applyCreditIncrements)
+    // instead of a full evaluation. Traffic draws are skipped only
+    // once generation has permanently stopped (see
+    // TrafficGenerator::stopped), keeping the RNG streams aligned with
+    // a dense run while they still matter.
+    const bool stopped = traffic_.stopped(cycle_);
+    for (NodeId n = 0; n < nodes; ++n) {
+        std::optional<Packet> pkt;
+        if (!stopped)
+            pkt = traffic_.generate(config_, n, cycle_);
+
+        Link &inj = links_[static_cast<std::size_t>(inLinkIndex(n, lp))];
+        Link &ejc = links_[static_cast<std::size_t>(outLinkIndex(n, lp))];
+        NetworkInterface &ni = nis_[static_cast<std::size_t>(n)];
+
+        const bool active =
+            pkt.has_value() || !ni.idle() || ejc.recvValid;
+        if (pkt)
+            ni.enqueue(*pkt);
+        if (!active) {
+            if (inj.creditRecv != 0)
+                ni.applyCreditIncrements(inj.creditRecv);
+            continue;
+        }
+
+        NetworkInterface::LinkIo io;
+        io.inValid = ejc.recvValid;
+        io.inFlit = ejc.recvFlit;
+        io.creditIn = inj.creditRecv;
+
+        ni.evaluate(cycle_, io);
+        ++ni_evals_;
+
+        if (io.outValid) {
+            inj.sendValid = true;
+            inj.sendFlit = io.outFlit;
+        }
+        ejc.creditSend |= io.creditOut;
+
+        if (ni_observer_)
+            ni_observer_(ni, ni.wires());
+    }
+
+    // ---- Routers ----
+    //
+    // A quiescent router (Router::quiescent) with no arriving flit and
+    // no arriving credit performs no state transition and drives no
+    // output; its checkers see all-zero wires (the start-up invariant
+    // core::verifyQuiescentInvariant certifies they pass trivially).
+    // Such routers are skipped until a link wakes them; a quiescent
+    // router woken *only* by returning credits takes the credit fast
+    // path (Router::applyCreditIncrements) and stays out of the
+    // active set. Pins override: a tap hook may inject a fault into
+    // an otherwise idle router.
+    Router::Context ctx{&config_, routing_.get()};
+    const bool hook_all = tap_force_all_ && tap_hook_;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::size_t idx = static_cast<std::size_t>(n);
+
+        Router::LinkIo io;
+        bool flit_in = false;
+        std::uint32_t credit_any = 0;
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int li = inLinkIndex(n, p);
+            if (li >= 0) {
+                const Link &link = links_[static_cast<std::size_t>(li)];
+                io.inValid[p] = link.recvValid;
+                io.inFlit[p] = link.recvFlit;
+                flit_in |= link.recvValid;
+            }
+            const int lo = outLinkIndex(n, p);
+            if (lo >= 0) {
+                io.creditIn[p] =
+                    links_[static_cast<std::size_t>(lo)].creditRecv;
+                credit_any |= io.creditIn[p];
+            }
+        }
+
+        if (!flit_in && !router_live_[idx] && !force_active_[idx] &&
+            !hook_all) {
+            if (credit_any != 0)
+                routers_[idx].applyCreditIncrements(io.creditIn);
+            continue;
+        }
+
+        Router &router = routers_[idx];
+        router.evaluate(ctx, cycle_, io,
+                        tap_hook_ ? &tap_hook_ : nullptr);
+        ++router_evals_;
+        router_live_[idx] = router.quiescent() ? 0 : 1;
+
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int lo = outLinkIndex(n, p);
+            if (lo >= 0 && io.outValid[p]) {
+                Link &link = links_[static_cast<std::size_t>(lo)];
+                link.sendValid = true;
+                link.sendFlit = io.outFlit[p];
+            }
+            const int li = inLinkIndex(n, p);
+            if (li >= 0)
+                links_[static_cast<std::size_t>(li)].creditSend |=
+                    io.creditOut[p];
+        }
+
+        if (router_observer_)
+            router_observer_(router, router.wires());
+    }
+
+    // ---- Links advance (idle links carry nothing to move) ----
+    for (Link &link : links_)
+        if (link.busy())
+            link.tick();
 
     ++cycle_;
 

@@ -29,6 +29,31 @@
 
 namespace nocalert::noc {
 
+/**
+ * Simulation kernel selection.
+ *
+ * Active (default) maintains an active set: a cycle only evaluates
+ * routers with flit stimulus or non-quiescent state, NIs with work or
+ * arriving flits, and busy links; a quiescent router or idle NI woken
+ * only by returning credits takes a credit fast path (the capped
+ * counter increment is the evaluation's entire effect). Provably
+ * bit-exact with Dense on every observable (ejection logs, stats,
+ * alert streams) — the differential kernel-equivalence tests assert
+ * it — because a skipped module's evaluation is an architectural
+ * no-op and its observers could only see quiescent wires. Two
+ * *non*-observables differ: the traffic RNG streams stop advancing
+ * once generation stopped, and per-router/per-NI observers do not
+ * fire for skipped modules.
+ *
+ * Dense evaluates everything every cycle — the original kernel. Use
+ * it when an external observer must see every router every cycle
+ * (e.g. whole-network tracing) or to cross-check the active kernel.
+ */
+enum class KernelMode : std::uint8_t {
+    Active,
+    Dense,
+};
+
 /** A complete mesh NoC with attached traffic sources. */
 class Network
 {
@@ -66,6 +91,35 @@ class Network
     /** Current simulation time (cycles completed). */
     Cycle cycle() const { return cycle_; }
 
+    /** Kernel in use. Copies inherit the mode. */
+    KernelMode kernelMode() const { return kernel_mode_; }
+
+    /** Select the kernel. Safe to switch at any cycle boundary. */
+    void setKernelMode(KernelMode mode) { kernel_mode_ = mode; }
+
+    /** Routers evaluated so far (kernel-effort instrumentation). */
+    std::uint64_t routerEvaluations() const { return router_evals_; }
+
+    /** NIs evaluated so far (kernel-effort instrumentation). */
+    std::uint64_t niEvaluations() const { return ni_evals_; }
+
+    /**
+     * Pin router @p node into the active set: it evaluates every
+     * cycle even while quiescent. Used for routers carrying an armed
+     * fault site, so an injection on an idle router still fires at
+     * exactly its scheduled cycle. Cleared by copies.
+     */
+    void forceRouterActive(NodeId node);
+
+    /**
+     * Narrow tap delivery to @p nodes. setTapHook() conservatively
+     * pins *every* router active (a hook may need to see any router's
+     * taps); callers that only tap specific routers — the fault
+     * injector taps the armed sites — call this afterwards so the
+     * remaining routers can be scheduled out again.
+     */
+    void setTapFocus(const std::vector<NodeId> &nodes);
+
     /** Advance one clock cycle. */
     void step();
 
@@ -83,7 +137,11 @@ class Network
     /** True iff no flit is buffered, queued, scheduled, or in flight. */
     bool quiescent() const;
 
-    /** Router of node @p node. */
+    /**
+     * Router of node @p node. The non-const accessor also wakes the
+     * router: callers may mutate architectural state directly (tests,
+     * fault models), which can turn a scheduled-out router live again.
+     */
     Router &router(NodeId node);
     const Router &router(NodeId node) const;
 
@@ -95,8 +153,16 @@ class Network
     TrafficGenerator &traffic() { return traffic_; }
     const TrafficGenerator &traffic() const { return traffic_; }
 
-    /** Install the per-router tap hook (fault injection). */
-    void setTapHook(Router::TapHook hook) { tap_hook_ = std::move(hook); }
+    /**
+     * Install the per-router tap hook (fault injection). A non-null
+     * hook pins every router active (see setTapFocus to narrow); a
+     * null hook releases the pin.
+     */
+    void setTapHook(Router::TapHook hook)
+    {
+        tap_hook_ = std::move(hook);
+        tap_force_all_ = static_cast<bool>(tap_hook_);
+    }
 
     /** Install the per-router cycle observer (checker engines). */
     void setRouterObserver(RouterObserver obs)
@@ -134,6 +200,9 @@ class Network
 
   private:
     void buildTopology();
+    void stepDense();
+    void stepActive();
+    void recomputeLiveness();
     int inLinkIndex(NodeId node, int port) const;
     int outLinkIndex(NodeId node, int port) const;
 
@@ -148,6 +217,16 @@ class Network
 
     TrafficGenerator traffic_;
     Cycle cycle_ = 0;
+
+    KernelMode kernel_mode_ = KernelMode::Active;
+    /** Per router: last evaluation left it non-quiescent. */
+    std::vector<char> router_live_;
+    /** Per router: pinned active (fault sites, direct mutation). */
+    std::vector<char> force_active_;
+    /** Tap hook present and not narrowed: pin all routers active. */
+    bool tap_force_all_ = false;
+    std::uint64_t router_evals_ = 0;
+    std::uint64_t ni_evals_ = 0;
 
     Router::TapHook tap_hook_;
     RouterObserver router_observer_;

@@ -112,6 +112,21 @@ Router::idle() const
     return true;
 }
 
+bool
+Router::quiescent() const
+{
+    // VC records first: a RouteWait record requests RC service and a
+    // VcAllocWait record bids in VA even with an empty buffer, so
+    // idle() alone is not a no-op certificate.
+    for (const auto &rec : records_)
+        if (rec.state != VcState::Idle)
+            return false;
+    // Out-VC credit deficits and allocations need no evaluation to
+    // persist: they only change on credit arrival (a link wake-up) or
+    // on local VA/ST activity, which the records above rule out.
+    return idle();
+}
+
 std::uint8_t
 Router::vcWireValue(int out_vc) const
 {
@@ -163,6 +178,30 @@ Router::applyCredits(const Context & /*ctx*/)
     const auto depth = static_cast<std::uint8_t>(params_.bufferDepth);
     for (int o = 0; o < kNumPorts; ++o) {
         std::uint32_t mask = wires_.out[o].creditRecv;
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            if (getBit(mask, v)) {
+                OutVcState &ov = outVcs_[vcIndex(o, v)];
+                if (ov.credits < depth)
+                    ++ov.credits;
+            }
+        }
+    }
+}
+
+void
+Router::applyCreditIncrements(
+    const std::array<std::uint32_t, kNumPorts> &credit_in)
+{
+    // Mirror of applyCredits(), fed directly from the link wires
+    // instead of the evaluated wire record: the capped per-VC
+    // increment is the entire architectural effect of a credit
+    // arriving at a quiescent router.
+    const unsigned num_vcs = params_.numVcs;
+    const auto depth = static_cast<std::uint8_t>(params_.bufferDepth);
+    for (int o = 0; o < kNumPorts; ++o) {
+        const std::uint32_t mask = credit_in[o];
+        if (mask == 0)
+            continue;
         for (unsigned v = 0; v < num_vcs; ++v) {
             if (getBit(mask, v)) {
                 OutVcState &ov = outVcs_[vcIndex(o, v)];

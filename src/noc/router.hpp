@@ -125,6 +125,30 @@ class Router
     /** True iff no flits are buffered and no reads are scheduled. */
     bool idle() const;
 
+    /**
+     * True iff evaluating this router with no link inputs is provably
+     * a no-op on architectural state: every buffer empty, every VC
+     * state machine Idle, and no switch traversal scheduled. Stronger
+     * than idle(), which tolerates RouteWait/VcAllocWait records that
+     * would still drive the RC and VA pipelines. The active-set
+     * kernel skips quiescent routers until a link carries a flit or a
+     * credit back into them.
+     */
+    bool quiescent() const;
+
+    /**
+     * Credit-only fast path for the active-set kernel: apply arriving
+     * credits (@p credit_in, per-output-port per-VC masks) to a
+     * quiescent router without evaluating the pipeline. For a
+     * quiescent router with no arriving flits this is the *only*
+     * state change a full evaluate() would make — every other stage
+     * finds nothing to do and every checker input stays zero — and it
+     * leaves the router quiescent, so the caller need not re-examine
+     * liveness. Must not be used on non-quiescent routers.
+     */
+    void applyCreditIncrements(
+        const std::array<std::uint32_t, kNumPorts> &credit_in);
+
     // ------------------------------------------------------------------
     // Architectural state surface (unit tests and fault injection).
     // ------------------------------------------------------------------

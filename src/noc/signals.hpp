@@ -148,6 +148,29 @@ struct RouterWires
     void clear(Cycle cycle, NodeId router);
 };
 
+// ---------------------------------------------------------------------
+// Quiescence predicates (active-set kernel / checker short-circuit).
+//
+// A port is *quiescent* when its wire bundle proves that no module
+// guarding it did any work this cycle; every Table-1 checker instance
+// of a quiescent port is then trivially satisfied (verified once at
+// start-up by core::verifyQuiescentInvariant). The predicates read only
+// the wire record — they are as cheap as the hardware idle-detect tree
+// they model.
+// ---------------------------------------------------------------------
+
+/** True iff @p in carries no activity: no arriving flit, no buffer
+ *  write/read, no RC service, no SA1 traffic, no credit return, and
+ *  every VC snapshot Idle and empty with no VA1 candidate. */
+bool inputPortQuiescent(const InputPortWires &in, unsigned num_vcs);
+
+/** True iff @p out carries no activity: no SA2 traffic, no VA2
+ *  requests or grants, no departing flit, no arriving credit. */
+bool outputPortQuiescent(const OutputPortWires &out);
+
+/** True iff every port of @p wires is quiescent and nothing ejected. */
+bool routerWiresQuiescent(const RouterWires &wires, unsigned num_vcs);
+
 /**
  * Tap points at which the fault injector may mutate wires or state.
  * Listed in the order the router visits them within one cycle.

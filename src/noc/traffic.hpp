@@ -96,6 +96,20 @@ class TrafficGenerator
     /** Packets created so far (all nodes). */
     std::uint64_t packetsCreated() const { return packets_created_; }
 
+    /**
+     * True iff generation has permanently stopped by @p cycle: every
+     * later generate() call returns nullopt regardless of its draws.
+     * The active-set kernel then skips the draws entirely; the RNG
+     * streams diverge from a dense run's, but they are never consulted
+     * again, so every observable (packets, ejections, stats) is
+     * unaffected.
+     */
+    bool
+    stopped(Cycle cycle) const
+    {
+        return spec_.stopCycle >= 0 && cycle >= spec_.stopCycle;
+    }
+
   private:
     NodeId patternDestination(const NetworkConfig &config, NodeId node,
                               Pcg32 &rng) const;

@@ -109,9 +109,10 @@ TEST(Network, CopyResumesIdentically)
     EXPECT_EQ(a.stats().flitsEjected, b.stats().flitsEjected);
 }
 
-TEST(Network, ObserversSeeEveryCycle)
+TEST(Network, DenseObserversSeeEveryCycle)
 {
     Network net(mesh(3, 3), traffic(0.1, 50));
+    net.setKernelMode(KernelMode::Dense);
     int router_calls = 0;
     int ni_calls = 0;
     int cycle_calls = 0;
@@ -124,6 +125,78 @@ TEST(Network, ObserversSeeEveryCycle)
     EXPECT_EQ(router_calls, 9 * 10);
     EXPECT_EQ(ni_calls, 9 * 10);
     EXPECT_EQ(cycle_calls, 10);
+}
+
+TEST(Network, ActiveObserversSeeEveryEvaluatedModule)
+{
+    // The active kernel fires per-module observers exactly for the
+    // modules it evaluates, and the cycle observer for every cycle.
+    Network net(mesh(3, 3), traffic(0.1, 50));
+    std::uint64_t router_calls = 0;
+    std::uint64_t ni_calls = 0;
+    int cycle_calls = 0;
+    net.setRouterObserver(
+        [&](const Router &, const RouterWires &) { ++router_calls; });
+    net.setNiObserver(
+        [&](const NetworkInterface &, const NiWires &) { ++ni_calls; });
+    net.setCycleObserver([&](const Network &) { ++cycle_calls; });
+    net.run(10);
+    EXPECT_EQ(router_calls, net.routerEvaluations());
+    EXPECT_EQ(ni_calls, net.niEvaluations());
+    EXPECT_EQ(cycle_calls, 10);
+    // At 10% load something must have happened, but not everywhere.
+    EXPECT_GT(router_calls, 0u);
+    EXPECT_LT(router_calls, 9u * 10u);
+}
+
+TEST(Network, ActiveKernelSkipsQuiescentWork)
+{
+    // Zero traffic: the active kernel evaluates nothing at all, while
+    // the dense kernel touches every module every cycle.
+    Network active(mesh(3, 3), traffic(0.0));
+    active.run(100);
+    EXPECT_EQ(active.routerEvaluations(), 0u);
+    EXPECT_EQ(active.niEvaluations(), 0u);
+    EXPECT_TRUE(active.quiescent());
+
+    Network dense(mesh(3, 3), traffic(0.0));
+    dense.setKernelMode(KernelMode::Dense);
+    dense.run(100);
+    EXPECT_EQ(dense.routerEvaluations(), 9u * 100u);
+    EXPECT_EQ(dense.niEvaluations(), 9u * 100u);
+}
+
+TEST(Network, SettingATapHookPinsAllRoutersActive)
+{
+    Network net(mesh(3, 3), traffic(0.0));
+    int taps = 0;
+    net.setTapHook(
+        [&](Router &, TapPoint tap, RouterWires &) {
+            if (tap == TapPoint::CycleEnd)
+                ++taps;
+        });
+    net.run(5);
+    EXPECT_EQ(taps, 9 * 5); // every router, every cycle
+    EXPECT_EQ(net.routerEvaluations(), 9u * 5u);
+
+    // Narrowing the focus releases the pin on the other routers.
+    net.setTapFocus({4});
+    taps = 0;
+    net.run(5);
+    EXPECT_EQ(taps, 5); // only the focused router evaluates
+}
+
+TEST(Network, MutableRouterAccessWakesTheRouter)
+{
+    Network net(mesh(3, 3), traffic(0.0));
+    net.run(3);
+    EXPECT_EQ(net.routerEvaluations(), 0u);
+    net.router(4); // direct-state-mutation surface
+    net.run(1);
+    EXPECT_EQ(net.routerEvaluations(), 1u);
+    // A quiescent router retires from the active set again.
+    net.run(3);
+    EXPECT_EQ(net.routerEvaluations(), 1u);
 }
 
 TEST(Network, CopyDropsObservers)

@@ -101,6 +101,84 @@ TEST(SnapshotProperty, CheckersStayQuietAfterResume)
     EXPECT_EQ(engine.log().count(), 0u);
 }
 
+TEST(SnapshotProperty, MidFlightCopyCarriesTheActiveSet)
+{
+    // Snapshot while flits are in flight everywhere: the copy must
+    // rebuild its active set from the copied state (not inherit the
+    // original's pins or caches) and still resume bit-exactly.
+    NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    TrafficSpec traffic;
+    traffic.injectionRate = 0.1;
+    traffic.seed = 31;
+    traffic.stopCycle = 500;
+
+    Network a(config, traffic);
+    // Pins on the original must not leak into copies.
+    a.setTapHook([](Router &, TapPoint, RouterWires &) {});
+    a.run(250);
+    ASSERT_FALSE(a.quiescent()); // mid-flight, active set populated
+
+    Network b(a);
+    a.setTapHook(nullptr);
+    a.run(250);
+    b.run(250);
+    ASSERT_TRUE(a.drain(6000));
+    ASSERT_TRUE(b.drain(6000));
+
+    const auto ea = a.collectEjections();
+    const auto eb = b.collectEjections();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].cycle, eb[i].cycle);
+        EXPECT_EQ(ea[i].node, eb[i].node);
+        EXPECT_EQ(ea[i].flit, eb[i].flit);
+    }
+    EXPECT_EQ(a.stats().latencySum, b.stats().latencySum);
+}
+
+TEST(SnapshotProperty, CrossKernelResumeIsBitExact)
+{
+    // A dense-warmed snapshot resumed on the active kernel (and the
+    // reverse) must match a straight dense run: the kernels share one
+    // state space, so mode is a per-instance execution detail.
+    NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    TrafficSpec traffic;
+    traffic.injectionRate = 0.08;
+    traffic.seed = 41;
+    traffic.stopCycle = 400;
+
+    Network dense(config, traffic);
+    dense.setKernelMode(KernelMode::Dense);
+    dense.run(200);
+
+    Network on_active(dense);
+    on_active.setKernelMode(KernelMode::Active);
+    Network on_dense(dense);
+
+    dense.run(200);
+    on_active.run(200);
+    on_dense.run(200);
+    ASSERT_TRUE(dense.drain(6000));
+    ASSERT_TRUE(on_active.drain(6000));
+    ASSERT_TRUE(on_dense.drain(6000));
+
+    const auto ed = dense.collectEjections();
+    for (const Network *net : {&on_active, &on_dense}) {
+        const auto e = net->collectEjections();
+        ASSERT_EQ(ed.size(), e.size());
+        for (std::size_t i = 0; i < ed.size(); ++i) {
+            EXPECT_EQ(ed[i].cycle, e[i].cycle);
+            EXPECT_EQ(ed[i].node, e[i].node);
+            EXPECT_EQ(ed[i].flit, e[i].flit);
+        }
+        EXPECT_EQ(dense.stats().latencySum, net->stats().latencySum);
+    }
+}
+
 TEST(SnapshotProperty, AssignmentAlsoSnapshots)
 {
     NetworkConfig config;
