@@ -87,7 +87,7 @@ main(int argc, char **argv)
     const auto sites = fault::FaultSiteCatalog::sampleNetwork(
         config.network, pairs * 2, config.sampleSeed);
 
-    std::array<std::uint64_t, 4> outcomes = {};
+    std::array<std::uint64_t, fault::kNumOutcomes> outcomes = {};
     Histogram latency;
     std::uint64_t silent_violations = 0;
     for (unsigned i = 0; i + 1 < sites.size(); i += 2) {

@@ -26,7 +26,8 @@ addDetectorRows(Table &table, const char *instant,
                 const fault::CampaignSummary &summary)
 {
     auto row = [&](const char *detector,
-                   const std::array<std::uint64_t, 4> &counts) {
+                   const std::array<std::uint64_t, fault::kNumOutcomes>
+                       &counts) {
         using fault::Outcome;
         table.addRow(
             {instant, detector,

@@ -7,7 +7,7 @@
  *   campaign_shard run    --out s0.json [--shard 0/2] [--checkpoint c.json]
  *                         [--mesh N] [--sites N] [--rate R] [--seed S]
  *                         [--warmup N] [--threads N] [--limit N]
- *                         [--checkpoint-every N]
+ *                         [--checkpoint-every N] [--kind K] [--recovery]
  *   campaign_shard resume --checkpoint c.json [--out s0.json] [--threads N]
  *   campaign_shard merge  --out merged.json s0.json s1.json ...
  *   campaign_shard verify a.json b.json
@@ -113,7 +113,8 @@ cmdRun(int argc, char **argv)
     CommandLine cli(argc, argv,
                     {"out", "shard", "checkpoint", "checkpoint-every",
                      "mesh", "sites", "rate", "seed", "warmup",
-                     "threads", "limit", "dense-kernel"});
+                     "threads", "limit", "dense-kernel", "kind",
+                     "recovery"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 4));
@@ -125,6 +126,12 @@ cmdRun(int argc, char **argv)
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.threads = static_cast<unsigned>(cli.getInt("threads", 2));
     config.denseKernel = cli.getBool("dense-kernel", false);
+    config.recovery = cli.getBool("recovery", false);
+    const std::string kind = cli.getString("kind", "transient");
+    if (auto k = fault::faultKindFromName(kind))
+        config.kind = *k;
+    else
+        NOCALERT_FATAL("unknown fault kind '", kind, "'");
     parseShardSelector(cli.getString("shard", "0/1"), config);
 
     const std::string out = cli.getString("out", "campaign.json");
@@ -151,7 +158,24 @@ cmdResume(int argc, char **argv)
     if (checkpoint.empty())
         NOCALERT_FATAL("resume requires --checkpoint FILE");
 
-    fault::CampaignConfig config = loadResultOrDie(checkpoint).config;
+    // A checkpoint that exists but cannot be parsed (truncated write,
+    // disk corruption) must stop the resume with a diagnosis — never
+    // crash, and never fall through to silently restarting the
+    // campaign from scratch over the damaged file. loadCampaignResult
+    // reports the offending path and, for malformed JSON, the byte
+    // offset where parsing failed.
+    std::string load_error;
+    auto loaded = fault::loadCampaignResult(checkpoint, &load_error);
+    if (!loaded) {
+        std::fprintf(stderr,
+                     "error: cannot resume from checkpoint: %s\n"
+                     "       (delete the file to restart the shard "
+                     "from scratch)\n",
+                     load_error.c_str());
+        return 1;
+    }
+
+    fault::CampaignConfig config = loaded->config;
     config.checkpointPath = checkpoint;
     if (cli.has("threads"))
         config.threads =

@@ -22,7 +22,8 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"sites", "warmup", "rate", "threads", "seed",
-                     "mesh", "csv", "json", "dense-kernel"});
+                     "mesh", "csv", "json", "dense-kernel", "kind",
+                     "recovery"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
@@ -33,6 +34,14 @@ main(int argc, char **argv)
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.threads = static_cast<unsigned>(cli.getInt("threads", 4));
     config.denseKernel = cli.getBool("dense-kernel", false);
+    config.recovery = cli.getBool("recovery", false);
+    const std::string kind = cli.getString("kind", "transient");
+    if (auto k = fault::faultKindFromName(kind))
+        config.kind = *k;
+    else {
+        std::fprintf(stderr, "unknown fault kind '%s'\n", kind.c_str());
+        return 2;
+    }
 
     std::printf("running %u-site campaign on a %dx%d mesh "
                 "(warmup %lld cycles)...\n",
@@ -45,17 +54,20 @@ main(int argc, char **argv)
     const fault::CampaignSummary summary = result.summarize();
 
     Table table({"detector", "true-pos", "false-pos", "true-neg",
-                 "false-neg"});
+                 "false-neg", "recovered"});
     auto row = [&](const char *name,
-                   const std::array<std::uint64_t, 4> &counts) {
+                   const std::array<std::uint64_t, fault::kNumOutcomes>
+                       &counts) {
         table.addRow({name, Table::pct(summary.pct(counts[0])),
                       Table::pct(summary.pct(counts[1])),
                       Table::pct(summary.pct(counts[2])),
-                      Table::pct(summary.pct(counts[3]))});
+                      Table::pct(summary.pct(counts[3])),
+                      Table::pct(summary.pct(counts[4]))});
     };
     row("NoCAlert", summary.nocalert);
     row("NoCAlert Cautious", summary.cautious);
-    row("ForEVeR", summary.forever);
+    if (result.config.runForever)
+        row("ForEVeR", summary.forever);
     table.setTitle("fault classification (" +
                    std::to_string(summary.runs) + " injections)");
     table.print();
@@ -73,6 +85,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     summary.nocalert[static_cast<unsigned>(
                         fault::Outcome::FalseNegative)]));
+    if (result.config.recovery) {
+        std::printf("detected-recovered: %llu of %llu runs\n",
+                    static_cast<unsigned long long>(
+                        summary.nocalert[static_cast<unsigned>(
+                            fault::Outcome::DetectedRecovered)]),
+                    static_cast<unsigned long long>(summary.runs));
+    }
 
     if (cli.has("csv")) {
         const std::string path = cli.getString("csv", "campaign.csv");

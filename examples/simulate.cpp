@@ -37,8 +37,10 @@ parseRouting(const std::string &name)
         return noc::RoutingAlgo::WestFirst;
     if (name == "o1turn")
         return noc::RoutingAlgo::O1Turn;
+    if (name == "qadaptive")
+        return noc::RoutingAlgo::QAdaptive;
     NOCALERT_FATAL("unknown routing '", name,
-                   "' (xy, yx, west-first, o1turn)");
+                   "' (xy, yx, west-first, o1turn, qadaptive)");
 }
 
 noc::TrafficPattern

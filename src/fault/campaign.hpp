@@ -36,7 +36,12 @@ enum class Outcome : std::uint8_t {
     FalsePositive, ///< Detected, but the fault proved benign.
     TrueNegative,  ///< Not detected, and the fault proved benign.
     FalseNegative, ///< Not detected, but correctness was violated.
+    DetectedRecovered, ///< Detected, recovery engaged, and the
+                       ///< post-recovery ejection log matches golden.
 };
+
+/** Number of distinct Outcome values. */
+inline constexpr std::size_t kNumOutcomes = 5;
 
 /** Name of an outcome. */
 const char *outcomeName(Outcome outcome);
@@ -84,6 +89,19 @@ struct CampaignConfig
     /** Also run the ForEVeR baseline on every run. */
     bool runForever = true;
     forever::ForeverConfig forever;
+
+    /**
+     * Recovery mode: enable end-to-end retransmission at the NIs,
+     * switch routing to the quarantine-aware adaptive algorithm, and
+     * attach the recovery orchestrator (quarantine + purge on
+     * trigger) to every run — golden included, so the reference
+     * experiences the identical (fault-free) protocol. Runs whose
+     * post-recovery ejection log matches golden classify as
+     * Outcome::DetectedRecovered. Disables the ForEVeR baseline (its
+     * end-to-end flit accounting does not model retransmission).
+     * Part of the campaign identity.
+     */
+    bool recovery = false;
 
     /**
      * Escape hatch: run every simulation on the dense kernel instead
@@ -148,6 +166,17 @@ struct FaultRunResult
     bool foreverDetected = false;
     noc::Cycle foreverLatency = kNoDetection;
 
+    // ---- Recovery (all zero unless CampaignConfig::recovery) ----
+    bool recovered = false;       ///< Detected, clean log, recovery acted.
+    bool recoveryTriggered = false; ///< The orchestrator acted at all.
+    noc::Cycle recoveryCycle = kNoDetection; ///< First action cycle.
+    std::uint32_t recoveryActions = 0;   ///< Quarantine/purge actions.
+    std::uint32_t quarantinedPorts = 0;  ///< Ports quarantined.
+    std::uint64_t purgedFlits = 0;       ///< Flits purged network-wide.
+    std::uint64_t retransmits = 0;       ///< Packet retransmissions.
+    std::uint64_t duplicatesSuppressed = 0; ///< Duplicate deliveries.
+    std::uint64_t packetsAbandoned = 0;  ///< Gave up after maxRetries.
+
     Outcome outcome() const;
     Outcome cautiousOutcome() const;
     Outcome foreverOutcome() const;
@@ -158,9 +187,9 @@ struct CampaignSummary
 {
     std::uint64_t runs = 0;
 
-    std::array<std::uint64_t, 4> nocalert = {};  ///< By Outcome index.
-    std::array<std::uint64_t, 4> cautious = {};
-    std::array<std::uint64_t, 4> forever = {};
+    std::array<std::uint64_t, kNumOutcomes> nocalert = {}; ///< By Outcome.
+    std::array<std::uint64_t, kNumOutcomes> cautious = {};
+    std::array<std::uint64_t, kNumOutcomes> forever = {};
 
     Histogram detectionLatency;  ///< NoCAlert, true positives only.
     Histogram foreverLatency;    ///< ForEVeR, true positives only.

@@ -28,7 +28,8 @@ writeCampaignCsv(const CampaignResult &result, std::ostream &os)
 {
     os << "router,signal,port,vc,bit,violated,conditions,drained,"
           "detected,latency,cautious,cautious_latency,at_injection,"
-          "simultaneous,invariants,forever_detected,forever_latency\n";
+          "simultaneous,invariants,forever_detected,forever_latency,"
+          "recovered,recovery_latency,retransmits\n";
     for (const FaultRunResult &run : result.runs) {
         os << run.site.router << ','
            << signalClassName(run.site.signal) << ','
@@ -49,7 +50,12 @@ writeCampaignCsv(const CampaignResult &result, std::ostream &os)
             os << core::invariantIndex(run.invariants[i]);
         }
         os << '"' << ',' << (run.foreverDetected ? 1 : 0) << ','
-           << latencyCell(run.foreverLatency) << '\n';
+           << latencyCell(run.foreverLatency) << ','
+           << (run.recovered ? 1 : 0) << ','
+           << latencyCell(run.recoveryCycle == kNoDetection
+                              ? kNoDetection
+                              : run.recoveryCycle - run.injectCycle)
+           << ',' << run.retransmits << '\n';
     }
 }
 
@@ -59,14 +65,16 @@ summaryText(const CampaignResult &result)
     const CampaignSummary summary = result.summarize();
 
     Table table({"detector", "true-pos", "false-pos", "true-neg",
-                 "false-neg"});
+                 "false-neg", "recovered"});
     auto row = [&](const char *name,
-                   const std::array<std::uint64_t, 4> &counts) {
+                   const std::array<std::uint64_t, kNumOutcomes>
+                       &counts) {
         table.addRow({name,
                       Table::pct(summary.pct(counts[0])),
                       Table::pct(summary.pct(counts[1])),
                       Table::pct(summary.pct(counts[2])),
-                      Table::pct(summary.pct(counts[3]))});
+                      Table::pct(summary.pct(counts[3])),
+                      Table::pct(summary.pct(counts[4]))});
     };
     row("NoCAlert", summary.nocalert);
     row("NoCAlert Cautious", summary.cautious);

@@ -188,6 +188,29 @@ routerParamsFromJson(const JsonValue &json, noc::RouterParams &router,
 }
 
 JsonValue
+retransmitParamsJson(const noc::RetransmitParams &retransmit)
+{
+    JsonValue json;
+    json.set("enabled", retransmit.enabled);
+    json.set("ackTimeout", retransmit.ackTimeout);
+    json.set("maxRetries", retransmit.maxRetries);
+    json.set("backoffCap", retransmit.backoffCap);
+    return json;
+}
+
+void
+retransmitParamsFromJson(const JsonValue &json,
+                         noc::RetransmitParams &retransmit,
+                         std::string &error)
+{
+    ObjectReader reader(json, "retransmit params", error);
+    retransmit.enabled = reader.boolean("enabled");
+    retransmit.ackTimeout = reader.i64("ackTimeout");
+    retransmit.maxRetries = reader.u32("maxRetries");
+    retransmit.backoffCap = reader.u32("backoffCap");
+}
+
+JsonValue
 networkConfigJson(const noc::NetworkConfig &network)
 {
     JsonValue json;
@@ -195,6 +218,7 @@ networkConfigJson(const noc::NetworkConfig &network)
     json.set("height", network.height);
     json.set("routing", noc::routingAlgoName(network.routing));
     json.set("router", routerParamsJson(network.router));
+    json.set("retransmit", retransmitParamsJson(network.retransmit));
     return json;
 }
 
@@ -214,6 +238,8 @@ networkConfigFromJson(const JsonValue &json, noc::NetworkConfig &network,
     }
     if (const JsonValue *router = reader.get("router"))
         routerParamsFromJson(*router, network.router, error);
+    if (const JsonValue *retransmit = reader.get("retransmit"))
+        retransmitParamsFromJson(*retransmit, network.retransmit, error);
 }
 
 JsonValue
@@ -346,6 +372,7 @@ toJson(const CampaignConfig &config)
     json.set("sampleSeed", config.sampleSeed);
     json.set("runForever", config.runForever);
     json.set("forever", foreverConfigJson(config.forever));
+    json.set("recovery", config.recovery);
     json.set("denseKernel", config.denseKernel);
     json.set("threads", config.threads);
     json.set("shardIndex", config.shardIndex);
@@ -403,6 +430,7 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
     config.runForever = reader.boolean("runForever");
     if (const JsonValue *forever = reader.get("forever"))
         foreverConfigFromJson(*forever, config.forever, error);
+    config.recovery = reader.boolean("recovery");
     config.denseKernel = reader.boolean("denseKernel");
     config.threads = reader.u32("threads");
     config.shardIndex = reader.u32("shardIndex");
@@ -438,6 +466,15 @@ toJson(const FaultRunResult &run)
     json.set("invariants", std::move(invariants));
     json.set("foreverDetected", run.foreverDetected);
     json.set("foreverLatency", run.foreverLatency);
+    json.set("recovered", run.recovered);
+    json.set("recoveryTriggered", run.recoveryTriggered);
+    json.set("recoveryCycle", run.recoveryCycle);
+    json.set("recoveryActions", run.recoveryActions);
+    json.set("quarantinedPorts", run.quarantinedPorts);
+    json.set("purgedFlits", run.purgedFlits);
+    json.set("retransmits", run.retransmits);
+    json.set("duplicatesSuppressed", run.duplicatesSuppressed);
+    json.set("packetsAbandoned", run.packetsAbandoned);
     return json;
 }
 
@@ -476,9 +513,18 @@ faultRunFromJson(const JsonValue &json, std::string *out_error)
     }
     run.foreverDetected = reader.boolean("foreverDetected");
     run.foreverLatency = reader.i64("foreverLatency");
+    run.recovered = reader.boolean("recovered");
+    run.recoveryTriggered = reader.boolean("recoveryTriggered");
+    run.recoveryCycle = reader.i64("recoveryCycle");
+    run.recoveryActions = reader.u32("recoveryActions");
+    run.quarantinedPorts = reader.u32("quarantinedPorts");
+    run.purgedFlits = reader.u64("purgedFlits");
+    run.retransmits = reader.u64("retransmits");
+    run.duplicatesSuppressed = reader.u64("duplicatesSuppressed");
+    run.packetsAbandoned = reader.u64("packetsAbandoned");
 
-    // Latency fields are either a non-negative cycle delta (only when
-    // the detector fired) or the kNoDetection sentinel.
+    // Latency fields are either a non-negative cycle (only when the
+    // detector/recovery fired) or the kNoDetection sentinel.
     if (error.empty()) {
         auto check = [&](bool fired, noc::Cycle latency,
                          const char *field) {
@@ -490,6 +536,9 @@ faultRunFromJson(const JsonValue &json, std::string *out_error)
         check(run.detectedCautious, run.cautiousLatency,
               "cautiousLatency");
         check(run.foreverDetected, run.foreverLatency, "foreverLatency");
+        check(run.recoveryTriggered, run.recoveryCycle, "recoveryCycle");
+        if (run.recovered && !run.detected)
+            reader.fail("recovered requires detected");
     }
 
     return finish(std::move(run), error, out_error);
@@ -563,7 +612,8 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
 JsonValue
 toJson(const CampaignSummary &summary)
 {
-    auto outcomes = [](const std::array<std::uint64_t, 4> &counts) {
+    auto outcomes =
+        [](const std::array<std::uint64_t, kNumOutcomes> &counts) {
         JsonValue json = JsonValue(JsonValue::Array{});
         for (std::uint64_t c : counts)
             json.push(c);

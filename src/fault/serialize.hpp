@@ -33,9 +33,11 @@ namespace nocalert::fault {
 /**
  * Version of the campaign JSON schema this build reads and writes.
  * History: 1 = initial sharded/resumable format; 2 = adds the
- * CampaignConfig "denseKernel" execution field.
+ * CampaignConfig "denseKernel" execution field; 3 = adds the
+ * recovery loop — CampaignConfig "recovery", the network "retransmit"
+ * parameters, and per-run recovery/retransmission counters.
  */
-inline constexpr std::int64_t kCampaignSchemaVersion = 2;
+inline constexpr std::int64_t kCampaignSchemaVersion = 3;
 
 /** Schema tag stored in every campaign document. */
 inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";

@@ -44,6 +44,24 @@ VcFifo::clear()
     count_ = 0;
 }
 
+unsigned
+VcFifo::removePacket(PacketId id)
+{
+    unsigned kept = 0;
+    unsigned removed = 0;
+    for (unsigned i = 0; i < count_; ++i) {
+        const Flit flit = slots_[(head_ + i) % depth_];
+        if (flit.packet == id) {
+            ++removed;
+        } else {
+            slots_[(head_ + kept) % depth_] = flit;
+            ++kept;
+        }
+    }
+    count_ = kept;
+    return removed;
+}
+
 const char *
 vcStateName(VcState state)
 {
@@ -67,6 +85,7 @@ VcRecord::reset()
     expectedLength = 0;
     lastWrittenType = FlitType::Tail;
     tailArrived = false;
+    packet = kInvalidPacket;
 }
 
 } // namespace nocalert::noc

@@ -64,6 +64,14 @@ class VcFifo
     /** Drop all stored flits (pointers reset; slot contents remain). */
     void clear();
 
+    /**
+     * Remove every stored flit whose packet id is @p id, preserving
+     * the order of the survivors. Returns the number removed. Used by
+     * recovery purges; unlike pop(), removal compacts the live region
+     * (recovery is a maintenance action, not a hardware read).
+     */
+    unsigned removePacket(PacketId id);
+
   private:
     std::vector<Flit> slots_;
     unsigned depth_;
@@ -121,6 +129,14 @@ struct VcRecord
 
     /** True once the tail of the current packet has been written. */
     bool tailArrived = false;
+
+    /**
+     * Id of the packet currently holding this VC (kInvalidPacket when
+     * Idle). Not a fault-injection target — bookkeeping that lets the
+     * recovery purge identify which VCs a suspect packet owns without
+     * walking allocation chains.
+     */
+    PacketId packet = kInvalidPacket;
 
     /** Reset to the idle state (buffer contents handled separately). */
     void reset();

@@ -14,6 +14,7 @@ routingAlgoName(RoutingAlgo algo)
       case RoutingAlgo::YX: return "YX";
       case RoutingAlgo::WestFirst: return "WestFirst";
       case RoutingAlgo::O1Turn: return "O1Turn";
+      case RoutingAlgo::QAdaptive: return "QAdaptive";
     }
     return "?";
 }
@@ -21,7 +22,7 @@ routingAlgoName(RoutingAlgo algo)
 std::optional<RoutingAlgo>
 routingAlgoFromName(std::string_view name)
 {
-    for (int i = 0; i <= static_cast<int>(RoutingAlgo::O1Turn); ++i) {
+    for (int i = 0; i <= static_cast<int>(RoutingAlgo::QAdaptive); ++i) {
         const auto algo = static_cast<RoutingAlgo>(i);
         if (name == routingAlgoName(algo))
             return algo;
@@ -135,6 +136,12 @@ NetworkConfig::validate() const
         NOCALERT_FATAL("mesh must be at least 2x2, got ",
                        width, "x", height);
     router.validate();
+    if (retransmit.enabled) {
+        if (retransmit.ackTimeout < 1)
+            NOCALERT_FATAL("retransmit.ackTimeout must be positive");
+        if (retransmit.backoffCap < 1)
+            NOCALERT_FATAL("retransmit.backoffCap must be at least 1");
+    }
 }
 
 } // namespace nocalert::noc

@@ -27,6 +27,8 @@ enum class RoutingAlgo {
     YX,        ///< Dimension-ordered, Y first.
     WestFirst, ///< Turn-model adaptive: west hops first, then adaptive.
     O1Turn,    ///< Per-packet random choice between XY and YX.
+    QAdaptive, ///< Quarantine-aware west-first: XY when fault-free,
+               ///< detours around quarantined ports after recovery.
 };
 
 /** Name of a routing algorithm. */
@@ -105,6 +107,29 @@ struct RouterParams
     void validate() const;
 };
 
+/**
+ * End-to-end retransmission parameters (the recovery subsystem's
+ * network-interface half). When enabled, every injected packet is
+ * held by its source NI until the destination NI acknowledges a
+ * clean, complete delivery; on timeout the packet is re-injected
+ * with capped exponential backoff, and the destination suppresses
+ * duplicate deliveries so the ejection log sees each packet once.
+ */
+struct RetransmitParams
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+
+    /** Base cycles to wait for an ACK after the tail is injected. */
+    Cycle ackTimeout = 600;
+
+    /** Retransmissions attempted before a packet is abandoned. */
+    unsigned maxRetries = 3;
+
+    /** Cap on the exponential backoff multiplier (1, 2, 4, ...). */
+    unsigned backoffCap = 4;
+};
+
 /** Whole-network configuration. */
 struct NetworkConfig
 {
@@ -119,6 +144,9 @@ struct NetworkConfig
 
     /** Routing algorithm. */
     RoutingAlgo routing = RoutingAlgo::XY;
+
+    /** End-to-end retransmission (recovery support). */
+    RetransmitParams retransmit;
 
     /** Number of nodes in the mesh. */
     int numNodes() const { return width * height; }

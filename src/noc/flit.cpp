@@ -48,6 +48,7 @@ Packet::makeFlit(std::uint16_t seq) const
     flit.dst = dst;
     flit.msgClass = msgClass;
     flit.injected = created;
+    flit.ackFor = ackFor;
     return flit;
 }
 

@@ -69,6 +69,14 @@ struct Flit
     std::uint8_t vc = 0;          ///< VC id on the current link.
     Cycle injected = 0;           ///< Cycle the packet entered the source NI.
 
+    /**
+     * kInvalidPacket for ordinary data flits. For end-to-end
+     * acknowledgement packets (recovery subsystem), the id of the
+     * packet being acknowledged. ACKs travel as regular ctrl-class
+     * packets; only the destination NI interprets this field.
+     */
+    PacketId ackFor = kInvalidPacket;
+
     bool operator==(const Flit &) const = default;
 
     /** Compact debug representation. */
@@ -86,6 +94,9 @@ struct Packet
     std::uint8_t msgClass = 0;
     std::uint16_t length = 1;     ///< Number of flits.
     Cycle created = 0;            ///< Cycle the traffic generator made it.
+
+    /** Packet id this packet acknowledges (kInvalidPacket for data). */
+    PacketId ackFor = kInvalidPacket;
 
     /** Build flit number @p seq of this packet. */
     Flit makeFlit(std::uint16_t seq) const;

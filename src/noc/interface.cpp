@@ -6,7 +6,8 @@
 namespace nocalert::noc {
 
 NetworkInterface::NetworkInterface(const NetworkConfig &config, NodeId node)
-    : node_(node), params_(config.router)
+    : node_(node), params_(config.router), retransmit_(config.retransmit),
+      num_nodes_(config.numNodes())
 {
     trackers_.resize(params_.numVcs);
     for (auto &tracker : trackers_)
@@ -40,6 +41,7 @@ NetworkInterface::evaluate(Cycle cycle, LinkIo &io)
     }
 
     doEject(cycle, io);
+    doRetryTimeouts(cycle);
     doInject(cycle, io);
 }
 
@@ -75,7 +77,6 @@ NetworkInterface::pendingFlitsByDst(bool include_queued) const
 void
 NetworkInterface::doInject(Cycle cycle, LinkIo &io)
 {
-    (void)cycle;
     if (!streaming_ && !queue_.empty()) {
         const Packet &pkt = queue_.front();
         const unsigned cls =
@@ -126,6 +127,187 @@ NetworkInterface::doInject(Cycle cycle, LinkIo &io)
         tracker.free = true; // reallocation still gated by credits
         queue_.pop_front();
         ++packets_injected_;
+        if (retransmit_.enabled)
+            onTailInjected(cycle);
+    }
+}
+
+Cycle
+NetworkInterface::retryDelay(unsigned attempts) const
+{
+    const unsigned shift = attempts < 16 ? attempts : 16;
+    std::uint64_t mult = 1ULL << shift;
+    if (mult > retransmit_.backoffCap)
+        mult = retransmit_.backoffCap;
+    return static_cast<Cycle>(
+        static_cast<std::uint64_t>(retransmit_.ackTimeout) * mult);
+}
+
+NetworkInterface::PendingAck *
+NetworkInterface::findPending(PacketId id)
+{
+    for (auto &entry : pending_)
+        if (entry.packet.id == id)
+            return &entry;
+    return nullptr;
+}
+
+void
+NetworkInterface::erasePending(PacketId id)
+{
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->packet.id == id) {
+            pending_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+NetworkInterface::onTailInjected(Cycle cycle)
+{
+    if (current_.ackFor != kInvalidPacket)
+        return; // ACKs are fire-and-forget; a lost ACK causes a
+                // retransmit, which the destination suppresses.
+    PendingAck *entry = findPending(current_.id);
+    if (entry == nullptr) {
+        PendingAck fresh;
+        fresh.packet = current_;
+        fresh.deadline = cycle + retryDelay(0);
+        pending_.push_back(fresh);
+        return;
+    }
+    if (entry->acked) {
+        // Acknowledged while the retransmission was still streaming.
+        erasePending(current_.id);
+        return;
+    }
+    entry->queued = false;
+    entry->deadline = cycle + retryDelay(entry->attempts);
+}
+
+void
+NetworkInterface::doRetryTimeouts(Cycle cycle)
+{
+    if (!retransmit_.enabled || pending_.empty())
+        return;
+    for (std::size_t i = 0; i < pending_.size();) {
+        PendingAck &entry = pending_[i];
+        if (entry.queued || entry.acked || cycle < entry.deadline) {
+            ++i;
+            continue;
+        }
+        if (entry.attempts >= retransmit_.maxRetries) {
+            ++packets_abandoned_;
+            pending_.erase(pending_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+        ++entry.attempts;
+        ++retransmits_;
+        entry.queued = true;
+        queue_.push_back(entry.packet);
+        ++i;
+    }
+}
+
+void
+NetworkInterface::handleAck(PacketId id)
+{
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        PendingAck &entry = pending_[i];
+        if (entry.packet.id != id)
+            continue;
+        if (streaming_ && current_.id == id) {
+            // Mid-retransmit: never abort a worm in flight — let the
+            // stream finish (the destination suppresses the duplicate)
+            // and drop the entry when the tail goes out.
+            entry.acked = true;
+            return;
+        }
+        if (entry.queued) {
+            // A retry copy is still waiting in the queue; cancel it.
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (it->id == id) {
+                    queue_.erase(it);
+                    break;
+                }
+            }
+        }
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+    }
+    // No entry: stale ACK for an already-closed packet; ignore.
+}
+
+void
+NetworkInterface::sendAck(const Flit &tail, Cycle cycle)
+{
+    if (tail.src < 0 || tail.src >= num_nodes_ || tail.src == node_)
+        return; // corrupted source field; nothing sensible to ACK
+    Packet ack;
+    ack.id = kAckPacketBit |
+             (static_cast<PacketId>(node_) << 40) | (ack_count_++);
+    ack.src = node_;
+    ack.dst = tail.src;
+    ack.msgClass = 0;
+    ack.length = params_.classLength(0);
+    ack.created = cycle;
+    ack.ackFor = tail.packet;
+    queue_.push_back(ack);
+    ++acks_sent_;
+}
+
+void
+NetworkInterface::restoreCredits(unsigned vc, unsigned count)
+{
+    if (vc >= params_.numVcs)
+        return;
+    VcTracker &tracker = trackers_[vc];
+    for (unsigned i = 0; i < count && tracker.credits < params_.bufferDepth;
+         ++i) {
+        ++tracker.credits;
+    }
+}
+
+void
+NetworkInterface::purgePackets(const std::unordered_set<PacketId> &suspects)
+{
+    if (streaming_ && suspects.count(current_.id) != 0) {
+        // Abort the outgoing worm (its already-sent flits have been
+        // purged from the network) and release the stream VC.
+        streaming_ = false;
+        trackers_[stream_vc_].free = true;
+        if (!queue_.empty())
+            queue_.pop_front(); // current_ is a copy of the front
+        if (retransmit_.enabled && current_.ackFor == kInvalidPacket) {
+            PendingAck *entry = findPending(current_.id);
+            if (entry == nullptr) {
+                PendingAck fresh;
+                fresh.packet = current_;
+                fresh.queued = true;
+                pending_.push_back(fresh);
+                queue_.push_back(current_);
+                ++retransmits_;
+            } else if (!entry->acked) {
+                entry->queued = true;
+                queue_.push_back(current_);
+                ++retransmits_;
+            } else {
+                erasePending(current_.id);
+            }
+        } else if (current_.ackFor != kInvalidPacket) {
+            queue_.push_back(current_); // resend the aborted ACK
+        }
+    }
+    for (auto &asm_state : reassembly_) {
+        if (asm_state.open && suspects.count(asm_state.packet) != 0) {
+            asm_state.open = false;
+            asm_state.packet = kInvalidPacket;
+            asm_state.nextSeq = 0;
+            asm_state.dirty = false;
+            asm_state.staged.clear();
+        }
     }
 }
 
@@ -137,7 +319,12 @@ NetworkInterface::doEject(Cycle cycle, LinkIo &io)
 
     const Flit &flit = io.inFlit;
     ++flits_ejected_;
-    log_.push_back({cycle, node_, flit});
+    // Recovery mode stages flits per packet and only commits a clean,
+    // non-duplicate delivery to the log (see Reassembly::staged); the
+    // plain path logs every flit immediately, as the comparator's
+    // fault-evidence stream.
+    if (!retransmit_.enabled)
+        log_.push_back({cycle, node_, flit});
     wires_.ejectValid = true;
     wires_.ejectFlit = flit;
 
@@ -147,6 +334,16 @@ NetworkInterface::doEject(Cycle cycle, LinkIo &io)
     if (v < params_.numVcs)
         io.creditOut = static_cast<std::uint32_t>(
             setBit(io.creditOut, v));
+
+    // Acknowledgement packets are consumed here: never logged, never
+    // reassembled, never re-ACKed.
+    if (retransmit_.enabled && flit.ackFor != kInvalidPacket) {
+        if (flit.dst != node_)
+            wires_.anomalies |= kNiWrongDestination;
+        else if (isHead(flit.type))
+            handleAck(flit.ackFor);
+        return;
+    }
 
     // ---- End-to-end (network-level) invariance checks ----
     Reassembly &asm_state =
@@ -162,6 +359,11 @@ NetworkInterface::doEject(Cycle cycle, LinkIo &io)
         asm_state.nextSeq = 1;
         if (flit.seq != 0)
             wires_.anomalies |= kNiOrderViolation;
+        if (retransmit_.enabled) {
+            asm_state.staged.clear();
+            asm_state.dirty = flit.dst != node_ || flit.seq != 0;
+            asm_state.staged.push_back({cycle, node_, flit});
+        }
     } else {
         if (!asm_state.open) {
             wires_.anomalies |= kNiUnexpectedFlit;
@@ -170,28 +372,61 @@ NetworkInterface::doEject(Cycle cycle, LinkIo &io)
             wires_.anomalies |= kNiOrderViolation;
             asm_state.nextSeq =
                 static_cast<std::uint16_t>(flit.seq + 1);
+            asm_state.dirty = true;
         } else {
             ++asm_state.nextSeq;
         }
+        if (retransmit_.enabled && asm_state.open)
+            asm_state.staged.push_back({cycle, node_, flit});
     }
 
     if (isTail(flit.type)) {
         const unsigned expected =
             flit.msgClass < params_.classes.size()
                 ? params_.classLength(flit.msgClass) : 0;
-        if (expected != 0 &&
-            static_cast<unsigned>(flit.seq) + 1 != expected) {
+        const bool count_bad =
+            expected != 0 &&
+            static_cast<unsigned>(flit.seq) + 1 != expected;
+        if (count_bad)
             wires_.anomalies |= kNiCountViolation;
-        }
-        if (asm_state.open && flit.packet == asm_state.packet &&
-            wires_.anomalies == 0) {
-            ++packets_ejected_;
-            latency_sum_ +=
-                static_cast<std::uint64_t>(cycle - flit.injected);
+
+        if (!retransmit_.enabled) {
+            if (asm_state.open && flit.packet == asm_state.packet &&
+                wires_.anomalies == 0) {
+                ++packets_ejected_;
+                latency_sum_ +=
+                    static_cast<std::uint64_t>(cycle - flit.injected);
+            }
+        } else if (asm_state.open && flit.packet == asm_state.packet) {
+            if (count_bad)
+                asm_state.dirty = true;
+            if (!asm_state.dirty) {
+                if (delivered_.count(flit.packet) != 0) {
+                    // Retransmitted copy of a packet already
+                    // delivered: suppress it, but re-ACK (the first
+                    // ACK may have been lost).
+                    ++duplicates_suppressed_;
+                    sendAck(flit, cycle);
+                } else {
+                    delivered_.insert(flit.packet);
+                    for (const auto &rec : asm_state.staged)
+                        log_.push_back(rec);
+                    ++packets_ejected_;
+                    latency_sum_ += static_cast<std::uint64_t>(
+                        cycle - flit.injected);
+                    sendAck(flit, cycle);
+                }
+            }
+            // A dirty delivery leaves no trace: the sender's timeout
+            // will retransmit it.
         }
         asm_state.open = false;
         asm_state.packet = kInvalidPacket;
         asm_state.nextSeq = 0;
+        if (retransmit_.enabled) {
+            asm_state.dirty = false;
+            asm_state.staged.clear();
+        }
     }
 }
 

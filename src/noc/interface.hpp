@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "noc/config.hpp"
@@ -57,6 +58,13 @@ struct NiWires
     std::uint32_t anomalies = 0;
 };
 
+/**
+ * Bit set in the packet id of end-to-end acknowledgement packets so
+ * ACK ids can never collide with traffic-generator ids (which are
+ * (node << 40) | count).
+ */
+inline constexpr PacketId kAckPacketBit = 1ULL << 63;
+
 /** Network interface of one node. */
 class NetworkInterface
 {
@@ -84,8 +92,16 @@ class NetworkInterface
     /** Packets waiting (not yet fully streamed into the router). */
     std::size_t queueDepth() const { return queue_.size(); }
 
-    /** True iff nothing is queued or streaming. */
-    bool idle() const { return queue_.empty() && !streaming_; }
+    /**
+     * True iff nothing is queued, streaming, or awaiting an end-to-end
+     * ACK. Pending retransmission state keeps the NI non-idle so the
+     * active-set kernel evaluates it every cycle (retry timers must
+     * fire on schedule) and drain() waits for retransmission closure.
+     */
+    bool idle() const
+    {
+        return queue_.empty() && !streaming_ && pending_.empty();
+    }
 
     /** Evaluate one cycle of injection and ejection. */
     void evaluate(Cycle cycle, LinkIo &io);
@@ -123,6 +139,40 @@ class NetworkInterface
     /** Sum over ejected packets of (tail ejection - injection) cycles. */
     std::uint64_t latencySum() const { return latency_sum_; }
 
+    // ------------------------------------------------------------------
+    // End-to-end retransmission (recovery subsystem). All of this is
+    // inert unless NetworkConfig::retransmit.enabled.
+    // ------------------------------------------------------------------
+
+    /** Packets awaiting an ACK (including queued/streaming retries). */
+    std::size_t pendingAcks() const { return pending_.size(); }
+
+    /** Packets re-injected after an ACK timeout or a recovery purge. */
+    std::uint64_t retransmits() const { return retransmits_; }
+
+    /** Acknowledgement packets sent by the ejection side. */
+    std::uint64_t acksSent() const { return acks_sent_; }
+
+    /** Cleanly delivered packets suppressed as duplicates. */
+    std::uint64_t duplicatesSuppressed() const
+    {
+        return duplicates_suppressed_;
+    }
+
+    /** Packets given up on after maxRetries timeouts. */
+    std::uint64_t packetsAbandoned() const { return packets_abandoned_; }
+
+    /** Grant back @p count injection credits on VC @p vc (capped). */
+    void restoreCredits(unsigned vc, unsigned count);
+
+    /**
+     * Recovery purge: abort the outgoing stream if it belongs to a
+     * suspect packet (re-queueing it for retransmission when enabled)
+     * and discard staged ejection state of suspect packets. Buffer and
+     * link flits are handled by Network::purgePackets.
+     */
+    void purgePackets(const std::unordered_set<PacketId> &suspects);
+
     /**
      * Flits not yet handed to the router, grouped as (destination,
      * count) pairs: the unsent remainder of the streaming packet, plus
@@ -146,13 +196,43 @@ class NetworkInterface
         bool open = false;
         PacketId packet = kInvalidPacket;
         std::uint16_t nextSeq = 0;
+
+        /** Recovery mode: an anomaly hit the open packet. */
+        bool dirty = false;
+
+        /**
+         * Recovery mode: flits of the open packet, committed to the
+         * ejection log only when its tail arrives clean — a corrupted
+         * or duplicate delivery must leave no trace in the log the
+         * golden comparator reads.
+         */
+        std::vector<EjectionRecord> staged;
+    };
+
+    /** One packet awaiting its end-to-end acknowledgement. */
+    struct PendingAck
+    {
+        Packet packet;
+        Cycle deadline = 0;    ///< Next retry time (once not queued).
+        unsigned attempts = 0; ///< Retransmissions performed so far.
+        bool queued = false;   ///< A copy is in queue_ or streaming.
+        bool acked = false;    ///< ACK arrived while still streaming.
     };
 
     void doInject(Cycle cycle, LinkIo &io);
     void doEject(Cycle cycle, LinkIo &io);
+    void doRetryTimeouts(Cycle cycle);
+    void onTailInjected(Cycle cycle);
+    void handleAck(PacketId id);
+    void sendAck(const Flit &tail, Cycle cycle);
+    Cycle retryDelay(unsigned attempts) const;
+    PendingAck *findPending(PacketId id);
+    void erasePending(PacketId id);
 
     NodeId node_;
     RouterParams params_;
+    RetransmitParams retransmit_;
+    int num_nodes_ = 0;
 
     std::deque<Packet> queue_;
     bool streaming_ = false;
@@ -172,6 +252,14 @@ class NetworkInterface
     std::uint64_t flits_ejected_ = 0;
     std::uint64_t packets_ejected_ = 0;
     std::uint64_t latency_sum_ = 0;
+
+    std::vector<PendingAck> pending_;        ///< Awaiting end-to-end ACK.
+    std::unordered_set<PacketId> delivered_; ///< Duplicate suppression.
+    std::uint64_t ack_count_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t acks_sent_ = 0;
+    std::uint64_t duplicates_suppressed_ = 0;
+    std::uint64_t packets_abandoned_ = 0;
 };
 
 } // namespace nocalert::noc

@@ -464,6 +464,175 @@ Network::quiescent() const
     return true;
 }
 
+std::size_t
+Network::quarantinePort(NodeId node, int port)
+{
+    if (node < 0 || node >= config_.numNodes())
+        return 0;
+    std::size_t added = 0;
+    auto mark = [&](NodeId n, int p) {
+        if (p < 0 || p >= kNumPorts || p == portIndex(Port::Local))
+            return;
+        if (!config_.portConnected(n, p))
+            return;
+        if (routing_->isQuarantined(n, p))
+            return;
+        routing_->quarantine(n, p);
+        ++added;
+    };
+    auto both_directions = [&](int p) {
+        mark(node, p);
+        const NodeId m = config_.neighborOf(node, p);
+        if (m != kInvalidNode)
+            mark(m, oppositePort(p));
+    };
+    if (port >= 0) {
+        both_directions(port);
+    } else {
+        for (int p = 0; p < 4; ++p)
+            both_directions(p);
+    }
+    return added;
+}
+
+std::unordered_set<PacketId>
+Network::implicatedPackets(NodeId node, int port) const
+{
+    std::unordered_set<PacketId> ids;
+    if (node < 0 || node >= config_.numNodes())
+        return ids;
+    const Router &r = routers_[static_cast<std::size_t>(node)];
+    const unsigned num_vcs = config_.router.numVcs;
+
+    auto add_flit = [&](const Flit &flit) {
+        if (flit.packet != kInvalidPacket)
+            ids.insert(flit.packet);
+    };
+    auto add_link = [&](int index) {
+        if (index < 0)
+            return;
+        const Link &link = links_[static_cast<std::size_t>(index)];
+        if (link.sendValid)
+            add_flit(link.sendFlit);
+        if (link.recvValid)
+            add_flit(link.recvFlit);
+    };
+    auto add_port = [&](int p) {
+        if (p < 0 || p >= kNumPorts)
+            return;
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            const VcRecord &rec = r.vcRecord(p, v);
+            if (rec.state != VcState::Idle &&
+                rec.packet != kInvalidPacket) {
+                ids.insert(rec.packet);
+            }
+            const VcFifo &fifo = r.fifo(p, v);
+            for (unsigned i = 0; i < fifo.size(); ++i)
+                add_flit(fifo.peek(i));
+            const OutVcState &ov = r.outVcState(p, v);
+            if (!ov.free && ov.ownerPort >= 0 &&
+                ov.ownerPort < kNumPorts && ov.ownerVc >= 0 &&
+                ov.ownerVc < static_cast<int>(num_vcs)) {
+                const VcRecord &owner = r.vcRecord(
+                    ov.ownerPort, static_cast<unsigned>(ov.ownerVc));
+                if (owner.packet != kInvalidPacket)
+                    ids.insert(owner.packet);
+            }
+        }
+        add_link(inLinkIndex(node, p));
+        add_link(outLinkIndex(node, p));
+    };
+
+    if (port >= 0 && port < kNumPorts) {
+        add_port(port);
+    } else {
+        for (int p = 0; p < kNumPorts; ++p)
+            add_port(p);
+    }
+    return ids;
+}
+
+std::uint64_t
+Network::purgePackets(const std::unordered_set<PacketId> &suspects)
+{
+    if (suspects.empty())
+        return 0;
+    std::uint64_t removed = 0;
+    const int nodes = config_.numNodes();
+    const int lp = portIndex(Port::Local);
+
+    // Router buffers and pipeline state; freed buffer slots hand their
+    // credits back to whoever sits upstream of the port.
+    for (NodeId n = 0; n < nodes; ++n) {
+        Router &r = routers_[static_cast<std::size_t>(n)];
+        removed += r.purgePackets(
+            suspects, [&](int p, unsigned v, unsigned count) {
+                if (p == lp) {
+                    nis_[static_cast<std::size_t>(n)].restoreCredits(
+                        v, count);
+                } else {
+                    const NodeId m = config_.neighborOf(n, p);
+                    if (m != kInvalidNode) {
+                        routers_[static_cast<std::size_t>(m)]
+                            .addOutputCredits(oppositePort(p), v, count);
+                    }
+                }
+            });
+    }
+
+    // In-flight link flits. Iterating every (node, input port) link
+    // plus each node's ejection link touches every link exactly once;
+    // the sender whose flit vanishes gets its credit back.
+    auto purge_stage = [&](bool &valid, Flit &flit, const auto &restore) {
+        if (valid && suspects.count(flit.packet) != 0) {
+            restore(flit);
+            valid = false;
+            ++removed;
+        }
+    };
+    for (NodeId n = 0; n < nodes; ++n) {
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int li = inLinkIndex(n, p);
+            if (li < 0)
+                continue;
+            Link &link = links_[static_cast<std::size_t>(li)];
+            auto restore = [&](const Flit &flit) {
+                if (p == lp) {
+                    nis_[static_cast<std::size_t>(n)].restoreCredits(
+                        flit.vc, 1);
+                } else {
+                    const NodeId m = config_.neighborOf(n, p);
+                    if (m != kInvalidNode) {
+                        routers_[static_cast<std::size_t>(m)]
+                            .addOutputCredits(oppositePort(p), flit.vc,
+                                              1);
+                    }
+                }
+            };
+            purge_stage(link.sendValid, link.sendFlit, restore);
+            purge_stage(link.recvValid, link.recvFlit, restore);
+        }
+        const int lo = outLinkIndex(n, lp);
+        if (lo >= 0) {
+            Link &link = links_[static_cast<std::size_t>(lo)];
+            auto restore = [&](const Flit &flit) {
+                routers_[static_cast<std::size_t>(n)].addOutputCredits(
+                    lp, flit.vc, 1);
+            };
+            purge_stage(link.sendValid, link.sendFlit, restore);
+            purge_stage(link.recvValid, link.recvFlit, restore);
+        }
+    }
+
+    // Source/destination NI state (aborted streams, staged ejections).
+    for (NetworkInterface &ni : nis_)
+        ni.purgePackets(suspects);
+
+    // Purging changes quiescence both ways; recertify everything.
+    recomputeLiveness();
+    return removed;
+}
+
 NetworkStats
 Network::stats() const
 {

@@ -16,8 +16,10 @@
 #ifndef NOCALERT_NOC_NETWORK_HPP
 #define NOCALERT_NOC_NETWORK_HPP
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "noc/config.hpp"
@@ -188,6 +190,46 @@ class Network
      */
     std::vector<std::uint64_t>
     countInFlightFlitsPerDst(bool include_queued = true) const;
+
+    // ------------------------------------------------------------------
+    // Recovery actions (quarantine and purge). These are maintenance
+    // operations driven by the recovery orchestrator at end-of-cycle,
+    // not architectural behaviour of the modelled hardware.
+    // ------------------------------------------------------------------
+
+    /**
+     * Quarantine both directions of the physical channel(s) at
+     * (@p node, @p port) in the routing algorithm's quarantine set:
+     * the port itself plus the neighbor's opposite port. A negative
+     * @p port quarantines all four mesh ports of the node (whole
+     * router implicated). The Local port is never quarantined — there
+     * is no detour around a node's own NI. Only quarantine-aware
+     * routing (RoutingAlgo::QAdaptive) changes behaviour. Quarantine
+     * lives in the routing instance, so a Network copy starts clean.
+     * Returns the number of (node, port) pairs newly quarantined.
+     */
+    std::size_t quarantinePort(NodeId node, int port);
+
+    /**
+     * Packets implicated by a fault at (@p node, @p port): packets
+     * holding the port's input VCs or buffered in them, packets
+     * holding the port's output VCs, and flits in flight on the links
+     * incident to the port. A negative @p port implicates the whole
+     * router. Corrupted (garbage) packet ids are included on purpose:
+     * purging them removes the corrupt flits themselves.
+     */
+    std::unordered_set<PacketId> implicatedPackets(NodeId node,
+                                                   int port) const;
+
+    /**
+     * Network-wide purge of every flit belonging to the @p suspects
+     * packets — router buffers, pipeline state, link stages, and NI
+     * streams — repairing credits along the way. Sources re-queue
+     * aborted streams when retransmission is enabled. Returns the
+     * number of flits removed.
+     */
+    std::uint64_t
+    purgePackets(const std::unordered_set<PacketId> &suspects);
 
     /** Aggregate statistics collected so far. */
     NetworkStats stats() const;

@@ -213,6 +213,99 @@ Router::applyCreditIncrements(
 }
 
 void
+Router::addOutputCredits(int port, unsigned vc, unsigned count)
+{
+    if (port < 0 || port >= kNumPorts || vc >= params_.numVcs)
+        return;
+    const auto depth = static_cast<std::uint8_t>(params_.bufferDepth);
+    OutVcState &ov = outVcs_[vcIndex(port, vc)];
+    for (unsigned i = 0; i < count && ov.credits < depth; ++i)
+        ++ov.credits;
+}
+
+std::uint64_t
+Router::purgePackets(
+    const std::unordered_set<PacketId> &suspects,
+    const std::function<void(int port, unsigned vc, unsigned removed)>
+        &removed_upstream)
+{
+    const unsigned num_vcs = params_.numVcs;
+    const auto depth = static_cast<std::uint8_t>(params_.bufferDepth);
+    std::uint64_t removed_total = 0;
+
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (unsigned v = 0; v < num_vcs; ++v) {
+            VcFifo &fifo = fifos_[vcIndex(p, v)];
+            VcRecord &rec = records_[vcIndex(p, v)];
+
+            unsigned removed = 0;
+            for (PacketId id : suspects)
+                removed += fifo.removePacket(id);
+            if (removed > 0) {
+                removed_total += removed;
+                if (removed_upstream)
+                    removed_upstream(p, v, removed);
+            }
+
+            if (rec.state == VcState::Idle ||
+                suspects.count(rec.packet) == 0) {
+                continue;
+            }
+
+            // A pending crossbar read for this VC holds credits its
+            // SA2 grant reserved; hand them back and cancel the read.
+            XbarSchedule &entry = sched_[p];
+            if (entry.valid && entry.vc % num_vcs == v) {
+                for (int o = 0; o < kNumPorts; ++o) {
+                    if (!getBit(entry.rowMask, o))
+                        continue;
+                    if (entry.outVcWire < num_vcs) {
+                        OutVcState &ov =
+                            outVcs_[vcIndex(o, entry.outVcWire)];
+                        if (ov.credits < depth)
+                            ++ov.credits;
+                    }
+                }
+                entry = XbarSchedule{};
+            }
+
+            // Release the output VC the purged packet was granted.
+            if (rec.state == VcState::Active && rec.outPort >= 0 &&
+                rec.outPort < kNumPorts && rec.outVc >= 0 &&
+                rec.outVc < static_cast<int>(num_vcs)) {
+                OutVcState &ov = outVcs_[vcIndex(
+                    rec.outPort, static_cast<unsigned>(rec.outVc))];
+                if (!ov.free && ov.ownerPort == p &&
+                    ov.ownerVc == static_cast<int>(v)) {
+                    ov.free = true;
+                    ov.ownerPort = -1;
+                    ov.ownerVc = -1;
+                }
+            }
+
+            if (fifo.empty()) {
+                rec.reset();
+            } else {
+                // Survivors of a (non-atomic) mixed buffer: restart
+                // the VC state machine on the new head packet.
+                const Flit &head = fifo.peek(0);
+                rec.reset();
+                rec.state = VcState::RouteWait;
+                rec.msgClass = head.msgClass;
+                rec.packet = head.packet;
+                rec.flitsArrived = fifo.size();
+                rec.expectedLength =
+                    head.msgClass < params_.classes.size()
+                        ? params_.classLength(head.msgClass) : 0;
+                rec.lastWrittenType = fifo.peek(fifo.size() - 1).type;
+                rec.tailArrived = isTail(rec.lastWrittenType);
+            }
+        }
+    }
+    return removed_total;
+}
+
+void
 Router::doSwitchTraversal(const Context & /*ctx*/, LinkIo & /*io*/)
 {
     const unsigned num_vcs = params_.numVcs;
@@ -269,6 +362,7 @@ Router::doSwitchTraversal(const Context & /*ctx*/, LinkIo & /*io*/)
                 rec.state = VcState::RouteWait;
                 rec.outPort = kInvalidPort;
                 rec.outVc = -1;
+                rec.packet = fifo.peek(0).packet;
             }
         }
 
@@ -550,6 +644,7 @@ Router::doBufferWriteAndRc(const Context &ctx, const TapHook *hook)
                     rec.outPort = kInvalidPort;
                     rec.outVc = -1;
                     rec.msgClass = flit.msgClass;
+                    rec.packet = flit.packet;
                 }
                 // A header landing in a non-idle VC is an atomicity /
                 // mixing anomaly: the flits pile into the buffer and

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "noc/arbiter.hpp"
@@ -182,6 +183,26 @@ class Router
 
     /** SA->ST schedule register of input port @p port. */
     XbarSchedule &schedule(int port) { return sched_[port]; }
+
+    /**
+     * Recovery purge: remove every buffered flit belonging to a packet
+     * in @p suspects and release the pipeline state those packets hold
+     * — input VC records, the SA->ST schedule entry (restoring the
+     * credits its SA2 grant reserved), and output VC allocations.
+     * @p removed_upstream is invoked once per (input port, vc) with
+     * the number of flits removed so the caller can return the freed
+     * buffer slots' credits to whoever is upstream of that port.
+     * Returns the total number of flits removed. Best-effort by
+     * design: under fault-corrupted state some references may dangle,
+     * in which case they are skipped rather than repaired.
+     */
+    std::uint64_t purgePackets(
+        const std::unordered_set<PacketId> &suspects,
+        const std::function<void(int port, unsigned vc, unsigned removed)>
+            &removed_upstream);
+
+    /** Grant @p count credits to output VC (@p port, @p vc), capped. */
+    void addOutputCredits(int port, unsigned vc, unsigned count);
 
   private:
     /** Flattened [port][vc] index (hot path: no bounds checks). */

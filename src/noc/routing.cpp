@@ -95,6 +95,23 @@ RoutingAlgorithm::minimalStep(const NetworkConfig &config, NodeId here,
            config.hopDistance(here, flit.dst);
 }
 
+void
+RoutingAlgorithm::quarantine(NodeId node, int port)
+{
+    if (node < 0 || port < 0 || port >= kNumPorts)
+        return;
+    quarantined_.insert(static_cast<long long>(node) * kNumPorts + port);
+}
+
+bool
+RoutingAlgorithm::isQuarantined(NodeId node, int port) const
+{
+    if (quarantined_.empty() || node < 0 || port < 0 || port >= kNumPorts)
+        return false;
+    return quarantined_.count(static_cast<long long>(node) * kNumPorts +
+                              port) != 0;
+}
+
 std::unique_ptr<RoutingAlgorithm>
 makeRouting(RoutingAlgo algo)
 {
@@ -107,6 +124,8 @@ makeRouting(RoutingAlgo algo)
         return std::make_unique<WestFirstRouting>();
       case RoutingAlgo::O1Turn:
         return std::make_unique<O1TurnRouting>();
+      case RoutingAlgo::QAdaptive:
+        return std::make_unique<QAdaptiveRouting>();
     }
     NOCALERT_PANIC("unknown routing algorithm");
 }
@@ -196,6 +215,74 @@ bool
 O1TurnRouting::legalTurn(const Flit &flit, int in_port, int out_port) const
 {
     return dorLegalTurn(xFirst(flit), in_port, out_port);
+}
+
+int
+QAdaptiveRouting::route(const NetworkConfig &config, NodeId here,
+                        const Flit &flit, int in_port) const
+{
+    if (!validNode(config, flit.dst))
+        return kInvalidPort;
+    if (flit.dst == here)
+        return portIndex(Port::Local);
+
+    Coord hc = config.coordOf(here);
+    Coord dc = config.coordOf(flit.dst);
+    int dx = dc.x - hc.x;
+    int dy = dc.y - hc.y;
+
+    // Westward hops come first and are mandatory under the west-first
+    // turn model: a detour would need a later turn into West, the one
+    // forbidden turn. A quarantined West port is used anyway (the
+    // purge already cleaned it; best-effort degraded service).
+    if (dx < 0)
+        return portIndex(Port::West);
+
+    const int north = portIndex(Port::North);
+    const int south = portIndex(Port::South);
+
+    // Once dx == 0, only the productive Y direction can ever reach the
+    // destination without a forbidden west hop, so there is no escape.
+    if (dx == 0)
+        return dy > 0 ? north : south;
+
+    // dx > 0: prefer exactly XY's choice (East), then the productive
+    // perpendicular direction, then a non-minimal perpendicular escape.
+    const int candidates[3] = {
+        portIndex(Port::East),
+        dy >= 0 ? north : south,
+        dy >= 0 ? south : north,
+    };
+    for (int c : candidates) {
+        if (c == in_port || !config.portConnected(here, c))
+            continue;
+        if (isQuarantined(here, c))
+            continue;
+        return c;
+    }
+    // Everything usable is quarantined: take the first structurally
+    // possible candidate anyway rather than emit an invalid route.
+    for (int c : candidates) {
+        if (c == in_port || !config.portConnected(here, c))
+            continue;
+        return c;
+    }
+    return candidates[0];
+}
+
+bool
+QAdaptiveRouting::legalTurn(const Flit & /*flit*/, int in_port,
+                            int out_port) const
+{
+    if (!structurallyLegal(in_port, out_port))
+        return false;
+    // West-first rule, as in WestFirstRouting: turning into West is
+    // only legal for packets already travelling west or injecting.
+    if (out_port == portIndex(Port::West)) {
+        return in_port == portIndex(Port::East) ||
+               in_port == portIndex(Port::Local);
+    }
+    return true;
 }
 
 } // namespace nocalert::noc

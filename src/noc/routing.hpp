@@ -13,7 +13,9 @@
 #ifndef NOCALERT_NOC_ROUTING_HPP
 #define NOCALERT_NOC_ROUTING_HPP
 
+#include <cstddef>
 #include <memory>
+#include <unordered_set>
 
 #include "noc/config.hpp"
 #include "noc/flit.hpp"
@@ -68,6 +70,27 @@ class RoutingAlgorithm
      */
     bool minimalStep(const NetworkConfig &config, NodeId here,
                      const Flit &flit, int out_port) const;
+
+    /**
+     * Mark output port @p port of router @p node quarantined. Only
+     * quarantine-aware algorithms (QAdaptive) consult the set; for the
+     * others this is inert bookkeeping. Quarantine is runtime state of
+     * the routing instance — a Network copy recreates its routing and
+     * therefore starts with an empty quarantine set.
+     */
+    void quarantine(NodeId node, int port);
+
+    /** True iff (node, port) has been quarantined. */
+    bool isQuarantined(NodeId node, int port) const;
+
+    /** Number of quarantined (node, port) pairs. */
+    std::size_t quarantinedCount() const { return quarantined_.size(); }
+
+    /** Lift every quarantine. */
+    void clearQuarantine() { quarantined_.clear(); }
+
+  private:
+    std::unordered_set<long long> quarantined_;
 };
 
 /** Instantiate a routing algorithm by id. */
@@ -127,6 +150,33 @@ class O1TurnRouting : public RoutingAlgorithm
 
     /** True iff @p flit routes X-first. */
     static bool xFirst(const Flit &flit);
+};
+
+/**
+ * Quarantine-aware adaptive routing for fault recovery.
+ *
+ * Built on the west-first turn model so it stays deadlock-free even
+ * when taking non-minimal detours: all westward hops are taken first
+ * (mandatory — turning into West is the forbidden turn, so no legal
+ * detour around a quarantined West port exists); once west progress is
+ * done the packet prefers the exact XY choice, falling through to the
+ * other productive direction and then to non-minimal North/South
+ * escape hops when the preferred ports are quarantined. East is never
+ * taken when dx == 0 (overshooting would require a forbidden west
+ * hop later). With an empty quarantine set the selected port is
+ * exactly XY's, so fault-free traffic is undisturbed. Because escapes
+ * are non-minimal, minimalRequired() is false and invariance 3 is
+ * disarmed for this algorithm.
+ */
+class QAdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    RoutingAlgo kind() const override { return RoutingAlgo::QAdaptive; }
+    int route(const NetworkConfig &config, NodeId here, const Flit &flit,
+              int in_port) const override;
+    bool legalTurn(const Flit &flit, int in_port,
+                   int out_port) const override;
+    bool minimalRequired() const override { return false; }
 };
 
 } // namespace nocalert::noc

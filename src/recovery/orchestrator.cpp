@@ -1,0 +1,56 @@
+#include "recovery/orchestrator.hpp"
+
+#include "util/log.hpp"
+
+namespace nocalert::recovery {
+
+RecoveryOrchestrator::RecoveryOrchestrator(noc::Network &network,
+                                           core::NoCAlertEngine &engine,
+                                           OrchestratorConfig config)
+    : network_(network), config_(config), controller_(config.policy)
+{
+    engine.onAlert([this](const core::Assertion &assertion) {
+        controller_.onAlert(assertion);
+    });
+}
+
+void
+RecoveryOrchestrator::onCycleEnd(noc::Cycle cycle)
+{
+    controller_.onCycle(cycle);
+    if (!controller_.triggered())
+        return;
+    const auto event = controller_.trigger();
+    if (event.has_value() && stats_.actions < config_.maxActions)
+        act(*event);
+    // Stand down either way: re-arming lets later, independent faults
+    // trigger again (a permanent fault simply re-triggers until the
+    // action cap is reached).
+    controller_.reset();
+}
+
+void
+RecoveryOrchestrator::act(const RecoveryEvent &event)
+{
+    ++stats_.actions;
+    if (stats_.actions == 1)
+        stats_.firstActionCycle = event.cycle;
+    actions_.push_back(event);
+
+    // A router that keeps triggering after its implicated port was
+    // quarantined hosts a fault the first action did not isolate;
+    // escalate to the whole router so traffic detours around it.
+    const unsigned triggers = ++router_triggers_[event.router];
+    const int port =
+        triggers >= config_.escalateThreshold ? -1 : event.port;
+
+    const auto suspects =
+        network_.implicatedPackets(event.router, port);
+    if (config_.quarantineEnabled) {
+        stats_.quarantinedPorts += static_cast<unsigned>(
+            network_.quarantinePort(event.router, port));
+    }
+    stats_.purgedFlits += network_.purgePackets(suspects);
+}
+
+} // namespace nocalert::recovery

@@ -83,8 +83,13 @@ void
 RecoveryController::onCycle(noc::Cycle cycle)
 {
     last_cycle_ = cycle;
+    // A cautious state armed at cycle C expires once cautiousTimeout
+    // cycles have fully elapsed, i.e. at C + cautiousTimeout — ">="
+    // rather than ">", so a state armed exactly cautiousTimeout cycles
+    // ago times out instead of lingering forever when no later
+    // onCycle() call happens to overshoot the boundary.
     if (level_ == ResponseLevel::Cautious &&
-        cycle - cautious_since_ > config_.cautiousTimeout) {
+        cycle - cautious_since_ >= config_.cautiousTimeout) {
         // The low-risk assertion was never corroborated: stand down
         // (the paper's benign RC-misdirection case).
         level_ = ResponseLevel::None;

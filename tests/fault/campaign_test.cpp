@@ -34,6 +34,14 @@ TEST(Outcomes, ClassificationMatrix)
     run.violated = true;
     EXPECT_EQ(run.outcome(), Outcome::FalseNegative);
     EXPECT_STREQ(outcomeName(Outcome::TruePositive), "true-positive");
+
+    // A recovered run outranks the detection matrix.
+    run.detected = true;
+    run.violated = false;
+    run.recovered = true;
+    EXPECT_EQ(run.outcome(), Outcome::DetectedRecovered);
+    EXPECT_STREQ(outcomeName(Outcome::DetectedRecovered),
+                 "detected-recovered");
 }
 
 TEST(Campaign, SmallCampaignEndToEnd)
@@ -163,6 +171,71 @@ TEST(Campaign, WireSitesOnlyExcludesRegisters)
     for (const FaultRunResult &run : result.runs)
         EXPECT_FALSE(isStateSignal(run.site.signal))
             << run.site.describe();
+}
+
+TEST(Campaign, RecoveryModeClassifiesRecoveredRuns)
+{
+    CampaignConfig config = smallCampaign();
+    config.kind = FaultKind::Permanent;
+    config.recovery = true;
+    config.drainLimit = 12000; // room for the full retry/backoff chain
+
+    FaultCampaign campaign(config);
+    const CampaignResult result = campaign.run();
+
+    // The recovery switch forces the full stack on: retransmission,
+    // quarantine-aware routing, and no ForEVeR epochs.
+    EXPECT_TRUE(result.config.network.retransmit.enabled);
+    EXPECT_EQ(result.config.network.routing, noc::RoutingAlgo::QAdaptive);
+    EXPECT_FALSE(result.config.runForever);
+
+    const CampaignSummary summary = result.summarize();
+    EXPECT_GE(summary.nocalert[static_cast<unsigned>(
+                  Outcome::DetectedRecovered)],
+              1u);
+
+    // The five outcomes still partition the runs.
+    std::uint64_t total = 0;
+    for (std::uint64_t c : summary.nocalert)
+        total += c;
+    EXPECT_EQ(total, summary.runs);
+
+    for (const FaultRunResult &run : result.runs) {
+        if (run.recovered) {
+            EXPECT_TRUE(run.detected);
+            EXPECT_FALSE(run.violated);
+            EXPECT_TRUE(run.drained);
+            EXPECT_TRUE(run.recoveryTriggered || run.retransmits > 0);
+        }
+        if (run.recoveryTriggered) {
+            EXPECT_NE(run.recoveryCycle, kNoDetection);
+            EXPECT_GE(run.recoveryCycle, run.injectCycle);
+            EXPECT_GE(run.recoveryActions, 1u);
+        } else {
+            EXPECT_EQ(run.recoveryCycle, kNoDetection);
+            EXPECT_EQ(run.recoveryActions, 0u);
+        }
+    }
+}
+
+TEST(Campaign, RecoveryDisabledKeepsSchemaV2Classification)
+{
+    CampaignConfig config = smallCampaign();
+    config.kind = FaultKind::Permanent;
+    const CampaignResult result = FaultCampaign(config).run();
+    for (const FaultRunResult &run : result.runs) {
+        EXPECT_FALSE(run.recovered);
+        EXPECT_FALSE(run.recoveryTriggered);
+        EXPECT_EQ(run.recoveryCycle, kNoDetection);
+        EXPECT_EQ(run.recoveryActions, 0u);
+        EXPECT_EQ(run.retransmits, 0u);
+        EXPECT_EQ(run.duplicatesSuppressed, 0u);
+        EXPECT_EQ(run.packetsAbandoned, 0u);
+        EXPECT_NE(run.outcome(), Outcome::DetectedRecovered);
+    }
+    EXPECT_EQ(result.summarize().nocalert[static_cast<unsigned>(
+                  Outcome::DetectedRecovered)],
+              0u);
 }
 
 TEST(Campaign, ForeverCanBeDisabled)

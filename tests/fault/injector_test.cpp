@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "core/nocalert.hpp"
+
 namespace nocalert::fault {
 namespace {
 
@@ -191,6 +196,74 @@ TEST(FaultInjector, PermanentKeepsApplying)
     EXPECT_EQ(injector.applications(), 15u);
     // Stuck-inverted: the bit toggles every cycle relative to the
     // healthy value; with nothing else writing it, it oscillates.
+}
+
+TEST(FaultKinds, EveryDurationModelFiresTheSameCheckersAtOnset)
+{
+    // The same site under transient, permanent, and intermittent
+    // duration models: up to the injection cycle the three runs are
+    // identical and the first flip is the same, so the very same
+    // checkers must assert with the same loci at the onset cycle —
+    // duration only changes what happens afterwards.
+    struct Observed
+    {
+        std::vector<core::Assertion> atOnset;
+        std::set<core::InvariantId> invariants;
+    };
+    constexpr noc::Cycle kOnset = 200;
+    auto observe = [&](FaultKind kind) {
+        noc::NetworkConfig cfg;
+        cfg.width = 4;
+        cfg.height = 4;
+        noc::TrafficSpec traffic;
+        traffic.injectionRate = 0.1;
+        traffic.seed = 7;
+        traffic.stopCycle = 300;
+        noc::Network net(cfg, traffic);
+        core::NoCAlertEngine engine(net);
+
+        FaultInjector injector;
+        FaultSpec spec;
+        spec.site = {5, SignalClass::Sa2Grant, 1, -1, 3};
+        spec.cycle = kOnset;
+        spec.kind = kind;
+        if (kind == FaultKind::Intermittent) {
+            spec.period = 16;
+            spec.duty = 4;
+        }
+        injector.arm(spec);
+        injector.attach(net);
+        net.run(300);
+        net.drain(2000);
+
+        Observed obs;
+        for (const core::Assertion &a : engine.log().alerts()) {
+            if (a.cycle == kOnset)
+                obs.atOnset.push_back(a);
+            obs.invariants.insert(a.id);
+        }
+        return obs;
+    };
+
+    const Observed transient = observe(FaultKind::Transient);
+    const Observed permanent = observe(FaultKind::Permanent);
+    const Observed intermittent = observe(FaultKind::Intermittent);
+
+    // The flip is detected instantly under every model.
+    ASSERT_FALSE(transient.atOnset.empty());
+
+    for (const Observed *other : {&permanent, &intermittent}) {
+        ASSERT_EQ(other->atOnset.size(), transient.atOnset.size());
+        for (std::size_t i = 0; i < transient.atOnset.size(); ++i) {
+            EXPECT_EQ(other->atOnset[i].id, transient.atOnset[i].id);
+            EXPECT_EQ(other->atOnset[i].router,
+                      transient.atOnset[i].router);
+            EXPECT_EQ(other->atOnset[i].port, transient.atOnset[i].port);
+            EXPECT_EQ(other->atOnset[i].vc, transient.atOnset[i].vc);
+        }
+        // Longer-lived faults keep asserting after the onset cycle.
+        EXPECT_FALSE(other->invariants.empty());
+    }
 }
 
 TEST(FaultInjector, MultipleFaultsCanBeArmed)

@@ -25,6 +25,10 @@ syntheticResult()
     config.network.router.flitWidthBits = 64;
     config.network.router.extendedChecks = true;
     config.network.router.classes = {{"req", 2}, {"resp", 7}};
+    config.network.retransmit.enabled = true;
+    config.network.retransmit.ackTimeout = 450;
+    config.network.retransmit.maxRetries = 5;
+    config.network.retransmit.backoffCap = 8;
     config.traffic.pattern = noc::TrafficPattern::Hotspot;
     config.traffic.injectionRate = 0.031;
     config.traffic.seed = 99;
@@ -40,6 +44,7 @@ syntheticResult()
     config.wireSitesOnly = true;
     config.sampleSeed = 31;
     config.runForever = false;
+    config.recovery = true;
     config.forever.epochLength = 640;
     config.forever.hopLatency = 2;
     config.forever.useAllocationComparator = false;
@@ -72,6 +77,15 @@ syntheticResult()
                            core::InvariantId::EjectionAtWrongDestination};
     detected.foreverDetected = true;
     detected.foreverLatency = 1400;
+    detected.recovered = true;
+    detected.recoveryTriggered = true;
+    detected.recoveryCycle = 801;
+    detected.recoveryActions = 2;
+    detected.quarantinedPorts = 3;
+    detected.purgedFlits = 17;
+    detected.retransmits = 4;
+    detected.duplicatesSuppressed = 1;
+    detected.packetsAbandoned = 1;
     result.runs.push_back(detected);
 
     FaultRunResult benign;
@@ -102,6 +116,15 @@ expectRunsEqual(const FaultRunResult &a, const FaultRunResult &b)
     EXPECT_EQ(a.invariants, b.invariants);
     EXPECT_EQ(a.foreverDetected, b.foreverDetected);
     EXPECT_EQ(a.foreverLatency, b.foreverLatency);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.recoveryTriggered, b.recoveryTriggered);
+    EXPECT_EQ(a.recoveryCycle, b.recoveryCycle);
+    EXPECT_EQ(a.recoveryActions, b.recoveryActions);
+    EXPECT_EQ(a.quarantinedPorts, b.quarantinedPorts);
+    EXPECT_EQ(a.purgedFlits, b.purgedFlits);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.duplicatesSuppressed, b.duplicatesSuppressed);
+    EXPECT_EQ(a.packetsAbandoned, b.packetsAbandoned);
 }
 
 TEST(Serialize, RoundTripPreservesEveryField)
@@ -135,6 +158,13 @@ TEST(Serialize, RoundTripPreservesEveryField)
         EXPECT_EQ(a.network.router.classes[i].packetLength,
                   b.network.router.classes[i].packetLength);
     }
+    EXPECT_EQ(a.network.retransmit.enabled, b.network.retransmit.enabled);
+    EXPECT_EQ(a.network.retransmit.ackTimeout,
+              b.network.retransmit.ackTimeout);
+    EXPECT_EQ(a.network.retransmit.maxRetries,
+              b.network.retransmit.maxRetries);
+    EXPECT_EQ(a.network.retransmit.backoffCap,
+              b.network.retransmit.backoffCap);
     EXPECT_EQ(a.traffic.pattern, b.traffic.pattern);
     EXPECT_EQ(a.traffic.injectionRate, b.traffic.injectionRate);
     EXPECT_EQ(a.traffic.seed, b.traffic.seed);
@@ -150,6 +180,7 @@ TEST(Serialize, RoundTripPreservesEveryField)
     EXPECT_EQ(a.wireSitesOnly, b.wireSitesOnly);
     EXPECT_EQ(a.sampleSeed, b.sampleSeed);
     EXPECT_EQ(a.runForever, b.runForever);
+    EXPECT_EQ(a.recovery, b.recovery);
     EXPECT_EQ(a.forever.epochLength, b.forever.epochLength);
     EXPECT_EQ(a.forever.hopLatency, b.forever.hopLatency);
     EXPECT_EQ(a.forever.useAllocationComparator,
@@ -218,6 +249,24 @@ TEST(Serialize, RejectsMalformedDocuments)
         campaignResultFromJson(toJson(bad_latency), &error).has_value());
 }
 
+TEST(Serialize, RecoveryFieldsAreValidated)
+{
+    // recovered on an undetected run is impossible by construction.
+    CampaignResult bad = syntheticResult();
+    bad.runs[1].recovered = true; // detected == false
+    std::string error;
+    EXPECT_FALSE(campaignResultFromJson(toJson(bad), &error).has_value());
+    EXPECT_NE(error.find("recovered"), std::string::npos);
+
+    // A recovery cycle without a trigger is inconsistent.
+    CampaignResult bad_cycle = syntheticResult();
+    bad_cycle.runs[1].recoveryCycle = 5; // recoveryTriggered == false
+    error.clear();
+    EXPECT_FALSE(
+        campaignResultFromJson(toJson(bad_cycle), &error).has_value());
+    EXPECT_NE(error.find("recoveryCycle"), std::string::npos);
+}
+
 TEST(Serialize, IdentityExcludesExecutionKnobs)
 {
     CampaignConfig a;
@@ -231,6 +280,14 @@ TEST(Serialize, IdentityExcludesExecutionKnobs)
 
     b.sampleSeed += 1;
     EXPECT_NE(campaignIdentityJson(a), campaignIdentityJson(b));
+
+    // The recovery switch changes what a run measures, so it is part
+    // of the campaign identity (a checkpoint written with recovery off
+    // must not resume a --recovery shard).
+    CampaignConfig c;
+    CampaignConfig d;
+    d.recovery = true;
+    EXPECT_NE(campaignIdentityJson(c), campaignIdentityJson(d));
 }
 
 // ---- End-to-end sharding, checkpointing, and merge ----
@@ -368,6 +425,31 @@ TEST(Sharding, InterruptedShardResumesFromCheckpoint)
     const auto from_disk = loadCampaignResult(checkpoint, &error);
     ASSERT_TRUE(from_disk.has_value()) << error;
     EXPECT_TRUE(from_disk->complete());
+    std::remove(checkpoint.c_str());
+}
+
+TEST(Sharding, CorruptCheckpointReportsPathAndOffset)
+{
+    const std::string checkpoint =
+        testing::TempDir() + "nocalert_corrupt_checkpoint.json";
+    // A prefix of a real document: what a crash or a full disk leaves
+    // behind mid-write.
+    const std::string full = writeCampaignJson(syntheticResult());
+    {
+        std::FILE *f = std::fopen(checkpoint.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(full.data(), 1, full.size() / 2, f),
+                  full.size() / 2);
+        std::fclose(f);
+    }
+
+    std::string error;
+    EXPECT_FALSE(loadCampaignResult(checkpoint, &error).has_value());
+    // The error names the offending file and the byte offset of the
+    // parse failure, so a truncated checkpoint is diagnosable instead
+    // of a crash or a silent restart.
+    EXPECT_NE(error.find(checkpoint), std::string::npos) << error;
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
     std::remove(checkpoint.c_str());
 }
 

@@ -146,6 +146,120 @@ TEST(O1Turn, PacketParityPicksOrder)
     EXPECT_FALSE(algo->legalTurn(odd, kE, kN));
 }
 
+TEST(QAdaptive, MatchesXyWithEmptyQuarantine)
+{
+    const auto cfg = mesh(5, 4);
+    const auto xy = makeRouting(RoutingAlgo::XY);
+    const auto qa = makeRouting(RoutingAlgo::QAdaptive);
+    for (NodeId src = 0; src < cfg.numNodes(); ++src) {
+        for (NodeId dst = 0; dst < cfg.numNodes(); ++dst) {
+            const Flit f = headerTo(dst);
+            EXPECT_EQ(qa->route(cfg, src, f, kL),
+                      xy->route(cfg, src, f, kL))
+                << src << "->" << dst;
+        }
+    }
+}
+
+TEST(QAdaptive, DetoursAroundQuarantinedPort)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    const NodeId here = cfg.nodeAt({1, 1});
+    const Flit f = headerTo(cfg.nodeAt({3, 1}));
+    ASSERT_EQ(algo->route(cfg, here, f, kL), kE);
+    algo->quarantine(here, kE);
+    // Eastward progress blocked: take the perpendicular escape (a
+    // non-minimal but legal west-first move).
+    const int out = algo->route(cfg, here, f, kL);
+    EXPECT_EQ(out, kN);
+    EXPECT_TRUE(algo->legalTurn(f, kL, out));
+    // The second escape kicks in when the first is quarantined too.
+    algo->quarantine(here, kN);
+    EXPECT_EQ(algo->route(cfg, here, f, kL), kS);
+}
+
+TEST(QAdaptive, WestHopsAreMandatory)
+{
+    // Turning into West is the forbidden turn, so no legal detour
+    // around a quarantined West port exists; it is used regardless.
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    const NodeId here = cfg.nodeAt({2, 1});
+    const Flit f = headerTo(cfg.nodeAt({0, 1}));
+    algo->quarantine(here, kW);
+    EXPECT_EQ(algo->route(cfg, here, f, kL), kW);
+}
+
+TEST(QAdaptive, AlignedColumnHasNoEscape)
+{
+    // dx == 0: overshooting east would need a forbidden west hop
+    // later, so the productive Y port is taken even when quarantined.
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    const NodeId here = cfg.nodeAt({1, 1});
+    const Flit f = headerTo(cfg.nodeAt({1, 3}));
+    algo->quarantine(here, kN);
+    EXPECT_EQ(algo->route(cfg, here, f, kL), kN);
+}
+
+TEST(QAdaptive, FallsBackThroughFullQuarantine)
+{
+    // Every usable candidate quarantined: emit the preferred (XY)
+    // port rather than an invalid route — degraded, never wedged.
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    const NodeId here = cfg.nodeAt({1, 1});
+    const Flit f = headerTo(cfg.nodeAt({2, 1}));
+    algo->quarantine(here, kE);
+    algo->quarantine(here, kN);
+    algo->quarantine(here, kS);
+    EXPECT_EQ(algo->route(cfg, here, f, kL), kE);
+}
+
+TEST(QAdaptive, NeverUturnsIntoItsInputPort)
+{
+    const auto cfg = mesh();
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    // Entered through East while East is also the productive port
+    // (can happen after a detour): pick the perpendicular instead.
+    const NodeId here = cfg.nodeAt({1, 1});
+    const Flit f = headerTo(cfg.nodeAt({3, 1}));
+    EXPECT_EQ(algo->route(cfg, here, f, kE), kN);
+}
+
+TEST(QAdaptive, WestFirstTurnRulesAndNoMinimality)
+{
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    const Flit f = headerTo(0);
+    EXPECT_TRUE(algo->legalTurn(f, kE, kW));
+    EXPECT_TRUE(algo->legalTurn(f, kL, kW));
+    EXPECT_FALSE(algo->legalTurn(f, kN, kW));
+    EXPECT_FALSE(algo->legalTurn(f, kS, kW));
+    EXPECT_TRUE(algo->legalTurn(f, kN, kE));
+    EXPECT_FALSE(algo->legalTurn(f, kE, kE));
+    // Escape hops are non-minimal: invariance 3 must be disarmed.
+    EXPECT_FALSE(algo->minimalRequired());
+}
+
+TEST(QAdaptive, QuarantineSetBookkeeping)
+{
+    const auto algo = makeRouting(RoutingAlgo::QAdaptive);
+    EXPECT_EQ(algo->quarantinedCount(), 0u);
+    EXPECT_FALSE(algo->isQuarantined(5, kE));
+    algo->quarantine(5, kE);
+    EXPECT_TRUE(algo->isQuarantined(5, kE));
+    EXPECT_FALSE(algo->isQuarantined(5, kW));
+    EXPECT_FALSE(algo->isQuarantined(6, kE));
+    algo->quarantine(5, kE); // idempotent
+    EXPECT_EQ(algo->quarantinedCount(), 1u);
+    algo->quarantine(6, kW);
+    EXPECT_EQ(algo->quarantinedCount(), 2u);
+    algo->clearQuarantine();
+    EXPECT_EQ(algo->quarantinedCount(), 0u);
+    EXPECT_FALSE(algo->isQuarantined(5, kE));
+}
+
 TEST(MinimalStep, DetectsProgress)
 {
     const auto cfg = mesh();
@@ -172,8 +286,9 @@ TEST(MinimalStep, OffMeshIsNotMinimal)
 TEST(AllAlgorithms, RouteIsAlwaysLegalAndMinimal)
 {
     const auto cfg = mesh(5, 3);
-    for (RoutingAlgo kind : {RoutingAlgo::XY, RoutingAlgo::YX,
-                             RoutingAlgo::WestFirst, RoutingAlgo::O1Turn}) {
+    for (RoutingAlgo kind :
+         {RoutingAlgo::XY, RoutingAlgo::YX, RoutingAlgo::WestFirst,
+          RoutingAlgo::O1Turn, RoutingAlgo::QAdaptive}) {
         const auto algo = makeRouting(kind);
         for (NodeId src = 0; src < cfg.numNodes(); ++src) {
             for (NodeId dst = 0; dst < cfg.numNodes(); ++dst) {
@@ -200,6 +315,21 @@ TEST(Factory, KindsRoundTrip)
               RoutingAlgo::WestFirst);
     EXPECT_EQ(makeRouting(RoutingAlgo::O1Turn)->kind(),
               RoutingAlgo::O1Turn);
+    EXPECT_EQ(makeRouting(RoutingAlgo::QAdaptive)->kind(),
+              RoutingAlgo::QAdaptive);
+}
+
+TEST(Factory, NamesRoundTrip)
+{
+    for (RoutingAlgo kind :
+         {RoutingAlgo::XY, RoutingAlgo::YX, RoutingAlgo::WestFirst,
+          RoutingAlgo::O1Turn, RoutingAlgo::QAdaptive}) {
+        const auto back = routingAlgoFromName(routingAlgoName(kind));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_STREQ(routingAlgoName(RoutingAlgo::QAdaptive), "QAdaptive");
+    EXPECT_FALSE(routingAlgoFromName("NotARouting").has_value());
 }
 
 } // namespace

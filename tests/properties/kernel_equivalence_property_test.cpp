@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "fault/injector.hpp"
 #include "fault/site.hpp"
 #include "noc/network.hpp"
+#include "recovery/orchestrator.hpp"
 
 namespace nocalert::noc {
 namespace {
@@ -29,9 +31,13 @@ struct KernelCase
     unsigned vcs;
     double rate;
     std::uint64_t seed;
-    bool inject;          ///< Arm a transient fault.
+    bool inject;          ///< Arm a fault.
     Cycle onset;          ///< Fault onset cycle (0 = cycle-0 fault).
     std::uint64_t siteSeed;
+    /** Full recovery stack: end-to-end retransmission, QAdaptive
+     *  routing, and the quarantine-and-purge orchestrator. */
+    bool recovery = false;
+    fault::FaultKind kind = fault::FaultKind::Transient;
 };
 
 std::string
@@ -45,6 +51,10 @@ caseName(const testing::TestParamInfo<KernelCase> &info)
     if (c.inject)
         name += "_f" + std::to_string(c.onset) + "_ss" +
                 std::to_string(c.siteSeed);
+    if (c.kind == fault::FaultKind::Permanent)
+        name += "_perm";
+    if (c.recovery)
+        name += "_rec";
     return name;
 }
 
@@ -55,6 +65,13 @@ struct RunObservables
     NetworkStats stats;
     std::vector<core::Assertion> alerts;
     std::uint64_t routerEvals = 0;
+
+    // Recovery-stack observables (zero without recovery).
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t abandoned = 0;
+    unsigned recoveryActions = 0;
+    std::uint64_t purgedFlits = 0;
 };
 
 RunObservables
@@ -64,6 +81,10 @@ simulate(const KernelCase &c, KernelMode mode)
     config.width = c.mesh;
     config.height = c.mesh;
     config.router.numVcs = c.vcs;
+    if (c.recovery) {
+        config.retransmit.enabled = true;
+        config.routing = RoutingAlgo::QAdaptive;
+    }
 
     TrafficSpec traffic;
     traffic.injectionRate = c.rate;
@@ -74,6 +95,14 @@ simulate(const KernelCase &c, KernelMode mode)
     net.setKernelMode(mode);
     core::NoCAlertEngine engine(net);
 
+    std::optional<recovery::RecoveryOrchestrator> orch;
+    if (c.recovery) {
+        orch.emplace(net, engine);
+        net.setCycleObserver([&](const Network &n) {
+            orch->onCycleEnd(n.cycle());
+        });
+    }
+
     fault::FaultInjector injector;
     if (c.inject) {
         const auto sites = fault::FaultSiteCatalog::sampleNetwork(
@@ -81,18 +110,28 @@ simulate(const KernelCase &c, KernelMode mode)
         fault::FaultSpec spec;
         spec.site = sites.at(0);
         spec.cycle = c.onset;
+        spec.kind = c.kind;
         injector.arm(spec);
         injector.attach(net);
     }
 
     net.run(600);
-    net.drain(6000);
+    net.drain(c.recovery ? 8000 : 6000);
 
     RunObservables obs;
     obs.ejections = net.collectEjections();
     obs.stats = net.stats();
     obs.alerts = engine.log().alerts();
     obs.routerEvals = net.routerEvaluations();
+    for (NodeId node = 0; node < config.numNodes(); ++node) {
+        obs.retransmits += net.ni(node).retransmits();
+        obs.duplicates += net.ni(node).duplicatesSuppressed();
+        obs.abandoned += net.ni(node).packetsAbandoned();
+    }
+    if (orch) {
+        obs.recoveryActions = orch->stats().actions;
+        obs.purgedFlits = orch->stats().purgedFlits;
+    }
     return obs;
 }
 
@@ -133,6 +172,14 @@ TEST_P(KernelEquivalence, ActiveKernelBitIdenticalToDense)
         EXPECT_EQ(dense.alerts[i].vc, active.alerts[i].vc);
     }
 
+    // The recovery stack's own observables: retransmission counters
+    // and quarantine-and-purge actions must agree exactly too.
+    EXPECT_EQ(dense.retransmits, active.retransmits);
+    EXPECT_EQ(dense.duplicates, active.duplicates);
+    EXPECT_EQ(dense.abandoned, active.abandoned);
+    EXPECT_EQ(dense.recoveryActions, active.recoveryActions);
+    EXPECT_EQ(dense.purgedFlits, active.purgedFlits);
+
     // And the active kernel must actually have skipped work (at these
     // loads a dense run evaluates strictly more routers), except when
     // a raw tap pin forces density.
@@ -158,7 +205,18 @@ INSTANTIATE_TEST_SUITE_P(
         KernelCase{4, 4, 0.08, 12, true, 300, 23},
         KernelCase{4, 4, 0.05, 13, true, 300, 24},
         KernelCase{4, 2, 0.08, 14, true, 150, 25},
-        KernelCase{5, 4, 0.05, 15, true, 450, 26}),
+        KernelCase{5, 4, 0.05, 15, true, 450, 26},
+        // Recovery stack: clean (protocol overhead only), transient
+        // faults, and permanent faults that exercise quarantine,
+        // purge, retransmission, and the retry-pending active set.
+        KernelCase{4, 4, 0.05, 30, false, 0, 0, true},
+        KernelCase{4, 4, 0.08, 31, true, 300, 41, true},
+        KernelCase{4, 4, 0.05, 32, true, 150, 42, true,
+                   fault::FaultKind::Permanent},
+        KernelCase{5, 4, 0.05, 33, true, 300, 43, true,
+                   fault::FaultKind::Permanent},
+        KernelCase{4, 2, 0.08, 34, true, 0, 44, true,
+                   fault::FaultKind::Intermittent}),
     caseName);
 
 TEST(KernelEquivalence, CheckerShortcutMatchesUngatedBank)

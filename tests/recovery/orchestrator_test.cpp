@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Recovery orchestrator: a policy trigger must turn into in-network
+ * quarantine and purge actions, repeated triggers at one router must
+ * escalate to whole-router quarantine, and the action cap and the
+ * quarantine switch must be honored.
+ */
+
+#include "recovery/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/nocalert.hpp"
+#include "fault/injector.hpp"
+#include "noc/network.hpp"
+
+namespace nocalert::recovery {
+namespace {
+
+noc::NetworkConfig
+meshConfig()
+{
+    noc::NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    config.routing = noc::RoutingAlgo::QAdaptive;
+    config.retransmit.enabled = true;
+    return config;
+}
+
+noc::TrafficSpec
+trafficSpec()
+{
+    noc::TrafficSpec traffic;
+    traffic.injectionRate = 0.1;
+    traffic.seed = 7;
+    traffic.stopCycle = 400;
+    return traffic;
+}
+
+/** Network + engine + orchestrator wired the way the campaign does. */
+struct Harness
+{
+    explicit Harness(OrchestratorConfig config = {})
+        : net(meshConfig(), trafficSpec()), engine(net),
+          orchestrator(net, engine, config)
+    {
+        net.setCycleObserver([this](const noc::Network &n) {
+            orchestrator.onCycleEnd(n.cycle());
+        });
+    }
+
+    void
+    injectAt(noc::Cycle cycle, fault::FaultKind kind)
+    {
+        injector.arm({{5, fault::SignalClass::Sa2Grant, 1, -1, 3},
+                      cycle,
+                      kind});
+        injector.attach(net);
+    }
+
+    noc::Network net;
+    core::NoCAlertEngine engine;
+    RecoveryOrchestrator orchestrator;
+    fault::FaultInjector injector;
+};
+
+TEST(Orchestrator, TriggerExecutesQuarantineAndPurge)
+{
+    Harness h;
+    h.net.run(200);
+    EXPECT_EQ(h.orchestrator.stats().actions, 0u);
+    EXPECT_EQ(h.net.routing().quarantinedCount(), 0u);
+
+    h.injectAt(h.net.cycle(), fault::FaultKind::Transient);
+    h.net.run(100);
+
+    const OrchestratorStats &stats = h.orchestrator.stats();
+    ASSERT_GE(stats.actions, 1u);
+    EXPECT_GE(stats.quarantinedPorts, 1u);
+    EXPECT_GE(stats.firstActionCycle, 200);
+    EXPECT_GT(h.net.routing().quarantinedCount(), 0u);
+
+    // The recorded action locus is the faulted router.
+    ASSERT_EQ(h.orchestrator.actions().size(), stats.actions);
+    EXPECT_EQ(h.orchestrator.actions().front().router, 5);
+    EXPECT_EQ(h.orchestrator.actions().front().level,
+              ResponseLevel::Triggered);
+}
+
+TEST(Orchestrator, RepeatedTriggersEscalateToWholeRouter)
+{
+    Harness h;
+    h.net.run(200);
+    h.injectAt(h.net.cycle(), fault::FaultKind::Permanent);
+    h.net.run(400);
+
+    // A permanent fault outlives the first single-port quarantine and
+    // keeps triggering; from the second trigger on the whole router is
+    // quarantined — all four mesh ports of router 5 (and the matching
+    // neighbor ports), never the Local port.
+    ASSERT_GE(h.orchestrator.stats().actions, 2u);
+    const noc::RoutingAlgorithm &routing = h.net.routing();
+    for (noc::Port port : {noc::Port::North, noc::Port::East,
+                           noc::Port::South, noc::Port::West})
+        EXPECT_TRUE(routing.isQuarantined(5, noc::portIndex(port)));
+    EXPECT_FALSE(routing.isQuarantined(5, noc::portIndex(noc::Port::Local)));
+}
+
+TEST(Orchestrator, ActionCapBoundsChurn)
+{
+    OrchestratorConfig config;
+    config.maxActions = 1;
+    Harness h(config);
+    h.net.run(200);
+    h.injectAt(h.net.cycle(), fault::FaultKind::Permanent);
+    h.net.run(400);
+    // The policy keeps triggering but only one action executes.
+    EXPECT_EQ(h.orchestrator.stats().actions, 1u);
+    EXPECT_EQ(h.orchestrator.actions().size(), 1u);
+}
+
+TEST(Orchestrator, QuarantineCanBeDisabled)
+{
+    OrchestratorConfig config;
+    config.quarantineEnabled = false;
+    Harness h(config);
+    h.net.run(200);
+    h.injectAt(h.net.cycle(), fault::FaultKind::Transient);
+    h.net.run(100);
+    // Purges still run, but the routing quarantine set stays empty.
+    ASSERT_GE(h.orchestrator.stats().actions, 1u);
+    EXPECT_EQ(h.orchestrator.stats().quarantinedPorts, 0u);
+    EXPECT_EQ(h.net.routing().quarantinedCount(), 0u);
+}
+
+} // namespace
+} // namespace nocalert::recovery

@@ -47,6 +47,21 @@ TEST(RecoveryPolicy, LoneLowRiskStaysCautiousThenDecays)
     EXPECT_FALSE(controller.triggered());
 }
 
+TEST(RecoveryPolicy, CautiousExpiresAtExactTimeoutBoundary)
+{
+    // Regression: "survives cautiousTimeout cycles" means the state is
+    // gone once exactly cautiousTimeout cycles elapsed, not one cycle
+    // later.
+    RecoveryController controller; // cautiousTimeout 64
+    controller.onAlert(assertion(core::InvariantId::IllegalTurn, 100));
+    ASSERT_EQ(controller.level(), ResponseLevel::Cautious);
+    controller.onCycle(163); // 63 elapsed: still within the window
+    EXPECT_EQ(controller.level(), ResponseLevel::Cautious);
+    controller.onCycle(164); // exactly 64 elapsed: expired
+    EXPECT_EQ(controller.level(), ResponseLevel::None);
+    EXPECT_FALSE(controller.triggered());
+}
+
 TEST(RecoveryPolicy, LowRiskCorroboratedTriggers)
 {
     RecoveryController controller;
