@@ -11,7 +11,7 @@ parseBenchOptions(int argc, const char *const *argv)
 {
     CommandLine cli(argc, argv,
                     {"sites", "rate", "seed", "warm", "observe",
-                     "drain", "full", "epoch", "wires"});
+                     "drain", "full", "epoch", "wires", "jobs"});
 
     BenchOptions options;
     options.full = cli.getBool("full", false);
@@ -28,6 +28,7 @@ parseBenchOptions(int argc, const char *const *argv)
         cli.getInt("sites", options.full ? 0 : 100));
     campaign.forever.epochLength = cli.getInt("epoch", 1500);
     campaign.wireSitesOnly = cli.getBool("wires", false);
+    campaign.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
 
     options.warmInstant = cli.getInt("warm", 2000);
     return options;

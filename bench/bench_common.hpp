@@ -29,7 +29,8 @@ struct BenchOptions
     noc::Cycle warmInstant = 2000;
 };
 
-/** Standard flag set: --sites --rate --seed --warm --observe --full. */
+/** Standard flag set: --sites --rate --seed --warm --observe --full
+ *  --jobs (0 = all hardware threads; results are --jobs-invariant). */
 BenchOptions parseBenchOptions(int argc, const char *const *argv);
 
 /** Run a campaign, printing progress dots to stderr. */

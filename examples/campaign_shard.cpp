@@ -6,28 +6,42 @@
  *
  *   campaign_shard run    --out s0.json [--shard 0/2] [--checkpoint c.json]
  *                         [--mesh N] [--sites N] [--rate R] [--seed S]
- *                         [--warmup N] [--threads N] [--limit N]
+ *                         [--warmup N] [--jobs N] [--limit N] [--progress]
  *                         [--checkpoint-every N] [--kind K] [--recovery]
- *   campaign_shard resume --checkpoint c.json [--out s0.json] [--threads N]
+ *   campaign_shard resume --checkpoint c.json [--out s0.json] [--jobs N]
+ *                         [--progress]
  *   campaign_shard merge  --out merged.json s0.json s1.json ...
  *   campaign_shard verify a.json b.json
+ *   campaign_shard help
  *
  * `run` executes one shard (default 0/1, i.e. the whole campaign) and
  * writes the result JSON; the checkpoint (default: the --out file)
  * makes a killed run resumable. `--limit N` stops after N new runs,
  * leaving a valid checkpoint — a deterministic stand-in for a kill.
+ * `--jobs N` runs N in-process workers (0 = all hardware threads);
+ * results are byte-identical for every value. A first Ctrl-C stops the
+ * campaign cooperatively and flushes a resumable checkpoint; a second
+ * kills the process. `--progress` renders a live status line (runs/s,
+ * ETA, outcome counters, worker utilization) on stderr.
  * `resume` re-reads a checkpoint's embedded config and finishes the
  * shard. `merge` recombines a full set of shard files into a document
  * bit-identical to an unsharded run. `verify` checks that two result
  * files describe the same campaign with identical runs and summaries
- * and that neither contains a NoCAlert false negative — exit status 1
- * on any mismatch.
+ * and that neither contains a NoCAlert false negative.
+ *
+ * Exit status: 0 success; 1 verify mismatch (or other fatal error);
+ * 2 usage error; 3 verify input file missing; 4 verify input file
+ * corrupt (unparseable or failing validation); 130 interrupted by
+ * SIGINT (checkpoint flushed, resumable).
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "exec/cancel.hpp"
+#include "exec/telemetry.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "fault/serialize.hpp"
@@ -38,13 +52,53 @@ using namespace nocalert;
 
 namespace {
 
+// Exit codes (documented in `campaign_shard help`).
+constexpr int kExitOk = 0;
+constexpr int kExitMismatch = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitMissingFile = 3;
+constexpr int kExitCorruptFile = 4;
+constexpr int kExitInterrupted = 130;
+
+void
+printHelp(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: campaign_shard <run|resume|merge|verify|help> [options]\n"
+        "\n"
+        "  run    --out FILE [--shard i/N] [--checkpoint FILE]\n"
+        "         [--mesh N] [--sites N] [--rate R] [--seed S]\n"
+        "         [--warmup N] [--jobs N] [--limit N] [--progress]\n"
+        "         [--checkpoint-every N] [--kind K] [--dense-kernel]\n"
+        "         [--recovery]\n"
+        "             execute one shard; --jobs 0 uses all hardware\n"
+        "             threads (results are byte-identical for every\n"
+        "             --jobs value); Ctrl-C flushes a resumable\n"
+        "             checkpoint\n"
+        "  resume --checkpoint FILE [--out FILE] [--jobs N] [--progress]\n"
+        "             finish a shard from its checkpoint\n"
+        "  merge  --out FILE s0.json s1.json ...\n"
+        "             recombine a complete set of shards\n"
+        "  verify a.json b.json\n"
+        "             compare two result files run-by-run\n"
+        "\n"
+        "exit status:\n"
+        "  0    success\n"
+        "  1    verify mismatch, or any other fatal error\n"
+        "  2    usage error\n"
+        "  3    verify: an input file does not exist\n"
+        "  4    verify: an input file is corrupt (unparseable JSON or\n"
+        "       failed schema/consistency validation)\n"
+        "  130  interrupted by SIGINT; the checkpoint was flushed and\n"
+        "       the shard is resumable\n");
+}
+
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: campaign_shard <run|resume|merge|verify> "
-                 "[options]\n");
-    return 2;
+    printHelp(stderr);
+    return kExitUsage;
 }
 
 void
@@ -84,27 +138,44 @@ loadResultOrDie(const std::string &path)
 
 int
 runShard(fault::FaultCampaign &campaign,
-         const fault::FaultCampaign::RunOptions &options,
-         const std::string &out)
+         fault::FaultCampaign::RunOptions options, const std::string &out,
+         bool show_progress)
 {
-    const fault::CampaignResult result = campaign.run(
-        [](std::size_t done, std::size_t total) {
+    // Route the first Ctrl-C into cooperative cancellation so the
+    // campaign flushes a valid checkpoint before returning.
+    exec::CancelToken cancel;
+    exec::SigintCancelScope sigint(cancel);
+    options.cancel = &cancel;
+
+    fault::FaultCampaign::Progress progress;
+    if (show_progress) {
+        options.telemetry = [](const exec::TelemetrySnapshot &snap) {
+            std::fprintf(stderr, "\r\033[K%s",
+                         exec::TelemetryHub::progressLine(snap).c_str());
+        };
+    } else {
+        progress = [](std::size_t done, std::size_t total) {
             if (done % 10 == 0 || done == total)
                 std::printf("  %zu/%zu runs\n", done, total);
-        },
-        options);
+        };
+    }
+
+    const fault::CampaignResult result = campaign.run(progress, options);
+    if (show_progress)
+        std::fprintf(stderr, "\n");
     writeResultOrDie(result, out);
 
     if (!result.complete()) {
-        std::printf("shard incomplete (%zu of %zu runs); resume with:\n"
+        std::printf("shard %s (%zu of %zu runs); resume with:\n"
                     "  campaign_shard resume --checkpoint %s\n",
+                    cancel.cancelled() ? "interrupted" : "incomplete",
                     result.runs.size(), result.shardRunsPlanned,
                     result.config.checkpointPath.c_str());
-        return 0;
+        return cancel.cancelled() ? kExitInterrupted : kExitOk;
     }
     std::printf("%s", fault::summaryText(result).c_str());
     std::printf("wrote %s\n", out.c_str());
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -112,8 +183,8 @@ cmdRun(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"out", "shard", "checkpoint", "checkpoint-every",
-                     "mesh", "sites", "rate", "seed", "warmup",
-                     "threads", "limit", "dense-kernel", "kind",
+                     "mesh", "sites", "rate", "seed", "warmup", "jobs",
+                     "limit", "progress", "dense-kernel", "kind",
                      "recovery"});
 
     fault::CampaignConfig config;
@@ -124,7 +195,7 @@ cmdRun(int argc, char **argv)
         static_cast<std::uint64_t>(cli.getInt("seed", 3));
     config.warmup = cli.getInt("warmup", 200);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
-    config.threads = static_cast<unsigned>(cli.getInt("threads", 2));
+    config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
     config.denseKernel = cli.getBool("dense-kernel", false);
     config.recovery = cli.getBool("recovery", false);
     const std::string kind = cli.getString("kind", "transient");
@@ -147,13 +218,14 @@ cmdRun(int argc, char **argv)
                 config.shardIndex, config.shardCount, config.maxSites,
                 config.network.width, config.network.height);
     fault::FaultCampaign campaign(config);
-    return runShard(campaign, options, out);
+    return runShard(campaign, options, out,
+                    cli.getBool("progress", false));
 }
 
 int
 cmdResume(int argc, char **argv)
 {
-    CommandLine cli(argc, argv, {"checkpoint", "out", "threads"});
+    CommandLine cli(argc, argv, {"checkpoint", "out", "jobs", "progress"});
     const std::string checkpoint = cli.getString("checkpoint", "");
     if (checkpoint.empty())
         NOCALERT_FATAL("resume requires --checkpoint FILE");
@@ -175,17 +247,18 @@ cmdResume(int argc, char **argv)
         return 1;
     }
 
+    // Execution knobs are not serialized (schema v4): the checkpoint
+    // carries campaign identity + shard selector, this invocation
+    // supplies its own jobs count and checkpoint path.
     fault::CampaignConfig config = loaded->config;
     config.checkpointPath = checkpoint;
-    if (cli.has("threads"))
-        config.threads =
-            static_cast<unsigned>(cli.getInt("threads", config.threads));
+    config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
 
     const std::string out = cli.getString("out", checkpoint);
     std::printf("resuming shard %u/%u from %s\n", config.shardIndex,
                 config.shardCount, checkpoint.c_str());
     fault::FaultCampaign campaign(config);
-    return runShard(campaign, {}, out);
+    return runShard(campaign, {}, out, cli.getBool("progress", false));
 }
 
 int
@@ -209,20 +282,46 @@ cmdMerge(int argc, char **argv)
     std::printf("%s", fault::summaryText(*merged).c_str());
     std::printf("merged %zu shards into %s\n", shards.size(),
                 out.c_str());
-    return 0;
+    return kExitOk;
+}
+
+/**
+ * Load a verify input, distinguishing "file does not exist" (exit 3)
+ * from "exists but is corrupt" (exit 4) — a missing shard and a
+ * damaged shard call for different operator responses.
+ */
+fault::CampaignResult
+loadVerifyInputOrExit(const std::string &path)
+{
+    if (!std::filesystem::exists(path)) {
+        std::fprintf(stderr, "error: '%s' does not exist\n",
+                     path.c_str());
+        std::exit(kExitMissingFile);
+    }
+    std::string error;
+    auto result = fault::loadCampaignResult(path, &error);
+    if (!result) {
+        std::fprintf(stderr, "error: corrupt result file: %s\n",
+                     error.c_str());
+        std::exit(kExitCorruptFile);
+    }
+    return std::move(*result);
 }
 
 int
 cmdVerify(int argc, char **argv)
 {
     CommandLine cli(argc, argv, {}, /*allow_positionals=*/true);
-    if (cli.positionals().size() != 2)
-        NOCALERT_FATAL("verify requires exactly two result files");
+    if (cli.positionals().size() != 2) {
+        std::fprintf(stderr,
+                     "usage: campaign_shard verify a.json b.json\n");
+        return kExitUsage;
+    }
 
     const fault::CampaignResult a =
-        loadResultOrDie(cli.positionals()[0]);
+        loadVerifyInputOrExit(cli.positionals()[0]);
     const fault::CampaignResult b =
-        loadResultOrDie(cli.positionals()[1]);
+        loadVerifyInputOrExit(cli.positionals()[1]);
 
     int failures = 0;
     auto check = [&](bool ok, const char *what) {
@@ -258,11 +357,11 @@ cmdVerify(int argc, char **argv)
 
     if (failures) {
         std::printf("verify FAILED (%d checks)\n", failures);
-        return 1;
+        return kExitMismatch;
     }
     std::printf("verify passed: %llu runs, summaries bit-identical\n",
                 static_cast<unsigned long long>(summary_a.runs));
-    return 0;
+    return kExitOk;
 }
 
 } // namespace
@@ -273,6 +372,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        printHelp(stdout);
+        return kExitOk;
+    }
     // Shift so each subcommand parses only its own flags.
     argc -= 1;
     argv += 1;

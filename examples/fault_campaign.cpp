@@ -3,12 +3,14 @@
  * Run a small fault-injection campaign and print the classification
  * breakdown — a miniature of the paper's Section 5.4 evaluation.
  *
- *   ./fault_campaign [--sites N] [--warmup N] [--rate R] [--threads N]
+ *   ./fault_campaign [--sites N] [--warmup N] [--rate R] [--jobs N]
+ *                    [--progress]
  */
 
 #include <cstdio>
 #include <fstream>
 
+#include "exec/telemetry.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "fault/serialize.hpp"
@@ -21,9 +23,9 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
-                    {"sites", "warmup", "rate", "threads", "seed",
+                    {"sites", "warmup", "rate", "jobs", "seed",
                      "mesh", "csv", "json", "dense-kernel", "kind",
-                     "recovery"});
+                     "recovery", "progress"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
@@ -32,7 +34,7 @@ main(int argc, char **argv)
     config.traffic.seed = static_cast<std::uint64_t>(cli.getInt("seed", 3));
     config.warmup = cli.getInt("warmup", 1000);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
-    config.threads = static_cast<unsigned>(cli.getInt("threads", 4));
+    config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
     config.denseKernel = cli.getBool("dense-kernel", false);
     config.recovery = cli.getBool("recovery", false);
     const std::string kind = cli.getString("kind", "transient");
@@ -49,8 +51,18 @@ main(int argc, char **argv)
                 config.network.height,
                 static_cast<long long>(config.warmup));
 
+    fault::FaultCampaign::RunOptions options;
+    if (cli.getBool("progress", false)) {
+        options.telemetry = [](const exec::TelemetrySnapshot &snap) {
+            std::fprintf(stderr, "\r\033[K%s",
+                         exec::TelemetryHub::progressLine(snap).c_str());
+        };
+    }
+
     fault::FaultCampaign campaign(config);
-    const fault::CampaignResult result = campaign.run();
+    const fault::CampaignResult result = campaign.run(nullptr, options);
+    if (options.telemetry)
+        std::fprintf(stderr, "\n");
     const fault::CampaignSummary summary = result.summarize();
 
     Table table({"detector", "true-pos", "false-pos", "true-neg",

@@ -1,0 +1,53 @@
+#include "exec/cancel.hpp"
+
+#include <csignal>
+
+#include "util/log.hpp"
+
+namespace nocalert::exec {
+
+namespace {
+
+/** Token of the (single) active scope; the handler only ever touches
+ *  this pointer and the token's atomic flag, both async-signal-safe. */
+std::atomic<CancelToken *> active_token{nullptr};
+
+void
+onSigint(int)
+{
+    if (CancelToken *token =
+            active_token.exchange(nullptr, std::memory_order_acq_rel)) {
+        token->cancel();
+        return;
+    }
+    // Second Ctrl-C: restore the default disposition and re-raise so
+    // an unresponsive process still dies on the spot.
+    std::signal(SIGINT, SIG_DFL);
+    std::raise(SIGINT);
+}
+
+using SignalHandler = void (*)(int);
+SignalHandler previous_handler = SIG_DFL;
+
+} // namespace
+
+SigintCancelScope::SigintCancelScope(CancelToken &token)
+{
+    CancelToken *expected = nullptr;
+    if (!active_token.compare_exchange_strong(expected, &token,
+                                              std::memory_order_acq_rel)) {
+        NOCALERT_FATAL("nested SigintCancelScope: only one may be "
+                       "active at a time");
+    }
+    previous_handler = std::signal(SIGINT, onSigint);
+}
+
+SigintCancelScope::~SigintCancelScope()
+{
+    // The handler may already have consumed the pointer (that is how a
+    // delivered SIGINT becomes one-shot); clearing is idempotent.
+    active_token.store(nullptr, std::memory_order_release);
+    std::signal(SIGINT, previous_handler);
+}
+
+} // namespace nocalert::exec

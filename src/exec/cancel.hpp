@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cooperative cancellation for the execution engine.
+ *
+ * A CancelToken is a shared flag that long-running drivers poll
+ * between units of work; anything may set it (a SIGINT handler, a
+ * watchdog, a test). Cancellation is *cooperative*: in-flight work
+ * finishes, nothing is torn down mid-run, and the driver is expected
+ * to flush a valid checkpoint before returning — so an interrupted
+ * campaign always resumes cleanly.
+ */
+
+#ifndef NOCALERT_EXEC_CANCEL_HPP
+#define NOCALERT_EXEC_CANCEL_HPP
+
+#include <atomic>
+
+namespace nocalert::exec {
+
+/** Sticky cancellation flag, safe to set from a signal handler. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (idempotent, async-signal-safe). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() has been called. */
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * RAII scope that routes SIGINT into a CancelToken: the first Ctrl-C
+ * requests a cooperative stop (the campaign flushes its checkpoint
+ * and returns), a second one falls through to the default disposition
+ * and kills the process the classic way.
+ *
+ * At most one scope may be active per process at a time; the previous
+ * handler is restored on destruction.
+ */
+class SigintCancelScope
+{
+  public:
+    explicit SigintCancelScope(CancelToken &token);
+    ~SigintCancelScope();
+
+    SigintCancelScope(const SigintCancelScope &) = delete;
+    SigintCancelScope &operator=(const SigintCancelScope &) = delete;
+};
+
+} // namespace nocalert::exec
+
+#endif // NOCALERT_EXEC_CANCEL_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CampaignExecutor — the front door of the execution engine.
+ *
+ * Composes the worker pool (scheduling), the ordered reducer
+ * (determinism) and the telemetry hub (observability) into one call:
+ * run N independent indexed tasks, deliver their results to a sink in
+ * strict index order, and report progress along the way.
+ *
+ * Each task receives a TaskContext carrying an independently derived
+ * RNG stream (`deriveStream(streamSeed, index)` — counter-mode stream
+ * selection, never a shared generator), so a task's randomness depends
+ * only on its index, not on which worker ran it or when. Combined with
+ * the ordered reduction this is the whole determinism argument: task
+ * inputs are index-pure, task outputs are index-ordered, therefore
+ * campaign output is a pure function of (config, seed) — identical for
+ * every jobs count and every interleaving.
+ *
+ * The executor is deliberately ignorant of fault campaigns: Result is
+ * a template parameter and outcome counters are the caller's labeled
+ * slots, keeping exec a leaf subsystem under util only.
+ */
+
+#ifndef NOCALERT_EXEC_EXECUTOR_HPP
+#define NOCALERT_EXEC_EXECUTOR_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "exec/cancel.hpp"
+#include "exec/reduce.hpp"
+#include "exec/telemetry.hpp"
+#include "exec/workpool.hpp"
+#include "util/rng.hpp"
+
+namespace nocalert::exec {
+
+/** Execution knobs; none of these may influence campaign *results*. */
+struct ExecConfig
+{
+    /** Worker count; 0 resolves to hardware concurrency. */
+    unsigned jobs = 1;
+    /** Base seed the per-task RNG streams are derived from. */
+    std::uint64_t streamSeed = 0;
+    /** Scheduling-only seed for work-stealing victim selection. */
+    std::uint64_t stealSeed = 0;
+};
+
+/** Everything a task may depend on: its index and its private RNG. */
+struct TaskContext
+{
+    std::size_t index;
+    unsigned worker;
+    Pcg32 rng;
+};
+
+/** Maps independent indexed tasks onto workers, reduces in order. */
+class CampaignExecutor
+{
+  public:
+    explicit CampaignExecutor(ExecConfig config)
+        : config_(config), pool_(config.jobs, config.stealSeed)
+    {
+    }
+
+    /** Resolved worker count (>= 1). */
+    unsigned jobs() const { return pool_.workers(); }
+
+    /** Per-worker scheduling stats of the most recent run(). */
+    const std::vector<WorkerStats> &stats() const
+    {
+        return pool_.stats();
+    }
+
+    /**
+     * Run tasks 0..count-1. @p fn maps a TaskContext to a Result;
+     * @p sink receives each (index, Result) in strictly increasing
+     * index order, serialized under the reducer lock (shared state
+     * touched only from the sink needs no extra locking, and any
+     * checkpoint flushed there covers a contiguous prefix).
+     *
+     * Returns true when all @p count results were committed; false
+     * when @p cancel stopped the run early (the sink then saw a
+     * contiguous prefix of the task sequence). Rethrows the first
+     * task failure as TaskError after quiescing the pool.
+     */
+    template <typename Result, typename RunFn, typename SinkFn>
+    bool run(std::size_t count, RunFn &&fn, SinkFn &&sink,
+             CancelToken *cancel = nullptr,
+             TelemetryHub *telemetry = nullptr)
+    {
+        OrderedReducer<Result> reducer(
+            [&sink](std::size_t index, Result &&result) {
+                sink(index, std::move(result));
+            });
+        pool_.runIndexed(
+            count,
+            [&](std::size_t task, unsigned worker) {
+                TaskContext ctx{task, worker,
+                                deriveStream(config_.streamSeed, task)};
+                const auto begin = std::chrono::steady_clock::now();
+                Result result = fn(ctx);
+                if (telemetry) {
+                    // Live utilization: report as each task finishes,
+                    // not only after the pool quiesces.
+                    telemetry->recordBusy(
+                        worker,
+                        static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - begin)
+                                .count()));
+                }
+                reducer.commit(task, std::move(result));
+            },
+            cancel);
+        return reducer.committed() == count;
+    }
+
+  private:
+    ExecConfig config_;
+    WorkerPool pool_;
+};
+
+} // namespace nocalert::exec
+
+#endif // NOCALERT_EXEC_EXECUTOR_HPP

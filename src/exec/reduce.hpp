@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ordered deterministic reduction — the piece of the execution engine
+ * that makes parallel output byte-identical to serial output.
+ *
+ * Workers complete tasks in whatever order the schedule produces; the
+ * reducer buffers out-of-order results and invokes the sink in strict
+ * task-index order. The sink therefore observes exactly the sequence a
+ * serial loop would have produced, so everything downstream of it
+ * (result vectors, checkpoints, progress counters, telemetry) is
+ * independent of worker count and interleaving by construction.
+ *
+ * The sink runs *under the reducer lock*: at most one sink invocation
+ * is live at any time, and invocations are totally ordered. Campaign
+ * code exploits this — checkpoint writes and shared-state updates in
+ * the sink need no further synchronization, which is also what makes
+ * a checkpoint flushed at any commit boundary contain a contiguous,
+ * deterministic prefix of the run sequence.
+ */
+
+#ifndef NOCALERT_EXEC_REDUCE_HPP
+#define NOCALERT_EXEC_REDUCE_HPP
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace nocalert::exec {
+
+/** Buffers out-of-order task results; delivers them in index order. */
+template <typename Result>
+class OrderedReducer
+{
+  public:
+    /** Invoked once per task, in strictly increasing index order. */
+    using Sink = std::function<void(std::size_t index, Result &&result)>;
+
+    explicit OrderedReducer(Sink sink) : sink_(std::move(sink)) {}
+
+    OrderedReducer(const OrderedReducer &) = delete;
+    OrderedReducer &operator=(const OrderedReducer &) = delete;
+
+    /**
+     * Hand over the result of task @p index (each index exactly once).
+     * Delivers to the sink every result that is now contiguous with
+     * the already-delivered prefix; anything later stays buffered.
+     */
+    void commit(std::size_t index, Result &&result)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.emplace(index, std::move(result));
+        for (auto it = pending_.begin();
+             it != pending_.end() && it->first == next_;
+             it = pending_.begin(), ++next_) {
+            sink_(it->first, std::move(it->second));
+            pending_.erase(it);
+        }
+    }
+
+    /** Number of results delivered to the sink (the prefix length). */
+    std::size_t committed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return next_;
+    }
+
+    /** Results held back waiting for an earlier index. */
+    std::size_t buffered() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pending_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::size_t, Result> pending_;
+    std::size_t next_ = 0;
+    Sink sink_;
+};
+
+} // namespace nocalert::exec
+
+#endif // NOCALERT_EXEC_REDUCE_HPP

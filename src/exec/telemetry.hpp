@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Live progress/telemetry channel for the execution engine.
+ *
+ * A TelemetryHub accumulates lock-free counters while a campaign runs
+ * — completed runs, labeled outcome counters, per-worker busy time —
+ * and produces consistent-enough snapshots on demand for a progress
+ * line (runs/s, ETA, utilization). The hub is a *live* channel only:
+ * wall-clock rates and utilization never enter serialized artifacts,
+ * which must stay byte-identical regardless of machine or `--jobs`.
+ * The `telemetry` block in campaign JSON is a deterministic projection
+ * computed from committed runs by the serializer, not by this class.
+ *
+ * Layering: exec knows nothing about fault outcomes — counters are
+ * labeled slots supplied by the caller.
+ */
+
+#ifndef NOCALERT_EXEC_TELEMETRY_HPP
+#define NOCALERT_EXEC_TELEMETRY_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nocalert::exec {
+
+/** Point-in-time view of a running (or finished) campaign. */
+struct TelemetrySnapshot
+{
+    std::size_t runsPlanned = 0;
+    std::size_t runsCompleted = 0; ///< Committed (in-order) runs.
+    double elapsedSeconds = 0.0;
+    double runsPerSecond = 0.0;
+    /** Estimated seconds remaining; negative when unknowable (no
+     *  completed runs yet). */
+    double etaSeconds = -1.0;
+    std::vector<std::string> counterLabels;
+    std::vector<std::uint64_t> counters;
+    /** Per-worker busy fraction of elapsed wall time, in [0, 1]. */
+    std::vector<double> workerUtilization;
+};
+
+/** Thread-safe accumulator behind TelemetrySnapshot. */
+class TelemetryHub
+{
+  public:
+    /**
+     * @p counter_labels names the outcome slots recordRun indexes
+     * into (e.g. one per campaign outcome class). The elapsed clock
+     * starts here.
+     */
+    TelemetryHub(std::size_t runs_planned, unsigned workers,
+                 std::vector<std::string> counter_labels);
+
+    TelemetryHub(const TelemetryHub &) = delete;
+    TelemetryHub &operator=(const TelemetryHub &) = delete;
+
+    /** Count one committed run against counter slot @p counter. */
+    void recordRun(std::size_t counter);
+
+    /** Add task wall time for @p worker (called from worker threads). */
+    void recordBusy(unsigned worker, std::uint64_t nanos);
+
+    TelemetrySnapshot snapshot() const;
+
+    /**
+     * Render a snapshot as a single status line, e.g.
+     * `412/1000 41.2% | 12.3 runs/s eta 48s | util 87% | tp=9 tn=400`.
+     * No trailing newline; callers own the `\r` / `\n` framing.
+     */
+    static std::string progressLine(const TelemetrySnapshot &snap);
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    std::size_t runsPlanned_;
+    std::vector<std::string> labels_;
+    std::atomic<std::size_t> completed_{0};
+    std::vector<std::atomic<std::uint64_t>> counters_;
+    std::vector<std::atomic<std::uint64_t>> busyNanos_;
+};
+
+} // namespace nocalert::exec
+
+#endif // NOCALERT_EXEC_TELEMETRY_HPP

@@ -1,13 +1,11 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <filesystem>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 
 #include "core/nocalert.hpp"
+#include "exec/executor.hpp"
 #include "fault/serialize.hpp"
 #include "recovery/orchestrator.hpp"
 #include "util/log.hpp"
@@ -70,6 +68,17 @@ CampaignSummary::pct(std::uint64_t count) const
         return 0.0;
     return 100.0 * static_cast<double>(count) /
            static_cast<double>(runs);
+}
+
+CampaignTelemetry
+computeTelemetry(const CampaignResult &result)
+{
+    CampaignTelemetry telemetry;
+    telemetry.runsPlanned = result.shardRunsPlanned;
+    telemetry.runsCompleted = result.runs.size();
+    for (const FaultRunResult &run : result.runs)
+        telemetry.outcomes[static_cast<unsigned>(run.outcome())] += 1;
+    return telemetry;
 }
 
 CampaignSummary
@@ -415,45 +424,60 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
             NOCALERT_FATAL("checkpoint write failed: ", error);
     };
 
-    std::atomic<std::size_t> next{0};
-    std::mutex done_mutex;
     std::size_t completed = done_runs.size();
     std::size_t since_checkpoint = 0;
     const unsigned checkpoint_every = std::max(1u, config_.checkpointEvery);
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t slot = next.fetch_add(1);
-            if (slot >= todo.size())
-                return;
-            const std::size_t index = todo[slot];
-            FaultRunResult run =
-                runSingle(config_, base, reference, sites[index]);
-            run.sampleIndex = index;
+    exec::CampaignExecutor executor(exec::ExecConfig{
+        config_.jobs, config_.traffic.seed, config_.sampleSeed});
+    exec::TelemetryHub hub(shard_indices.size(), executor.jobs(),
+                           {"tp", "fp", "tn", "fn", "rec"});
+    for (const auto &[index, run] : done_runs)
+        hub.recordRun(static_cast<unsigned>(run.outcome()));
 
-            std::lock_guard<std::mutex> lock(done_mutex);
-            done_runs.emplace(index, std::move(run));
-            ++completed;
-            if (!config_.checkpointPath.empty() &&
-                ++since_checkpoint >= checkpoint_every) {
-                since_checkpoint = 0;
-                writeCheckpoint();
-            }
-            if (progress)
-                progress(completed, shard_indices.size());
-        }
-    };
-
-    const unsigned threads = std::max(1u, config_.threads);
-    if (threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &thread : pool)
-            thread.join();
+    try {
+        executor.run<FaultRunResult>(
+            todo.size(),
+            [&](exec::TaskContext &ctx) {
+                // ctx.rng is this run's private derived stream; the
+                // simulation needs no extra randomness (per-node
+                // traffic streams are derived inside the network
+                // copy), so today it intentionally goes unused.
+                const std::size_t index = todo[ctx.index];
+                FaultRunResult run =
+                    runSingle(config_, base, reference, sites[index]);
+                run.sampleIndex = index;
+                return run;
+            },
+            [&](std::size_t, FaultRunResult &&run) {
+                // Ordered commit: the reducer delivers runs in
+                // increasing todo position (hence sampleIndex),
+                // serialized under its lock, so done_runs, every
+                // checkpoint flush, progress and telemetry evolve
+                // identically for any jobs count.
+                hub.recordRun(static_cast<unsigned>(run.outcome()));
+                done_runs.emplace(run.sampleIndex, std::move(run));
+                ++completed;
+                if (!config_.checkpointPath.empty() &&
+                    ++since_checkpoint >= checkpoint_every) {
+                    since_checkpoint = 0;
+                    writeCheckpoint();
+                }
+                if (progress)
+                    progress(completed, shard_indices.size());
+                if (options.telemetry)
+                    options.telemetry(hub.snapshot());
+            },
+            options.cancel, &hub);
+    } catch (const exec::TaskError &error) {
+        // One failing run aborts the campaign, but cleanly: flush the
+        // committed prefix so nothing is lost, then name the site.
+        if (!config_.checkpointPath.empty())
+            writeCheckpoint();
+        const std::size_t index = todo[error.taskIndex()];
+        NOCALERT_FATAL("campaign run ", index, " (",
+                       sites[index].describe(),
+                       ") failed: ", error.what());
     }
 
     result = snapshot();

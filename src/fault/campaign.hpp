@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/invariant.hpp"
+#include "exec/cancel.hpp"
+#include "exec/telemetry.hpp"
 #include "fault/golden.hpp"
 #include "fault/injector.hpp"
 #include "fault/site.hpp"
@@ -111,8 +113,14 @@ struct CampaignConfig
      */
     bool denseKernel = false;
 
-    /** Worker threads (1 = serial). */
-    unsigned threads = 1;
+    /**
+     * Worker jobs for the in-process execution engine (1 = serial,
+     * 0 = hardware concurrency). Execution-only: campaign *results*
+     * are byte-identical for every value (the executor reduces run
+     * results in sampled order), so this is excluded from both the
+     * campaign identity and the serialized artifact.
+     */
+    unsigned jobs = 1;
 
     // ---- Sharding (distributed / CI campaigns) ----
 
@@ -208,6 +216,21 @@ struct CampaignSummary
     double pct(std::uint64_t count) const;
 };
 
+/**
+ * Deterministic telemetry projection of a (possibly partial) campaign:
+ * the execution-independent counters serialized as the `telemetry`
+ * block of campaign JSON (schema v4). Everything here is a pure
+ * function of the committed runs, so the block is byte-identical for
+ * every `jobs` value; wall-clock rates (runs/s, ETA, utilization) are
+ * live-channel only (exec::TelemetrySnapshot) and never serialized.
+ */
+struct CampaignTelemetry
+{
+    std::uint64_t runsPlanned = 0;   ///< Shard's planned run count.
+    std::uint64_t runsCompleted = 0; ///< Committed runs.
+    std::array<std::uint64_t, kNumOutcomes> outcomes = {}; ///< By Outcome.
+};
+
 /** Full campaign (or single-shard) output. */
 struct CampaignResult
 {
@@ -228,6 +251,9 @@ struct CampaignResult
     CampaignSummary summarize() const;
 };
 
+/** Compute the deterministic telemetry block for @p result. */
+CampaignTelemetry computeTelemetry(const CampaignResult &result);
+
 /** Campaign driver. */
 class FaultCampaign
 {
@@ -244,6 +270,23 @@ class FaultCampaign
          * process in tests and CI.
          */
         std::size_t maxNewRuns = 0;
+
+        /**
+         * Cooperative cancellation (e.g. SIGINT). When it fires, the
+         * campaign stops dispatching, flushes a valid checkpoint
+         * holding the contiguous committed prefix, and returns the
+         * partial result (complete() == false) — resumable as if the
+         * process had been stopped between runs.
+         */
+        exec::CancelToken *cancel = nullptr;
+
+        /**
+         * Live telemetry sink, invoked after every committed run with
+         * a fresh snapshot (runs/s, ETA, outcome counters, worker
+         * utilization). Called under the campaign's commit lock —
+         * keep it cheap; rendering cadence is the caller's business.
+         */
+        std::function<void(const exec::TelemetrySnapshot &)> telemetry;
     };
 
     explicit FaultCampaign(CampaignConfig config);

@@ -374,22 +374,24 @@ toJson(const CampaignConfig &config)
     json.set("forever", foreverConfigJson(config.forever));
     json.set("recovery", config.recovery);
     json.set("denseKernel", config.denseKernel);
-    json.set("threads", config.threads);
+    // jobs / checkpointPath / checkpointEvery are pure execution knobs
+    // with no influence on results; schema v4 keeps them out of the
+    // artifact entirely so runs at any --jobs value and checkpoint
+    // cadence serialize byte-identically. The shard selector stays:
+    // it is structural (it says which runs this document holds).
     json.set("shardIndex", config.shardIndex);
     json.set("shardCount", config.shardCount);
-    json.set("checkpointPath", config.checkpointPath);
-    json.set("checkpointEvery", config.checkpointEvery);
     return json;
 }
 
 JsonValue
 campaignIdentityJson(const CampaignConfig &config)
 {
-    // denseKernel is execution detail too: both kernels produce
-    // bit-identical results, so shards may mix them freely.
+    // denseKernel is execution detail: both kernels produce
+    // bit-identical results, so shards may mix them freely. (jobs and
+    // checkpoint knobs are never serialized in the first place.)
     static constexpr const char *kExecutionKeys[] = {
-        "threads", "shardIndex", "shardCount", "checkpointPath",
-        "checkpointEvery", "denseKernel"};
+        "shardIndex", "shardCount", "denseKernel"};
 
     const JsonValue full = toJson(config);
     JsonValue identity;
@@ -432,11 +434,10 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
         foreverConfigFromJson(*forever, config.forever, error);
     config.recovery = reader.boolean("recovery");
     config.denseKernel = reader.boolean("denseKernel");
-    config.threads = reader.u32("threads");
     config.shardIndex = reader.u32("shardIndex");
     config.shardCount = reader.u32("shardCount");
-    config.checkpointPath = reader.str("checkpointPath");
-    config.checkpointEvery = reader.u32("checkpointEvery");
+    // Execution knobs are not serialized; a loaded config gets their
+    // defaults and the caller (e.g. resume) supplies its own.
 
     return finish(std::move(config), error, out_error);
 }
@@ -547,6 +548,20 @@ faultRunFromJson(const JsonValue &json, std::string *out_error)
 // -------------------------------------------------------------- result
 
 JsonValue
+toJson(const CampaignTelemetry &telemetry)
+{
+    JsonValue outcomes = JsonValue(JsonValue::Array{});
+    for (std::uint64_t count : telemetry.outcomes)
+        outcomes.push(count);
+
+    JsonValue json;
+    json.set("runsPlanned", telemetry.runsPlanned);
+    json.set("runsCompleted", telemetry.runsCompleted);
+    json.set("outcomes", std::move(outcomes));
+    return json;
+}
+
+JsonValue
 toJson(const CampaignResult &result)
 {
     JsonValue runs = JsonValue(JsonValue::Array{});
@@ -560,6 +575,9 @@ toJson(const CampaignResult &result)
     json.set("totalSitesEnumerated", result.totalSitesEnumerated);
     json.set("goldenFlits", result.goldenFlits);
     json.set("shardRunsPlanned", result.shardRunsPlanned);
+    // Deterministic projection of the runs below — never wall-clock
+    // rates, which would break byte-identity across machines/--jobs.
+    json.set("telemetry", toJson(computeTelemetry(result)));
     json.set("runs", std::move(runs));
     return json;
 }
@@ -587,6 +605,27 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
     result.totalSitesEnumerated = reader.u64("totalSitesEnumerated");
     result.goldenFlits = reader.u64("goldenFlits");
     result.shardRunsPlanned = reader.u64("shardRunsPlanned");
+    CampaignTelemetry stored;
+    if (const JsonValue *telemetry = reader.get("telemetry")) {
+        ObjectReader t(*telemetry, "telemetry", error);
+        stored.runsPlanned = t.u64("runsPlanned");
+        stored.runsCompleted = t.u64("runsCompleted");
+        const JsonValue::Array &outcomes = t.arr("outcomes");
+        if (error.empty() && outcomes.size() != kNumOutcomes)
+            t.fail("telemetry outcomes must have " +
+                   std::to_string(kNumOutcomes) + " entries");
+        for (std::size_t i = 0; error.empty() && i < outcomes.size();
+             ++i) {
+            if (outcomes[i].type() != JsonValue::Type::Uint &&
+                !(outcomes[i].type() == JsonValue::Type::Int &&
+                  outcomes[i].asInt() >= 0)) {
+                t.fail("telemetry outcomes must be non-negative "
+                       "integers");
+                break;
+            }
+            stored.outcomes[i] = outcomes[i].asUint();
+        }
+    }
     for (const JsonValue &entry : reader.arr("runs")) {
         if (auto run = faultRunFromJson(entry, &error))
             result.runs.push_back(std::move(*run));
@@ -604,6 +643,14 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
         }
         if (result.runs.size() > result.shardRunsPlanned)
             reader.fail("more runs than shardRunsPlanned");
+        // The telemetry block is derived data; a document whose block
+        // disagrees with its own runs has been tampered with or
+        // corrupted, so reject it rather than silently recompute.
+        const CampaignTelemetry expected = computeTelemetry(result);
+        if (stored.runsPlanned != expected.runsPlanned ||
+            stored.runsCompleted != expected.runsCompleted ||
+            stored.outcomes != expected.outcomes)
+            reader.fail("telemetry block inconsistent with runs");
     }
 
     return finish(std::move(result), error, out_error);

@@ -35,9 +35,14 @@ namespace nocalert::fault {
  * History: 1 = initial sharded/resumable format; 2 = adds the
  * CampaignConfig "denseKernel" execution field; 3 = adds the
  * recovery loop — CampaignConfig "recovery", the network "retransmit"
- * parameters, and per-run recovery/retransmission counters.
+ * parameters, and per-run recovery/retransmission counters; 4 = adds
+ * the deterministic "telemetry" block and *drops* the pure execution
+ * knobs (threads/jobs, checkpointPath, checkpointEvery) from the
+ * config section, so the artifact is a pure function of the campaign
+ * identity plus shard selector — byte-identical for every `--jobs`
+ * value and checkpoint cadence.
  */
-inline constexpr std::int64_t kCampaignSchemaVersion = 3;
+inline constexpr std::int64_t kCampaignSchemaVersion = 4;
 
 /** Schema tag stored in every campaign document. */
 inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";
@@ -48,10 +53,12 @@ JsonValue toJson(const CampaignConfig &config);
 JsonValue toJson(const FaultRunResult &run);
 JsonValue toJson(const CampaignResult &result); ///< Adds schema header.
 JsonValue toJson(const CampaignSummary &summary);
+JsonValue toJson(const CampaignTelemetry &telemetry);
 
 /**
  * The subset of a config that defines campaign *identity*: everything
- * except execution knobs (threads, shard selection, checkpointing).
+ * except the shard selector and the kernel choice. The pure execution
+ * knobs (jobs, checkpointing) never reach JSON at all in schema v4.
  * Two shards / a checkpoint and its resumer must agree on this.
  */
 JsonValue campaignIdentityJson(const CampaignConfig &config);

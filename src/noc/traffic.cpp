@@ -49,9 +49,8 @@ TrafficGenerator::TrafficGenerator(const NetworkConfig &config,
     const int nodes = config.numNodes();
     rngs_.reserve(nodes);
     for (int n = 0; n < nodes; ++n)
-        rngs_.emplace_back(spec_.seed,
-                           0x5851f42d4c957f2dULL + 2 *
-                               static_cast<std::uint64_t>(n));
+        rngs_.push_back(
+            deriveStream(spec_.seed, static_cast<std::uint64_t>(n)));
     counts_.assign(nodes, 0);
 }
 

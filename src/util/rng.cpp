@@ -59,4 +59,10 @@ Pcg32::nextBool(double p)
     return nextDouble() < p;
 }
 
+Pcg32
+deriveStream(std::uint64_t seed, std::uint64_t index)
+{
+    return Pcg32(seed, kStreamBase + 2 * index);
+}
+
 } // namespace nocalert

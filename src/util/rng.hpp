@@ -56,6 +56,27 @@ class Pcg32
     std::uint64_t inc_;
 };
 
+/**
+ * Base stream selector for counter-mode stream derivation.
+ *
+ * This is the PCG default multiplier; any odd-spaced family of stream
+ * selectors yields independent sequences, and this base is the one the
+ * traffic generator has used since the first release, so derived
+ * streams are bit-exact with historical campaign artifacts.
+ */
+inline constexpr std::uint64_t kStreamBase = 0x5851f42d4c957f2dULL;
+
+/**
+ * Derive the @p index-th independent generator for a given @p seed.
+ *
+ * Counter-mode derivation: each index selects the stream
+ * `kStreamBase + 2*index`. PCG streams differ in their (odd) increment,
+ * so distinct indices can never share a sequence, and no generator
+ * state is ever handed between consumers. Used for per-node traffic
+ * streams and per-run campaign streams alike.
+ */
+Pcg32 deriveStream(std::uint64_t seed, std::uint64_t index);
+
 } // namespace nocalert
 
 #endif // NOCALERT_UTIL_RNG_HPP

@@ -1,0 +1,82 @@
+#include "exec/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nocalert::exec {
+namespace {
+
+TEST(OrderedReducer, InOrderCommitsDeliverImmediately)
+{
+    std::vector<std::size_t> delivered;
+    OrderedReducer<int> reducer([&](std::size_t index, int &&value) {
+        EXPECT_EQ(static_cast<int>(index) * 10, value);
+        delivered.push_back(index);
+    });
+    for (std::size_t i = 0; i < 5; ++i) {
+        reducer.commit(i, static_cast<int>(i) * 10);
+        EXPECT_EQ(reducer.committed(), i + 1);
+        EXPECT_EQ(reducer.buffered(), 0u);
+    }
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(OrderedReducer, OutOfOrderCommitsBufferUntilContiguous)
+{
+    std::vector<std::size_t> delivered;
+    OrderedReducer<std::string> reducer(
+        [&](std::size_t index, std::string &&) {
+            delivered.push_back(index);
+        });
+
+    reducer.commit(2, "c");
+    EXPECT_TRUE(delivered.empty());
+    EXPECT_EQ(reducer.committed(), 0u);
+    EXPECT_EQ(reducer.buffered(), 1u);
+
+    reducer.commit(0, "a");
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(reducer.buffered(), 1u);
+
+    // Committing 1 releases both 1 and the buffered 2.
+    reducer.commit(1, "b");
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(reducer.committed(), 3u);
+    EXPECT_EQ(reducer.buffered(), 0u);
+}
+
+TEST(OrderedReducer, ReverseOrderDeliversEverythingAtTheEnd)
+{
+    std::vector<std::size_t> delivered;
+    OrderedReducer<int> reducer([&](std::size_t index, int &&) {
+        delivered.push_back(index);
+    });
+    for (std::size_t i = 10; i-- > 1;)
+        reducer.commit(i, 0);
+    EXPECT_TRUE(delivered.empty());
+    EXPECT_EQ(reducer.buffered(), 9u);
+
+    reducer.commit(0, 0);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < 10; ++i)
+        expected.push_back(i);
+    EXPECT_EQ(delivered, expected);
+}
+
+TEST(OrderedReducer, MoveOnlyResultsPassThrough)
+{
+    std::vector<int> values;
+    OrderedReducer<std::unique_ptr<int>> reducer(
+        [&](std::size_t, std::unique_ptr<int> &&value) {
+            values.push_back(*value);
+        });
+    reducer.commit(1, std::make_unique<int>(11));
+    reducer.commit(0, std::make_unique<int>(10));
+    EXPECT_EQ(values, (std::vector<int>{10, 11}));
+}
+
+} // namespace
+} // namespace nocalert::exec

@@ -1,0 +1,155 @@
+/**
+ * End-to-end tests for the campaign_shard CLI, focused on the verify
+ * subcommand's exit-code contract:
+ *
+ *   0  verify passed / help requested
+ *   1  verify mismatch
+ *   2  usage error
+ *   3  an input file does not exist
+ *   4  an input file is corrupt
+ *
+ * The binary path arrives via the NOCALERT_SHARD_BIN compile
+ * definition ($<TARGET_FILE:campaign_shard>).
+ */
+
+#include "fault/campaign.hpp"
+#include "fault/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef NOCALERT_SHARD_BIN
+#error "NOCALERT_SHARD_BIN must point at the campaign_shard binary"
+#endif
+
+namespace nocalert::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Run the shard CLI, discarding output; return its exit status. */
+int
+shardExit(const std::string &arguments)
+{
+    const std::string command = std::string(NOCALERT_SHARD_BIN) + " " +
+                                arguments + " >/dev/null 2>&1";
+    const int raw = std::system(command.c_str());
+    EXPECT_NE(raw, -1);
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+class ShardCli : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // Unique per process *and* per test: ctest runs each TEST_F
+        // as its own parallel process, so a shared name would let one
+        // test's TearDown delete another's files mid-run.
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_shard_cli_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    /** Run a tiny real campaign and save it where verify can see it. */
+    std::string writeResult(const std::string &name,
+                            std::uint64_t traffic_seed)
+    {
+        CampaignConfig config;
+        config.network.width = 4;
+        config.network.height = 4;
+        config.traffic.injectionRate = 0.05;
+        config.traffic.seed = traffic_seed;
+        config.warmup = 200;
+        config.observeWindow = 800;
+        config.drainLimit = 3000;
+        config.maxSites = 4;
+        config.runForever = false;
+        FaultCampaign campaign(config);
+        const CampaignResult result = campaign.run();
+        EXPECT_TRUE(result.complete());
+        const std::string out = path(name);
+        EXPECT_TRUE(saveCampaignResult(result, out));
+        return out;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ShardCli, HelpExitsZeroFromEverySpelling)
+{
+    EXPECT_EQ(shardExit("help"), 0);
+    EXPECT_EQ(shardExit("--help"), 0);
+    EXPECT_EQ(shardExit("-h"), 0);
+}
+
+TEST_F(ShardCli, MissingOrUnknownCommandIsAUsageError)
+{
+    EXPECT_EQ(shardExit(""), 2);
+    EXPECT_EQ(shardExit("frobnicate"), 2);
+}
+
+TEST_F(ShardCli, VerifyWrongArgumentCountIsAUsageError)
+{
+    const std::string a = writeResult("a.json", 13);
+    EXPECT_EQ(shardExit("verify " + a), 2);
+    EXPECT_EQ(shardExit("verify " + a + " " + a + " " + a), 2);
+}
+
+TEST_F(ShardCli, VerifyIdenticalResultsPasses)
+{
+    const std::string a = writeResult("a.json", 13);
+    EXPECT_EQ(shardExit("verify " + a + " " + a), 0);
+}
+
+TEST_F(ShardCli, VerifyMismatchedResultsExitsOne)
+{
+    const std::string a = writeResult("a.json", 13);
+    const std::string b = writeResult("b.json", 14);
+    EXPECT_EQ(shardExit("verify " + a + " " + b), 1);
+}
+
+TEST_F(ShardCli, VerifyMissingFileExitsThree)
+{
+    const std::string a = writeResult("a.json", 13);
+    EXPECT_EQ(shardExit("verify " + a + " " + path("absent.json")), 3);
+    EXPECT_EQ(shardExit("verify " + path("absent.json") + " " + a), 3);
+}
+
+TEST_F(ShardCli, VerifyCorruptFileExitsFour)
+{
+    const std::string a = writeResult("a.json", 13);
+
+    const std::string garbage = path("garbage.json");
+    std::ofstream(garbage) << "this is not json {";
+    EXPECT_EQ(shardExit("verify " + a + " " + garbage), 4);
+
+    // Valid JSON that is not a campaign result is corrupt too.
+    const std::string wrong_shape = path("wrong.json");
+    std::ofstream(wrong_shape) << "{\"hello\": \"world\"}\n";
+    EXPECT_EQ(shardExit("verify " + a + " " + wrong_shape), 4);
+}
+
+} // namespace
+} // namespace nocalert::fault

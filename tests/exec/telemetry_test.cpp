@@ -1,0 +1,90 @@
+#include "exec/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nocalert::exec {
+namespace {
+
+TEST(TelemetryHub, CountersAccumulatePerLabel)
+{
+    TelemetryHub hub(10, 2, {"tp", "fp", "tn"});
+    hub.recordRun(0);
+    hub.recordRun(2);
+    hub.recordRun(2);
+
+    const TelemetrySnapshot snap = hub.snapshot();
+    EXPECT_EQ(snap.runsPlanned, 10u);
+    EXPECT_EQ(snap.runsCompleted, 3u);
+    ASSERT_EQ(snap.counterLabels,
+              (std::vector<std::string>{"tp", "fp", "tn"}));
+    EXPECT_EQ(snap.counters, (std::vector<std::uint64_t>{1, 0, 2}));
+}
+
+TEST(TelemetryHub, EtaUnknownBeforeFirstRun)
+{
+    TelemetryHub hub(10, 1, {"done"});
+    const TelemetrySnapshot snap = hub.snapshot();
+    EXPECT_EQ(snap.runsCompleted, 0u);
+    EXPECT_LT(snap.etaSeconds, 0.0);
+}
+
+TEST(TelemetryHub, EtaNonNegativeOnceRateIsKnown)
+{
+    TelemetryHub hub(10, 1, {"done"});
+    hub.recordRun(0);
+    const TelemetrySnapshot snap = hub.snapshot();
+    EXPECT_GT(snap.runsPerSecond, 0.0);
+    EXPECT_GE(snap.etaSeconds, 0.0);
+}
+
+TEST(TelemetryHub, UtilizationIsClampedToUnitInterval)
+{
+    TelemetryHub hub(1, 2, {"done"});
+    // Report far more busy time than could have elapsed; the snapshot
+    // must clamp rather than report >100%.
+    hub.recordBusy(0, 3'600'000'000'000ULL); // one hour
+    const TelemetrySnapshot snap = hub.snapshot();
+    ASSERT_EQ(snap.workerUtilization.size(), 2u);
+    EXPECT_EQ(snap.workerUtilization[0], 1.0);
+    EXPECT_GE(snap.workerUtilization[1], 0.0);
+    EXPECT_LE(snap.workerUtilization[1], 1.0);
+}
+
+TEST(TelemetryHub, ProgressLineRendersHandBuiltSnapshot)
+{
+    TelemetrySnapshot snap;
+    snap.runsPlanned = 10;
+    snap.runsCompleted = 5;
+    snap.elapsedSeconds = 2.0;
+    snap.runsPerSecond = 2.5;
+    snap.etaSeconds = 2.0;
+    snap.counterLabels = {"tp", "fp", "tn"};
+    snap.counters = {4, 0, 1};
+    snap.workerUtilization = {0.9, 0.7};
+
+    const std::string line = TelemetryHub::progressLine(snap);
+    EXPECT_NE(line.find("5/10"), std::string::npos) << line;
+    EXPECT_NE(line.find("runs/s"), std::string::npos) << line;
+    EXPECT_NE(line.find("eta 2s"), std::string::npos) << line;
+    EXPECT_NE(line.find("util  80%"), std::string::npos) << line;
+    EXPECT_NE(line.find("tp=4"), std::string::npos) << line;
+    EXPECT_NE(line.find("tn=1"), std::string::npos) << line;
+    // Zero counters are omitted to keep the line short.
+    EXPECT_EQ(line.find("fp="), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+}
+
+TEST(TelemetryHub, ProgressLineOmitsUnknownEta)
+{
+    TelemetrySnapshot snap;
+    snap.runsPlanned = 10;
+    snap.etaSeconds = -1.0;
+    const std::string line = TelemetryHub::progressLine(snap);
+    EXPECT_EQ(line.find("eta"), std::string::npos) << line;
+    EXPECT_NE(line.find("0/10"), std::string::npos) << line;
+}
+
+} // namespace
+} // namespace nocalert::exec

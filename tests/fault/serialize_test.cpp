@@ -49,7 +49,9 @@ syntheticResult()
     config.forever.hopLatency = 2;
     config.forever.useAllocationComparator = false;
     config.forever.useEndToEnd = false;
-    config.threads = 3;
+    // Execution knobs: set to non-defaults to prove they never reach
+    // the serialized artifact (schema v4 drops them).
+    config.jobs = 3;
     config.shardIndex = 1;
     config.shardCount = 4;
     config.checkpointPath = "shards/s1.json";
@@ -186,11 +188,13 @@ TEST(Serialize, RoundTripPreservesEveryField)
     EXPECT_EQ(a.forever.useAllocationComparator,
               b.forever.useAllocationComparator);
     EXPECT_EQ(a.forever.useEndToEnd, b.forever.useEndToEnd);
-    EXPECT_EQ(a.threads, b.threads);
     EXPECT_EQ(a.shardIndex, b.shardIndex);
     EXPECT_EQ(a.shardCount, b.shardCount);
-    EXPECT_EQ(a.checkpointPath, b.checkpointPath);
-    EXPECT_EQ(a.checkpointEvery, b.checkpointEvery);
+    // Pure execution knobs are not serialized (schema v4): a restored
+    // config carries their defaults, whatever the writer used.
+    EXPECT_EQ(b.jobs, 1u);
+    EXPECT_TRUE(b.checkpointPath.empty());
+    EXPECT_EQ(b.checkpointEvery, 25u);
 
     EXPECT_EQ(original.totalSitesEnumerated,
               restored->totalSitesEnumerated);
@@ -267,11 +271,36 @@ TEST(Serialize, RecoveryFieldsAreValidated)
     EXPECT_NE(error.find("recoveryCycle"), std::string::npos);
 }
 
+TEST(Serialize, TelemetryBlockIsValidatedAgainstRuns)
+{
+    // The telemetry block is a deterministic projection of the runs;
+    // a document whose block disagrees with its own runs is corrupt.
+    JsonValue doc = toJson(syntheticResult());
+    JsonValue telemetry = *doc.find("telemetry");
+    telemetry.set("runsCompleted", 99);
+    doc.set("telemetry", std::move(telemetry));
+    std::string error;
+    EXPECT_FALSE(campaignResultFromJson(doc, &error).has_value());
+    EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+
+    // A wrong outcome count is caught too, not just the totals.
+    JsonValue doc2 = toJson(syntheticResult());
+    JsonValue telemetry2 = *doc2.find("telemetry");
+    JsonValue outcomes(JsonValue::Array{});
+    for (std::size_t i = 0; i < kNumOutcomes; ++i)
+        outcomes.push(0);
+    telemetry2.set("outcomes", std::move(outcomes));
+    doc2.set("telemetry", std::move(telemetry2));
+    error.clear();
+    EXPECT_FALSE(campaignResultFromJson(doc2, &error).has_value());
+    EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+}
+
 TEST(Serialize, IdentityExcludesExecutionKnobs)
 {
     CampaignConfig a;
     CampaignConfig b;
-    b.threads = 16;
+    b.jobs = 16;
     b.shardIndex = 2;
     b.shardCount = 8;
     b.checkpointPath = "elsewhere.json";
@@ -318,8 +347,8 @@ TEST(Sharding, MergedShardsAreBitIdenticalToUnshardedRun)
         CampaignConfig config = tinyCampaign();
         config.shardIndex = i;
         config.shardCount = 2;
-        // Thread count must not matter for the merged outcome.
-        config.threads = i + 1;
+        // Jobs count must not matter for the merged outcome.
+        config.jobs = i + 1;
         shards.push_back(FaultCampaign(config).run());
         ASSERT_TRUE(shards.back().complete());
         EXPECT_LT(shards.back().runs.size(), whole.runs.size());
@@ -330,16 +359,15 @@ TEST(Sharding, MergedShardsAreBitIdenticalToUnshardedRun)
     ASSERT_TRUE(merged.has_value()) << error;
 
     // The merged document matches the single-process run exactly —
-    // same runs in the same order and a bit-identical summary — once
-    // the execution knobs (threads) agree.
+    // same runs in the same order, a bit-identical summary, and
+    // byte-identical JSON (execution knobs never reach the artifact,
+    // so no alignment is needed).
     ASSERT_EQ(merged->runs.size(), whole.runs.size());
     for (std::size_t i = 0; i < whole.runs.size(); ++i)
         expectRunsEqual(merged->runs[i], whole.runs[i]);
     EXPECT_EQ(toJson(merged->summarize()).dump(),
               toJson(whole.summarize()).dump());
-    CampaignResult aligned = *merged;
-    aligned.config.threads = whole.config.threads;
-    EXPECT_EQ(writeCampaignJson(aligned), writeCampaignJson(whole));
+    EXPECT_EQ(writeCampaignJson(*merged), writeCampaignJson(whole));
 }
 
 TEST(Sharding, MergeRejectsBadShardSets)

@@ -183,8 +183,9 @@ TEST_P(KernelEquivalence, ActiveKernelBitIdenticalToDense)
     // And the active kernel must actually have skipped work (at these
     // loads a dense run evaluates strictly more routers), except when
     // a raw tap pin forces density.
-    if (!c.inject)
+    if (!c.inject) {
         EXPECT_LT(active.routerEvals, dense.routerEvals);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

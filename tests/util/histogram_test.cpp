@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace nocalert {
 namespace {
 
@@ -78,6 +80,85 @@ TEST(Histogram, NegativeValues)
     h.add(5);
     EXPECT_EQ(h.min(), -5);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity)
+{
+    Histogram a;
+    a.add(4, 3);
+    Histogram empty;
+
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 4);
+    EXPECT_EQ(a.max(), 4);
+
+    // Merging into an empty histogram adopts the other side wholesale.
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_EQ(empty.min(), 4);
+    EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+
+    // Merging two empties stays empty.
+    Histogram e1;
+    Histogram e2;
+    e1.merge(e2);
+    EXPECT_TRUE(e1.empty());
+    EXPECT_TRUE(e1.points().empty());
+}
+
+TEST(Histogram, MergeOverlappingBucketsAddCounts)
+{
+    Histogram a;
+    a.add(5, 2);
+    a.add(9, 1);
+    Histogram b;
+    b.add(5, 3);
+    b.add(1, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 7u);
+    const auto points = a.points();
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0], (std::pair<std::int64_t, std::uint64_t>{1, 1}));
+    EXPECT_EQ(points[1], (std::pair<std::int64_t, std::uint64_t>{5, 5}));
+    EXPECT_EQ(points[2], (std::pair<std::int64_t, std::uint64_t>{9, 1}));
+}
+
+TEST(Histogram, SingleBucketStats)
+{
+    Histogram h;
+    h.add(42, 7);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.min(), 42);
+    EXPECT_EQ(h.max(), 42);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+    EXPECT_EQ(h.percentile(0.01), 42);
+    EXPECT_EQ(h.percentile(1.0), 42);
+    EXPECT_DOUBLE_EQ(h.cdfAt(41), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(42), 1.0);
+}
+
+TEST(Histogram, ExtremeValueBucket)
+{
+    // A sentinel overflow bucket at INT64_MAX must survive merge,
+    // percentile, and CDF without wrapping.
+    constexpr std::int64_t kOverflow =
+        std::numeric_limits<std::int64_t>::max();
+    Histogram h;
+    h.add(1, 99);
+    h.add(kOverflow, 1);
+    EXPECT_EQ(h.max(), kOverflow);
+    EXPECT_EQ(h.percentile(0.99), 1);
+    EXPECT_EQ(h.percentile(1.0), kOverflow);
+    EXPECT_DOUBLE_EQ(h.cdfAt(kOverflow - 1), 0.99);
+    EXPECT_DOUBLE_EQ(h.cdfAt(kOverflow), 1.0);
+
+    Histogram other;
+    other.add(kOverflow, 2);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 102u);
+    EXPECT_EQ(h.points().back(),
+              (std::pair<std::int64_t, std::uint64_t>{kOverflow, 3}));
 }
 
 TEST(Histogram, PointsSorted)

@@ -45,6 +45,33 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
 }
 
+TEST(Table, ZeroRowTableStillRendersHeaders)
+{
+    Table t({"col-a", "col-b"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("| col-a | col-b |"), std::string::npos);
+    EXPECT_EQ(t.toCsv(), "col-a,col-b\n");
+    EXPECT_EQ(t.rowCount(), 0u);
+}
+
+TEST(Table, CsvQuotesEmbeddedNewlines)
+{
+    Table t({"x"});
+    t.addRow({"line1\nline2"});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+TEST(Table, EmptyCellsKeepAlignment)
+{
+    Table t({"a", "b"});
+    t.addRow({"", "wide-cell"});
+    t.addRow({"x", ""});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("|   | wide-cell |"), std::string::npos);
+    EXPECT_NE(text.find("| x |           |"), std::string::npos);
+}
+
 TEST(Table, RowCount)
 {
     Table t({"a"});
