@@ -119,7 +119,7 @@ main(int argc, char **argv)
                     {"mesh", "width", "height", "vcs", "depth",
                      "routing", "pattern", "rate", "cycles", "seed",
                      "fault", "kind", "trace", "non-atomic",
-                     "speculative", "dense-kernel"});
+                     "speculative", "dense-kernel", "kernel"});
 
     noc::NetworkConfig config;
     config.width = static_cast<int>(
@@ -145,8 +145,20 @@ main(int argc, char **argv)
     traffic.stopCycle = cycles;
 
     noc::Network network(config, traffic);
-    if (cli.getBool("dense-kernel", false))
+    // --kernel dense|active|bitmask selects the simulation kernel;
+    // --dense-kernel is the historical spelling of --kernel dense.
+    const std::string kernel = cli.getBool("dense-kernel", false)
+                                   ? "dense"
+                                   : cli.getString("kernel", "bitmask");
+    if (kernel == "dense")
         network.setKernelMode(noc::KernelMode::Dense);
+    else if (kernel == "active")
+        network.setKernelMode(noc::KernelMode::Active);
+    else if (kernel == "bitmask")
+        network.setKernelMode(noc::KernelMode::Bitmask);
+    else
+        NOCALERT_FATAL("unknown --kernel '", kernel,
+                       "' (dense|active|bitmask)");
     core::NoCAlertEngine engine(network);
 
     recovery::RecoveryController controller;

@@ -1,0 +1,17 @@
+#include "core/alert_matrix.hpp"
+
+namespace nocalert::core {
+
+void
+expandPackedEvents(const noc::PackedCycleEvents &ev,
+                   std::vector<Assertion> &out)
+{
+    for (unsigned k = 0; k < ev.count; ++k) {
+        const noc::PackedViolation &pv = ev.items[k];
+        out.push_back({alertMatrix(pv.check), ev.cycle, ev.router,
+                       static_cast<int>(pv.port),
+                       static_cast<int>(pv.vc)});
+    }
+}
+
+} // namespace nocalert::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The alert matrix: the mapping between the noc layer's packed
+ * violation codes (one bit per Table-1 invariant in a per-router
+ * `uint32_t`, see noc/packed.hpp) and the core layer's InvariantId
+ * vocabulary.
+ *
+ * The noc layer cannot include core headers (layering: core depends
+ * on noc, never the reverse), so the bitmask kernel reports checker
+ * fires as numeric codes. This header pins the correspondence with
+ * static assertions and expands packed cycle events into the exact
+ * Assertion stream the branchy checker bank would have produced.
+ */
+
+#ifndef NOCALERT_CORE_ALERT_MATRIX_HPP
+#define NOCALERT_CORE_ALERT_MATRIX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checkers.hpp"
+#include "core/invariant.hpp"
+#include "noc/packed.hpp"
+
+namespace nocalert::core {
+
+/** Invariant a packed violation code denotes (numeric identity). */
+constexpr InvariantId
+alertMatrix(noc::PackedCheck check)
+{
+    return static_cast<InvariantId>(check);
+}
+
+static_assert(alertMatrix(noc::PackedCheck::IllegalTurn) ==
+              InvariantId::IllegalTurn);
+static_assert(alertMatrix(noc::PackedCheck::InvalidRcOutput) ==
+              InvariantId::InvalidRcOutput);
+static_assert(alertMatrix(noc::PackedCheck::NonMinimalRoute) ==
+              InvariantId::NonMinimalRoute);
+static_assert(alertMatrix(noc::PackedCheck::RcOnNonHeaderFlit) ==
+              InvariantId::RcOnNonHeaderFlit);
+static_assert(alertMatrix(noc::PackedCheck::RcOnEmptyVc) ==
+              InvariantId::RcOnEmptyVc);
+static_assert(alertMatrix(noc::PackedCheck::EjectionAtWrongDestination) ==
+              InvariantId::EjectionAtWrongDestination);
+
+/** Bit of invariant @p id in the per-router violation word. */
+constexpr std::uint32_t
+alertMaskBit(InvariantId id)
+{
+    return 1u << (invariantIndex(id) - 1u);
+}
+
+/**
+ * Expand one packed router-cycle event into Assertions, appended to
+ * @p out in the events' fire order — which the fast path guarantees
+ * is the branchy checker bank's emission order.
+ */
+void expandPackedEvents(const noc::PackedCycleEvents &ev,
+                        std::vector<Assertion> &out);
+
+} // namespace nocalert::core
+
+#endif // NOCALERT_CORE_ALERT_MATRIX_HPP

@@ -1,5 +1,7 @@
 #include "core/nocalert.hpp"
 
+#include "core/alert_matrix.hpp"
+
 namespace nocalert::core {
 
 NoCAlertEngine::NoCAlertEngine(noc::Network &network, bool attach_now)
@@ -22,6 +24,11 @@ NoCAlertEngine::NoCAlertEngine(noc::Network &network, bool attach_now)
         network.setNiObserver(
             [this](const noc::NetworkInterface &ni,
                    const noc::NiWires &wires) { observeNi(ni, wires); });
+        network.setPackedObserver(
+            [this](const noc::Router &router,
+                   const noc::PackedCycleEvents &ev) {
+                observePacked(router, ev);
+            });
     }
 }
 
@@ -31,6 +38,19 @@ NoCAlertEngine::observeRouter(const noc::Router &router,
 {
     scratch_.clear();
     evaluateCheckers(router, wires, ctx_, scratch_);
+    for (const Assertion &a : scratch_) {
+        log_.record(a);
+        if (callback_)
+            callback_(a);
+    }
+}
+
+void
+NoCAlertEngine::observePacked(const noc::Router & /*router*/,
+                              const noc::PackedCycleEvents &ev)
+{
+    scratch_.clear();
+    expandPackedEvents(ev, scratch_);
     for (const Assertion &a : scratch_) {
         log_.record(a);
         if (callback_)

@@ -43,6 +43,14 @@ class NoCAlertEngine
     void observeRouter(const noc::Router &router,
                        const noc::RouterWires &wires);
 
+    /**
+     * Feed one fast-path router cycle (bitmask kernel) into the log:
+     * the packed violation word expands through the alert matrix into
+     * the same Assertions the branchy bank would have raised.
+     */
+    void observePacked(const noc::Router &router,
+                       const noc::PackedCycleEvents &ev);
+
     /** Feed one NI's finished cycle into the end-to-end checkers. */
     void observeNi(const noc::NetworkInterface &ni,
                    const noc::NiWires &wires);

@@ -153,6 +153,16 @@ FaultCampaign::runSingle(const CampaignConfig &config,
     if (config.runForever)
         fever.emplace(net, config.forever, /*attach_now=*/false);
 
+    // ForEVeR's allocation comparator inspects every non-quiescent
+    // router's wires each cycle; the bitmask fast path never
+    // materialises RouterWires, so those runs take the classic path.
+    if (fever && net.kernelMode() == noc::KernelMode::Bitmask)
+        net.setKernelMode(noc::KernelMode::Active);
+
+    net.setPackedObserver([&](const noc::Router &router,
+                              const noc::PackedCycleEvents &ev) {
+        engine.observePacked(router, ev);
+    });
     net.setRouterObserver([&](const noc::Router &router,
                               const noc::RouterWires &wires) {
         engine.observeRouter(router, wires);
@@ -338,7 +348,7 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
     // ---- Warm snapshot ----
     noc::Network base(config_.network, config_.traffic);
     base.setKernelMode(config_.denseKernel ? noc::KernelMode::Dense
-                                           : noc::KernelMode::Active);
+                                           : noc::KernelMode::Bitmask);
     {
         // Any assertion during warmup would poison every
         // classification; the engine enforces the zero-false-alarm
@@ -349,6 +359,7 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
                         "checker asserted during fault-free warmup");
         base.setRouterObserver(nullptr);
         base.setNiObserver(nullptr);
+        base.setPackedObserver(nullptr);
     }
 
     // ---- Golden reference ----

@@ -12,34 +12,6 @@ RoundRobinArbiter::RoundRobinArbiter(unsigned num_clients)
                     "arbiter clients out of range: ", num_clients);
 }
 
-std::uint64_t
-RoundRobinArbiter::compute(std::uint64_t requests, unsigned pointer,
-                           unsigned num_clients)
-{
-    requests &= lowMask(num_clients);
-    if (requests == 0)
-        return 0;
-    // Search pointer, pointer+1, ... wrapping once around. A corrupted
-    // pointer >= num_clients behaves like pointer % num_clients, as the
-    // wrap logic in hardware would.
-    unsigned start = pointer % num_clients;
-    for (unsigned i = 0; i < num_clients; ++i) {
-        unsigned client = (start + i) % num_clients;
-        if (getBit(requests, client))
-            return 1ULL << client;
-    }
-    return 0; // unreachable: requests != 0
-}
-
-void
-RoundRobinArbiter::commit(std::uint64_t grant)
-{
-    if (!isOneHot(grant & lowMask(num_clients_)))
-        return;
-    unsigned winner = static_cast<unsigned>(lowestSetBit(grant));
-    pointer_ = (winner + 1) % num_clients_;
-}
-
 MatrixArbiter::MatrixArbiter(unsigned num_clients)
     : num_clients_(num_clients)
 {

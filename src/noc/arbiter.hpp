@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "util/bits.hpp"
+
 namespace nocalert::noc {
 
 /**
@@ -44,7 +46,22 @@ class RoundRobinArbiter
      * vector, or 0 when @p requests is 0.
      */
     static std::uint64_t compute(std::uint64_t requests, unsigned pointer,
-                                 unsigned num_clients);
+                                 unsigned num_clients)
+    {
+        requests &= lowMask(num_clients);
+        if (requests == 0)
+            return 0;
+        // First requesting client at or after the pointer (mod
+        // num_clients), wrapping once around. A corrupted pointer
+        // >= num_clients behaves like pointer % num_clients, as the
+        // wrap logic in hardware would. Branch-free search: mask off
+        // the clients below the pointer, fall back to the full vector
+        // when nothing at-or-above requests, take the lowest set bit.
+        std::uint64_t at_or_above =
+            requests & ~lowMask(pointer % num_clients);
+        std::uint64_t candidates = at_or_above ? at_or_above : requests;
+        return candidates & (~candidates + 1);
+    }
 
     /**
      * Commit the pointer update implied by @p grant (the winner's
@@ -54,7 +71,14 @@ class RoundRobinArbiter
      * update logic in hardware; keeping it stable is the benign
      * modelling choice.
      */
-    void commit(std::uint64_t grant);
+    void commit(std::uint64_t grant)
+    {
+        grant &= lowMask(num_clients_);
+        if (!isOneHot(grant))
+            return;
+        unsigned winner = static_cast<unsigned>(lowestSetBit(grant));
+        pointer_ = (winner + 1) % num_clients_;
+    }
 
   private:
     unsigned num_clients_;

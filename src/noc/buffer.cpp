@@ -10,33 +10,6 @@ VcFifo::VcFifo(unsigned depth)
     NOCALERT_ASSERT(depth >= 1, "FIFO depth must be positive");
 }
 
-bool
-VcFifo::push(const Flit &flit)
-{
-    if (full())
-        return false;
-    slots_[(head_ + count_) % depth_] = flit;
-    ++count_;
-    return true;
-}
-
-Flit
-VcFifo::pop()
-{
-    Flit flit = slots_[head_];
-    if (count_ > 0) {
-        head_ = (head_ + 1) % depth_;
-        --count_;
-    }
-    return flit;
-}
-
-const Flit &
-VcFifo::peek(unsigned offset) const
-{
-    return slots_[(head_ + offset) % depth_];
-}
-
 void
 VcFifo::clear()
 {
@@ -74,18 +47,5 @@ vcStateName(VcState state)
     return "?";
 }
 
-void
-VcRecord::reset()
-{
-    state = VcState::Idle;
-    outPort = kInvalidPort;
-    outVc = -1;
-    msgClass = 0;
-    flitsArrived = 0;
-    expectedLength = 0;
-    lastWrittenType = FlitType::Tail;
-    tailArrived = false;
-    packet = kInvalidPacket;
-}
 
 } // namespace nocalert::noc

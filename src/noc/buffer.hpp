@@ -45,7 +45,20 @@ class VcFifo
      * hardware analogue of a write-enable asserted on a full buffer,
      * which invariant 25 flags.
      */
-    bool push(const Flit &flit);
+    bool
+    push(const Flit &flit)
+    {
+        if (full())
+            return false;
+        // head_ < depth_ and count_ <= depth_, so one conditional
+        // subtraction wraps exactly (cheaper than % on the hot path).
+        unsigned slot = head_ + count_;
+        if (slot >= depth_)
+            slot -= depth_;
+        slots_[slot] = flit;
+        ++count_;
+        return true;
+    }
 
     /**
      * Remove and return the head flit. When empty, returns the stale
@@ -53,13 +66,43 @@ class VcFifo
      * hardware analogue of a read-enable on an empty buffer
      * (invariant 24).
      */
-    Flit pop();
+    Flit
+    pop()
+    {
+        Flit flit = slots_[head_];
+        if (count_ > 0) {
+            ++head_;
+            if (head_ >= depth_)
+                head_ = 0;
+            --count_;
+        }
+        return flit;
+    }
+
+    /**
+     * Advance past the head flit without reading it: pop() minus the
+     * copy, for callers that already peeked. No-op when empty.
+     */
+    void
+    dropHead()
+    {
+        if (count_ > 0) {
+            ++head_;
+            if (head_ >= depth_)
+                head_ = 0;
+            --count_;
+        }
+    }
 
     /**
      * Contents of the slot @p offset positions past the head. Stale
      * data is visible beyond size(); offset wraps within the depth.
      */
-    const Flit &peek(unsigned offset = 0) const;
+    const Flit &
+    peek(unsigned offset = 0) const
+    {
+        return slots_[(head_ + offset) % depth_];
+    }
 
     /** Drop all stored flits (pointers reset; slot contents remain). */
     void clear();
@@ -139,7 +182,19 @@ struct VcRecord
     PacketId packet = kInvalidPacket;
 
     /** Reset to the idle state (buffer contents handled separately). */
-    void reset();
+    void
+    reset()
+    {
+        state = VcState::Idle;
+        outPort = kInvalidPort;
+        outVc = -1;
+        msgClass = 0;
+        flitsArrived = 0;
+        expectedLength = 0;
+        lastWrittenType = FlitType::Tail;
+        tailArrived = false;
+        packet = kInvalidPacket;
+    }
 };
 
 } // namespace nocalert::noc

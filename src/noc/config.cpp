@@ -30,18 +30,6 @@ routingAlgoFromName(std::string_view name)
     return std::nullopt;
 }
 
-unsigned
-RouterParams::vcClass(unsigned vc) const
-{
-    NOCALERT_ASSERT(vc < numVcs, "vc ", vc, " out of range");
-    NOCALERT_ASSERT(!classes.empty(), "no message classes configured");
-    // Contiguous partition: with C classes and V VCs, class c owns VCs
-    // [c*V/C, (c+1)*V/C).
-    auto c = static_cast<unsigned>(classes.size());
-    return static_cast<unsigned>(
-        (static_cast<std::uint64_t>(vc) * c) / numVcs);
-}
-
 std::vector<unsigned>
 RouterParams::classVcs(unsigned cls) const
 {
@@ -50,13 +38,6 @@ RouterParams::classVcs(unsigned cls) const
         if (vcClass(v) == cls)
             vcs.push_back(v);
     return vcs;
-}
-
-std::uint16_t
-RouterParams::classLength(unsigned cls) const
-{
-    NOCALERT_ASSERT(cls < classes.size(), "class ", cls, " out of range");
-    return classes[cls].packetLength;
 }
 
 void
@@ -82,52 +63,8 @@ RouterParams::validate() const
     }
 }
 
-Coord
-NetworkConfig::coordOf(NodeId node) const
-{
-    NOCALERT_ASSERT(node >= 0 && node < numNodes(), "bad node ", node);
-    return {node % width, node / width};
-}
 
-NodeId
-NetworkConfig::nodeAt(Coord c) const
-{
-    NOCALERT_ASSERT(c.x >= 0 && c.x < width && c.y >= 0 && c.y < height,
-                    "bad coord ", toString(c));
-    return c.y * width + c.x;
-}
 
-NodeId
-NetworkConfig::neighborOf(NodeId node, int port) const
-{
-    Coord c = coordOf(node);
-    switch (static_cast<Port>(port)) {
-      case Port::North: c.y += 1; break;
-      case Port::South: c.y -= 1; break;
-      case Port::East: c.x += 1; break;
-      case Port::West: c.x -= 1; break;
-      default: return kInvalidNode;
-    }
-    if (c.x < 0 || c.x >= width || c.y < 0 || c.y >= height)
-        return kInvalidNode;
-    return nodeAt(c);
-}
-
-bool
-NetworkConfig::portConnected(NodeId node, int port) const
-{
-    if (port == portIndex(Port::Local))
-        return true;
-    return neighborOf(node, port) != kInvalidNode;
-}
-
-int
-NetworkConfig::hopDistance(NodeId a, NodeId b) const
-{
-    Coord ca = coordOf(a);
-    Coord cb = coordOf(b);
-    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
-}
 
 void
 NetworkConfig::validate() const

@@ -95,13 +95,25 @@ struct RouterParams
     };
 
     /** Message class a VC belongs to (contiguous partition). */
-    unsigned vcClass(unsigned vc) const;
+    unsigned
+    vcClass(unsigned vc) const
+    {
+        // Contiguous partition: with C classes and V VCs, class c
+        // owns VCs [c*V/C, (c+1)*V/C).
+        auto c = static_cast<unsigned>(classes.size());
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(vc) * c) / numVcs);
+    }
 
     /** VCs belonging to message class @p cls, in increasing order. */
     std::vector<unsigned> classVcs(unsigned cls) const;
 
     /** Packet length of message class @p cls. */
-    std::uint16_t classLength(unsigned cls) const;
+    std::uint16_t
+    classLength(unsigned cls) const
+    {
+        return classes[cls].packetLength;
+    }
 
     /** Abort with a message if the parameters are inconsistent. */
     void validate() const;
@@ -152,19 +164,55 @@ struct NetworkConfig
     int numNodes() const { return width * height; }
 
     /** Coordinate of a node id. */
-    Coord coordOf(NodeId node) const;
+    Coord
+    coordOf(NodeId node) const
+    {
+        return {node % width, node / width};
+    }
 
     /** Node id of a coordinate. */
-    NodeId nodeAt(Coord c) const;
+    NodeId
+    nodeAt(Coord c) const
+    {
+        return c.y * width + c.x;
+    }
 
     /** Neighbor of @p node through mesh port @p port, or kInvalidNode. */
-    NodeId neighborOf(NodeId node, int port) const;
+    NodeId
+    neighborOf(NodeId node, int port) const
+    {
+        Coord c = coordOf(node);
+        switch (static_cast<Port>(port)) {
+          case Port::North: c.y += 1; break;
+          case Port::South: c.y -= 1; break;
+          case Port::East: c.x += 1; break;
+          case Port::West: c.x -= 1; break;
+          default: return kInvalidNode;
+        }
+        if (c.x < 0 || c.x >= width || c.y < 0 || c.y >= height)
+            return kInvalidNode;
+        return nodeAt(c);
+    }
 
     /** True iff @p node has a link on mesh port @p port. */
-    bool portConnected(NodeId node, int port) const;
+    bool
+    portConnected(NodeId node, int port) const
+    {
+        if (port == portIndex(Port::Local))
+            return true;
+        return neighborOf(node, port) != kInvalidNode;
+    }
 
     /** Minimal hop distance between two nodes. */
-    int hopDistance(NodeId a, NodeId b) const;
+    int
+    hopDistance(NodeId a, NodeId b) const
+    {
+        const Coord ca = coordOf(a);
+        const Coord cb = coordOf(b);
+        const int dx = ca.x - cb.x;
+        const int dy = ca.y - cb.y;
+        return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+    }
 
     /** Abort with a message if the configuration is inconsistent. */
     void validate() const;

@@ -3,17 +3,6 @@
 namespace nocalert::noc {
 
 void
-Link::tick()
-{
-    recvValid = sendValid;
-    recvFlit = sendFlit;
-    sendValid = false;
-
-    creditRecv = creditSend;
-    creditSend = 0;
-}
-
-void
 Link::clear()
 {
     *this = Link{};

@@ -48,7 +48,16 @@ struct Link
     }
 
     /** Advance one cycle: move written values to the arrival side. */
-    void tick();
+    void
+    tick()
+    {
+        recvValid = sendValid;
+        recvFlit = sendFlit;
+        sendValid = false;
+
+        creditRecv = creditSend;
+        creditSend = 0;
+    }
 
     /** Drop any in-flight values (used when resetting a network). */
     void clear();

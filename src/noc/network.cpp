@@ -22,6 +22,7 @@ Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
     buildTopology();
     router_live_.assign(static_cast<std::size_t>(nodes), 0);
     force_active_.assign(static_cast<std::size_t>(nodes), 0);
+    packed_.assign(static_cast<std::size_t>(nodes), PackedRouterState{});
 }
 
 Network::Network(const Network &other)
@@ -70,7 +71,18 @@ Network::operator=(const Network &other)
     router_observer_ = nullptr;
     ni_observer_ = nullptr;
     cycle_observer_ = nullptr;
+    packed_observer_ = nullptr;
     return *this;
+}
+
+void
+Network::setKernelMode(KernelMode mode)
+{
+    kernel_mode_ = mode;
+    // The packed caches may have rotted while another kernel ran
+    // (they are only maintained by stepBitmask); force a rebuild.
+    for (PackedRouterState &ps : packed_)
+        ps.stale = true;
 }
 
 void
@@ -81,6 +93,14 @@ Network::recomputeLiveness()
     router_live_.resize(nodes);
     for (std::size_t n = 0; n < nodes; ++n)
         router_live_[n] = routers_[n].quiescent() ? 0 : 1;
+    // Anything that invalidates liveness certificates (copies,
+    // purges) invalidates the packed mirrors and the cached link
+    // arrival flags too (a purge can pull a flit off a link after
+    // the flags were computed; a copy may have a different topology).
+    packed_.assign(nodes, PackedRouterState{});
+    link_flit_dst_.clear();
+    link_credit_dst_.clear();
+    io_flags_cycle_ = -1;
 }
 
 void
@@ -150,8 +170,10 @@ Network::router(NodeId node)
 {
     // The caller may mutate architectural state behind the kernel's
     // back; drop the router's quiescence certificate so the active
-    // kernel re-evaluates it.
+    // kernel re-evaluates it, and its packed mirror so the bitmask
+    // kernel rebuilds before trusting the masks.
     router_live_[static_cast<std::size_t>(node)] = 1;
+    packed_[static_cast<std::size_t>(node)].stale = true;
     return routers_[static_cast<std::size_t>(node)];
 }
 
@@ -176,10 +198,17 @@ Network::ni(NodeId node) const
 void
 Network::step()
 {
-    if (kernel_mode_ == KernelMode::Dense)
+    switch (kernel_mode_) {
+    case KernelMode::Dense:
         stepDense();
-    else
+        break;
+    case KernelMode::Bitmask:
+        stepBitmask();
+        break;
+    case KernelMode::Active:
         stepActive();
+        break;
+    }
 }
 
 void
@@ -393,6 +422,320 @@ Network::stepActive()
             link.tick();
 
     ++cycle_;
+
+    if (cycle_observer_)
+        cycle_observer_(*this);
+}
+
+void
+Network::stepBitmask()
+{
+    const int nodes = config_.numNodes();
+    const int lp = portIndex(Port::Local);
+
+    // ---- Batched link delivery ----
+    // One sweep over the links derives, for every node, whether
+    // anything arrived: bit 0 - a flit on some router input port,
+    // bit 1 - a credit on some router output port, bit 2 - a flit on
+    // the ejection link (for the NI), bit 3 - a credit on the
+    // injection link (for the NI). The recv sides the sweep reads are
+    // registered - only tick() at end of cycle moves send to recv,
+    // and the NI loop below writes send sides only - so the flags
+    // stay valid for both module loops, and a node with clear flags
+    // is scheduled without loading any of its link slots. Ordinarily
+    // the flags were already computed for free by the previous
+    // cycle's link pass; the sweep here only runs when something
+    // invalidated them (another kernel ran, a copy, a purge).
+    // Links whose send side gets written this cycle join the busy
+    // set; the end-of-cycle pass visits only busy links.
+    const auto mark_busy = [this](int li) {
+        link_busy_bits_[static_cast<std::size_t>(li) >> 6] |=
+            std::uint64_t{1} << (static_cast<unsigned>(li) & 63u);
+    };
+
+    if (io_flags_cycle_ != cycle_) {
+        if (link_flit_dst_.size() != links_.size()) {
+            // Every link has exactly one flit and one credit
+            // consumer; router consumers are stored as the node id,
+            // NI consumers (ejection flits, injection credits) as
+            // ~node.
+            link_flit_dst_.assign(links_.size(), -1);
+            link_credit_dst_.assign(links_.size(), -1);
+            for (NodeId n = 0; n < nodes; ++n) {
+                for (int p = 0; p < kNumPorts; ++p) {
+                    const int li = inLinkIndex(n, p);
+                    if (li >= 0)
+                        link_flit_dst_[static_cast<std::size_t>(li)] = n;
+                    const int lo = outLinkIndex(n, p);
+                    if (lo >= 0)
+                        link_credit_dst_[static_cast<std::size_t>(lo)] =
+                            n;
+                }
+                link_flit_dst_[static_cast<std::size_t>(
+                    outLinkIndex(n, lp))] = ~n;
+                link_credit_dst_[static_cast<std::size_t>(
+                    inLinkIndex(n, lp))] = ~n;
+            }
+        }
+        node_io_flags_.assign(static_cast<std::size_t>(nodes), 0);
+        link_busy_bits_.assign((links_.size() + 63) / 64, 0);
+        for (std::size_t li = 0; li < links_.size(); ++li) {
+            const Link &link = links_[li];
+            if (link.busy())
+                mark_busy(static_cast<int>(li));
+            if (link.recvValid) {
+                const int d = link_flit_dst_[li];
+                if (d >= 0)
+                    node_io_flags_[static_cast<std::size_t>(d)] |= 1;
+                else
+                    node_io_flags_[static_cast<std::size_t>(~d)] |= 4;
+            }
+            if (link.creditRecv != 0) {
+                const int d = link_credit_dst_[li];
+                if (d >= 0)
+                    node_io_flags_[static_cast<std::size_t>(d)] |= 2;
+                else
+                    node_io_flags_[static_cast<std::size_t>(~d)] |= 8;
+            }
+        }
+        io_flags_cycle_ = cycle_;
+    }
+
+    // ---- Network interfaces: identical to the active kernel ----
+    // (same skip predicate, same credit fast path, same RNG draws, so
+    // the traffic streams stay aligned with an active run; the flag
+    // bits stand in for the link loads the active kernel does).
+    const bool stopped = traffic_.stopped(cycle_);
+    for (NodeId n = 0; n < nodes; ++n) {
+        std::optional<Packet> pkt;
+        if (!stopped)
+            pkt = traffic_.generate(config_, n, cycle_);
+
+        NetworkInterface &ni = nis_[static_cast<std::size_t>(n)];
+        const std::uint8_t nflags =
+            node_io_flags_[static_cast<std::size_t>(n)];
+
+        const bool active =
+            pkt.has_value() || !ni.idle() || (nflags & 4) != 0;
+        if (pkt)
+            ni.enqueue(*pkt);
+        if (!active) {
+            if (nflags & 8)
+                ni.applyCreditIncrements(
+                    links_[static_cast<std::size_t>(inLinkIndex(n, lp))]
+                        .creditRecv);
+            continue;
+        }
+
+        Link &inj = links_[static_cast<std::size_t>(inLinkIndex(n, lp))];
+        Link &ejc = links_[static_cast<std::size_t>(outLinkIndex(n, lp))];
+
+        NetworkInterface::LinkIo io;
+        io.inValid = ejc.recvValid;
+        io.inFlit = ejc.recvFlit;
+        io.creditIn = inj.creditRecv;
+
+        ni.evaluate(cycle_, io);
+        ++ni_evals_;
+
+        if (io.outValid) {
+            inj.sendValid = true;
+            inj.sendFlit = io.outFlit;
+            mark_busy(inLinkIndex(n, lp));
+        }
+        if (io.creditOut != 0) {
+            ejc.creditSend |= io.creditOut;
+            mark_busy(outLinkIndex(n, lp));
+        }
+
+        if (ni_observer_)
+            ni_observer_(ni, ni.wires());
+    }
+
+    // ---- Routers: active-set scheduling + packed fast path ----
+    // Scheduling (skip / credit fast path / evaluate) is exactly the
+    // active kernel's. An evaluated router tries the struct-of-arrays
+    // fast path unless it is pinned (tap hooks and forced-active
+    // routers need the wire record and tap delivery, so they always
+    // take the branchy pipeline); a rejected screen falls back to the
+    // branchy pipeline with the full checker bank.
+    Router::Context ctx{&config_, routing_.get()};
+    const bool hook_all = tap_force_all_ && tap_hook_;
+    PackedCycleEvents ev;
+    Router::LinkIo io;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::size_t idx = static_cast<std::size_t>(n);
+        const std::uint8_t flags = node_io_flags_[idx];
+
+        const bool pinned = hook_all || force_active_[idx];
+        if ((flags & 1) == 0 && !router_live_[idx] && !pinned) {
+            if (flags & 2) {
+                std::array<std::uint32_t, kNumPorts> credits = {};
+                for (int p = 0; p < kNumPorts; ++p) {
+                    const int lo = outLinkIndex(n, p);
+                    if (lo >= 0)
+                        credits[p] =
+                            links_[static_cast<std::size_t>(lo)]
+                                .creditRecv;
+                }
+                routers_[idx].applyCreditIncrements(credits);
+            }
+            continue;
+        }
+
+        // Fill the reused LinkIo: flag-gated gathers, and only the
+        // output fields evaluate() writes conditionally need
+        // clearing (flit payloads are guarded by their valid bits).
+        io.outValid = {};
+        io.creditOut = {};
+        io.inValid = {};
+        io.creditIn = {};
+        io.inMask = 0;
+        io.outMask = 0;
+        io.creditOutMask = 0;
+        if (flags & 1) {
+            for (int p = 0; p < kNumPorts; ++p) {
+                const int li = inLinkIndex(n, p);
+                if (li >= 0) {
+                    const Link &link =
+                        links_[static_cast<std::size_t>(li)];
+                    if (link.recvValid) {
+                        io.inValid[p] = true;
+                        io.inFlit[p] = link.recvFlit;
+                        io.inMask |= static_cast<std::uint8_t>(1u << p);
+                    }
+                }
+            }
+        }
+        if (flags & 2) {
+            for (int p = 0; p < kNumPorts; ++p) {
+                const int lo = outLinkIndex(n, p);
+                if (lo >= 0)
+                    io.creditIn[p] =
+                        links_[static_cast<std::size_t>(lo)].creditRecv;
+            }
+        }
+
+        Router &router = routers_[idx];
+        bool fast = false;
+        if (!pinned) {
+            PackedRouterState &ps = packed_[idx];
+            if (ps.stale)
+                router.recomputePacked(config_, ps);
+            fast = router.evaluateFast(ctx, cycle_, io, ps,
+                                       packed_scratch_, ev);
+            if (fast) {
+                ++router_evals_;
+                router_live_[idx] = ps.quiescentPacked() ? 0 : 1;
+                if (ev.mask != 0 && packed_observer_)
+                    packed_observer_(router, ev);
+            }
+        }
+        if (!fast) {
+            router.evaluate(ctx, cycle_, io,
+                            tap_hook_ ? &tap_hook_ : nullptr);
+            ++router_evals_;
+            router_live_[idx] = router.quiescent() ? 0 : 1;
+            packed_[idx].stale = true;
+
+            if (router_observer_)
+                router_observer_(router, router.wires());
+        }
+
+        if (fast) {
+            // The fast path reports exactly which ports it drove;
+            // only those links need touching. (A corrupted schedule
+            // can aim at a disconnected port — mirror the slow
+            // path's index guards so the flit just vanishes.)
+            for (std::uint32_t m = io.outMask; m != 0;) {
+                const int p = lowestSetBit(m);
+                m = static_cast<std::uint32_t>(
+                    clearBit(m, static_cast<unsigned>(p)));
+                const int lo = outLinkIndex(n, p);
+                if (lo >= 0) {
+                    Link &link = links_[static_cast<std::size_t>(lo)];
+                    link.sendValid = true;
+                    link.sendFlit = io.outFlit[p];
+                    mark_busy(lo);
+                }
+            }
+            for (std::uint32_t m = io.creditOutMask; m != 0;) {
+                const int p = lowestSetBit(m);
+                m = static_cast<std::uint32_t>(
+                    clearBit(m, static_cast<unsigned>(p)));
+                const int li = inLinkIndex(n, p);
+                if (li >= 0) {
+                    links_[static_cast<std::size_t>(li)].creditSend |=
+                        io.creditOut[p];
+                    mark_busy(li);
+                }
+            }
+            continue;
+        }
+
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int lo = outLinkIndex(n, p);
+            if (lo >= 0 && io.outValid[p]) {
+                Link &link = links_[static_cast<std::size_t>(lo)];
+                link.sendValid = true;
+                link.sendFlit = io.outFlit[p];
+                mark_busy(lo);
+            }
+            const int li = inLinkIndex(n, p);
+            if (li >= 0 && io.creditOut[p] != 0) {
+                links_[static_cast<std::size_t>(li)].creditSend |=
+                    io.creditOut[p];
+                mark_busy(li);
+            }
+        }
+    }
+
+    // ---- Links advance; next cycle's arrival flags fall out of the
+    // same pass (the freshly ticked recv sides are exactly what the
+    // dedicated sweep above would read at the top of the next step).
+    // Only busy links are visited: a link outside the set has nothing
+    // on either side, so ticking it is a no-op and it contributes no
+    // flags. A bit survives into the next cycle exactly while the
+    // freshly ticked recv side still carries something (the clearing
+    // tick is then next cycle's visit).
+    std::fill(node_io_flags_.begin(), node_io_flags_.end(), 0);
+    for (std::size_t w = 0; w < link_busy_bits_.size(); ++w) {
+        std::uint64_t bits = link_busy_bits_[w];
+        if (bits == 0)
+            continue;
+        std::uint64_t keep = 0;
+        while (bits != 0) {
+            const unsigned b =
+                static_cast<unsigned>(lowestSetBit(bits));
+            bits = clearBit(bits, b);
+            const std::size_t li = w * 64 + b;
+            Link &link = links_[li];
+            link.tick();
+            bool still = false;
+            if (link.recvValid) {
+                const int d = link_flit_dst_[li];
+                if (d >= 0)
+                    node_io_flags_[static_cast<std::size_t>(d)] |= 1;
+                else
+                    node_io_flags_[static_cast<std::size_t>(~d)] |= 4;
+                still = true;
+            }
+            if (link.creditRecv != 0) {
+                const int d = link_credit_dst_[li];
+                if (d >= 0)
+                    node_io_flags_[static_cast<std::size_t>(d)] |= 2;
+                else
+                    node_io_flags_[static_cast<std::size_t>(~d)] |= 8;
+                still = true;
+            }
+            if (still)
+                keep |= std::uint64_t{1} << b;
+        }
+        link_busy_bits_[w] = keep;
+    }
+
+    ++cycle_;
+    io_flags_cycle_ = cycle_;
 
     if (cycle_observer_)
         cycle_observer_(*this);

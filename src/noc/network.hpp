@@ -50,10 +50,25 @@ namespace nocalert::noc {
  * Dense evaluates everything every cycle — the original kernel. Use
  * it when an external observer must see every router every cycle
  * (e.g. whole-network tracing) or to cross-check the active kernel.
+ *
+ * Bitmask keeps the active kernel's scheduling and adds the
+ * struct-of-arrays fast path (Router::evaluateFast): an evaluated
+ * router whose packed state passes the eligibility screen commits
+ * its cycle by sparse bitmask iteration — no wire record, no
+ * snapshots, no branchy checker bank — and reports any invariant
+ * fires as one violation word through the packed observer. Routers
+ * the screen rejects (suspect state, anomalous stimulus) and pinned
+ * routers (tap hooks, forced-active) take the branchy path with the
+ * full checker bank, so behaviour under faults is bit-identical to
+ * Dense/Active; the three-way kernel-equivalence tests pin this.
+ * Like Active, per-router observers do not fire for fast-path
+ * routers (install a packed observer to receive their violations),
+ * and tap hooks are only delivered to pinned routers.
  */
 enum class KernelMode : std::uint8_t {
     Active,
     Dense,
+    Bitmask,
 };
 
 /** A complete mesh NoC with attached traffic sources. */
@@ -73,6 +88,15 @@ class Network
 
     /** Called once at the end of every step() (all state committed). */
     using CycleObserver = std::function<void(const Network &)>;
+
+    /**
+     * Called for a fast-path router evaluation that fired at least
+     * one invariant (bitmask kernel only), at the router's position
+     * in the per-cycle observer sequence. Fast-path evaluations with
+     * an empty violation mask are not reported.
+     */
+    using PackedObserver =
+        std::function<void(const Router &, const PackedCycleEvents &)>;
 
     /** Build a network for @p config driven by @p traffic. */
     Network(const NetworkConfig &config, const TrafficSpec &traffic);
@@ -97,7 +121,7 @@ class Network
     KernelMode kernelMode() const { return kernel_mode_; }
 
     /** Select the kernel. Safe to switch at any cycle boundary. */
-    void setKernelMode(KernelMode mode) { kernel_mode_ = mode; }
+    void setKernelMode(KernelMode mode);
 
     /** Routers evaluated so far (kernel-effort instrumentation). */
     std::uint64_t routerEvaluations() const { return router_evals_; }
@@ -175,6 +199,12 @@ class Network
     /** Install the per-NI cycle observer. */
     void setNiObserver(NiObserver obs) { ni_observer_ = std::move(obs); }
 
+    /** Install the fast-path violation observer (bitmask kernel). */
+    void setPackedObserver(PackedObserver obs)
+    {
+        packed_observer_ = std::move(obs);
+    }
+
     /** Install the end-of-cycle observer. */
     void setCycleObserver(CycleObserver obs)
     {
@@ -244,6 +274,7 @@ class Network
     void buildTopology();
     void stepDense();
     void stepActive();
+    void stepBitmask();
     void recomputeLiveness();
     int inLinkIndex(NodeId node, int port) const;
     int outLinkIndex(NodeId node, int port) const;
@@ -257,12 +288,46 @@ class Network
     std::vector<int> in_link_;  // [node * kNumPorts + port]
     std::vector<int> out_link_; // [node * kNumPorts + port]
 
+    /**
+     * Batched link delivery (bitmask kernel): per-link consumer nodes
+     * (inverse of in_link_/out_link_, built lazily) and the per-node
+     * arrival flags one link sweep per cycle derives from them —
+     * bit 0: a flit arrived on some input port, bit 1: a credit
+     * arrived on some output port. Routers whose flags are clear are
+     * scheduled without touching any of their ten link slots.
+     */
+    std::vector<int> link_flit_dst_;
+    std::vector<int> link_credit_dst_;
+    std::vector<std::uint8_t> node_io_flags_;
+    /**
+     * Cycle node_io_flags_ describes, or -1 when invalid. The flags
+     * for cycle c+1 are computed for free while the links advance at
+     * the end of bitmask cycle c; a dedicated sweep is only needed
+     * when the previous cycle ran on another kernel or something else
+     * touched the links in between (copies, purges — anything through
+     * recomputeLiveness()).
+     */
+    Cycle io_flags_cycle_ = -1;
+    /**
+     * Bit li set iff links_[li] may hold any in-flight state (send or
+     * recv side). The end-of-cycle pass ticks only these links instead
+     * of scanning the whole array; drive sites set a link's bit when
+     * they write its send side, the pass keeps a bit while the recv
+     * side stays non-empty. Valid exactly when io_flags_cycle_ ==
+     * cycle_ (rebuilt by the same sweep that rebuilds the flags).
+     */
+    std::vector<std::uint64_t> link_busy_bits_;
+
     TrafficGenerator traffic_;
     Cycle cycle_ = 0;
 
     KernelMode kernel_mode_ = KernelMode::Active;
     /** Per router: last evaluation left it non-quiescent. */
     std::vector<char> router_live_;
+    /** Per router: packed state cache (bitmask kernel). */
+    std::vector<PackedRouterState> packed_;
+    /** Shared VA scratch for fast-path evaluations. */
+    PackedScratch packed_scratch_;
     /** Per router: pinned active (fault sites, direct mutation). */
     std::vector<char> force_active_;
     /** Tap hook present and not narrowed: pin all routers active. */
@@ -274,6 +339,7 @@ class Network
     RouterObserver router_observer_;
     NiObserver ni_observer_;
     CycleObserver cycle_observer_;
+    PackedObserver packed_observer_;
 };
 
 } // namespace nocalert::noc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Struct-of-arrays packed router state for the bitmask kernel.
+ *
+ * The branchy per-object pipeline walks five ports times numVcs VC
+ * records, arbiters, and checker instances every cycle. The bitmask
+ * kernel instead keeps one word per *kind* of state — a 64-bit mask
+ * over the router's flattened (port, vc) slots per VC pipeline stage,
+ * one 5-bit word of scheduled crossbar reads — and evaluates both the
+ * pipeline and the Table-1 invariant catalog as bitwise operations
+ * over those words. A healthy router's cycle then touches only the
+ * set bits; the 32 checker outcomes collapse into one `uint32_t`
+ * violation mask per router per cycle (see PackedCycleEvents).
+ *
+ * The packing is a *cache*, not a second source of truth: the masks
+ * are derived from the architectural VC records and re-derivable at
+ * any time (Router::recomputePacked). Whenever state changes behind
+ * the kernel's back — direct mutation through Network::router(),
+ * recovery purges, kernel switches — the cache is marked stale and
+ * lazily rebuilt. Anything the masks cannot prove healthy (the
+ * `suspect` mask, a non-idle `suspectOut` table) routes the router
+ * back through the branchy pipeline + full checker bank, so fault
+ * behaviour is bit-identical to the dense kernel by construction.
+ */
+
+#ifndef NOCALERT_NOC_PACKED_HPP
+#define NOCALERT_NOC_PACKED_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "noc/signals.hpp"
+#include "noc/types.hpp"
+
+namespace nocalert::noc {
+
+/**
+ * Packed mirror of one router's VC pipeline state.
+ *
+ * Bit i of each mask is the flattened slot port * numVcs + vc — the
+ * same flattening the router's own record/fifo arrays use, at most
+ * 5 * 8 = 40 bits. A slot appears in at most one of the three stage
+ * masks (Idle slots appear in none); `suspect` marks slots whose
+ * state would trip a continuous consistency checker (invariants 2,
+ * 17, 19 over the pre-cycle snapshot) and therefore disqualifies the
+ * whole router from the fast path.
+ */
+struct PackedRouterState
+{
+    std::uint64_t routeWait = 0;   ///< Slots in VcState::RouteWait.
+    std::uint64_t vcAllocWait = 0; ///< Slots in VcState::VcAllocWait.
+    std::uint64_t active = 0;      ///< Slots in VcState::Active.
+    std::uint64_t suspect = 0;     ///< Slots failing a continuous check.
+
+    /** Ports with a valid SA->ST schedule entry (bit = port). */
+    std::uint32_t schedPorts = 0;
+
+    /**
+     * Output-VC allocation table fails the extended (group-9)
+     * consistency check. Only maintained when extendedChecks is on;
+     * always false otherwise.
+     */
+    bool suspectOut = false;
+
+    /** Masks no longer reflect the router; rebuild before use. */
+    bool stale = true;
+
+    /**
+     * Packed equivalent of Router::quiescent(): every record Idle,
+     * every buffer empty, no read scheduled. A suspect slot is by
+     * definition non-Idle or non-empty, so it participates; the
+     * extended-table flag does not (quiescent() ignores out-VC
+     * allocations, which persist without needing evaluation).
+     */
+    bool
+    quiescentPacked() const
+    {
+        return (routeWait | vcAllocWait | active | suspect) == 0 &&
+               schedPorts == 0;
+    }
+};
+
+/**
+ * Invariant codes a fast-path evaluation can emit.
+ *
+ * The noc layer cannot name core::InvariantId (layering), so the
+ * codes are numerically equal to the Table-1 invariant numbers; the
+ * core-side alert matrix (core/alert_matrix.hpp) static-asserts the
+ * correspondence and expands events into engine assertions. Only the
+ * checks the fast path cannot rule out by construction appear here:
+ * routing-computation outputs depend on the routing algorithm and on
+ * (possibly stale) buffer heads, and a local ejection can carry a
+ * misrouted destination; every other Table-1 checker is provably
+ * silent under the fast path's eligibility screen.
+ */
+enum class PackedCheck : std::uint8_t {
+    IllegalTurn = 1,
+    InvalidRcOutput = 2,
+    NonMinimalRoute = 3,
+    RcOnNonHeaderFlit = 20,
+    RcOnEmptyVc = 21,
+    EjectionAtWrongDestination = 32,
+};
+
+/** One fast-path checker fire: code plus (port, vc) tags. */
+struct PackedViolation
+{
+    PackedCheck check = PackedCheck::IllegalTurn;
+    std::int8_t port = -1;
+    std::int8_t vc = -1;
+};
+
+/**
+ * Upper bound on fast-path fires in one router-cycle: each of the
+ * five RC units can emit at most three codes, plus one ejection
+ * check.
+ */
+inline constexpr unsigned kMaxPackedViolations = 16;
+
+/**
+ * Everything one fast-path router evaluation reports: the per-router
+ * violation word (bit id-1 set iff invariant id fired — the paper's
+ * one-wire-per-checker alert bundle) and the individual fires in the
+ * exact order the branchy checker bank would have emitted them.
+ */
+struct PackedCycleEvents
+{
+    Cycle cycle = 0;
+    NodeId router = kInvalidNode;
+
+    /** Violation bitmask: bit (id - 1) per Table-1 invariant id. */
+    std::uint32_t mask = 0;
+
+    unsigned count = 0;
+    std::array<PackedViolation, kMaxPackedViolations> items{};
+
+    /** Record one fire (order of calls = checker emission order). */
+    void
+    fire(PackedCheck check, int port, int vc)
+    {
+        mask |= 1u << (static_cast<unsigned>(check) - 1u);
+        if (count < kMaxPackedViolations) {
+            items[count++] = {check, static_cast<std::int8_t>(port),
+                              static_cast<std::int8_t>(vc)};
+        }
+    }
+};
+
+/**
+ * Reusable VA scratch for fast-path evaluations (one per network,
+ * not per router: cleared via the touched list after each use).
+ * Indexed by output slot o * kMaxVcs + w.
+ */
+struct PackedScratch
+{
+    /** VA2 request word per output VC slot. */
+    std::array<std::uint64_t, kNumPorts * kMaxVcs> va2Req{};
+
+    /** Output VC slots with at least one request this evaluation. */
+    std::array<std::uint8_t, kNumPorts * kMaxVcs> touched{};
+    unsigned numTouched = 0;
+};
+
+} // namespace nocalert::noc
+
+#endif // NOCALERT_NOC_PACKED_HPP

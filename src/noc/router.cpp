@@ -6,25 +6,22 @@
 
 namespace nocalert::noc {
 
-namespace {
-
 /**
  * Deterministic stand-in for the garbage destination bits the RC unit
  * would latch when (illegally) examining a non-header flit or an empty
  * buffer slot. Real hardware reads whatever happens to be on those
  * wires; we derive a repeatable value so golden/faulty runs stay
- * comparable.
+ * comparable. Static member so the bitmask fast path (router_fast.cpp)
+ * produces identical routes.
  */
 NodeId
-garbageDst(const Flit &flit, NodeId router, int num_nodes)
+Router::garbageDst(const Flit &flit, NodeId router, int num_nodes)
 {
     std::uint64_t h = flit.packet * 0x9E3779B97F4A7C15ULL +
                       static_cast<std::uint64_t>(flit.seq) * 31 +
                       static_cast<std::uint64_t>(router) * 7 + 13;
     return static_cast<NodeId>(h % static_cast<std::uint64_t>(num_nodes));
 }
-
-} // namespace
 
 Router::Router(const NetworkConfig &config, NodeId node)
     : node_(node), params_(config.router)
@@ -127,14 +124,6 @@ Router::quiescent() const
     return idle();
 }
 
-std::uint8_t
-Router::vcWireValue(int out_vc) const
-{
-    // The VC id field on the link is bitsFor(numVcs) wires wide;
-    // whatever the register holds is truncated to that width.
-    return static_cast<std::uint8_t>(
-        static_cast<unsigned>(out_vc) & lowMask(bitsFor(params_.numVcs)));
-}
 
 void
 Router::tap(TapPoint point, const TapHook *hook)

@@ -32,6 +32,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/buffer.hpp"
 #include "noc/config.hpp"
+#include "noc/packed.hpp"
 #include "noc/routing.hpp"
 #include "noc/signals.hpp"
 
@@ -80,6 +81,13 @@ class Router
         std::array<bool, kNumPorts> inValid = {};
         std::array<Flit, kNumPorts> inFlit = {};
 
+        /**
+         * Bit p set iff inValid[p] (maintained by the bitmask
+         * kernel's gather; evaluateFast iterates its set bits instead
+         * of scanning all ports). The branchy pipeline ignores it.
+         */
+        std::uint8_t inMask = 0;
+
         /** Credits arriving per output port (per-VC bitmask). */
         std::array<std::uint32_t, kNumPorts> creditIn = {};
 
@@ -89,6 +97,15 @@ class Router
 
         /** Credits returned upstream per input port (filled). */
         std::array<std::uint32_t, kNumPorts> creditOut = {};
+
+        /**
+         * Bit o set iff outValid[o] and bit p set iff creditOut[p]
+         * nonzero — filled by evaluateFast only, so the bitmask
+         * kernel's drive side touches just the ports that carry
+         * something. Meaningless after the branchy pipeline.
+         */
+        std::uint8_t outMask = 0;
+        std::uint8_t creditOutMask = 0;
     };
 
     /**
@@ -119,6 +136,31 @@ class Router
      */
     void evaluate(const Context &ctx, Cycle cycle, LinkIo &io,
                   const TapHook *hook);
+
+    /**
+     * Bitmask-kernel fast path: evaluate one cycle operating only on
+     * the set bits of @p ps, skipping the wire record, the snapshots,
+     * and the branchy checker bank (whose only possible fires are
+     * computed inline into @p ev — see PackedCheck).
+     *
+     * A read-only eligibility screen runs first; if any condition a
+     * Table-1 checker could trip on is not provably absent (suspect
+     * state, malformed schedule, anomalous buffer write), the call
+     * returns false WITHOUT mutating anything and the caller must
+     * fall back to evaluate(). On a true return, the architectural
+     * state transition is bit-identical to evaluate() with no hook:
+     * same flits moved, same arbiter pointer updates, same credits —
+     * the three-way kernel-equivalence property tests pin this. @p ps
+     * is updated incrementally and stays authoritative; @p scratch is
+     * caller-provided reusable VA workspace.
+     */
+    bool evaluateFast(const Context &ctx, Cycle cycle, LinkIo &io,
+                      PackedRouterState &ps, PackedScratch &scratch,
+                      PackedCycleEvents &ev);
+
+    /** Rebuild @p ps from the architectural state (slow, exact). */
+    void recomputePacked(const NetworkConfig &config,
+                         PackedRouterState &ps) const;
 
     /** Wire record of the most recently evaluated cycle. */
     const RouterWires &wires() const { return wires_; }
@@ -183,6 +225,7 @@ class Router
 
     /** SA->ST schedule register of input port @p port. */
     XbarSchedule &schedule(int port) { return sched_[port]; }
+    const XbarSchedule &schedule(int port) const { return sched_[port]; }
 
     /**
      * Recovery purge: remove every buffered flit belonging to a packet
@@ -221,7 +264,22 @@ class Router
     void tap(TapPoint point, const TapHook *hook);
 
     /** Truncate an output-VC register value to the link wire width. */
-    std::uint8_t vcWireValue(int out_vc) const;
+    std::uint8_t
+    vcWireValue(int out_vc) const
+    {
+        // The VC id field on the link is bitsFor(numVcs) wires wide;
+        // whatever the register holds is truncated to that width.
+        return static_cast<std::uint8_t>(
+            static_cast<unsigned>(out_vc) &
+            lowMask(bitsFor(params_.numVcs)));
+    }
+
+    /** Deterministic garbage destination for illegal RC reads. */
+    static NodeId garbageDst(const Flit &flit, NodeId router,
+                             int num_nodes);
+
+    /** Group-9 predicate: out-VC allocation table self-consistent. */
+    bool outVcTableConsistent() const;
 
     NodeId node_;
     RouterParams params_;

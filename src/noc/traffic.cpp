@@ -118,17 +118,12 @@ TrafficGenerator::patternDestination(const NetworkConfig &config,
 }
 
 std::optional<Packet>
-TrafficGenerator::generate(const NetworkConfig &config, NodeId node,
-                           Cycle cycle)
+TrafficGenerator::generateFire(const NetworkConfig &config,
+                               NodeId node, Cycle cycle, Pcg32 &rng)
 {
-    Pcg32 &rng = rngs_[static_cast<std::size_t>(node)];
-
-    // Fixed draw schedule per call: one Bernoulli trial, and packet
-    // parameters only when it succeeds (the success path is identical
+    // The Bernoulli trial already succeeded in the inline wrapper;
+    // packet parameters are drawn here (the success path is identical
     // across golden/faulty runs because it depends only on the RNG).
-    const bool fire = rng.nextBool(spec_.injectionRate);
-    if (!fire)
-        return std::nullopt;
     if (spec_.stopCycle >= 0 && cycle >= spec_.stopCycle)
         return std::nullopt;
 

@@ -88,10 +88,18 @@ class TrafficGenerator
     /**
      * Decide whether node @p node creates a packet at @p cycle, and
      * build it if so. Draws a fixed number of random values per call
-     * so generator state stays aligned across runs.
+     * so generator state stays aligned across runs. The Bernoulli
+     * miss — the overwhelmingly common outcome at realistic rates —
+     * stays inline; packet construction is out of line.
      */
-    std::optional<Packet> generate(const NetworkConfig &config,
-                                   NodeId node, Cycle cycle);
+    std::optional<Packet>
+    generate(const NetworkConfig &config, NodeId node, Cycle cycle)
+    {
+        Pcg32 &rng = rngs_[static_cast<std::size_t>(node)];
+        if (!rng.nextBool(spec_.injectionRate))
+            return std::nullopt;
+        return generateFire(config, node, cycle, rng);
+    }
 
     /** Packets created so far (all nodes). */
     std::uint64_t packetsCreated() const { return packets_created_; }
@@ -111,6 +119,10 @@ class TrafficGenerator
     }
 
   private:
+    std::optional<Packet> generateFire(const NetworkConfig &config,
+                                       NodeId node, Cycle cycle,
+                                       Pcg32 &rng);
+
     NodeId patternDestination(const NetworkConfig &config, NodeId node,
                               Pcg32 &rng) const;
 

@@ -36,19 +36,5 @@ toString(const Coord &c)
     return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
 }
 
-Axis
-portAxis(int port)
-{
-    switch (static_cast<Port>(port)) {
-      case Port::East:
-      case Port::West:
-        return Axis::X;
-      case Port::North:
-      case Port::South:
-        return Axis::Y;
-      default:
-        return Axis::None;
-    }
-}
 
 } // namespace nocalert::noc

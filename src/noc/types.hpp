@@ -86,7 +86,20 @@ std::string toString(const Coord &c);
 enum class Axis { X, Y, None };
 
 /** Axis of a port (Local and invalid ports map to Axis::None). */
-Axis portAxis(int port);
+inline Axis
+portAxis(int port)
+{
+    switch (static_cast<Port>(port)) {
+      case Port::East:
+      case Port::West:
+        return Axis::X;
+      case Port::North:
+      case Port::South:
+        return Axis::Y;
+      default:
+        return Axis::None;
+    }
+}
 
 } // namespace nocalert::noc
 

@@ -18,17 +18,6 @@ Pcg32::seed(std::uint64_t seed_value, std::uint64_t stream)
 }
 
 std::uint32_t
-Pcg32::next()
-{
-    std::uint64_t old = state_;
-    state_ = old * 6364136223846793005ULL + inc_;
-    std::uint32_t xorshifted =
-        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
-    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
-    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
-}
-
-std::uint32_t
 Pcg32::nextBounded(std::uint32_t bound)
 {
     // Lemire-style rejection to avoid modulo bias.
@@ -45,18 +34,6 @@ Pcg32::nextRange(int lo, int hi)
 {
     return lo + static_cast<int>(
         nextBounded(static_cast<std::uint32_t>(hi - lo + 1)));
-}
-
-double
-Pcg32::nextDouble()
-{
-    return next() * (1.0 / 4294967296.0);
-}
-
-bool
-Pcg32::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 Pcg32

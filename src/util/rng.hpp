@@ -34,7 +34,16 @@ class Pcg32
     void seed(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
 
     /** Next raw 32-bit value. */
-    std::uint32_t next();
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
 
     /** Unbiased uniform integer in [0, bound). @pre bound > 0. */
     std::uint32_t nextBounded(std::uint32_t bound);
@@ -43,10 +52,18 @@ class Pcg32
     int nextRange(int lo, int hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
 
     /** Bernoulli trial with success probability @p p. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
 
     /** Generators compare equal iff their future output is identical. */
     bool operator==(const Pcg32 &other) const = default;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests of the alert matrix: the packed-violation-code to
+ * InvariantId mapping, the per-invariant mask bits, and the expansion
+ * of a packed cycle event into the branchy bank's Assertion stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alert_matrix.hpp"
+
+namespace nocalert::core {
+namespace {
+
+TEST(AlertMatrix, MapsEveryPackedCheckToItsInvariant)
+{
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::IllegalTurn),
+              InvariantId::IllegalTurn);
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::InvalidRcOutput),
+              InvariantId::InvalidRcOutput);
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::NonMinimalRoute),
+              InvariantId::NonMinimalRoute);
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::RcOnNonHeaderFlit),
+              InvariantId::RcOnNonHeaderFlit);
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::RcOnEmptyVc),
+              InvariantId::RcOnEmptyVc);
+    EXPECT_EQ(alertMatrix(noc::PackedCheck::EjectionAtWrongDestination),
+              InvariantId::EjectionAtWrongDestination);
+}
+
+TEST(AlertMatrix, MaskBitMatchesThePackedViolationWord)
+{
+    // The bit PackedCycleEvents::fire sets for a code must be the bit
+    // alertMaskBit derives for the mapped invariant, for every
+    // fast-path-fireable check.
+    const noc::PackedCheck checks[] = {
+        noc::PackedCheck::IllegalTurn,
+        noc::PackedCheck::InvalidRcOutput,
+        noc::PackedCheck::NonMinimalRoute,
+        noc::PackedCheck::RcOnNonHeaderFlit,
+        noc::PackedCheck::RcOnEmptyVc,
+        noc::PackedCheck::EjectionAtWrongDestination,
+    };
+    for (const noc::PackedCheck check : checks) {
+        noc::PackedCycleEvents ev;
+        ev.fire(check, 0, 0);
+        EXPECT_EQ(ev.mask, alertMaskBit(alertMatrix(check)))
+            << "code " << static_cast<int>(check);
+    }
+}
+
+TEST(AlertMatrix, ExpandPreservesOrderAndFields)
+{
+    noc::PackedCycleEvents ev;
+    ev.cycle = 123;
+    ev.router = 9;
+    ev.fire(noc::PackedCheck::InvalidRcOutput, 2, -1);
+    ev.fire(noc::PackedCheck::RcOnEmptyVc, 2, 1);
+    ev.fire(noc::PackedCheck::EjectionAtWrongDestination, 4, -1);
+
+    std::vector<Assertion> out;
+    out.push_back({InvariantId::IllegalTurn, 1, 1, 1, 1}); // pre-existing
+    expandPackedEvents(ev, out);
+
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[1].id, InvariantId::InvalidRcOutput);
+    EXPECT_EQ(out[1].cycle, 123u);
+    EXPECT_EQ(out[1].router, 9);
+    EXPECT_EQ(out[1].port, 2);
+    EXPECT_EQ(out[1].vc, -1);
+    EXPECT_EQ(out[2].id, InvariantId::RcOnEmptyVc);
+    EXPECT_EQ(out[2].port, 2);
+    EXPECT_EQ(out[2].vc, 1);
+    EXPECT_EQ(out[3].id, InvariantId::EjectionAtWrongDestination);
+    EXPECT_EQ(out[3].port, 4);
+    EXPECT_EQ(out[3].vc, -1);
+}
+
+} // namespace
+} // namespace nocalert::core

@@ -1,13 +1,14 @@
 /**
  * @file
- * Differential proof of the active-set kernel: for every configuration
- * in the matrix — injection rates, seeds, VC counts, mesh sizes, with
- * and without injected faults (warm and cycle-0) — a simulation on the
- * active kernel must be bit-identical to the same simulation on the
- * dense kernel in every observable: the ejection logs (cycle, node,
- * flit), the aggregate statistics, and the complete NoCAlert assertion
- * stream. This harness is what licenses shipping the active kernel as
- * the default.
+ * Differential proof of the fast kernels: for every configuration in
+ * the matrix — injection rates, seeds, VC counts, mesh sizes, with
+ * and without injected faults (warm and cycle-0), detection-only and
+ * full recovery stack — a simulation on the active kernel AND one on
+ * the bitmask kernel must each be bit-identical to the same
+ * simulation on the dense kernel in every observable: the ejection
+ * logs (cycle, node, flit), the aggregate statistics, and the
+ * complete NoCAlert assertion stream. This harness is what licenses
+ * shipping the bitmask kernel as the default.
  */
 
 #include <gtest/gtest.h>
@@ -38,6 +39,8 @@ struct KernelCase
      *  routing, and the quarantine-and-purge orchestrator. */
     bool recovery = false;
     fault::FaultKind kind = fault::FaultKind::Transient;
+    /** Enable the extended (group-9) output-table checks. */
+    bool extended = false;
 };
 
 std::string
@@ -55,6 +58,8 @@ caseName(const testing::TestParamInfo<KernelCase> &info)
         name += "_perm";
     if (c.recovery)
         name += "_rec";
+    if (c.extended)
+        name += "_ext";
     return name;
 }
 
@@ -81,6 +86,7 @@ simulate(const KernelCase &c, KernelMode mode)
     config.width = c.mesh;
     config.height = c.mesh;
     config.router.numVcs = c.vcs;
+    config.router.extendedChecks = c.extended;
     if (c.recovery) {
         config.retransmit.enabled = true;
         config.routing = RoutingAlgo::QAdaptive;
@@ -135,52 +141,67 @@ simulate(const KernelCase &c, KernelMode mode)
     return obs;
 }
 
-class KernelEquivalence : public testing::TestWithParam<KernelCase>
+/** Field-by-field comparison of @p fast against the dense oracle. */
+void
+expectSameObservables(const RunObservables &dense,
+                      const RunObservables &fast, const char *label)
 {
-};
-
-TEST_P(KernelEquivalence, ActiveKernelBitIdenticalToDense)
-{
-    const KernelCase &c = GetParam();
-    const RunObservables dense = simulate(c, KernelMode::Dense);
-    const RunObservables active = simulate(c, KernelMode::Active);
+    SCOPED_TRACE(label);
 
     // Ejection logs: same flits at the same nodes at the same cycles.
-    ASSERT_EQ(dense.ejections.size(), active.ejections.size());
+    ASSERT_EQ(dense.ejections.size(), fast.ejections.size());
     for (std::size_t i = 0; i < dense.ejections.size(); ++i) {
-        EXPECT_EQ(dense.ejections[i].cycle, active.ejections[i].cycle);
-        EXPECT_EQ(dense.ejections[i].node, active.ejections[i].node);
-        EXPECT_EQ(dense.ejections[i].flit, active.ejections[i].flit);
+        EXPECT_EQ(dense.ejections[i].cycle, fast.ejections[i].cycle);
+        EXPECT_EQ(dense.ejections[i].node, fast.ejections[i].node);
+        EXPECT_EQ(dense.ejections[i].flit, fast.ejections[i].flit);
     }
 
     // Statistics.
-    EXPECT_EQ(dense.stats.packetsCreated, active.stats.packetsCreated);
-    EXPECT_EQ(dense.stats.packetsInjected,
-              active.stats.packetsInjected);
-    EXPECT_EQ(dense.stats.packetsEjected, active.stats.packetsEjected);
-    EXPECT_EQ(dense.stats.flitsInjected, active.stats.flitsInjected);
-    EXPECT_EQ(dense.stats.flitsEjected, active.stats.flitsEjected);
-    EXPECT_EQ(dense.stats.latencySum, active.stats.latencySum);
+    EXPECT_EQ(dense.stats.packetsCreated, fast.stats.packetsCreated);
+    EXPECT_EQ(dense.stats.packetsInjected, fast.stats.packetsInjected);
+    EXPECT_EQ(dense.stats.packetsEjected, fast.stats.packetsEjected);
+    EXPECT_EQ(dense.stats.flitsInjected, fast.stats.flitsInjected);
+    EXPECT_EQ(dense.stats.flitsEjected, fast.stats.flitsEjected);
+    EXPECT_EQ(dense.stats.latencySum, fast.stats.latencySum);
 
     // Complete assertion streams, field by field, in arrival order.
-    ASSERT_EQ(dense.alerts.size(), active.alerts.size());
+    ASSERT_EQ(dense.alerts.size(), fast.alerts.size());
     for (std::size_t i = 0; i < dense.alerts.size(); ++i) {
-        EXPECT_EQ(dense.alerts[i].id, active.alerts[i].id);
-        EXPECT_EQ(dense.alerts[i].cycle, active.alerts[i].cycle);
-        EXPECT_EQ(dense.alerts[i].router, active.alerts[i].router);
-        EXPECT_EQ(dense.alerts[i].port, active.alerts[i].port);
-        EXPECT_EQ(dense.alerts[i].vc, active.alerts[i].vc);
+        EXPECT_EQ(dense.alerts[i].id, fast.alerts[i].id);
+        EXPECT_EQ(dense.alerts[i].cycle, fast.alerts[i].cycle);
+        EXPECT_EQ(dense.alerts[i].router, fast.alerts[i].router);
+        EXPECT_EQ(dense.alerts[i].port, fast.alerts[i].port);
+        EXPECT_EQ(dense.alerts[i].vc, fast.alerts[i].vc);
     }
 
     // The recovery stack's own observables: retransmission counters
     // and quarantine-and-purge actions must agree exactly too.
-    EXPECT_EQ(dense.retransmits, active.retransmits);
-    EXPECT_EQ(dense.duplicates, active.duplicates);
-    EXPECT_EQ(dense.abandoned, active.abandoned);
-    EXPECT_EQ(dense.recoveryActions, active.recoveryActions);
-    EXPECT_EQ(dense.purgedFlits, active.purgedFlits);
+    EXPECT_EQ(dense.retransmits, fast.retransmits);
+    EXPECT_EQ(dense.duplicates, fast.duplicates);
+    EXPECT_EQ(dense.abandoned, fast.abandoned);
+    EXPECT_EQ(dense.recoveryActions, fast.recoveryActions);
+    EXPECT_EQ(dense.purgedFlits, fast.purgedFlits);
+}
 
-    // And the active kernel must actually have skipped work (at these
+class KernelEquivalence : public testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(KernelEquivalence, FastKernelsBitIdenticalToDense)
+{
+    const KernelCase &c = GetParam();
+    const RunObservables dense = simulate(c, KernelMode::Dense);
+    const RunObservables active = simulate(c, KernelMode::Active);
+    const RunObservables bitmask = simulate(c, KernelMode::Bitmask);
+
+    expectSameObservables(dense, active, "active");
+    expectSameObservables(dense, bitmask, "bitmask");
+
+    // The bitmask kernel inherits the active kernel's scheduling
+    // verbatim: the same routers must be evaluated on the same cycles.
+    EXPECT_EQ(active.routerEvals, bitmask.routerEvals);
+
+    // And the fast kernels must actually have skipped work (at these
     // loads a dense run evaluates strictly more routers), except when
     // a raw tap pin forces density.
     if (!c.inject) {
@@ -217,7 +238,14 @@ INSTANTIATE_TEST_SUITE_P(
         KernelCase{5, 4, 0.05, 33, true, 300, 43, true,
                    fault::FaultKind::Permanent},
         KernelCase{4, 2, 0.08, 34, true, 0, 44, true,
-                   fault::FaultKind::Intermittent}),
+                   fault::FaultKind::Intermittent},
+        // Extended (group-9) checks: the bitmask fast path re-derives
+        // suspectOut after every fast cycle, so these runs exercise
+        // that screen clean and faulted.
+        KernelCase{4, 4, 0.08, 50, false, 0, 0, false,
+                   fault::FaultKind::Transient, true},
+        KernelCase{4, 4, 0.05, 51, true, 300, 52, false,
+                   fault::FaultKind::Transient, true}),
     caseName);
 
 TEST(KernelEquivalence, CheckerShortcutMatchesUngatedBank)
