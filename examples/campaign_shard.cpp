@@ -8,6 +8,10 @@
  *                         [--mesh N] [--sites N] [--rate R] [--seed S]
  *                         [--warmup N] [--jobs N] [--limit N] [--progress]
  *                         [--checkpoint-every N] [--kind K] [--recovery]
+ *                         [--sample] [--ci-width W] [--max-runs N]
+ *                         [--batch N] [--confidence C] [--stratify MODE]
+ *                         [--ci-method M] [--cycle-jitter N] [--seeds N]
+ *                         [--sampler-seed S]
  *   campaign_shard resume --checkpoint c.json [--out s0.json] [--jobs N]
  *                         [--progress]
  *   campaign_shard merge  --out merged.json s0.json s1.json ...
@@ -23,10 +27,19 @@
  * campaign cooperatively and flushes a resumable checkpoint; a second
  * kills the process. `--progress` renders a live status line (runs/s,
  * ETA, outcome counters, worker utilization) on stderr.
+ * `--sample` switches the shard to the statistical campaign engine:
+ * instead of sweeping every site, it draws (site, cycle, traffic-seed)
+ * tuples stratified by signal class until every stratum's confidence
+ * interval is narrower than --ci-width (or --max-runs is exhausted),
+ * reallocating budget toward uncertain and rare-outcome strata.
+ * Sampled runs stay byte-identical for every --jobs value and
+ * checkpoint/resume exactly like exhaustive ones (resume replays the
+ * deterministic draw stream, pre-filling checkpointed results).
  * `resume` re-reads a checkpoint's embedded config and finishes the
  * shard. `merge` recombines a full set of shard files into a document
  * bit-identical to an unsharded run. `verify` checks that two result
  * files describe the same campaign with identical runs and summaries
+ * (including, for sampled results, identical per-stratum estimates)
  * and that neither contains a NoCAlert false negative.
  *
  * Exit status: 0 success; 1 verify mismatch (or other fatal error);
@@ -72,10 +85,18 @@ printHelp(std::FILE *to)
         "         [--warmup N] [--jobs N] [--limit N] [--progress]\n"
         "         [--checkpoint-every N] [--kind K] [--dense-kernel]\n"
         "         [--recovery]\n"
+        "         [--sample] [--ci-width W] [--max-runs N] [--batch N]\n"
+        "         [--confidence C] [--stratify none|signal-class]\n"
+        "         [--ci-method wilson|clopper-pearson]\n"
+        "         [--cycle-jitter N] [--seeds N] [--sampler-seed S]\n"
         "             execute one shard; --jobs 0 uses all hardware\n"
         "             threads (results are byte-identical for every\n"
         "             --jobs value); Ctrl-C flushes a resumable\n"
-        "             checkpoint\n"
+        "             checkpoint. --sample draws stratified random\n"
+        "             (site, cycle, seed) tuples until every stratum's\n"
+        "             interval half-width is below --ci-width or\n"
+        "             --max-runs is spent (0 = no cap; at least one of\n"
+        "             the two must bound the campaign)\n"
         "  resume --checkpoint FILE [--out FILE] [--jobs N] [--progress]\n"
         "             finish a shard from its checkpoint\n"
         "  merge  --out FILE s0.json s1.json ...\n"
@@ -185,7 +206,9 @@ cmdRun(int argc, char **argv)
                     {"out", "shard", "checkpoint", "checkpoint-every",
                      "mesh", "sites", "rate", "seed", "warmup", "jobs",
                      "limit", "progress", "dense-kernel", "kind",
-                     "recovery"});
+                     "recovery", "sample", "ci-width", "max-runs",
+                     "batch", "confidence", "stratify", "ci-method",
+                     "cycle-jitter", "seeds", "sampler-seed"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 4));
@@ -205,6 +228,41 @@ cmdRun(int argc, char **argv)
         NOCALERT_FATAL("unknown fault kind '", kind, "'");
     parseShardSelector(cli.getString("shard", "0/1"), config);
 
+    if (cli.getBool("sample", false)) {
+        fault::SamplingSpec &sampling = config.sampling;
+        sampling.enabled = true;
+        sampling.ciHalfWidth = cli.getDouble("ci-width", 0.05);
+        sampling.maxRuns =
+            static_cast<std::uint64_t>(cli.getInt("max-runs", 0));
+        sampling.batchSize =
+            static_cast<unsigned>(cli.getInt("batch", 64));
+        sampling.confidence = cli.getDouble("confidence", 0.95);
+        sampling.cycleJitter = cli.getInt("cycle-jitter", 0);
+        sampling.seedCount =
+            static_cast<unsigned>(cli.getInt("seeds", 1));
+        sampling.samplerSeed =
+            static_cast<std::uint64_t>(cli.getInt("sampler-seed", 1));
+        const std::string stratify =
+            cli.getString("stratify", "signal-class");
+        if (auto mode = fault::stratifyFromName(stratify))
+            sampling.stratify = *mode;
+        else
+            NOCALERT_FATAL("unknown stratification '", stratify,
+                           "' (none|signal-class)");
+        const std::string method = cli.getString("ci-method", "wilson");
+        if (auto m = stats::intervalMethodFromName(method))
+            sampling.method = *m;
+        else
+            NOCALERT_FATAL("unknown interval method '", method,
+                           "' (wilson|clopper-pearson)");
+        // The planner's budget guard would catch this too, but only
+        // after the FaultCampaign constructor; fail at flag level
+        // with flag names the user can act on.
+        if (sampling.ciHalfWidth <= 0 && sampling.maxRuns == 0)
+            NOCALERT_FATAL("--sample needs --ci-width > 0 or "
+                           "--max-runs > 0 to bound the campaign");
+    }
+
     const std::string out = cli.getString("out", "campaign.json");
     config.checkpointPath = cli.getString("checkpoint", out);
     config.checkpointEvery = static_cast<unsigned>(
@@ -214,9 +272,20 @@ cmdRun(int argc, char **argv)
     options.maxNewRuns =
         static_cast<std::size_t>(cli.getInt("limit", 0));
 
-    std::printf("running shard %u/%u (%u sites sampled, mesh %dx%d)\n",
-                config.shardIndex, config.shardCount, config.maxSites,
-                config.network.width, config.network.height);
+    if (config.sampling.enabled) {
+        std::printf("running sampled campaign (mesh %dx%d, "
+                    "half-width %.3g, max-runs %llu)\n",
+                    config.network.width, config.network.height,
+                    config.sampling.ciHalfWidth,
+                    static_cast<unsigned long long>(
+                        config.sampling.maxRuns));
+    } else {
+        std::printf("running shard %u/%u (%u sites sampled, "
+                    "mesh %dx%d)\n",
+                    config.shardIndex, config.shardCount,
+                    config.maxSites, config.network.width,
+                    config.network.height);
+    }
     fault::FaultCampaign campaign(config);
     return runShard(campaign, options, out,
                     cli.getBool("progress", false));
@@ -247,9 +316,11 @@ cmdResume(int argc, char **argv)
         return 1;
     }
 
-    // Execution knobs are not serialized (schema v4): the checkpoint
-    // carries campaign identity + shard selector, this invocation
-    // supplies its own jobs count and checkpoint path.
+    // Execution knobs are not serialized (schema v4+): the checkpoint
+    // carries campaign identity + shard selector (including, for
+    // sampled campaigns, the full sampling spec — so the resumed
+    // planner replays the exact same draw stream), and this
+    // invocation supplies its own jobs count and checkpoint path.
     fault::CampaignConfig config = loaded->config;
     config.checkpointPath = checkpoint;
     config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
@@ -337,12 +408,13 @@ cmdVerify(int argc, char **argv)
               a.goldenFlits == b.goldenFlits,
           "enumeration + golden");
 
-    // Per-run records and derived summaries must be bit-identical.
+    // Per-run records and derived summaries must be bit-identical
+    // (sampled records include their stratum/seedIndex draw tags).
     JsonValue runs_a, runs_b;
     for (const fault::FaultRunResult &run : a.runs)
-        runs_a.push(fault::toJson(run));
+        runs_a.push(fault::toJson(run, a.config.sampling.enabled));
     for (const fault::FaultRunResult &run : b.runs)
-        runs_b.push(fault::toJson(run));
+        runs_b.push(fault::toJson(run, b.config.sampling.enabled));
     check(runs_a.dump() == runs_b.dump(), "per-run records");
 
     const auto summary_a = a.summarize();
@@ -350,6 +422,20 @@ cmdVerify(int argc, char **argv)
     check(fault::toJson(summary_a).dump() ==
               fault::toJson(summary_b).dump(),
           "summaries");
+
+    // Sampled results must additionally agree on their statistical
+    // projections — same draws, same intervals, same halt state.
+    if (a.config.sampling.enabled || b.config.sampling.enabled) {
+        check(a.config.sampling.enabled == b.config.sampling.enabled &&
+                  a.samplerDone == b.samplerDone,
+              "sampler completion");
+        if (a.config.sampling.enabled && b.config.sampling.enabled) {
+            check(fault::toJson(fault::computeSamplingReport(a)).dump() ==
+                      fault::toJson(fault::computeSamplingReport(b))
+                          .dump(),
+                  "sampling estimates");
+        }
+    }
 
     const auto fn = static_cast<unsigned>(fault::Outcome::FalseNegative);
     check(summary_a.nocalert[fn] == 0 && summary_b.nocalert[fn] == 0,

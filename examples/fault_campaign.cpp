@@ -5,6 +5,13 @@
  *
  *   ./fault_campaign [--sites N] [--warmup N] [--rate R] [--jobs N]
  *                    [--progress]
+ *
+ * `--sample` switches to the statistical engine: stratified random
+ * draws with adaptive stopping instead of an exhaustive sweep
+ * (`--ci-width` target interval half-width, `--max-runs` hard budget,
+ * `--seeds`/`--cycle-jitter` extra sampled dimensions). The summary
+ * then includes per-stratum detection estimates with Wilson and
+ * Clopper-Pearson intervals.
  */
 
 #include <cstdio>
@@ -25,7 +32,10 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv,
                     {"sites", "warmup", "rate", "jobs", "seed",
                      "mesh", "csv", "json", "dense-kernel", "kind",
-                     "recovery", "progress"});
+                     "recovery", "progress", "sample", "ci-width",
+                     "max-runs", "batch", "confidence", "stratify",
+                     "ci-method", "cycle-jitter", "seeds",
+                     "sampler-seed"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
@@ -44,12 +54,57 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown fault kind '%s'\n", kind.c_str());
         return 2;
     }
+    if (cli.getBool("sample", false)) {
+        fault::SamplingSpec &sampling = config.sampling;
+        sampling.enabled = true;
+        sampling.ciHalfWidth = cli.getDouble("ci-width", 0.05);
+        sampling.maxRuns =
+            static_cast<std::uint64_t>(cli.getInt("max-runs", 0));
+        sampling.batchSize =
+            static_cast<unsigned>(cli.getInt("batch", 64));
+        sampling.confidence = cli.getDouble("confidence", 0.95);
+        sampling.cycleJitter = cli.getInt("cycle-jitter", 0);
+        sampling.seedCount =
+            static_cast<unsigned>(cli.getInt("seeds", 1));
+        sampling.samplerSeed =
+            static_cast<std::uint64_t>(cli.getInt("sampler-seed", 1));
+        const std::string stratify =
+            cli.getString("stratify", "signal-class");
+        if (auto mode = fault::stratifyFromName(stratify))
+            sampling.stratify = *mode;
+        else {
+            std::fprintf(stderr, "unknown stratification '%s'\n",
+                         stratify.c_str());
+            return 2;
+        }
+        const std::string method = cli.getString("ci-method", "wilson");
+        if (auto m = stats::intervalMethodFromName(method))
+            sampling.method = *m;
+        else {
+            std::fprintf(stderr, "unknown interval method '%s'\n",
+                         method.c_str());
+            return 2;
+        }
+        if (sampling.ciHalfWidth <= 0 && sampling.maxRuns == 0) {
+            std::fprintf(stderr, "--sample needs --ci-width > 0 or "
+                                 "--max-runs > 0\n");
+            return 2;
+        }
+    }
 
-    std::printf("running %u-site campaign on a %dx%d mesh "
-                "(warmup %lld cycles)...\n",
-                config.maxSites, config.network.width,
-                config.network.height,
-                static_cast<long long>(config.warmup));
+    if (config.sampling.enabled) {
+        std::printf("running sampled campaign on a %dx%d mesh "
+                    "(warmup %lld cycles, half-width %.3g)...\n",
+                    config.network.width, config.network.height,
+                    static_cast<long long>(config.warmup),
+                    config.sampling.ciHalfWidth);
+    } else {
+        std::printf("running %u-site campaign on a %dx%d mesh "
+                    "(warmup %lld cycles)...\n",
+                    config.maxSites, config.network.width,
+                    config.network.height,
+                    static_cast<long long>(config.warmup));
+    }
 
     fault::FaultCampaign::RunOptions options;
     if (cli.getBool("progress", false)) {
@@ -93,6 +148,8 @@ main(int argc, char **argv)
                     static_cast<long long>(
                         summary.detectionLatency.max()));
     }
+    if (config.sampling.enabled)
+        std::printf("\n%s", fault::samplingText(result).c_str());
     std::printf("false negatives (must be 0): %llu\n",
                 static_cast<unsigned long long>(
                     summary.nocalert[static_cast<unsigned>(

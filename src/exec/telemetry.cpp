@@ -38,7 +38,7 @@ TelemetrySnapshot
 TelemetryHub::snapshot() const
 {
     TelemetrySnapshot snap;
-    snap.runsPlanned = runsPlanned_;
+    snap.runsPlanned = runsPlanned_.load(std::memory_order_relaxed);
     snap.runsCompleted = completed_.load(std::memory_order_relaxed);
     snap.elapsedSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -61,6 +61,16 @@ class TelemetryHub
     /** Count one committed run against counter slot @p counter. */
     void recordRun(std::size_t counter);
 
+    /**
+     * Update the planned-run total. Adaptive (sampled) campaigns grow
+     * the plan batch by batch, so the denominator is mutable; pass the
+     * new absolute total, not a delta.
+     */
+    void setRunsPlanned(std::size_t runs_planned)
+    {
+        runsPlanned_.store(runs_planned, std::memory_order_relaxed);
+    }
+
     /** Add task wall time for @p worker (called from worker threads). */
     void recordBusy(unsigned worker, std::uint64_t nanos);
 
@@ -75,7 +85,7 @@ class TelemetryHub
 
   private:
     std::chrono::steady_clock::time_point start_;
-    std::size_t runsPlanned_;
+    std::atomic<std::size_t> runsPlanned_;
     std::vector<std::string> labels_;
     std::atomic<std::size_t> completed_{0};
     std::vector<std::atomic<std::uint64_t>> counters_;

@@ -6,6 +6,7 @@
 
 #include "core/nocalert.hpp"
 #include "exec/executor.hpp"
+#include "fault/sampled.hpp"
 #include "fault/serialize.hpp"
 #include "recovery/orchestrator.hpp"
 #include "util/log.hpp"
@@ -125,6 +126,19 @@ FaultCampaign::FaultCampaign(CampaignConfig config)
         NOCALERT_FATAL("invalid shard selector ", config_.shardIndex,
                        "/", config_.shardCount);
     }
+    if (config_.sampling.enabled) {
+        // The budget guard: reject a campaign the sampler could never
+        // finish before simulating a single run.
+        const std::string error = validateSamplingSpec(
+            config_.sampling, config_.observeWindow);
+        if (!error.empty())
+            NOCALERT_FATAL("invalid sampling spec: ", error);
+        if (config_.shardCount != 1) {
+            NOCALERT_FATAL("sampled campaigns are single-shard: the "
+                           "adaptive run stream has no static "
+                           "partition to shard over");
+        }
+    }
     // Generation must stop so runs can drain and bounded delivery is
     // decidable within the horizon.
     config_.traffic.stopCycle = config_.warmup + config_.observeWindow;
@@ -144,7 +158,8 @@ FaultRunResult
 FaultCampaign::runSingle(const CampaignConfig &config,
                          const noc::Network &base,
                          const GoldenReference &golden,
-                         const FaultSite &site)
+                         const FaultSite &site,
+                         noc::Cycle inject_offset)
 {
     noc::Network net(base);
 
@@ -212,7 +227,9 @@ FaultCampaign::runSingle(const CampaignConfig &config,
 
     FaultRunResult result;
     result.site = site;
-    result.injectCycle = net.cycle();
+    // Sampled-mode cycle jitter: the fault arms for a cycle inside
+    // the observation window; the network is fault-free until then.
+    result.injectCycle = net.cycle() + inject_offset;
 
     FaultInjector injector;
     injector.arm({site, result.injectCycle, config.kind});
@@ -297,17 +314,69 @@ FaultCampaign::runSingle(const CampaignConfig &config,
 
 namespace {
 
-/** Restore completed runs from a checkpoint written by an earlier
- *  invocation of the same campaign shard; fatal on any mismatch (a
- *  checkpoint must never silently corrupt a campaign). */
-std::unordered_map<std::size_t, FaultRunResult>
-restoreCheckpoint(const CampaignConfig &config,
-                  const std::vector<FaultSite> &sites)
+/** A warmed-up snapshot plus its fault-free golden reference. */
+struct PreparedReference
 {
-    std::unordered_map<std::size_t, FaultRunResult> restored;
+    noc::Network base;
+    GoldenReference golden;
+};
+
+/**
+ * Build the warm snapshot and golden reference for @p config (with
+ * @p traffic_seed overriding the configured one — sampled campaigns
+ * prepare one reference per sampled traffic seed). Shared by the
+ * exhaustive and sampled planners so both pay the warmup exactly
+ * once per seed.
+ */
+PreparedReference
+prepareReference(const CampaignConfig &config,
+                 std::uint64_t traffic_seed)
+{
+    noc::TrafficSpec traffic = config.traffic;
+    traffic.seed = traffic_seed;
+
+    noc::Network base(config.network, traffic);
+    base.setKernelMode(config.denseKernel ? noc::KernelMode::Dense
+                                          : noc::KernelMode::Bitmask);
+    {
+        // Any assertion during warmup would poison every
+        // classification; the engine enforces the zero-false-alarm
+        // property of the clean network.
+        core::NoCAlertEngine warm_guard(base);
+        base.run(config.warmup);
+        NOCALERT_ASSERT(warm_guard.log().empty(),
+                        "checker asserted during fault-free warmup");
+        base.setRouterObserver(nullptr);
+        base.setNiObserver(nullptr);
+        base.setPackedObserver(nullptr);
+    }
+
+    noc::Network golden(base);
+    {
+        core::NoCAlertEngine golden_guard(golden);
+        golden.run(config.observeWindow);
+        const bool drained = golden.drain(config.drainLimit);
+        if (!drained) {
+            NOCALERT_FATAL("golden run failed to drain within ",
+                           config.drainLimit,
+                           " cycles; lower the injection rate");
+        }
+        NOCALERT_ASSERT(golden_guard.log().empty(),
+                        "checker asserted during fault-free golden run");
+    }
+    return PreparedReference{std::move(base),
+                             GoldenReference(golden.collectEjections())};
+}
+
+/** Load this campaign's checkpoint document, if any, after validating
+ *  identity and shard selector; fatal on any mismatch (a checkpoint
+ *  must never silently corrupt a campaign). */
+std::optional<CampaignResult>
+loadCheckpointDocument(const CampaignConfig &config)
+{
     if (config.checkpointPath.empty() ||
         !std::filesystem::exists(config.checkpointPath))
-        return restored;
+        return std::nullopt;
 
     std::string error;
     auto checkpoint = loadCampaignResult(config.checkpointPath, &error);
@@ -326,6 +395,19 @@ restoreCheckpoint(const CampaignConfig &config,
                        checkpoint->config.shardCount, ", not ",
                        config.shardIndex, "/", config.shardCount);
     }
+    return checkpoint;
+}
+
+/** Restore completed exhaustive runs from a checkpoint, validating
+ *  them against the deterministic site list. */
+std::unordered_map<std::size_t, FaultRunResult>
+restoreCheckpoint(const CampaignConfig &config,
+                  const std::vector<FaultSite> &sites)
+{
+    std::unordered_map<std::size_t, FaultRunResult> restored;
+    auto checkpoint = loadCheckpointDocument(config);
+    if (!checkpoint)
+        return restored;
     for (FaultRunResult &run : checkpoint->runs) {
         if (run.sampleIndex >= sites.size() ||
             !(sites[run.sampleIndex] == run.site)) {
@@ -342,41 +424,17 @@ restoreCheckpoint(const CampaignConfig &config,
 CampaignResult
 FaultCampaign::run(const Progress &progress, const RunOptions &options)
 {
+    if (config_.sampling.enabled)
+        return runSampled(progress, options);
+
     CampaignResult result;
     result.config = config_;
 
-    // ---- Warm snapshot ----
-    noc::Network base(config_.network, config_.traffic);
-    base.setKernelMode(config_.denseKernel ? noc::KernelMode::Dense
-                                           : noc::KernelMode::Bitmask);
-    {
-        // Any assertion during warmup would poison every
-        // classification; the engine enforces the zero-false-alarm
-        // property of the clean network.
-        core::NoCAlertEngine warm_guard(base);
-        base.run(config_.warmup);
-        NOCALERT_ASSERT(warm_guard.log().empty(),
-                        "checker asserted during fault-free warmup");
-        base.setRouterObserver(nullptr);
-        base.setNiObserver(nullptr);
-        base.setPackedObserver(nullptr);
-    }
-
-    // ---- Golden reference ----
-    noc::Network golden(base);
-    {
-        core::NoCAlertEngine golden_guard(golden);
-        golden.run(config_.observeWindow);
-        const bool drained = golden.drain(config_.drainLimit);
-        if (!drained) {
-            NOCALERT_FATAL("golden run failed to drain within ",
-                           config_.drainLimit,
-                           " cycles; lower the injection rate");
-        }
-        NOCALERT_ASSERT(golden_guard.log().empty(),
-                        "checker asserted during fault-free golden run");
-    }
-    const GoldenReference reference(golden.collectEjections());
+    // ---- Warm snapshot + golden reference ----
+    PreparedReference prepared =
+        prepareReference(config_, config_.traffic.seed);
+    const noc::Network &base = prepared.base;
+    const GoldenReference &reference = prepared.golden;
     result.goldenFlits = reference.flitCount();
 
     // ---- Site selection ----
@@ -492,6 +550,205 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
     }
 
     result = snapshot();
+    if (!config_.checkpointPath.empty())
+        writeCheckpoint();
+    return result;
+}
+
+CampaignResult
+FaultCampaign::runSampled(const Progress &progress,
+                          const RunOptions &options)
+{
+    CampaignResult result;
+    result.config = config_;
+
+    // ---- Population ----
+    // totalSitesEnumerated keeps its exhaustive meaning: the full
+    // enumerated (pre-truncation) site count for this config.
+    {
+        std::vector<FaultSite> enumerated =
+            FaultSiteCatalog::enumerateNetwork(config_.network);
+        if (config_.wireSitesOnly) {
+            std::erase_if(enumerated, [](const FaultSite &site) {
+                return isStateSignal(site.signal);
+            });
+        }
+        result.totalSitesEnumerated = enumerated.size();
+    }
+    SampledPlanner planner(config_.sampling, sampledPopulation(config_));
+
+    // ---- References: one warm snapshot + golden per traffic seed ----
+    std::vector<PreparedReference> prepared;
+    prepared.reserve(config_.sampling.seedCount);
+    for (unsigned k = 0; k < config_.sampling.seedCount; ++k)
+        prepared.push_back(
+            prepareReference(config_, config_.traffic.seed + k));
+    result.goldenFlits = prepared.front().golden.flitCount();
+
+    // ---- Resume ----
+    // Resume is replay: the planner regenerates the exact batch
+    // sequence and checkpointed draws are fed back to it (validated
+    // one by one below) instead of being simulated again.
+    std::unordered_map<std::size_t, FaultRunResult> done_runs;
+    if (auto checkpoint = loadCheckpointDocument(config_)) {
+        for (FaultRunResult &run : checkpoint->runs)
+            done_runs.emplace(run.sampleIndex, std::move(run));
+    }
+    const std::size_t restored_count = done_runs.size();
+
+    bool finished = false;
+    auto snapshot = [&]() {
+        CampaignResult partial = result;
+        partial.shardRunsPlanned = planner.drawsPlanned();
+        partial.samplerDone = finished;
+        partial.runs.clear();
+        partial.runs.reserve(done_runs.size());
+        for (const auto &[index, run] : done_runs)
+            partial.runs.push_back(run);
+        std::sort(partial.runs.begin(), partial.runs.end(),
+                  [](const FaultRunResult &a, const FaultRunResult &b) {
+                      return a.sampleIndex < b.sampleIndex;
+                  });
+        return partial;
+    };
+    auto writeCheckpoint = [&]() {
+        std::string error;
+        if (!saveCampaignResult(snapshot(), config_.checkpointPath,
+                                &error))
+            NOCALERT_FATAL("checkpoint write failed: ", error);
+    };
+
+    std::size_t completed = done_runs.size();
+    std::size_t since_checkpoint = 0;
+    const unsigned checkpoint_every =
+        std::max(1u, config_.checkpointEvery);
+    std::size_t fresh = 0;
+    std::size_t replayed = 0;
+
+    exec::CampaignExecutor executor(exec::ExecConfig{
+        config_.jobs, config_.traffic.seed,
+        config_.sampling.samplerSeed});
+    exec::TelemetryHub hub(0, executor.jobs(),
+                           {"tp", "fp", "tn", "fn", "rec"});
+    for (const auto &[index, run] : done_runs)
+        hub.recordRun(static_cast<unsigned>(run.outcome()));
+
+    while (true) {
+        // Stop before planning a batch that could not execute anyway:
+        // the run limit is spent and every checkpointed draw has been
+        // replayed into the sampler.
+        if (options.maxNewRuns != 0 && fresh >= options.maxNewRuns &&
+            replayed == restored_count)
+            break;
+
+        std::vector<SampledDraw> batch = planner.planBatch();
+        if (batch.empty()) {
+            finished = true;
+            break;
+        }
+        hub.setRunsPlanned(planner.drawsPlanned());
+
+        // Replay first: checkpointed draws feed the sampler exactly
+        // as they did originally; the remainder is fresh work. The
+        // checkpoint holds a contiguous draw prefix, so restored
+        // entries always precede fresh ones within a batch.
+        std::vector<SampledDraw> todo;
+        for (const SampledDraw &draw : batch) {
+            auto it = done_runs.find(draw.drawIndex);
+            if (it == done_runs.end()) {
+                todo.push_back(draw);
+                continue;
+            }
+            const FaultRunResult &run = it->second;
+            if (!(run.site == draw.site) ||
+                run.stratum != draw.stratum ||
+                run.seedIndex != draw.seedIndex) {
+                NOCALERT_FATAL("checkpoint '", config_.checkpointPath,
+                               "' does not match the sampled draw "
+                               "stream at draw ", draw.drawIndex);
+            }
+            planner.record(run);
+            ++replayed;
+        }
+
+        bool limited = false;
+        if (options.maxNewRuns != 0) {
+            const std::size_t remaining =
+                options.maxNewRuns > fresh ? options.maxNewRuns - fresh
+                                           : 0;
+            if (todo.size() > remaining) {
+                todo.resize(remaining);
+                limited = true;
+            }
+        }
+
+        bool cancelled = false;
+        if (!todo.empty()) {
+            try {
+                cancelled = !executor.run<FaultRunResult>(
+                    todo.size(),
+                    [&](exec::TaskContext &ctx) {
+                        // As in the exhaustive planner, ctx.rng goes
+                        // unused: every sampled coordinate was fixed
+                        // when the draw was materialized.
+                        const SampledDraw &draw = todo[ctx.index];
+                        const PreparedReference &ref =
+                            prepared[draw.seedIndex];
+                        FaultRunResult run =
+                            runSingle(config_, ref.base, ref.golden,
+                                      draw.site, draw.cycleOffset);
+                        run.sampleIndex = draw.drawIndex;
+                        run.stratum = draw.stratum;
+                        run.seedIndex = draw.seedIndex;
+                        return run;
+                    },
+                    [&](std::size_t, FaultRunResult &&run) {
+                        // Ordered commit under the reducer lock, as in
+                        // the exhaustive planner; the sampler sees
+                        // this batch's outcomes only as aggregates at
+                        // the next planBatch, so commit order cannot
+                        // influence planning anyway.
+                        hub.recordRun(
+                            static_cast<unsigned>(run.outcome()));
+                        planner.record(run);
+                        done_runs.emplace(run.sampleIndex,
+                                          std::move(run));
+                        ++completed;
+                        ++fresh;
+                        if (!config_.checkpointPath.empty() &&
+                            ++since_checkpoint >= checkpoint_every) {
+                            since_checkpoint = 0;
+                            writeCheckpoint();
+                        }
+                        if (progress)
+                            progress(completed, planner.drawsPlanned());
+                        if (options.telemetry)
+                            options.telemetry(hub.snapshot());
+                    },
+                    options.cancel, &hub);
+            } catch (const exec::TaskError &error) {
+                if (!config_.checkpointPath.empty())
+                    writeCheckpoint();
+                const SampledDraw &draw = todo[error.taskIndex()];
+                NOCALERT_FATAL("sampled run ", draw.drawIndex, " (",
+                               draw.site.describe(),
+                               ") failed: ", error.what());
+            }
+        }
+        if (cancelled || limited)
+            break;
+    }
+
+    result = snapshot();
+    // A valid sampled result is a contiguous draw prefix; a doctored
+    // checkpoint with gaps or out-of-stream indices must not survive
+    // into the artifact unnoticed.
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        if (result.runs[i].sampleIndex != i) {
+            NOCALERT_FATAL("checkpoint '", config_.checkpointPath,
+                           "' is not a contiguous sampled draw prefix");
+        }
+    }
     if (!config_.checkpointPath.empty())
         writeCheckpoint();
     return result;

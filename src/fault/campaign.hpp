@@ -17,7 +17,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/invariant.hpp"
@@ -28,6 +30,7 @@
 #include "fault/site.hpp"
 #include "forever/forever.hpp"
 #include "noc/network.hpp"
+#include "stats/binomial.hpp"
 #include "util/histogram.hpp"
 
 namespace nocalert::fault {
@@ -54,6 +57,85 @@ const char *outcomeName(Outcome outcome);
  * readable; compare against this constant rather than a literal.
  */
 inline constexpr noc::Cycle kNoDetection = -1;
+
+/** How the sampled planner partitions the draw space into strata. */
+enum class Stratify : std::uint8_t {
+    None,        ///< One pooled stratum (plain binomial sampling).
+    SignalClass, ///< One stratum per fault-signal class.
+};
+
+/** Name of a stratification mode ("none" / "signal-class"). */
+const char *stratifyName(Stratify mode);
+
+/** Inverse of stratifyName (nullopt for unknown names). */
+std::optional<Stratify> stratifyFromName(std::string_view name);
+
+/**
+ * Statistical sampling mode (schema v5): instead of running every
+ * site of the campaign's site list exactly once, draw (site,
+ * injection-cycle offset, traffic seed) tuples with replacement,
+ * stratified, until every stratum's confidence interval is tight
+ * enough or the run budget is exhausted. Every field is campaign
+ * identity: it determines which runs exist.
+ */
+struct SamplingSpec
+{
+    /** Master switch; false leaves the exhaustive planner in charge. */
+    bool enabled = false;
+
+    /** Stratum partition of the draw space. */
+    Stratify stratify = Stratify::SignalClass;
+
+    /** Interval construction for stopping and the primary report. */
+    stats::IntervalMethod method = stats::IntervalMethod::Wilson;
+
+    /** Confidence level of all reported intervals. */
+    double confidence = 0.95;
+
+    /**
+     * Adaptive stopping target: a stratum halts once its detection
+     * interval half-width is <= this. 0 disables width-based stopping
+     * (fixed-budget sampling; maxRuns must then be set).
+     */
+    double ciHalfWidth = 0.05;
+
+    /** Hard cap on total draws (0 = unbounded), honored exactly. */
+    std::uint64_t maxRuns = 0;
+
+    /** Draws planned per batch (the determinism quantum). */
+    unsigned batchSize = 64;
+
+    /** Minimum draws per stratum before the stopping rule may halt it. */
+    unsigned minPerStratum = 8;
+
+    /**
+     * Injection-cycle jitter: each draw injects at warmup + U[0,
+     * cycleJitter]. Must stay well under observeWindow so every run
+     * keeps a meaningful post-injection observation window.
+     */
+    noc::Cycle cycleJitter = 0;
+
+    /**
+     * Number of distinct traffic seeds sampled (seed k = traffic.seed
+     * + k, each with its own warm snapshot and golden reference).
+     */
+    unsigned seedCount = 1;
+
+    /** Splitting-style budget boost toward rare-outcome strata. */
+    bool reallocate = true;
+
+    /** Seed of the per-draw materialization streams. */
+    std::uint64_t samplerSeed = 1;
+};
+
+/**
+ * Why @p spec cannot be run (empty = valid). The budget guard lives
+ * here: a stopping rule that can never halt combined with an
+ * unbounded run budget is rejected, as are degenerate knob values.
+ * @p observe_window bounds the admissible cycleJitter.
+ */
+std::string validateSamplingSpec(const SamplingSpec &spec,
+                                 noc::Cycle observe_window);
 
 /** Campaign parameters. */
 struct CampaignConfig
@@ -114,6 +196,17 @@ struct CampaignConfig
     bool denseKernel = false;
 
     /**
+     * Statistical sampling mode (schema v5). When enabled, the
+     * sampled planner replaces the exhaustive one: runs are drawn
+     * with replacement from the same deterministic site list the
+     * exhaustive campaign would sweep, batch by batch, with adaptive
+     * stopping. Part of the campaign identity. Sampled campaigns are
+     * single-shard (the dynamic run stream has no static partition);
+     * shardCount > 1 is rejected.
+     */
+    SamplingSpec sampling;
+
+    /**
      * Worker jobs for the in-process execution engine (1 = serial,
      * 0 = hardware concurrency). Execution-only: campaign *results*
      * are byte-identical for every value (the executor reduces run
@@ -155,6 +248,11 @@ struct FaultRunResult
 
     FaultSite site;
     noc::Cycle injectCycle = 0;
+
+    // ---- Sampled-mode draw coordinates (schema v5; zero for
+    // ---- exhaustive runs). sampleIndex doubles as the draw index.
+    std::uint32_t stratum = 0;   ///< Planner stratum of this draw.
+    std::uint32_t seedIndex = 0; ///< Traffic-seed offset of this draw.
 
     // ---- Ground truth from the golden reference ----
     bool violated = false;
@@ -245,8 +343,22 @@ struct CampaignResult
     /** Completed runs in increasing sampleIndex order. */
     std::vector<FaultRunResult> runs;
 
+    /**
+     * Sampled mode only: the sampler reached a stopping decision
+     * (every stratum halted or the budget ran out) and every planned
+     * draw committed. Needed because a sampled campaign interrupted
+     * exactly at a batch boundary has runs.size() ==
+     * shardRunsPlanned without being finished.
+     */
+    bool samplerDone = false;
+
     /** True iff every planned run of this shard has completed. */
-    bool complete() const { return runs.size() == shardRunsPlanned; }
+    bool complete() const
+    {
+        if (config.sampling.enabled)
+            return samplerDone && runs.size() == shardRunsPlanned;
+        return runs.size() == shardRunsPlanned;
+    }
 
     CampaignSummary summarize() const;
 };
@@ -302,13 +414,20 @@ class FaultCampaign
     /**
      * Execute a single fault-injected run against a prepared warm
      * snapshot and golden reference (building block for tests).
+     * @p inject_offset delays the injection that many cycles past the
+     * snapshot instant (sampled-mode cycle jitter; 0 = inject at the
+     * snapshot cycle, the exhaustive behaviour).
      */
     static FaultRunResult runSingle(const CampaignConfig &config,
                                     const noc::Network &base,
                                     const GoldenReference &golden,
-                                    const FaultSite &site);
+                                    const FaultSite &site,
+                                    noc::Cycle inject_offset = 0);
 
   private:
+    CampaignResult runSampled(const Progress &progress,
+                              const RunOptions &options);
+
     CampaignConfig config_;
 };
 

@@ -1,9 +1,11 @@
 #include "fault/report.hpp"
 
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <string>
 
+#include "fault/sampled.hpp"
 #include "util/table.hpp"
 
 namespace nocalert::fault {
@@ -91,6 +93,57 @@ summaryText(const CampaignResult &result)
            << Table::pct(100.0 * summary.detectionLatency.cdfAt(0), 1)
            << ", max " << summary.detectionLatency.max()
            << " cycles\n";
+    }
+
+    os << samplingText(result);
+    return os.str();
+}
+
+std::string
+samplingText(const CampaignResult &result)
+{
+    if (!result.config.sampling.enabled)
+        return std::string();
+
+    std::ostringstream os;
+    {
+        const SamplingReport report = computeSamplingReport(result);
+        const SamplingSpec &spec = result.config.sampling;
+        auto cell = [](const stats::Interval &interval) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "[%.4f, %.4f]",
+                          interval.lower, interval.upper);
+            return std::string(buf);
+        };
+        Table estimates({"stratum", "pop", "draws", "detect",
+                         "wilson", "clopper-pearson", "fn", "halted"});
+        auto estimateRow = [&](const StratumEstimate &estimate) {
+            const double rate =
+                estimate.draws > 0
+                    ? static_cast<double>(estimate.detected) /
+                          static_cast<double>(estimate.draws)
+                    : 0.0;
+            estimates.addRow(
+                {estimate.name, std::to_string(estimate.population),
+                 std::to_string(estimate.draws),
+                 Table::pct(100.0 * rate),
+                 cell(estimate.detectedWilson),
+                 cell(estimate.detectedClopperPearson),
+                 std::to_string(estimate.falseNegatives),
+                 estimate.halted ? "yes" : "no"});
+        };
+        for (const StratumEstimate &estimate : report.strata)
+            estimateRow(estimate);
+        if (report.strata.size() > 1)
+            estimateRow(report.pooled);
+        os << "sampled: " << report.pooled.draws << " draws ("
+           << (result.samplerDone ? "stopped" : "interrupted")
+           << "), " << 100.0 * spec.confidence << "% intervals, target "
+           << "half-width "
+           << (spec.ciHalfWidth > 0 ? std::to_string(spec.ciHalfWidth)
+                                    : std::string("none"))
+           << "\n";
+        os << estimates.toText();
     }
     return os.str();
 }

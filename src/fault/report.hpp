@@ -27,6 +27,14 @@ void writeCampaignCsv(const CampaignResult &result, std::ostream &os);
 /** Render the summary (outcome matrix + latency stats) as text. */
 std::string summaryText(const CampaignResult &result);
 
+/**
+ * Render the per-stratum estimate table (draws, detection rate,
+ * Wilson / Clopper-Pearson intervals, false-negative counts, halt
+ * state) of a sampled result; empty string for exhaustive results.
+ * summaryText appends this automatically.
+ */
+std::string samplingText(const CampaignResult &result);
+
 } // namespace nocalert::fault
 
 #endif // NOCALERT_FAULT_REPORT_HPP

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/sampled.hpp"
 #include "util/log.hpp"
 
 namespace nocalert::fault {
@@ -341,6 +342,90 @@ faultSiteFromJson(const JsonValue &json, FaultSite &site,
 }
 
 JsonValue
+samplingSpecJson(const SamplingSpec &spec)
+{
+    JsonValue json;
+    json.set("enabled", spec.enabled);
+    json.set("stratify", stratifyName(spec.stratify));
+    json.set("method", stats::intervalMethodName(spec.method));
+    json.set("confidence", spec.confidence);
+    json.set("ciHalfWidth", spec.ciHalfWidth);
+    json.set("maxRuns", spec.maxRuns);
+    json.set("batchSize", spec.batchSize);
+    json.set("minPerStratum", spec.minPerStratum);
+    json.set("cycleJitter", spec.cycleJitter);
+    json.set("seedCount", spec.seedCount);
+    json.set("reallocate", spec.reallocate);
+    json.set("samplerSeed", spec.samplerSeed);
+    return json;
+}
+
+void
+samplingSpecFromJson(const JsonValue &json, SamplingSpec &spec,
+                     std::string &error)
+{
+    ObjectReader reader(json, "sampling spec", error);
+    spec.enabled = reader.boolean("enabled");
+    const std::string stratify = reader.str("stratify");
+    if (error.empty()) {
+        if (auto mode = stratifyFromName(stratify))
+            spec.stratify = *mode;
+        else
+            reader.fail("unknown stratification '" + stratify + "'");
+    }
+    const std::string method = reader.str("method");
+    if (error.empty()) {
+        if (auto m = stats::intervalMethodFromName(method))
+            spec.method = *m;
+        else
+            reader.fail("unknown interval method '" + method + "'");
+    }
+    spec.confidence = reader.number("confidence");
+    spec.ciHalfWidth = reader.number("ciHalfWidth");
+    spec.maxRuns = reader.u64("maxRuns");
+    spec.batchSize = reader.u32("batchSize");
+    spec.minPerStratum = reader.u32("minPerStratum");
+    spec.cycleJitter = reader.i64("cycleJitter");
+    spec.seedCount = reader.u32("seedCount");
+    spec.reallocate = reader.boolean("reallocate");
+    spec.samplerSeed = reader.u64("samplerSeed");
+}
+
+JsonValue
+intervalJson(const stats::Interval &interval)
+{
+    JsonValue json;
+    json.set("lower", interval.lower);
+    json.set("upper", interval.upper);
+    return json;
+}
+
+JsonValue
+stratumEstimateJson(const StratumEstimate &estimate)
+{
+    JsonValue json;
+    json.set("name", estimate.name);
+    json.set("population", estimate.population);
+    json.set("draws", estimate.draws);
+    json.set("detected", estimate.detected);
+    json.set("falsePositives", estimate.falsePositives);
+    json.set("falseNegatives", estimate.falseNegatives);
+    json.set("halted", estimate.halted);
+    json.set("detectedWilson", intervalJson(estimate.detectedWilson));
+    json.set("detectedClopperPearson",
+             intervalJson(estimate.detectedClopperPearson));
+    json.set("falsePositiveWilson",
+             intervalJson(estimate.falsePositiveWilson));
+    json.set("falsePositiveClopperPearson",
+             intervalJson(estimate.falsePositiveClopperPearson));
+    json.set("falseNegativeWilson",
+             intervalJson(estimate.falseNegativeWilson));
+    json.set("falseNegativeClopperPearson",
+             intervalJson(estimate.falseNegativeClopperPearson));
+    return json;
+}
+
+JsonValue
 histogramJson(const Histogram &histogram)
 {
     JsonValue points = JsonValue(JsonValue::Array{});
@@ -373,6 +458,13 @@ toJson(const CampaignConfig &config)
     json.set("runForever", config.runForever);
     json.set("forever", foreverConfigJson(config.forever));
     json.set("recovery", config.recovery);
+    // The sampling spec appears only when enabled, so exhaustive
+    // configs — and the schema-v4 artifacts they produce — serialize
+    // exactly as they did before sampling existed. Every sampling
+    // knob is campaign identity (all of them shape the draw stream),
+    // so emitting the block here feeds campaignIdentityJson for free.
+    if (config.sampling.enabled)
+        json.set("sampling", samplingSpecJson(config.sampling));
     json.set("denseKernel", config.denseKernel);
     // jobs / checkpointPath / checkpointEvery are pure execution knobs
     // with no influence on results; schema v4 keeps them out of the
@@ -433,6 +525,11 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
     if (const JsonValue *forever = reader.get("forever"))
         foreverConfigFromJson(*forever, config.forever, error);
     config.recovery = reader.boolean("recovery");
+    // Optional: absent (every schema-v4 document) means disabled.
+    if (error.empty() && json.isObject()) {
+        if (const JsonValue *sampling = json.find("sampling"))
+            samplingSpecFromJson(*sampling, config.sampling, error);
+    }
     config.denseKernel = reader.boolean("denseKernel");
     config.shardIndex = reader.u32("shardIndex");
     config.shardCount = reader.u32("shardCount");
@@ -445,7 +542,7 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
 // ---------------------------------------------------------------- runs
 
 JsonValue
-toJson(const FaultRunResult &run)
+toJson(const FaultRunResult &run, bool sampled)
 {
     JsonValue invariants = JsonValue(JsonValue::Array{});
     for (core::InvariantId id : run.invariants)
@@ -453,6 +550,12 @@ toJson(const FaultRunResult &run)
 
     JsonValue json;
     json.set("sampleIndex", run.sampleIndex);
+    // Draw tags exist only in sampled (schema v5) documents; omitting
+    // them keeps exhaustive v4 artifacts byte-identical.
+    if (sampled) {
+        json.set("stratum", run.stratum);
+        json.set("seedIndex", run.seedIndex);
+    }
     json.set("site", faultSiteJson(run.site));
     json.set("injectCycle", run.injectCycle);
     json.set("violated", run.violated);
@@ -487,6 +590,13 @@ faultRunFromJson(const JsonValue &json, std::string *out_error)
     ObjectReader reader(json, "fault run", error);
 
     run.sampleIndex = reader.u64("sampleIndex");
+    // Draw tags are optional: present in sampled (v5) documents only.
+    if (error.empty() && json.isObject()) {
+        if (json.find("stratum"))
+            run.stratum = reader.u32("stratum");
+        if (json.find("seedIndex"))
+            run.seedIndex = reader.u32("seedIndex");
+    }
     if (const JsonValue *site = reader.get("site"))
         faultSiteFromJson(*site, run.site, error);
     run.injectCycle = reader.i64("injectCycle");
@@ -562,22 +672,52 @@ toJson(const CampaignTelemetry &telemetry)
 }
 
 JsonValue
+toJson(const SamplingReport &report)
+{
+    JsonValue strata = JsonValue(JsonValue::Array{});
+    for (const StratumEstimate &estimate : report.strata)
+        strata.push(stratumEstimateJson(estimate));
+
+    JsonValue json;
+    json.set("strata", std::move(strata));
+    json.set("pooled", stratumEstimateJson(report.pooled));
+    return json;
+}
+
+std::int64_t
+campaignSchemaVersionFor(const CampaignConfig &config)
+{
+    return config.sampling.enabled ? kCampaignSchemaVersion
+                                   : kCampaignSchemaVersionMin;
+}
+
+JsonValue
 toJson(const CampaignResult &result)
 {
+    const bool sampled = result.config.sampling.enabled;
+
     JsonValue runs = JsonValue(JsonValue::Array{});
     for (const FaultRunResult &run : result.runs)
-        runs.push(toJson(run));
+        runs.push(toJson(run, sampled));
 
     JsonValue json;
     json.set("schema", kCampaignSchemaName);
-    json.set("version", kCampaignSchemaVersion);
+    json.set("version", campaignSchemaVersionFor(result.config));
     json.set("config", toJson(result.config));
     json.set("totalSitesEnumerated", result.totalSitesEnumerated);
     json.set("goldenFlits", result.goldenFlits);
     json.set("shardRunsPlanned", result.shardRunsPlanned);
+    if (sampled)
+        json.set("samplerDone", result.samplerDone);
     // Deterministic projection of the runs below — never wall-clock
     // rates, which would break byte-identity across machines/--jobs.
     json.set("telemetry", toJson(computeTelemetry(result)));
+    if (sampled) {
+        // Like telemetry: derived from committed runs only, so the
+        // block is byte-identical for every --jobs value and the
+        // reader can recompute it for validation.
+        json.set("sampling", toJson(computeSamplingReport(result)));
+    }
     json.set("runs", std::move(runs));
     return json;
 }
@@ -593,18 +733,28 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
     if (error.empty() && schema != kCampaignSchemaName)
         reader.fail("not a campaign document (schema '" + schema + "')");
     const std::int64_t version = reader.i64("version");
-    if (error.empty() && version != kCampaignSchemaVersion)
+    if (error.empty() && (version < kCampaignSchemaVersionMin ||
+                          version > kCampaignSchemaVersion))
         reader.fail("unsupported campaign schema version " +
                     std::to_string(version) + " (expected " +
+                    std::to_string(kCampaignSchemaVersionMin) + ".." +
                     std::to_string(kCampaignSchemaVersion) + ")");
 
     if (const JsonValue *config = reader.get("config")) {
         if (auto parsed = campaignConfigFromJson(*config, &error))
             result.config = std::move(*parsed);
     }
+    // The version is determined by the config: 5 iff sampled. A
+    // document claiming otherwise was hand-edited or corrupted.
+    if (error.empty() &&
+        version != campaignSchemaVersionFor(result.config))
+        reader.fail("schema version " + std::to_string(version) +
+                    " inconsistent with the config's sampling state");
     result.totalSitesEnumerated = reader.u64("totalSitesEnumerated");
     result.goldenFlits = reader.u64("goldenFlits");
     result.shardRunsPlanned = reader.u64("shardRunsPlanned");
+    if (result.config.sampling.enabled)
+        result.samplerDone = reader.boolean("samplerDone");
     CampaignTelemetry stored;
     if (const JsonValue *telemetry = reader.get("telemetry")) {
         ObjectReader t(*telemetry, "telemetry", error);
@@ -651,6 +801,41 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
             stored.runsCompleted != expected.runsCompleted ||
             stored.outcomes != expected.outcomes)
             reader.fail("telemetry block inconsistent with runs");
+    }
+    if (error.empty() && result.config.sampling.enabled) {
+        // Guard the recomputation below (which enumerates the network
+        // and builds a planner) against aborting on nonsense input.
+        const std::string spec_error = validateSamplingSpec(
+            result.config.sampling, result.config.observeWindow);
+        if (!spec_error.empty())
+            reader.fail("invalid sampling spec: " + spec_error);
+        if (error.empty() && (result.config.network.width <= 0 ||
+                              result.config.network.height <= 0))
+            reader.fail("sampled campaign with an empty mesh");
+        if (error.empty() && sampledPopulation(result.config).empty())
+            reader.fail("sampled campaign with an empty site "
+                        "population");
+        if (error.empty()) {
+            const SampledPlanner planner(
+                result.config.sampling, sampledPopulation(result.config));
+            for (const FaultRunResult &run : result.runs) {
+                if (run.stratum >= planner.strataCount() ||
+                    run.seedIndex >= result.config.sampling.seedCount) {
+                    reader.fail("run draw tags out of range for the "
+                                "sampling spec");
+                    break;
+                }
+            }
+        }
+        // Like telemetry, the sampling report is derived data: reject
+        // a document whose stored block disagrees with what its own
+        // runs imply.
+        if (error.empty()) {
+            const JsonValue *stored_report = reader.get("sampling");
+            if (stored_report &&
+                *stored_report != toJson(computeSamplingReport(result)))
+                reader.fail("sampling block inconsistent with runs");
+        }
     }
 
     return finish(std::move(result), error, out_error);

@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "fault/campaign.hpp"
+#include "fault/sampled.hpp"
 #include "util/json.hpp"
 
 namespace nocalert::fault {
@@ -40,9 +41,24 @@ namespace nocalert::fault {
  * knobs (threads/jobs, checkpointPath, checkpointEvery) from the
  * config section, so the artifact is a pure function of the campaign
  * identity plus shard selector — byte-identical for every `--jobs`
- * value and checkpoint cadence.
+ * value and checkpoint cadence; 5 = sampled campaigns — the config
+ * "sampling" spec, per-run "stratum"/"seedIndex" tags, the
+ * "samplerDone" completion flag and the deterministic "sampling"
+ * report block (per-stratum estimates with Wilson and Clopper-Pearson
+ * intervals).
+ *
+ * The writer emits version 4 for exhaustive campaigns and version 5
+ * only when sampling is enabled, so every pre-sampling artifact stays
+ * byte-identical; the reader accepts both and rejects documents whose
+ * version disagrees with their config.
  */
-inline constexpr std::int64_t kCampaignSchemaVersion = 4;
+inline constexpr std::int64_t kCampaignSchemaVersion = 5;
+
+/** Oldest schema version the reader still accepts. */
+inline constexpr std::int64_t kCampaignSchemaVersionMin = 4;
+
+/** The version a given config serializes as (4 unless sampled). */
+std::int64_t campaignSchemaVersionFor(const CampaignConfig &config);
 
 /** Schema tag stored in every campaign document. */
 inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";
@@ -50,10 +66,12 @@ inline constexpr const char *kCampaignSchemaName = "nocalert-campaign";
 // ---- Structure -> JSON ----
 
 JsonValue toJson(const CampaignConfig &config);
-JsonValue toJson(const FaultRunResult &run);
+/** @p sampled adds the schema-v5 stratum/seedIndex tags. */
+JsonValue toJson(const FaultRunResult &run, bool sampled = false);
 JsonValue toJson(const CampaignResult &result); ///< Adds schema header.
 JsonValue toJson(const CampaignSummary &summary);
 JsonValue toJson(const CampaignTelemetry &telemetry);
+JsonValue toJson(const SamplingReport &report); ///< Schema-v5 block.
 
 /**
  * The subset of a config that defines campaign *identity*: everything

@@ -1,0 +1,269 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nocalert::stats {
+
+const char *
+intervalMethodName(IntervalMethod method)
+{
+    switch (method) {
+      case IntervalMethod::Wilson: return "wilson";
+      case IntervalMethod::ClopperPearson: return "clopper-pearson";
+    }
+    return "?";
+}
+
+std::optional<IntervalMethod>
+intervalMethodFromName(std::string_view name)
+{
+    if (name == "wilson")
+        return IntervalMethod::Wilson;
+    if (name == "clopper-pearson")
+        return IntervalMethod::ClopperPearson;
+    return std::nullopt;
+}
+
+double
+normalQuantile(double p)
+{
+    NOCALERT_ASSERT(p > 0.0 && p < 1.0,
+                    "normal quantile needs p in (0,1)");
+
+    // Acklam's rational approximation in three regions, refined with
+    // one Halley step against erfc for full double precision.
+    static constexpr double a[] = {-3.969683028665376e+01,
+                                   2.209460984245205e+02,
+                                   -2.759285104469687e+02,
+                                   1.383577518672690e+02,
+                                   -3.066479806614716e+01,
+                                   2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01,
+                                   1.615858368580409e+02,
+                                   -1.556989798598866e+02,
+                                   6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03,
+                                   -3.223964580411365e-01,
+                                   -2.400758277161838e+00,
+                                   -2.549732539343734e+00,
+                                   4.374664141464968e+00,
+                                   2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03,
+                                   3.224671290700398e-01,
+                                   2.445134137142996e+00,
+                                   3.754408661907416e+00};
+    static constexpr double p_low = 0.02425;
+
+    double x;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                 r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                 r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                  q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement: e = Phi(x) - p via erfc.
+    const double e =
+        0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+    const double u =
+        e * std::sqrt(2.0 * 3.14159265358979323846) *
+        std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+Interval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+               double confidence)
+{
+    NOCALERT_ASSERT(successes <= trials, "successes exceed trials");
+    NOCALERT_ASSERT(confidence > 0.0 && confidence < 1.0,
+                    "confidence must lie in (0,1)");
+    if (trials == 0)
+        return Interval{0.0, 1.0};
+
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z = normalQuantile(0.5 + confidence / 2.0);
+    const double z2 = z * z;
+
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+
+    Interval interval;
+    interval.lower = std::clamp(center - half, 0.0, 1.0);
+    interval.upper = std::clamp(center + half, 0.0, 1.0);
+    return interval;
+}
+
+namespace {
+
+/** Lentz continued fraction for the incomplete beta; valid (fast
+ *  convergence) only for x < (a+1)/(a+b+2). */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr double tiny = 1e-300;
+    constexpr double eps = 1e-15;
+    double c = 1.0;
+    double d = 1.0 - (a + b) * x / (a + 1.0);
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double f = d;
+
+    for (int m = 1; m <= 300; ++m) {
+        const double dm = static_cast<double>(m);
+        // Even step.
+        double numerator = dm * (b - dm) * x /
+                           ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+        d = 1.0 + numerator * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + numerator / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        f *= d * c;
+        // Odd step.
+        numerator = -(a + dm) * (a + b + dm) * x /
+                    ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+        d = 1.0 + numerator * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + numerator / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        f *= delta;
+        if (std::fabs(delta - 1.0) < eps)
+            break;
+    }
+    return f;
+}
+
+/**
+ * Regularized incomplete beta function I_x(a, b) via the Lentz
+ * continued fraction (Numerical Recipes construction) — accurate to
+ * ~1e-14 over the (a, b >= 1/2) range the binomial inversion uses.
+ * The symmetry I_x(a,b) = 1 - I_{1-x}(b,a) selects whichever side
+ * converges fast; evaluating it inline (never by self-recursion)
+ * avoids the threshold case x == (a+1)/(a+b+2) where both sides would
+ * bounce the call back and forth forever.
+ */
+double
+incompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+
+    // The same log-front factor serves both symmetry branches: it is
+    // invariant under (a,b,x) -> (b,a,1-x).
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log(1.0 - x);
+
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return std::exp(ln_front) *
+               betaContinuedFraction(a, b, x) / a;
+    return 1.0 - std::exp(ln_front) *
+                     betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+/**
+ * Beta distribution quantile: the x with I_x(a, b) = p, found by
+ * bisection (monotone, so 200 halvings pin x to one ulp — slow but
+ * branch-free deterministic, and intervals are computed per stratum
+ * per batch, never per cycle).
+ */
+double
+betaQuantile(double p, double a, double b)
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (mid == lo || mid == hi)
+            break;
+        if (incompleteBeta(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+Interval
+clopperPearsonInterval(std::uint64_t successes, std::uint64_t trials,
+                       double confidence)
+{
+    NOCALERT_ASSERT(successes <= trials, "successes exceed trials");
+    NOCALERT_ASSERT(confidence > 0.0 && confidence < 1.0,
+                    "confidence must lie in (0,1)");
+    if (trials == 0)
+        return Interval{0.0, 1.0};
+
+    const double alpha = 1.0 - confidence;
+    const double n = static_cast<double>(trials);
+    const double k = static_cast<double>(successes);
+
+    Interval interval;
+    if (successes == 0) {
+        // One-sided closed forms: P(X = 0) = (1-p)^n = alpha/2.
+        interval.lower = 0.0;
+        interval.upper = 1.0 - std::pow(alpha / 2.0, 1.0 / n);
+    } else if (successes == trials) {
+        interval.lower = std::pow(alpha / 2.0, 1.0 / n);
+        interval.upper = 1.0;
+    } else {
+        interval.lower = betaQuantile(alpha / 2.0, k, n - k + 1.0);
+        interval.upper =
+            betaQuantile(1.0 - alpha / 2.0, k + 1.0, n - k);
+    }
+    interval.lower = std::clamp(interval.lower, 0.0, 1.0);
+    interval.upper = std::clamp(interval.upper, 0.0, 1.0);
+    return interval;
+}
+
+Interval
+binomialInterval(IntervalMethod method, std::uint64_t successes,
+                 std::uint64_t trials, double confidence)
+{
+    switch (method) {
+      case IntervalMethod::Wilson:
+        return wilsonInterval(successes, trials, confidence);
+      case IntervalMethod::ClopperPearson:
+        return clopperPearsonInterval(successes, trials, confidence);
+    }
+    return Interval{};
+}
+
+} // namespace nocalert::stats

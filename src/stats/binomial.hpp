@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binomial proportion estimation for sampled fault campaigns.
+ *
+ * A sampled campaign observes k successes (e.g. detections) in n
+ * independent draws and must report not a bare rate but an interval
+ * that quantifies how much the estimate can be trusted. Two standard
+ * constructions are provided:
+ *
+ * - Wilson score interval: inverts the normal-approximation score
+ *   test. Good average coverage near the nominal level, narrow, and
+ *   well-behaved at the boundaries (never escapes [0, 1]).
+ * - Clopper-Pearson interval: inverts the exact binomial test via the
+ *   Beta quantile. Guaranteed coverage >= nominal for every true p
+ *   (conservative), which is what the campaign's "zero false
+ *   negatives" claim needs: its FN upper bound is a certified bound.
+ *
+ * Everything here is deterministic closed-form arithmetic (no RNG, no
+ * libm functions with platform-dependent rounding beyond the usual
+ * sqrt/log/exp), so serialized intervals are reproducible across runs
+ * and machines of the same float environment.
+ */
+
+#ifndef NOCALERT_STATS_BINOMIAL_HPP
+#define NOCALERT_STATS_BINOMIAL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace nocalert::stats {
+
+/** A two-sided confidence interval on a proportion, clamped to [0,1]. */
+struct Interval
+{
+    double lower = 0.0;
+    double upper = 1.0;
+
+    /** Half the interval width — the stopping rules' target metric. */
+    double halfWidth() const { return 0.5 * (upper - lower); }
+
+    /** True iff @p p lies inside the (closed) interval. */
+    bool contains(double p) const { return lower <= p && p <= upper; }
+};
+
+/** Interval construction used by reports and stopping rules. */
+enum class IntervalMethod : std::uint8_t {
+    Wilson,         ///< Score interval (approximate, narrow).
+    ClopperPearson, ///< Exact interval (conservative, certified).
+};
+
+/** Name of an interval method ("wilson" / "clopper-pearson"). */
+const char *intervalMethodName(IntervalMethod method);
+
+/** Inverse of intervalMethodName (nullopt for unknown names). */
+std::optional<IntervalMethod> intervalMethodFromName(
+    std::string_view name);
+
+/**
+ * Standard normal quantile Phi^-1(p) for p in (0, 1) (Acklam's
+ * rational approximation, |relative error| < 1.15e-9 — far below the
+ * interval widths it feeds). @pre 0 < p < 1.
+ */
+double normalQuantile(double p);
+
+/**
+ * Wilson score interval for @p successes out of @p trials at
+ * @p confidence (e.g. 0.95). trials == 0 yields the vacuous [0, 1].
+ * @pre successes <= trials, 0 < confidence < 1.
+ */
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double confidence);
+
+/**
+ * Clopper-Pearson (exact) interval, via the regularized incomplete
+ * beta function inverted by bisection. trials == 0 yields [0, 1];
+ * successes == 0 / == trials use the closed-form one-sided bounds.
+ * @pre successes <= trials, 0 < confidence < 1.
+ */
+Interval clopperPearsonInterval(std::uint64_t successes,
+                                std::uint64_t trials,
+                                double confidence);
+
+/** Dispatch on @p method. */
+Interval binomialInterval(IntervalMethod method, std::uint64_t successes,
+                          std::uint64_t trials, double confidence);
+
+} // namespace nocalert::stats
+
+#endif // NOCALERT_STATS_BINOMIAL_HPP

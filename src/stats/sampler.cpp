@@ -1,0 +1,163 @@
+#include "stats/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace nocalert::stats {
+
+std::string
+StratifiedSampler::validate(const SamplerConfig &config)
+{
+    if (config.batchSize == 0)
+        return "sampler batch size must be positive";
+    if (!(config.rule.confidence > 0.0 &&
+          config.rule.confidence < 1.0))
+        return "confidence must lie in (0,1)";
+    if (config.rareBoost < 1.0)
+        return "rare-outcome boost must be >= 1";
+    // The budget guard proper: a stopping rule that can never halt
+    // (non-positive half-width target) is only runnable under a hard
+    // draw budget, otherwise the campaign would sample forever.
+    if (!config.rule.canHalt() && config.maxDraws == 0)
+        return "stopping rule can never halt (targetHalfWidth <= 0) "
+               "and no draw budget (maxDraws) bounds the campaign";
+    return std::string();
+}
+
+StratifiedSampler::StratifiedSampler(SamplerConfig config,
+                                     std::size_t strata_count)
+    : config_(config), strata_(strata_count)
+{
+    const std::string error = validate(config_);
+    NOCALERT_ASSERT(error.empty(), "invalid sampler config: ", error);
+    NOCALERT_ASSERT(strata_count > 0, "sampler needs at least one stratum");
+}
+
+void
+StratifiedSampler::refreshHalts()
+{
+    for (StratumCounts &stratum : strata_) {
+        if (!stratum.halted &&
+            config_.rule.satisfied(stratum.successes, stratum.draws))
+            stratum.halted = true;
+    }
+}
+
+bool
+StratifiedSampler::done() const
+{
+    if (config_.maxDraws != 0 && planned_ >= config_.maxDraws)
+        return true;
+    for (const StratumCounts &stratum : strata_) {
+        if (!stratum.halted)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t>
+StratifiedSampler::planBatch()
+{
+    NOCALERT_ASSERT(outstanding_ == 0,
+                    "planBatch before the previous batch was recorded");
+    // Halting decisions happen only here, at the batch boundary, on
+    // fully recorded aggregates — never mid-batch.
+    refreshHalts();
+    if (done())
+        return {};
+
+    std::uint64_t batch = config_.batchSize;
+    if (config_.maxDraws != 0)
+        batch = std::min<std::uint64_t>(
+            batch, config_.maxDraws - planned_);
+
+    // Allocation weight per open stratum: strata still below the
+    // rule's minimum draws are filled first (weight 1 — the maximum a
+    // half-width can be); afterwards weight = current half-width, so
+    // budget flows toward uncertainty. Rare-outcome strata get the
+    // splitting-style boost.
+    std::vector<std::size_t> open;
+    std::vector<double> weight;
+    for (std::size_t i = 0; i < strata_.size(); ++i) {
+        const StratumCounts &stratum = strata_[i];
+        if (stratum.halted)
+            continue;
+        double w;
+        if (stratum.draws < config_.rule.minDraws) {
+            w = 1.0;
+        } else {
+            w = binomialInterval(config_.rule.method, stratum.successes,
+                                 stratum.draws,
+                                 config_.rule.confidence)
+                    .halfWidth();
+            // A width of exactly zero can only mean a degenerate
+            // interval; keep the stratum faintly alive so the rule
+            // (which refused to halt it) stays the sole authority.
+            w = std::max(w, 1e-9);
+        }
+        if (config_.reallocate && stratum.rare > 0)
+            w *= config_.rareBoost;
+        open.push_back(i);
+        weight.push_back(w);
+    }
+    NOCALERT_ASSERT(!open.empty(), "no open strata despite !done()");
+
+    double total = 0.0;
+    for (double w : weight)
+        total += w;
+
+    // Largest-remainder apportionment: floor the proportional quota,
+    // then hand the leftover slots to the largest fractional parts
+    // (ties broken by stratum index). Fully deterministic.
+    std::vector<std::uint64_t> allocation(open.size(), 0);
+    std::vector<double> remainder(open.size(), 0.0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+        const double quota =
+            static_cast<double>(batch) * weight[i] / total;
+        allocation[i] = static_cast<std::uint64_t>(quota);
+        remainder[i] = quota - static_cast<double>(allocation[i]);
+        assigned += allocation[i];
+    }
+    std::vector<std::size_t> order(open.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return remainder[a] > remainder[b];
+                     });
+    for (std::size_t i = 0; assigned < batch; ++i) {
+        allocation[order[i % order.size()]] += 1;
+        assigned += 1;
+    }
+
+    std::vector<std::size_t> draws;
+    draws.reserve(batch);
+    for (std::size_t i = 0; i < open.size(); ++i) {
+        for (std::uint64_t d = 0; d < allocation[i]; ++d)
+            draws.push_back(open[i]);
+    }
+    planned_ += draws.size();
+    outstanding_ = draws.size();
+    return draws;
+}
+
+void
+StratifiedSampler::record(std::size_t stratum, bool success, bool rare)
+{
+    NOCALERT_ASSERT(stratum < strata_.size(), "stratum out of range");
+    NOCALERT_ASSERT(outstanding_ > 0,
+                    "record without a planned draw outstanding");
+    outstanding_ -= 1;
+    recorded_ += 1;
+    StratumCounts &counts = strata_[stratum];
+    counts.draws += 1;
+    if (success)
+        counts.successes += 1;
+    if (rare)
+        counts.rare += 1;
+}
+
+} // namespace nocalert::stats

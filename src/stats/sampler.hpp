@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Stratified sequential sampler — the planning core of sampled fault
+ * campaigns.
+ *
+ * The sampler owns no simulation and no randomness: it decides *how
+ * many* draws each stratum receives, batch by batch, from the
+ * aggregate outcomes recorded so far. A batch is planned entirely
+ * before any of its outcomes are observed, so batch composition is a
+ * pure function of the completed-batch history; combined with
+ * deterministic per-draw materialization (counter-mode RNG keyed by
+ * the global draw index) this makes the whole sampled run stream a
+ * pure function of the campaign configuration — the determinism
+ * argument of DESIGN.md §12.
+ *
+ * Allocation is proportional to each open stratum's current interval
+ * half-width (largest-remainder rounding, ties by stratum index), so
+ * budget flows toward uncertainty; strata that have exhibited a rare
+ * outcome (e.g. a false negative) get a splitting-style boost so the
+ * tail is chased harder than its point rate alone would justify.
+ */
+
+#ifndef NOCALERT_STATS_SAMPLER_HPP
+#define NOCALERT_STATS_SAMPLER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stopping.hpp"
+
+namespace nocalert::stats {
+
+/** Sampler knobs; all are campaign identity. */
+struct SamplerConfig
+{
+    StoppingRule rule;
+
+    /**
+     * Hard cap on total draws across all strata (0 = unbounded; the
+     * budget guard then requires the stopping rule to be able to
+     * halt). Honored exactly: the final batch is truncated so the
+     * total never exceeds it.
+     */
+    std::uint64_t maxDraws = 0;
+
+    /** Draws planned per batch before outcomes are consulted. */
+    unsigned batchSize = 64;
+
+    /** Boost budget toward strata that saw a rare outcome. */
+    bool reallocate = true;
+
+    /** Allocation weight multiplier for rare-outcome strata. */
+    double rareBoost = 4.0;
+};
+
+/** Aggregate state of one stratum. */
+struct StratumCounts
+{
+    std::uint64_t draws = 0;     ///< Outcomes recorded.
+    std::uint64_t successes = 0; ///< Primary-metric successes.
+    std::uint64_t rare = 0;      ///< Rare-outcome observations.
+    bool halted = false;         ///< Stopping rule satisfied.
+};
+
+/** Plans batches of draws over strata; see file comment. */
+class StratifiedSampler
+{
+  public:
+    /**
+     * Budget guard: the error message (empty = valid) explaining why
+     * this configuration cannot be run. Rejects configurations that
+     * can never terminate — a stopping rule unable to halt combined
+     * with an unbounded draw budget — as well as degenerate knobs
+     * (zero batch size, confidence outside (0,1)).
+     */
+    static std::string validate(const SamplerConfig &config);
+
+    /**
+     * @p strata_count strata, indexed 0..count-1. @pre validate()
+     * returned empty (the constructor aborts otherwise) and
+     * strata_count > 0.
+     */
+    StratifiedSampler(SamplerConfig config, std::size_t strata_count);
+
+    /**
+     * Plan the next batch: the stratum index of each draw, in
+     * deterministic order (ascending stratum). Empty once the sampler
+     * is done — every stratum halted or the draw budget exhausted.
+     * @pre every draw of the previous batch has been record()ed.
+     */
+    std::vector<std::size_t> planBatch();
+
+    /** Record the outcome of one planned draw of the current batch. */
+    void record(std::size_t stratum, bool success, bool rare);
+
+    /**
+     * True iff planBatch() has (or would have) returned empty: all
+     * strata halted, or the budget is exhausted. Draws planned but not
+     * yet recorded do not count as completion.
+     */
+    bool done() const;
+
+    /** Total draws planned so far (recorded or in flight). */
+    std::uint64_t drawsPlanned() const { return planned_; }
+
+    /** Total outcomes recorded so far. */
+    std::uint64_t drawsRecorded() const { return recorded_; }
+
+    /** Per-stratum aggregates. */
+    const std::vector<StratumCounts> &strata() const { return strata_; }
+
+    const SamplerConfig &config() const { return config_; }
+
+  private:
+    void refreshHalts();
+
+    SamplerConfig config_;
+    std::vector<StratumCounts> strata_;
+    std::uint64_t planned_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t outstanding_ = 0; ///< Planned, not yet recorded.
+};
+
+} // namespace nocalert::stats
+
+#endif // NOCALERT_STATS_SAMPLER_HPP

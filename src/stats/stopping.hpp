@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sequential (adaptive) stopping for sampled campaigns.
+ *
+ * A stratum keeps drawing until the confidence interval on its
+ * primary rate is tight enough: the rule is satisfied once the
+ * interval's half-width drops to the target. Evaluated only at batch
+ * boundaries, on aggregate counts, so the decision is a pure function
+ * of the committed draws — identical for every worker count.
+ *
+ * The rule alone does not guarantee termination (a target of zero is
+ * never reached); the sampler's budget guard rejects configurations
+ * where neither the rule nor a draw budget bounds the campaign.
+ */
+
+#ifndef NOCALERT_STATS_STOPPING_HPP
+#define NOCALERT_STATS_STOPPING_HPP
+
+#include <cstdint>
+
+#include "stats/binomial.hpp"
+
+namespace nocalert::stats {
+
+/** When a stratum has been sampled enough. */
+struct StoppingRule
+{
+    /**
+     * Halt once the interval half-width is <= this target. A value of
+     * zero (or below) can never be satisfied: the stratum then runs
+     * until the sampler's draw budget is exhausted (fixed-budget
+     * sampling), and the budget guard requires such a budget to exist.
+     */
+    double targetHalfWidth = 0.05;
+
+    /** Confidence level of the monitored interval (e.g. 0.95). */
+    double confidence = 0.95;
+
+    /** Interval construction the half-width is measured on. */
+    IntervalMethod method = IntervalMethod::Wilson;
+
+    /**
+     * Never halt a stratum before this many draws: early extreme
+     * counts (0/2 successes) produce deceptively tight Wilson
+     * intervals, and a premature halt would freeze them.
+     */
+    std::uint64_t minDraws = 8;
+
+    /** True iff the rule is capable of halting a stratum at all. */
+    bool canHalt() const { return targetHalfWidth > 0.0; }
+
+    /** True iff a stratum with these counts should stop drawing. */
+    bool satisfied(std::uint64_t successes, std::uint64_t trials) const
+    {
+        if (trials < minDraws || !canHalt())
+            return false;
+        return binomialInterval(method, successes, trials, confidence)
+                   .halfWidth() <= targetHalfWidth;
+    }
+};
+
+} // namespace nocalert::stats
+
+#endif // NOCALERT_STATS_STOPPING_HPP

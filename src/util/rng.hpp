@@ -91,8 +91,31 @@ inline constexpr std::uint64_t kStreamBase = 0x5851f42d4c957f2dULL;
  * so distinct indices can never share a sequence, and no generator
  * state is ever handed between consumers. Used for per-node traffic
  * streams and per-run campaign streams alike.
+ *
+ * Caveat: the raw derivation is affine in (seed, index) — the first
+ * output of (seed, index) equals that of (seed + 4, index - 1),
+ * because XSH-RR discards the low 27 state bits where the affine
+ * difference lands. Harmless when the seed is fixed across indices
+ * (traffic, per-task streams), but any consumer that varies *both*
+ * coordinates and draws few values per stream must decorrelate the
+ * seed through splitMix64() first (see SampledPlanner::materialize).
  */
 Pcg32 deriveStream(std::uint64_t seed, std::uint64_t index);
+
+/**
+ * SplitMix64 finalizer: a 64-bit bijective mixer with full avalanche
+ * (every input bit flips ~half the output bits). Used to turn
+ * structured (seed, counter) pairs into statistically independent
+ * stream keys; being a bijection it can never introduce collisions.
+ */
+constexpr std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
 
 } // namespace nocalert
 

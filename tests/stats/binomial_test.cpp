@@ -1,0 +1,177 @@
+/**
+ * Unit tests for the binomial interval constructions: known reference
+ * values, edge cases (0/n, n/n, n=1, zero trials), clamping, and a
+ * sweep regression for the incomplete-beta symmetry threshold (which
+ * once self-recursed to a stack overflow).
+ */
+
+#include "stats/binomial.hpp"
+#include "stats/stopping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nocalert::stats {
+namespace {
+
+TEST(NormalQuantile, ReferenceValues)
+{
+    // Two-sided 95% and 99% z-values, and the median.
+    EXPECT_NEAR(normalQuantile(0.975), 1.95996398454, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.995), 2.57582930355, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normalQuantile(0.025), -1.95996398454, 1e-9);
+    // Tail region (p < 0.02425) exercises Acklam's lower branch.
+    EXPECT_NEAR(normalQuantile(0.001), -3.09023230617, 1e-9);
+}
+
+TEST(WilsonInterval, ReferenceValue)
+{
+    // 8 successes in 10 trials at 95%: the standard textbook value.
+    const Interval interval = wilsonInterval(8, 10, 0.95);
+    EXPECT_NEAR(interval.lower, 0.4902, 5e-4);
+    EXPECT_NEAR(interval.upper, 0.9433, 5e-4);
+}
+
+TEST(ClopperPearsonInterval, ReferenceValue)
+{
+    // 3 successes in 10 trials at 95% (exact interval).
+    const Interval interval = clopperPearsonInterval(3, 10, 0.95);
+    EXPECT_NEAR(interval.lower, 0.06674, 1e-4);
+    EXPECT_NEAR(interval.upper, 0.65245, 1e-4);
+}
+
+TEST(ClopperPearsonInterval, ZeroSuccessesClosedForm)
+{
+    // k = 0: upper = 1 - (alpha/2)^(1/n), lower = 0 exactly.
+    const Interval interval = clopperPearsonInterval(0, 20, 0.95);
+    EXPECT_DOUBLE_EQ(interval.lower, 0.0);
+    EXPECT_NEAR(interval.upper, 1.0 - std::pow(0.025, 1.0 / 20.0),
+                1e-12);
+}
+
+TEST(ClopperPearsonInterval, AllSuccessesClosedForm)
+{
+    const Interval interval = clopperPearsonInterval(20, 20, 0.95);
+    EXPECT_NEAR(interval.lower, std::pow(0.025, 1.0 / 20.0), 1e-12);
+    EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+}
+
+TEST(BinomialIntervals, ZeroTrialsIsVacuous)
+{
+    for (const IntervalMethod method :
+         {IntervalMethod::Wilson, IntervalMethod::ClopperPearson}) {
+        const Interval interval = binomialInterval(method, 0, 0, 0.95);
+        EXPECT_DOUBLE_EQ(interval.lower, 0.0);
+        EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+    }
+}
+
+TEST(BinomialIntervals, SingleTrialEdgeCasesAreValidAndClamped)
+{
+    for (const IntervalMethod method :
+         {IntervalMethod::Wilson, IntervalMethod::ClopperPearson}) {
+        for (const std::uint64_t k : {std::uint64_t{0}, std::uint64_t{1}}) {
+            const Interval interval = binomialInterval(method, k, 1, 0.95);
+            EXPECT_GE(interval.lower, 0.0);
+            EXPECT_LE(interval.upper, 1.0);
+            EXPECT_LT(interval.lower, interval.upper);
+            EXPECT_TRUE(interval.contains(static_cast<double>(k)));
+        }
+    }
+}
+
+TEST(BinomialIntervals, SweepIsValidAndContainsPointEstimate)
+{
+    // Regression: the incomplete-beta symmetry switch must terminate
+    // for every (k, n) — a self-recursive implementation overflowed
+    // the stack right at the threshold x == (a+1)/(a+b+2). The sweep
+    // also checks the universal properties: 0 <= lower <= p-hat <=
+    // upper <= 1 for both constructions.
+    for (std::uint64_t n = 1; n <= 40; ++n) {
+        for (std::uint64_t k = 0; k <= n; ++k) {
+            const double p_hat =
+                static_cast<double>(k) / static_cast<double>(n);
+            for (const IntervalMethod method :
+                 {IntervalMethod::Wilson,
+                  IntervalMethod::ClopperPearson}) {
+                const Interval interval =
+                    binomialInterval(method, k, n, 0.95);
+                ASSERT_GE(interval.lower, 0.0) << "k=" << k << " n=" << n;
+                ASSERT_LE(interval.upper, 1.0) << "k=" << k << " n=" << n;
+                ASSERT_LE(interval.lower, p_hat + 1e-12)
+                    << "k=" << k << " n=" << n;
+                ASSERT_GE(interval.upper, p_hat - 1e-12)
+                    << "k=" << k << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(BinomialIntervals, WidthShrinksWithSampleSize)
+{
+    for (const IntervalMethod method :
+         {IntervalMethod::Wilson, IntervalMethod::ClopperPearson}) {
+        const double wide =
+            binomialInterval(method, 5, 10, 0.95).halfWidth();
+        const double narrow =
+            binomialInterval(method, 50, 100, 0.95).halfWidth();
+        EXPECT_LT(narrow, wide);
+    }
+}
+
+TEST(BinomialIntervals, ClopperPearsonIsConservativeVersusWilson)
+{
+    // The exact interval is at least as wide as the score interval
+    // away from the boundary — the reason reports carry both.
+    for (std::uint64_t k = 1; k < 20; ++k) {
+        const double wilson = wilsonInterval(k, 20, 0.95).halfWidth();
+        const double exact =
+            clopperPearsonInterval(k, 20, 0.95).halfWidth();
+        EXPECT_GE(exact, wilson - 1e-9) << "k=" << k;
+    }
+}
+
+TEST(BinomialIntervals, MirrorSymmetry)
+{
+    // I(k, n) and I(n-k, n) are reflections around 1/2 for both
+    // constructions.
+    for (const IntervalMethod method :
+         {IntervalMethod::Wilson, IntervalMethod::ClopperPearson}) {
+        const Interval a = binomialInterval(method, 3, 12, 0.95);
+        const Interval b = binomialInterval(method, 9, 12, 0.95);
+        EXPECT_NEAR(a.lower, 1.0 - b.upper, 1e-9);
+        EXPECT_NEAR(a.upper, 1.0 - b.lower, 1e-9);
+    }
+}
+
+TEST(StoppingRule, HaltsOnlyBelowTargetAndAboveMinDraws)
+{
+    StoppingRule rule;
+    rule.targetHalfWidth = 0.1;
+    rule.confidence = 0.95;
+    rule.minDraws = 8;
+    EXPECT_TRUE(rule.canHalt());
+    // Below the minimum draw count the rule never fires, even for a
+    // degenerate 0-width estimate.
+    EXPECT_FALSE(rule.satisfied(0, 0));
+    EXPECT_FALSE(rule.satisfied(7, 7));
+    // 100/100 at 95%: CP-free Wilson half-width well under 0.1.
+    EXPECT_TRUE(rule.satisfied(100, 100));
+    // 50/100: half-width ~0.096 < 0.1.
+    EXPECT_TRUE(rule.satisfied(50, 100));
+    // 10/20: half-width ~0.20 > 0.1.
+    EXPECT_FALSE(rule.satisfied(10, 20));
+}
+
+TEST(StoppingRule, NonPositiveTargetNeverHalts)
+{
+    StoppingRule rule;
+    rule.targetHalfWidth = 0.0;
+    EXPECT_FALSE(rule.canHalt());
+    EXPECT_FALSE(rule.satisfied(1000, 1000));
+}
+
+} // namespace
+} // namespace nocalert::stats

@@ -1,0 +1,289 @@
+/**
+ * Coverage-validation harness for the sampled campaign engine.
+ *
+ * An exhaustive campaign over a small mesh provides the exact ground
+ * truth (every site's outcome is deterministic, so the population
+ * detection rate is known precisely). Sampled campaigns then draw from
+ * the *same* population with replacement — a textbook binomial — and
+ * the reported 95% intervals must contain the true rate at no less
+ * than (roughly) the nominal frequency across many sampler seeds.
+ * Everything is seeded, so the observed coverage is deterministic.
+ */
+
+#include "fault/campaign.hpp"
+#include "fault/sampled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nocalert::fault {
+namespace {
+
+/** Small, fast campaign: 4x4 mesh, short windows, 16-site population. */
+CampaignConfig
+baseConfig()
+{
+    CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = 13;
+    config.warmup = 200;
+    config.observeWindow = 1200;
+    config.drainLimit = 4000;
+    config.maxSites = 16;
+    config.runForever = false;
+    config.jobs = 1;
+    return config;
+}
+
+struct GroundTruth
+{
+    CampaignResult result;
+    double detectionRate = 0.0;
+};
+
+/** Exhaustive sweep of the population, computed once per process. */
+const GroundTruth &
+groundTruth()
+{
+    static const GroundTruth truth = [] {
+        GroundTruth t;
+        FaultCampaign campaign(baseConfig());
+        t.result = campaign.run();
+        std::uint64_t detected = 0;
+        for (const FaultRunResult &run : t.result.runs)
+            detected += run.detected ? 1 : 0;
+        t.detectionRate = static_cast<double>(detected) /
+                          static_cast<double>(t.result.runs.size());
+        return t;
+    }();
+    return truth;
+}
+
+/** Un-stratified fixed-budget sampling over the same population. */
+CampaignConfig
+sampledConfig(std::uint64_t sampler_seed, std::uint64_t max_runs)
+{
+    CampaignConfig config = baseConfig();
+    config.sampling.enabled = true;
+    config.sampling.stratify = Stratify::None;
+    config.sampling.ciHalfWidth = 0.0; // fixed budget: no early stop
+    config.sampling.maxRuns = max_runs;
+    config.sampling.batchSize = static_cast<unsigned>(max_runs);
+    config.sampling.samplerSeed = sampler_seed;
+    return config;
+}
+
+TEST(Coverage, SampledPopulationIsTheExhaustiveSiteList)
+{
+    // The statistical engine must draw from *exactly* the site list
+    // the exhaustive planner sweeps — otherwise the estimate targets a
+    // different population than the ground truth.
+    const GroundTruth &truth = groundTruth();
+    const std::vector<FaultSite> population =
+        sampledPopulation(baseConfig());
+    ASSERT_EQ(population.size(), truth.result.runs.size());
+    for (std::size_t i = 0; i < population.size(); ++i)
+        EXPECT_EQ(population[i], truth.result.runs[i].site) << "i=" << i;
+}
+
+TEST(Coverage, GroundTruthRateIsInformative)
+{
+    // A degenerate population (all detected / none detected) would
+    // make the coverage assertions vacuous; the chosen configuration
+    // must keep the true rate strictly interior.
+    const GroundTruth &truth = groundTruth();
+    EXPECT_TRUE(truth.result.complete());
+    EXPECT_GT(truth.detectionRate, 0.0);
+    EXPECT_LT(truth.detectionRate, 1.0);
+}
+
+TEST(Coverage, DrawSequencesAreIndependentAcrossSamplerSeeds)
+{
+    // Regression: raw deriveStream is affine in (seed, index), so the
+    // site pick of (seed, i) used to collide with (seed + 4, i - 1) —
+    // adjacent sampler seeds produced shifted copies of one draw
+    // sequence and the coverage statistics collapsed onto a handful of
+    // truly independent samples. The planner must mix the seed and the
+    // draw counter before stream selection.
+    constexpr std::uint64_t kSeeds = 12;
+    constexpr std::uint64_t kDraws = 24;
+    std::vector<std::vector<std::uint64_t>> sequences;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        CampaignConfig config = sampledConfig(seed, kDraws);
+        SampledPlanner planner(config.sampling,
+                               sampledPopulation(config));
+        std::vector<std::uint64_t> sites;
+        for (std::uint64_t i = 0; i < kDraws; ++i) {
+            const SampledDraw draw = planner.materialize(i, 0);
+            sites.push_back(
+                static_cast<std::uint64_t>(draw.site.router) * 1000 +
+                static_cast<std::uint64_t>(draw.site.signal) * 100 +
+                static_cast<std::uint64_t>(draw.site.port) * 10 +
+                static_cast<std::uint64_t>(draw.site.vc + 1));
+        }
+        sequences.push_back(std::move(sites));
+    }
+    for (std::size_t a = 0; a < sequences.size(); ++a) {
+        for (std::size_t b = a + 1; b < sequences.size(); ++b) {
+            for (std::size_t shift = 0; shift <= 4; ++shift) {
+                // Compare a[shift..] against b[..len-shift] and the
+                // mirror image: no pair of seeds may be a (shifted)
+                // copy of another.
+                const std::size_t len = sequences[a].size() - shift;
+                EXPECT_FALSE(
+                    std::equal(sequences[a].begin() + shift,
+                               sequences[a].begin() + shift + len,
+                               sequences[b].begin()))
+                    << "seeds " << a + 1 << " and " << b + 1
+                    << " collide at shift " << shift;
+                EXPECT_FALSE(
+                    std::equal(sequences[b].begin() + shift,
+                               sequences[b].begin() + shift + len,
+                               sequences[a].begin()))
+                    << "seeds " << b + 1 << " and " << a + 1
+                    << " collide at shift " << shift;
+            }
+        }
+    }
+}
+
+TEST(Coverage, SampledEngineOutcomesMatchExhaustiveTruth)
+{
+    // The cheap statistical sweep below replays planner draws against
+    // the exhaustive ground truth instead of simulating each one;
+    // this test licenses that shortcut: the full engine's per-draw
+    // outcome must equal the exhaustive outcome of the drawn site.
+    const GroundTruth &truth = groundTruth();
+    const std::vector<FaultSite> population =
+        sampledPopulation(baseConfig());
+    for (const std::uint64_t seed : {1, 2}) {
+        FaultCampaign campaign(sampledConfig(seed, 20));
+        const CampaignResult result = campaign.run();
+        ASSERT_TRUE(result.complete());
+        ASSERT_EQ(result.runs.size(), 20u);
+
+        const SamplingReport report = computeSamplingReport(result);
+        ASSERT_EQ(report.pooled.draws, 20u);
+        std::uint64_t detected = 0;
+        for (const FaultRunResult &run : result.runs) {
+            detected += run.detected ? 1 : 0;
+            auto it = std::find(population.begin(), population.end(),
+                                run.site);
+            ASSERT_NE(it, population.end());
+            const std::size_t index = static_cast<std::size_t>(
+                it - population.begin());
+            EXPECT_EQ(run.detected, truth.result.runs[index].detected)
+                << "sampled outcome diverges from exhaustive truth for"
+                   " population site "
+                << index;
+        }
+        // The pooled estimate is the exact binomial of the draws.
+        EXPECT_EQ(report.pooled.detected, detected);
+    }
+}
+
+TEST(Coverage, IntervalsContainTruthAtNominalRate)
+{
+    const GroundTruth &truth = groundTruth();
+    const std::vector<FaultSite> population =
+        sampledPopulation(baseConfig());
+
+    // Per-site outcome lookup (licensed by
+    // SampledEngineOutcomesMatchExhaustiveTruth): replaying planner
+    // draws against it makes a seed cost microseconds, so the sweep
+    // can afford enough seeds for a sharp coverage assertion.
+    auto detectedAt = [&](const FaultSite &site) {
+        auto it =
+            std::find(population.begin(), population.end(), site);
+        EXPECT_NE(it, population.end());
+        return truth.result.runs[static_cast<std::size_t>(
+                                     it - population.begin())]
+            .detected;
+    };
+
+    constexpr std::uint64_t kSeeds = 400;
+    constexpr std::uint64_t kDraws = 20;
+    std::uint64_t wilson_hits = 0;
+    std::uint64_t cp_hits = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const CampaignConfig config = sampledConfig(seed, kDraws);
+        SampledPlanner planner(config.sampling, population);
+        std::uint64_t detected = 0;
+        for (std::uint64_t i = 0; i < kDraws; ++i)
+            detected +=
+                detectedAt(planner.materialize(i, 0).site) ? 1 : 0;
+        if (stats::wilsonInterval(detected, kDraws, 0.95)
+                .contains(truth.detectionRate))
+            ++wilson_hits;
+        if (stats::clopperPearsonInterval(detected, kDraws, 0.95)
+                .contains(truth.detectionRate))
+            ++cp_hits;
+    }
+
+    // At n = 20 and p = truth the exact coverage of both intervals is
+    // ~0.959 (they accept the same k-window here; Clopper-Pearson is
+    // conservative by construction, Wilson happens to match at this
+    // n). Over 400 seeds the binomial 3-sigma band around 0.959 is
+    // about +/-0.030, so requiring 0.93 both stays below any plausible
+    // realization and still catches the failure modes this harness
+    // exists for: a biased or correlated draw stream (the affine
+    // deriveStream collision produced 0.69 here) or a broken interval
+    // construction. The sweep is fully seeded — the counts are
+    // reproducible constants, not flaky statistics.
+    EXPECT_GE(wilson_hits, 372u)
+        << "Wilson coverage " << wilson_hits << "/" << kSeeds
+        << " for p=" << truth.detectionRate;
+    EXPECT_GE(cp_hits, 372u)
+        << "Clopper-Pearson coverage " << cp_hits << "/" << kSeeds
+        << " for p=" << truth.detectionRate;
+}
+
+TEST(Coverage, SingleDrawCampaignYieldsValidClampedIntervals)
+{
+    // n = 1 is the harshest edge case: the report must still produce
+    // well-formed intervals (clamped to [0,1], non-degenerate) and the
+    // campaign must classify as complete.
+    FaultCampaign campaign(sampledConfig(5, 1));
+    const CampaignResult result = campaign.run();
+    EXPECT_TRUE(result.complete());
+    EXPECT_TRUE(result.samplerDone);
+    ASSERT_EQ(result.runs.size(), 1u);
+
+    const SamplingReport report = computeSamplingReport(result);
+    ASSERT_EQ(report.pooled.draws, 1u);
+    for (const stats::Interval &interval :
+         {report.pooled.detectedWilson,
+          report.pooled.detectedClopperPearson,
+          report.pooled.falseNegativeWilson,
+          report.pooled.falseNegativeClopperPearson}) {
+        EXPECT_GE(interval.lower, 0.0);
+        EXPECT_LE(interval.upper, 1.0);
+        EXPECT_LT(interval.lower, interval.upper);
+    }
+}
+
+TEST(Coverage, ZeroObservedRareOutcomeStillBoundsTheRate)
+{
+    // The paper's headline claim is "zero false negatives": with k = 0
+    // observed in n draws the Clopper-Pearson upper bound must be the
+    // closed-form 1 - (alpha/2)^(1/n), a certified (conservative)
+    // bound on the undetected-violation rate — never exactly zero.
+    FaultCampaign campaign(sampledConfig(3, 24));
+    const CampaignResult result = campaign.run();
+    ASSERT_TRUE(result.complete());
+    const SamplingReport report = computeSamplingReport(result);
+    ASSERT_EQ(report.pooled.falseNegatives, 0u)
+        << "NoCAlert missed a violation on the tiny mesh";
+    EXPECT_DOUBLE_EQ(report.pooled.falseNegativeClopperPearson.lower,
+                     0.0);
+    EXPECT_GT(report.pooled.falseNegativeClopperPearson.upper, 0.0);
+    EXPECT_LT(report.pooled.falseNegativeClopperPearson.upper, 0.2);
+}
+
+} // namespace
+} // namespace nocalert::fault

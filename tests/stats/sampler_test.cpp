@@ -1,0 +1,241 @@
+/**
+ * Unit tests for the stratified sequential sampler: the budget guard,
+ * adaptive halting, exact draw-budget accounting, rare-outcome
+ * reallocation, and plan determinism.
+ */
+
+#include "stats/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace nocalert::stats {
+namespace {
+
+SamplerConfig
+fixedBudget(std::uint64_t max_draws, unsigned batch)
+{
+    SamplerConfig config;
+    config.rule.targetHalfWidth = 0.0; // never halts: budget-bounded
+    config.maxDraws = max_draws;
+    config.batchSize = batch;
+    return config;
+}
+
+/** Record every draw of @p batch with a fixed outcome. */
+void
+recordAll(StratifiedSampler &sampler,
+          const std::vector<std::size_t> &batch, bool success,
+          bool rare = false)
+{
+    for (const std::size_t stratum : batch)
+        sampler.record(stratum, success, rare);
+}
+
+TEST(SamplerValidate, AcceptsBoundedConfigurations)
+{
+    EXPECT_TRUE(StratifiedSampler::validate(SamplerConfig{}).empty());
+    EXPECT_TRUE(StratifiedSampler::validate(fixedBudget(100, 10)).empty());
+}
+
+TEST(SamplerValidate, RejectsDegenerateKnobs)
+{
+    SamplerConfig config;
+    config.batchSize = 0;
+    EXPECT_FALSE(StratifiedSampler::validate(config).empty());
+
+    config = SamplerConfig{};
+    config.rule.confidence = 1.0;
+    EXPECT_FALSE(StratifiedSampler::validate(config).empty());
+
+    config = SamplerConfig{};
+    config.rareBoost = 0.5;
+    EXPECT_FALSE(StratifiedSampler::validate(config).empty());
+}
+
+TEST(SamplerValidate, BudgetGuardRejectsNeverHaltingRule)
+{
+    // A rule that can never fire plus an unbounded budget would sample
+    // forever; the guard must refuse it (and the constructor aborts).
+    SamplerConfig config;
+    config.rule.targetHalfWidth = 0.0;
+    config.maxDraws = 0;
+    EXPECT_FALSE(StratifiedSampler::validate(config).empty());
+    EXPECT_DEATH(StratifiedSampler(config, 1),
+                 "invalid sampler config");
+
+    // Either bound on its own restores validity.
+    config.maxDraws = 10;
+    EXPECT_TRUE(StratifiedSampler::validate(config).empty());
+    config.maxDraws = 0;
+    config.rule.targetHalfWidth = 0.05;
+    EXPECT_TRUE(StratifiedSampler::validate(config).empty());
+}
+
+TEST(Sampler, MaxDrawsHonoredExactly)
+{
+    // 50 draws at batch size 16: batches of 16, 16, 16, then a final
+    // truncated batch of 2 — never a draw past the budget.
+    StratifiedSampler sampler(fixedBudget(50, 16), 1);
+    std::vector<std::size_t> sizes;
+    while (true) {
+        const std::vector<std::size_t> batch = sampler.planBatch();
+        if (batch.empty())
+            break;
+        sizes.push_back(batch.size());
+        recordAll(sampler, batch, true);
+    }
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{16, 16, 16, 2}));
+    EXPECT_EQ(sampler.drawsPlanned(), 50u);
+    EXPECT_EQ(sampler.drawsRecorded(), 50u);
+    EXPECT_TRUE(sampler.done());
+    EXPECT_TRUE(sampler.planBatch().empty());
+}
+
+TEST(Sampler, ExtremeRateStratumHaltsEarly)
+{
+    // Stratum 0 sees a degenerate 100% success rate — its Wilson
+    // interval tightens fast and the rule halts it long before the
+    // mixed stratum 1, whose later batches then get the whole budget.
+    SamplerConfig config;
+    config.rule.targetHalfWidth = 0.08;
+    config.rule.minDraws = 8;
+    config.batchSize = 32;
+    config.maxDraws = 4096; // safety net; must not be the stopper
+    StratifiedSampler sampler(config, 2);
+
+    std::uint64_t batches = 0;
+    std::uint64_t batches_after_halt0 = 0;
+    while (true) {
+        const std::vector<std::size_t> batch = sampler.planBatch();
+        if (batch.empty())
+            break;
+        ++batches;
+        if (sampler.strata()[0].halted) {
+            ++batches_after_halt0;
+            for (const std::size_t stratum : batch)
+                EXPECT_EQ(stratum, 1u) << "draw for a halted stratum";
+        }
+        std::uint64_t i = 0;
+        for (const std::size_t stratum : batch) {
+            // Stratum 1 alternates success/failure (p = 1/2, the
+            // widest interval), stratum 0 always succeeds.
+            const bool success = stratum == 0 || (i++ % 2 == 0);
+            sampler.record(stratum, success, false);
+        }
+    }
+
+    EXPECT_TRUE(sampler.strata()[0].halted);
+    EXPECT_TRUE(sampler.strata()[1].halted);
+    EXPECT_GT(batches_after_halt0, 0u)
+        << "stratum 0 should halt while stratum 1 keeps drawing";
+    EXPECT_LT(sampler.strata()[0].draws, sampler.strata()[1].draws);
+    // Adaptive stop fired, not the safety budget.
+    EXPECT_LT(sampler.drawsPlanned(), config.maxDraws);
+}
+
+TEST(Sampler, RareOutcomeReallocationBoostsStratum)
+{
+    // Two strata with identical counts except stratum 1 exhibited a
+    // rare outcome: with the default 4x boost it must receive more of
+    // the next batch than stratum 0.
+    SamplerConfig config = fixedBudget(1000, 20);
+    config.rule.minDraws = 4;
+    StratifiedSampler sampler(config, 2);
+
+    std::vector<std::size_t> batch = sampler.planBatch();
+    std::uint64_t i = 0;
+    for (const std::size_t stratum : batch) {
+        const bool success = (i++ % 2) == 0;
+        // First draw landing in stratum 1 is marked rare.
+        const bool rare =
+            stratum == 1 && sampler.strata()[1].rare == 0;
+        sampler.record(stratum, success, rare);
+    }
+
+    batch = sampler.planBatch();
+    std::uint64_t to0 = 0;
+    std::uint64_t to1 = 0;
+    for (const std::size_t stratum : batch)
+        (stratum == 0 ? to0 : to1) += 1;
+    EXPECT_GT(to1, to0) << "rare-outcome stratum must be boosted";
+}
+
+TEST(Sampler, ReallocationCanBeDisabled)
+{
+    SamplerConfig config = fixedBudget(1000, 20);
+    config.rule.minDraws = 4;
+    config.reallocate = false;
+    StratifiedSampler sampler(config, 2);
+
+    std::vector<std::size_t> batch = sampler.planBatch();
+    std::uint64_t i = 0;
+    for (const std::size_t stratum : batch) {
+        const bool success = (i++ % 2) == 0;
+        sampler.record(stratum, success, stratum == 1);
+    }
+
+    // Same observed rates in both strata and no boost: the split of
+    // the next batch must be even.
+    ASSERT_EQ(sampler.strata()[0].successes * 2,
+              sampler.strata()[0].draws);
+    ASSERT_EQ(sampler.strata()[1].successes * 2,
+              sampler.strata()[1].draws);
+    batch = sampler.planBatch();
+    std::uint64_t to0 = 0;
+    std::uint64_t to1 = 0;
+    for (const std::size_t stratum : batch)
+        (stratum == 0 ? to0 : to1) += 1;
+    EXPECT_EQ(to0, to1);
+}
+
+TEST(Sampler, BatchPlansAreDeterministic)
+{
+    // Two samplers fed the identical outcome stream must plan the
+    // identical batch sequence — the foundation of the campaign's
+    // byte-identical-across-jobs guarantee.
+    SamplerConfig config;
+    config.rule.targetHalfWidth = 0.1;
+    config.batchSize = 24;
+    config.maxDraws = 600;
+    StratifiedSampler a(config, 3);
+    StratifiedSampler b(config, 3);
+
+    std::uint64_t i = 0;
+    while (true) {
+        const std::vector<std::size_t> batch_a = a.planBatch();
+        const std::vector<std::size_t> batch_b = b.planBatch();
+        ASSERT_EQ(batch_a, batch_b);
+        if (batch_a.empty())
+            break;
+        for (const std::size_t stratum : batch_a) {
+            const bool success = (i % 3) != 0;
+            const bool rare = (i % 17) == 0;
+            a.record(stratum, success, rare);
+            b.record(stratum, success, rare);
+            ++i;
+        }
+    }
+    EXPECT_EQ(a.drawsPlanned(), b.drawsPlanned());
+}
+
+TEST(SamplerDeath, PlanBeforeRecordingPreviousBatchAborts)
+{
+    StratifiedSampler sampler(fixedBudget(100, 10), 1);
+    const std::vector<std::size_t> batch = sampler.planBatch();
+    ASSERT_FALSE(batch.empty());
+    EXPECT_DEATH(sampler.planBatch(),
+                 "planBatch before the previous batch was recorded");
+}
+
+TEST(SamplerDeath, RecordWithoutOutstandingDrawAborts)
+{
+    StratifiedSampler sampler(fixedBudget(100, 10), 1);
+    EXPECT_DEATH(sampler.record(0, true, false),
+                 "record without a planned draw outstanding");
+}
+
+} // namespace
+} // namespace nocalert::stats
