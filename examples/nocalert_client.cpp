@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Command-line client of the campaign service (nocalert_serve).
+ *
+ *   nocalert_client ping     --socket PATH
+ *   nocalert_client submit   --socket PATH [campaign flags] [--wait]
+ *                            [--out FILE] [--detach] [--spec FILE]
+ *   nocalert_client status   --socket PATH ID
+ *   nocalert_client watch    --socket PATH ID
+ *   nocalert_client cancel   --socket PATH ID
+ *   nocalert_client result   --socket PATH ID [--out FILE]
+ *   nocalert_client list     --socket PATH
+ *   nocalert_client stats    --socket PATH
+ *   nocalert_client shutdown --socket PATH
+ *   nocalert_client help
+ *
+ * `submit` accepts the same campaign flags with the same defaults as
+ * `campaign_shard run` (--mesh, --sites, --rate, --seed, --warmup,
+ * --kind, --recovery, --dense-kernel, --shard, and the --sample
+ * family), so submitting with the flags of a batch invocation yields a
+ * served artifact byte-identical to that invocation's output file.
+ * `--spec FILE` instead reads a serialized campaign config (e.g. the
+ * `config` block of an artifact). `--wait` stays connected, streams
+ * telemetry to stderr until the campaign finishes, then fetches the
+ * artifact (to --out, or stdout). A waiting submission is *attached*:
+ * killing the client cancels the campaign (checkpointed, resumable);
+ * a plain submit detaches and the campaign keeps running.
+ *
+ * Exit status: 0 success; 1 server reported an error (or the campaign
+ * failed/was cancelled); 2 usage error; 3 cannot connect.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "fault/serialize.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace nocalert;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitServerError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConnect = 3;
+
+void
+printHelp(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: nocalert_client <command> --socket PATH [options]\n"
+        "\n"
+        "  ping                  liveness probe\n"
+        "  submit [flags]        submit a campaign; same campaign\n"
+        "                        flags and defaults as campaign_shard\n"
+        "                        run (--mesh --sites --rate --seed\n"
+        "                        --warmup --kind --recovery\n"
+        "                        --dense-kernel --shard i/N and the\n"
+        "                        --sample family), or --spec FILE with\n"
+        "                        a serialized config\n"
+        "         --wait         stream progress until finished, then\n"
+        "                        fetch the artifact (--out FILE or\n"
+        "                        stdout); attached: killing the client\n"
+        "                        cancels the campaign\n"
+        "         --detach       keep the campaign running after this\n"
+        "                        client disconnects (default when not\n"
+        "                        waiting)\n"
+        "  status ID             one-shot progress query\n"
+        "  watch ID              stream telemetry until terminal\n"
+        "  cancel ID             cooperative cancel (checkpointed)\n"
+        "  result ID [--out F]   fetch the finished artifact\n"
+        "  list                  enumerate known campaigns\n"
+        "  stats                 server counters (cache hits, runs)\n"
+        "  shutdown              stop the daemon cleanly\n");
+}
+
+/** Blocking NDJSON connection to the daemon. */
+class Connection
+{
+  public:
+    ~Connection()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connect(const std::string &path, std::string *error)
+    {
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(address.sun_path)) {
+            *error = "socket path too long: '" + path + "'";
+            return false;
+        }
+        std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            *error = std::string("socket: ") + std::strerror(errno);
+            return false;
+        }
+        if (::connect(fd_, reinterpret_cast<const sockaddr *>(&address),
+                      sizeof(address)) != 0) {
+            *error = "connect '" + path + "': " + std::strerror(errno);
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+        return true;
+    }
+
+    bool send(const JsonValue &request)
+    {
+        std::string line = request.dump() + "\n";
+        std::string_view rest = line;
+        while (!rest.empty()) {
+            const ssize_t sent =
+                ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            rest.remove_prefix(static_cast<std::size_t>(sent));
+        }
+        return true;
+    }
+
+    /** Next response line as parsed JSON; nullopt on EOF. */
+    std::optional<JsonValue> read()
+    {
+        for (;;) {
+            if (const auto line = framer_.next()) {
+                if (line->oversized)
+                    continue;
+                auto json = parseJson(line->text);
+                if (json)
+                    return json;
+                continue; // Skip unparseable noise defensively.
+            }
+            char buffer[4096];
+            const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0)
+                return std::nullopt;
+            framer_.feed(std::string_view(
+                buffer, static_cast<std::size_t>(got)));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    serve::LineFramer framer_;
+};
+
+std::string
+stringMember(const JsonValue &json, const char *key)
+{
+    const JsonValue *value = json.find(key);
+    return value && value->isString() ? value->string() : std::string();
+}
+
+/** Print an error response and convert it to an exit code. */
+int
+reportError(const JsonValue &response)
+{
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 stringMember(response, "code").c_str(),
+                 stringMember(response, "message").c_str());
+    return kExitServerError;
+}
+
+bool
+isType(const JsonValue &json, std::string_view type)
+{
+    return stringMember(json, "type") == type;
+}
+
+/** One request, one response; exits the process on transport death. */
+JsonValue
+roundTrip(Connection &conn, const JsonValue &request)
+{
+    if (!conn.send(request))
+        NOCALERT_FATAL("connection lost while sending request");
+    auto response = conn.read();
+    if (!response)
+        NOCALERT_FATAL("server closed the connection mid-request");
+    return std::move(*response);
+}
+
+JsonValue
+makeRequest(const char *type)
+{
+    JsonValue json;
+    json.set("type", type);
+    return json;
+}
+
+JsonValue
+makeIdRequest(const char *type, const std::string &id)
+{
+    JsonValue json = makeRequest(type);
+    json.set("id", id);
+    return json;
+}
+
+/** Build a campaign config from `campaign_shard run`-style flags. */
+fault::CampaignConfig
+configFromFlags(const CommandLine &cli)
+{
+    fault::CampaignConfig config;
+    config.network.width = static_cast<int>(cli.getInt("mesh", 4));
+    config.network.height = config.network.width;
+    config.traffic.injectionRate = cli.getDouble("rate", 0.05);
+    config.traffic.seed =
+        static_cast<std::uint64_t>(cli.getInt("seed", 3));
+    config.warmup = cli.getInt("warmup", 200);
+    config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
+    config.denseKernel = cli.getBool("dense-kernel", false);
+    config.recovery = cli.getBool("recovery", false);
+    const std::string kind = cli.getString("kind", "transient");
+    if (auto k = fault::faultKindFromName(kind))
+        config.kind = *k;
+    else
+        NOCALERT_FATAL("unknown fault kind '", kind, "'");
+
+    const std::string shard = cli.getString("shard", "0/1");
+    const std::size_t slash = shard.find('/');
+    if (slash == std::string::npos)
+        NOCALERT_FATAL("--shard expects i/N, got '", shard, "'");
+    try {
+        config.shardIndex = static_cast<unsigned>(
+            std::stoul(shard.substr(0, slash)));
+        config.shardCount = static_cast<unsigned>(
+            std::stoul(shard.substr(slash + 1)));
+    } catch (...) {
+        NOCALERT_FATAL("--shard expects i/N, got '", shard, "'");
+    }
+
+    if (cli.getBool("sample", false)) {
+        fault::SamplingSpec &sampling = config.sampling;
+        sampling.enabled = true;
+        sampling.ciHalfWidth = cli.getDouble("ci-width", 0.05);
+        sampling.maxRuns =
+            static_cast<std::uint64_t>(cli.getInt("max-runs", 0));
+        sampling.batchSize =
+            static_cast<unsigned>(cli.getInt("batch", 64));
+        sampling.confidence = cli.getDouble("confidence", 0.95);
+        sampling.cycleJitter = cli.getInt("cycle-jitter", 0);
+        sampling.seedCount =
+            static_cast<unsigned>(cli.getInt("seeds", 1));
+        sampling.samplerSeed =
+            static_cast<std::uint64_t>(cli.getInt("sampler-seed", 1));
+        const std::string stratify =
+            cli.getString("stratify", "signal-class");
+        if (auto mode = fault::stratifyFromName(stratify))
+            sampling.stratify = *mode;
+        else
+            NOCALERT_FATAL("unknown stratification '", stratify, "'");
+        const std::string method = cli.getString("ci-method", "wilson");
+        if (auto m = stats::intervalMethodFromName(method))
+            sampling.method = *m;
+        else
+            NOCALERT_FATAL("unknown interval method '", method, "'");
+    }
+    return config;
+}
+
+void
+printStatusLine(const JsonValue &response)
+{
+    const JsonValue *completed = response.find("runsCompleted");
+    const JsonValue *planned = response.find("runsPlanned");
+    const std::string failure = stringMember(response, "failure");
+    const std::string suffix =
+        failure.empty() ? std::string() : " (" + failure + ")";
+    std::printf("%s %s %llu/%llu%s\n",
+                stringMember(response, "id").c_str(),
+                stringMember(response, "state").c_str(),
+                completed && completed->isNumber()
+                    ? static_cast<unsigned long long>(completed->asUint())
+                    : 0ULL,
+                planned && planned->isNumber()
+                    ? static_cast<unsigned long long>(planned->asUint())
+                    : 0ULL,
+                suffix.c_str());
+}
+
+/** Write the artifact from a result response; false on any problem. */
+bool
+emitArtifact(const JsonValue &response, const std::string &out)
+{
+    const JsonValue *artifact = response.find("artifact");
+    if (!artifact || !artifact->isString())
+        return false;
+    if (out.empty()) {
+        std::fwrite(artifact->string().data(), 1,
+                    artifact->string().size(), stdout);
+        return true;
+    }
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    file.write(artifact->string().data(),
+               static_cast<std::streamsize>(artifact->string().size()));
+    return file.good();
+}
+
+/** Stream watch events for @p id until the terminal done event;
+ *  returns the terminal state name (empty on transport death). */
+std::string
+streamWatch(Connection &conn, const std::string &id)
+{
+    if (!conn.send(makeIdRequest("watch", id)))
+        return std::string();
+    for (;;) {
+        auto event = conn.read();
+        if (!event)
+            return std::string();
+        if (isType(*event, "error")) {
+            reportError(*event);
+            return std::string();
+        }
+        if (isType(*event, "telemetry")) {
+            const JsonValue *completed = event->find("runsCompleted");
+            const JsonValue *planned = event->find("runsPlanned");
+            const JsonValue *rate = event->find("runsPerSecond");
+            std::fprintf(
+                stderr, "%s: %llu/%llu runs (%.1f runs/s)\n",
+                id.c_str(),
+                completed ? static_cast<unsigned long long>(
+                                completed->asUint())
+                          : 0ULL,
+                planned ? static_cast<unsigned long long>(
+                              planned->asUint())
+                        : 0ULL,
+                rate && rate->isNumber() ? rate->asDouble() : 0.0);
+            continue;
+        }
+        if (isType(*event, "done"))
+            return stringMember(*event, "state");
+        // "watching" ack and anything unknown: keep streaming.
+    }
+}
+
+int
+cmdSubmit(Connection &conn, const CommandLine &cli)
+{
+    fault::CampaignConfig config;
+    const std::string spec_path = cli.getString("spec", "");
+    if (!spec_path.empty()) {
+        std::ifstream file(spec_path, std::ios::binary);
+        if (!file)
+            NOCALERT_FATAL("cannot read spec file '", spec_path, "'");
+        std::ostringstream text;
+        text << file.rdbuf();
+        std::string parse_error;
+        const auto json = parseJson(text.str(), &parse_error);
+        if (!json)
+            NOCALERT_FATAL("spec '", spec_path, "': ", parse_error);
+        std::string config_error;
+        const auto parsed =
+            fault::campaignConfigFromJson(*json, &config_error);
+        if (!parsed)
+            NOCALERT_FATAL("spec '", spec_path, "': ", config_error);
+        config = *parsed;
+    } else {
+        config = configFromFlags(cli);
+    }
+
+    const bool wait = cli.getBool("wait", false);
+    // A waiting client is attached (dying cancels the campaign);
+    // a fire-and-forget submit detaches unless overridden.
+    const bool detach = cli.getBool("detach", !wait);
+
+    JsonValue request = makeRequest("submit");
+    request.set("config", fault::toJson(config));
+    request.set("detach", detach);
+    const JsonValue response = roundTrip(conn, request);
+    if (isType(response, "error"))
+        return reportError(response);
+
+    const std::string id = stringMember(response, "id");
+    const std::string state = stringMember(response, "state");
+    const JsonValue *cached = response.find("cached");
+    std::fprintf(stderr, "submitted %s: %s%s\n", id.c_str(),
+                 state.c_str(),
+                 cached && cached->isBool() && cached->boolean()
+                     ? " (served from cache)"
+                     : "");
+    if (!wait) {
+        std::printf("%s\n", id.c_str());
+        return kExitOk;
+    }
+
+    std::string terminal = state;
+    if (terminal != "complete") {
+        terminal = streamWatch(conn, id);
+        if (terminal.empty())
+            return kExitServerError;
+    }
+    if (terminal != "complete") {
+        std::fprintf(stderr, "campaign %s: %s\n", id.c_str(),
+                     terminal.c_str());
+        return kExitServerError;
+    }
+    const JsonValue result = roundTrip(conn, makeIdRequest("result", id));
+    if (isType(result, "error"))
+        return reportError(result);
+    if (!emitArtifact(result, cli.getString("out", ""))) {
+        std::fprintf(stderr, "error: cannot write artifact\n");
+        return kExitServerError;
+    }
+    return kExitOk;
+}
+
+int
+cmdWatch(Connection &conn, const std::string &id)
+{
+    const std::string terminal = streamWatch(conn, id);
+    if (terminal.empty())
+        return kExitServerError;
+    std::printf("%s\n", terminal.c_str());
+    return terminal == "complete" ? kExitOk : kExitServerError;
+}
+
+int
+cmdResult(Connection &conn, const std::string &id,
+          const std::string &out)
+{
+    const JsonValue response = roundTrip(conn, makeIdRequest("result", id));
+    if (isType(response, "error"))
+        return reportError(response);
+    if (!emitArtifact(response, out)) {
+        std::fprintf(stderr, "error: cannot write artifact\n");
+        return kExitServerError;
+    }
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printHelp(stderr);
+        return kExitUsage;
+    }
+    const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        printHelp(stdout);
+        return kExitOk;
+    }
+
+    const CommandLine cli(
+        argc - 1, argv + 1,
+        {"socket", "out", "spec", "wait", "detach", "mesh", "sites",
+         "rate", "seed", "warmup", "kind", "recovery", "dense-kernel",
+         "shard", "sample", "ci-width", "max-runs", "batch",
+         "confidence", "stratify", "ci-method", "cycle-jitter", "seeds",
+         "sampler-seed"},
+        /*allow_positionals=*/true);
+
+    const std::string socket_path = cli.getString("socket", "");
+    if (socket_path.empty()) {
+        std::fprintf(stderr,
+                     "error: %s requires --socket PATH\n",
+                     command.c_str());
+        return kExitUsage;
+    }
+
+    Connection conn;
+    std::string error;
+    if (!conn.connect(socket_path, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return kExitConnect;
+    }
+
+    auto idArg = [&cli, &command]() -> std::string {
+        if (cli.positionals().empty()) {
+            std::fprintf(stderr, "error: %s requires a campaign ID\n",
+                         command.c_str());
+            std::exit(kExitUsage);
+        }
+        return cli.positionals().front();
+    };
+
+    if (command == "ping") {
+        const JsonValue response = roundTrip(conn, makeRequest("ping"));
+        if (isType(response, "error"))
+            return reportError(response);
+        std::printf("pong\n");
+        return kExitOk;
+    }
+    if (command == "submit")
+        return cmdSubmit(conn, cli);
+    if (command == "status") {
+        const JsonValue response =
+            roundTrip(conn, makeIdRequest("status", idArg()));
+        if (isType(response, "error"))
+            return reportError(response);
+        printStatusLine(response);
+        return kExitOk;
+    }
+    if (command == "watch")
+        return cmdWatch(conn, idArg());
+    if (command == "cancel") {
+        const JsonValue response =
+            roundTrip(conn, makeIdRequest("cancel", idArg()));
+        if (isType(response, "error"))
+            return reportError(response);
+        std::printf("cancelled %s\n",
+                    stringMember(response, "id").c_str());
+        return kExitOk;
+    }
+    if (command == "result")
+        return cmdResult(conn, idArg(), cli.getString("out", ""));
+    if (command == "list") {
+        const JsonValue response = roundTrip(conn, makeRequest("list"));
+        if (isType(response, "error"))
+            return reportError(response);
+        const JsonValue *campaigns = response.find("campaigns");
+        if (campaigns && campaigns->isArray()) {
+            for (const JsonValue &one : campaigns->array())
+                printStatusLine(one);
+        }
+        return kExitOk;
+    }
+    if (command == "stats") {
+        const JsonValue response = roundTrip(conn, makeRequest("stats"));
+        if (isType(response, "error"))
+            return reportError(response);
+        for (const auto &[key, value] : response.object()) {
+            if (key == "type")
+                continue;
+            std::printf("%-20s %llu\n", key.c_str(),
+                        static_cast<unsigned long long>(value.asUint()));
+        }
+        return kExitOk;
+    }
+    if (command == "shutdown") {
+        const JsonValue response =
+            roundTrip(conn, makeRequest("shutdown"));
+        if (isType(response, "error"))
+            return reportError(response);
+        std::printf("server shutting down\n");
+        return kExitOk;
+    }
+
+    printHelp(stderr);
+    return kExitUsage;
+}

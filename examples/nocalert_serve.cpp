@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The campaign service daemon: accept campaign specs over a local
+ * Unix-domain socket, multiplex them fairly onto the in-process
+ * execution engine, stream live telemetry to watchers, and answer
+ * repeated submissions byte-identically from the artifact cache.
+ *
+ *   nocalert_serve --socket PATH [--cache DIR] [--jobs N]
+ *                  [--quantum N] [--checkpoint-every N]
+ *                  [--max-line BYTES]
+ *
+ * The protocol is newline-delimited JSON (one request or response per
+ * line); `nocalert_client help` documents the client side. Concurrent
+ * campaigns advance round-robin, one batch quantum per turn, so a
+ * small interactive campaign is never starved behind a large one.
+ * Served artifacts are byte-identical to what the batch CLIs
+ * (fault_campaign, campaign_shard) write for the same spec — the
+ * cache directory can be inspected, diffed, and reused across daemon
+ * restarts.
+ *
+ * The daemon exits on a `shutdown` request, cancelling in-flight
+ * campaigns cooperatively; their checkpoints remain in the cache
+ * directory and a re-submission after restart resumes where they
+ * stopped. A hard kill loses at most the runs since the last
+ * checkpoint write.
+ *
+ * Exit status: 0 clean shutdown; 1 socket setup failed; 2 usage error.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+using namespace nocalert;
+
+int
+main(int argc, char **argv)
+{
+    const CommandLine cli(argc, argv,
+                          {"socket", "cache", "jobs", "quantum",
+                           "checkpoint-every", "max-line", "help"});
+    if (cli.getBool("help", false)) {
+        std::printf(
+            "usage: nocalert_serve --socket PATH [--cache DIR]\n"
+            "                      [--jobs N] [--quantum N]\n"
+            "                      [--checkpoint-every N]\n"
+            "                      [--max-line BYTES]\n"
+            "\n"
+            "  --socket PATH        Unix-domain socket to listen on\n"
+            "  --cache DIR          artifact/checkpoint store\n"
+            "                       (default: nocalert-cache)\n"
+            "  --jobs N             workers per quantum (0 = all\n"
+            "                       hardware threads; default 1)\n"
+            "  --quantum N          runs per scheduling turn\n"
+            "                       (default 16)\n"
+            "  --checkpoint-every N checkpoint cadence (default 8)\n"
+            "  --max-line BYTES     per-request line ceiling\n");
+        return 0;
+    }
+
+    const std::string socket_path = cli.getString("socket", "");
+    if (socket_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: nocalert_serve --socket PATH [--cache DIR]"
+                     " [--jobs N] [--quantum N]\n");
+        return 2;
+    }
+
+    serve::ServerConfig config;
+    config.socketPath = socket_path;
+    config.cacheDir = cli.getString("cache", "nocalert-cache");
+    config.registry.jobs =
+        static_cast<unsigned>(cli.getInt("jobs", 1));
+    config.registry.quantum =
+        static_cast<unsigned>(cli.getInt("quantum", 16));
+    config.registry.checkpointEvery = static_cast<unsigned>(
+        cli.getInt("checkpoint-every", config.registry.checkpointEvery));
+    config.maxLineBytes = static_cast<std::size_t>(cli.getInt(
+        "max-line",
+        static_cast<std::int64_t>(serve::kDefaultMaxLineBytes)));
+
+    serve::CampaignServer server(std::move(config));
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("nocalert_serve: listening on %s (cache %s)\n",
+                server.socketPath().c_str(),
+                server.cache().directory().c_str());
+    std::fflush(stdout);
+
+    server.waitForShutdown();
+    std::printf("nocalert_serve: shutting down\n");
+    server.stop();
+    return 0;
+}

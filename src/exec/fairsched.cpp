@@ -1,0 +1,126 @@
+#include "exec/fairsched.hpp"
+
+#include "util/log.hpp"
+
+namespace nocalert::exec {
+
+FairScheduler::~FairScheduler()
+{
+    // Jobs hold no threads of their own; dropping them is safe. A
+    // service wanting checkpoints flushed must cancelAll() + drain
+    // before destruction (the registry's shutdown path does).
+    stop();
+}
+
+FairScheduler::JobId
+FairScheduler::add(Quantum quantum)
+{
+    NOCALERT_ASSERT(quantum != nullptr, "null quantum");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const JobId id = nextId_++;
+    auto job = std::make_unique<Job>();
+    job->quantum = std::move(quantum);
+    jobs_.emplace(id, std::move(job));
+    ring_.push_back(id);
+    wake_.notify_all();
+    return id;
+}
+
+bool
+FairScheduler::cancel(JobId job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(job);
+    if (it == jobs_.end())
+        return false;
+    it->second->token.cancel();
+    return true;
+}
+
+void
+FairScheduler::cancelAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[id, job] : jobs_)
+        job->token.cancel();
+}
+
+bool
+FairScheduler::popNext(JobId &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty())
+        return false;
+    job = ring_.front();
+    ring_.pop_front();
+    return true;
+}
+
+bool
+FairScheduler::runOne()
+{
+    JobId id = 0;
+    if (!popNext(id))
+        return false;
+
+    // The job stays in jobs_ (so cancel() still reaches it) but off
+    // the ring while its quantum runs — a second scheduler thread can
+    // never step the same job concurrently.
+    Job *job = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        NOCALERT_ASSERT(it != jobs_.end(), "ring held a retired job");
+        job = it->second.get();
+    }
+
+    const QuantumResult result = job->quantum(job->token);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result == QuantumResult::MoreWork) {
+        ring_.push_back(id);
+    } else {
+        jobs_.erase(id);
+    }
+    wake_.notify_all();
+    return true;
+}
+
+void
+FairScheduler::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [this] { return jobs_.empty(); });
+}
+
+void
+FairScheduler::serviceLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !ring_.empty(); });
+            if (stop_)
+                return;
+        }
+        runOne();
+    }
+}
+
+void
+FairScheduler::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    wake_.notify_all();
+}
+
+std::size_t
+FairScheduler::liveJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+} // namespace nocalert::exec

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fair round-robin scheduling of long-lived jobs over a shared
+ * execution budget — the multiplexing layer of the campaign service.
+ *
+ * A job is a callback that advances its work by one *batch quantum*
+ * per invocation and reports whether more remains. The scheduler keeps
+ * runnable jobs in a FIFO ring: each turn pops the head, runs exactly
+ * one quantum, and re-appends the job if unfinished — so N concurrent
+ * jobs each receive every N-th quantum regardless of arrival order or
+ * size (round-robin fairness by construction, not by priority tuning).
+ *
+ * Cancellation is cooperative and per-job: every job owns a
+ * CancelToken handed to each quantum; cancel() fires it, and the next
+ * turn (or the quantum in flight) observes it. The scheduler never
+ * tears work down mid-quantum, matching the checkpoint discipline of
+ * the campaign layer: between quanta there is always a valid resume
+ * point on disk.
+ *
+ * Quanta execute one at a time (parallelism lives *inside* a quantum,
+ * on the WorkerPool); the scheduler itself only decides whose turn it
+ * is. All public methods are thread-safe.
+ */
+
+#ifndef NOCALERT_EXEC_FAIRSCHED_HPP
+#define NOCALERT_EXEC_FAIRSCHED_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "exec/cancel.hpp"
+
+namespace nocalert::exec {
+
+/** What a quantum reports back to the scheduler. */
+enum class QuantumResult {
+    MoreWork, ///< Re-queue the job for another turn.
+    Finished, ///< Done (completed, cancelled, or failed); retire it.
+};
+
+/** Round-robin batch-quantum scheduler with per-job cancellation. */
+class FairScheduler
+{
+  public:
+    using JobId = std::uint64_t;
+
+    /**
+     * One scheduling turn: advance by at most one batch quantum, honor
+     * @p cancel promptly (typically by returning Finished after
+     * flushing state), never block indefinitely.
+     */
+    using Quantum = std::function<QuantumResult(CancelToken &cancel)>;
+
+    FairScheduler() = default;
+    ~FairScheduler();
+
+    FairScheduler(const FairScheduler &) = delete;
+    FairScheduler &operator=(const FairScheduler &) = delete;
+
+    /** Enqueue a job at the tail of the ring; wakes serviceLoop. */
+    JobId add(Quantum quantum);
+
+    /**
+     * Fire @p job's CancelToken. The job still gets its next turn so
+     * the quantum can observe the token and retire cleanly (returning
+     * Finished). False when the job is unknown or already retired.
+     */
+    bool cancel(JobId job);
+
+    /** Fire every live job's token (service shutdown). */
+    void cancelAll();
+
+    /**
+     * Run the next job's quantum on the calling thread. Returns false
+     * without blocking when no job is runnable (all retired, or every
+     * live job is currently being stepped elsewhere).
+     */
+    bool runOne();
+
+    /**
+     * Serve quanta until stop(): blocks when idle, wakes on add().
+     * Jobs still live at stop() are *not* cancelled implicitly — call
+     * cancelAll() first (then drain with runOne) for a clean shutdown.
+     */
+    void serviceLoop();
+
+    /** Ask serviceLoop to return after the quantum in flight. */
+    void stop();
+
+    /**
+     * Block until every job has retired. Only sensible after
+     * cancelAll() while another thread keeps serving quanta (each
+     * cancelled job retires on its next turn).
+     */
+    void waitIdle();
+
+    /** Jobs not yet retired (includes the one being stepped). */
+    std::size_t liveJobs() const;
+
+  private:
+    struct Job
+    {
+        Quantum quantum;
+        CancelToken token;
+    };
+
+    /** Pop the next runnable job id; nullopt when the ring is empty. */
+    bool popNext(JobId &job);
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+    std::deque<JobId> ring_;
+    JobId nextId_ = 1;
+    bool stop_ = false;
+};
+
+} // namespace nocalert::exec
+
+#endif // NOCALERT_EXEC_FAIRSCHED_HPP

@@ -1,11 +1,68 @@
 #include "exec/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/log.hpp"
 
 namespace nocalert::exec {
+
+namespace {
+
+/** Clamp a possibly-degenerate double to a finite, non-negative one. */
+double
+finiteOrZero(double value)
+{
+    return std::isfinite(value) && value > 0.0 ? value : 0.0;
+}
+
+} // namespace
+
+TelemetryDelta
+deltaBetween(const TelemetrySnapshot &prev, const TelemetrySnapshot &cur)
+{
+    TelemetryDelta delta;
+    delta.runsCompleted = cur.runsCompleted;
+    delta.runsPlanned = cur.runsPlanned;
+    // A hub only moves forward, but a subscriber may pair snapshots
+    // across a campaign restart; clamp instead of wrapping around.
+    delta.deltaRuns = cur.runsCompleted > prev.runsCompleted
+                          ? cur.runsCompleted - prev.runsCompleted
+                          : 0;
+    delta.windowSeconds = finiteOrZero(cur.elapsedSeconds -
+                                       prev.elapsedSeconds);
+
+    // The windowed rate exists only when the window has both duration
+    // and progress — a zero-elapsed window (two snapshots inside one
+    // clock tick) or a zero-completed window (an idle poll) must not
+    // divide its way to inf/NaN.
+    if (delta.deltaRuns > 0 && delta.windowSeconds > 0.0) {
+        delta.runsPerSecond =
+            finiteOrZero(static_cast<double>(delta.deltaRuns) /
+                         delta.windowSeconds);
+    }
+
+    const std::size_t remaining =
+        cur.runsPlanned > cur.runsCompleted
+            ? cur.runsPlanned - cur.runsCompleted
+            : 0;
+    if (remaining == 0 && cur.runsCompleted > 0) {
+        delta.etaSeconds = 0.0;
+    } else if (remaining > 0) {
+        // Prefer the windowed rate (it tracks the current phase of an
+        // adaptive campaign); fall back to the cumulative rate.
+        const double rate = delta.runsPerSecond > 0.0
+                                ? delta.runsPerSecond
+                                : finiteOrZero(cur.runsPerSecond);
+        if (rate > 0.0) {
+            const double eta = static_cast<double>(remaining) / rate;
+            if (std::isfinite(eta))
+                delta.etaSeconds = eta;
+        }
+    }
+    return delta;
+}
 
 TelemetryHub::TelemetryHub(std::size_t runs_planned, unsigned workers,
                            std::vector<std::string> counter_labels)
@@ -44,14 +101,19 @@ TelemetryHub::snapshot() const
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    if (snap.elapsedSeconds > 0.0)
-        snap.runsPerSecond = snap.runsCompleted / snap.elapsedSeconds;
+    if (snap.elapsedSeconds > 0.0) {
+        snap.runsPerSecond =
+            finiteOrZero(snap.runsCompleted / snap.elapsedSeconds);
+    }
     if (snap.runsCompleted > 0 && snap.runsPerSecond > 0.0) {
         const std::size_t remaining =
             snap.runsPlanned > snap.runsCompleted
                 ? snap.runsPlanned - snap.runsCompleted
                 : 0;
-        snap.etaSeconds = remaining / snap.runsPerSecond;
+        // finiteOrZero would misread a legitimate eta of 0; clamp the
+        // division result explicitly instead.
+        const double eta = remaining / snap.runsPerSecond;
+        snap.etaSeconds = std::isfinite(eta) ? eta : -1.0;
     }
     snap.counterLabels = labels_;
     snap.counters.reserve(counters_.size());

@@ -43,6 +43,39 @@ struct TelemetrySnapshot
     std::vector<double> workerUtilization;
 };
 
+/**
+ * Windowed progress between two snapshots of the same hub — the unit
+ * a telemetry *stream* (a subscribed client) receives. Every field is
+ * guaranteed finite: a zero-elapsed window, a zero-completed window,
+ * or a snapshot pair carrying non-finite rates (however produced) must
+ * never leak inf/NaN onto the wire, where a JSON serializer would
+ * either crash or emit an unparseable token.
+ */
+struct TelemetryDelta
+{
+    std::size_t runsCompleted = 0; ///< Cumulative, at the window end.
+    std::size_t runsPlanned = 0;   ///< Plan at the window end.
+    std::uint64_t deltaRuns = 0;   ///< Runs committed inside the window.
+    double windowSeconds = 0.0;    ///< Window wall-clock length (>= 0).
+    /** Rate inside the window; 0 when the window is empty or instant. */
+    double runsPerSecond = 0.0;
+    /**
+     * Seconds remaining at the windowed rate (falling back to the
+     * cumulative rate when the window saw no runs); -1 when no rate is
+     * available yet. Always finite.
+     */
+    double etaSeconds = -1.0;
+};
+
+/**
+ * Compute the delta between two snapshots taken from one hub, @p prev
+ * before @p cur. Tolerates out-of-order and degenerate inputs (clock
+ * ties, counter resets, non-finite fields) by clamping instead of
+ * propagating: the result is always finite.
+ */
+TelemetryDelta deltaBetween(const TelemetrySnapshot &prev,
+                            const TelemetrySnapshot &cur);
+
 /** Thread-safe accumulator behind TelemetrySnapshot. */
 class TelemetryHub
 {

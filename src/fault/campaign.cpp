@@ -117,8 +117,27 @@ CampaignResult::summarize() const
     return summary;
 }
 
+CampaignConfig
+normalizedCampaignConfig(CampaignConfig config)
+{
+    // Generation must stop so runs can drain and bounded delivery is
+    // decidable within the horizon.
+    config.traffic.stopCycle = config.warmup + config.observeWindow;
+
+    // Recovery mode implies the full stack: end-to-end retransmission
+    // plus quarantine-aware routing. Forcing them here (idempotently)
+    // keeps the knobs consistent between a fresh campaign and one
+    // resumed from a checkpoint that recorded the mutated config.
+    if (config.recovery) {
+        config.network.retransmit.enabled = true;
+        config.network.routing = noc::RoutingAlgo::QAdaptive;
+        config.runForever = false;
+    }
+    return config;
+}
+
 FaultCampaign::FaultCampaign(CampaignConfig config)
-    : config_(std::move(config))
+    : config_(normalizedCampaignConfig(std::move(config)))
 {
     config_.network.validate();
     if (config_.shardCount == 0 ||
@@ -138,19 +157,6 @@ FaultCampaign::FaultCampaign(CampaignConfig config)
                            "adaptive run stream has no static "
                            "partition to shard over");
         }
-    }
-    // Generation must stop so runs can drain and bounded delivery is
-    // decidable within the horizon.
-    config_.traffic.stopCycle = config_.warmup + config_.observeWindow;
-
-    // Recovery mode implies the full stack: end-to-end retransmission
-    // plus quarantine-aware routing. Forcing them here (idempotently)
-    // keeps the knobs consistent between a fresh campaign and one
-    // resumed from a checkpoint that recorded the mutated config.
-    if (config_.recovery) {
-        config_.network.retransmit.enabled = true;
-        config_.network.routing = noc::RoutingAlgo::QAdaptive;
-        config_.runForever = false;
     }
 }
 

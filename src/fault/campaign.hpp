@@ -366,6 +366,18 @@ struct CampaignResult
 /** Compute the deterministic telemetry block for @p result. */
 CampaignTelemetry computeTelemetry(const CampaignResult &result);
 
+/**
+ * The normal form a config reaches inside FaultCampaign's constructor
+ * before any simulation: the traffic stop cycle is pinned to the
+ * observation horizon and recovery mode forces its implied knobs
+ * (retransmission on, quarantine-aware routing, ForEVeR off).
+ * Idempotent, and applied without the constructor's validation — so a
+ * service can compute the artifact identity of an untrusted spec (the
+ * serialized config block records the *normalized* form) before
+ * committing to run it.
+ */
+CampaignConfig normalizedCampaignConfig(CampaignConfig config);
+
 /** Campaign driver. */
 class FaultCampaign
 {

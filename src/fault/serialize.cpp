@@ -497,6 +497,25 @@ campaignIdentityJson(const CampaignConfig &config)
     return identity;
 }
 
+std::string
+campaignArtifactHash(const CampaignConfig &config)
+{
+    const std::string bytes =
+        toJson(normalizedCampaignConfig(config)).dump();
+    // FNV-1a 64: deterministic across platforms and builds, cheap,
+    // and keyed on exact serialized bytes — any knob that can change
+    // the artifact changes the key.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001b3ULL;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return std::string(hex);
+}
+
 std::optional<CampaignConfig>
 campaignConfigFromJson(const JsonValue &json, std::string *out_error)
 {

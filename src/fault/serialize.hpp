@@ -81,6 +81,19 @@ JsonValue toJson(const SamplingReport &report); ///< Schema-v5 block.
  */
 JsonValue campaignIdentityJson(const CampaignConfig &config);
 
+/**
+ * Key of the artifact byte-identity domain: a 16-hex-digit FNV-1a 64
+ * hash over the *serialized normalized* config. Campaign results are
+ * a pure function of campaign identity, and the artifact's config
+ * block additionally records the shard selector and kernel choice —
+ * so two configs with equal hashes produce byte-identical artifact
+ * documents, which is exactly the invariant a result cache needs.
+ * Normalization first (normalizedCampaignConfig) makes the hash of a
+ * freshly parsed spec match the hash of the config the finished
+ * artifact records.
+ */
+std::string campaignArtifactHash(const CampaignConfig &config);
+
 // ---- JSON -> structure (nullopt + *error on malformed input) ----
 
 std::optional<CampaignConfig> campaignConfigFromJson(

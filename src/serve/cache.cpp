@@ -1,0 +1,119 @@
+#include "serve/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace nocalert::serve {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory))
+{
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec) {
+        NOCALERT_FATAL("cannot create cache directory '", directory_,
+                       "': ", ec.message());
+    }
+}
+
+std::string
+ResultCache::artifactPath(const std::string &key) const
+{
+    return (fs::path(directory_) / (key + ".json")).string();
+}
+
+std::string
+ResultCache::checkpointPath(const std::string &key) const
+{
+    return (fs::path(directory_) / (key + ".ckpt.json")).string();
+}
+
+std::optional<std::string>
+ResultCache::fetch(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = memory_.find(key);
+        if (it != memory_.end())
+            return it->second;
+    }
+    std::ifstream file(artifactPath(key), std::ios::binary);
+    if (!file)
+        return std::nullopt;
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    std::string artifact = std::move(contents).str();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        memory_.emplace(key, artifact);
+    }
+    return artifact;
+}
+
+bool
+ResultCache::contains(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (memory_.count(key))
+            return true;
+    }
+    return fs::exists(artifactPath(key));
+}
+
+bool
+ResultCache::store(const std::string &key, std::string_view artifact,
+                   std::string *error)
+{
+    const std::string path = artifactPath(key);
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            if (error)
+                *error = "cannot open '" + temp + "' for writing";
+            return false;
+        }
+        file.write(artifact.data(),
+                   static_cast<std::streamsize>(artifact.size()));
+        if (!file.good()) {
+            if (error)
+                *error = "short write to '" + temp + "'";
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    if (ec) {
+        if (error) {
+            *error = "cannot rename '" + temp + "' to '" + path +
+                     "': " + ec.message();
+        }
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_[key] = std::string(artifact);
+    return true;
+}
+
+void
+ResultCache::dropCheckpoint(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(checkpointPath(key), ec);
+}
+
+std::size_t
+ResultCache::memoryEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memory_.size();
+}
+
+} // namespace nocalert::serve

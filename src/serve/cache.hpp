@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Disk-backed artifact cache of the campaign service, keyed by the
+ * campaign artifact hash (fault::campaignArtifactHash).
+ *
+ * The store holds two kinds of files per key under one directory:
+ *
+ *   <key>.json      the finished artifact, byte-identical to what the
+ *                   batch CLI writes for the same spec (the value a
+ *                   repeated submission is served from)
+ *   <key>.ckpt.json the in-progress checkpoint of a running or
+ *                   cancelled campaign (the resume point a
+ *                   re-submission continues from)
+ *
+ * Artifacts are written atomically (temp file + rename) so a crashed
+ * server never leaves a half-written artifact that a later lookup
+ * would serve. A small in-memory map shortcuts repeated fetches; disk
+ * stays authoritative, so a restarted server inherits the whole store.
+ * In-flight request coalescing is the registry's job — the cache only
+ * answers "is this spec's artifact already on disk?".
+ */
+
+#ifndef NOCALERT_SERVE_CACHE_HPP
+#define NOCALERT_SERVE_CACHE_HPP
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace nocalert::serve {
+
+/** Thread-safe artifact store; see file comment for layout. */
+class ResultCache
+{
+  public:
+    /** Creates @p directory (and parents) when missing. */
+    explicit ResultCache(std::string directory);
+
+    /** Artifact bytes for @p key, from memory or disk. */
+    std::optional<std::string> fetch(const std::string &key);
+
+    /** Persist artifact bytes atomically; false + *error on failure. */
+    bool store(const std::string &key, std::string_view artifact,
+               std::string *error = nullptr);
+
+    /** True when an artifact for @p key exists (memory or disk). */
+    bool contains(const std::string &key);
+
+    /** Checkpoint file path for @p key (the campaign layer reads and
+     *  writes it through CampaignConfig::checkpointPath). */
+    std::string checkpointPath(const std::string &key) const;
+
+    /** Remove @p key's checkpoint (called once the artifact landed). */
+    void dropCheckpoint(const std::string &key);
+
+    /** Artifact file path for @p key. */
+    std::string artifactPath(const std::string &key) const;
+
+    const std::string &directory() const { return directory_; }
+
+    /** Artifacts currently held in memory (test observability). */
+    std::size_t memoryEntries() const;
+
+  private:
+    std::string directory_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::string> memory_;
+};
+
+} // namespace nocalert::serve
+
+#endif // NOCALERT_SERVE_CACHE_HPP

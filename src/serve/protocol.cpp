@@ -1,0 +1,272 @@
+#include "serve/protocol.hpp"
+
+#include "fault/serialize.hpp"
+
+namespace nocalert::serve {
+
+void
+LineFramer::feed(std::string_view bytes)
+{
+    if (discarding_) {
+        // The oversized line was already reported; swallow its tail
+        // up to (and including) the newline that ends it.
+        const std::size_t newline = bytes.find('\n');
+        if (newline == std::string_view::npos)
+            return;
+        bytes.remove_prefix(newline + 1);
+        discarding_ = false;
+    }
+    buffer_.append(bytes);
+}
+
+std::optional<LineFramer::Line>
+LineFramer::next()
+{
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+        if (newline <= maxLineBytes_) {
+            Line line{buffer_.substr(0, newline), false, 0};
+            buffer_.erase(0, newline + 1);
+            return line;
+        }
+        // Complete but over the ceiling: report and resync after it.
+        Line line{std::string(), true, newline};
+        buffer_.erase(0, newline + 1);
+        return line;
+    }
+    if (buffer_.size() > maxLineBytes_) {
+        // Past the ceiling with no end in sight: the line can never
+        // become legal. Report once (bytesDropped = bytes seen so
+        // far) and discard silently until its newline arrives.
+        Line line{std::string(), true, buffer_.size()};
+        buffer_.clear();
+        discarding_ = true;
+        return line;
+    }
+    return std::nullopt;
+}
+
+const char *
+campaignStateName(CampaignState state)
+{
+    switch (state) {
+      case CampaignState::Queued: return "queued";
+      case CampaignState::Running: return "running";
+      case CampaignState::Complete: return "complete";
+      case CampaignState::Cancelled: return "cancelled";
+      case CampaignState::Failed: return "failed";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::pair<std::string_view, RequestType> kRequestNames[] = {
+    {"ping", RequestType::Ping},       {"submit", RequestType::Submit},
+    {"status", RequestType::Status},   {"watch", RequestType::Watch},
+    {"cancel", RequestType::Cancel},   {"result", RequestType::Result},
+    {"list", RequestType::List},       {"stats", RequestType::Stats},
+    {"shutdown", RequestType::Shutdown},
+};
+
+bool
+needsId(RequestType type)
+{
+    return type == RequestType::Status || type == RequestType::Watch ||
+           type == RequestType::Cancel || type == RequestType::Result;
+}
+
+} // namespace
+
+std::optional<Request>
+parseRequestLine(std::string_view line, JsonValue *error)
+{
+    std::string parse_error;
+    const std::optional<JsonValue> json = parseJson(line, &parse_error);
+    if (!json) {
+        if (error)
+            *error = errorResponse(kErrBadJson, parse_error);
+        return std::nullopt;
+    }
+    if (!json->isObject()) {
+        if (error) {
+            *error = errorResponse(kErrBadRequest,
+                                   "request must be a JSON object");
+        }
+        return std::nullopt;
+    }
+    const JsonValue *type = json->find("type");
+    if (!type || !type->isString()) {
+        if (error) {
+            *error = errorResponse(kErrBadRequest,
+                                   "missing string member 'type'");
+        }
+        return std::nullopt;
+    }
+
+    Request request;
+    bool known = false;
+    for (const auto &[name, value] : kRequestNames) {
+        if (type->string() == name) {
+            request.type = value;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        if (error) {
+            *error = errorResponse(kErrUnknownType,
+                                   "unknown request type '" +
+                                       type->string() + "'");
+        }
+        return std::nullopt;
+    }
+
+    if (needsId(request.type)) {
+        const JsonValue *id = json->find("id");
+        if (!id || !id->isString() || id->string().empty()) {
+            if (error) {
+                *error = errorResponse(
+                    kErrBadRequest,
+                    std::string(type->string()) +
+                        " requires a string member 'id'");
+            }
+            return std::nullopt;
+        }
+        request.id = id->string();
+    }
+
+    if (request.type == RequestType::Submit) {
+        const JsonValue *config = json->find("config");
+        if (!config) {
+            if (error) {
+                *error = errorResponse(
+                    kErrBadRequest,
+                    "submit requires a member 'config'");
+            }
+            return std::nullopt;
+        }
+        std::string config_error;
+        request.config =
+            fault::campaignConfigFromJson(*config, &config_error);
+        if (!request.config) {
+            if (error)
+                *error = errorResponse(kErrBadSpec, config_error);
+            return std::nullopt;
+        }
+        if (const JsonValue *detach = json->find("detach"))
+            request.detach = detach->isBool() && detach->boolean();
+    }
+    return request;
+}
+
+JsonValue
+errorResponse(std::string_view code, std::string_view message)
+{
+    JsonValue json;
+    json.set("type", "error");
+    json.set("code", code);
+    json.set("message", message);
+    return json;
+}
+
+JsonValue
+pongResponse()
+{
+    JsonValue json;
+    json.set("type", "pong");
+    return json;
+}
+
+JsonValue
+submittedResponse(std::string_view id, CampaignState state, bool cached,
+                  bool coalesced)
+{
+    JsonValue json;
+    json.set("type", "submitted");
+    json.set("id", id);
+    json.set("state", campaignStateName(state));
+    json.set("cached", cached);
+    json.set("coalesced", coalesced);
+    return json;
+}
+
+JsonValue
+statusResponse(std::string_view id, CampaignState state,
+               std::size_t runs_completed, std::size_t runs_planned,
+               bool cached, std::string_view failure)
+{
+    JsonValue json;
+    json.set("type", "status");
+    json.set("id", id);
+    json.set("state", campaignStateName(state));
+    json.set("runsCompleted", runs_completed);
+    json.set("runsPlanned", runs_planned);
+    json.set("cached", cached);
+    if (!failure.empty())
+        json.set("failure", failure);
+    return json;
+}
+
+JsonValue
+watchingResponse(std::string_view id)
+{
+    JsonValue json;
+    json.set("type", "watching");
+    json.set("id", id);
+    return json;
+}
+
+JsonValue
+telemetryEvent(std::string_view id, const exec::TelemetryDelta &delta)
+{
+    JsonValue json;
+    json.set("type", "telemetry");
+    json.set("id", id);
+    json.set("runsCompleted", delta.runsCompleted);
+    json.set("runsPlanned", delta.runsPlanned);
+    json.set("deltaRuns", delta.deltaRuns);
+    json.set("windowSeconds", delta.windowSeconds);
+    json.set("runsPerSecond", delta.runsPerSecond);
+    json.set("etaSeconds", delta.etaSeconds);
+    return json;
+}
+
+JsonValue
+doneEvent(std::string_view id, CampaignState state)
+{
+    JsonValue json;
+    json.set("type", "done");
+    json.set("id", id);
+    json.set("state", campaignStateName(state));
+    return json;
+}
+
+JsonValue
+cancelledResponse(std::string_view id)
+{
+    JsonValue json;
+    json.set("type", "cancelled");
+    json.set("id", id);
+    return json;
+}
+
+JsonValue
+resultResponse(std::string_view id, std::string_view artifact)
+{
+    JsonValue json;
+    json.set("type", "result");
+    json.set("id", id);
+    json.set("artifact", artifact);
+    return json;
+}
+
+JsonValue
+byeResponse()
+{
+    JsonValue json;
+    json.set("type", "bye");
+    return json;
+}
+
+} // namespace nocalert::serve

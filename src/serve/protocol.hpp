@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Wire protocol of the campaign service: newline-delimited JSON over a
+ * local stream socket.
+ *
+ * Every request is one JSON object on one line carrying a string
+ * "type"; every response is one JSON object on one line, also typed.
+ * Campaign specs ride in the same serialized form the schema v4/v5
+ * artifacts use (fault::toJson / campaignConfigFromJson), so the
+ * service accepts exactly the configs the batch CLIs accept and a
+ * client can round-trip an artifact's config block straight back into
+ * a submission.
+ *
+ * The framing layer (LineFramer) is deliberately paranoid: truncated
+ * buffers, oversized lines, interleaved chunks and malformed JSON are
+ * expected inputs, not exceptional ones. A framing or parse failure
+ * maps to a typed `error` response with a machine-readable code and
+ * the byte offset of the problem (mirroring the corrupt-checkpoint
+ * path-and-offset diagnostics) — the session survives and resyncs at
+ * the next newline.
+ */
+
+#ifndef NOCALERT_SERVE_PROTOCOL_HPP
+#define NOCALERT_SERVE_PROTOCOL_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exec/telemetry.hpp"
+#include "fault/campaign.hpp"
+#include "util/json.hpp"
+
+namespace nocalert::serve {
+
+/** Default per-line ceiling (a campaign spec is a few KiB; anything
+ *  near this is hostile or corrupt). */
+inline constexpr std::size_t kDefaultMaxLineBytes = 1u << 20;
+
+/**
+ * Incremental newline framer with an oversize guard. Feed arbitrary
+ * chunks; take complete lines. A line exceeding the ceiling surfaces
+ * exactly once (oversized=true, with the byte count dropped so far)
+ * and the framer silently discards until the next newline — the
+ * stream stays in sync and later requests are unaffected.
+ */
+class LineFramer
+{
+  public:
+    explicit LineFramer(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+        : maxLineBytes_(max_line_bytes)
+    {
+    }
+
+    struct Line
+    {
+        std::string text;      ///< Without the terminating newline.
+        bool oversized = false; ///< Line exceeded the ceiling.
+        std::size_t bytesDropped = 0; ///< Payload discarded (oversized).
+    };
+
+    /** Append raw bytes received from the peer. */
+    void feed(std::string_view bytes);
+
+    /** Next complete (or oversized) line, if any. */
+    std::optional<Line> next();
+
+    /** True when the buffer ends mid-line (diagnoses a truncated
+     *  stream at EOF: bytes arrived but no newline ever did). */
+    bool partialLine() const { return !buffer_.empty() || discarding_; }
+
+    std::size_t maxLineBytes() const { return maxLineBytes_; }
+
+  private:
+    std::size_t maxLineBytes_;
+    std::string buffer_;
+    /** Oversize mode: dropping until the next newline. */
+    bool discarding_ = false;
+};
+
+/** Campaign lifecycle as the protocol reports it. */
+enum class CampaignState : std::uint8_t {
+    Queued,    ///< Accepted, waiting for its first quantum.
+    Running,   ///< Has received at least one quantum.
+    Complete,  ///< Artifact finished and cached.
+    Cancelled, ///< Stopped with a valid resumable checkpoint.
+    Failed,    ///< The campaign itself rejected the spec at run time.
+};
+
+const char *campaignStateName(CampaignState state);
+
+/** Request types the service accepts. */
+enum class RequestType : std::uint8_t {
+    Ping,     ///< Liveness probe.
+    Submit,   ///< Submit a campaign spec (config payload).
+    Status,   ///< One-shot progress/state query by id.
+    Watch,    ///< Subscribe to telemetry deltas until terminal.
+    Cancel,   ///< Cooperative cancel by id.
+    Result,   ///< Fetch the finished artifact bytes by id.
+    List,     ///< Enumerate known campaigns.
+    Stats,    ///< Server counters (runs executed, cache hits, ...).
+    Shutdown, ///< Ask the daemon to exit cleanly.
+};
+
+/** One parsed request. */
+struct Request
+{
+    RequestType type = RequestType::Ping;
+    std::string id; ///< Campaign id (status/watch/cancel/result).
+    std::optional<fault::CampaignConfig> config; ///< Submit payload.
+    /**
+     * Submit only: detach the campaign from this connection's
+     * lifetime. A non-detached submission is cancelled automatically
+     * when every interested connection is gone (the abrupt-disconnect
+     * contract); a detached one keeps running unattended.
+     */
+    bool detach = false;
+};
+
+/**
+ * Parse one request line. On any failure — malformed JSON, a
+ * non-object document, a missing or unknown type, a bad payload —
+ * returns nullopt and fills @p error with a typed error *response*
+ * ready to send (never throws, never aborts).
+ */
+std::optional<Request> parseRequestLine(std::string_view line,
+                                        JsonValue *error);
+
+// ---- Response builders (every response carries "type") ----
+
+/** `{"type":"error","code":...,"message":...}`. */
+JsonValue errorResponse(std::string_view code, std::string_view message);
+
+JsonValue pongResponse();
+
+/** Answer to submit: current state plus how the request was served. */
+JsonValue submittedResponse(std::string_view id, CampaignState state,
+                            bool cached, bool coalesced);
+
+JsonValue statusResponse(std::string_view id, CampaignState state,
+                         std::size_t runs_completed,
+                         std::size_t runs_planned, bool cached,
+                         std::string_view failure);
+
+/** Acknowledges a watch subscription (deltas follow). */
+JsonValue watchingResponse(std::string_view id);
+
+/** One telemetry delta on a watch stream; all doubles finite. */
+JsonValue telemetryEvent(std::string_view id,
+                         const exec::TelemetryDelta &delta);
+
+/** Terminal event closing a watch stream. */
+JsonValue doneEvent(std::string_view id, CampaignState state);
+
+JsonValue cancelledResponse(std::string_view id);
+
+/** Artifact bytes embedded as a JSON string (escaping is lossless:
+ *  the extracted string is byte-identical to the stored artifact). */
+JsonValue resultResponse(std::string_view id, std::string_view artifact);
+
+JsonValue byeResponse();
+
+// ---- Error codes (stable strings, asserted by tests) ----
+
+inline constexpr const char *kErrBadJson = "bad-json";
+inline constexpr const char *kErrBadRequest = "bad-request";
+inline constexpr const char *kErrUnknownType = "unknown-type";
+inline constexpr const char *kErrOversized = "payload-too-large";
+inline constexpr const char *kErrUnknownCampaign = "unknown-campaign";
+inline constexpr const char *kErrNotComplete = "not-complete";
+inline constexpr const char *kErrNotActive = "not-active";
+inline constexpr const char *kErrBadSpec = "bad-spec";
+inline constexpr const char *kErrCampaignFailed = "campaign-failed";
+
+} // namespace nocalert::serve
+
+#endif // NOCALERT_SERVE_PROTOCOL_HPP

@@ -1,0 +1,443 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/serialize.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::serve {
+
+CampaignRegistry::CampaignRegistry(RegistryConfig config,
+                                   ResultCache &cache)
+    : config_(config), cache_(cache)
+{
+    if (config_.quantum == 0)
+        config_.quantum = 1;
+    if (config_.checkpointEvery == 0)
+        config_.checkpointEvery = 1;
+    if (config_.startScheduler) {
+        schedulerThread_ =
+            std::thread([this] { scheduler_.serviceLoop(); });
+    }
+}
+
+CampaignRegistry::~CampaignRegistry() { shutdown(); }
+
+SubmitOutcome
+CampaignRegistry::submit(const fault::CampaignConfig &spec, bool detach,
+                         ClientId client)
+{
+    SubmitOutcome outcome;
+    outcome.id = fault::campaignArtifactHash(spec);
+
+    // Run the campaign constructor's validation with fatal() diverted
+    // to an exception: a rejected spec becomes a typed error response
+    // instead of taking the process down.
+    try {
+        FatalThrowScope guard;
+        fault::CampaignConfig probe = spec;
+        probe.checkpointPath.clear();
+        fault::FaultCampaign validate(std::move(probe));
+    } catch (const FatalError &failure) {
+        outcome.errorCode = kErrBadSpec;
+        outcome.error = failure.what();
+        return outcome;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submissions;
+    if (shutdown_) {
+        outcome.errorCode = kErrNotActive;
+        outcome.error = "server is shutting down";
+        return outcome;
+    }
+
+    auto it = entries_.find(outcome.id);
+    if (it != entries_.end()) {
+        const EntryPtr &entry = it->second;
+        switch (entry->state) {
+          case CampaignState::Complete:
+            ++stats_.cacheHits;
+            outcome.state = CampaignState::Complete;
+            outcome.cached = true;
+            return outcome;
+          case CampaignState::Queued:
+          case CampaignState::Running:
+            // In-flight duplicate: coalesce onto the running entry.
+            ++stats_.coalesced;
+            if (detach)
+                entry->detached = true;
+            else
+                entry->clients.insert(client);
+            outcome.state = entry->state;
+            outcome.coalesced = true;
+            return outcome;
+          case CampaignState::Cancelled:
+          case CampaignState::Failed:
+            // Reactivate; the next quantum resumes from the entry's
+            // checkpoint, converging on the same artifact bytes.
+            entry->detached = detach;
+            entry->clients.clear();
+            if (!detach)
+                entry->clients.insert(client);
+            scheduleLocked(entry);
+            outcome.state = CampaignState::Queued;
+            return outcome;
+        }
+    }
+
+    EntryPtr entry = std::make_shared<Entry>();
+    entry->id = outcome.id;
+    entry->spec = spec;
+    entry->detached = detach;
+    entries_.emplace(outcome.id, entry);
+
+    // A previous server life may already hold the finished artifact.
+    if (cache_.contains(outcome.id)) {
+        ++stats_.cacheHits;
+        entry->state = CampaignState::Complete;
+        entry->cached = true;
+        outcome.state = CampaignState::Complete;
+        outcome.cached = true;
+        return outcome;
+    }
+
+    if (!detach)
+        entry->clients.insert(client);
+    scheduleLocked(entry);
+    outcome.state = CampaignState::Queued;
+    return outcome;
+}
+
+std::optional<CampaignStatus>
+CampaignRegistry::status(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return std::nullopt;
+    return statusOfLocked(*it->second);
+}
+
+std::vector<CampaignStatus>
+CampaignRegistry::list()
+{
+    std::vector<CampaignStatus> all;
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(entries_.size());
+    for (const auto &[id, entry] : entries_)
+        all.push_back(statusOfLocked(*entry));
+    std::sort(all.begin(), all.end(),
+              [](const CampaignStatus &a, const CampaignStatus &b) {
+                  return a.id < b.id;
+              });
+    return all;
+}
+
+const char *
+CampaignRegistry::cancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return kErrUnknownCampaign;
+    const Entry &entry = *it->second;
+    if (entry.state != CampaignState::Queued &&
+        entry.state != CampaignState::Running) {
+        return kErrNotActive;
+    }
+    scheduler_.cancel(entry.job);
+    return nullptr;
+}
+
+ResultOutcome
+CampaignRegistry::result(const std::string &id)
+{
+    ResultOutcome outcome;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(id);
+        if (it == entries_.end()) {
+            outcome.errorCode = kErrUnknownCampaign;
+            return outcome;
+        }
+        outcome.state = it->second->state;
+        outcome.failure = it->second->failure;
+    }
+    if (outcome.state == CampaignState::Failed) {
+        outcome.errorCode = kErrCampaignFailed;
+        return outcome;
+    }
+    if (outcome.state != CampaignState::Complete) {
+        outcome.errorCode = kErrNotComplete;
+        return outcome;
+    }
+    outcome.artifact = cache_.fetch(id);
+    if (!outcome.artifact)
+        outcome.errorCode = kErrNotComplete;
+    return outcome;
+}
+
+bool
+CampaignRegistry::watch(const std::string &id, ClientId client,
+                        EventSink sink)
+{
+    JsonValue immediate;
+    bool terminal = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(id);
+        if (it == entries_.end())
+            return false;
+        const EntryPtr &entry = it->second;
+        if (entry->state == CampaignState::Queued ||
+            entry->state == CampaignState::Running) {
+            entry->watchers.push_back(
+                {nextWatcherToken_++, client, std::move(sink)});
+            return true;
+        }
+        terminal = true;
+        immediate = doneEvent(id, entry->state);
+    }
+    if (terminal)
+        sink(immediate);
+    return true;
+}
+
+void
+CampaignRegistry::disconnect(ClientId client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[id, entry] : entries_) {
+        std::erase_if(entry->watchers, [client](const Watcher &watcher) {
+            return watcher.client == client;
+        });
+        const bool released = entry->clients.erase(client) > 0;
+        if (released && entry->clients.empty() && !entry->detached &&
+            (entry->state == CampaignState::Queued ||
+             entry->state == CampaignState::Running)) {
+            // Last interested connection is gone: free the campaign's
+            // scheduler share; its checkpoint stays resumable.
+            scheduler_.cancel(entry->job);
+        }
+    }
+}
+
+RegistryStats
+CampaignRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+bool
+CampaignRegistry::stepOnce()
+{
+    return scheduler_.runOne();
+}
+
+void
+CampaignRegistry::shutdown()
+{
+    std::lock_guard<std::mutex> shutdown_lock(shutdownMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    scheduler_.cancelAll();
+    if (schedulerThread_.joinable()) {
+        scheduler_.waitIdle();
+        scheduler_.stop();
+        schedulerThread_.join();
+    } else {
+        // Manual mode: drain the cancelled jobs ourselves.
+        while (scheduler_.runOne()) {
+        }
+    }
+}
+
+exec::QuantumResult
+CampaignRegistry::runQuantum(const EntryPtr &entry,
+                             exec::CancelToken &cancel)
+{
+    if (cancel.cancelled()) {
+        finalize(entry, CampaignState::Cancelled, {});
+        return exec::QuantumResult::Finished;
+    }
+
+    // Service-side execution knobs; never campaign identity (schema v4
+    // drops them from the artifact), so the served bytes stay equal to
+    // a batch run of the same spec.
+    fault::CampaignConfig config = entry->spec;
+    config.jobs = config_.jobs;
+    config.checkpointPath = cache_.checkpointPath(entry->id);
+    config.checkpointEvery = config_.checkpointEvery;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->state = CampaignState::Running;
+        if (!entry->epochSet) {
+            entry->epoch = std::chrono::steady_clock::now();
+            entry->epochSet = true;
+        }
+    }
+
+    fault::FaultCampaign::RunOptions options;
+    options.maxNewRuns = config_.quantum;
+    options.cancel = &cancel;
+
+    fault::CampaignResult result;
+    try {
+        // A run-time fatal (e.g. a golden run that cannot drain) is
+        // this campaign's failure, not the service's.
+        FatalThrowScope guard;
+        fault::FaultCampaign campaign(std::move(config));
+        result = campaign.run(nullptr, options);
+    } catch (const FatalError &failure) {
+        finalize(entry, CampaignState::Failed, failure.what());
+        return exec::QuantumResult::Finished;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->runsCompleted = result.runs.size();
+        entry->runsPlanned = result.shardRunsPlanned;
+        if (result.runs.size() > entry->countedRuns) {
+            stats_.runsExecuted += result.runs.size() - entry->countedRuns;
+            entry->countedRuns = result.runs.size();
+        }
+    }
+
+    if (result.complete()) {
+        const std::string artifact = fault::writeCampaignJson(result);
+        std::string error;
+        if (!cache_.store(entry->id, artifact, &error)) {
+            finalize(entry, CampaignState::Failed,
+                     "artifact store failed: " + error);
+            return exec::QuantumResult::Finished;
+        }
+        cache_.dropCheckpoint(entry->id);
+        finalize(entry, CampaignState::Complete, {});
+        return exec::QuantumResult::Finished;
+    }
+
+    if (cancel.cancelled()) {
+        // The quantum flushed a resumable checkpoint on its way out.
+        finalize(entry, CampaignState::Cancelled, {});
+        return exec::QuantumResult::Finished;
+    }
+
+    emitTelemetry(entry);
+    return exec::QuantumResult::MoreWork;
+}
+
+void
+CampaignRegistry::scheduleLocked(const EntryPtr &entry)
+{
+    entry->state = CampaignState::Queued;
+    entry->failure.clear();
+    entry->job =
+        scheduler_.add([this, entry](exec::CancelToken &cancel) {
+            return runQuantum(entry, cancel);
+        });
+}
+
+void
+CampaignRegistry::finalize(const EntryPtr &entry, CampaignState state,
+                           std::string failure)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->state = state;
+        entry->failure = std::move(failure);
+        switch (state) {
+          case CampaignState::Complete:
+            ++stats_.campaignsCompleted;
+            break;
+          case CampaignState::Cancelled:
+            ++stats_.campaignsCancelled;
+            break;
+          case CampaignState::Failed:
+            ++stats_.campaignsFailed;
+            break;
+          default:
+            break;
+        }
+    }
+    notifyWatchers(entry, doneEvent(entry->id, state));
+    // A watch() arriving after the state flip answers itself with an
+    // immediate done event, so clearing cannot strand a subscriber.
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->watchers.clear();
+}
+
+void
+CampaignRegistry::notifyWatchers(const EntryPtr &entry,
+                                 const JsonValue &event)
+{
+    std::vector<Watcher> sinks;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sinks = entry->watchers;
+    }
+    // Sinks do socket I/O; invoke them outside the registry lock.
+    std::vector<std::uint64_t> dead;
+    for (const Watcher &watcher : sinks) {
+        if (!watcher.sink(event))
+            dead.push_back(watcher.token);
+    }
+    if (dead.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase_if(entry->watchers, [&dead](const Watcher &watcher) {
+        return std::find(dead.begin(), dead.end(), watcher.token) !=
+               dead.end();
+    });
+}
+
+void
+CampaignRegistry::emitTelemetry(const EntryPtr &entry)
+{
+    // Per-quantum hubs restart their clocks, so windowed rates are
+    // computed against the registry's own epoch: synthesize the
+    // snapshot pair and let deltaBetween apply the finiteness guards.
+    exec::TelemetrySnapshot prev;
+    exec::TelemetrySnapshot cur;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - entry->epoch)
+                .count();
+        prev.runsCompleted = entry->lastNotifyRuns;
+        prev.elapsedSeconds = entry->lastNotifyElapsed;
+        cur.runsCompleted = entry->runsCompleted;
+        cur.runsPlanned = entry->runsPlanned;
+        cur.elapsedSeconds = elapsed;
+        if (elapsed > 0.0) {
+            cur.runsPerSecond =
+                static_cast<double>(cur.runsCompleted) / elapsed;
+        }
+        entry->lastNotifyRuns = entry->runsCompleted;
+        entry->lastNotifyElapsed = elapsed;
+    }
+    notifyWatchers(entry,
+                   telemetryEvent(entry->id,
+                                  exec::deltaBetween(prev, cur)));
+}
+
+CampaignStatus
+CampaignRegistry::statusOfLocked(const Entry &entry) const
+{
+    CampaignStatus status;
+    status.id = entry.id;
+    status.state = entry.state;
+    status.runsCompleted = entry.runsCompleted;
+    status.runsPlanned = entry.runsPlanned;
+    status.cached = entry.cached;
+    status.failure = entry.failure;
+    return status;
+}
+
+} // namespace nocalert::serve

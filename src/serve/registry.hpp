@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Campaign registry: the concurrency and caching brain of the service.
+ *
+ * Every submitted spec maps to a campaign entry keyed by its artifact
+ * hash. The registry multiplexes active entries onto one
+ * exec::FairScheduler — each scheduling turn advances one campaign by
+ * one batch quantum (FaultCampaign::RunOptions::maxNewRuns over the
+ * entry's checkpoint), so N concurrent campaigns share the worker
+ * budget round-robin and there is a valid resumable checkpoint on
+ * disk between any two turns. Determinism carries over unchanged: a
+ * campaign advanced quantum-by-quantum is exactly the batch CLI's
+ * --limit/resume sequence, which is proven byte-stable, so the
+ * artifact the service caches is byte-identical to a single-shot
+ * batch run of the same spec.
+ *
+ * Request handling:
+ *  - submit: cache hit -> served from the store, no simulation;
+ *    in-flight duplicate -> coalesced onto the running entry;
+ *    cancelled/failed -> reactivated (resuming from its checkpoint);
+ *    otherwise a new entry is scheduled.
+ *  - cancel / client disconnect: the entry's CancelToken fires; the
+ *    in-flight quantum flushes its checkpoint and the entry retires
+ *    as Cancelled, freeing its scheduler share immediately. An
+ *    attached (non-detached) entry auto-cancels when its last
+ *    interested client disconnects.
+ *  - watch: subscribers receive one finite telemetry delta per
+ *    quantum and a terminal done event.
+ *
+ * Run-time spec failures (a fatal() inside the campaign layer, e.g. a
+ * golden run that cannot drain) are caught via FatalThrowScope and
+ * retire the entry as Failed with the message — one tenant's bad spec
+ * never takes the service down.
+ */
+
+#ifndef NOCALERT_SERVE_REGISTRY_HPP
+#define NOCALERT_SERVE_REGISTRY_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/fairsched.hpp"
+#include "exec/telemetry.hpp"
+#include "fault/campaign.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace nocalert::serve {
+
+/** Service-side execution knobs (never campaign identity). */
+struct RegistryConfig
+{
+    /** Workers per quantum (0 = hardware concurrency). */
+    unsigned jobs = 1;
+    /** Runs per scheduling turn — the fairness granule. Larger quanta
+     *  amortize the warm-snapshot rebuild; smaller ones tighten the
+     *  latency with which campaigns interleave and cancellation acts. */
+    unsigned quantum = 16;
+    /** Checkpoint cadence inside a quantum. */
+    unsigned checkpointEvery = 8;
+    /**
+     * Spawn the scheduler thread (the daemon). Tests disable this and
+     * drive stepOnce() for deterministic interleavings.
+     */
+    bool startScheduler = true;
+};
+
+/** Connection identity used for interest tracking. */
+using ClientId = std::uint64_t;
+
+/** Watch sink; return false to drop the subscription (dead peer). */
+using EventSink = std::function<bool(const JsonValue &event)>;
+
+/** Answer to a submit request. */
+struct SubmitOutcome
+{
+    std::string id;
+    CampaignState state = CampaignState::Queued;
+    bool cached = false;    ///< Served from the artifact store.
+    bool coalesced = false; ///< Joined an in-flight campaign.
+    /** Non-null error code when the spec was rejected. */
+    const char *errorCode = nullptr;
+    std::string error;
+};
+
+/** One-shot progress view. */
+struct CampaignStatus
+{
+    std::string id;
+    CampaignState state = CampaignState::Queued;
+    std::size_t runsCompleted = 0;
+    std::size_t runsPlanned = 0;
+    bool cached = false;
+    std::string failure; ///< Failed entries: the fatal message.
+};
+
+/** Answer to a result request. */
+struct ResultOutcome
+{
+    std::optional<std::string> artifact;
+    const char *errorCode = nullptr; ///< Set when artifact is empty.
+    CampaignState state = CampaignState::Queued;
+    std::string failure;
+};
+
+/** Monotonic service counters (the cache-hit acceptance test reads
+ *  runsExecuted to prove a repeated submission simulated nothing). */
+struct RegistryStats
+{
+    std::uint64_t submissions = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t runsExecuted = 0;
+    std::uint64_t campaignsCompleted = 0;
+    std::uint64_t campaignsCancelled = 0;
+    std::uint64_t campaignsFailed = 0;
+};
+
+/** See file comment. All public methods are thread-safe. */
+class CampaignRegistry
+{
+  public:
+    CampaignRegistry(RegistryConfig config, ResultCache &cache);
+    ~CampaignRegistry();
+
+    CampaignRegistry(const CampaignRegistry &) = delete;
+    CampaignRegistry &operator=(const CampaignRegistry &) = delete;
+
+    SubmitOutcome submit(const fault::CampaignConfig &spec, bool detach,
+                         ClientId client);
+
+    std::optional<CampaignStatus> status(const std::string &id);
+
+    std::vector<CampaignStatus> list();
+
+    /** nullptr on success; else a protocol error code. */
+    const char *cancel(const std::string &id);
+
+    ResultOutcome result(const std::string &id);
+
+    /**
+     * Subscribe @p sink to @p id's telemetry stream. A terminal entry
+     * receives its done event immediately. False when @p id is
+     * unknown.
+     */
+    bool watch(const std::string &id, ClientId client, EventSink sink);
+
+    /** Drop every interest and subscription @p client holds;
+     *  auto-cancels attached campaigns left with no client. */
+    void disconnect(ClientId client);
+
+    RegistryStats stats() const;
+
+    /** Manual mode: run one scheduling turn; false when idle. */
+    bool stepOnce();
+
+    /** Cancel everything, drain, stop the scheduler thread. Entries
+     *  flush checkpoints, so in-flight work resumes after restart. */
+    void shutdown();
+
+  private:
+    struct Watcher
+    {
+        std::uint64_t token = 0; ///< Subscription identity (removal).
+        ClientId client = 0;
+        EventSink sink;
+    };
+
+    struct Entry
+    {
+        std::string id;
+        fault::CampaignConfig spec;
+        CampaignState state = CampaignState::Queued;
+        bool detached = false;
+        bool cached = false; ///< Answered from the artifact store.
+        std::set<ClientId> clients;
+        std::string failure;
+        std::size_t runsCompleted = 0;
+        std::size_t runsPlanned = 0;
+        /** High-water mark feeding RegistryStats::runsExecuted. */
+        std::size_t countedRuns = 0;
+        exec::FairScheduler::JobId job = 0;
+        /** Live telemetry watermark for per-quantum deltas. */
+        std::chrono::steady_clock::time_point epoch;
+        bool epochSet = false;
+        double lastNotifyElapsed = 0.0;
+        std::size_t lastNotifyRuns = 0;
+        std::vector<Watcher> watchers;
+    };
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    /** One scheduling turn of @p entry (scheduler thread). */
+    exec::QuantumResult runQuantum(const EntryPtr &entry,
+                                   exec::CancelToken &cancel);
+
+    /** Schedule (or reschedule) an entry; mutex_ must be held. */
+    void scheduleLocked(const EntryPtr &entry);
+
+    /** Retire an entry and emit its done event. */
+    void finalize(const EntryPtr &entry, CampaignState state,
+                  std::string failure);
+
+    /** Send @p event to the entry's watchers, dropping dead sinks. */
+    void notifyWatchers(const EntryPtr &entry, const JsonValue &event);
+
+    /** Emit one finite telemetry delta to the entry's watchers. */
+    void emitTelemetry(const EntryPtr &entry);
+
+    CampaignStatus statusOfLocked(const Entry &entry) const;
+
+    RegistryConfig config_;
+    ResultCache &cache_;
+    exec::FairScheduler scheduler_;
+    std::thread schedulerThread_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, EntryPtr> entries_;
+    RegistryStats stats_;
+    std::uint64_t nextWatcherToken_ = 1;
+    bool shutdown_ = false;
+    /** Serializes shutdown(); never held with mutex_. */
+    std::mutex shutdownMutex_;
+};
+
+} // namespace nocalert::serve
+
+#endif // NOCALERT_SERVE_REGISTRY_HPP

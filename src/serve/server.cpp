@@ -1,0 +1,371 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace nocalert::serve {
+
+namespace {
+
+/** Write all of @p text, tolerating partial sends and EINTR. */
+bool
+sendAll(int fd, std::string_view text)
+{
+    while (!text.empty()) {
+        const ssize_t sent =
+            ::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        text.remove_prefix(static_cast<std::size_t>(sent));
+    }
+    return true;
+}
+
+JsonValue
+listResponse(const std::vector<CampaignStatus> &campaigns)
+{
+    JsonValue array;
+    for (const CampaignStatus &status : campaigns) {
+        JsonValue one;
+        one.set("id", status.id);
+        one.set("state", campaignStateName(status.state));
+        one.set("runsCompleted", status.runsCompleted);
+        one.set("runsPlanned", status.runsPlanned);
+        one.set("cached", status.cached);
+        if (!status.failure.empty())
+            one.set("failure", status.failure);
+        array.push(std::move(one));
+    }
+    JsonValue json;
+    json.set("type", "list");
+    json.set("campaigns", std::move(array));
+    return json;
+}
+
+JsonValue
+statsResponse(const RegistryStats &stats)
+{
+    JsonValue json;
+    json.set("type", "stats");
+    json.set("submissions", stats.submissions);
+    json.set("cacheHits", stats.cacheHits);
+    json.set("coalesced", stats.coalesced);
+    json.set("runsExecuted", stats.runsExecuted);
+    json.set("campaignsCompleted", stats.campaignsCompleted);
+    json.set("campaignsCancelled", stats.campaignsCancelled);
+    json.set("campaignsFailed", stats.campaignsFailed);
+    return json;
+}
+
+} // namespace
+
+CampaignServer::CampaignServer(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheDir),
+      registry_(config_.registry, cache_)
+{
+}
+
+CampaignServer::~CampaignServer() { stop(); }
+
+bool
+CampaignServer::start(std::string *error)
+{
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(address.sun_path)) {
+        if (error) {
+            *error = "socket path too long: '" + config_.socketPath +
+                     "' (" + std::to_string(config_.socketPath.size()) +
+                     " bytes, limit " +
+                     std::to_string(sizeof(address.sun_path) - 1) + ")";
+        }
+        return false;
+    }
+    std::memcpy(address.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        if (error) {
+            *error = "bind '" + config_.socketPath +
+                     "': " + std::strerror(errno);
+        }
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        if (error)
+            *error = std::string("listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+CampaignServer::stop()
+{
+    std::vector<std::thread> threads;
+    std::vector<SessionPtr> sessions;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // A concurrent stop() already tore the server down; only
+            // the first caller joins threads.
+            return;
+        }
+        stopping_ = true;
+        for (const auto &[client, session] : sessions_)
+            sessions.push_back(session);
+        threads.swap(sessionThreads_);
+    }
+    shutdownCv_.notify_all();
+
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    for (const SessionPtr &session : sessions) {
+        std::lock_guard<std::mutex> lock(session->writeMutex);
+        if (session->open)
+            ::shutdown(session->fd, SHUT_RDWR);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &thread : threads)
+        thread.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(config_.socketPath.c_str());
+    }
+    registry_.shutdown();
+}
+
+void
+CampaignServer::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdownCv_.wait(lock,
+                     [this] { return shutdownRequested_ || stopping_; });
+}
+
+void
+CampaignServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Listener closed (stop()) or broken.
+        }
+        SessionPtr session = std::make_shared<Session>();
+        session->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                ::close(fd);
+                return;
+            }
+            session->client = nextClient_++;
+            sessions_.emplace(session->client, session);
+            sessionThreads_.emplace_back(
+                [this, session] { sessionLoop(session); });
+        }
+    }
+}
+
+void
+CampaignServer::sessionLoop(const SessionPtr &session)
+{
+    LineFramer framer(config_.maxLineBytes);
+    char buffer[4096];
+    for (;;) {
+        const ssize_t got =
+            ::recv(session->fd, buffer, sizeof(buffer), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            break; // EOF or abrupt disconnect.
+        framer.feed(std::string_view(buffer,
+                                     static_cast<std::size_t>(got)));
+        while (const auto line = framer.next())
+            handleLine(session, *line);
+    }
+
+    // Release every interest this connection held; attached campaigns
+    // nobody else wants auto-cancel and free their scheduler share.
+    registry_.disconnect(session->client);
+    {
+        std::lock_guard<std::mutex> lock(session->writeMutex);
+        session->open = false;
+        ::close(session->fd);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(session->client);
+}
+
+void
+CampaignServer::handleLine(const SessionPtr &session,
+                           const LineFramer::Line &line)
+{
+    if (line.oversized) {
+        sendLine(session,
+                 errorResponse(
+                     kErrOversized,
+                     "request line exceeds " +
+                         std::to_string(config_.maxLineBytes) +
+                         " bytes (dropped " +
+                         std::to_string(line.bytesDropped) + ")"));
+        return;
+    }
+    if (line.text.empty())
+        return; // Tolerate blank keep-alive lines.
+
+    JsonValue error;
+    const std::optional<Request> request =
+        parseRequestLine(line.text, &error);
+    if (!request) {
+        sendLine(session, error);
+        return;
+    }
+
+    switch (request->type) {
+      case RequestType::Ping:
+        sendLine(session, pongResponse());
+        return;
+
+      case RequestType::Submit: {
+        const SubmitOutcome outcome = registry_.submit(
+            *request->config, request->detach, session->client);
+        if (outcome.errorCode) {
+            sendLine(session,
+                     errorResponse(outcome.errorCode, outcome.error));
+            return;
+        }
+        sendLine(session,
+                 submittedResponse(outcome.id, outcome.state,
+                                   outcome.cached, outcome.coalesced));
+        return;
+      }
+
+      case RequestType::Status: {
+        const auto status = registry_.status(request->id);
+        if (!status) {
+            sendLine(session,
+                     errorResponse(kErrUnknownCampaign,
+                                   "no campaign '" + request->id + "'"));
+            return;
+        }
+        sendLine(session,
+                 statusResponse(status->id, status->state,
+                                status->runsCompleted,
+                                status->runsPlanned, status->cached,
+                                status->failure));
+        return;
+      }
+
+      case RequestType::Watch: {
+        if (!registry_.status(request->id)) {
+            sendLine(session,
+                     errorResponse(kErrUnknownCampaign,
+                                   "no campaign '" + request->id + "'"));
+            return;
+        }
+        // Ack first so every event follows the subscription answer.
+        sendLine(session, watchingResponse(request->id));
+        registry_.watch(request->id, session->client,
+                        [this, session](const JsonValue &event) {
+                            return sendLine(session, event);
+                        });
+        return;
+      }
+
+      case RequestType::Cancel: {
+        if (const char *code = registry_.cancel(request->id)) {
+            sendLine(session,
+                     errorResponse(code, "cannot cancel campaign '" +
+                                             request->id + "'"));
+            return;
+        }
+        sendLine(session, cancelledResponse(request->id));
+        return;
+      }
+
+      case RequestType::Result: {
+        ResultOutcome outcome = registry_.result(request->id);
+        if (!outcome.artifact) {
+            std::string message =
+                "campaign '" + request->id + "' is " +
+                campaignStateName(outcome.state);
+            if (!outcome.failure.empty())
+                message += ": " + outcome.failure;
+            sendLine(session,
+                     errorResponse(outcome.errorCode
+                                       ? outcome.errorCode
+                                       : kErrNotComplete,
+                                   message));
+            return;
+        }
+        sendLine(session,
+                 resultResponse(request->id, *outcome.artifact));
+        return;
+      }
+
+      case RequestType::List:
+        sendLine(session, listResponse(registry_.list()));
+        return;
+
+      case RequestType::Stats:
+        sendLine(session, statsResponse(registry_.stats()));
+        return;
+
+      case RequestType::Shutdown: {
+        sendLine(session, byeResponse());
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdownRequested_ = true;
+        shutdownCv_.notify_all();
+        return;
+      }
+    }
+}
+
+bool
+CampaignServer::sendLine(const SessionPtr &session, const JsonValue &json)
+{
+    const std::string line = json.dump() + "\n";
+    std::lock_guard<std::mutex> lock(session->writeMutex);
+    if (!session->open)
+        return false;
+    if (!sendAll(session->fd, line)) {
+        // A dead peer mid-write: poison the writer side so later
+        // pushes (watch events) stop immediately, and shut the socket
+        // so the read loop wakes with EOF. The read loop owns the
+        // close; open stays true until it runs so it still closes.
+        ::shutdown(session->fd, SHUT_RDWR);
+        return false;
+    }
+    return true;
+}
+
+} // namespace nocalert::serve

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Socket front end of the campaign service: a Unix-domain stream
+ * listener speaking the newline-delimited JSON protocol
+ * (serve/protocol.hpp), one session thread per connection.
+ *
+ * The server owns the artifact cache and the campaign registry; a
+ * session is a thin translation loop — frame lines, parse requests,
+ * call the registry, write responses — with a per-connection write
+ * mutex so watch events (pushed from the scheduler thread) interleave
+ * with request responses without tearing. Framing and parse failures
+ * answer with typed errors and the session resyncs; only EOF or a
+ * transport error ends it. When a session ends — cleanly or by abrupt
+ * disconnect — the registry releases every interest the connection
+ * held, which auto-cancels attached campaigns nobody else wants.
+ */
+
+#ifndef NOCALERT_SERVE_SERVER_HPP
+#define NOCALERT_SERVE_SERVER_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace nocalert::serve {
+
+/** Daemon parameters. */
+struct ServerConfig
+{
+    /** Unix-domain socket path (must fit sockaddr_un; keep it short). */
+    std::string socketPath;
+    /** Artifact cache directory. */
+    std::string cacheDir;
+    RegistryConfig registry;
+    std::size_t maxLineBytes = kDefaultMaxLineBytes;
+};
+
+/** See file comment. */
+class CampaignServer
+{
+  public:
+    explicit CampaignServer(ServerConfig config);
+    ~CampaignServer();
+
+    CampaignServer(const CampaignServer &) = delete;
+    CampaignServer &operator=(const CampaignServer &) = delete;
+
+    /** Bind, listen, and spawn the accept loop. False + *error when
+     *  the socket cannot be set up. */
+    bool start(std::string *error);
+
+    /** Close the listener, end every session, stop the registry. */
+    void stop();
+
+    /** Block until a shutdown request arrives (or stop() is called). */
+    void waitForShutdown();
+
+    const std::string &socketPath() const { return config_.socketPath; }
+
+    CampaignRegistry &registry() { return registry_; }
+    ResultCache &cache() { return cache_; }
+
+  private:
+    /** Shared connection state; watch sinks hold it beyond the
+     *  session thread, so writes are mutex-guarded and gated on
+     *  open (never touching a closed or reused descriptor). */
+    struct Session
+    {
+        int fd = -1;
+        ClientId client = 0;
+        std::mutex writeMutex;
+        bool open = true; ///< Guarded by writeMutex.
+    };
+    using SessionPtr = std::shared_ptr<Session>;
+
+    void acceptLoop();
+    void sessionLoop(const SessionPtr &session);
+    void handleLine(const SessionPtr &session,
+                    const LineFramer::Line &line);
+
+    /** Write one response line; false once the session is gone. */
+    bool sendLine(const SessionPtr &session, const JsonValue &json);
+
+    ServerConfig config_;
+    ResultCache cache_;
+    CampaignRegistry registry_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+
+    std::mutex mutex_;
+    std::condition_variable shutdownCv_;
+    bool stopping_ = false;
+    bool shutdownRequested_ = false;
+    ClientId nextClient_ = 1;
+    std::unordered_map<ClientId, SessionPtr> sessions_;
+    std::vector<std::thread> sessionThreads_;
+};
+
+} // namespace nocalert::serve
+
+#endif // NOCALERT_SERVE_SERVER_HPP

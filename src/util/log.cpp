@@ -7,12 +7,29 @@ namespace nocalert {
 
 namespace {
 bool log_quiet = false;
+thread_local unsigned fatal_throw_depth = 0;
 } // namespace
 
 void
 setLogQuiet(bool quiet)
 {
     log_quiet = quiet;
+}
+
+FatalThrowScope::FatalThrowScope()
+{
+    ++fatal_throw_depth;
+}
+
+FatalThrowScope::~FatalThrowScope()
+{
+    --fatal_throw_depth;
+}
+
+bool
+FatalThrowScope::active()
+{
+    return fatal_throw_depth > 0;
 }
 
 void
@@ -25,6 +42,13 @@ panicImpl(const char *file, int line, const std::string &message)
 void
 fatalImpl(const std::string &message)
 {
+    // Inside a FatalThrowScope the caller asked to survive user-input
+    // errors (a service answering a bad request); the message reaches
+    // stderr either way so operator logs stay complete.
+    if (FatalThrowScope::active()) {
+        std::fprintf(stderr, "fatal (recovered): %s\n", message.c_str());
+        throw FatalError(message);
+    }
     std::fprintf(stderr, "fatal: %s\n", message.c_str());
     std::exit(1);
 }

@@ -14,6 +14,7 @@
 #define NOCALERT_UTIL_LOG_HPP
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace nocalert {
@@ -23,6 +24,41 @@ namespace nocalert {
 [[noreturn]] void fatalImpl(const std::string &message);
 void warnImpl(const std::string &message);
 void informImpl(const std::string &message);
+
+/** What fatal() throws inside a FatalThrowScope. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/**
+ * While a FatalThrowScope is alive on a thread, fatal() on that thread
+ * throws FatalError instead of exiting the process. Built for
+ * long-running services: a fatal() is a *user-input* error by
+ * contract, and a daemon must turn one tenant's bad configuration
+ * into an error response, not into process death. panic() (internal
+ * bugs) still aborts unconditionally.
+ *
+ * The flag is thread-local, so a scope on a service thread never
+ * changes fatal() semantics for worker threads it did not opt in.
+ * Scopes nest; the outermost destructor restores exit semantics.
+ */
+class FatalThrowScope
+{
+  public:
+    FatalThrowScope();
+    ~FatalThrowScope();
+
+    FatalThrowScope(const FatalThrowScope &) = delete;
+    FatalThrowScope &operator=(const FatalThrowScope &) = delete;
+
+    /** True while any scope is alive on the calling thread. */
+    static bool active();
+};
 
 /** Enable/disable warn()/inform() output (tests silence it). */
 void setLogQuiet(bool quiet);

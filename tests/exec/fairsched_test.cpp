@@ -1,0 +1,196 @@
+/**
+ * FairScheduler: round-robin batch-quantum scheduling with per-job
+ * cooperative cancellation — the multiplexing layer under the campaign
+ * service. The tests drive runOne() directly for deterministic
+ * interleavings and use serviceLoop() on a real thread for the
+ * lifecycle paths.
+ */
+
+#include "exec/fairsched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nocalert::exec {
+namespace {
+
+TEST(FairScheduler, RunOneIsFalseWhenIdle)
+{
+    FairScheduler scheduler;
+    EXPECT_FALSE(scheduler.runOne());
+    EXPECT_EQ(scheduler.liveJobs(), 0u);
+}
+
+TEST(FairScheduler, SingleJobRunsQuantaUntilFinished)
+{
+    FairScheduler scheduler;
+    int quanta = 0;
+    scheduler.add([&quanta](CancelToken &) {
+        ++quanta;
+        return quanta < 3 ? QuantumResult::MoreWork
+                          : QuantumResult::Finished;
+    });
+    EXPECT_EQ(scheduler.liveJobs(), 1u);
+    while (scheduler.runOne()) {
+    }
+    EXPECT_EQ(quanta, 3);
+    EXPECT_EQ(scheduler.liveJobs(), 0u);
+}
+
+TEST(FairScheduler, TurnsInterleaveRoundRobin)
+{
+    FairScheduler scheduler;
+    std::string order;
+    for (char name : {'a', 'b', 'c'}) {
+        scheduler.add([&order, name](CancelToken &) {
+            order.push_back(name);
+            return order.size() < 9 ? QuantumResult::MoreWork
+                                    : QuantumResult::Finished;
+        });
+    }
+    // Every job gets every third turn regardless of arrival: a small
+    // campaign is never starved behind a large one.
+    for (int turn = 0; turn < 9; ++turn)
+        EXPECT_TRUE(scheduler.runOne());
+    EXPECT_EQ(order, "abcabcabc");
+}
+
+TEST(FairScheduler, RetiredJobsLeaveTheRing)
+{
+    FairScheduler scheduler;
+    std::string order;
+    scheduler.add([&order](CancelToken &) {
+        order.push_back('a');
+        return QuantumResult::Finished; // One quantum and done.
+    });
+    scheduler.add([&order](CancelToken &) {
+        order.push_back('b');
+        return order.size() < 4 ? QuantumResult::MoreWork
+                                : QuantumResult::Finished;
+    });
+    while (scheduler.runOne()) {
+    }
+    EXPECT_EQ(order, "abbb");
+}
+
+TEST(FairScheduler, CancelFiresTheJobsToken)
+{
+    FairScheduler scheduler;
+    bool observed_cancel = false;
+    const FairScheduler::JobId job =
+        scheduler.add([&observed_cancel](CancelToken &cancel) {
+            if (cancel.cancelled()) {
+                observed_cancel = true;
+                return QuantumResult::Finished;
+            }
+            return QuantumResult::MoreWork;
+        });
+
+    EXPECT_TRUE(scheduler.runOne()); // Normal quantum.
+    EXPECT_FALSE(observed_cancel);
+    EXPECT_TRUE(scheduler.cancel(job));
+    EXPECT_TRUE(scheduler.runOne()); // The job observes and retires.
+    EXPECT_TRUE(observed_cancel);
+    EXPECT_EQ(scheduler.liveJobs(), 0u);
+}
+
+TEST(FairScheduler, CancelUnknownOrRetiredJobIsFalse)
+{
+    FairScheduler scheduler;
+    EXPECT_FALSE(scheduler.cancel(999));
+    const FairScheduler::JobId job = scheduler.add(
+        [](CancelToken &) { return QuantumResult::Finished; });
+    EXPECT_TRUE(scheduler.runOne());
+    EXPECT_FALSE(scheduler.cancel(job)); // Already retired.
+}
+
+TEST(FairScheduler, CancelAllRetiresEveryJobOnItsNextTurn)
+{
+    FairScheduler scheduler;
+    int retired = 0;
+    for (int i = 0; i < 3; ++i) {
+        scheduler.add([&retired](CancelToken &cancel) {
+            if (cancel.cancelled()) {
+                ++retired;
+                return QuantumResult::Finished;
+            }
+            return QuantumResult::MoreWork;
+        });
+    }
+    scheduler.cancelAll();
+    while (scheduler.runOne()) {
+    }
+    EXPECT_EQ(retired, 3);
+    EXPECT_EQ(scheduler.liveJobs(), 0u);
+}
+
+TEST(FairScheduler, JobsAddedDuringAQuantumGetTurns)
+{
+    FairScheduler scheduler;
+    std::string order;
+    scheduler.add([&scheduler, &order](CancelToken &) {
+        order.push_back('a');
+        scheduler.add([&order](CancelToken &) {
+            order.push_back('b');
+            return QuantumResult::Finished;
+        });
+        return QuantumResult::Finished;
+    });
+    while (scheduler.runOne()) {
+    }
+    EXPECT_EQ(order, "ab");
+}
+
+TEST(FairScheduler, ServiceLoopDrainsJobsAndStops)
+{
+    FairScheduler scheduler;
+    std::thread service([&scheduler] { scheduler.serviceLoop(); });
+
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+        scheduler.add([&done, turns = 0](CancelToken &) mutable {
+            if (++turns < 3)
+                return QuantumResult::MoreWork;
+            done.fetch_add(1);
+            return QuantumResult::Finished;
+        });
+    }
+    scheduler.waitIdle();
+    EXPECT_EQ(done.load(), 4);
+
+    scheduler.stop();
+    service.join();
+}
+
+TEST(FairScheduler, ShutdownSequenceCancelsDrainsAndStops)
+{
+    FairScheduler scheduler;
+    std::thread service([&scheduler] { scheduler.serviceLoop(); });
+
+    std::atomic<int> cancelled{0};
+    for (int i = 0; i < 3; ++i) {
+        scheduler.add([&cancelled](CancelToken &cancel) {
+            if (cancel.cancelled()) {
+                cancelled.fetch_add(1);
+                return QuantumResult::Finished;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return QuantumResult::MoreWork;
+        });
+    }
+    // The documented shutdown order: cancel, drain, stop.
+    scheduler.cancelAll();
+    scheduler.waitIdle();
+    scheduler.stop();
+    service.join();
+    EXPECT_EQ(cancelled.load(), 3);
+    EXPECT_EQ(scheduler.liveJobs(), 0u);
+}
+
+} // namespace
+} // namespace nocalert::exec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace nocalert::exec {
@@ -84,6 +86,128 @@ TEST(TelemetryHub, ProgressLineOmitsUnknownEta)
     const std::string line = TelemetryHub::progressLine(snap);
     EXPECT_EQ(line.find("eta"), std::string::npos) << line;
     EXPECT_NE(line.find("0/10"), std::string::npos) << line;
+}
+
+// ---- deltaBetween: the windowed stream unit must never leak a
+// ---- non-finite double onto the wire, whatever the snapshot pair.
+
+void
+expectAllFinite(const TelemetryDelta &delta)
+{
+    EXPECT_TRUE(std::isfinite(delta.windowSeconds));
+    EXPECT_TRUE(std::isfinite(delta.runsPerSecond));
+    EXPECT_TRUE(std::isfinite(delta.etaSeconds));
+}
+
+TelemetrySnapshot
+snapAt(std::size_t completed, std::size_t planned, double elapsed,
+       double rate = 0.0)
+{
+    TelemetrySnapshot snap;
+    snap.runsCompleted = completed;
+    snap.runsPlanned = planned;
+    snap.elapsedSeconds = elapsed;
+    snap.runsPerSecond = rate;
+    return snap;
+}
+
+TEST(TelemetryDelta, NormalWindowComputesWindowedRate)
+{
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(10, 100, 5.0), snapAt(30, 100, 10.0));
+    EXPECT_EQ(delta.runsCompleted, 30u);
+    EXPECT_EQ(delta.deltaRuns, 20u);
+    EXPECT_DOUBLE_EQ(delta.windowSeconds, 5.0);
+    EXPECT_DOUBLE_EQ(delta.runsPerSecond, 4.0);
+    EXPECT_DOUBLE_EQ(delta.etaSeconds, 70.0 / 4.0);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, ZeroElapsedWindowDoesNotDivide)
+{
+    // Two snapshots inside one clock tick: runs advanced, time did
+    // not. A naive deltaRuns/window would emit inf.
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(10, 100, 5.0), snapAt(30, 100, 5.0, 6.0));
+    EXPECT_EQ(delta.deltaRuns, 20u);
+    EXPECT_DOUBLE_EQ(delta.windowSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(delta.runsPerSecond, 0.0);
+    // Eta falls back to the cumulative rate instead of going infinite.
+    EXPECT_DOUBLE_EQ(delta.etaSeconds, 70.0 / 6.0);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, ZeroCompletedWindowIsAnIdlePoll)
+{
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(10, 100, 5.0), snapAt(10, 100, 8.0, 1.25));
+    EXPECT_EQ(delta.deltaRuns, 0u);
+    EXPECT_DOUBLE_EQ(delta.runsPerSecond, 0.0);
+    EXPECT_DOUBLE_EQ(delta.etaSeconds, 90.0 / 1.25);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, NoRateAnywhereMeansUnknownEta)
+{
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(0, 100, 0.0), snapAt(0, 100, 0.0));
+    EXPECT_DOUBLE_EQ(delta.runsPerSecond, 0.0);
+    EXPECT_DOUBLE_EQ(delta.etaSeconds, -1.0);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, FinishedCampaignReportsZeroEta)
+{
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(90, 100, 5.0), snapAt(100, 100, 6.0));
+    EXPECT_DOUBLE_EQ(delta.etaSeconds, 0.0);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, BackwardsCountersClampToZero)
+{
+    // A subscriber may pair snapshots across a campaign restart; the
+    // delta clamps rather than wrapping a size_t around.
+    const TelemetryDelta delta =
+        deltaBetween(snapAt(50, 100, 9.0), snapAt(10, 100, 3.0));
+    EXPECT_EQ(delta.deltaRuns, 0u);
+    EXPECT_DOUBLE_EQ(delta.windowSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(delta.runsPerSecond, 0.0);
+    expectAllFinite(delta);
+}
+
+TEST(TelemetryDelta, NonFiniteInputsAreContained)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const TelemetrySnapshot pairs[][2] = {
+        {snapAt(10, 100, nan), snapAt(20, 100, 5.0, inf)},
+        {snapAt(10, 100, 5.0), snapAt(20, 100, inf, nan)},
+        {snapAt(10, 100, -inf), snapAt(20, 100, inf, inf)},
+        {snapAt(0, 100, 0.0), snapAt(1, 100, 0.0, nan)},
+    };
+    for (const auto &pair : pairs) {
+        const TelemetryDelta delta = deltaBetween(pair[0], pair[1]);
+        expectAllFinite(delta);
+        EXPECT_GE(delta.windowSeconds, 0.0);
+        EXPECT_GE(delta.runsPerSecond, 0.0);
+        EXPECT_GE(delta.etaSeconds, -1.0);
+    }
+}
+
+TEST(TelemetryDelta, LiveHubSnapshotsProduceFiniteDeltas)
+{
+    TelemetryHub hub(8, 1, {"done"});
+    const TelemetrySnapshot before = hub.snapshot();
+    hub.recordRun(0);
+    hub.recordRun(0);
+    const TelemetrySnapshot after = hub.snapshot();
+    const TelemetryDelta delta = deltaBetween(before, after);
+    EXPECT_EQ(delta.deltaRuns, 2u);
+    expectAllFinite(delta);
+    // And the degenerate immediate re-poll (possibly zero-width
+    // window) stays finite too.
+    expectAllFinite(deltaBetween(after, hub.snapshot()));
 }
 
 } // namespace

@@ -319,6 +319,107 @@ TEST(Serialize, IdentityExcludesExecutionKnobs)
     EXPECT_NE(campaignIdentityJson(c), campaignIdentityJson(d));
 }
 
+// ---- Artifact identity hash (the result cache's key domain) ----
+
+TEST(Serialize, NormalizedConfigPinsDerivedKnobs)
+{
+    CampaignConfig config;
+    config.warmup = 150;
+    config.observeWindow = 900;
+    config.traffic.stopCycle = 0; // Whatever the caller left here.
+    const CampaignConfig normal = normalizedCampaignConfig(config);
+    EXPECT_EQ(normal.traffic.stopCycle, 150 + 900);
+
+    CampaignConfig recovery_config;
+    recovery_config.recovery = true;
+    const CampaignConfig recovered =
+        normalizedCampaignConfig(recovery_config);
+    EXPECT_TRUE(recovered.network.retransmit.enabled);
+    EXPECT_EQ(recovered.network.routing, noc::RoutingAlgo::QAdaptive);
+    EXPECT_FALSE(recovered.runForever);
+}
+
+TEST(Serialize, NormalizationIsIdempotent)
+{
+    CampaignConfig config;
+    config.recovery = true;
+    config.warmup = 100;
+    const CampaignConfig once = normalizedCampaignConfig(config);
+    const CampaignConfig twice = normalizedCampaignConfig(once);
+    EXPECT_EQ(toJson(once).dump(), toJson(twice).dump());
+}
+
+TEST(Serialize, ArtifactHashIgnoresExecutionKnobs)
+{
+    CampaignConfig a;
+    CampaignConfig b;
+    b.jobs = 16;
+    b.checkpointPath = "elsewhere.json";
+    b.checkpointEvery = 1;
+    // Artifacts are byte-identical across execution knobs, so specs
+    // differing only there must share one cache slot.
+    EXPECT_EQ(campaignArtifactHash(a), campaignArtifactHash(b));
+
+    const std::string hash = campaignArtifactHash(a);
+    EXPECT_EQ(hash.size(), 16u);
+    EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"),
+              std::string::npos)
+        << hash;
+}
+
+TEST(Serialize, ArtifactHashSeparatesIdentityShardAndKernel)
+{
+    CampaignConfig base;
+    // Campaign identity differences must split the key...
+    CampaignConfig other_seed = base;
+    other_seed.traffic.seed += 1;
+    EXPECT_NE(campaignArtifactHash(base),
+              campaignArtifactHash(other_seed));
+
+    // ...and so must the shard selector and the kernel choice: both
+    // are serialized into the artifact's config block, so two such
+    // documents are not byte-interchangeable even though they describe
+    // the same campaign identity.
+    CampaignConfig shard = base;
+    shard.shardIndex = 1;
+    shard.shardCount = 2;
+    EXPECT_NE(campaignArtifactHash(base), campaignArtifactHash(shard));
+
+    CampaignConfig dense = base;
+    dense.denseKernel = true;
+    EXPECT_NE(campaignArtifactHash(base), campaignArtifactHash(dense));
+}
+
+TEST(Serialize, ArtifactHashOfSpecMatchesFinishedArtifact)
+{
+    // The cache-correctness invariant end to end: the hash of the
+    // *submitted* spec (pre-normalization, derived knobs unset) must
+    // equal the hash of the config block a finished artifact records
+    // (post-constructor normalization) — otherwise a cache keyed on
+    // submission hashes could never find the artifacts it stored.
+    CampaignConfig spec;
+    spec.network.width = 4;
+    spec.network.height = 4;
+    spec.traffic.injectionRate = 0.05;
+    spec.traffic.seed = 13;
+    spec.traffic.stopCycle = 0;
+    spec.warmup = 150;
+    spec.observeWindow = 500;
+    spec.drainLimit = 2500;
+    spec.maxSites = 2;
+    spec.runForever = false;
+    const std::string submitted = campaignArtifactHash(spec);
+
+    const CampaignResult result = FaultCampaign(spec).run();
+    ASSERT_TRUE(result.complete());
+    EXPECT_EQ(submitted, campaignArtifactHash(result.config));
+
+    // And re-parsing the artifact keeps the key stable.
+    const auto reread = readCampaignJson(writeCampaignJson(result));
+    ASSERT_TRUE(reread.has_value());
+    EXPECT_EQ(submitted, campaignArtifactHash(reread->config));
+}
+
 // ---- End-to-end sharding, checkpointing, and merge ----
 
 CampaignConfig

@@ -1,0 +1,345 @@
+/**
+ * Protocol robustness battery for the campaign service wire layer:
+ * framing (truncated, chunked, interleaved, oversized payloads),
+ * request parsing (malformed JSON, wrong shapes, bad specs — every
+ * failure a typed error response, never a crash), and response
+ * builders (lossless artifact embedding).
+ */
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fault/serialize.hpp"
+
+namespace nocalert::serve {
+namespace {
+
+// ---- LineFramer ----
+
+std::vector<LineFramer::Line>
+drain(LineFramer &framer)
+{
+    std::vector<LineFramer::Line> lines;
+    while (const auto line = framer.next())
+        lines.push_back(*line);
+    return lines;
+}
+
+TEST(LineFramer, SplitsCompleteLines)
+{
+    LineFramer framer;
+    framer.feed("one\ntwo\nthree");
+    const auto lines = drain(framer);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].text, "one");
+    EXPECT_EQ(lines[1].text, "two");
+    EXPECT_TRUE(framer.partialLine()); // "three" is still truncated.
+    framer.feed("\n");
+    const auto rest = drain(framer);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].text, "three");
+    EXPECT_FALSE(framer.partialLine());
+}
+
+TEST(LineFramer, ReassemblesByteByByteChunks)
+{
+    // A peer may write one byte per send; framing must not care.
+    LineFramer framer;
+    const std::string message = "{\"type\":\"ping\"}\n";
+    std::vector<LineFramer::Line> lines;
+    for (char byte : message) {
+        framer.feed(std::string_view(&byte, 1));
+        for (const auto &line : drain(framer))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "{\"type\":\"ping\"}");
+    EXPECT_FALSE(lines[0].oversized);
+}
+
+TEST(LineFramer, EmptyLinesAreDelivered)
+{
+    LineFramer framer;
+    framer.feed("\n\nx\n");
+    const auto lines = drain(framer);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].text, "");
+    EXPECT_EQ(lines[1].text, "");
+    EXPECT_EQ(lines[2].text, "x");
+}
+
+TEST(LineFramer, OversizedCompleteLineReportsDroppedBytes)
+{
+    LineFramer framer(8);
+    framer.feed("0123456789ABCDEF\nnext\n");
+    const auto lines = drain(framer);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(lines[0].oversized);
+    EXPECT_EQ(lines[0].bytesDropped, 16u);
+    // The stream resyncs at the newline: the next request is intact.
+    EXPECT_FALSE(lines[1].oversized);
+    EXPECT_EQ(lines[1].text, "next");
+}
+
+TEST(LineFramer, UnboundedLineIsReportedOnceAndDiscarded)
+{
+    LineFramer framer(8);
+    framer.feed("AAAAAAAAAAAAAAAA"); // 16 bytes, no newline yet.
+    auto first = framer.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->oversized);
+    EXPECT_EQ(first->bytesDropped, 16u);
+
+    // The continuation of the hostile line must not re-report...
+    framer.feed("BBBBBBBBBBBBBBBB");
+    EXPECT_FALSE(framer.next().has_value());
+    EXPECT_TRUE(framer.partialLine());
+
+    // ...and the next newline ends discard mode: later requests pass.
+    framer.feed("CCC\nok\n");
+    const auto lines = drain(framer);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "ok");
+    EXPECT_FALSE(framer.partialLine());
+}
+
+TEST(LineFramer, InterleavedChunksAcrossManyLines)
+{
+    LineFramer framer;
+    framer.feed("{\"a\"");
+    EXPECT_FALSE(framer.next().has_value());
+    framer.feed(":1}\n{\"b\"");
+    auto line = framer.next();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->text, "{\"a\":1}");
+    EXPECT_FALSE(framer.next().has_value());
+    framer.feed(":2}\n");
+    line = framer.next();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->text, "{\"b\":2}");
+}
+
+TEST(LineFramer, FuzzedChunkingNeverLosesBytes)
+{
+    // Deterministic fuzz: one long known stream, fed in random-sized
+    // chunks, must reproduce exactly the same line sequence as a
+    // single feed — and never crash, whatever the chunk boundaries.
+    std::string stream;
+    std::vector<std::string> expected;
+    for (int i = 0; i < 64; ++i) {
+        std::string line = "line-" + std::to_string(i);
+        if (i % 7 == 0)
+            line += std::string(i, '#');
+        expected.push_back(line);
+        stream += line + "\n";
+    }
+
+    std::mt19937 rng(1234);
+    for (int round = 0; round < 50; ++round) {
+        LineFramer framer;
+        std::vector<std::string> got;
+        std::size_t at = 0;
+        while (at < stream.size()) {
+            std::uniform_int_distribution<std::size_t> pick(
+                1, std::min<std::size_t>(9, stream.size() - at));
+            const std::size_t take = pick(rng);
+            framer.feed(std::string_view(stream).substr(at, take));
+            at += take;
+            while (const auto line = framer.next()) {
+                ASSERT_FALSE(line->oversized);
+                got.push_back(line->text);
+            }
+        }
+        ASSERT_EQ(got, expected) << "round " << round;
+        EXPECT_FALSE(framer.partialLine());
+    }
+}
+
+// ---- parseRequestLine ----
+
+std::string
+errorCodeOf(std::string_view line)
+{
+    JsonValue error;
+    const auto request = parseRequestLine(line, &error);
+    if (request.has_value())
+        return "(parsed)";
+    const JsonValue *code = error.find("code");
+    return code && code->isString() ? code->string() : "(no code)";
+}
+
+TEST(ParseRequest, MalformedJsonIsTyped)
+{
+    EXPECT_EQ(errorCodeOf("not json"), kErrBadJson);
+    EXPECT_EQ(errorCodeOf("{\"type\":"), kErrBadJson);
+    EXPECT_EQ(errorCodeOf(""), kErrBadJson);
+    EXPECT_EQ(errorCodeOf("{\"type\":\"ping\"} trailing"), kErrBadJson);
+}
+
+TEST(ParseRequest, WrongShapesAreBadRequests)
+{
+    EXPECT_EQ(errorCodeOf("[1,2,3]"), kErrBadRequest);
+    EXPECT_EQ(errorCodeOf("42"), kErrBadRequest);
+    EXPECT_EQ(errorCodeOf("{}"), kErrBadRequest);
+    EXPECT_EQ(errorCodeOf("{\"type\":7}"), kErrBadRequest);
+    EXPECT_EQ(errorCodeOf("{\"type\":\"warp\"}"), kErrUnknownType);
+}
+
+TEST(ParseRequest, IdBearingRequestsRequireAnId)
+{
+    for (const char *type : {"status", "watch", "cancel", "result"}) {
+        const std::string no_id =
+            std::string("{\"type\":\"") + type + "\"}";
+        EXPECT_EQ(errorCodeOf(no_id), kErrBadRequest) << type;
+        const std::string bad_id =
+            std::string("{\"type\":\"") + type + "\",\"id\":3}";
+        EXPECT_EQ(errorCodeOf(bad_id), kErrBadRequest) << type;
+    }
+}
+
+TEST(ParseRequest, SubmitRequiresAParsableConfig)
+{
+    EXPECT_EQ(errorCodeOf("{\"type\":\"submit\"}"), kErrBadRequest);
+    EXPECT_EQ(errorCodeOf("{\"type\":\"submit\",\"config\":{}}"),
+              kErrBadSpec);
+    EXPECT_EQ(errorCodeOf("{\"type\":\"submit\",\"config\":\"x\"}"),
+              kErrBadSpec);
+}
+
+TEST(ParseRequest, ValidRequestsParse)
+{
+    JsonValue error;
+    auto ping = parseRequestLine("{\"type\":\"ping\"}", &error);
+    ASSERT_TRUE(ping.has_value());
+    EXPECT_EQ(ping->type, RequestType::Ping);
+
+    auto status =
+        parseRequestLine("{\"type\":\"status\",\"id\":\"abc\"}", &error);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->type, RequestType::Status);
+    EXPECT_EQ(status->id, "abc");
+
+    // A real config round-trips through the same serializer the
+    // artifacts use.
+    fault::CampaignConfig config;
+    config.traffic.seed = 99;
+    JsonValue submit;
+    submit.set("type", "submit");
+    submit.set("config", fault::toJson(config));
+    submit.set("detach", true);
+    auto parsed = parseRequestLine(submit.dump(), &error);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, RequestType::Submit);
+    ASSERT_TRUE(parsed->config.has_value());
+    EXPECT_EQ(parsed->config->traffic.seed, 99u);
+    EXPECT_TRUE(parsed->detach);
+}
+
+TEST(ParseRequest, TruncatedPrefixesOfAValidSubmitNeverCrash)
+{
+    fault::CampaignConfig config;
+    JsonValue submit;
+    submit.set("type", "submit");
+    submit.set("config", fault::toJson(config));
+    const std::string full = submit.dump();
+
+    // Every proper prefix must come back as a typed error (truncated
+    // JSON), and the full document must parse.
+    for (std::size_t length = 0; length < full.size(); ++length) {
+        JsonValue error;
+        const auto request = parseRequestLine(
+            std::string_view(full).substr(0, length), &error);
+        ASSERT_FALSE(request.has_value()) << "prefix length " << length;
+        const JsonValue *code = error.find("code");
+        ASSERT_NE(code, nullptr) << "prefix length " << length;
+    }
+    JsonValue error;
+    EXPECT_TRUE(parseRequestLine(full, &error).has_value());
+}
+
+TEST(ParseRequest, FuzzedBytesAlwaysYieldRequestOrTypedError)
+{
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<int> length(0, 120);
+    for (int round = 0; round < 2000; ++round) {
+        std::string line;
+        const int n = length(rng);
+        for (int i = 0; i < n; ++i)
+            line.push_back(static_cast<char>(byte(rng)));
+        JsonValue error;
+        const auto request = parseRequestLine(line, &error);
+        if (!request.has_value()) {
+            const JsonValue *code = error.find("code");
+            ASSERT_NE(code, nullptr) << "round " << round;
+            ASSERT_TRUE(code->isString());
+        }
+    }
+}
+
+// ---- Response builders ----
+
+TEST(Responses, EveryResponseCarriesItsType)
+{
+    exec::TelemetryDelta delta;
+    const std::pair<JsonValue, const char *> cases[] = {
+        {errorResponse("c", "m"), "error"},
+        {pongResponse(), "pong"},
+        {submittedResponse("i", CampaignState::Queued, false, false),
+         "submitted"},
+        {statusResponse("i", CampaignState::Running, 1, 2, false, ""),
+         "status"},
+        {watchingResponse("i"), "watching"},
+        {telemetryEvent("i", delta), "telemetry"},
+        {doneEvent("i", CampaignState::Complete), "done"},
+        {cancelledResponse("i"), "cancelled"},
+        {resultResponse("i", "bytes"), "result"},
+        {byeResponse(), "bye"},
+    };
+    for (const auto &[response, type] : cases) {
+        const JsonValue *field = response.find("type");
+        ASSERT_NE(field, nullptr) << type;
+        EXPECT_EQ(field->string(), type);
+        // Every response must survive its own wire round trip.
+        const auto reparsed = parseJson(response.dump());
+        ASSERT_TRUE(reparsed.has_value()) << type;
+        EXPECT_EQ(*reparsed, response) << type;
+    }
+}
+
+TEST(Responses, ArtifactEmbeddingIsLossless)
+{
+    // Artifacts are JSON documents full of quotes, newlines, and (in
+    // principle) any byte; embedding one as a JSON string must give
+    // back the identical bytes after a wire round trip.
+    std::string artifact = "{\n  \"quote\": \"\\\"\",\n  \"tab\": ";
+    artifact += '\t';
+    for (int byte = 1; byte < 128; ++byte)
+        artifact += static_cast<char>(byte);
+    artifact += "\n}\n";
+
+    const JsonValue response = resultResponse("id", artifact);
+    const auto reparsed = parseJson(response.dump());
+    ASSERT_TRUE(reparsed.has_value());
+    const JsonValue *extracted = reparsed->find("artifact");
+    ASSERT_NE(extracted, nullptr);
+    EXPECT_EQ(extracted->string(), artifact);
+}
+
+TEST(Responses, StateNamesAreStable)
+{
+    EXPECT_STREQ(campaignStateName(CampaignState::Queued), "queued");
+    EXPECT_STREQ(campaignStateName(CampaignState::Running), "running");
+    EXPECT_STREQ(campaignStateName(CampaignState::Complete), "complete");
+    EXPECT_STREQ(campaignStateName(CampaignState::Cancelled),
+                 "cancelled");
+    EXPECT_STREQ(campaignStateName(CampaignState::Failed), "failed");
+}
+
+} // namespace
+} // namespace nocalert::serve

@@ -1,0 +1,487 @@
+/**
+ * CampaignServer end-to-end battery over real AF_UNIX sockets: the
+ * request/response contract, the concurrency stress path (many clients
+ * multiplexed onto one scheduler, byte-identical artifacts for
+ * identical specs), the abrupt-disconnect contract, and hostile-input
+ * survival — all in-process so the registry's counters stay visible.
+ */
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/serialize.hpp"
+
+namespace nocalert::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fault::CampaignConfig
+tinySpec(std::uint64_t traffic_seed, unsigned sites = 3)
+{
+    fault::CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = traffic_seed;
+    config.warmup = 80;
+    config.observeWindow = 400;
+    config.drainLimit = 2000;
+    config.maxSites = sites;
+    config.runForever = false;
+    return config;
+}
+
+std::string
+directArtifact(const fault::CampaignConfig &spec)
+{
+    fault::FaultCampaign campaign(spec);
+    const fault::CampaignResult result = campaign.run();
+    EXPECT_TRUE(result.complete());
+    return fault::writeCampaignJson(result);
+}
+
+JsonValue
+submitRequest(const fault::CampaignConfig &spec, bool detach)
+{
+    JsonValue json;
+    json.set("type", "submit");
+    json.set("config", fault::toJson(spec));
+    json.set("detach", detach);
+    return json;
+}
+
+JsonValue
+idRequest(const char *type, const std::string &id)
+{
+    JsonValue json;
+    json.set("type", type);
+    json.set("id", id);
+    return json;
+}
+
+/** A blocking raw-socket client speaking the NDJSON protocol. */
+class RawClient
+{
+  public:
+    explicit RawClient(const std::string &socket_path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return;
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        std::memcpy(address.sun_path, socket_path.c_str(),
+                    socket_path.size() + 1);
+        // The daemon binds before tests connect, so no retry loop.
+        if (::connect(fd_,
+                      reinterpret_cast<const sockaddr *>(&address),
+                      sizeof(address)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~RawClient() { close(); }
+
+    RawClient(const RawClient &) = delete;
+    RawClient &operator=(const RawClient &) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    bool sendRaw(std::string_view bytes)
+    {
+        while (!bytes.empty()) {
+            const ssize_t sent =
+                ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            bytes.remove_prefix(static_cast<std::size_t>(sent));
+        }
+        return true;
+    }
+
+    bool send(const JsonValue &request)
+    {
+        return sendRaw(request.dump() + "\n");
+    }
+
+    /** Next response line as JSON; Null at EOF. */
+    JsonValue readResponse()
+    {
+        for (;;) {
+            if (const auto line = framer_.next()) {
+                if (line->oversized)
+                    continue;
+                const auto json = parseJson(line->text);
+                EXPECT_TRUE(json.has_value()) << line->text;
+                return json ? *json : JsonValue();
+            }
+            char buffer[4096];
+            const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0)
+                return JsonValue();
+            framer_.feed(std::string_view(
+                buffer, static_cast<std::size_t>(got)));
+        }
+    }
+
+    /** One request, one response. */
+    JsonValue call(const JsonValue &request)
+    {
+        EXPECT_TRUE(send(request));
+        return readResponse();
+    }
+
+    std::string typeOf(const JsonValue &response)
+    {
+        const JsonValue *type = response.find("type");
+        return type && type->isString() ? type->string() : "(none)";
+    }
+
+  private:
+    int fd_ = -1;
+    LineFramer framer_;
+};
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_server_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        server_.reset();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** Start an in-process daemon; returns its socket path. */
+    std::string startServer(unsigned quantum = 4,
+                            std::size_t max_line = kDefaultMaxLineBytes)
+    {
+        ServerConfig config;
+        config.socketPath = (dir_ / "sock").string();
+        config.cacheDir = (dir_ / "cache").string();
+        config.registry.jobs = 1;
+        config.registry.quantum = quantum;
+        config.registry.checkpointEvery = 1;
+        config.maxLineBytes = max_line;
+        server_ = std::make_unique<CampaignServer>(config);
+        std::string error;
+        EXPECT_TRUE(server_->start(&error)) << error;
+        return config.socketPath;
+    }
+
+    /** Poll a campaign until it reaches a terminal state. */
+    std::string awaitTerminal(RawClient &client, const std::string &id)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(60);
+        for (;;) {
+            const JsonValue status =
+                client.call(idRequest("status", id));
+            const JsonValue *state = status.find("state");
+            if (state != nullptr) {
+                const std::string &name = state->string();
+                if (name != "queued" && name != "running")
+                    return name;
+            }
+            if (std::chrono::steady_clock::now() > deadline)
+                return "(timeout)";
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    }
+
+    fs::path dir_;
+    std::unique_ptr<CampaignServer> server_;
+};
+
+TEST_F(ServerTest, PingPong)
+{
+    const std::string socket = startServer();
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+    JsonValue ping;
+    ping.set("type", "ping");
+    EXPECT_EQ(client.typeOf(client.call(ping)), "pong");
+}
+
+TEST_F(ServerTest, SubmitWatchResultMatchesTheLibraryRun)
+{
+    const std::string socket = startServer();
+    const fault::CampaignConfig spec = tinySpec(41);
+
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+
+    const JsonValue submitted = client.call(submitRequest(spec, false));
+    ASSERT_EQ(client.typeOf(submitted), "submitted") << submitted.dump();
+    const std::string id = submitted.find("id")->string();
+
+    // Watch until the terminal event; everything before it must be
+    // telemetry for this campaign.
+    ASSERT_EQ(client.typeOf(client.call(idRequest("watch", id))),
+              "watching");
+    for (;;) {
+        const JsonValue event = client.readResponse();
+        const std::string type = client.typeOf(event);
+        if (type == "telemetry") {
+            EXPECT_EQ(event.find("id")->string(), id);
+            continue;
+        }
+        ASSERT_EQ(type, "done") << event.dump();
+        EXPECT_EQ(event.find("state")->string(), "complete");
+        break;
+    }
+
+    const JsonValue result = client.call(idRequest("result", id));
+    ASSERT_EQ(client.typeOf(result), "result") << result.dump();
+    EXPECT_EQ(result.find("artifact")->string(), directArtifact(spec));
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetByteIdenticalArtifacts)
+{
+    const std::string socket = startServer(/*quantum=*/2);
+
+    // Three distinct specs, two clients per spec submitting the same
+    // campaign concurrently: duplicates must coalesce or cache-hit,
+    // and every client must read identical bytes for its spec.
+    const std::uint64_t seeds[] = {51, 52, 53};
+    constexpr int kClientsPerSpec = 2;
+
+    std::vector<std::string> artifacts(std::size(seeds) *
+                                       kClientsPerSpec);
+    std::vector<std::thread> clients;
+    for (std::size_t s = 0; s < std::size(seeds); ++s) {
+        for (int c = 0; c < kClientsPerSpec; ++c) {
+            clients.emplace_back([&, s, c] {
+                RawClient client(socket);
+                ASSERT_TRUE(client.connected());
+                const fault::CampaignConfig spec = tinySpec(seeds[s]);
+                const JsonValue submitted =
+                    client.call(submitRequest(spec, false));
+                ASSERT_EQ(client.typeOf(submitted), "submitted")
+                    << submitted.dump();
+                const std::string id = submitted.find("id")->string();
+                ASSERT_EQ(awaitTerminal(client, id), "complete");
+                const JsonValue result =
+                    client.call(idRequest("result", id));
+                ASSERT_EQ(client.typeOf(result), "result")
+                    << result.dump();
+                artifacts[s * kClientsPerSpec + c] =
+                    result.find("artifact")->string();
+            });
+        }
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+
+    for (std::size_t s = 0; s < std::size(seeds); ++s) {
+        const std::string &first = artifacts[s * kClientsPerSpec];
+        ASSERT_FALSE(first.empty());
+        for (int c = 1; c < kClientsPerSpec; ++c)
+            EXPECT_EQ(artifacts[s * kClientsPerSpec + c], first)
+                << "spec " << s;
+        // And the served bytes are the batch CLI's bytes.
+        EXPECT_EQ(first, directArtifact(tinySpec(seeds[s])));
+    }
+
+    // Each distinct spec simulated exactly once: 3 specs x 3 runs.
+    RawClient client(socket);
+    JsonValue stats_request;
+    stats_request.set("type", "stats");
+    const JsonValue stats = client.call(stats_request);
+    ASSERT_EQ(client.typeOf(stats), "stats");
+    EXPECT_EQ(stats.find("runsExecuted")->asUint(),
+              3u * std::size(seeds));
+    EXPECT_EQ(stats.find("submissions")->asUint(),
+              std::size(seeds) * kClientsPerSpec);
+    // Every duplicate was answered without a fresh campaign.
+    EXPECT_EQ(stats.find("coalesced")->asUint() +
+                  stats.find("cacheHits")->asUint(),
+              std::size(seeds) * (kClientsPerSpec - 1));
+}
+
+TEST_F(ServerTest, AbruptDisconnectCancelsAnAttachedCampaign)
+{
+    const std::string socket = startServer(/*quantum=*/1);
+    // Big enough that it cannot finish while we are still watching.
+    const fault::CampaignConfig spec = tinySpec(54, /*sites=*/120);
+
+    RawClient victim(socket);
+    ASSERT_TRUE(victim.connected());
+    const JsonValue submitted = victim.call(submitRequest(spec, false));
+    ASSERT_EQ(victim.typeOf(submitted), "submitted") << submitted.dump();
+    const std::string id = submitted.find("id")->string();
+
+    // Wait until at least one run is committed (checkpoint on disk),
+    // then vanish without a goodbye.
+    RawClient observer(socket);
+    ASSERT_TRUE(observer.connected());
+    for (;;) {
+        const JsonValue status = observer.call(idRequest("status", id));
+        ASSERT_EQ(observer.typeOf(status), "status");
+        if (status.find("runsCompleted")->asUint() >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    victim.close();
+
+    // The registry notices the disconnect and frees the scheduler
+    // share; the campaign retires as cancelled with its checkpoint.
+    EXPECT_EQ(awaitTerminal(observer, id), "cancelled");
+    EXPECT_TRUE(fs::exists(server_->cache().checkpointPath(id)));
+    const JsonValue refused = observer.call(idRequest("result", id));
+    ASSERT_EQ(observer.typeOf(refused), "error");
+    EXPECT_EQ(refused.find("code")->string(), kErrNotComplete);
+
+    // A detached resubmission resumes the checkpoint and converges on
+    // exactly the bytes a batch run would produce.
+    const JsonValue again = observer.call(submitRequest(spec, true));
+    ASSERT_EQ(observer.typeOf(again), "submitted") << again.dump();
+    ASSERT_EQ(awaitTerminal(observer, id), "complete");
+    const JsonValue result = observer.call(idRequest("result", id));
+    ASSERT_EQ(observer.typeOf(result), "result") << result.dump();
+    EXPECT_EQ(result.find("artifact")->string(), directArtifact(spec));
+}
+
+TEST_F(ServerTest, ExplicitCancelFreesTheSchedulerShare)
+{
+    const std::string socket = startServer(/*quantum=*/1);
+    const fault::CampaignConfig big = tinySpec(55, /*sites=*/120);
+    const fault::CampaignConfig small = tinySpec(56);
+
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+    const JsonValue submitted = client.call(submitRequest(big, true));
+    const std::string big_id = submitted.find("id")->string();
+
+    const JsonValue cancelled =
+        client.call(idRequest("cancel", big_id));
+    ASSERT_EQ(client.typeOf(cancelled), "cancelled") << cancelled.dump();
+    EXPECT_EQ(awaitTerminal(client, big_id), "cancelled");
+
+    // The share is free: a small campaign completes promptly even
+    // though the big one would still have ~100 quanta left.
+    const JsonValue small_submitted =
+        client.call(submitRequest(small, false));
+    const std::string small_id =
+        small_submitted.find("id")->string();
+    EXPECT_EQ(awaitTerminal(client, small_id), "complete");
+
+    // Cancelling a settled campaign is a typed error.
+    const JsonValue again = client.call(idRequest("cancel", big_id));
+    ASSERT_EQ(client.typeOf(again), "error");
+    EXPECT_EQ(again.find("code")->string(), kErrNotActive);
+}
+
+TEST_F(ServerTest, HostileInputGetsTypedErrorsAndTheSessionSurvives)
+{
+    const std::string socket = startServer();
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+
+    const std::pair<const char *, const char *> probes[] = {
+        {"not json at all\n", kErrBadJson},
+        {"[1,2,3]\n", kErrBadRequest},
+        {"{\"type\":\"warp\"}\n", kErrUnknownType},
+        {"{\"type\":\"status\"}\n", kErrBadRequest},
+        {"{\"type\":\"submit\",\"config\":{}}\n", kErrBadSpec},
+        {"{\"type\":\"status\",\"id\":\"nope\"}\n", kErrUnknownCampaign},
+        {"{\"type\":\"watch\",\"id\":\"nope\"}\n", kErrUnknownCampaign},
+        {"{\"type\":\"result\",\"id\":\"nope\"}\n", kErrUnknownCampaign},
+    };
+    for (const auto &[line, code] : probes) {
+        ASSERT_TRUE(client.sendRaw(line));
+        const JsonValue response = client.readResponse();
+        ASSERT_EQ(client.typeOf(response), "error") << line;
+        EXPECT_EQ(response.find("code")->string(), code) << line;
+    }
+
+    // Blank keep-alive lines are tolerated silently, and the session
+    // is still fully functional after the barrage.
+    ASSERT_TRUE(client.sendRaw("\n\n"));
+    JsonValue ping;
+    ping.set("type", "ping");
+    EXPECT_EQ(client.typeOf(client.call(ping)), "pong");
+}
+
+TEST_F(ServerTest, OversizedRequestLineIsRejectedAndResyncs)
+{
+    const std::string socket = startServer(4, /*max_line=*/1024);
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+
+    // 8 KiB of garbage on one line, fed in chunks. One typed error,
+    // then the stream resyncs at the newline.
+    const std::string big(8192, 'x');
+    ASSERT_TRUE(client.sendRaw(big));
+    ASSERT_TRUE(client.sendRaw(big + "\n"));
+    const JsonValue error = client.readResponse();
+    ASSERT_EQ(client.typeOf(error), "error") << error.dump();
+    EXPECT_EQ(error.find("code")->string(), kErrOversized);
+
+    JsonValue ping;
+    ping.set("type", "ping");
+    EXPECT_EQ(client.typeOf(client.call(ping)), "pong");
+}
+
+TEST_F(ServerTest, ShutdownRequestUnblocksWaitForShutdown)
+{
+    const std::string socket = startServer();
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+
+    JsonValue shutdown;
+    shutdown.set("type", "shutdown");
+    EXPECT_EQ(client.typeOf(client.call(shutdown)), "bye");
+
+    // The daemon's main thread would now fall out of this wait.
+    server_->waitForShutdown();
+    server_->stop();
+    // Stop is idempotent and the socket file is gone.
+    server_->stop();
+    EXPECT_FALSE(fs::exists(socket));
+}
+
+} // namespace
+} // namespace nocalert::serve

@@ -1,0 +1,79 @@
+/**
+ * FatalThrowScope: the mechanism that lets a long-running service turn
+ * fatal() — by contract a *user-input* error — into a catchable
+ * exception on the thread that opted in, without changing fatal()'s
+ * process-exit semantics anywhere else.
+ */
+
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace nocalert {
+namespace {
+
+TEST(FatalThrowScope, InactiveByDefault)
+{
+    EXPECT_FALSE(FatalThrowScope::active());
+}
+
+TEST(FatalThrowScope, FatalThrowsInsideScope)
+{
+    FatalThrowScope scope;
+    EXPECT_TRUE(FatalThrowScope::active());
+    try {
+        NOCALERT_FATAL("bad tenant spec: ", 42);
+        FAIL() << "fatal() must not return";
+    } catch (const FatalError &error) {
+        EXPECT_EQ(std::string(error.what()), "bad tenant spec: 42");
+    }
+}
+
+TEST(FatalThrowScope, ScopeEndsRestoresExitSemantics)
+{
+    {
+        FatalThrowScope scope;
+        EXPECT_TRUE(FatalThrowScope::active());
+    }
+    EXPECT_FALSE(FatalThrowScope::active());
+}
+
+TEST(FatalThrowScope, ScopesNest)
+{
+    FatalThrowScope outer;
+    {
+        FatalThrowScope inner;
+        EXPECT_TRUE(FatalThrowScope::active());
+        EXPECT_THROW(NOCALERT_FATAL("inner"), FatalError);
+    }
+    // The inner scope's end must not disarm the outer one.
+    EXPECT_TRUE(FatalThrowScope::active());
+    EXPECT_THROW(NOCALERT_FATAL("outer"), FatalError);
+}
+
+TEST(FatalThrowScope, IsThreadLocal)
+{
+    FatalThrowScope scope;
+    // A scope on this thread must not change fatal() semantics for
+    // other threads (the service's worker pool keeps exit-on-fatal).
+    bool other_thread_active = true;
+    std::thread([&other_thread_active] {
+        other_thread_active = FatalThrowScope::active();
+    }).join();
+    EXPECT_FALSE(other_thread_active);
+    EXPECT_TRUE(FatalThrowScope::active());
+}
+
+TEST(FatalThrowScope, SurvivesRepeatedCatches)
+{
+    FatalThrowScope scope;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_THROW(NOCALERT_FATAL("attempt ", i), FatalError);
+    EXPECT_TRUE(FatalThrowScope::active());
+}
+
+} // namespace
+} // namespace nocalert
