@@ -26,6 +26,14 @@
  * killing the client cancels the campaign (checkpointed, resumable);
  * a plain submit detaches and the campaign keeps running.
  *
+ * `--retries N` (with `--retry-base-ms MS`) makes the client resilient
+ * to a daemon crash or restart: connection attempts and mid-exchange
+ * drops back off exponentially (with jitter) and reconnect up to N
+ * times. Because a campaign id is the identity hash of its config, a
+ * waiting submission simply re-submits after reconnecting — it joins
+ * the requeued campaign (or finds it complete in the cache) instead of
+ * forking a duplicate, and resumes watching.
+ *
  * Exit status: 0 success; 1 server reported an error (or the campaign
  * failed/was cancelled); 2 usage error; 3 cannot connect.
  */
@@ -34,13 +42,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "fault/campaign.hpp"
 #include "fault/serialize.hpp"
@@ -85,7 +97,13 @@ printHelp(std::FILE *to)
         "  result ID [--out F]   fetch the finished artifact\n"
         "  list                  enumerate known campaigns\n"
         "  stats                 server counters (cache hits, runs)\n"
-        "  shutdown              stop the daemon cleanly\n");
+        "  shutdown              stop the daemon cleanly\n"
+        "\n"
+        "  --retries N           reconnect/resubmit up to N times on\n"
+        "                        connect failure or mid-exchange drop\n"
+        "                        (default 0: fail fast)\n"
+        "  --retry-base-ms MS    first backoff; doubles per attempt,\n"
+        "                        jittered, capped at 5 s (default 100)\n");
 }
 
 /** Blocking NDJSON connection to the daemon. */
@@ -100,6 +118,11 @@ class Connection
 
     bool connect(const std::string &path, std::string *error)
     {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        framer_ = serve::LineFramer(); // A new stream, a new framing.
         sockaddr_un address{};
         address.sun_family = AF_UNIX;
         if (path.size() >= sizeof(address.sun_path)) {
@@ -167,6 +190,57 @@ class Connection
     serve::LineFramer framer_;
 };
 
+/** Reconnect policy (--retries / --retry-base-ms). */
+struct RetryPolicy
+{
+    unsigned retries = 0;  ///< Extra attempts after the first.
+    unsigned baseMs = 100; ///< First backoff; doubles per attempt.
+};
+
+/** Sleep attempt @p attempt's backoff: base * 2^attempt capped at
+ *  5 s, jittered ±25% so clients restarted together do not hammer a
+ *  recovering daemon in lockstep. */
+void
+backoffSleep(const RetryPolicy &policy, unsigned attempt)
+{
+    static std::mt19937 rng(
+        static_cast<std::mt19937::result_type>(::getpid()) ^
+        static_cast<std::mt19937::result_type>(
+            std::chrono::steady_clock::now()
+                .time_since_epoch()
+                .count()));
+    const double base = static_cast<double>(policy.baseMs) *
+                        static_cast<double>(1u << std::min(attempt, 16u));
+    std::uniform_real_distribution<double> jitter(0.75, 1.25);
+    const double ms = std::min(base, 5000.0) * jitter(rng);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+/** A connection plus the coordinates to rebuild it after a drop. */
+struct ServiceLink
+{
+    Connection conn;
+    std::string path;
+    RetryPolicy policy;
+};
+
+/** Connect with bounded exponential backoff. */
+bool
+connectWithRetry(ServiceLink &link, std::string *error)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        if (link.conn.connect(link.path, error))
+            return true;
+        if (attempt >= link.policy.retries)
+            return false;
+        std::fprintf(stderr,
+                     "nocalert_client: %s; retrying (%u/%u)\n",
+                     error->c_str(), attempt + 1, link.policy.retries);
+        backoffSleep(link.policy, attempt);
+    }
+}
+
 std::string
 stringMember(const JsonValue &json, const char *key)
 {
@@ -190,16 +264,32 @@ isType(const JsonValue &json, std::string_view type)
     return stringMember(json, "type") == type;
 }
 
-/** One request, one response; exits the process on transport death. */
+/**
+ * One request, one response, transparently reconnecting (bounded
+ * backoff) when the transport dies mid-exchange. Every request the
+ * client sends is idempotent — submit's id is the config's identity
+ * hash, so even a retried submit lands on the same campaign. Exits
+ * the process once every attempt is exhausted.
+ */
 JsonValue
-roundTrip(Connection &conn, const JsonValue &request)
+roundTrip(ServiceLink &link, const JsonValue &request)
 {
-    if (!conn.send(request))
-        NOCALERT_FATAL("connection lost while sending request");
-    auto response = conn.read();
-    if (!response)
-        NOCALERT_FATAL("server closed the connection mid-request");
-    return std::move(*response);
+    for (unsigned attempt = 0;; ++attempt) {
+        if (link.conn.send(request)) {
+            if (auto response = link.conn.read())
+                return std::move(*response);
+        }
+        if (attempt >= link.policy.retries)
+            NOCALERT_FATAL("connection lost mid-request (",
+                           link.policy.retries, " retries exhausted)");
+        std::fprintf(stderr, "nocalert_client: connection lost;"
+                             " reconnecting (%u/%u)\n",
+                     attempt + 1, link.policy.retries);
+        backoffSleep(link.policy, attempt);
+        std::string error;
+        if (!connectWithRetry(link, &error))
+            NOCALERT_FATAL("reconnect failed: ", error);
+    }
 }
 
 JsonValue
@@ -318,17 +408,19 @@ emitArtifact(const JsonValue &response, const std::string &out)
     return file.good();
 }
 
-/** Stream watch events for @p id until the terminal done event;
- *  returns the terminal state name (empty on transport death). */
-std::string
+/** Stream watch events for @p id until the terminal done event.
+ *  Returns the terminal state name; an empty string when the server
+ *  rejected the watch (already reported); nullopt on transport death
+ *  (retryable: reconnect and watch again). */
+std::optional<std::string>
 streamWatch(Connection &conn, const std::string &id)
 {
     if (!conn.send(makeIdRequest("watch", id)))
-        return std::string();
+        return std::nullopt;
     for (;;) {
         auto event = conn.read();
         if (!event)
-            return std::string();
+            return std::nullopt;
         if (isType(*event, "error")) {
             reportError(*event);
             return std::string();
@@ -356,7 +448,7 @@ streamWatch(Connection &conn, const std::string &id)
 }
 
 int
-cmdSubmit(Connection &conn, const CommandLine &cli)
+cmdSubmit(ServiceLink &link, const CommandLine &cli)
 {
     fault::CampaignConfig config;
     const std::string spec_path = cli.getString("spec", "");
@@ -388,35 +480,58 @@ cmdSubmit(Connection &conn, const CommandLine &cli)
     JsonValue request = makeRequest("submit");
     request.set("config", fault::toJson(config));
     request.set("detach", detach);
-    const JsonValue response = roundTrip(conn, request);
-    if (isType(response, "error"))
-        return reportError(response);
 
-    const std::string id = stringMember(response, "id");
-    const std::string state = stringMember(response, "state");
-    const JsonValue *cached = response.find("cached");
-    std::fprintf(stderr, "submitted %s: %s%s\n", id.c_str(),
-                 state.c_str(),
-                 cached && cached->isBool() && cached->boolean()
-                     ? " (served from cache)"
-                     : "");
-    if (!wait) {
-        std::printf("%s\n", id.c_str());
-        return kExitOk;
-    }
-
-    std::string terminal = state;
-    if (terminal != "complete") {
-        terminal = streamWatch(conn, id);
-        if (terminal.empty())
+    // Submit → watch, resubmitting after a mid-stream drop. The
+    // resubmission is idempotent: the id is the config's identity
+    // hash, so it joins the (journal-recovered) campaign or finds it
+    // already complete in the cache — never a duplicate run.
+    std::string id;
+    std::string terminal;
+    for (unsigned attempt = 0;; ++attempt) {
+        const JsonValue response = roundTrip(link, request);
+        if (isType(response, "error"))
+            return reportError(response);
+        id = stringMember(response, "id");
+        const std::string state = stringMember(response, "state");
+        const JsonValue *cached = response.find("cached");
+        std::fprintf(stderr, "submitted %s: %s%s\n", id.c_str(),
+                     state.c_str(),
+                     cached && cached->isBool() && cached->boolean()
+                         ? " (served from cache)"
+                         : "");
+        if (!wait) {
+            std::printf("%s\n", id.c_str());
+            return kExitOk;
+        }
+        if (state == "complete") {
+            terminal = state;
+            break;
+        }
+        const auto watched = streamWatch(link.conn, id);
+        if (watched) {
+            if (watched->empty())
+                return kExitServerError; // Server rejected the watch.
+            terminal = *watched;
+            break;
+        }
+        if (attempt >= link.policy.retries)
             return kExitServerError;
+        std::fprintf(stderr, "nocalert_client: connection lost;"
+                             " resubmitting %s (%u/%u)\n",
+                     id.c_str(), attempt + 1, link.policy.retries);
+        backoffSleep(link.policy, attempt);
+        std::string error;
+        if (!connectWithRetry(link, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return kExitServerError;
+        }
     }
     if (terminal != "complete") {
         std::fprintf(stderr, "campaign %s: %s\n", id.c_str(),
                      terminal.c_str());
         return kExitServerError;
     }
-    const JsonValue result = roundTrip(conn, makeIdRequest("result", id));
+    const JsonValue result = roundTrip(link, makeIdRequest("result", id));
     if (isType(result, "error"))
         return reportError(result);
     if (!emitArtifact(result, cli.getString("out", ""))) {
@@ -427,20 +542,37 @@ cmdSubmit(Connection &conn, const CommandLine &cli)
 }
 
 int
-cmdWatch(Connection &conn, const std::string &id)
+cmdWatch(ServiceLink &link, const std::string &id)
 {
-    const std::string terminal = streamWatch(conn, id);
-    if (terminal.empty())
-        return kExitServerError;
-    std::printf("%s\n", terminal.c_str());
-    return terminal == "complete" ? kExitOk : kExitServerError;
+    for (unsigned attempt = 0;; ++attempt) {
+        const auto terminal = streamWatch(link.conn, id);
+        if (terminal) {
+            if (terminal->empty())
+                return kExitServerError;
+            std::printf("%s\n", terminal->c_str());
+            return *terminal == "complete" ? kExitOk
+                                           : kExitServerError;
+        }
+        if (attempt >= link.policy.retries)
+            return kExitServerError;
+        std::fprintf(stderr, "nocalert_client: connection lost;"
+                             " re-watching %s (%u/%u)\n",
+                     id.c_str(), attempt + 1, link.policy.retries);
+        backoffSleep(link.policy, attempt);
+        std::string error;
+        if (!connectWithRetry(link, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return kExitServerError;
+        }
+    }
 }
 
 int
-cmdResult(Connection &conn, const std::string &id,
+cmdResult(ServiceLink &link, const std::string &id,
           const std::string &out)
 {
-    const JsonValue response = roundTrip(conn, makeIdRequest("result", id));
+    const JsonValue response =
+        roundTrip(link, makeIdRequest("result", id));
     if (isType(response, "error"))
         return reportError(response);
     if (!emitArtifact(response, out)) {
@@ -471,7 +603,7 @@ main(int argc, char **argv)
          "rate", "seed", "warmup", "kind", "recovery", "dense-kernel",
          "shard", "sample", "ci-width", "max-runs", "batch",
          "confidence", "stratify", "ci-method", "cycle-jitter", "seeds",
-         "sampler-seed"},
+         "sampler-seed", "retries", "retry-base-ms"},
         /*allow_positionals=*/true);
 
     const std::string socket_path = cli.getString("socket", "");
@@ -482,9 +614,14 @@ main(int argc, char **argv)
         return kExitUsage;
     }
 
-    Connection conn;
+    ServiceLink link;
+    link.path = socket_path;
+    link.policy.retries =
+        static_cast<unsigned>(cli.getInt("retries", 0));
+    link.policy.baseMs =
+        static_cast<unsigned>(cli.getInt("retry-base-ms", 100));
     std::string error;
-    if (!conn.connect(socket_path, &error)) {
+    if (!connectWithRetry(link, &error)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return kExitConnect;
     }
@@ -499,27 +636,27 @@ main(int argc, char **argv)
     };
 
     if (command == "ping") {
-        const JsonValue response = roundTrip(conn, makeRequest("ping"));
+        const JsonValue response = roundTrip(link, makeRequest("ping"));
         if (isType(response, "error"))
             return reportError(response);
         std::printf("pong\n");
         return kExitOk;
     }
     if (command == "submit")
-        return cmdSubmit(conn, cli);
+        return cmdSubmit(link, cli);
     if (command == "status") {
         const JsonValue response =
-            roundTrip(conn, makeIdRequest("status", idArg()));
+            roundTrip(link, makeIdRequest("status", idArg()));
         if (isType(response, "error"))
             return reportError(response);
         printStatusLine(response);
         return kExitOk;
     }
     if (command == "watch")
-        return cmdWatch(conn, idArg());
+        return cmdWatch(link, idArg());
     if (command == "cancel") {
         const JsonValue response =
-            roundTrip(conn, makeIdRequest("cancel", idArg()));
+            roundTrip(link, makeIdRequest("cancel", idArg()));
         if (isType(response, "error"))
             return reportError(response);
         std::printf("cancelled %s\n",
@@ -527,9 +664,9 @@ main(int argc, char **argv)
         return kExitOk;
     }
     if (command == "result")
-        return cmdResult(conn, idArg(), cli.getString("out", ""));
+        return cmdResult(link, idArg(), cli.getString("out", ""));
     if (command == "list") {
-        const JsonValue response = roundTrip(conn, makeRequest("list"));
+        const JsonValue response = roundTrip(link, makeRequest("list"));
         if (isType(response, "error"))
             return reportError(response);
         const JsonValue *campaigns = response.find("campaigns");
@@ -540,7 +677,7 @@ main(int argc, char **argv)
         return kExitOk;
     }
     if (command == "stats") {
-        const JsonValue response = roundTrip(conn, makeRequest("stats"));
+        const JsonValue response = roundTrip(link, makeRequest("stats"));
         if (isType(response, "error"))
             return reportError(response);
         for (const auto &[key, value] : response.object()) {
@@ -553,7 +690,7 @@ main(int argc, char **argv)
     }
     if (command == "shutdown") {
         const JsonValue response =
-            roundTrip(conn, makeRequest("shutdown"));
+            roundTrip(link, makeRequest("shutdown"));
         if (isType(response, "error"))
             return reportError(response);
         std::printf("server shutting down\n");

@@ -7,7 +7,8 @@
  *
  *   nocalert_serve --socket PATH [--cache DIR] [--jobs N]
  *                  [--quantum N] [--checkpoint-every N]
- *                  [--max-line BYTES]
+ *                  [--max-line BYTES] [--cache-max-bytes N]
+ *                  [--journal PATH|none]
  *
  * The protocol is newline-delimited JSON (one request or response per
  * line); `nocalert_client help` documents the client side. Concurrent
@@ -21,8 +22,11 @@
  * The daemon exits on a `shutdown` request, cancelling in-flight
  * campaigns cooperatively; their checkpoints remain in the cache
  * directory and a re-submission after restart resumes where they
- * stopped. A hard kill loses at most the runs since the last
- * checkpoint write.
+ * stopped. With the write-ahead journal (on by default), even a hard
+ * kill loses no accepted submission: the next start replays the
+ * journal, requeues unfinished campaigns, and resumes each from its
+ * checkpoint — losing at most the runs since the last checkpoint
+ * write.
  *
  * Exit status: 0 clean shutdown; 1 socket setup failed; 2 usage error.
  */
@@ -40,13 +44,16 @@ main(int argc, char **argv)
 {
     const CommandLine cli(argc, argv,
                           {"socket", "cache", "jobs", "quantum",
-                           "checkpoint-every", "max-line", "help"});
+                           "checkpoint-every", "max-line",
+                           "cache-max-bytes", "journal", "help"});
     if (cli.getBool("help", false)) {
         std::printf(
             "usage: nocalert_serve --socket PATH [--cache DIR]\n"
             "                      [--jobs N] [--quantum N]\n"
             "                      [--checkpoint-every N]\n"
             "                      [--max-line BYTES]\n"
+            "                      [--cache-max-bytes N]\n"
+            "                      [--journal PATH|none]\n"
             "\n"
             "  --socket PATH        Unix-domain socket to listen on\n"
             "  --cache DIR          artifact/checkpoint store\n"
@@ -56,7 +63,13 @@ main(int argc, char **argv)
             "  --quantum N          runs per scheduling turn\n"
             "                       (default 16)\n"
             "  --checkpoint-every N checkpoint cadence (default 8)\n"
-            "  --max-line BYTES     per-request line ceiling\n");
+            "  --max-line BYTES     per-request line ceiling\n"
+            "  --cache-max-bytes N  artifact-byte budget; least\n"
+            "                       recently used entries are evicted\n"
+            "                       past it (0 = unlimited, default)\n"
+            "  --journal PATH       write-ahead submission journal\n"
+            "                       (default: CACHE/journal.wal;\n"
+            "                       'none' disables durability)\n");
         return 0;
     }
 
@@ -80,6 +93,9 @@ main(int argc, char **argv)
     config.maxLineBytes = static_cast<std::size_t>(cli.getInt(
         "max-line",
         static_cast<std::int64_t>(serve::kDefaultMaxLineBytes)));
+    config.cacheMaxBytes =
+        static_cast<std::uint64_t>(cli.getInt("cache-max-bytes", 0));
+    config.journalPath = cli.getString("journal", "");
 
     serve::CampaignServer server(std::move(config));
     std::string error;
@@ -90,6 +106,17 @@ main(int argc, char **argv)
     std::printf("nocalert_serve: listening on %s (cache %s)\n",
                 server.socketPath().c_str(),
                 server.cache().directory().c_str());
+    const serve::RecoveryInfo recovery = server.registry().recovery();
+    if (recovery.recordsReplayed > 0 || recovery.recordsCorrupt > 0 ||
+        recovery.bytesDroppedAtTail > 0) {
+        std::printf("nocalert_serve: journal replay: %zu records, "
+                    "%zu requeued, %zu completed intact, %zu healed"
+                    " (%zu corrupt records, %zu torn tail bytes)\n",
+                    recovery.recordsReplayed, recovery.requeued,
+                    recovery.completedVerified,
+                    recovery.completedRequeued, recovery.recordsCorrupt,
+                    recovery.bytesDroppedAtTail);
+    }
     std::fflush(stdout);
 
     server.waitForShutdown();

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Chaos smoke battery: >=20 randomized SIGKILL/restart cycles against
+# the real nocalert_serve daemon (torn journals, flipped cache bytes,
+# stale sockets), asserting byte-identical recovery every time.
+#
+# Usage: scripts/chaos_smoke.sh [build-dir]
+#   NOCALERT_CHAOS_CYCLES  override the cycle count (default 20)
+#   NOCALERT_CHAOS_SEED    pin the RNG seed to replay a failure
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CYCLES="${NOCALERT_CHAOS_CYCLES:-20}"
+TEST_BIN="${BUILD_DIR}/tests/test_serve"
+
+if [[ ! -x "${TEST_BIN}" ]]; then
+    echo "chaos_smoke: ${TEST_BIN} not found; build first" >&2
+    exit 2
+fi
+
+echo "chaos_smoke: running ${CYCLES} kill -9 cycles"
+NOCALERT_CHAOS_CYCLES="${CYCLES}" \
+    "${TEST_BIN}" --gtest_filter='*ChaosTest*'
+echo "chaos_smoke: all cycles recovered byte-identically"

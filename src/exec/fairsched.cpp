@@ -13,7 +13,7 @@ FairScheduler::~FairScheduler()
 }
 
 FairScheduler::JobId
-FairScheduler::add(Quantum quantum)
+FairScheduler::enqueue(Quantum quantum, bool front)
 {
     NOCALERT_ASSERT(quantum != nullptr, "null quantum");
     std::lock_guard<std::mutex> lock(mutex_);
@@ -21,9 +21,24 @@ FairScheduler::add(Quantum quantum)
     auto job = std::make_unique<Job>();
     job->quantum = std::move(quantum);
     jobs_.emplace(id, std::move(job));
-    ring_.push_back(id);
+    if (front)
+        ring_.push_front(id);
+    else
+        ring_.push_back(id);
     wake_.notify_all();
     return id;
+}
+
+FairScheduler::JobId
+FairScheduler::add(Quantum quantum)
+{
+    return enqueue(std::move(quantum), /*front=*/false);
+}
+
+FairScheduler::JobId
+FairScheduler::addFront(Quantum quantum)
+{
+    return enqueue(std::move(quantum), /*front=*/true);
 }
 
 bool

@@ -67,6 +67,16 @@ class FairScheduler
     JobId add(Quantum quantum);
 
     /**
+     * Enqueue at the *head* of the ring — the restart-time requeue
+     * hook. Work recovered from a persistent queue (the serve
+     * journal) re-enters ahead of whatever arrives while recovery is
+     * still underway, so a crash never demotes already-accepted
+     * submissions behind newer traffic. Round-robin fairness takes
+     * over after each job's first turn.
+     */
+    JobId addFront(Quantum quantum);
+
+    /**
      * Fire @p job's CancelToken. The job still gets its next turn so
      * the quantum can observe the token and retire cleanly (returning
      * Finished). False when the job is unknown or already retired.
@@ -112,6 +122,9 @@ class FairScheduler
 
     /** Pop the next runnable job id; nullopt when the ring is empty. */
     bool popNext(JobId &job);
+
+    /** Shared body of add()/addFront(); @p front picks the ring end. */
+    JobId enqueue(Quantum quantum, bool front);
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;

@@ -1,37 +1,123 @@
 #include "serve/cache.hpp"
 
-#include <cstdio>
+#include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <utility>
+#include <vector>
 
+#include "fault/serialize.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 namespace nocalert::serve {
 
 namespace fs = std::filesystem;
 
-ResultCache::ResultCache(std::string directory)
-    : directory_(std::move(directory))
+namespace {
+
+constexpr const char *kArtifactSuffix = ".json";
+constexpr const char *kCheckpointSuffix = ".ckpt.json";
+constexpr const char *kCorruptSubdir = "corrupt";
+
+bool
+endsWith(const std::string &text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/**
+ * Sidecar-less entries (inherited from a pre-CRC store) still get
+ * verified: the artifact's own config block must hash back to the
+ * key it is stored under. A bit flip inside the config block, a
+ * misfiled artifact, or JSON damage all fail this check; only flips
+ * confined to the run data of a legacy entry are invisible, and the
+ * healing write below upgrades every such entry to CRC coverage on
+ * its first read.
+ */
+bool
+artifactMatchesKey(const std::string &key, const std::string &artifact)
+{
+    const std::optional<JsonValue> doc = parseJson(artifact);
+    if (!doc || !doc->isObject())
+        return false;
+    const JsonValue *config = doc->find("config");
+    if (!config)
+        return false;
+    const auto parsed = fault::campaignConfigFromJson(*config);
+    if (!parsed)
+        return false;
+    return fault::campaignArtifactHash(*parsed) == key;
+}
+
+} // namespace
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config))
 {
     std::error_code ec;
-    fs::create_directories(directory_, ec);
+    fs::create_directories(config_.directory, ec);
     if (ec) {
-        NOCALERT_FATAL("cannot create cache directory '", directory_,
-                       "': ", ec.message());
+        NOCALERT_FATAL("cannot create cache directory '",
+                       config_.directory, "': ", ec.message());
     }
+
+    // Index surviving artifacts; oldest-written become the LRU tail
+    // so a restarted daemon evicts in a sensible order.
+    struct Found
+    {
+        std::string key;
+        std::uint64_t bytes = 0;
+        fs::file_time_type when;
+    };
+    std::vector<Found> found;
+    for (const auto &entry : fs::directory_iterator(config_.directory, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (!endsWith(name, kArtifactSuffix) ||
+            endsWith(name, kCheckpointSuffix) ||
+            name.find(".tmp.") != std::string::npos) {
+            continue;
+        }
+        Found one;
+        one.key = name.substr(
+            0, name.size() - std::string(kArtifactSuffix).size());
+        one.bytes = entry.file_size(ec);
+        one.when = entry.last_write_time(ec);
+        found.push_back(std::move(one));
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) { return a.when < b.when; });
+    for (const Found &one : found)
+        touchLocked(one.key, one.bytes); // Single-threaded here.
 }
 
 std::string
 ResultCache::artifactPath(const std::string &key) const
 {
-    return (fs::path(directory_) / (key + ".json")).string();
+    return (fs::path(config_.directory) / (key + kArtifactSuffix))
+        .string();
+}
+
+std::string
+ResultCache::sidecarPath(const std::string &key) const
+{
+    return (fs::path(config_.directory) / (key + ".crc")).string();
 }
 
 std::string
 ResultCache::checkpointPath(const std::string &key) const
 {
-    return (fs::path(directory_) / (key + ".ckpt.json")).string();
+    return (fs::path(config_.directory) / (key + kCheckpointSuffix))
+        .string();
+}
+
+std::string
+ResultCache::corruptDirectory() const
+{
+    return (fs::path(config_.directory) / kCorruptSubdir).string();
 }
 
 std::optional<std::string>
@@ -40,19 +126,45 @@ ResultCache::fetch(const std::string &key)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = memory_.find(key);
-        if (it != memory_.end())
+        if (it != memory_.end()) {
+            touchLocked(key, it->second.size());
             return it->second;
+        }
     }
-    std::ifstream file(artifactPath(key), std::ios::binary);
-    if (!file)
+
+    const std::optional<std::string> artifact =
+        readFileBytes(artifactPath(key));
+    if (!artifact)
         return std::nullopt;
-    std::ostringstream contents;
-    contents << file.rdbuf();
-    std::string artifact = std::move(contents).str();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        memory_.emplace(key, artifact);
+
+    // Never serve disk bytes unverified: CRC sidecar when present,
+    // identity-hash fallback (plus a healing sidecar write) when not.
+    const std::optional<std::string> sidecar =
+        readFileBytes(sidecarPath(key));
+    if (sidecar) {
+        std::string hex = *sidecar;
+        while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r'))
+            hex.pop_back();
+        const auto expected = parseCrc32Hex(hex);
+        if (!expected || crc32(*artifact) != *expected) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            quarantineLocked(key, "CRC mismatch on read");
+            return std::nullopt;
+        }
+    } else {
+        if (!artifactMatchesKey(key, *artifact)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            quarantineLocked(key,
+                            "artifact does not match its identity key");
+            return std::nullopt;
+        }
+        writeFileAtomic(sidecarPath(key),
+                        crc32Hex(crc32(*artifact)) + "\n");
     }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_.emplace(key, *artifact);
+    touchLocked(key, artifact->size());
     return artifact;
 }
 
@@ -71,34 +183,16 @@ bool
 ResultCache::store(const std::string &key, std::string_view artifact,
                    std::string *error)
 {
-    const std::string path = artifactPath(key);
-    const std::string temp = path + ".tmp";
-    {
-        std::ofstream file(temp, std::ios::binary | std::ios::trunc);
-        if (!file) {
-            if (error)
-                *error = "cannot open '" + temp + "' for writing";
-            return false;
-        }
-        file.write(artifact.data(),
-                   static_cast<std::streamsize>(artifact.size()));
-        if (!file.good()) {
-            if (error)
-                *error = "short write to '" + temp + "'";
-            return false;
-        }
-    }
-    std::error_code ec;
-    fs::rename(temp, path, ec);
-    if (ec) {
-        if (error) {
-            *error = "cannot rename '" + temp + "' to '" + path +
-                     "': " + ec.message();
-        }
+    if (!writeFileAtomic(artifactPath(key), artifact, error))
+        return false;
+    if (!writeFileAtomic(sidecarPath(key),
+                         crc32Hex(crc32(artifact)) + "\n", error)) {
         return false;
     }
     std::lock_guard<std::mutex> lock(mutex_);
     memory_[key] = std::string(artifact);
+    touchLocked(key, artifact.size());
+    evictLocked();
     return true;
 }
 
@@ -109,11 +203,117 @@ ResultCache::dropCheckpoint(const std::string &key)
     fs::remove(checkpointPath(key), ec);
 }
 
+void
+ResultCache::pin(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pins_[key];
+}
+
+void
+ResultCache::unpin(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pins_.find(key);
+    if (it == pins_.end())
+        return;
+    if (--it->second == 0)
+        pins_.erase(it);
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats stats;
+    stats.entries = index_.size();
+    stats.bytesStored = bytesStored_;
+    stats.evictions = evictions_;
+    stats.quarantined = quarantined_;
+    return stats;
+}
+
 std::size_t
 ResultCache::memoryEntries() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return memory_.size();
+}
+
+void
+ResultCache::quarantineLocked(const std::string &key,
+                              const std::string &reason)
+{
+    std::error_code ec;
+    fs::create_directories(corruptDirectory(), ec);
+    const fs::path dest = fs::path(corruptDirectory());
+    // Preserve the specimen for post-mortem; an older specimen of the
+    // same key is less interesting than the fresh failure.
+    fs::remove(dest / (key + kArtifactSuffix), ec);
+    fs::rename(artifactPath(key), dest / (key + kArtifactSuffix), ec);
+    fs::remove(dest / (key + ".crc"), ec);
+    fs::rename(sidecarPath(key), dest / (key + ".crc"), ec);
+    syncParentDirectory(artifactPath(key));
+    ++quarantined_;
+    forgetLocked(key);
+    NOCALERT_WARN("cache entry '", key, "' quarantined: ", reason);
+}
+
+void
+ResultCache::touchLocked(const std::string &key, std::uint64_t bytes)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytesStored_ -= it->second.bytes;
+        bytesStored_ += bytes;
+        it->second.bytes = bytes;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return;
+    }
+    lru_.push_front(key);
+    index_.emplace(key, IndexEntry{bytes, lru_.begin()});
+    bytesStored_ += bytes;
+}
+
+void
+ResultCache::evictLocked()
+{
+    if (config_.maxBytes == 0)
+        return;
+    auto victim = lru_.end();
+    while (bytesStored_ > config_.maxBytes && !lru_.empty()) {
+        // Oldest unpinned entry, scanning from the LRU tail.
+        victim = lru_.end();
+        for (auto it = std::prev(lru_.end());; --it) {
+            if (!pins_.count(*it)) {
+                victim = it;
+                break;
+            }
+            if (it == lru_.begin())
+                break;
+        }
+        if (victim == lru_.end())
+            return; // Everything left is pinned.
+        const std::string key = *victim;
+        std::error_code ec;
+        fs::remove(artifactPath(key), ec);
+        fs::remove(sidecarPath(key), ec);
+        syncParentDirectory(artifactPath(key));
+        forgetLocked(key);
+        ++evictions_;
+    }
+}
+
+void
+ResultCache::forgetLocked(const std::string &key)
+{
+    memory_.erase(key);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return;
+    bytesStored_ -= it->second.bytes;
+    lru_.erase(it->second.lruIt);
+    index_.erase(it);
 }
 
 } // namespace nocalert::serve

@@ -3,27 +3,47 @@
  * Disk-backed artifact cache of the campaign service, keyed by the
  * campaign artifact hash (fault::campaignArtifactHash).
  *
- * The store holds two kinds of files per key under one directory:
+ * The store holds these files per key under one directory:
  *
  *   <key>.json      the finished artifact, byte-identical to what the
  *                   batch CLI writes for the same spec (the value a
  *                   repeated submission is served from)
+ *   <key>.crc       CRC-32 of the artifact bytes (hex8 + newline),
+ *                   the integrity witness verified on every disk read
  *   <key>.ckpt.json the in-progress checkpoint of a running or
  *                   cancelled campaign (the resume point a
  *                   re-submission continues from)
  *
- * Artifacts are written atomically (temp file + rename) so a crashed
- * server never leaves a half-written artifact that a later lookup
- * would serve. A small in-memory map shortcuts repeated fetches; disk
- * stays authoritative, so a restarted server inherits the whole store.
+ * Crash consistency and trust:
+ *  - Artifacts and their CRC sidecars are written atomically and
+ *    durably (util/fsio: temp + fsync + rename + directory fsync), so
+ *    a kill -9 at any instant never leaves a torn file a later lookup
+ *    would serve.
+ *  - Disk is never trusted blindly: a fetch verifies the sidecar CRC
+ *    (or, for sidecar-less entries inherited from an older store, the
+ *    artifact's own config block against the key) and *quarantines*
+ *    mismatches into a corrupt/ subdirectory — a flipped bit becomes
+ *    a cache miss plus a preserved specimen, never served bytes and
+ *    never a crash.
+ *
+ * Capacity: an optional byte budget bounds the store. Eviction is
+ * LRU over artifact entries, keys pinned by the registry (campaigns
+ * currently live) are exempt, and each eviction removes artifact +
+ * sidecar together. CacheStats reports bytes, evictions and
+ * quarantines for the stats endpoint and the chaos harness.
+ *
+ * A small in-memory map shortcuts repeated fetches; disk stays
+ * authoritative, so a restarted server inherits the whole store.
  * In-flight request coalescing is the registry's job — the cache only
- * answers "is this spec's artifact already on disk?".
+ * answers "is this spec's artifact already on disk, and intact?".
  */
 
 #ifndef NOCALERT_SERVE_CACHE_HPP
 #define NOCALERT_SERVE_CACHE_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -32,21 +52,46 @@
 
 namespace nocalert::serve {
 
+/** Store placement and capacity. */
+struct CacheConfig
+{
+    std::string directory;
+    /** Artifact-byte budget; 0 = unlimited (no eviction). */
+    std::uint64_t maxBytes = 0;
+};
+
+/** Monotonic counters + current occupancy (stats endpoint). */
+struct CacheStats
+{
+    std::uint64_t entries = 0;     ///< Artifacts currently on disk.
+    std::uint64_t bytesStored = 0; ///< Their total size in bytes.
+    std::uint64_t evictions = 0;   ///< Entries removed by the budget.
+    std::uint64_t quarantined = 0; ///< Entries failing verification.
+};
+
 /** Thread-safe artifact store; see file comment for layout. */
 class ResultCache
 {
   public:
-    /** Creates @p directory (and parents) when missing. */
-    explicit ResultCache(std::string directory);
+    /** Creates the directory (and parents) when missing, then indexes
+     *  surviving artifacts (LRU-seeded by modification time). */
+    explicit ResultCache(CacheConfig config);
+    explicit ResultCache(std::string directory)
+        : ResultCache(CacheConfig{std::move(directory), 0})
+    {
+    }
 
-    /** Artifact bytes for @p key, from memory or disk. */
+    /** Artifact bytes for @p key, from memory or verified disk. A
+     *  corrupt disk entry is quarantined and reads as a miss. */
     std::optional<std::string> fetch(const std::string &key);
 
-    /** Persist artifact bytes atomically; false + *error on failure. */
+    /** Persist artifact bytes atomically + durably, write the CRC
+     *  sidecar, and evict over-budget entries; false + *error. */
     bool store(const std::string &key, std::string_view artifact,
                std::string *error = nullptr);
 
-    /** True when an artifact for @p key exists (memory or disk). */
+    /** True when an artifact for @p key exists (memory or disk).
+     *  Existence only — fetch() is what verifies integrity. */
     bool contains(const std::string &key);
 
     /** Checkpoint file path for @p key (the campaign layer reads and
@@ -59,15 +104,55 @@ class ResultCache
     /** Artifact file path for @p key. */
     std::string artifactPath(const std::string &key) const;
 
-    const std::string &directory() const { return directory_; }
+    /** CRC sidecar path for @p key. */
+    std::string sidecarPath(const std::string &key) const;
+
+    /** Quarantine directory (corrupt specimens live here). */
+    std::string corruptDirectory() const;
+
+    /** Exempt @p key from eviction (campaign is live). */
+    void pin(const std::string &key);
+    void unpin(const std::string &key);
+
+    CacheStats stats() const;
+
+    const std::string &directory() const { return config_.directory; }
 
     /** Artifacts currently held in memory (test observability). */
     std::size_t memoryEntries() const;
 
   private:
-    std::string directory_;
+    /** Move a failed entry (artifact + sidecar) into corrupt/ and
+     *  forget it; mutex_ must be held. */
+    void quarantineLocked(const std::string &key,
+                          const std::string &reason);
+
+    /** Mark @p key most-recently-used, (re)recording @p bytes;
+     *  mutex_ must be held. */
+    void touchLocked(const std::string &key, std::uint64_t bytes);
+
+    /** Drop LRU-tail entries until the budget holds; mutex_ held. */
+    void evictLocked();
+
+    /** Forget @p key's index/memory state; mutex_ must be held. */
+    void forgetLocked(const std::string &key);
+
+    CacheConfig config_;
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::string> memory_;
+
+    /** LRU order, most recent at the front. */
+    std::list<std::string> lru_;
+    struct IndexEntry
+    {
+        std::uint64_t bytes = 0;
+        std::list<std::string>::iterator lruIt;
+    };
+    std::unordered_map<std::string, IndexEntry> index_;
+    std::unordered_map<std::string, unsigned> pins_;
+    std::uint64_t bytesStored_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t quarantined_ = 0;
 };
 
 } // namespace nocalert::serve

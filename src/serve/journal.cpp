@@ -1,0 +1,268 @@
+#include "serve/journal.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "fault/serialize.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "NJ1";
+
+const std::pair<std::string_view, JournalRecord::Op> kOpNames[] = {
+    {"submit", JournalRecord::Op::Submit},
+    {"start", JournalRecord::Op::Start},
+    {"cancel", JournalRecord::Op::Cancel},
+    {"complete", JournalRecord::Op::Complete},
+    {"fail", JournalRecord::Op::Fail},
+};
+
+std::optional<JournalRecord::Op>
+opFromName(std::string_view name)
+{
+    for (const auto &[text, op] : kOpNames) {
+        if (text == name)
+            return op;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+const char *
+journalOpName(JournalRecord::Op op)
+{
+    for (const auto &[text, value] : kOpNames) {
+        if (value == op)
+            return text.data();
+    }
+    return "?";
+}
+
+SubmissionJournal::SubmissionJournal(std::string path)
+    : path_(std::move(path))
+{
+}
+
+std::string
+SubmissionJournal::encodeRecord(const JournalRecord &record)
+{
+    JsonValue payload;
+    payload.set("op", journalOpName(record.op));
+    payload.set("id", record.id);
+    if (record.op == JournalRecord::Op::Submit) {
+        NOCALERT_ASSERT(record.config.has_value(),
+                        "submit record without a config");
+        payload.set("config", fault::toJson(*record.config));
+        payload.set("detach", record.detach);
+    }
+    if (record.op == JournalRecord::Op::Fail)
+        payload.set("message", record.message);
+
+    const std::string json = payload.dump();
+    std::string line;
+    line.reserve(kMagic.size() + 1 + 8 + 1 + json.size() + 1);
+    line.append(kMagic);
+    line.push_back(' ');
+    line.append(crc32Hex(crc32(json)));
+    line.push_back(' ');
+    line.append(json);
+    line.push_back('\n');
+    return line;
+}
+
+std::optional<JournalRecord>
+SubmissionJournal::decodeLine(std::string_view line)
+{
+    // "NJ1 <crc8> <json>" — anything that deviates is untrusted.
+    if (line.size() < kMagic.size() + 1 + 8 + 1 + 2)
+        return std::nullopt;
+    if (line.substr(0, kMagic.size()) != kMagic ||
+        line[kMagic.size()] != ' ') {
+        return std::nullopt;
+    }
+    const std::string_view crcHex = line.substr(kMagic.size() + 1, 8);
+    const auto expected = parseCrc32Hex(crcHex);
+    if (!expected || line[kMagic.size() + 1 + 8] != ' ')
+        return std::nullopt;
+    const std::string_view json = line.substr(kMagic.size() + 1 + 8 + 1);
+    if (crc32(json) != *expected)
+        return std::nullopt;
+
+    const std::optional<JsonValue> doc = parseJson(json);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const JsonValue *op = doc->find("op");
+    const JsonValue *id = doc->find("id");
+    if (!op || !op->isString() || !id || !id->isString() ||
+        id->string().empty()) {
+        return std::nullopt;
+    }
+    const auto kind = opFromName(op->string());
+    if (!kind)
+        return std::nullopt;
+
+    JournalRecord record;
+    record.op = *kind;
+    record.id = id->string();
+    if (record.op == JournalRecord::Op::Submit) {
+        const JsonValue *config = doc->find("config");
+        if (!config)
+            return std::nullopt;
+        record.config = fault::campaignConfigFromJson(*config);
+        if (!record.config)
+            return std::nullopt;
+        if (const JsonValue *detach = doc->find("detach"))
+            record.detach = detach->isBool() && detach->boolean();
+    }
+    if (record.op == JournalRecord::Op::Fail) {
+        if (const JsonValue *message = doc->find("message")) {
+            if (message->isString())
+                record.message = message->string();
+        }
+    }
+    return record;
+}
+
+JournalReplay
+SubmissionJournal::replay()
+{
+    JournalReplay replay;
+    const std::optional<std::string> bytes = readFileBytes(path_);
+    if (!bytes)
+        return replay; // No journal yet: clean first boot.
+
+    // Fold records per id. Order matters only for requeue fairness,
+    // so pending submissions keep their original submit order.
+    struct Folded
+    {
+        std::optional<fault::CampaignConfig> config;
+        bool started = false;
+        bool settled = false; ///< Saw cancel/complete/fail.
+        bool completed = false;
+        std::size_t order = 0;
+    };
+    std::unordered_map<std::string, Folded> byId;
+    std::size_t nextOrder = 0;
+
+    std::string_view rest = *bytes;
+    while (!rest.empty()) {
+        const std::size_t newline = rest.find('\n');
+        if (newline == std::string_view::npos) {
+            // Torn tail: the append a crash interrupted. Expected
+            // after kill -9; never acted on.
+            replay.bytesDroppedAtTail = rest.size();
+            break;
+        }
+        const std::string_view line = rest.substr(0, newline);
+        rest.remove_prefix(newline + 1);
+        if (line.empty())
+            continue;
+        const auto record = decodeLine(line);
+        if (!record) {
+            ++replay.recordsCorrupt;
+            continue; // Resync at the next newline.
+        }
+        ++replay.recordsReplayed;
+        Folded &folded = byId[record->id];
+        switch (record->op) {
+          case JournalRecord::Op::Submit:
+            // A resubmission after cancel/fail reopens the id.
+            folded.config = record->config;
+            folded.settled = false;
+            folded.completed = false;
+            folded.order = nextOrder++;
+            break;
+          case JournalRecord::Op::Start:
+            folded.started = true;
+            break;
+          case JournalRecord::Op::Cancel:
+          case JournalRecord::Op::Fail:
+            folded.settled = true;
+            break;
+          case JournalRecord::Op::Complete:
+            folded.settled = true;
+            folded.completed = true;
+            break;
+        }
+    }
+
+    for (auto &[id, folded] : byId) {
+        if (folded.completed) {
+            CompletedSubmission done;
+            done.id = id;
+            done.config = std::move(folded.config);
+            replay.completed.push_back(std::move(done));
+            continue;
+        }
+        if (folded.settled || !folded.config)
+            continue;
+        PendingSubmission pending;
+        pending.id = id;
+        pending.config = std::move(*folded.config);
+        pending.started = folded.started;
+        replay.pending.push_back(std::move(pending));
+    }
+    std::sort(replay.pending.begin(), replay.pending.end(),
+              [&byId](const PendingSubmission &a,
+                      const PendingSubmission &b) {
+                  return byId[a.id].order < byId[b.id].order;
+              });
+    std::sort(replay.completed.begin(), replay.completed.end(),
+              [](const CompletedSubmission &a,
+                 const CompletedSubmission &b) { return a.id < b.id; });
+    return replay;
+}
+
+bool
+SubmissionJournal::append(const JournalRecord &record, std::string *error)
+{
+    const std::string line = encodeRecord(record);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!appender_.isOpen() && !appender_.open(path_, error))
+        return false;
+    if (!appender_.append(line, error))
+        return false;
+    ++appends_;
+    return true;
+}
+
+bool
+SubmissionJournal::compact(const std::vector<PendingSubmission> &live,
+                          std::string *error)
+{
+    std::string bytes;
+    for (const PendingSubmission &pending : live) {
+        JournalRecord submit;
+        submit.op = JournalRecord::Op::Submit;
+        submit.id = pending.id;
+        submit.config = pending.config;
+        submit.detach = true; // Recovered work has no client left.
+        bytes += encodeRecord(submit);
+        if (pending.started) {
+            JournalRecord start;
+            start.op = JournalRecord::Op::Start;
+            start.id = pending.id;
+            bytes += encodeRecord(start);
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Close so the rename below is the only live handle; the next
+    // append reopens the compacted file.
+    appender_.close();
+    return writeFileAtomic(path_, bytes, error);
+}
+
+std::uint64_t
+SubmissionJournal::appendCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appends_;
+}
+
+} // namespace nocalert::serve

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Write-ahead submission journal of the campaign service.
+ *
+ * The daemon's registry is rebuilt from two disk structures after a
+ * crash: the artifact cache (finished work) and this journal (work
+ * that was promised but not finished). Every state transition that
+ * must survive kill -9 is appended — and fsync'd — *before* the
+ * in-memory registry acts on it:
+ *
+ *   submit    id + full serialized spec (+ detach flag)
+ *   start     id received its first scheduling quantum
+ *   cancel    an explicit client cancel was accepted
+ *   complete  the artifact landed in the cache
+ *   fail      the campaign retired with a run-time fatal
+ *
+ * On-disk format: one record per line,
+ *
+ *   NJ1 <crc32-hex8> <compact-json-payload>\n
+ *
+ * where the CRC covers exactly the payload bytes. The framing is
+ * self-synchronizing (newline-delimited) and every record is
+ * independently verifiable, so replay makes only safe moves: a torn
+ * tail (the append the crash interrupted) is dropped; a bit-flipped
+ * record mid-file is skipped and replay resyncs at the next newline;
+ * nothing damaged is ever acted on. Replay folds the surviving
+ * records per id — a submit without a terminal record is requeued,
+ * everything else is settled — and the caller then compacts the
+ * journal down to the live submissions, atomically, so the file
+ * neither grows forever nor accumulates corrupt debris.
+ */
+
+#ifndef NOCALERT_SERVE_JOURNAL_HPP
+#define NOCALERT_SERVE_JOURNAL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "util/fsio.hpp"
+
+namespace nocalert::serve {
+
+/** One journalled state transition. */
+struct JournalRecord
+{
+    enum class Op : std::uint8_t { Submit, Start, Cancel, Complete, Fail };
+
+    Op op = Op::Submit;
+    std::string id;
+    /** Submit only: the full spec, so replay can reconstruct the
+     *  campaign without any other state surviving. */
+    std::optional<fault::CampaignConfig> config;
+    bool detach = true; ///< Submit only.
+    std::string message; ///< Fail only: the fatal message.
+};
+
+const char *journalOpName(JournalRecord::Op op);
+
+/** A submission the replay decided is still owed an artifact. */
+struct PendingSubmission
+{
+    std::string id;
+    fault::CampaignConfig config;
+    bool started = false; ///< Saw a start record (has a checkpoint).
+};
+
+/** A submission whose terminal record was `complete`. The artifact
+ *  is *expected* in the cache; the registry re-verifies and, when the
+ *  artifact went missing or corrupt, requeues from the config. */
+struct CompletedSubmission
+{
+    std::string id;
+    /** Absent when the submit record predates the last compaction. */
+    std::optional<fault::CampaignConfig> config;
+};
+
+/** What replay() recovered and what it had to discard. */
+struct JournalReplay
+{
+    /** Unfinished submissions, in original submit order. */
+    std::vector<PendingSubmission> pending;
+    std::vector<CompletedSubmission> completed;
+    std::size_t recordsReplayed = 0;
+    /** Records whose CRC or framing failed (skipped, not trusted). */
+    std::size_t recordsCorrupt = 0;
+    /** Bytes of torn tail dropped (the append a crash interrupted). */
+    std::size_t bytesDroppedAtTail = 0;
+};
+
+/**
+ * The write-ahead journal itself. Thread-safe: appends from the
+ * session and scheduler threads serialize internally. See the file
+ * comment for the format and crash semantics.
+ */
+class SubmissionJournal
+{
+  public:
+    /** Attaches to @p path; the file is created on the first append
+     *  (or by compact()). Never truncates existing records. */
+    explicit SubmissionJournal(std::string path);
+
+    /**
+     * Read every decodable record and fold them into the recovery
+     * verdict. Never throws and never trusts damaged bytes; see
+     * JournalReplay for what was salvaged vs. discarded. Safe to call
+     * on a missing file (empty replay).
+     */
+    JournalReplay replay();
+
+    /** Append one fsync'd record; false + *error on I/O failure. */
+    bool append(const JournalRecord &record,
+                std::string *error = nullptr);
+
+    /**
+     * Atomically rewrite the journal to exactly @p live (normally the
+     * pending list replay() returned, re-journalled as submit [+
+     * start] records). Clears torn tails and corrupt records from
+     * disk and bounds the file's growth across restarts.
+     */
+    bool compact(const std::vector<PendingSubmission> &live,
+                 std::string *error = nullptr);
+
+    const std::string &path() const { return path_; }
+
+    /** Records appended by this process (stats/observability). */
+    std::uint64_t appendCount() const;
+
+    /** Encode / decode one record line (exposed for tests and the
+     *  chaos harness's corruption injectors). */
+    static std::string encodeRecord(const JournalRecord &record);
+    static std::optional<JournalRecord> decodeLine(std::string_view line);
+
+  private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    DurableAppender appender_;
+    std::uint64_t appends_ = 0;
+};
+
+} // namespace nocalert::serve
+
+#endif // NOCALERT_SERVE_JOURNAL_HPP

@@ -9,16 +9,98 @@
 namespace nocalert::serve {
 
 CampaignRegistry::CampaignRegistry(RegistryConfig config,
-                                   ResultCache &cache)
-    : config_(config), cache_(cache)
+                                   ResultCache &cache,
+                                   SubmissionJournal *journal)
+    : config_(config), cache_(cache), journal_(journal)
 {
     if (config_.quantum == 0)
         config_.quantum = 1;
     if (config_.checkpointEvery == 0)
         config_.checkpointEvery = 1;
+    // Recovery happens before the scheduler thread exists, so replay
+    // requeues everything without racing fresh submissions.
+    if (journal_)
+        replayJournal();
     if (config_.startScheduler) {
         schedulerThread_ =
             std::thread([this] { scheduler_.serviceLoop(); });
+    }
+}
+
+void
+CampaignRegistry::replayJournal()
+{
+    const JournalReplay replay = journal_->replay();
+    recovery_.recordsReplayed = replay.recordsReplayed;
+    recovery_.recordsCorrupt = replay.recordsCorrupt;
+    recovery_.bytesDroppedAtTail = replay.bytesDroppedAtTail;
+
+    std::vector<PendingSubmission> live = replay.pending;
+
+    // Completed submissions must still have an intact artifact: fetch
+    // verifies (and quarantines damage). A verified one resurrects as
+    // a Complete entry; a damaged one is requeued from its journalled
+    // spec when the pre-compaction submit record still carries it.
+    for (const CompletedSubmission &done : replay.completed) {
+        if (cache_.fetch(done.id)) {
+            // Resurrect as a Complete entry only when the journal
+            // still carries the spec — an entry must never hold a
+            // default spec under a real id (the self-heal requeue in
+            // result() would then run the wrong campaign).
+            if (done.config) {
+                EntryPtr entry = std::make_shared<Entry>();
+                entry->id = done.id;
+                entry->spec = *done.config;
+                entry->detached = true;
+                entry->state = CampaignState::Complete;
+                entry->cached = true;
+                entries_.emplace(done.id, entry);
+            }
+            ++recovery_.completedVerified;
+            continue;
+        }
+        if (done.config) {
+            PendingSubmission heal;
+            heal.id = done.id;
+            heal.config = *done.config;
+            live.push_back(std::move(heal));
+            ++recovery_.completedRequeued;
+        }
+    }
+
+    // Compact first: the rewritten journal is exactly the live set,
+    // clearing torn tails and corrupt records off disk.
+    std::string error;
+    if (!journal_->compact(live, &error))
+        NOCALERT_WARN("journal compaction failed: ", error);
+
+    // Requeue in reverse through the head-of-ring hook so the final
+    // ring order equals the original submission order, ahead of any
+    // submission that arrives after recovery.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = live.rbegin(); it != live.rend(); ++it) {
+        EntryPtr entry = std::make_shared<Entry>();
+        entry->id = it->id;
+        entry->spec = it->config;
+        entry->detached = true; // The submitting client is gone.
+        entry->startLogged = it->started;
+        entries_.emplace(it->id, entry);
+        scheduleLocked(entry, /*front=*/true);
+        ++recovery_.requeued;
+    }
+}
+
+void
+CampaignRegistry::journalAppend(const JournalRecord &record)
+{
+    if (!journal_)
+        return;
+    std::string error;
+    if (!journal_->append(record, &error)) {
+        // Degraded durability, not an outage: the in-memory service
+        // keeps its promise for this process's lifetime.
+        NOCALERT_WARN("journal append (", journalOpName(record.op),
+                      " ", record.id, ") failed: ", error);
     }
 }
 
@@ -74,9 +156,16 @@ CampaignRegistry::submit(const fault::CampaignConfig &spec, bool detach,
             outcome.coalesced = true;
             return outcome;
           case CampaignState::Cancelled:
-          case CampaignState::Failed:
+          case CampaignState::Failed: {
             // Reactivate; the next quantum resumes from the entry's
-            // checkpoint, converging on the same artifact bytes.
+            // checkpoint, converging on the same artifact bytes. The
+            // journal reopens the id (write-ahead of scheduling).
+            JournalRecord record;
+            record.op = JournalRecord::Op::Submit;
+            record.id = entry->id;
+            record.config = spec;
+            record.detach = detach;
+            journalAppend(record);
             entry->detached = detach;
             entry->clients.clear();
             if (!detach)
@@ -84,6 +173,7 @@ CampaignRegistry::submit(const fault::CampaignConfig &spec, bool detach,
             scheduleLocked(entry);
             outcome.state = CampaignState::Queued;
             return outcome;
+          }
         }
     }
 
@@ -94,7 +184,10 @@ CampaignRegistry::submit(const fault::CampaignConfig &spec, bool detach,
     entries_.emplace(outcome.id, entry);
 
     // A previous server life may already hold the finished artifact.
-    if (cache_.contains(outcome.id)) {
+    // fetch() (not contains()) so the stored bytes are verified — a
+    // corrupt entry is quarantined here and the campaign re-runs
+    // instead of being pinned to unservable bytes.
+    if (cache_.fetch(outcome.id)) {
         ++stats_.cacheHits;
         entry->state = CampaignState::Complete;
         entry->cached = true;
@@ -102,6 +195,15 @@ CampaignRegistry::submit(const fault::CampaignConfig &spec, bool detach,
         outcome.cached = true;
         return outcome;
     }
+
+    // Write-ahead: the submission is durable before it is scheduled,
+    // so a kill -9 from here on can no longer lose it.
+    JournalRecord record;
+    record.op = JournalRecord::Op::Submit;
+    record.id = outcome.id;
+    record.config = spec;
+    record.detach = detach;
+    journalAppend(record);
 
     if (!detach)
         entry->clients.insert(client);
@@ -147,6 +249,13 @@ CampaignRegistry::cancel(const std::string &id)
         entry.state != CampaignState::Running) {
         return kErrNotActive;
     }
+    // An explicit cancel is durable: after a restart the id stays
+    // settled instead of being requeued (unlike a crash, where every
+    // unfinished submission comes back).
+    JournalRecord record;
+    record.op = JournalRecord::Op::Cancel;
+    record.id = entry.id;
+    journalAppend(record);
     scheduler_.cancel(entry.job);
     return nullptr;
 }
@@ -174,8 +283,30 @@ CampaignRegistry::result(const std::string &id)
         return outcome;
     }
     outcome.artifact = cache_.fetch(id);
-    if (!outcome.artifact)
+    if (!outcome.artifact) {
+        // The artifact went missing or failed verification (fetch
+        // quarantined it). Self-heal: requeue the campaign from its
+        // spec — it resumes from any surviving checkpoint and
+        // converges on the same bytes — and answer not-complete so
+        // the client retries once it lands.
         outcome.errorCode = kErrNotComplete;
+        outcome.state = CampaignState::Queued;
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(id);
+        if (it != entries_.end() &&
+            it->second->state == CampaignState::Complete &&
+            fault::campaignArtifactHash(it->second->spec) == id) {
+            const EntryPtr &entry = it->second;
+            entry->cached = false;
+            entry->detached = true;
+            JournalRecord record;
+            record.op = JournalRecord::Op::Submit;
+            record.id = entry->id;
+            record.config = entry->spec;
+            journalAppend(record);
+            scheduleLocked(entry);
+        }
+    }
     return outcome;
 }
 
@@ -218,7 +349,13 @@ CampaignRegistry::disconnect(ClientId client)
             (entry->state == CampaignState::Queued ||
              entry->state == CampaignState::Running)) {
             // Last interested connection is gone: free the campaign's
-            // scheduler share; its checkpoint stays resumable.
+            // scheduler share; its checkpoint stays resumable. The
+            // auto-cancel is journalled like an explicit one — nobody
+            // wants this campaign, so a restart must not revive it.
+            JournalRecord record;
+            record.op = JournalRecord::Op::Cancel;
+            record.id = entry->id;
+            journalAppend(record);
             scheduler_.cancel(entry->job);
         }
     }
@@ -229,6 +366,13 @@ CampaignRegistry::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+RecoveryInfo
+CampaignRegistry::recovery() const
+{
+    // Written only during construction; immutable afterwards.
+    return recovery_;
 }
 
 bool
@@ -274,13 +418,24 @@ CampaignRegistry::runQuantum(const EntryPtr &entry,
     config.checkpointPath = cache_.checkpointPath(entry->id);
     config.checkpointEvery = config_.checkpointEvery;
 
+    bool logStart = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         entry->state = CampaignState::Running;
+        if (!entry->startLogged) {
+            entry->startLogged = true;
+            logStart = true;
+        }
         if (!entry->epochSet) {
             entry->epoch = std::chrono::steady_clock::now();
             entry->epochSet = true;
         }
+    }
+    if (logStart) {
+        JournalRecord record;
+        record.op = JournalRecord::Op::Start;
+        record.id = entry->id;
+        journalAppend(record);
     }
 
     fault::FaultCampaign::RunOptions options;
@@ -333,20 +488,44 @@ CampaignRegistry::runQuantum(const EntryPtr &entry,
 }
 
 void
-CampaignRegistry::scheduleLocked(const EntryPtr &entry)
+CampaignRegistry::scheduleLocked(const EntryPtr &entry, bool front)
 {
     entry->state = CampaignState::Queued;
     entry->failure.clear();
-    entry->job =
-        scheduler_.add([this, entry](exec::CancelToken &cancel) {
-            return runQuantum(entry, cancel);
-        });
+    // Live campaigns pin their cache key: the artifact (and on-disk
+    // working set) of in-flight work is exempt from GC eviction until
+    // finalize() releases it.
+    cache_.pin(entry->id);
+    auto quantum = [this, entry](exec::CancelToken &cancel) {
+        return runQuantum(entry, cancel);
+    };
+    entry->job = front ? scheduler_.addFront(std::move(quantum))
+                       : scheduler_.add(std::move(quantum));
 }
 
 void
 CampaignRegistry::finalize(const EntryPtr &entry, CampaignState state,
                            std::string failure)
 {
+    // Journal the terminal transition. Complete follows the durable
+    // artifact store (runQuantum's order), so a crash between the two
+    // replays as "unfinished" and merely re-runs from the checkpoint.
+    // Cancelled is *not* journalled here: shutdown and crash must
+    // requeue, and the explicitly-durable cancels (client request,
+    // interest loss) were journalled at their decision points.
+    if (state == CampaignState::Complete) {
+        JournalRecord record;
+        record.op = JournalRecord::Op::Complete;
+        record.id = entry->id;
+        journalAppend(record);
+    } else if (state == CampaignState::Failed) {
+        JournalRecord record;
+        record.op = JournalRecord::Op::Fail;
+        record.id = entry->id;
+        record.message = failure;
+        journalAppend(record);
+    }
+    cache_.unpin(entry->id);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         entry->state = state;

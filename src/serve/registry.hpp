@@ -31,6 +31,15 @@
  * golden run that cannot drain) are caught via FatalThrowScope and
  * retire the entry as Failed with the message — one tenant's bad spec
  * never takes the service down.
+ *
+ * Durability (serve/journal.hpp): with a journal attached, every
+ * accepted submission is fsync'd to the write-ahead log before it is
+ * scheduled, terminal transitions are journalled after their effects
+ * are durable, and construction replays the log — so a kill -9 at
+ * any instant loses no accepted submission. Recovered work requeues
+ * at the head of the scheduler ring (FairScheduler::addFront) and
+ * resumes from its checkpoint; completed work is re-verified against
+ * the cache and requeued if its artifact went missing or corrupt.
  */
 
 #ifndef NOCALERT_SERVE_REGISTRY_HPP
@@ -52,6 +61,7 @@
 #include "exec/telemetry.hpp"
 #include "fault/campaign.hpp"
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 
 namespace nocalert::serve {
@@ -125,11 +135,36 @@ struct RegistryStats
     std::uint64_t campaignsFailed = 0;
 };
 
+/** What journal replay rebuilt at construction time. */
+struct RecoveryInfo
+{
+    /** Unfinished journalled submissions put back on the queue. */
+    std::size_t requeued = 0;
+    /** Completed submissions whose cached artifact verified intact. */
+    std::size_t completedVerified = 0;
+    /** Completed submissions whose artifact was missing or corrupt —
+     *  requeued from the journalled spec (self-healing). */
+    std::size_t completedRequeued = 0;
+    std::size_t recordsReplayed = 0;
+    std::size_t recordsCorrupt = 0;
+    std::size_t bytesDroppedAtTail = 0;
+};
+
 /** See file comment. All public methods are thread-safe. */
 class CampaignRegistry
 {
   public:
-    CampaignRegistry(RegistryConfig config, ResultCache &cache);
+    /**
+     * With a @p journal, the registry is crash-safe: every accepted
+     * submission is journalled (fsync'd) before it is scheduled, and
+     * construction replays the journal — requeueing unfinished
+     * submissions at the head of the scheduler ring, re-verifying
+     * completed ones against the cache — before the scheduler thread
+     * starts. Without one, behavior matches the pre-journal service
+     * (tests that only exercise scheduling semantics use that mode).
+     */
+    CampaignRegistry(RegistryConfig config, ResultCache &cache,
+                     SubmissionJournal *journal = nullptr);
     ~CampaignRegistry();
 
     CampaignRegistry(const CampaignRegistry &) = delete;
@@ -160,6 +195,10 @@ class CampaignRegistry
 
     RegistryStats stats() const;
 
+    /** What construction recovered from the journal (all zeros when
+     *  no journal was attached or the journal was empty). */
+    RecoveryInfo recovery() const;
+
     /** Manual mode: run one scheduling turn; false when idle. */
     bool stepOnce();
 
@@ -189,6 +228,8 @@ class CampaignRegistry
         /** High-water mark feeding RegistryStats::runsExecuted. */
         std::size_t countedRuns = 0;
         exec::FairScheduler::JobId job = 0;
+        /** The journal saw this entry's `start` record already. */
+        bool startLogged = false;
         /** Live telemetry watermark for per-quantum deltas. */
         std::chrono::steady_clock::time_point epoch;
         bool epochSet = false;
@@ -202,8 +243,16 @@ class CampaignRegistry
     exec::QuantumResult runQuantum(const EntryPtr &entry,
                                    exec::CancelToken &cancel);
 
-    /** Schedule (or reschedule) an entry; mutex_ must be held. */
-    void scheduleLocked(const EntryPtr &entry);
+    /** Schedule (or reschedule) an entry; mutex_ must be held. @p
+     *  front requeues recovered work at the head of the ring. */
+    void scheduleLocked(const EntryPtr &entry, bool front = false);
+
+    /** Rebuild entries from the journal (constructor, pre-thread). */
+    void replayJournal();
+
+    /** Append to the journal, downgrading I/O failure to a warning
+     *  (the in-memory service keeps running either way). */
+    void journalAppend(const JournalRecord &record);
 
     /** Retire an entry and emit its done event. */
     void finalize(const EntryPtr &entry, CampaignState state,
@@ -219,12 +268,14 @@ class CampaignRegistry
 
     RegistryConfig config_;
     ResultCache &cache_;
+    SubmissionJournal *journal_;
     exec::FairScheduler scheduler_;
     std::thread schedulerThread_;
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, EntryPtr> entries_;
     RegistryStats stats_;
+    RecoveryInfo recovery_;
     std::uint64_t nextWatcherToken_ = 1;
     bool shutdown_ = false;
     /** Serializes shutdown(); never held with mutex_. */

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -53,7 +54,8 @@ listResponse(const std::vector<CampaignStatus> &campaigns)
 }
 
 JsonValue
-statsResponse(const RegistryStats &stats)
+statsResponse(const RegistryStats &stats, const CacheStats &cache,
+              const RecoveryInfo &recovery, std::uint64_t journalAppends)
 {
     JsonValue json;
     json.set("type", "stats");
@@ -64,15 +66,35 @@ statsResponse(const RegistryStats &stats)
     json.set("campaignsCompleted", stats.campaignsCompleted);
     json.set("campaignsCancelled", stats.campaignsCancelled);
     json.set("campaignsFailed", stats.campaignsFailed);
+    json.set("cacheEntries", cache.entries);
+    json.set("cacheBytes", cache.bytesStored);
+    json.set("cacheEvictions", cache.evictions);
+    json.set("cacheQuarantined", cache.quarantined);
+    json.set("journalAppends", journalAppends);
+    json.set("recoveredRequeued", recovery.requeued);
+    json.set("recoveredCompleted", recovery.completedVerified);
+    json.set("recoveredHealed", recovery.completedRequeued);
     return json;
+}
+
+std::unique_ptr<SubmissionJournal>
+makeJournal(const ServerConfig &config)
+{
+    if (config.journalPath == "none")
+        return nullptr;
+    std::string path = config.journalPath;
+    if (path.empty())
+        path = config.cacheDir + "/journal.wal";
+    return std::make_unique<SubmissionJournal>(std::move(path));
 }
 
 } // namespace
 
 CampaignServer::CampaignServer(ServerConfig config)
     : config_(std::move(config)),
-      cache_(config_.cacheDir),
-      registry_(config_.registry, cache_)
+      cache_(CacheConfig{config_.cacheDir, config_.cacheMaxBytes}),
+      journal_(makeJournal(config_)),
+      registry_(config_.registry, cache_, journal_.get())
 {
 }
 
@@ -95,13 +117,44 @@ CampaignServer::start(std::string *error)
     std::memcpy(address.sun_path, config_.socketPath.c_str(),
                 config_.socketPath.size() + 1);
 
+    // A socket file may be left behind: by a crashed predecessor
+    // (stale — reclaim it) or by a daemon that is still alive (never
+    // clobber it). A connect probe tells the two apart.
+    struct stat existing{};
+    if (::lstat(config_.socketPath.c_str(), &existing) == 0) {
+        if (!S_ISSOCK(existing.st_mode)) {
+            if (error) {
+                *error = "'" + config_.socketPath +
+                         "' exists and is not a socket; refusing to"
+                         " remove it";
+            }
+            return false;
+        }
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            const bool alive =
+                ::connect(probe,
+                          reinterpret_cast<const sockaddr *>(&address),
+                          sizeof(address)) == 0;
+            ::close(probe);
+            if (alive) {
+                if (error) {
+                    *error = "another daemon is listening on '" +
+                             config_.socketPath + "'";
+                }
+                return false;
+            }
+        }
+        // Nobody answered: a dead daemon's leftover. Reclaim it.
+        ::unlink(config_.socketPath.c_str());
+    }
+
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
         if (error)
             *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
-    ::unlink(config_.socketPath.c_str());
     if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&address),
                sizeof(address)) != 0) {
         if (error) {
@@ -337,7 +390,10 @@ CampaignServer::handleLine(const SessionPtr &session,
         return;
 
       case RequestType::Stats:
-        sendLine(session, statsResponse(registry_.stats()));
+        sendLine(session,
+                 statsResponse(registry_.stats(), cache_.stats(),
+                               registry_.recovery(),
+                               journal_ ? journal_->appendCount() : 0));
         return;
 
       case RequestType::Shutdown: {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 
@@ -40,6 +41,11 @@ struct ServerConfig
     std::string socketPath;
     /** Artifact cache directory. */
     std::string cacheDir;
+    /** Artifact-byte budget for the cache (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 0;
+    /** Write-ahead submission journal. Empty derives
+     *  "<cacheDir>/journal.wal"; "none" disables durability. */
+    std::string journalPath;
     RegistryConfig registry;
     std::size_t maxLineBytes = kDefaultMaxLineBytes;
 };
@@ -54,8 +60,13 @@ class CampaignServer
     CampaignServer(const CampaignServer &) = delete;
     CampaignServer &operator=(const CampaignServer &) = delete;
 
-    /** Bind, listen, and spawn the accept loop. False + *error when
-     *  the socket cannot be set up. */
+    /**
+     * Bind, listen, and spawn the accept loop. False + *error when
+     * the socket cannot be set up. A socket file left behind by a
+     * crashed predecessor is detected by a connect probe (nobody
+     * answering ⟹ stale) and reclaimed; a path a *live* daemon
+     * answers on is refused instead of clobbered.
+     */
     bool start(std::string *error);
 
     /** Close the listener, end every session, stop the registry. */
@@ -68,6 +79,7 @@ class CampaignServer
 
     CampaignRegistry &registry() { return registry_; }
     ResultCache &cache() { return cache_; }
+    SubmissionJournal *journal() { return journal_.get(); }
 
   private:
     /** Shared connection state; watch sinks hold it beyond the
@@ -92,6 +104,8 @@ class CampaignServer
 
     ServerConfig config_;
     ResultCache cache_;
+    /** Null when durability is explicitly disabled. */
+    std::unique_ptr<SubmissionJournal> journal_;
     CampaignRegistry registry_;
 
     int listenFd_ = -1;

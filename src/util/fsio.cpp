@@ -1,0 +1,223 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace nocalert {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** CRC-32 lookup table for the reflected IEEE polynomial. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+fillError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** write(2) until done, retrying EINTR and short writes. */
+bool
+writeAll(int fd, std::string_view bytes)
+{
+    while (!bytes.empty()) {
+        const ssize_t wrote = ::write(fd, bytes.data(), bytes.size());
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        bytes.remove_prefix(static_cast<std::size_t>(wrote));
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view bytes)
+{
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (unsigned char byte : bytes)
+        crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string
+crc32Hex(std::uint32_t crc)
+{
+    char hex[9];
+    std::snprintf(hex, sizeof(hex), "%08x", crc);
+    return std::string(hex);
+}
+
+std::optional<std::uint32_t>
+parseCrc32Hex(std::string_view hex)
+{
+    if (hex.size() != 8)
+        return std::nullopt;
+    std::uint32_t value = 0;
+    for (char c : hex) {
+        value <<= 4;
+        if (c >= '0' && c <= '9')
+            value |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            value |= static_cast<std::uint32_t>(c - 'A' + 10);
+        else
+            return std::nullopt;
+    }
+    return value;
+}
+
+void
+syncParentDirectory(const std::string &path)
+{
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd); // Best effort: some filesystems refuse dir fsync.
+    ::close(fd);
+}
+
+bool
+writeFileAtomic(const std::string &path, std::string_view bytes,
+                std::string *error)
+{
+    // The temp name carries the pid so concurrent writers (two
+    // daemons pointed at one cache by mistake) never tear each
+    // other's staging file.
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        fillError(error, "cannot open '" + temp + "'");
+        return false;
+    }
+    if (!writeAll(fd, bytes)) {
+        fillError(error, "write '" + temp + "'");
+        ::close(fd);
+        ::unlink(temp.c_str());
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        fillError(error, "fsync '" + temp + "'");
+        ::close(fd);
+        ::unlink(temp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        fillError(error, "close '" + temp + "'");
+        ::unlink(temp.c_str());
+        return false;
+    }
+    if (::rename(temp.c_str(), path.c_str()) != 0) {
+        fillError(error, "rename '" + temp + "' to '" + path + "'");
+        ::unlink(temp.c_str());
+        return false;
+    }
+    syncParentDirectory(path);
+    return true;
+}
+
+std::optional<std::string>
+readFileBytes(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return std::nullopt;
+    std::string bytes;
+    char buffer[1 << 16];
+    for (;;) {
+        const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (got == 0)
+            break;
+        bytes.append(buffer, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+    return bytes;
+}
+
+DurableAppender::~DurableAppender() { close(); }
+
+bool
+DurableAppender::open(const std::string &path, std::string *error)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        fillError(error, "cannot open '" + path + "' for appending");
+        return false;
+    }
+    path_ = path;
+    // A freshly created journal must itself survive a crash: make the
+    // directory entry durable before the first record relies on it.
+    syncParentDirectory(path);
+    return true;
+}
+
+bool
+DurableAppender::append(std::string_view bytes, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "appender is not open";
+        return false;
+    }
+    if (!writeAll(fd_, bytes)) {
+        fillError(error, "append '" + path_ + "'");
+        return false;
+    }
+    if (::fsync(fd_) != 0) {
+        fillError(error, "fsync '" + path_ + "'");
+        return false;
+    }
+    return true;
+}
+
+void
+DurableAppender::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace nocalert

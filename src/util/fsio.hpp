@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Crash-consistent file I/O primitives shared by every layer that
+ * persists state the process must be able to trust after a kill -9:
+ * the serve journal, the artifact cache, and the chaos harness.
+ *
+ * The contract of writeFileAtomic is all-or-nothing *and* durable:
+ * bytes land in a temporary file in the target's directory, the file
+ * is fsync'd, renamed over the target, and the directory entry is
+ * fsync'd too — so after the call returns true, a crash at any later
+ * instant leaves exactly the new content, and a crash at any earlier
+ * instant leaves exactly the old content (or nothing). Readers never
+ * observe a torn file through this path.
+ *
+ * crc32 is the IEEE 802.3 polynomial (the zlib/PNG one), computed in
+ * software so artifacts and journal records verify identically on
+ * every platform and toolchain.
+ */
+
+#ifndef NOCALERT_UTIL_FSIO_HPP
+#define NOCALERT_UTIL_FSIO_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nocalert {
+
+/** CRC-32 (IEEE, reflected, init/final 0xFFFFFFFF) of @p bytes. */
+std::uint32_t crc32(std::string_view bytes);
+
+/** @p crc as the fixed-width lowercase hex the stores frame it as. */
+std::string crc32Hex(std::uint32_t crc);
+
+/** Parse an 8-digit hex CRC; nullopt on any malformation. */
+std::optional<std::uint32_t> parseCrc32Hex(std::string_view hex);
+
+/**
+ * Replace @p path with @p bytes atomically and durably (see file
+ * comment). False + *error (when non-null) on any failure; the
+ * target is untouched in that case and the temp file is cleaned up.
+ */
+bool writeFileAtomic(const std::string &path, std::string_view bytes,
+                     std::string *error = nullptr);
+
+/** Whole file as bytes; nullopt when it cannot be opened or read. */
+std::optional<std::string> readFileBytes(const std::string &path);
+
+/** fsync the directory containing @p path (crash-durable renames and
+ *  unlinks). Best effort on filesystems without directory fsync. */
+void syncParentDirectory(const std::string &path);
+
+/**
+ * Append-only file handle with explicit durability: every append is
+ * written fully (retrying EINTR/short writes) and fsync'd before
+ * returning true — the write-ahead discipline journals need. The
+ * file is created when missing; opening never truncates.
+ */
+class DurableAppender
+{
+  public:
+    DurableAppender() = default;
+    ~DurableAppender();
+
+    DurableAppender(const DurableAppender &) = delete;
+    DurableAppender &operator=(const DurableAppender &) = delete;
+
+    /** Open (creating if needed) for appending. False + *error. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** Write + fsync @p bytes at the end of the file. */
+    bool append(std::string_view bytes, std::string *error = nullptr);
+
+    /** Close the descriptor (also done by the destructor). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace nocalert
+
+#endif // NOCALERT_UTIL_FSIO_HPP

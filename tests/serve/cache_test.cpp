@@ -1,0 +1,252 @@
+/**
+ * ResultCache hardening battery: verify-on-read (CRC sidecar and the
+ * identity-hash fallback for legacy entries), quarantine of corrupt
+ * artifacts into corrupt/ (a flipped bit is a cache miss plus a
+ * preserved specimen, never served bytes), sidecar healing, LRU
+ * eviction under a byte budget, and pin exemption for live campaigns.
+ */
+
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "fault/serialize.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace nocalert::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fault::CampaignConfig
+tinySpec(std::uint64_t traffic_seed)
+{
+    fault::CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = traffic_seed;
+    config.warmup = 80;
+    config.observeWindow = 400;
+    config.drainLimit = 2000;
+    config.maxSites = 3;
+    config.runForever = false;
+    return config;
+}
+
+/** A minimal artifact whose config block hashes to its own key —
+ *  enough for identity verification without running a campaign. */
+std::string
+artifactFor(const fault::CampaignConfig &spec)
+{
+    JsonValue doc;
+    doc.set("config", fault::toJson(spec));
+    doc.set("runs", 0);
+    return doc.dump();
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_cache_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    CacheConfig budget(std::uint64_t max_bytes) const
+    {
+        return CacheConfig{dir_.string(), max_bytes};
+    }
+
+    /** Overwrite one byte of @p path in place (damage injection). */
+    static void flipByteAt(const std::string &path, std::size_t at)
+    {
+        const auto bytes = readFileBytes(path);
+        ASSERT_TRUE(bytes.has_value()) << path;
+        ASSERT_LT(at, bytes->size());
+        std::string damaged = *bytes;
+        damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file.write(damaged.data(),
+                   static_cast<std::streamsize>(damaged.size()));
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(CacheTest, StoreWritesArtifactAndCrcSidecar)
+{
+    ResultCache cache(budget(0));
+    ASSERT_TRUE(cache.store("k1", "artifact bytes"));
+    const auto sidecar = readFileBytes(cache.sidecarPath("k1"));
+    ASSERT_TRUE(sidecar.has_value());
+    EXPECT_EQ(*sidecar, crc32Hex(crc32("artifact bytes")) + "\n");
+
+    const auto fetched = cache.fetch("k1");
+    ASSERT_TRUE(fetched.has_value());
+    EXPECT_EQ(*fetched, "artifact bytes");
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().bytesStored,
+              std::string("artifact bytes").size());
+}
+
+TEST_F(CacheTest, BitFlippedArtifactIsQuarantinedNotServed)
+{
+    // Regression: a single flipped bit in a cached artifact must read
+    // as a miss and move the specimen to corrupt/ — never be served,
+    // never crash the daemon.
+    const std::string artifact = artifactFor(tinySpec(11));
+    {
+        ResultCache cache(budget(0));
+        ASSERT_TRUE(cache.store("k1", artifact));
+    }
+    ResultCache reopened(budget(0));
+    flipByteAt(reopened.artifactPath("k1"), artifact.size() / 2);
+
+    FatalThrowScope guard; // A quarantine must not fatal.
+    EXPECT_FALSE(reopened.fetch("k1").has_value());
+    EXPECT_EQ(reopened.stats().quarantined, 1u);
+    EXPECT_EQ(reopened.stats().entries, 0u);
+    EXPECT_FALSE(fs::exists(reopened.artifactPath("k1")));
+    EXPECT_TRUE(fs::exists(fs::path(reopened.corruptDirectory()) /
+                           "k1.json"));
+    // The miss is durable: a later fetch is still a miss, and a
+    // re-store of good bytes works.
+    EXPECT_FALSE(reopened.fetch("k1").has_value());
+    ASSERT_TRUE(reopened.store("k1", artifact));
+    EXPECT_EQ(reopened.fetch("k1"), artifact);
+}
+
+TEST_F(CacheTest, CorruptSidecarQuarantinesToo)
+{
+    {
+        ResultCache cache(budget(0));
+        ASSERT_TRUE(cache.store("k1", "payload"));
+    }
+    ResultCache reopened(budget(0));
+    flipByteAt(reopened.sidecarPath("k1"), 0);
+    FatalThrowScope guard;
+    EXPECT_FALSE(reopened.fetch("k1").has_value());
+    EXPECT_EQ(reopened.stats().quarantined, 1u);
+}
+
+TEST_F(CacheTest, LegacySidecarlessEntryIsVerifiedAndHealed)
+{
+    const fault::CampaignConfig spec = tinySpec(13);
+    const std::string key = fault::campaignArtifactHash(spec);
+    const std::string artifact = artifactFor(spec);
+
+    ResultCache cache(budget(0));
+    // Simulate an entry inherited from a pre-CRC store: artifact on
+    // disk, no sidecar.
+    ASSERT_TRUE(writeFileAtomic(cache.artifactPath(key), artifact));
+    ASSERT_FALSE(fs::exists(cache.sidecarPath(key)));
+
+    const auto fetched = cache.fetch(key);
+    ASSERT_TRUE(fetched.has_value());
+    EXPECT_EQ(*fetched, artifact);
+    // First read upgraded the entry to CRC coverage.
+    const auto sidecar = readFileBytes(cache.sidecarPath(key));
+    ASSERT_TRUE(sidecar.has_value());
+    EXPECT_EQ(*sidecar, crc32Hex(crc32(artifact)) + "\n");
+}
+
+TEST_F(CacheTest, MisfiledLegacyEntryIsQuarantined)
+{
+    // An artifact stored under a key that is not its own identity
+    // hash fails the fallback check.
+    ResultCache cache(budget(0));
+    ASSERT_TRUE(writeFileAtomic(cache.artifactPath("wrongkey"),
+                                artifactFor(tinySpec(17))));
+    FatalThrowScope guard;
+    EXPECT_FALSE(cache.fetch("wrongkey").has_value());
+    EXPECT_EQ(cache.stats().quarantined, 1u);
+    EXPECT_TRUE(fs::exists(fs::path(cache.corruptDirectory()) /
+                           "wrongkey.json"));
+}
+
+TEST_F(CacheTest, EvictionIsLruUnderTheByteBudget)
+{
+    ResultCache cache(budget(25));
+    const std::string ten(10, 'x');
+    ASSERT_TRUE(cache.store("k1", ten));
+    ASSERT_TRUE(cache.store("k2", ten));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    // Touch k1 so k2 becomes the LRU tail.
+    EXPECT_TRUE(cache.fetch("k1").has_value());
+    ASSERT_TRUE(cache.store("k3", ten)); // 30 bytes > 25: evict k2.
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_LE(cache.stats().bytesStored, 25u);
+    EXPECT_FALSE(fs::exists(cache.artifactPath("k2")));
+    EXPECT_FALSE(fs::exists(cache.sidecarPath("k2")));
+    EXPECT_TRUE(cache.fetch("k1").has_value());
+    EXPECT_TRUE(cache.fetch("k3").has_value());
+}
+
+TEST_F(CacheTest, PinnedEntriesAreExemptFromEviction)
+{
+    ResultCache cache(budget(15));
+    const std::string ten(10, 'x');
+    ASSERT_TRUE(cache.store("live", ten));
+    cache.pin("live");
+    ASSERT_TRUE(cache.store("other", ten)); // Over budget.
+    // "live" was the LRU tail but is pinned: "other" is the victim.
+    EXPECT_TRUE(fs::exists(cache.artifactPath("live")));
+    EXPECT_FALSE(fs::exists(cache.artifactPath("other")));
+    cache.unpin("live");
+    ASSERT_TRUE(cache.store("third", ten));
+    EXPECT_FALSE(fs::exists(cache.artifactPath("live")));
+}
+
+TEST_F(CacheTest, RestartInheritsTheStoreAndItsOccupancy)
+{
+    {
+        ResultCache cache(budget(0));
+        ASSERT_TRUE(cache.store("k1", "aaaa"));
+        ASSERT_TRUE(cache.store("k2", "bbbbbb"));
+    }
+    ResultCache reopened(budget(0));
+    EXPECT_EQ(reopened.stats().entries, 2u);
+    EXPECT_EQ(reopened.stats().bytesStored, 10u);
+    EXPECT_EQ(reopened.memoryEntries(), 0u); // Disk-seeded, lazy.
+    EXPECT_EQ(reopened.fetch("k1"), "aaaa");
+    EXPECT_EQ(reopened.fetch("k2"), "bbbbbb");
+}
+
+TEST_F(CacheTest, TempDebrisAndCheckpointsAreNotIndexed)
+{
+    {
+        ResultCache cache(budget(0));
+        ASSERT_TRUE(cache.store("k1", "real"));
+        ASSERT_TRUE(writeFileAtomic(cache.checkpointPath("k1"),
+                                    "checkpoint"));
+        std::ofstream((dir_ / "k2.json.tmp.123").string())
+            << "torn temp";
+    }
+    ResultCache reopened(budget(0));
+    EXPECT_EQ(reopened.stats().entries, 1u);
+}
+
+} // namespace
+} // namespace nocalert::serve

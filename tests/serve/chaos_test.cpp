@@ -1,0 +1,399 @@
+/**
+ * Chaos fault-injection harness: the real nocalert_serve daemon is
+ * SIGKILLed at randomized points mid-campaign, its journal and cache
+ * are actively damaged (torn tails, flipped bits), and after every
+ * restart the served artifact must still come out byte-identical to
+ * an uninterrupted in-process run of the same spec.
+ *
+ * Each kill/restart cycle also exercises the stale-socket reclaim
+ * (kill -9 always leaves the socket file behind) and the client's
+ * retry/backoff path (the post-restart submission races the daemon's
+ * bind).
+ *
+ * Cycle count and RNG seed come from NOCALERT_CHAOS_CYCLES and
+ * NOCALERT_CHAOS_SEED (scripts/chaos_smoke.sh runs the long battery);
+ * the seed is always logged so any failure replays exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/serialize.hpp"
+
+#ifndef NOCALERT_SERVE_BIN
+#error "NOCALERT_SERVE_BIN must point at the nocalert_serve binary"
+#endif
+#ifndef NOCALERT_CLIENT_BIN
+#error "NOCALERT_CLIENT_BIN must point at the nocalert_client binary"
+#endif
+
+namespace nocalert::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fault::CampaignConfig
+tinySpec(std::uint64_t traffic_seed)
+{
+    fault::CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = traffic_seed;
+    config.warmup = 80;
+    config.observeWindow = 400;
+    config.drainLimit = 2000;
+    config.maxSites = 3;
+    config.runForever = false;
+    return config;
+}
+
+/** The uninterrupted ground truth for @p spec, byte for byte. */
+std::string
+directArtifact(const fault::CampaignConfig &spec)
+{
+    fault::FaultCampaign campaign(spec);
+    const fault::CampaignResult result = campaign.run();
+    EXPECT_TRUE(result.complete());
+    return fault::writeCampaignJson(result);
+}
+
+int
+exitStatus(const std::string &command)
+{
+    const int raw = std::system(command.c_str());
+    EXPECT_NE(raw, -1) << command;
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+}
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+}
+
+/** The daemon as a child process we can kill -9 at will. */
+class Daemon
+{
+  public:
+    ~Daemon() { kill9(); }
+
+    bool start(const std::string &socket, const std::string &cache,
+               const std::string &log)
+    {
+        pid_ = ::fork();
+        if (pid_ == 0) {
+            const int fd = ::open(log.c_str(),
+                                  O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                ::close(fd);
+            }
+            ::execl(NOCALERT_SERVE_BIN, NOCALERT_SERVE_BIN, "--socket",
+                    socket.c_str(), "--cache", cache.c_str(), "--jobs",
+                    "1", "--quantum", "2", "--checkpoint-every", "1",
+                    static_cast<char *>(nullptr));
+            _exit(127); // exec failed.
+        }
+        return pid_ > 0;
+    }
+
+    bool running() const { return pid_ > 0; }
+
+    /** The crash under test: no warning, no cleanup, no flush. */
+    void kill9()
+    {
+        if (pid_ <= 0)
+            return;
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
+    /** Reap after a clean client-driven shutdown. */
+    bool reap()
+    {
+        if (pid_ <= 0)
+            return true;
+        int status = 0;
+        const pid_t got = ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        return got > 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+
+  private:
+    pid_t pid_ = -1;
+};
+
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_chaos_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+        socket_ = (dir_ / "sock").string();
+        cache_ = (dir_ / "cache").string();
+        log_ = (dir_ / "serve.log").string();
+
+        seed_ = envUnsigned("NOCALERT_CHAOS_SEED",
+                            std::random_device{}());
+        rng_.seed(seed_);
+        std::fprintf(stderr,
+                     "chaos: NOCALERT_CHAOS_SEED=%u (export to"
+                     " reproduce)\n",
+                     seed_);
+    }
+
+    void TearDown() override
+    {
+        daemon_.kill9();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** `nocalert_client <command> --socket <sock>`. */
+    std::string client(const std::string &command) const
+    {
+        return std::string(NOCALERT_CLIENT_BIN) + " " + command +
+               " --socket " + socket_;
+    }
+
+    /** Start the daemon and wait until it answers a ping. The ping
+     *  itself uses the client's retry/backoff (the stale socket file
+     *  of a killed predecessor refuses connections until the reclaim
+     *  happens). */
+    void startDaemonAndAwait()
+    {
+        ASSERT_TRUE(daemon_.start(socket_, cache_, log_));
+        ASSERT_EQ(exitStatus(client("ping") +
+                             " --retries 40 --retry-base-ms 20"
+                             " >/dev/null 2>&1"),
+                  0)
+            << readFile(log_);
+    }
+
+    std::string specPath(const fault::CampaignConfig &spec)
+    {
+        const std::string path = (dir_ / "spec.json").string();
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file << fault::toJson(spec).dump();
+        return path;
+    }
+
+    /** Fire-and-forget submission (detached), so the campaign is
+     *  running unattended when the SIGKILL lands. */
+    void submitDetached(const std::string &spec_path)
+    {
+        ASSERT_EQ(exitStatus(client("submit") + " --spec " + spec_path +
+                             " >/dev/null 2>/dev/null"),
+                  0);
+    }
+
+    /** Submit-and-wait with retries; returns the artifact bytes. */
+    std::string submitAndFetch(const std::string &spec_path)
+    {
+        const std::string out = (dir_ / "served.json").string();
+        std::error_code ec;
+        fs::remove(out, ec);
+        EXPECT_EQ(exitStatus(client("submit") + " --spec " + spec_path +
+                             " --wait --retries 10 --retry-base-ms 20"
+                             " --out " + out + " 2>/dev/null"),
+                  0)
+            << readFile(log_);
+        return readFile(out);
+    }
+
+    std::uniform_int_distribution<int>::result_type
+    below(int bound)
+    {
+        return std::uniform_int_distribution<int>(0, bound - 1)(rng_);
+    }
+
+    /** Flip one random byte of @p path in place. */
+    void flipRandomByte(const std::string &path)
+    {
+        std::string bytes = readFile(path);
+        if (bytes.empty())
+            return;
+        const std::size_t at =
+            static_cast<std::size_t>(below(static_cast<int>(
+                bytes.size())));
+        bytes[at] = static_cast<char>(bytes[at] ^ (1u << below(8)));
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** Chop 1..24 random bytes off the end of @p path (a torn
+     *  append). */
+    void truncateTail(const std::string &path)
+    {
+        std::string bytes = readFile(path);
+        if (bytes.empty())
+            return;
+        const std::size_t cut = static_cast<std::size_t>(
+            1 + below(static_cast<int>(
+                    std::min<std::size_t>(24, bytes.size()))));
+        bytes.resize(bytes.size() - cut);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** The most recently written artifact in the cache, if any. */
+    std::string newestArtifact() const
+    {
+        std::string newest;
+        fs::file_time_type when;
+        std::error_code ec;
+        for (const auto &entry : fs::directory_iterator(cache_, ec)) {
+            const std::string name =
+                entry.path().filename().string();
+            if (name.size() < 5 ||
+                name.compare(name.size() - 5, 5, ".json") != 0 ||
+                name.find(".ckpt.") != std::string::npos) {
+                continue;
+            }
+            const auto time = entry.last_write_time(ec);
+            if (newest.empty() || time > when) {
+                newest = entry.path().string();
+                when = time;
+            }
+        }
+        return newest;
+    }
+
+    /** One flavor of post-crash damage, chosen per cycle. */
+    void injectDamage(unsigned cycle)
+    {
+        const std::string journal =
+            (fs::path(cache_) / "journal.wal").string();
+        switch (cycle % 4) {
+          case 0:
+            break; // A plain crash: torn tails happen on their own.
+          case 1:
+            truncateTail(journal);
+            break;
+          case 2:
+            flipRandomByte(journal);
+            break;
+          case 3:
+            if (const std::string artifact = newestArtifact();
+                !artifact.empty()) {
+                flipRandomByte(artifact);
+            }
+            break;
+        }
+    }
+
+    fs::path dir_;
+    std::string socket_;
+    std::string cache_;
+    std::string log_;
+    unsigned seed_ = 0;
+    std::mt19937 rng_;
+    Daemon daemon_;
+};
+
+TEST_F(ChaosTest, Kill9AtRandomPointsAlwaysRecoversByteIdentically)
+{
+    const unsigned cycles = envUnsigned("NOCALERT_CHAOS_CYCLES", 5);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        SCOPED_TRACE("cycle " + std::to_string(cycle) + " seed " +
+                     std::to_string(seed_));
+        const fault::CampaignConfig spec = tinySpec(100 + cycle);
+        const std::string reference = directArtifact(spec);
+        const std::string spec_path = specPath(spec);
+
+        startDaemonAndAwait();
+        submitDetached(spec_path);
+        // Let the campaign advance an arbitrary amount — the kill
+        // lands anywhere from "queued, never ran" to "one quantum
+        // from done".
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(below(400)));
+        daemon_.kill9();
+        injectDamage(cycle);
+
+        // Restart over the debris: stale socket, torn journal,
+        // possibly flipped bytes. The daemon must come up, requeue
+        // what the journal promised, and converge on the exact bytes
+        // an uninterrupted run produces.
+        startDaemonAndAwait();
+        EXPECT_EQ(submitAndFetch(spec_path), reference);
+
+        ASSERT_EQ(exitStatus(client("shutdown") + " >/dev/null 2>&1"),
+                  0);
+        EXPECT_TRUE(daemon_.reap()) << readFile(log_);
+    }
+}
+
+TEST_F(ChaosTest, DamagedStoreSelfHealsAcrossARestart)
+{
+    const fault::CampaignConfig spec = tinySpec(77);
+    const std::string reference = directArtifact(spec);
+    const std::string spec_path = specPath(spec);
+
+    // A clean first life: run to completion, shut down politely.
+    startDaemonAndAwait();
+    ASSERT_EQ(submitAndFetch(spec_path), reference);
+    ASSERT_EQ(exitStatus(client("shutdown") + " >/dev/null 2>&1"), 0);
+    ASSERT_TRUE(daemon_.reap());
+
+    // Bit-rot both stores while the daemon is down: the completed
+    // artifact and the journal that vouches for it.
+    const std::string artifact = newestArtifact();
+    ASSERT_FALSE(artifact.empty());
+    flipRandomByte(artifact);
+    truncateTail((fs::path(cache_) / "journal.wal").string());
+
+    // The second life must detect the damage (quarantine, not serve),
+    // recompute from the journalled spec, and serve the same bytes.
+    startDaemonAndAwait();
+    EXPECT_EQ(submitAndFetch(spec_path), reference);
+
+    const std::string stats_path = (dir_ / "stats.txt").string();
+    ASSERT_EQ(exitStatus(client("stats") + " > " + stats_path), 0);
+    const std::string stats = readFile(stats_path);
+    EXPECT_NE(stats.find("cacheQuarantined"), std::string::npos)
+        << stats;
+    ASSERT_EQ(exitStatus(client("shutdown") + " >/dev/null 2>&1"), 0);
+    EXPECT_TRUE(daemon_.reap());
+}
+
+} // namespace
+} // namespace nocalert::serve

@@ -1,0 +1,312 @@
+/**
+ * Write-ahead submission journal battery: record encode/decode round
+ * trips, rejection of every flavor of damage (bad magic, flipped
+ * bits, truncation), replay folding (submit/start/cancel/complete/
+ * fail, resubmission after settlement), torn-tail and mid-file
+ * corruption recovery, and compaction down to the live set — the
+ * exact moves the daemon makes after a kill -9.
+ */
+
+#include "serve/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fault/serialize.hpp"
+#include "util/fsio.hpp"
+
+namespace nocalert::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fault::CampaignConfig
+tinySpec(std::uint64_t traffic_seed)
+{
+    fault::CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = traffic_seed;
+    config.warmup = 80;
+    config.observeWindow = 400;
+    config.drainLimit = 2000;
+    config.maxSites = 3;
+    config.runForever = false;
+    return config;
+}
+
+JournalRecord
+submitRecord(const std::string &id, std::uint64_t seed,
+             bool detach = true)
+{
+    JournalRecord record;
+    record.op = JournalRecord::Op::Submit;
+    record.id = id;
+    record.config = tinySpec(seed);
+    record.detach = detach;
+    return record;
+}
+
+JournalRecord
+bareRecord(JournalRecord::Op op, const std::string &id)
+{
+    JournalRecord record;
+    record.op = op;
+    record.id = id;
+    return record;
+}
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_journal_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+        path_ = (dir_ / "journal.wal").string();
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** Append raw bytes bypassing the journal (damage injection). */
+    void appendRaw(const std::string &bytes)
+    {
+        std::ofstream file(path_, std::ios::binary | std::ios::app);
+        file.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+    }
+
+    fs::path dir_;
+    std::string path_;
+};
+
+TEST_F(JournalTest, EncodeDecodeRoundTripsEveryOp)
+{
+    const JournalRecord submit = submitRecord("abc123", 7, false);
+    const std::string line = SubmissionJournal::encodeRecord(submit);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    const auto decoded = SubmissionJournal::decodeLine(
+        std::string_view(line).substr(0, line.size() - 1));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, JournalRecord::Op::Submit);
+    EXPECT_EQ(decoded->id, "abc123");
+    EXPECT_FALSE(decoded->detach);
+    ASSERT_TRUE(decoded->config.has_value());
+    EXPECT_EQ(fault::campaignArtifactHash(*decoded->config),
+              fault::campaignArtifactHash(tinySpec(7)));
+
+    for (const JournalRecord::Op op :
+         {JournalRecord::Op::Start, JournalRecord::Op::Cancel,
+          JournalRecord::Op::Complete}) {
+        const std::string encoded =
+            SubmissionJournal::encodeRecord(bareRecord(op, "xyz"));
+        const auto back = SubmissionJournal::decodeLine(
+            std::string_view(encoded).substr(0, encoded.size() - 1));
+        ASSERT_TRUE(back.has_value()) << journalOpName(op);
+        EXPECT_EQ(back->op, op);
+        EXPECT_EQ(back->id, "xyz");
+    }
+
+    JournalRecord fail = bareRecord(JournalRecord::Op::Fail, "xyz");
+    fail.message = "golden run cannot drain";
+    const std::string encoded = SubmissionJournal::encodeRecord(fail);
+    const auto back = SubmissionJournal::decodeLine(
+        std::string_view(encoded).substr(0, encoded.size() - 1));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->op, JournalRecord::Op::Fail);
+    EXPECT_EQ(back->message, "golden run cannot drain");
+}
+
+TEST_F(JournalTest, DecodeRejectsEveryFlavorOfDamage)
+{
+    std::string line = SubmissionJournal::encodeRecord(
+        bareRecord(JournalRecord::Op::Start, "abc"));
+    line.pop_back(); // decodeLine takes the line sans newline.
+
+    EXPECT_TRUE(SubmissionJournal::decodeLine(line).has_value());
+    // Wrong magic.
+    std::string magic = line;
+    magic[0] = 'X';
+    EXPECT_FALSE(SubmissionJournal::decodeLine(magic).has_value());
+    // A flipped payload bit breaks the CRC.
+    std::string flipped = line;
+    flipped[flipped.size() - 2] ^= 0x01;
+    EXPECT_FALSE(SubmissionJournal::decodeLine(flipped).has_value());
+    // A flipped CRC digit breaks the CRC the other way.
+    std::string crcFlip = line;
+    crcFlip[4] = crcFlip[4] == '0' ? '1' : '0';
+    EXPECT_FALSE(SubmissionJournal::decodeLine(crcFlip).has_value());
+    // Truncation (a torn write) never decodes.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{12},
+          line.size() - 1}) {
+        EXPECT_FALSE(SubmissionJournal::decodeLine(
+                         std::string_view(line).substr(0, keep))
+                         .has_value())
+            << "kept " << keep;
+    }
+    // A valid frame around non-record JSON is still rejected.
+    const std::string payload = "{\"op\":\"submit\",\"id\":\"\"}";
+    EXPECT_FALSE(SubmissionJournal::decodeLine(
+                     "NJ1 " + crc32Hex(crc32(payload)) + " " + payload)
+                     .has_value());
+}
+
+TEST_F(JournalTest, ReplayOfMissingFileIsCleanFirstBoot)
+{
+    SubmissionJournal journal(path_);
+    const JournalReplay replay = journal.replay();
+    EXPECT_TRUE(replay.pending.empty());
+    EXPECT_TRUE(replay.completed.empty());
+    EXPECT_EQ(replay.recordsReplayed, 0u);
+    EXPECT_EQ(replay.recordsCorrupt, 0u);
+    EXPECT_EQ(replay.bytesDroppedAtTail, 0u);
+}
+
+TEST_F(JournalTest, ReplayFoldsLifecyclesPerId)
+{
+    SubmissionJournal journal(path_);
+    // A: submitted, never started.      -> pending, !started
+    // B: submitted + started.           -> pending, started
+    // C: ran to completion.             -> completed
+    // D: cancelled.                     -> settled, gone
+    // E: failed.                        -> settled, gone
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+    ASSERT_TRUE(journal.append(submitRecord("b", 2)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Start, "b")));
+    ASSERT_TRUE(journal.append(submitRecord("c", 3)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Complete, "c")));
+    ASSERT_TRUE(journal.append(submitRecord("d", 4)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Cancel, "d")));
+    ASSERT_TRUE(journal.append(submitRecord("e", 5)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Fail, "e")));
+    EXPECT_EQ(journal.appendCount(), 9u);
+
+    const JournalReplay replay = journal.replay();
+    EXPECT_EQ(replay.recordsReplayed, 9u);
+    EXPECT_EQ(replay.recordsCorrupt, 0u);
+    EXPECT_EQ(replay.bytesDroppedAtTail, 0u);
+    ASSERT_EQ(replay.pending.size(), 2u);
+    EXPECT_EQ(replay.pending[0].id, "a"); // Submit order preserved.
+    EXPECT_FALSE(replay.pending[0].started);
+    EXPECT_EQ(replay.pending[1].id, "b");
+    EXPECT_TRUE(replay.pending[1].started);
+    ASSERT_EQ(replay.completed.size(), 1u);
+    EXPECT_EQ(replay.completed[0].id, "c");
+    ASSERT_TRUE(replay.completed[0].config.has_value());
+    EXPECT_EQ(fault::campaignArtifactHash(*replay.completed[0].config),
+              fault::campaignArtifactHash(tinySpec(3)));
+}
+
+TEST_F(JournalTest, ResubmissionAfterSettlementReopensTheId)
+{
+    SubmissionJournal journal(path_);
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Cancel, "a")));
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+
+    const JournalReplay replay = journal.replay();
+    ASSERT_EQ(replay.pending.size(), 1u);
+    EXPECT_EQ(replay.pending[0].id, "a");
+    EXPECT_TRUE(replay.completed.empty());
+}
+
+TEST_F(JournalTest, TornTailIsDroppedNotTrusted)
+{
+    SubmissionJournal journal(path_);
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+    // The exact failure kill -9 manufactures: a record cut mid-write.
+    const std::string torn = SubmissionJournal::encodeRecord(
+        submitRecord("b", 2));
+    appendRaw(torn.substr(0, torn.size() / 2));
+
+    const JournalReplay replay = journal.replay();
+    EXPECT_EQ(replay.recordsReplayed, 1u);
+    EXPECT_EQ(replay.recordsCorrupt, 0u);
+    EXPECT_EQ(replay.bytesDroppedAtTail, torn.size() / 2);
+    ASSERT_EQ(replay.pending.size(), 1u);
+    EXPECT_EQ(replay.pending[0].id, "a");
+}
+
+TEST_F(JournalTest, BitFlippedRecordIsSkippedAndReplayResyncs)
+{
+    SubmissionJournal journal(path_);
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+    std::string damaged = SubmissionJournal::encodeRecord(
+        submitRecord("b", 2));
+    damaged[damaged.size() / 2] ^= 0x20; // Flip a payload bit.
+    appendRaw(damaged);
+    ASSERT_TRUE(journal.append(submitRecord("c", 3)));
+
+    const JournalReplay replay = journal.replay();
+    EXPECT_EQ(replay.recordsReplayed, 2u);
+    EXPECT_EQ(replay.recordsCorrupt, 1u);
+    ASSERT_EQ(replay.pending.size(), 2u);
+    EXPECT_EQ(replay.pending[0].id, "a");
+    EXPECT_EQ(replay.pending[1].id, "c"); // Resynced past the damage.
+}
+
+TEST_F(JournalTest, CompactRewritesToExactlyTheLiveSet)
+{
+    SubmissionJournal journal(path_);
+    ASSERT_TRUE(journal.append(submitRecord("a", 1)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Start, "a")));
+    ASSERT_TRUE(journal.append(submitRecord("b", 2)));
+    ASSERT_TRUE(
+        journal.append(bareRecord(JournalRecord::Op::Complete, "b")));
+    appendRaw("NJ1 deadbeef {\"to"); // Torn tail to clean out.
+
+    JournalReplay before = journal.replay();
+    ASSERT_EQ(before.pending.size(), 1u);
+    ASSERT_TRUE(journal.compact(before.pending));
+
+    // The compacted journal replays to the same live set, and the
+    // debris (settled records, torn tail) is gone from disk.
+    const JournalReplay after = journal.replay();
+    EXPECT_EQ(after.recordsReplayed, 2u); // submit a + start a.
+    EXPECT_EQ(after.recordsCorrupt, 0u);
+    EXPECT_EQ(after.bytesDroppedAtTail, 0u);
+    ASSERT_EQ(after.pending.size(), 1u);
+    EXPECT_EQ(after.pending[0].id, "a");
+    EXPECT_TRUE(after.pending[0].started);
+    EXPECT_TRUE(after.completed.empty());
+
+    // Appending after compaction still works (appender reopens).
+    ASSERT_TRUE(journal.append(submitRecord("c", 3)));
+    EXPECT_EQ(journal.replay().pending.size(), 2u);
+}
+
+TEST_F(JournalTest, AppendFailsCleanlyOnMissingDirectory)
+{
+    SubmissionJournal journal(
+        (dir_ / "absent" / "journal.wal").string());
+    std::string error;
+    EXPECT_FALSE(journal.append(submitRecord("a", 1), &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(journal.appendCount(), 0u);
+}
+
+} // namespace
+} // namespace nocalert::serve

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fault/serialize.hpp"
+#include "serve/journal.hpp"
 
 namespace nocalert::serve {
 namespace {
@@ -60,6 +61,51 @@ TEST(LineFramer, ReassemblesByteByByteChunks)
     ASSERT_EQ(lines.size(), 1u);
     EXPECT_EQ(lines[0].text, "{\"type\":\"ping\"}");
     EXPECT_FALSE(lines[0].oversized);
+}
+
+TEST(LineFramer, EmptyFeedsAreHarmlessAtAnyPoint)
+{
+    // An EINTR-interrupted read retries and may hand the framer zero
+    // bytes; interleaving empty feeds must never disturb framing.
+    LineFramer framer;
+    const std::string message = "{\"type\":\"ping\"}\n";
+    std::vector<LineFramer::Line> lines;
+    for (char byte : message) {
+        framer.feed(std::string_view());
+        framer.feed(std::string_view(&byte, 1));
+        framer.feed("");
+        for (const auto &line : drain(framer))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "{\"type\":\"ping\"}");
+    EXPECT_FALSE(framer.partialLine());
+}
+
+TEST(LineFramer, JournalRecordSurvivesASplitAtEveryBoundary)
+{
+    // The chaos harness feeds journal-framed records ("NJ1 <crc8>
+    // <json>\n") through this framer; a chunk boundary inside the
+    // magic, inside the CRC field, at the field separators, or just
+    // before the newline must all reassemble to the same line.
+    JournalRecord record;
+    record.op = JournalRecord::Op::Start;
+    record.id = "abc123";
+    const std::string line = SubmissionJournal::encodeRecord(record);
+    const std::string expected = line.substr(0, line.size() - 1);
+    for (std::size_t split = 0; split <= line.size(); ++split) {
+        LineFramer framer;
+        framer.feed(std::string_view(line).substr(0, split));
+        framer.feed(std::string_view(line).substr(split));
+        const auto lines = drain(framer);
+        ASSERT_EQ(lines.size(), 1u) << "split at " << split;
+        EXPECT_EQ(lines[0].text, expected) << "split at " << split;
+        EXPECT_FALSE(lines[0].oversized);
+        const auto decoded =
+            SubmissionJournal::decodeLine(lines[0].text);
+        ASSERT_TRUE(decoded.has_value()) << "split at " << split;
+        EXPECT_EQ(decoded->id, "abc123");
+    }
 }
 
 TEST(LineFramer, EmptyLinesAreDelivered)

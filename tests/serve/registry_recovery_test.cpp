@@ -1,0 +1,303 @@
+/**
+ * Journal-backed registry recovery battery: a registry torn down with
+ * work in flight (the in-process stand-in for kill -9 — the journal
+ * never sees a terminal record) rebuilds from the write-ahead log on
+ * construction, requeues unfinished submissions, re-verifies completed
+ * ones against the cache, self-heals artifacts that went missing or
+ * corrupt, and converges on artifacts byte-identical to an
+ * uninterrupted batch run.
+ */
+
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fault/serialize.hpp"
+#include "serve/journal.hpp"
+#include "util/fsio.hpp"
+
+namespace nocalert::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fault::CampaignConfig
+tinySpec(std::uint64_t traffic_seed)
+{
+    fault::CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.traffic.injectionRate = 0.05;
+    config.traffic.seed = traffic_seed;
+    config.warmup = 80;
+    config.observeWindow = 400;
+    config.drainLimit = 2000;
+    config.maxSites = 3;
+    config.runForever = false;
+    return config;
+}
+
+/** What the batch path would produce for @p spec, byte for byte. */
+std::string
+directArtifact(const fault::CampaignConfig &spec)
+{
+    fault::FaultCampaign campaign(spec);
+    const fault::CampaignResult result = campaign.run();
+    EXPECT_TRUE(result.complete());
+    return fault::writeCampaignJson(result);
+}
+
+class RegistryRecoveryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_recovery_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+        journalPath_ = (dir_ / "journal.wal").string();
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    RegistryConfig manual(unsigned quantum) const
+    {
+        RegistryConfig config;
+        config.jobs = 1;
+        config.quantum = quantum;
+        config.checkpointEvery = 1;
+        config.startScheduler = false;
+        return config;
+    }
+
+    void drain(CampaignRegistry &registry)
+    {
+        while (registry.stepOnce()) {
+        }
+    }
+
+    /** Flip one artifact byte on disk (post-crash corruption). */
+    static void corruptFile(const std::string &path)
+    {
+        const auto bytes = readFileBytes(path);
+        ASSERT_TRUE(bytes.has_value()) << path;
+        std::string damaged = *bytes;
+        damaged[damaged.size() / 2] ^=
+            static_cast<char>(0x01);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        file.write(damaged.data(),
+                   static_cast<std::streamsize>(damaged.size()));
+    }
+
+    fs::path dir_;
+    std::string journalPath_;
+};
+
+TEST_F(RegistryRecoveryTest, UnfinishedSubmissionIsRequeuedAndFinishes)
+{
+    const fault::CampaignConfig spec = tinySpec(31);
+    const std::string id = fault::campaignArtifactHash(spec);
+    ResultCache cache(dir_.string());
+
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(1), cache, &journal);
+        const SubmitOutcome out = registry.submit(spec, true, 1);
+        ASSERT_EQ(out.errorCode, nullptr) << out.error;
+        ASSERT_TRUE(registry.stepOnce()); // One quantum, then "crash".
+    } // Teardown cancels in memory but journals no terminal record.
+
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry revived(manual(1), cache, &journal);
+    const RecoveryInfo recovery = revived.recovery();
+    EXPECT_EQ(recovery.requeued, 1u);
+    EXPECT_EQ(recovery.completedVerified, 0u);
+    EXPECT_EQ(recovery.completedRequeued, 0u);
+    const auto status = revived.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_NE(status->state, CampaignState::Complete);
+
+    drain(revived);
+    const ResultOutcome result = revived.result(id);
+    ASSERT_TRUE(result.artifact.has_value()) << result.failure;
+    EXPECT_EQ(*result.artifact, directArtifact(spec));
+}
+
+TEST_F(RegistryRecoveryTest, MultipleCrashedSubmissionsAllRecover)
+{
+    const fault::CampaignConfig specA = tinySpec(33);
+    const fault::CampaignConfig specB = tinySpec(34);
+    ResultCache cache(dir_.string());
+
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(1), cache, &journal);
+        ASSERT_EQ(registry.submit(specA, true, 1).errorCode, nullptr);
+        ASSERT_EQ(registry.submit(specB, true, 1).errorCode, nullptr);
+    } // Neither ever ran: no start records, no checkpoints.
+
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry revived(manual(1), cache, &journal);
+    EXPECT_EQ(revived.recovery().requeued, 2u);
+    drain(revived);
+    for (const fault::CampaignConfig &spec : {specA, specB}) {
+        const ResultOutcome result =
+            revived.result(fault::campaignArtifactHash(spec));
+        ASSERT_TRUE(result.artifact.has_value()) << result.failure;
+        EXPECT_EQ(*result.artifact, directArtifact(spec));
+    }
+}
+
+TEST_F(RegistryRecoveryTest, CompletedSubmissionVerifiesWithoutRerun)
+{
+    const fault::CampaignConfig spec = tinySpec(35);
+    const std::string id = fault::campaignArtifactHash(spec);
+    ResultCache cache(dir_.string());
+    std::string artifact;
+
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(4), cache, &journal);
+        ASSERT_EQ(registry.submit(spec, true, 1).errorCode, nullptr);
+        drain(registry);
+        const ResultOutcome result = registry.result(id);
+        ASSERT_TRUE(result.artifact.has_value());
+        artifact = *result.artifact;
+    }
+
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry revived(manual(4), cache, &journal);
+    EXPECT_EQ(revived.recovery().completedVerified, 1u);
+    EXPECT_EQ(revived.recovery().requeued, 0u);
+    const auto status = revived.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, CampaignState::Complete);
+
+    const ResultOutcome result = revived.result(id);
+    ASSERT_TRUE(result.artifact.has_value());
+    EXPECT_EQ(*result.artifact, artifact);
+    EXPECT_EQ(revived.stats().runsExecuted, 0u); // Nothing re-ran.
+}
+
+TEST_F(RegistryRecoveryTest, CorruptCompletedArtifactIsRecomputed)
+{
+    const fault::CampaignConfig spec = tinySpec(36);
+    const std::string id = fault::campaignArtifactHash(spec);
+    std::string artifact;
+
+    {
+        ResultCache cache(dir_.string());
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(4), cache, &journal);
+        ASSERT_EQ(registry.submit(spec, true, 1).errorCode, nullptr);
+        drain(registry);
+        const ResultOutcome result = registry.result(id);
+        ASSERT_TRUE(result.artifact.has_value());
+        artifact = *result.artifact;
+    }
+
+    // Bit-rot strikes between the crash and the restart. A fresh
+    // cache (cold memory) must detect it and the registry must
+    // requeue from the journalled spec.
+    ResultCache cache(dir_.string());
+    corruptFile(cache.artifactPath(id));
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry revived(manual(4), cache, &journal);
+    EXPECT_EQ(revived.recovery().completedRequeued, 1u);
+    EXPECT_EQ(revived.recovery().completedVerified, 0u);
+    EXPECT_GE(cache.stats().quarantined, 1u);
+
+    drain(revived);
+    const ResultOutcome result = revived.result(id);
+    ASSERT_TRUE(result.artifact.has_value()) << result.failure;
+    EXPECT_EQ(*result.artifact, artifact); // Byte-identical self-heal.
+}
+
+TEST_F(RegistryRecoveryTest, EvictedArtifactIsRecomputedOnResult)
+{
+    const fault::CampaignConfig specA = tinySpec(37);
+    const fault::CampaignConfig specB = tinySpec(40);
+    const std::string idA = fault::campaignArtifactHash(specA);
+    // A 1-byte budget: every store evicts all unpinned entries, so
+    // finishing B throws A's artifact away (A is no longer pinned).
+    ResultCache cache(CacheConfig{dir_.string(), 1});
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry registry(manual(4), cache, &journal);
+    ASSERT_EQ(registry.submit(specA, true, 1).errorCode, nullptr);
+    drain(registry);
+    ASSERT_EQ(registry.submit(specB, true, 1).errorCode, nullptr);
+    drain(registry);
+    EXPECT_GE(cache.stats().evictions, 1u);
+
+    // result(A) must notice the loss and transparently requeue the
+    // recomputation from the retained spec instead of erroring
+    // forever.
+    const ResultOutcome lost = registry.result(idA);
+    EXPECT_FALSE(lost.artifact.has_value());
+    drain(registry);
+    const ResultOutcome result = registry.result(idA);
+    ASSERT_TRUE(result.artifact.has_value()) << result.failure;
+    EXPECT_EQ(*result.artifact, directArtifact(specA));
+}
+
+TEST_F(RegistryRecoveryTest, ExplicitCancelIsDurableAcrossRestart)
+{
+    const fault::CampaignConfig spec = tinySpec(38);
+    const std::string id = fault::campaignArtifactHash(spec);
+    ResultCache cache(dir_.string());
+
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(1), cache, &journal);
+        ASSERT_EQ(registry.submit(spec, true, 1).errorCode, nullptr);
+        EXPECT_EQ(registry.cancel(id), nullptr);
+        drain(registry);
+    }
+
+    // The cancel was journalled: a restart must NOT revive the
+    // campaign behind the client's back.
+    SubmissionJournal journal(journalPath_);
+    CampaignRegistry revived(manual(1), cache, &journal);
+    EXPECT_EQ(revived.recovery().requeued, 0u);
+    EXPECT_FALSE(revived.status(id).has_value());
+}
+
+TEST_F(RegistryRecoveryTest, ReplayCompactsTheJournal)
+{
+    const fault::CampaignConfig spec = tinySpec(39);
+    ResultCache cache(dir_.string());
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry registry(manual(4), cache, &journal);
+        ASSERT_EQ(registry.submit(spec, true, 1).errorCode, nullptr);
+        drain(registry);
+    }
+    {
+        SubmissionJournal journal(journalPath_);
+        CampaignRegistry revived(manual(4), cache, &journal);
+        EXPECT_EQ(revived.recovery().completedVerified, 1u);
+    }
+    // The completed lifecycle was folded away at replay: the file now
+    // holds only live submissions — none.
+    SubmissionJournal journal(journalPath_);
+    const JournalReplay replay = journal.replay();
+    EXPECT_TRUE(replay.pending.empty());
+    EXPECT_TRUE(replay.completed.empty());
+}
+
+} // namespace
+} // namespace nocalert::serve

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -481,6 +482,105 @@ TEST_F(ServerTest, ShutdownRequestUnblocksWaitForShutdown)
     // Stop is idempotent and the socket file is gone.
     server_->stop();
     EXPECT_FALSE(fs::exists(socket));
+}
+
+TEST_F(ServerTest, StaleSocketFromCrashedPredecessorIsReclaimed)
+{
+    // A crashed daemon leaves its socket file behind (stop() never
+    // ran). Manufacture that exact state: a bound-then-closed socket
+    // nobody is listening on.
+    const std::string path = (dir_ / "sock").string();
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+        ASSERT_EQ(::bind(fd,
+                         reinterpret_cast<const sockaddr *>(&address),
+                         sizeof(address)),
+                  0);
+        ::close(fd); // "kill -9": the file stays, the listener dies.
+    }
+    ASSERT_TRUE(fs::exists(path));
+
+    // The successor probes, finds nobody answering, and reclaims.
+    const std::string socket = startServer();
+    EXPECT_EQ(socket, path);
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+    JsonValue ping;
+    ping.set("type", "ping");
+    EXPECT_EQ(client.typeOf(client.call(ping)), "pong");
+}
+
+TEST_F(ServerTest, LiveDaemonSocketIsRefusedNotClobbered)
+{
+    const std::string socket = startServer();
+
+    ServerConfig config;
+    config.socketPath = socket;
+    config.cacheDir = (dir_ / "cache2").string();
+    config.registry.jobs = 1;
+    CampaignServer second(config);
+    std::string error;
+    EXPECT_FALSE(second.start(&error));
+    EXPECT_NE(error.find("another daemon"), std::string::npos)
+        << error;
+
+    // The incumbent is untouched by the failed takeover.
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+    JsonValue ping;
+    ping.set("type", "ping");
+    EXPECT_EQ(client.typeOf(client.call(ping)), "pong");
+}
+
+TEST_F(ServerTest, NonSocketFileAtSocketPathIsRefused)
+{
+    const std::string path = (dir_ / "sock").string();
+    {
+        std::ofstream file(path);
+        file << "precious user data";
+    }
+    ServerConfig config;
+    config.socketPath = path;
+    config.cacheDir = (dir_ / "cache").string();
+    CampaignServer server(config);
+    std::string error;
+    EXPECT_FALSE(server.start(&error));
+    EXPECT_NE(error.find("not a socket"), std::string::npos) << error;
+    // The file was not deleted.
+    ASSERT_TRUE(fs::exists(path));
+}
+
+TEST_F(ServerTest, StatsReportDurabilityCounters)
+{
+    const std::string socket = startServer();
+    RawClient client(socket);
+    ASSERT_TRUE(client.connected());
+
+    const fault::CampaignConfig spec = tinySpec(57);
+    const JsonValue submitted = client.call(submitRequest(spec, true));
+    ASSERT_EQ(client.typeOf(submitted), "submitted");
+    const std::string id = submitted.find("id")->string();
+    ASSERT_EQ(awaitTerminal(client, id), "complete");
+
+    JsonValue request;
+    request.set("type", "stats");
+    const JsonValue stats = client.call(request);
+    ASSERT_EQ(client.typeOf(stats), "stats") << stats.dump();
+    for (const char *key :
+         {"cacheEntries", "cacheBytes", "cacheEvictions",
+          "cacheQuarantined", "journalAppends", "recoveredRequeued",
+          "recoveredCompleted", "recoveredHealed"}) {
+        ASSERT_NE(stats.find(key), nullptr) << key;
+    }
+    EXPECT_GE(stats.find("cacheEntries")->asUint(), 1u);
+    EXPECT_GE(stats.find("cacheBytes")->asUint(), 1u);
+    // submit + start + complete at minimum hit the journal.
+    EXPECT_GE(stats.find("journalAppends")->asUint(), 3u);
+    EXPECT_EQ(stats.find("recoveredRequeued")->asUint(), 0u);
 }
 
 } // namespace

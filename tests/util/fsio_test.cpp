@@ -1,0 +1,185 @@
+/**
+ * Crash-consistent I/O primitives battery: CRC-32 known-answer
+ * vectors, hex framing round trips, atomic+durable file replacement
+ * (no torn observers, no temp debris), and the DurableAppender's
+ * never-truncate append contract — the foundations the serve journal
+ * and artifact cache build their kill -9 guarantees on.
+ */
+
+#include "util/fsio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace nocalert {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsioTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_fsio_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(FsioTest, Crc32KnownAnswerVectors)
+{
+    // The classic IEEE 802.3 check value, plus boundary inputs.
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(std::string(1, '\0')), 0xD202EF8Du);
+}
+
+TEST_F(FsioTest, Crc32DetectsSingleBitFlips)
+{
+    const std::string payload = "{\"op\":\"submit\",\"id\":\"abc\"}";
+    const std::uint32_t good = crc32(payload);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        std::string flipped = payload;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+        EXPECT_NE(crc32(flipped), good) << "flip at byte " << i;
+    }
+}
+
+TEST_F(FsioTest, CrcHexRoundTripsAndRejectsMalformation)
+{
+    for (const std::uint32_t crc :
+         {0u, 1u, 0xCBF43926u, 0xFFFFFFFFu}) {
+        const std::string hex = crc32Hex(crc);
+        EXPECT_EQ(hex.size(), 8u);
+        const auto parsed = parseCrc32Hex(hex);
+        ASSERT_TRUE(parsed.has_value()) << hex;
+        EXPECT_EQ(*parsed, crc);
+    }
+    EXPECT_FALSE(parseCrc32Hex(""));
+    EXPECT_FALSE(parseCrc32Hex("cbf4392"));   // Too short.
+    EXPECT_FALSE(parseCrc32Hex("cbf439261")); // Too long.
+    EXPECT_FALSE(parseCrc32Hex("cbf4392g"));  // Not hex.
+    EXPECT_FALSE(parseCrc32Hex("cbf4 926")); // Embedded space.
+}
+
+TEST_F(FsioTest, WriteFileAtomicCreatesAndReplaces)
+{
+    const std::string target = path("artifact.json");
+    ASSERT_TRUE(writeFileAtomic(target, "first"));
+    auto read = readFileBytes(target);
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "first");
+
+    ASSERT_TRUE(writeFileAtomic(target, "second, longer content"));
+    read = readFileBytes(target);
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "second, longer content");
+}
+
+TEST_F(FsioTest, WriteFileAtomicLeavesNoTempDebris)
+{
+    ASSERT_TRUE(writeFileAtomic(path("a.json"), "aa"));
+    ASSERT_TRUE(writeFileAtomic(path("b.json"), "bb"));
+    std::size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        ++files;
+        EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+                  std::string::npos)
+            << entry.path();
+    }
+    EXPECT_EQ(files, 2u);
+}
+
+TEST_F(FsioTest, WriteFileAtomicFailsCleanlyOnMissingDirectory)
+{
+    const std::string target =
+        (dir_ / "no-such-subdir" / "x.json").string();
+    std::string error;
+    EXPECT_FALSE(writeFileAtomic(target, "bytes", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fs::exists(target));
+}
+
+TEST_F(FsioTest, ReadFileBytesMissingFileIsNullopt)
+{
+    EXPECT_FALSE(readFileBytes(path("absent")).has_value());
+}
+
+TEST_F(FsioTest, ReadFileBytesRoundTripsBinaryContent)
+{
+    std::string bytes;
+    for (int i = 0; i < 256; ++i)
+        bytes.push_back(static_cast<char>(i));
+    ASSERT_TRUE(writeFileAtomic(path("bin"), bytes));
+    const auto read = readFileBytes(path("bin"));
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, bytes);
+}
+
+TEST_F(FsioTest, DurableAppenderAccumulatesRecords)
+{
+    DurableAppender appender;
+    std::string error;
+    ASSERT_TRUE(appender.open(path("journal.wal"), &error)) << error;
+    EXPECT_TRUE(appender.isOpen());
+    ASSERT_TRUE(appender.append("one\n", &error)) << error;
+    ASSERT_TRUE(appender.append("two\n", &error)) << error;
+    appender.close();
+    EXPECT_FALSE(appender.isOpen());
+
+    const auto read = readFileBytes(path("journal.wal"));
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "one\ntwo\n");
+}
+
+TEST_F(FsioTest, DurableAppenderReopenNeverTruncates)
+{
+    {
+        DurableAppender appender;
+        ASSERT_TRUE(appender.open(path("journal.wal")));
+        ASSERT_TRUE(appender.append("survivor\n"));
+    } // Destructor closes.
+    DurableAppender again;
+    ASSERT_TRUE(again.open(path("journal.wal")));
+    ASSERT_TRUE(again.append("appended\n"));
+    again.close();
+
+    const auto read = readFileBytes(path("journal.wal"));
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(*read, "survivor\nappended\n");
+}
+
+TEST_F(FsioTest, DurableAppenderOpenFailsOnMissingDirectory)
+{
+    DurableAppender appender;
+    std::string error;
+    EXPECT_FALSE(appender.open(
+        (dir_ / "absent" / "journal.wal").string(), &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(appender.isOpen());
+}
+
+} // namespace
+} // namespace nocalert
