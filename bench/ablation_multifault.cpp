@@ -69,11 +69,11 @@ main(int argc, char **argv)
     config.network.width = 6;
     config.network.height = 6;
     config.warmup = 600;
-    config.traffic.stopCycle = config.warmup + config.observeWindow;
+    config.workload.synthetic.stopCycle = config.warmup + config.observeWindow;
     const unsigned pairs = std::max(30u, config.maxSites / 3);
 
     std::fprintf(stderr, "[multifault] preparing golden reference...\n");
-    noc::Network base(config.network, config.traffic);
+    noc::Network base(config.network, config.workload);
     base.run(config.warmup);
     noc::Network golden_net(base);
     golden_net.run(config.observeWindow);

@@ -19,8 +19,8 @@ parseBenchOptions(int argc, const char *const *argv)
     fault::CampaignConfig &campaign = options.campaign;
     campaign.network.width = 8;
     campaign.network.height = 8;
-    campaign.traffic.injectionRate = cli.getDouble("rate", 0.04);
-    campaign.traffic.seed =
+    campaign.workload.synthetic.injectionRate = cli.getDouble("rate", 0.04);
+    campaign.workload.synthetic.seed =
         static_cast<std::uint64_t>(cli.getInt("seed", 1));
     campaign.observeWindow = cli.getInt("observe", 3200);
     campaign.drainLimit = cli.getInt("drain", 6000);
@@ -40,7 +40,7 @@ runCampaign(const fault::CampaignConfig &config, const std::string &label)
     std::fprintf(stderr, "[%s] injecting %u sites (mesh %dx%d, rate "
                          "%.3f, warmup %lld)...\n",
                  label.c_str(), config.maxSites, config.network.width,
-                 config.network.height, config.traffic.injectionRate,
+                 config.network.height, config.workload.synthetic.injectionRate,
                  static_cast<long long>(config.warmup));
     const auto start = std::chrono::steady_clock::now();
 

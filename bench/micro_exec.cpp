@@ -68,8 +68,8 @@ main(int argc, char **argv)
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
     config.network.height = config.network.width;
-    config.traffic.injectionRate = cli.getDouble("rate", 0.03);
-    config.traffic.seed =
+    config.workload.synthetic.injectionRate = cli.getDouble("rate", 0.03);
+    config.workload.synthetic.seed =
         static_cast<std::uint64_t>(cli.getInt("seed", 5));
     config.warmup = cli.getInt("warmup", 400);
     config.observeWindow = cli.getInt("observe", 1200);

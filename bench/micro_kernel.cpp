@@ -236,7 +236,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv,
                     {"mesh", "rate", "rates", "seed", "warmup",
-                     "observe", "runs", "out"});
+                     "observe", "runs", "out", "notes"});
 
     const int mesh = static_cast<int>(cli.getInt("mesh", 8));
     const noc::Cycle warmup = cli.getInt("warmup", 500);
@@ -328,6 +328,12 @@ main(int argc, char **argv)
     json.set("maxSpeedup", max_speedup);
     json.set("minBitmaskSpeedup", min_bitmask);
     json.set("maxBitmaskSpeedup", max_bitmask);
+    // Free-form provenance (e.g. a before/after note for an
+    // optimization this file's numbers record). The perf gate ignores
+    // unknown keys, so notes ride along without affecting the floor.
+    const std::string notes = cli.getString("notes", "");
+    if (!notes.empty())
+        json.set("notes", notes);
 
     std::ofstream file(out_path);
     file << json.dump(2) << "\n";

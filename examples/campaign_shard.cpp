@@ -12,6 +12,8 @@
  *                         [--batch N] [--confidence C] [--stratify MODE]
  *                         [--ci-method M] [--cycle-jitter N] [--seeds N]
  *                         [--sampler-seed S]
+ *                         [--phases PROG] [--burst SPEC] [--phase-repeat]
+ *                         [--trace-replay FILE]
  *   campaign_shard resume --checkpoint c.json [--out s0.json] [--jobs N]
  *                         [--progress]
  *   campaign_shard merge  --out merged.json s0.json s1.json ...
@@ -58,6 +60,7 @@
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "fault/serialize.hpp"
+#include "traffic/workload.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -86,9 +89,11 @@ printHelp(std::FILE *to)
         "         [--checkpoint-every N] [--kind K] [--dense-kernel]\n"
         "         [--recovery]\n"
         "         [--sample] [--ci-width W] [--max-runs N] [--batch N]\n"
-        "         [--confidence C] [--stratify none|signal-class]\n"
+        "         [--confidence C] [--stratify none|signal-class|phase]\n"
         "         [--ci-method wilson|clopper-pearson]\n"
         "         [--cycle-jitter N] [--seeds N] [--sampler-seed S]\n"
+        "         [--phases PROG] [--burst SPEC] [--phase-repeat]\n"
+        "         [--trace-replay FILE]\n"
         "             execute one shard; --jobs 0 uses all hardware\n"
         "             threads (results are byte-identical for every\n"
         "             --jobs value); Ctrl-C flushes a resumable\n"
@@ -97,6 +102,12 @@ printHelp(std::FILE *to)
         "             interval half-width is below --ci-width or\n"
         "             --max-runs is spent (0 = no cap; at least one of\n"
         "             the two must bound the campaign)\n"
+        "             --phases \"b:e:pattern:rate[,...]\" runs a phase\n"
+        "             program instead of stationary traffic; --burst\n"
+        "             \"period:onProb:onMult:offMult[:layers]\" adds\n"
+        "             on/off modulation; --trace-replay FILE replays a\n"
+        "             recorded injection trace; --stratify phase bins\n"
+        "             injection cycles by phase segment\n"
         "  resume --checkpoint FILE [--out FILE] [--jobs N] [--progress]\n"
         "             finish a shard from its checkpoint\n"
         "  merge  --out FILE s0.json s1.json ...\n"
@@ -208,14 +219,39 @@ cmdRun(int argc, char **argv)
                      "limit", "progress", "dense-kernel", "kind",
                      "recovery", "sample", "ci-width", "max-runs",
                      "batch", "confidence", "stratify", "ci-method",
-                     "cycle-jitter", "seeds", "sampler-seed"});
+                     "cycle-jitter", "seeds", "sampler-seed", "phases",
+                     "burst", "phase-repeat", "trace-replay"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 4));
     config.network.height = config.network.width;
-    config.traffic.injectionRate = cli.getDouble("rate", 0.05);
-    config.traffic.seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 3));
+    if (cli.has("phases") && cli.has("trace-replay"))
+        NOCALERT_FATAL("--phases and --trace-replay are mutually "
+                       "exclusive");
+    if (cli.has("phases")) {
+        config.workload.kind = traffic::WorkloadKind::Phased;
+        std::string error = traffic::parsePhaseProgram(
+            cli.getString("phases", ""), config.workload.phased);
+        if (!error.empty())
+            NOCALERT_FATAL("bad --phases: ", error);
+        if (cli.has("burst")) {
+            error = traffic::parseBurstSpec(cli.getString("burst", ""),
+                                            config.workload.phased.burst);
+            if (!error.empty())
+                NOCALERT_FATAL("bad --burst: ", error);
+        }
+        config.workload.phased.repeat =
+            cli.getBool("phase-repeat", false);
+    } else if (cli.has("trace-replay")) {
+        config.workload.kind = traffic::WorkloadKind::Trace;
+        config.workload.trace.path = cli.getString("trace-replay", "");
+        std::string error;
+        if (!traffic::stampTraceSpec(config.workload.trace, &error))
+            NOCALERT_FATAL("bad --trace-replay: ", error);
+    }
+    config.workload.synthetic.injectionRate = cli.getDouble("rate", 0.05);
+    config.workload.setSeed(
+        static_cast<std::uint64_t>(cli.getInt("seed", 3)));
     config.warmup = cli.getInt("warmup", 200);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));
@@ -248,7 +284,7 @@ cmdRun(int argc, char **argv)
             sampling.stratify = *mode;
         else
             NOCALERT_FATAL("unknown stratification '", stratify,
-                           "' (none|signal-class)");
+                           "' (none|signal-class|phase)");
         const std::string method = cli.getString("ci-method", "wilson");
         if (auto m = stats::intervalMethodFromName(method))
             sampling.method = *m;

@@ -12,6 +12,12 @@
  * `--seeds`/`--cycle-jitter` extra sampled dimensions). The summary
  * then includes per-stratum detection estimates with Wilson and
  * Clopper-Pearson intervals.
+ *
+ * `--phases`/`--burst`/`--phase-repeat` switch the workload to a
+ * phase program (see simulate --help for the segment syntax), and
+ * `--trace-replay FILE` replays a recorded injection trace; with
+ * `--sample --stratify phase` the sampler stratifies injection cycles
+ * by the phase segment they land in.
  */
 
 #include <cstdio>
@@ -21,7 +27,9 @@
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "fault/serialize.hpp"
+#include "traffic/workload.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace nocalert;
@@ -35,13 +43,39 @@ main(int argc, char **argv)
                      "recovery", "progress", "sample", "ci-width",
                      "max-runs", "batch", "confidence", "stratify",
                      "ci-method", "cycle-jitter", "seeds",
-                     "sampler-seed"});
+                     "sampler-seed", "phases", "burst", "phase-repeat",
+                     "trace-replay"});
 
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 8));
     config.network.height = config.network.width;
-    config.traffic.injectionRate = cli.getDouble("rate", 0.04);
-    config.traffic.seed = static_cast<std::uint64_t>(cli.getInt("seed", 3));
+    if (cli.has("phases") && cli.has("trace-replay"))
+        NOCALERT_FATAL("--phases and --trace-replay are mutually "
+                       "exclusive");
+    if (cli.has("phases")) {
+        config.workload.kind = traffic::WorkloadKind::Phased;
+        std::string error = traffic::parsePhaseProgram(
+            cli.getString("phases", ""), config.workload.phased);
+        if (!error.empty())
+            NOCALERT_FATAL("bad --phases: ", error);
+        if (cli.has("burst")) {
+            error = traffic::parseBurstSpec(cli.getString("burst", ""),
+                                            config.workload.phased.burst);
+            if (!error.empty())
+                NOCALERT_FATAL("bad --burst: ", error);
+        }
+        config.workload.phased.repeat =
+            cli.getBool("phase-repeat", false);
+    } else if (cli.has("trace-replay")) {
+        config.workload.kind = traffic::WorkloadKind::Trace;
+        config.workload.trace.path = cli.getString("trace-replay", "");
+        std::string error;
+        if (!traffic::stampTraceSpec(config.workload.trace, &error))
+            NOCALERT_FATAL("bad --trace-replay: ", error);
+    }
+    config.workload.synthetic.injectionRate = cli.getDouble("rate", 0.04);
+    config.workload.setSeed(
+        static_cast<std::uint64_t>(cli.getInt("seed", 3)));
     config.warmup = cli.getInt("warmup", 1000);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));
     config.jobs = static_cast<unsigned>(cli.getInt("jobs", 0));

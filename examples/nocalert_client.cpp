@@ -315,8 +315,8 @@ configFromFlags(const CommandLine &cli)
     fault::CampaignConfig config;
     config.network.width = static_cast<int>(cli.getInt("mesh", 4));
     config.network.height = config.network.width;
-    config.traffic.injectionRate = cli.getDouble("rate", 0.05);
-    config.traffic.seed =
+    config.workload.synthetic.injectionRate = cli.getDouble("rate", 0.05);
+    config.workload.synthetic.seed =
         static_cast<std::uint64_t>(cli.getInt("seed", 3));
     config.warmup = cli.getInt("warmup", 200);
     config.maxSites = static_cast<unsigned>(cli.getInt("sites", 120));

@@ -9,6 +9,16 @@
  *   ./simulate --mesh 8 --vcs 4 --routing xy --pattern uniform \
  *              --rate 0.05 --cycles 5000 \
  *              [--fault r36:Sa2Grant:E:2] [--trace]
+ *
+ * Workload backends beyond the stationary synthetic default:
+ *
+ *   --phases "0:2000:uniform:0.05,2000:4000:transpose:0.1"
+ *       piecewise phase program (begin:end:pattern:rate per segment,
+ *       optionally :hotspotNode:hotspotFraction)
+ *   --burst "64:0.5:2:0[:layers]"   MMPP-style on/off burst modulation
+ *   --phase-repeat                  wrap the program instead of idling
+ *   --trace-replay <file>           replay a recorded injection trace
+ *   --record-trace <file>           record this run's injections
  */
 
 #include <cstdio>
@@ -19,6 +29,7 @@
 #include "noc/network.hpp"
 #include "noc/trace.hpp"
 #include "recovery/policy.hpp"
+#include "traffic/workload.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -119,7 +130,9 @@ main(int argc, char **argv)
                     {"mesh", "width", "height", "vcs", "depth",
                      "routing", "pattern", "rate", "cycles", "seed",
                      "fault", "kind", "trace", "non-atomic",
-                     "speculative", "dense-kernel", "kernel"});
+                     "speculative", "dense-kernel", "kernel",
+                     "phases", "burst", "phase-repeat", "trace-replay",
+                     "record-trace"});
 
     noc::NetworkConfig config;
     config.width = static_cast<int>(
@@ -136,15 +149,62 @@ main(int argc, char **argv)
         config.router.classes = {{"data", 5}};
     config.routing = parseRouting(cli.getString("routing", "xy"));
 
-    noc::TrafficSpec traffic;
-    traffic.pattern = parsePattern(cli.getString("pattern", "uniform"));
-    traffic.injectionRate = cli.getDouble("rate", 0.05);
-    traffic.seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));
-
     const noc::Cycle cycles = cli.getInt("cycles", 5000);
-    traffic.stopCycle = cycles;
+    const auto seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));
 
-    noc::Network network(config, traffic);
+    if (cli.has("phases") && cli.has("trace-replay"))
+        NOCALERT_FATAL("--phases and --trace-replay are mutually "
+                       "exclusive");
+    if (cli.has("burst") && !cli.has("phases"))
+        NOCALERT_FATAL("--burst requires a --phases program");
+
+    traffic::WorkloadSpec workload;
+    if (cli.has("phases")) {
+        workload.kind = traffic::WorkloadKind::Phased;
+        std::string error = traffic::parsePhaseProgram(
+            cli.getString("phases", ""), workload.phased);
+        if (!error.empty())
+            NOCALERT_FATAL("bad --phases: ", error);
+        if (cli.has("burst")) {
+            error = traffic::parseBurstSpec(cli.getString("burst", ""),
+                                            workload.phased.burst);
+            if (!error.empty())
+                NOCALERT_FATAL("bad --burst: ", error);
+        }
+        workload.phased.repeat = cli.getBool("phase-repeat", false);
+    } else if (cli.has("trace-replay")) {
+        workload.kind = traffic::WorkloadKind::Trace;
+        workload.trace.path = cli.getString("trace-replay", "");
+        std::string error;
+        if (!traffic::stampTraceSpec(workload.trace, &error))
+            NOCALERT_FATAL("bad --trace-replay: ", error);
+    } else {
+        noc::TrafficSpec traffic;
+        traffic.pattern =
+            parsePattern(cli.getString("pattern", "uniform"));
+        traffic.injectionRate = cli.getDouble("rate", 0.05);
+        workload = traffic::WorkloadSpec::fromSynthetic(traffic);
+    }
+    workload.setSeed(seed);
+    workload.setStopCycle(cycles);
+    {
+        const std::string error =
+            traffic::validateWorkloadSpec(config, workload);
+        if (!error.empty())
+            NOCALERT_FATAL("invalid workload: ", error);
+    }
+
+    if (cli.has("record-trace")) {
+        const std::string path = cli.getString("record-trace", "");
+        std::string error;
+        if (!traffic::recordTrace(config, workload, cycles, path,
+                                  &error))
+            NOCALERT_FATAL("--record-trace failed: ", error);
+        std::printf("recorded a %lld-cycle injection trace to %s\n",
+                    static_cast<long long>(cycles), path.c_str());
+    }
+
+    noc::Network network(config, workload);
     // --kernel dense|active|bitmask selects the simulation kernel;
     // --dense-kernel is the historical spelling of --kernel dense.
     const std::string kernel = cli.getBool("dense-kernel", false)

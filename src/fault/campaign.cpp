@@ -121,8 +121,9 @@ CampaignConfig
 normalizedCampaignConfig(CampaignConfig config)
 {
     // Generation must stop so runs can drain and bounded delivery is
-    // decidable within the horizon.
-    config.traffic.stopCycle = config.warmup + config.observeWindow;
+    // decidable within the horizon. Pinned on every backend so the
+    // identity hash reflects the one the run actually uses.
+    config.workload.setStopCycle(config.warmup + config.observeWindow);
 
     // Recovery mode implies the full stack: end-to-end retransmission
     // plus quarantine-aware routing. Forcing them here (idempotently)
@@ -140,6 +141,12 @@ FaultCampaign::FaultCampaign(CampaignConfig config)
     : config_(normalizedCampaignConfig(std::move(config)))
 {
     config_.network.validate();
+    {
+        const std::string error = nocalert::traffic::validateWorkloadSpec(
+            config_.network, config_.workload);
+        if (!error.empty())
+            NOCALERT_FATAL("invalid workload spec: ", error);
+    }
     if (config_.shardCount == 0 ||
         config_.shardIndex >= config_.shardCount) {
         NOCALERT_FATAL("invalid shard selector ", config_.shardIndex,
@@ -156,6 +163,22 @@ FaultCampaign::FaultCampaign(CampaignConfig config)
             NOCALERT_FATAL("sampled campaigns are single-shard: the "
                            "adaptive run stream has no static "
                            "partition to shard over");
+        }
+        if (config_.sampling.stratify == Stratify::Phase &&
+            config_.workload.kind !=
+                nocalert::traffic::WorkloadKind::Phased) {
+            NOCALERT_FATAL("phase stratification needs a phased "
+                           "workload, got kind '",
+                           nocalert::traffic::workloadKindName(
+                               config_.workload.kind),
+                           "'");
+        }
+        if (config_.workload.kind ==
+                nocalert::traffic::WorkloadKind::Trace &&
+            config_.sampling.seedCount != 1) {
+            NOCALERT_FATAL("trace workloads draw no randomness; "
+                           "sampling.seedCount must be 1, got ",
+                           config_.sampling.seedCount);
         }
     }
 }
@@ -338,10 +361,10 @@ PreparedReference
 prepareReference(const CampaignConfig &config,
                  std::uint64_t traffic_seed)
 {
-    noc::TrafficSpec traffic = config.traffic;
-    traffic.seed = traffic_seed;
+    nocalert::traffic::WorkloadSpec workload = config.workload;
+    workload.setSeed(traffic_seed);
 
-    noc::Network base(config.network, traffic);
+    noc::Network base(config.network, workload);
     base.setKernelMode(config.denseKernel ? noc::KernelMode::Dense
                                           : noc::KernelMode::Bitmask);
     {
@@ -438,7 +461,7 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
 
     // ---- Warm snapshot + golden reference ----
     PreparedReference prepared =
-        prepareReference(config_, config_.traffic.seed);
+        prepareReference(config_, config_.workload.seed());
     const noc::Network &base = prepared.base;
     const GoldenReference &reference = prepared.golden;
     result.goldenFlits = reference.flitCount();
@@ -504,7 +527,7 @@ FaultCampaign::run(const Progress &progress, const RunOptions &options)
     const unsigned checkpoint_every = std::max(1u, config_.checkpointEvery);
 
     exec::CampaignExecutor executor(exec::ExecConfig{
-        config_.jobs, config_.traffic.seed, config_.sampleSeed});
+        config_.jobs, config_.workload.seed(), config_.sampleSeed});
     exec::TelemetryHub hub(shard_indices.size(), executor.jobs(),
                            {"tp", "fp", "tn", "fn", "rec"});
     for (const auto &[index, run] : done_runs)
@@ -581,14 +604,14 @@ FaultCampaign::runSampled(const Progress &progress,
         }
         result.totalSitesEnumerated = enumerated.size();
     }
-    SampledPlanner planner(config_.sampling, sampledPopulation(config_));
+    SampledPlanner planner(config_, sampledPopulation(config_));
 
     // ---- References: one warm snapshot + golden per traffic seed ----
     std::vector<PreparedReference> prepared;
     prepared.reserve(config_.sampling.seedCount);
     for (unsigned k = 0; k < config_.sampling.seedCount; ++k)
         prepared.push_back(
-            prepareReference(config_, config_.traffic.seed + k));
+            prepareReference(config_, config_.workload.seed() + k));
     result.goldenFlits = prepared.front().golden.flitCount();
 
     // ---- Resume ----
@@ -632,7 +655,7 @@ FaultCampaign::runSampled(const Progress &progress,
     std::size_t replayed = 0;
 
     exec::CampaignExecutor executor(exec::ExecConfig{
-        config_.jobs, config_.traffic.seed,
+        config_.jobs, config_.workload.seed(),
         config_.sampling.samplerSeed});
     exec::TelemetryHub hub(0, executor.jobs(),
                            {"tp", "fp", "tn", "fn", "rec"});

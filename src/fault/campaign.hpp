@@ -31,6 +31,7 @@
 #include "forever/forever.hpp"
 #include "noc/network.hpp"
 #include "stats/binomial.hpp"
+#include "traffic/workload.hpp"
 #include "util/histogram.hpp"
 
 namespace nocalert::fault {
@@ -62,9 +63,11 @@ inline constexpr noc::Cycle kNoDetection = -1;
 enum class Stratify : std::uint8_t {
     None,        ///< One pooled stratum (plain binomial sampling).
     SignalClass, ///< One stratum per fault-signal class.
+    Phase,       ///< One stratum per phase segment the injection-cycle
+                 ///< jitter window reaches (phased workloads only).
 };
 
-/** Name of a stratification mode ("none" / "signal-class"). */
+/** Name of a stratification mode ("none" / "signal-class" / "phase"). */
 const char *stratifyName(Stratify mode);
 
 /** Inverse of stratifyName (nullopt for unknown names). */
@@ -116,8 +119,10 @@ struct SamplingSpec
     noc::Cycle cycleJitter = 0;
 
     /**
-     * Number of distinct traffic seeds sampled (seed k = traffic.seed
-     * + k, each with its own warm snapshot and golden reference).
+     * Number of distinct workload seeds sampled (seed k = the
+     * workload's seed + k, each with its own warm snapshot and golden
+     * reference). Trace workloads draw nothing, so they admit only
+     * seedCount == 1.
      */
     unsigned seedCount = 1;
 
@@ -141,7 +146,15 @@ std::string validateSamplingSpec(const SamplingSpec &spec,
 struct CampaignConfig
 {
     noc::NetworkConfig network;
-    noc::TrafficSpec traffic;
+
+    /**
+     * What drives the network: the synthetic generator, a phase
+     * program, or a trace replay (traffic::WorkloadSpec). Campaign
+     * identity — every workload field determines which packets exist.
+     * Legacy code paths reach the synthetic backend via
+     * `workload.synthetic`.
+     */
+    nocalert::traffic::WorkloadSpec workload;
 
     /** Cycles before injection (0 = paper's "cycle 0" empty network;
      *  thousands = the warmed-up "cycle 32K" instant). */

@@ -14,6 +14,7 @@ stratifyName(Stratify mode)
     switch (mode) {
       case Stratify::None: return "none";
       case Stratify::SignalClass: return "signal-class";
+      case Stratify::Phase: return "phase";
     }
     return "?";
 }
@@ -25,6 +26,8 @@ stratifyFromName(std::string_view name)
         return Stratify::None;
     if (name == "signal-class")
         return Stratify::SignalClass;
+    if (name == "phase")
+        return Stratify::Phase;
     return std::nullopt;
 }
 
@@ -44,6 +47,24 @@ samplerConfigOf(const SamplingSpec &spec)
     return config;
 }
 
+/**
+ * Phase stratification's partition of the injection-offset window:
+ * offset -> covering phase segment of the (normalized) workload, keyed
+ * by segment index (-1 = idle gap). std::map iteration makes the
+ * stratum order deterministic: idle first, then segments ascending.
+ */
+std::map<int, std::vector<noc::Cycle>>
+phasePartition(const CampaignConfig &config)
+{
+    std::map<int, std::vector<noc::Cycle>> partition;
+    for (noc::Cycle off = 0; off <= config.sampling.cycleJitter; ++off) {
+        const int segment = nocalert::traffic::phaseSegmentAt(
+            config.workload.phased, config.warmup + off);
+        partition[segment].push_back(off);
+    }
+    return partition;
+}
+
 } // namespace
 
 std::string
@@ -58,20 +79,26 @@ validateSamplingSpec(const SamplingSpec &spec, noc::Cycle observe_window)
     if (observe_window > 0 && spec.cycleJitter >= observe_window / 2)
         return "sampling cycleJitter must stay under half the "
                "observation window";
+    if (spec.stratify == Stratify::Phase && spec.cycleJitter < 1)
+        return "phase stratification needs cycleJitter >= 1 (the "
+               "jitter window is what spans the phases)";
     // The stats-layer budget guard covers the stopping rule itself.
     return stats::StratifiedSampler::validate(samplerConfigOf(spec));
 }
 
-SampledPlanner::SampledPlanner(const SamplingSpec &spec,
+SampledPlanner::SampledPlanner(const CampaignConfig &config,
                                std::vector<FaultSite> population)
-    : spec_(spec),
-      sampler_(samplerConfigOf(spec),
+    : spec_(config.sampling),
+      sampler_(samplerConfigOf(config.sampling),
                [&] {
                    // Stratum count must be known before the sampler
                    // member constructs; compute it from the
                    // population without retaining state.
-                   if (spec.stratify == Stratify::None)
+                   if (config.sampling.stratify == Stratify::None)
                        return std::size_t{1};
+                   if (config.sampling.stratify == Stratify::Phase)
+                       return std::max<std::size_t>(
+                           phasePartition(config).size(), 1);
                    std::map<SignalClass, std::size_t> classes;
                    for (const FaultSite &site : population)
                        classes[site.signal] += 1;
@@ -83,6 +110,20 @@ SampledPlanner::SampledPlanner(const SamplingSpec &spec,
     if (spec_.stratify == Stratify::None) {
         strataNames_.push_back("all");
         strataSites_.push_back(std::move(population));
+        return;
+    }
+    if (spec_.stratify == Stratify::Phase) {
+        // One stratum per phase segment the jitter window reaches
+        // (plus "idle" for offsets landing in gaps). Every stratum
+        // draws sites from the full population; what distinguishes
+        // strata is which injection offsets they own.
+        for (auto &[segment, offsets] : phasePartition(config)) {
+            strataNames_.push_back(
+                segment < 0 ? std::string("idle")
+                            : "phase-" + std::to_string(segment));
+            strataSites_.push_back(population);
+            strataOffsets_.push_back(std::move(offsets));
+        }
         return;
     }
     // One stratum per signal class present, in enum order (std::map
@@ -123,11 +164,21 @@ SampledPlanner::materialize(std::uint64_t draw_index,
     draw.stratum = stratum;
     draw.site = sites[rng.nextBounded(
         static_cast<std::uint32_t>(sites.size()))];
-    draw.cycleOffset =
-        spec_.cycleJitter > 0
-            ? static_cast<noc::Cycle>(rng.nextBounded(
-                  static_cast<std::uint32_t>(spec_.cycleJitter + 1)))
-            : 0;
+    if (spec_.stratify == Stratify::Phase) {
+        // The stratum owns a specific offset subset of the jitter
+        // window; the draw picks uniformly within it.
+        const std::vector<noc::Cycle> &offsets = strataOffsets_[stratum];
+        draw.cycleOffset = offsets[rng.nextBounded(
+            static_cast<std::uint32_t>(offsets.size()))];
+    } else {
+        // Legacy modes: uniform over the whole window, with the exact
+        // draw order v5 artifacts were materialized under.
+        draw.cycleOffset =
+            spec_.cycleJitter > 0
+                ? static_cast<noc::Cycle>(rng.nextBounded(
+                      static_cast<std::uint32_t>(spec_.cycleJitter + 1)))
+                : 0;
+    }
     draw.seedIndex =
         spec_.seedCount > 1 ? rng.nextBounded(spec_.seedCount) : 0;
     return draw;
@@ -212,7 +263,7 @@ computeSamplingReport(const CampaignResult &result)
     const SamplingSpec &spec = result.config.sampling;
     const std::vector<FaultSite> population =
         sampledPopulation(result.config);
-    SampledPlanner planner(spec, population);
+    SampledPlanner planner(result.config, population);
 
     report.strata.resize(planner.strataCount());
     for (std::size_t i = 0; i < planner.strataCount(); ++i) {

@@ -52,11 +52,12 @@ class SampledPlanner
     /**
      * @p population is the campaign's deterministic site list (the
      * exact list the exhaustive campaign would sweep — maxSites and
-     * sampleSeed already applied), @p spec the validated sampling
-     * spec. Aborts on an invalid spec; call validateSamplingSpec
-     * first for a recoverable answer.
+     * sampleSeed already applied); @p config carries the validated
+     * sampling spec plus the workload and warmup the phase-stratified
+     * mode partitions the jitter window against. Aborts on an invalid
+     * spec; call validateSamplingSpec first for a recoverable answer.
      */
-    SampledPlanner(const SamplingSpec &spec,
+    SampledPlanner(const CampaignConfig &config,
                    std::vector<FaultSite> population);
 
     /** Plan the next batch (empty once done()). */
@@ -106,6 +107,14 @@ class SampledPlanner
     stats::StratifiedSampler sampler_;
     std::vector<std::string> strataNames_;
     std::vector<std::vector<FaultSite>> strataSites_;
+
+    /**
+     * Phase stratification only: the injection-cycle offsets (within
+     * [0, cycleJitter]) each stratum owns. Empty for the legacy
+     * modes, whose offset draw stays a uniform pick over the whole
+     * jitter window — bit-exact with every v5 artifact.
+     */
+    std::vector<std::vector<noc::Cycle>> strataOffsets_;
 };
 
 /** Estimates for one stratum (or the pooled campaign). */

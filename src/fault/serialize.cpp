@@ -256,8 +256,11 @@ trafficSpecJson(const noc::TrafficSpec &traffic)
     json.set("seed", traffic.seed);
     json.set("stopCycle", traffic.stopCycle);
     json.set("classWeights", std::move(weights));
-    json.set("hotspot", traffic.hotspot);
-    json.set("hotspotFraction", traffic.hotspotFraction);
+    // The hotspot parameters live in their own sub-spec in memory
+    // (noc::HotspotSpec) but keep the legacy flat keys on disk, so
+    // every artifact ever written round-trips byte-identically.
+    json.set("hotspot", traffic.hotspot.node);
+    json.set("hotspotFraction", traffic.hotspot.fraction);
     return json;
 }
 
@@ -284,8 +287,183 @@ trafficSpecFromJson(const JsonValue &json, noc::TrafficSpec &traffic,
         }
         traffic.classWeights.push_back(w.asDouble());
     }
-    traffic.hotspot = reader.i32("hotspot");
-    traffic.hotspotFraction = reader.number("hotspotFraction");
+    traffic.hotspot.node = reader.i32("hotspot");
+    traffic.hotspot.fraction = reader.number("hotspotFraction");
+}
+
+JsonValue
+phaseSegmentJson(const nocalert::traffic::PhaseSegment &segment)
+{
+    JsonValue weights = JsonValue(JsonValue::Array{});
+    for (double w : segment.classWeights)
+        weights.push(w);
+
+    JsonValue json;
+    json.set("begin", segment.begin);
+    json.set("end", segment.end);
+    json.set("pattern", noc::trafficPatternName(segment.pattern));
+    json.set("rate", segment.rate);
+    json.set("classWeights", std::move(weights));
+    json.set("hotspot", segment.hotspot.node);
+    json.set("hotspotFraction", segment.hotspot.fraction);
+    return json;
+}
+
+void
+phaseSegmentFromJson(const JsonValue &json,
+                     nocalert::traffic::PhaseSegment &segment,
+                     std::string &error)
+{
+    ObjectReader reader(json, "phase segment", error);
+    segment.begin = reader.i64("begin");
+    segment.end = reader.i64("end");
+    const std::string pattern = reader.str("pattern");
+    if (error.empty()) {
+        if (auto p = noc::trafficPatternFromName(pattern))
+            segment.pattern = *p;
+        else
+            reader.fail("unknown traffic pattern '" + pattern + "'");
+    }
+    segment.rate = reader.number("rate");
+    segment.classWeights.clear();
+    for (const JsonValue &w : reader.arr("classWeights")) {
+        if (!w.isNumber()) {
+            reader.fail("segment classWeights must be numbers");
+            break;
+        }
+        segment.classWeights.push_back(w.asDouble());
+    }
+    segment.hotspot.node = reader.i32("hotspot");
+    segment.hotspot.fraction = reader.number("hotspotFraction");
+}
+
+JsonValue
+phasedSpecJson(const nocalert::traffic::PhasedSpec &phased)
+{
+    JsonValue segments = JsonValue(JsonValue::Array{});
+    for (const nocalert::traffic::PhaseSegment &segment : phased.segments)
+        segments.push(phaseSegmentJson(segment));
+
+    JsonValue burst;
+    burst.set("enabled", phased.burst.enabled);
+    burst.set("period", phased.burst.period);
+    burst.set("onProbability", phased.burst.onProbability);
+    burst.set("onMultiplier", phased.burst.onMultiplier);
+    burst.set("offMultiplier", phased.burst.offMultiplier);
+    burst.set("layers", phased.burst.layers);
+
+    JsonValue json;
+    json.set("segments", std::move(segments));
+    json.set("burst", std::move(burst));
+    json.set("seed", phased.seed);
+    json.set("stopCycle", phased.stopCycle);
+    json.set("repeat", phased.repeat);
+    return json;
+}
+
+void
+phasedSpecFromJson(const JsonValue &json,
+                   nocalert::traffic::PhasedSpec &phased,
+                   std::string &error)
+{
+    ObjectReader reader(json, "phased workload", error);
+    phased.segments.clear();
+    for (const JsonValue &segment : reader.arr("segments")) {
+        phased.segments.emplace_back();
+        phaseSegmentFromJson(segment, phased.segments.back(), error);
+        if (!error.empty())
+            break;
+    }
+    if (const JsonValue *burst = reader.get("burst")) {
+        ObjectReader burst_reader(*burst, "burst spec", error);
+        phased.burst.enabled = burst_reader.boolean("enabled");
+        phased.burst.period = burst_reader.i64("period");
+        phased.burst.onProbability = burst_reader.number("onProbability");
+        phased.burst.onMultiplier = burst_reader.number("onMultiplier");
+        phased.burst.offMultiplier = burst_reader.number("offMultiplier");
+        phased.burst.layers = burst_reader.u32("layers");
+    }
+    phased.seed = reader.u64("seed");
+    phased.stopCycle = reader.i64("stopCycle");
+    phased.repeat = reader.boolean("repeat");
+}
+
+JsonValue
+traceSpecJson(const nocalert::traffic::TraceSpec &trace)
+{
+    JsonValue json;
+    json.set("path", trace.path);
+    json.set("digest", trace.digest);
+    json.set("records", trace.records);
+    json.set("stopCycle", trace.stopCycle);
+    return json;
+}
+
+void
+traceSpecFromJson(const JsonValue &json,
+                  nocalert::traffic::TraceSpec &trace, std::string &error)
+{
+    ObjectReader reader(json, "trace workload", error);
+    trace.path = reader.str("path");
+    trace.digest = reader.u32("digest");
+    trace.records = reader.u64("records");
+    trace.stopCycle = reader.i64("stopCycle");
+}
+
+/**
+ * The `workload` block of schema-v6 configs. Only the active backend
+ * is emitted — the inactive specs are defaults by construction, so
+ * identity hashing never keys on dead fields.
+ */
+JsonValue
+workloadSpecJson(const nocalert::traffic::WorkloadSpec &workload)
+{
+    JsonValue json;
+    json.set("kind",
+             nocalert::traffic::workloadKindName(workload.kind));
+    switch (workload.kind) {
+      case nocalert::traffic::WorkloadKind::Synthetic:
+        json.set("synthetic", trafficSpecJson(workload.synthetic));
+        break;
+      case nocalert::traffic::WorkloadKind::Phased:
+        json.set("phased", phasedSpecJson(workload.phased));
+        break;
+      case nocalert::traffic::WorkloadKind::Trace:
+        json.set("trace", traceSpecJson(workload.trace));
+        break;
+    }
+    return json;
+}
+
+void
+workloadSpecFromJson(const JsonValue &json,
+                     nocalert::traffic::WorkloadSpec &workload,
+                     std::string &error)
+{
+    ObjectReader reader(json, "workload spec", error);
+    const std::string kind = reader.str("kind");
+    if (error.empty()) {
+        if (auto k = nocalert::traffic::workloadKindFromName(kind))
+            workload.kind = *k;
+        else
+            reader.fail("unknown workload kind '" + kind + "'");
+    }
+    if (!error.empty())
+        return;
+    switch (workload.kind) {
+      case nocalert::traffic::WorkloadKind::Synthetic:
+        if (const JsonValue *synthetic = reader.get("synthetic"))
+            trafficSpecFromJson(*synthetic, workload.synthetic, error);
+        break;
+      case nocalert::traffic::WorkloadKind::Phased:
+        if (const JsonValue *phased = reader.get("phased"))
+            phasedSpecFromJson(*phased, workload.phased, error);
+        break;
+      case nocalert::traffic::WorkloadKind::Trace:
+        if (const JsonValue *trace = reader.get("trace"))
+            traceSpecFromJson(*trace, workload.trace, error);
+        break;
+    }
 }
 
 JsonValue
@@ -447,7 +625,16 @@ toJson(const CampaignConfig &config)
 {
     JsonValue json;
     json.set("network", networkConfigJson(config.network));
-    json.set("traffic", trafficSpecJson(config.traffic));
+    // Synthetic workloads keep the legacy flat `traffic` block, so
+    // every schema-v4/v5 artifact serializes byte-identically to the
+    // day it was written; the phased and trace backends emit a
+    // `workload` block (schema v6) in the same key position.
+    if (config.workload.kind ==
+        nocalert::traffic::WorkloadKind::Synthetic) {
+        json.set("traffic", trafficSpecJson(config.workload.synthetic));
+    } else {
+        json.set("workload", workloadSpecJson(config.workload));
+    }
     json.set("warmup", config.warmup);
     json.set("observeWindow", config.observeWindow);
     json.set("drainLimit", config.drainLimit);
@@ -525,8 +712,23 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
 
     if (const JsonValue *network = reader.get("network"))
         networkConfigFromJson(*network, config.network, error);
-    if (const JsonValue *traffic = reader.get("traffic"))
-        trafficSpecFromJson(*traffic, config.traffic, error);
+    // Either the legacy flat `traffic` block (synthetic workloads,
+    // schema v4/v5) or the `workload` block (schema v6) — exactly one.
+    if (error.empty() && json.isObject()) {
+        const JsonValue *traffic = json.find("traffic");
+        const JsonValue *workload = json.find("workload");
+        if (traffic && workload) {
+            reader.fail("campaign config has both a traffic and a "
+                        "workload block");
+        } else if (workload) {
+            workloadSpecFromJson(*workload, config.workload, error);
+        } else if (const JsonValue *block = reader.get("traffic")) {
+            config.workload.kind =
+                nocalert::traffic::WorkloadKind::Synthetic;
+            trafficSpecFromJson(*block, config.workload.synthetic,
+                                error);
+        }
+    }
     config.warmup = reader.i64("warmup");
     config.observeWindow = reader.i64("observeWindow");
     config.drainLimit = reader.i64("drainLimit");
@@ -554,6 +756,19 @@ campaignConfigFromJson(const JsonValue &json, std::string *out_error)
     config.shardCount = reader.u32("shardCount");
     // Execution knobs are not serialized; a loaded config gets their
     // defaults and the caller (e.g. resume) supplies its own.
+
+    // Malformed workload blocks must be rejected here, before anything
+    // (the phase-stratified planner, a resume, a serve submission)
+    // consumes them. Synthetic specs keep the legacy lenient load path.
+    if (error.empty() &&
+        config.workload.kind !=
+            nocalert::traffic::WorkloadKind::Synthetic) {
+        const std::string workload_error =
+            nocalert::traffic::validateWorkloadSpec(config.network,
+                                                    config.workload);
+        if (!workload_error.empty())
+            reader.fail("invalid workload spec: " + workload_error);
+    }
 
     return finish(std::move(config), error, out_error);
 }
@@ -706,7 +921,10 @@ toJson(const SamplingReport &report)
 std::int64_t
 campaignSchemaVersionFor(const CampaignConfig &config)
 {
-    return config.sampling.enabled ? kCampaignSchemaVersion
+    if (config.workload.kind !=
+        nocalert::traffic::WorkloadKind::Synthetic)
+        return kCampaignSchemaVersion;
+    return config.sampling.enabled ? kCampaignSchemaVersionSampled
                                    : kCampaignSchemaVersionMin;
 }
 
@@ -763,12 +981,14 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
         if (auto parsed = campaignConfigFromJson(*config, &error))
             result.config = std::move(*parsed);
     }
-    // The version is determined by the config: 5 iff sampled. A
-    // document claiming otherwise was hand-edited or corrupted.
+    // The version is determined by the config: 6 iff the workload is
+    // non-synthetic, else 5 iff sampled. A document claiming otherwise
+    // was hand-edited or corrupted.
     if (error.empty() &&
         version != campaignSchemaVersionFor(result.config))
         reader.fail("schema version " + std::to_string(version) +
-                    " inconsistent with the config's sampling state");
+                    " inconsistent with the config's workload and "
+                    "sampling state");
     result.totalSitesEnumerated = reader.u64("totalSitesEnumerated");
     result.goldenFlits = reader.u64("goldenFlits");
     result.shardRunsPlanned = reader.u64("shardRunsPlanned");
@@ -828,6 +1048,11 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
             result.config.sampling, result.config.observeWindow);
         if (!spec_error.empty())
             reader.fail("invalid sampling spec: " + spec_error);
+        if (error.empty() &&
+            result.config.sampling.stratify == Stratify::Phase &&
+            result.config.workload.kind !=
+                nocalert::traffic::WorkloadKind::Phased)
+            reader.fail("phase stratification needs a phased workload");
         if (error.empty() && (result.config.network.width <= 0 ||
                               result.config.network.height <= 0))
             reader.fail("sampled campaign with an empty mesh");
@@ -836,7 +1061,7 @@ campaignResultFromJson(const JsonValue &json, std::string *out_error)
                         "population");
         if (error.empty()) {
             const SampledPlanner planner(
-                result.config.sampling, sampledPopulation(result.config));
+                result.config, sampledPopulation(result.config));
             for (const FaultRunResult &run : result.runs) {
                 if (run.stratum >= planner.strataCount() ||
                     run.seedIndex >= result.config.sampling.seedCount) {

@@ -45,19 +45,25 @@ namespace nocalert::fault {
  * "sampling" spec, per-run "stratum"/"seedIndex" tags, the
  * "samplerDone" completion flag and the deterministic "sampling"
  * report block (per-stratum estimates with Wilson and Clopper-Pearson
- * intervals).
+ * intervals); 6 = workload engine — non-synthetic workloads replace
+ * the flat config "traffic" block with a "workload" block (kind +
+ * phased phase program / trace replay identity).
  *
- * The writer emits version 4 for exhaustive campaigns and version 5
- * only when sampling is enabled, so every pre-sampling artifact stays
- * byte-identical; the reader accepts both and rejects documents whose
- * version disagrees with their config.
+ * The writer emits version 4 for exhaustive synthetic campaigns,
+ * version 5 for sampled synthetic ones, and version 6 only when the
+ * workload is non-synthetic, so every pre-workload artifact stays
+ * byte-identical; the reader accepts all three and rejects documents
+ * whose version disagrees with their config.
  */
-inline constexpr std::int64_t kCampaignSchemaVersion = 5;
+inline constexpr std::int64_t kCampaignSchemaVersion = 6;
+
+/** The version synthetic sampled campaigns serialize as. */
+inline constexpr std::int64_t kCampaignSchemaVersionSampled = 5;
 
 /** Oldest schema version the reader still accepts. */
 inline constexpr std::int64_t kCampaignSchemaVersionMin = 4;
 
-/** The version a given config serializes as (4 unless sampled). */
+/** The version a given config serializes as (see the history above). */
 std::int64_t campaignSchemaVersionFor(const CampaignConfig &config);
 
 /** Schema tag stored in every campaign document. */

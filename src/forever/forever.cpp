@@ -32,6 +32,8 @@ ForeverModel::ForeverModel(noc::Network &network,
         network.countInFlightFlitsPerDst(/*include_queued=*/false);
     counters_.assign(in_flight.begin(), in_flight.end());
     epoch_min_ = counters_;
+    touched_.assign(counters_.size(), 0);
+    touched_list_.reserve(counters_.size());
 
     if (attach_now) {
         network.setRouterObserver(
@@ -101,9 +103,13 @@ ForeverModel::observeNi(const noc::NetworkInterface &ni,
     }
 
     if (wires.ejectValid) {
-        std::int64_t &counter =
-            counters_[static_cast<std::size_t>(ni.node())];
+        const auto node = static_cast<std::size_t>(ni.node());
+        std::int64_t &counter = counters_[node];
         --counter;
+        if (!touched_[node]) {
+            touched_[node] = 1;
+            touched_list_.push_back(ni.node());
+        }
         if (counter < 0) {
             recordAlert(ForeverAlert::Source::NegativeCounter,
                         wires.cycle, ni.node());
@@ -129,10 +135,17 @@ ForeverModel::onCycleEnd(const noc::Network &network)
         }
     }
 
-    const auto nodes = counters_.size();
-    for (std::size_t n = 0; n < nodes; ++n)
+    // Activity-gated minimum maintenance: only nodes that ejected
+    // flits this cycle can have lowered their counter (notification
+    // increments never lower a minimum), so only they need the update.
+    for (const noc::NodeId node : touched_list_) {
+        const auto n = static_cast<std::size_t>(node);
         epoch_min_[n] = std::min(epoch_min_[n], counters_[n]);
+        touched_[n] = 0;
+    }
+    touched_list_.clear();
 
+    const auto nodes = counters_.size();
     const noc::Cycle elapsed = completed - start_cycle_ + 1;
     if (elapsed > 0 && elapsed % config_.epochLength == 0) {
         for (std::size_t n = 0; n < nodes; ++n) {

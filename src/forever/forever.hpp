@@ -114,6 +114,18 @@ class ForeverModel
 
     std::vector<std::int64_t> counters_;
     std::vector<std::int64_t> epoch_min_;
+
+    /**
+     * Nodes whose counter was decremented since the last cycle end.
+     * The per-cycle epoch-minimum update only visits these: a minimum
+     * can only drop when its counter dropped, and counters drop only
+     * on ejections (notifications strictly increment). Replaces an
+     * O(nodes) every-cycle sweep with work proportional to actual
+     * ejection activity — behaviour-identical by construction.
+     */
+    std::vector<std::uint8_t> touched_;
+    std::vector<noc::NodeId> touched_list_;
+
     noc::Cycle start_cycle_ = 0;
 
     std::vector<ForeverAlert> alerts_;

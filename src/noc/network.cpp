@@ -6,10 +6,11 @@
 
 namespace nocalert::noc {
 
-Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
+Network::Network(const NetworkConfig &config,
+                 const nocalert::traffic::WorkloadSpec &workload)
     : config_(config),
       routing_(makeRouting(config.routing)),
-      traffic_(config, traffic)
+      traffic_(config, workload)
 {
     config_.validate();
     const int nodes = config_.numNodes();
@@ -23,6 +24,12 @@ Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
     router_live_.assign(static_cast<std::size_t>(nodes), 0);
     force_active_.assign(static_cast<std::size_t>(nodes), 0);
     packed_.assign(static_cast<std::size_t>(nodes), PackedRouterState{});
+}
+
+Network::Network(const NetworkConfig &config, const TrafficSpec &traffic)
+    : Network(config,
+              nocalert::traffic::WorkloadSpec::fromSynthetic(traffic))
+{
 }
 
 Network::Network(const Network &other)
@@ -309,14 +316,16 @@ Network::stepActive()
     // and zero anomalies, so skipping evaluation (and its observer) is
     // unobservable. An idle NI woken only by returning credits takes
     // the credit fast path (NetworkInterface::applyCreditIncrements)
-    // instead of a full evaluation. Traffic draws are skipped only
-    // once generation has permanently stopped (see
-    // TrafficGenerator::stopped), keeping the RNG streams aligned with
-    // a dense run while they still matter.
-    const bool stopped = traffic_.stopped(cycle_);
+    // instead of a full evaluation. Workload draws are skipped only
+    // on cycles where no node can fire (see WorkloadGenerator::idleAt:
+    // a permanent stop for the synthetic backend, whose sequential
+    // streams must stay aligned with a dense run while they still
+    // matter; any idle segment or gap for the counter-mode phased and
+    // trace backends, which keep no sequential stream state).
+    const bool idle = traffic_.idleAt(cycle_);
     for (NodeId n = 0; n < nodes; ++n) {
         std::optional<Packet> pkt;
-        if (!stopped)
+        if (!idle)
             pkt = traffic_.generate(config_, n, cycle_);
 
         Link &inj = links_[static_cast<std::size_t>(inLinkIndex(n, lp))];
@@ -503,12 +512,12 @@ Network::stepBitmask()
 
     // ---- Network interfaces: identical to the active kernel ----
     // (same skip predicate, same credit fast path, same RNG draws, so
-    // the traffic streams stay aligned with an active run; the flag
+    // the workload streams stay aligned with an active run; the flag
     // bits stand in for the link loads the active kernel does).
-    const bool stopped = traffic_.stopped(cycle_);
+    const bool idle = traffic_.idleAt(cycle_);
     for (NodeId n = 0; n < nodes; ++n) {
         std::optional<Packet> pkt;
-        if (!stopped)
+        if (!idle)
             pkt = traffic_.generate(config_, n, cycle_);
 
         NetworkInterface &ni = nis_[static_cast<std::size_t>(n)];

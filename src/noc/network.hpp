@@ -28,6 +28,7 @@
 #include "noc/router.hpp"
 #include "noc/stats.hpp"
 #include "noc/traffic.hpp"
+#include "traffic/workload.hpp"
 
 namespace nocalert::noc {
 
@@ -98,7 +99,11 @@ class Network
     using PackedObserver =
         std::function<void(const Router &, const PackedCycleEvents &)>;
 
-    /** Build a network for @p config driven by @p traffic. */
+    /** Build a network for @p config driven by @p workload. */
+    Network(const NetworkConfig &config,
+            const nocalert::traffic::WorkloadSpec &workload);
+
+    /** Convenience: a network driven by legacy synthetic traffic. */
     Network(const NetworkConfig &config, const TrafficSpec &traffic);
 
     /** Deep copy; hooks and observers are NOT carried over. */
@@ -175,9 +180,12 @@ class Network
     NetworkInterface &ni(NodeId node);
     const NetworkInterface &ni(NodeId node) const;
 
-    /** Traffic generator (shared by all nodes). */
-    TrafficGenerator &traffic() { return traffic_; }
-    const TrafficGenerator &traffic() const { return traffic_; }
+    /** Workload generator (shared by all nodes). */
+    nocalert::traffic::WorkloadGenerator &workload() { return traffic_; }
+    const nocalert::traffic::WorkloadGenerator &workload() const
+    {
+        return traffic_;
+    }
 
     /**
      * Install the per-router tap hook (fault injection). A non-null
@@ -318,7 +326,7 @@ class Network
      */
     std::vector<std::uint64_t> link_busy_bits_;
 
-    TrafficGenerator traffic_;
+    nocalert::traffic::WorkloadGenerator traffic_;
     Cycle cycle_ = 0;
 
     KernelMode kernel_mode_ = KernelMode::Active;

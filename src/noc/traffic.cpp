@@ -32,19 +32,53 @@ trafficPatternFromName(std::string_view name)
     return std::nullopt;
 }
 
+std::string
+validateTrafficSpec(const NetworkConfig &config, const TrafficSpec &spec)
+{
+    if (!(spec.injectionRate >= 0.0 && spec.injectionRate <= 1.0)) {
+        return "injectionRate must be in [0,1], got " +
+               std::to_string(spec.injectionRate);
+    }
+    if (!spec.classWeights.empty()) {
+        if (spec.classWeights.size() != config.router.classes.size()) {
+            return "classWeights has " +
+                   std::to_string(spec.classWeights.size()) +
+                   " entries but the router is configured with " +
+                   std::to_string(config.router.classes.size()) +
+                   " classes";
+        }
+        double total = 0.0;
+        for (double w : spec.classWeights) {
+            if (!(w >= 0.0))
+                return "classWeights entries must be non-negative";
+            total += w;
+        }
+        if (!(total > 0.0))
+            return "classWeights must have a positive sum";
+    }
+    if (spec.stopCycle < -1)
+        return "stopCycle must be a cycle or -1 (never), got " +
+               std::to_string(spec.stopCycle);
+    if (spec.pattern == TrafficPattern::Hotspot) {
+        if (spec.hotspot.node < 0 || spec.hotspot.node >= config.numNodes())
+            return "hotspot.node " + std::to_string(spec.hotspot.node) +
+                   " is outside the mesh (" +
+                   std::to_string(config.numNodes()) + " nodes)";
+        if (!(spec.hotspot.fraction >= 0.0 &&
+              spec.hotspot.fraction <= 1.0))
+            return "hotspot.fraction must be in [0,1], got " +
+                   std::to_string(spec.hotspot.fraction);
+    }
+    return std::string();
+}
+
 TrafficGenerator::TrafficGenerator(const NetworkConfig &config,
                                    const TrafficSpec &spec)
     : spec_(spec)
 {
-    if (spec_.injectionRate < 0 || spec_.injectionRate > 1)
-        NOCALERT_FATAL("injection rate must be in [0,1], got ",
-                       spec_.injectionRate);
-    if (!spec_.classWeights.empty() &&
-        spec_.classWeights.size() != config.router.classes.size()) {
-        NOCALERT_FATAL("classWeights size (", spec_.classWeights.size(),
-                       ") != number of classes (",
-                       config.router.classes.size(), ")");
-    }
+    const std::string error = validateTrafficSpec(config, spec_);
+    if (!error.empty())
+        NOCALERT_FATAL("invalid traffic spec: ", error);
 
     const int nodes = config.numNodes();
     rngs_.reserve(nodes);
@@ -55,11 +89,11 @@ TrafficGenerator::TrafficGenerator(const NetworkConfig &config,
 }
 
 NodeId
-TrafficGenerator::patternDestination(const NetworkConfig &config,
-                                     NodeId node, Pcg32 &rng) const
+trafficDestination(const NetworkConfig &config, TrafficPattern pattern,
+                   const HotspotSpec &hotspot, NodeId node, Pcg32 &rng)
 {
     const Coord c = config.coordOf(node);
-    switch (spec_.pattern) {
+    switch (pattern) {
       case TrafficPattern::UniformRandom: {
         // Uniform over the other numNodes-1 nodes.
         auto pick = rng.nextBounded(
@@ -75,9 +109,8 @@ TrafficGenerator::patternDestination(const NetworkConfig &config,
         return config.nodeAt({config.width - 1 - c.x,
                               config.height - 1 - c.y});
       case TrafficPattern::Hotspot: {
-        if (rng.nextBool(spec_.hotspotFraction) &&
-            spec_.hotspot != node) {
-            return spec_.hotspot;
+        if (rng.nextBool(hotspot.fraction) && hotspot.node != node) {
+            return hotspot.node;
         }
         auto pick = rng.nextBounded(
             static_cast<std::uint32_t>(config.numNodes() - 1));
@@ -117,6 +150,35 @@ TrafficGenerator::patternDestination(const NetworkConfig &config,
     NOCALERT_PANIC("unknown traffic pattern");
 }
 
+std::uint8_t
+trafficMessageClass(const NetworkConfig &config,
+                    const std::vector<double> &weights, Pcg32 &rng)
+{
+    const std::size_t num_classes = config.router.classes.size();
+    std::uint8_t cls = 0;
+    const double roll = rng.nextDouble();
+    if (weights.empty()) {
+        cls = static_cast<std::uint8_t>(
+            static_cast<std::size_t>(roll * static_cast<double>(
+                num_classes)) % num_classes);
+    } else {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        double acc = 0;
+        for (std::size_t i = 0; i < num_classes; ++i) {
+            acc += weights[i] / total;
+            if (roll < acc) {
+                cls = static_cast<std::uint8_t>(i);
+                break;
+            }
+            if (i + 1 == num_classes)
+                cls = static_cast<std::uint8_t>(i);
+        }
+    }
+    return cls;
+}
+
 std::optional<Packet>
 TrafficGenerator::generateFire(const NetworkConfig &config,
                                NodeId node, Cycle cycle, Pcg32 &rng)
@@ -127,33 +189,13 @@ TrafficGenerator::generateFire(const NetworkConfig &config,
     if (spec_.stopCycle >= 0 && cycle >= spec_.stopCycle)
         return std::nullopt;
 
-    const NodeId dst = patternDestination(config, node, rng);
+    const NodeId dst = trafficDestination(config, spec_.pattern,
+                                          spec_.hotspot, node, rng);
     if (dst == node)
         return std::nullopt; // self-directed permutation slot: idle node
 
-    // Message class selection by weight.
-    const std::size_t num_classes = config.router.classes.size();
-    std::uint8_t cls = 0;
-    const double roll = rng.nextDouble();
-    if (spec_.classWeights.empty()) {
-        cls = static_cast<std::uint8_t>(
-            static_cast<std::size_t>(roll * static_cast<double>(
-                num_classes)) % num_classes);
-    } else {
-        double total = 0;
-        for (double w : spec_.classWeights)
-            total += w;
-        double acc = 0;
-        for (std::size_t i = 0; i < num_classes; ++i) {
-            acc += spec_.classWeights[i] / total;
-            if (roll < acc) {
-                cls = static_cast<std::uint8_t>(i);
-                break;
-            }
-            if (i + 1 == num_classes)
-                cls = static_cast<std::uint8_t>(i);
-        }
-    }
+    const std::uint8_t cls =
+        trafficMessageClass(config, spec_.classWeights, rng);
 
     Packet pkt;
     pkt.id = (static_cast<std::uint64_t>(node) << 40) |

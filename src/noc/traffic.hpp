@@ -7,7 +7,8 @@
  * Generation is a pure function of (node, cycle, per-node RNG stream):
  * it never observes network state, so a golden run and a fault-
  * injected run of the same seed see byte-identical packet sequences —
- * the property the golden-reference comparison rests on.
+ * the property the golden-reference comparison rests on. Every other
+ * workload backend (src/traffic) preserves the same contract.
  */
 
 #ifndef NOCALERT_NOC_TRAFFIC_HPP
@@ -15,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -42,6 +44,25 @@ const char *trafficPatternName(TrafficPattern pattern);
 /** Inverse of trafficPatternName (nullopt for unknown names). */
 std::optional<TrafficPattern> trafficPatternFromName(std::string_view name);
 
+/**
+ * Parameters of the Hotspot pattern, and only that pattern: folding
+ * them into their own sub-spec keeps pattern-specific knobs out of the
+ * shared TrafficSpec surface (they used to leak into every spec as
+ * top-level fields). The JSON serialization still emits the legacy
+ * flat `hotspot` / `hotspotFraction` keys, so old artifacts round-trip
+ * unchanged.
+ */
+struct HotspotSpec
+{
+    /** Node receiving the extra probability mass. */
+    NodeId node = 0;
+
+    /** Probability a packet targets the hotspot. */
+    double fraction = 0.2;
+
+    bool operator==(const HotspotSpec &) const = default;
+};
+
 /** Traffic generator parameters. */
 struct TrafficSpec
 {
@@ -62,12 +83,39 @@ struct TrafficSpec
      */
     std::vector<double> classWeights;
 
-    /** Hotspot node (Hotspot pattern only). */
-    NodeId hotspot = 0;
+    /** Hotspot-pattern parameters (ignored by every other pattern). */
+    HotspotSpec hotspot;
 
-    /** Probability a packet targets the hotspot (Hotspot only). */
-    double hotspotFraction = 0.2;
+    bool operator==(const TrafficSpec &) const = default;
 };
+
+/**
+ * Why @p spec cannot drive @p config (empty = valid). Every message
+ * names the offending field, so a bad spec is rejected at construction
+ * instead of deep inside generation.
+ */
+std::string validateTrafficSpec(const NetworkConfig &config,
+                                const TrafficSpec &spec);
+
+/**
+ * Destination of a packet from @p node under @p pattern, consuming the
+ * draws the pattern needs from @p rng. Shared by the synthetic
+ * generator and the phase-program workload backend so both pick
+ * byte-identical destinations from the same stream position. May
+ * return @p node itself (self-directed permutation slot = idle).
+ */
+NodeId trafficDestination(const NetworkConfig &config,
+                          TrafficPattern pattern,
+                          const HotspotSpec &hotspot, NodeId node,
+                          Pcg32 &rng);
+
+/**
+ * Message-class pick by @p weights (empty = equal weights), consuming
+ * exactly one draw from @p rng. Shared like trafficDestination.
+ */
+std::uint8_t trafficMessageClass(const NetworkConfig &config,
+                                 const std::vector<double> &weights,
+                                 Pcg32 &rng);
 
 /**
  * Deterministic per-node traffic source.
@@ -122,9 +170,6 @@ class TrafficGenerator
     std::optional<Packet> generateFire(const NetworkConfig &config,
                                        NodeId node, Cycle cycle,
                                        Pcg32 &rng);
-
-    NodeId patternDestination(const NetworkConfig &config, NodeId node,
-                              Pcg32 &rng) const;
 
     TrafficSpec spec_;
     std::vector<Pcg32> rngs_;            // per node

@@ -1,0 +1,177 @@
+#include "traffic/tracefile.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/fsio.hpp"
+
+namespace nocalert::traffic {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'O', 'C', 'T', 'R', 'A', 'C', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 12;
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+    out.push_back(static_cast<char>((value >> 16) & 0xff));
+    out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+void
+putU16(std::string &out, std::uint16_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(
+        p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+TraceWriter::write(const std::string &path, std::string *error)
+{
+    std::sort(records_.begin(), records_.end(),
+              [](const TraceRecord &a, const TraceRecord &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  return a.src < b.src;
+              });
+
+    std::string payload;
+    payload.reserve(records_.size() * kRecordBytes);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const TraceRecord &r = records_[i];
+        if (r.cycle < 0 ||
+            r.cycle > std::numeric_limits<std::uint32_t>::max()) {
+            return fail(error, "trace record " + std::to_string(i) +
+                                   ": cycle " + std::to_string(r.cycle) +
+                                   " does not fit the u32 frame");
+        }
+        if (r.src < 0 || r.src > std::numeric_limits<std::uint16_t>::max() ||
+            r.dst < 0 || r.dst > std::numeric_limits<std::uint16_t>::max()) {
+            return fail(error, "trace record " + std::to_string(i) +
+                                   ": node ids must fit u16");
+        }
+        if (i > 0 && records_[i - 1].cycle == r.cycle &&
+            records_[i - 1].src == r.src) {
+            return fail(error,
+                        "trace has two records for node " +
+                            std::to_string(r.src) + " at cycle " +
+                            std::to_string(r.cycle) +
+                            " (one injection per node per cycle)");
+        }
+        putU32(payload, static_cast<std::uint32_t>(r.cycle));
+        putU16(payload, static_cast<std::uint16_t>(r.src));
+        putU16(payload, static_cast<std::uint16_t>(r.dst));
+        payload.push_back(static_cast<char>(r.cls));
+        payload.append(3, '\0');
+    }
+
+    std::string bytes;
+    bytes.reserve(kHeaderBytes + payload.size());
+    bytes.append(kMagic, sizeof(kMagic));
+    putU32(bytes, static_cast<std::uint32_t>(records_.size()));
+    putU32(bytes, crc32(payload));
+    bytes.append(payload);
+
+    return writeFileAtomic(path, bytes, error);
+}
+
+std::optional<TraceFile>
+readTraceFile(const std::string &path, std::string *error)
+{
+    const std::optional<std::string> bytes = readFileBytes(path);
+    if (!bytes) {
+        fail(error, "cannot read trace file '" + path + "'");
+        return std::nullopt;
+    }
+    if (bytes->size() < kHeaderBytes ||
+        std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) {
+        fail(error, "'" + path + "' is not a trace file (bad magic)");
+        return std::nullopt;
+    }
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes->data());
+    const std::uint32_t count = getU32(data + 8);
+    const std::uint32_t stored_crc = getU32(data + 12);
+    const std::size_t expected =
+        kHeaderBytes + static_cast<std::size_t>(count) * kRecordBytes;
+    if (bytes->size() != expected) {
+        fail(error, "'" + path + "' is truncated or oversized: header "
+                                 "promises " +
+                        std::to_string(count) + " records (" +
+                        std::to_string(expected) + " bytes), file has " +
+                        std::to_string(bytes->size()));
+        return std::nullopt;
+    }
+    const std::string_view payload(bytes->data() + kHeaderBytes,
+                                   bytes->size() - kHeaderBytes);
+    if (crc32(payload) != stored_crc) {
+        fail(error, "'" + path + "' fails its CRC frame (corrupt "
+                                 "record bytes)");
+        return std::nullopt;
+    }
+
+    TraceFile trace;
+    trace.digest = crc32(*bytes);
+    trace.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const unsigned char *p = data + kHeaderBytes + i * kRecordBytes;
+        TraceRecord record;
+        record.cycle = static_cast<noc::Cycle>(getU32(p));
+        record.src = static_cast<noc::NodeId>(getU16(p + 4));
+        record.dst = static_cast<noc::NodeId>(getU16(p + 6));
+        record.cls = p[8];
+        if (!trace.records.empty()) {
+            const TraceRecord &prev = trace.records.back();
+            if (record.cycle < prev.cycle ||
+                (record.cycle == prev.cycle && record.src <= prev.src)) {
+                fail(error, "'" + path + "' record " + std::to_string(i) +
+                                " breaks (cycle, src) ordering");
+                return std::nullopt;
+            }
+        }
+        trace.records.push_back(record);
+    }
+    return trace;
+}
+
+std::optional<std::uint32_t>
+traceFileDigest(const std::string &path)
+{
+    const std::optional<std::string> bytes = readFileBytes(path);
+    if (!bytes)
+        return std::nullopt;
+    return crc32(*bytes);
+}
+
+} // namespace nocalert::traffic

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The injection-trace file format: a CRC-framed binary record of every
+ * packet a workload generated, replayable by the trace workload
+ * backend (traffic::WorkloadGenerator) bit-exactly on any platform.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *        0     8  magic "NOCTRAC1"
+ *        8     4  record count (u32)
+ *       12     4  CRC-32 (IEEE, util/fsio::crc32) of the record bytes
+ *       16   12*N records, sorted by (cycle, src), unique per
+ *                 (src, cycle):
+ *                   u32 cycle   injection cycle
+ *                   u16 src     source node
+ *                   u16 dst     destination node
+ *                   u8  cls     message class
+ *                   u8[3]       zero padding
+ *
+ * Writes go through util/fsio::writeFileAtomic, so a recorded trace is
+ * all-or-nothing on disk; reads verify magic, length, and CRC before
+ * trusting a single record, and every rejection names what is wrong.
+ * The whole-file CRC-32 doubles as the trace's identity digest inside
+ * campaign artifacts (TraceSpec::digest).
+ */
+
+#ifndef NOCALERT_TRAFFIC_TRACEFILE_HPP
+#define NOCALERT_TRAFFIC_TRACEFILE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/types.hpp"
+
+namespace nocalert::traffic {
+
+/** One recorded injection. */
+struct TraceRecord
+{
+    noc::Cycle cycle = 0; ///< Injection cycle (fits u32 in the file).
+    noc::NodeId src = 0;  ///< Source node.
+    noc::NodeId dst = 0;  ///< Destination node.
+    std::uint8_t cls = 0; ///< Message class.
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Collects records and writes them as one atomic trace file. Records
+ * may be added in any order; write() sorts by (cycle, src) and
+ * rejects duplicate (src, cycle) pairs — the replay backend injects at
+ * most one packet per node per cycle, exactly like the NI accepts.
+ */
+class TraceWriter
+{
+  public:
+    /** Append one record. */
+    void add(const TraceRecord &record) { records_.push_back(record); }
+
+    /** Records collected so far. */
+    std::size_t size() const { return records_.size(); }
+
+    /**
+     * Sort, validate, frame, and atomically write the trace to
+     * @p path. False + *error (naming the offending record or file)
+     * on any failure; the target file is untouched in that case.
+     */
+    bool write(const std::string &path, std::string *error = nullptr);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** A fully loaded, validated trace. */
+struct TraceFile
+{
+    std::vector<TraceRecord> records; ///< Sorted by (cycle, src).
+    std::uint32_t digest = 0;         ///< CRC-32 of the whole file.
+};
+
+/**
+ * Read and validate the trace at @p path: magic, length, CRC frame,
+ * record ordering and (src, cycle) uniqueness. nullopt + *error
+ * naming the failure otherwise.
+ */
+std::optional<TraceFile> readTraceFile(const std::string &path,
+                                       std::string *error = nullptr);
+
+/**
+ * CRC-32 of the whole file at @p path (the digest a TraceSpec pins).
+ * nullopt when the file cannot be read.
+ */
+std::optional<std::uint32_t> traceFileDigest(const std::string &path);
+
+} // namespace nocalert::traffic
+
+#endif // NOCALERT_TRAFFIC_TRACEFILE_HPP

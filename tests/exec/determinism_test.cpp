@@ -21,8 +21,8 @@ tinyCampaign(bool recovery, bool dense_kernel)
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 13;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 13;
     config.warmup = 200;
     config.observeWindow = 1200;
     config.drainLimit = recovery ? 8000 : 4000;

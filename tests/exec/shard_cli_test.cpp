@@ -80,8 +80,8 @@ class ShardCli : public ::testing::Test
         CampaignConfig config;
         config.network.width = 4;
         config.network.height = 4;
-        config.traffic.injectionRate = 0.05;
-        config.traffic.seed = traffic_seed;
+        config.workload.synthetic.injectionRate = 0.05;
+        config.workload.synthetic.seed = traffic_seed;
         config.warmup = 200;
         config.observeWindow = 800;
         config.drainLimit = 3000;
@@ -122,8 +122,8 @@ class ShardCli : public ::testing::Test
         CampaignConfig config;
         config.network.width = 4;
         config.network.height = 4;
-        config.traffic.injectionRate = 0.05;
-        config.traffic.seed = 13;
+        config.workload.synthetic.injectionRate = 0.05;
+        config.workload.synthetic.seed = 13;
         config.warmup = 200;
         config.observeWindow = 1200;
         config.drainLimit = 4000;

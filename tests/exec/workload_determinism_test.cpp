@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The workload-engine extension of the determinism battery: campaigns
+ * driven by a phase program (with bursts) or a trace replay must
+ * serialize to byte-identical artifacts for every --jobs value and on
+ * both kernels — the workload backends ride the same warm-snapshot
+ * methodology as the synthetic generator, so nothing about phases,
+ * bursts, or replay cursors may depend on worker scheduling.
+ */
+
+#include "fault/campaign.hpp"
+#include "fault/serialize.hpp"
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace nocalert::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+using traffic::WorkloadKind;
+using traffic::WorkloadSpec;
+
+CampaignConfig
+baseCampaign()
+{
+    CampaignConfig config;
+    config.network.width = 4;
+    config.network.height = 4;
+    config.warmup = 200;
+    config.observeWindow = 1000;
+    config.drainLimit = 4000;
+    config.maxSites = 8;
+    config.forever.epochLength = 400;
+    return config;
+}
+
+WorkloadSpec
+phasedWorkload(bool burst)
+{
+    WorkloadSpec workload;
+    workload.kind = WorkloadKind::Phased;
+    workload.phased.seed = 13;
+    workload.phased.repeat = true;
+    workload.phased.segments = {
+        {.begin = 0,
+         .end = 300,
+         .pattern = noc::TrafficPattern::UniformRandom,
+         .rate = 0.06,
+         .classWeights = {},
+         .hotspot = {}},
+        {.begin = 300,
+         .end = 600,
+         .pattern = noc::TrafficPattern::Transpose,
+         .rate = 0.1,
+         .classWeights = {},
+         .hotspot = {}},
+    };
+    if (burst) {
+        workload.phased.burst.enabled = true;
+        workload.phased.burst.period = 64;
+        workload.phased.burst.onProbability = 0.5;
+        workload.phased.burst.onMultiplier = 2.0;
+        workload.phased.burst.offMultiplier = 0.25;
+        workload.phased.burst.layers = 2;
+    }
+    return workload;
+}
+
+std::string
+artifactAtJobs(CampaignConfig config, unsigned jobs)
+{
+    config.jobs = jobs;
+    FaultCampaign campaign(config);
+    const CampaignResult result = campaign.run();
+    EXPECT_TRUE(result.complete());
+    EXPECT_FALSE(result.runs.empty());
+    return writeCampaignJson(result);
+}
+
+/** Byte-diff the artifact across jobs counts and both kernels. */
+void
+expectByteIdenticalEverywhere(const CampaignConfig &config)
+{
+    for (const bool dense : {false, true}) {
+        SCOPED_TRACE(dense ? "dense" : "fast");
+        CampaignConfig kernel_config = config;
+        kernel_config.denseKernel = dense;
+        const std::string serial = artifactAtJobs(kernel_config, 1);
+        ASSERT_FALSE(serial.empty());
+        EXPECT_EQ(artifactAtJobs(kernel_config, 4), serial);
+    }
+
+    // And the two kernels must agree with *each other*: identity
+    // excludes the kernel choice, so their identity blocks — and every
+    // per-run record — must match field for field.
+    CampaignConfig fast = config;
+    fast.denseKernel = false;
+    fast.jobs = 1;
+    CampaignConfig dense = config;
+    dense.denseKernel = true;
+    dense.jobs = 1;
+    EXPECT_EQ(campaignIdentityJson(fast).dump(),
+              campaignIdentityJson(dense).dump());
+    const CampaignResult fast_result = FaultCampaign(fast).run();
+    const CampaignResult dense_result = FaultCampaign(dense).run();
+    ASSERT_EQ(fast_result.runs.size(), dense_result.runs.size());
+    for (std::size_t i = 0; i < fast_result.runs.size(); ++i) {
+        EXPECT_EQ(toJson(fast_result.runs[i]).dump(),
+                  toJson(dense_result.runs[i]).dump())
+            << "run " << i;
+    }
+}
+
+TEST(WorkloadDeterminism, PhasedCampaignIsByteIdenticalAcrossJobs)
+{
+    CampaignConfig config = baseCampaign();
+    config.workload = phasedWorkload(false);
+    expectByteIdenticalEverywhere(config);
+}
+
+TEST(WorkloadDeterminism, BurstyCampaignIsByteIdenticalAcrossJobs)
+{
+    CampaignConfig config = baseCampaign();
+    config.workload = phasedWorkload(true);
+    expectByteIdenticalEverywhere(config);
+}
+
+TEST(WorkloadDeterminism, TraceCampaignIsByteIdenticalAcrossJobs)
+{
+    const fs::path file =
+        fs::temp_directory_path() /
+        ("nocalert_wl_determinism_" + std::to_string(::getpid()) +
+         ".trace");
+
+    CampaignConfig config = baseCampaign();
+    // Record the warmup + observation span of the phased program so
+    // the replayed campaign sees real traffic in its window.
+    std::string error;
+    ASSERT_TRUE(traffic::recordTrace(
+        config.network, phasedWorkload(true),
+        config.warmup + config.observeWindow, file.string(), &error))
+        << error;
+
+    config.workload.kind = WorkloadKind::Trace;
+    config.workload.trace.path = file.string();
+    ASSERT_TRUE(traffic::stampTraceSpec(config.workload.trace, &error))
+        << error;
+
+    expectByteIdenticalEverywhere(config);
+
+    std::error_code ec;
+    fs::remove(file, ec);
+}
+
+TEST(WorkloadDeterminism, RecoveryCampaignIsByteIdenticalAcrossJobs)
+{
+    // The full recovery stack (retransmission + quarantine-aware
+    // routing) under a bursty phase program: same byte-identity
+    // contract as plain detection campaigns.
+    CampaignConfig config = baseCampaign();
+    config.workload = phasedWorkload(true);
+    config.kind = FaultKind::Permanent;
+    config.recovery = true;
+    expectByteIdenticalEverywhere(config);
+}
+
+TEST(WorkloadDeterminism, PhaseStratifiedSamplingIsByteIdenticalAcrossJobs)
+{
+    CampaignConfig config = baseCampaign();
+    config.workload = phasedWorkload(false);
+    config.sampling.enabled = true;
+    config.sampling.ciHalfWidth = 0;
+    config.sampling.maxRuns = 24;
+    config.sampling.batchSize = 8;
+    config.sampling.cycleJitter = 400;
+    config.sampling.stratify = Stratify::Phase;
+    config.sampling.samplerSeed = 5;
+
+    const std::string serial = artifactAtJobs(config, 1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(artifactAtJobs(config, 4), serial);
+}
+
+TEST(WorkloadDeterminism, DistinctWorkloadsProduceDistinctIdentity)
+{
+    // The serve cache keys on campaignArtifactHash; every workload
+    // identity field must reach it. (This is the "cache keys pick up
+    // the new fields for free" proof.)
+    CampaignConfig synthetic = baseCampaign();
+    CampaignConfig phased = baseCampaign();
+    phased.workload = phasedWorkload(false);
+    CampaignConfig bursty = baseCampaign();
+    bursty.workload = phasedWorkload(true);
+
+    const std::string hash_synthetic = campaignArtifactHash(synthetic);
+    const std::string hash_phased = campaignArtifactHash(phased);
+    const std::string hash_bursty = campaignArtifactHash(bursty);
+    EXPECT_NE(hash_synthetic, hash_phased);
+    EXPECT_NE(hash_synthetic, hash_bursty);
+    EXPECT_NE(hash_phased, hash_bursty);
+
+    // Segment edits change identity.
+    CampaignConfig edited = phased;
+    edited.workload.phased.segments[1].rate = 0.11;
+    EXPECT_NE(campaignArtifactHash(edited), hash_phased);
+
+    // A trace workload's identity pins the digest: same path, new
+    // digest -> new identity.
+    CampaignConfig trace_a = baseCampaign();
+    trace_a.workload.kind = WorkloadKind::Trace;
+    trace_a.workload.trace.path = "campaign.trace";
+    trace_a.workload.trace.digest = 0x11111111;
+    CampaignConfig trace_b = trace_a;
+    trace_b.workload.trace.digest = 0x22222222;
+    EXPECT_NE(campaignArtifactHash(trace_a),
+              campaignArtifactHash(trace_b));
+    EXPECT_NE(campaignArtifactHash(trace_a), hash_synthetic);
+}
+
+} // namespace
+} // namespace nocalert::fault

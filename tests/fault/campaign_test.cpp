@@ -11,8 +11,8 @@ smallCampaign(unsigned sites = 24)
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 13;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 13;
     config.warmup = 200;
     config.observeWindow = 1200;
     config.drainLimit = 4000;
@@ -136,9 +136,9 @@ TEST(Campaign, CautiousNeverAddsFalseNegativesBeyondLowRisk)
 TEST(Campaign, RunSingleBuildingBlock)
 {
     CampaignConfig config = smallCampaign();
-    config.traffic.stopCycle = config.warmup + config.observeWindow;
+    config.workload.synthetic.stopCycle = config.warmup + config.observeWindow;
 
-    noc::Network base(config.network, config.traffic);
+    noc::Network base(config.network, config.workload);
     base.run(config.warmup);
 
     noc::Network golden(base);

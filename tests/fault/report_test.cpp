@@ -13,7 +13,7 @@ tinyCampaign()
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
+    config.workload.synthetic.injectionRate = 0.05;
     config.warmup = 100;
     config.observeWindow = 800;
     config.drainLimit = 3000;

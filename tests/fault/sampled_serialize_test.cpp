@@ -23,8 +23,8 @@ tinyCampaign()
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 13;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 13;
     config.warmup = 200;
     config.observeWindow = 1200;
     config.drainLimit = 4000;

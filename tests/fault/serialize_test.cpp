@@ -29,13 +29,13 @@ syntheticResult()
     config.network.retransmit.ackTimeout = 450;
     config.network.retransmit.maxRetries = 5;
     config.network.retransmit.backoffCap = 8;
-    config.traffic.pattern = noc::TrafficPattern::Hotspot;
-    config.traffic.injectionRate = 0.031;
-    config.traffic.seed = 99;
-    config.traffic.stopCycle = 4321;
-    config.traffic.classWeights = {0.25, 0.75};
-    config.traffic.hotspot = 11;
-    config.traffic.hotspotFraction = 0.4;
+    config.workload.synthetic.pattern = noc::TrafficPattern::Hotspot;
+    config.workload.synthetic.injectionRate = 0.031;
+    config.workload.synthetic.seed = 99;
+    config.workload.synthetic.stopCycle = 4321;
+    config.workload.synthetic.classWeights = {0.25, 0.75};
+    config.workload.synthetic.hotspot.node = 11;
+    config.workload.synthetic.hotspot.fraction = 0.4;
     config.warmup = 777;
     config.observeWindow = 2500;
     config.drainLimit = 9000;
@@ -167,13 +167,13 @@ TEST(Serialize, RoundTripPreservesEveryField)
               b.network.retransmit.maxRetries);
     EXPECT_EQ(a.network.retransmit.backoffCap,
               b.network.retransmit.backoffCap);
-    EXPECT_EQ(a.traffic.pattern, b.traffic.pattern);
-    EXPECT_EQ(a.traffic.injectionRate, b.traffic.injectionRate);
-    EXPECT_EQ(a.traffic.seed, b.traffic.seed);
-    EXPECT_EQ(a.traffic.stopCycle, b.traffic.stopCycle);
-    EXPECT_EQ(a.traffic.classWeights, b.traffic.classWeights);
-    EXPECT_EQ(a.traffic.hotspot, b.traffic.hotspot);
-    EXPECT_EQ(a.traffic.hotspotFraction, b.traffic.hotspotFraction);
+    EXPECT_EQ(a.workload.synthetic.pattern, b.workload.synthetic.pattern);
+    EXPECT_EQ(a.workload.synthetic.injectionRate, b.workload.synthetic.injectionRate);
+    EXPECT_EQ(a.workload.synthetic.seed, b.workload.synthetic.seed);
+    EXPECT_EQ(a.workload.synthetic.stopCycle, b.workload.synthetic.stopCycle);
+    EXPECT_EQ(a.workload.synthetic.classWeights, b.workload.synthetic.classWeights);
+    EXPECT_EQ(a.workload.synthetic.hotspot.node, b.workload.synthetic.hotspot.node);
+    EXPECT_EQ(a.workload.synthetic.hotspot.fraction, b.workload.synthetic.hotspot.fraction);
     EXPECT_EQ(a.warmup, b.warmup);
     EXPECT_EQ(a.observeWindow, b.observeWindow);
     EXPECT_EQ(a.drainLimit, b.drainLimit);
@@ -326,9 +326,9 @@ TEST(Serialize, NormalizedConfigPinsDerivedKnobs)
     CampaignConfig config;
     config.warmup = 150;
     config.observeWindow = 900;
-    config.traffic.stopCycle = 0; // Whatever the caller left here.
+    config.workload.synthetic.stopCycle = 0; // Whatever the caller left here.
     const CampaignConfig normal = normalizedCampaignConfig(config);
-    EXPECT_EQ(normal.traffic.stopCycle, 150 + 900);
+    EXPECT_EQ(normal.workload.synthetic.stopCycle, 150 + 900);
 
     CampaignConfig recovery_config;
     recovery_config.recovery = true;
@@ -372,7 +372,7 @@ TEST(Serialize, ArtifactHashSeparatesIdentityShardAndKernel)
     CampaignConfig base;
     // Campaign identity differences must split the key...
     CampaignConfig other_seed = base;
-    other_seed.traffic.seed += 1;
+    other_seed.workload.synthetic.seed += 1;
     EXPECT_NE(campaignArtifactHash(base),
               campaignArtifactHash(other_seed));
 
@@ -400,9 +400,9 @@ TEST(Serialize, ArtifactHashOfSpecMatchesFinishedArtifact)
     CampaignConfig spec;
     spec.network.width = 4;
     spec.network.height = 4;
-    spec.traffic.injectionRate = 0.05;
-    spec.traffic.seed = 13;
-    spec.traffic.stopCycle = 0;
+    spec.workload.synthetic.injectionRate = 0.05;
+    spec.workload.synthetic.seed = 13;
+    spec.workload.synthetic.stopCycle = 0;
     spec.warmup = 150;
     spec.observeWindow = 500;
     spec.drainLimit = 2500;
@@ -428,8 +428,8 @@ tinyCampaign()
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 13;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 13;
     config.warmup = 200;
     config.observeWindow = 1200;
     config.drainLimit = 4000;

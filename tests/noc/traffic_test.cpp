@@ -214,8 +214,8 @@ TEST(Traffic, HotspotBias)
     TrafficSpec spec;
     spec.pattern = TrafficPattern::Hotspot;
     spec.injectionRate = 1.0;
-    spec.hotspot = 5;
-    spec.hotspotFraction = 0.5;
+    spec.hotspot.node = 5;
+    spec.hotspot.fraction = 0.5;
     TrafficGenerator gen(cfg, spec);
     int to_hotspot = 0;
     int total = 0;

@@ -44,8 +44,8 @@ TEST_P(FaultProperty, NoFalseNegativesAndObservation5)
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = c.rate;
-    config.traffic.seed = c.traffic_seed;
+    config.workload.synthetic.injectionRate = c.rate;
+    config.workload.synthetic.seed = c.traffic_seed;
     config.warmup = c.warmup;
     config.observeWindow = 1000;
     config.drainLimit = 5000;
@@ -89,7 +89,7 @@ TEST(FaultProperty, DetectionLatencyIsSmallForTransients)
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.06;
+    config.workload.synthetic.injectionRate = 0.06;
     config.warmup = 300;
     config.observeWindow = 1000;
     config.drainLimit = 5000;
@@ -111,8 +111,8 @@ TEST(FaultProperty, ForeverAlsoHasNoFalseNegativesHere)
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 23;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 23;
     config.warmup = 300;
     config.observeWindow = 1500;
     config.drainLimit = 6000;

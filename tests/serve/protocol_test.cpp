@@ -273,7 +273,7 @@ TEST(ParseRequest, ValidRequestsParse)
     // A real config round-trips through the same serializer the
     // artifacts use.
     fault::CampaignConfig config;
-    config.traffic.seed = 99;
+    config.workload.synthetic.seed = 99;
     JsonValue submit;
     submit.set("type", "submit");
     submit.set("config", fault::toJson(config));
@@ -282,7 +282,7 @@ TEST(ParseRequest, ValidRequestsParse)
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(parsed->type, RequestType::Submit);
     ASSERT_TRUE(parsed->config.has_value());
-    EXPECT_EQ(parsed->config->traffic.seed, 99u);
+    EXPECT_EQ(parsed->config->workload.synthetic.seed, 99u);
     EXPECT_TRUE(parsed->detach);
 }
 

@@ -38,8 +38,8 @@ tinySpec(std::uint64_t traffic_seed)
     fault::CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = traffic_seed;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = traffic_seed;
     config.warmup = 80;
     config.observeWindow = 400;
     config.drainLimit = 2000;
@@ -54,7 +54,7 @@ fault::CampaignConfig
 undrainableSpec()
 {
     fault::CampaignConfig config = tinySpec(5);
-    config.traffic.injectionRate = 0.9;
+    config.workload.synthetic.injectionRate = 0.9;
     config.observeWindow = 200;
     config.drainLimit = 1;
     return config;

@@ -39,8 +39,8 @@ tinySpec(std::uint64_t traffic_seed, unsigned sites = 3)
     fault::CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = traffic_seed;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = traffic_seed;
     config.warmup = 80;
     config.observeWindow = 400;
     config.drainLimit = 2000;

@@ -29,8 +29,8 @@ baseConfig()
     CampaignConfig config;
     config.network.width = 4;
     config.network.height = 4;
-    config.traffic.injectionRate = 0.05;
-    config.traffic.seed = 13;
+    config.workload.synthetic.injectionRate = 0.05;
+    config.workload.synthetic.seed = 13;
     config.warmup = 200;
     config.observeWindow = 1200;
     config.drainLimit = 4000;
@@ -115,7 +115,7 @@ TEST(Coverage, DrawSequencesAreIndependentAcrossSamplerSeeds)
     std::vector<std::vector<std::uint64_t>> sequences;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         CampaignConfig config = sampledConfig(seed, kDraws);
-        SampledPlanner planner(config.sampling,
+        SampledPlanner planner(config,
                                sampledPopulation(config));
         std::vector<std::uint64_t> sites;
         for (std::uint64_t i = 0; i < kDraws; ++i) {
@@ -212,7 +212,7 @@ TEST(Coverage, IntervalsContainTruthAtNominalRate)
     std::uint64_t cp_hits = 0;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         const CampaignConfig config = sampledConfig(seed, kDraws);
-        SampledPlanner planner(config.sampling, population);
+        SampledPlanner planner(config, population);
         std::uint64_t detected = 0;
         for (std::uint64_t i = 0; i < kDraws; ++i)
             detected +=

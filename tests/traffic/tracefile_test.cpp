@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests of the injection-trace file format: round trips, the
+ * sort/uniqueness contract, range framing, and the rejection paths
+ * for every way a file on disk can be wrong (bad magic, truncation,
+ * CRC damage, unsorted records).
+ */
+
+#include "traffic/tracefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nocalert::traffic {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_tracefile_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::string readBytes(const std::string &file) const
+    {
+        std::ifstream in(file, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>()};
+    }
+
+    void writeBytes(const std::string &file, const std::string &bytes)
+    {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(TraceFileTest, RoundTripSortsAndStampsDigest)
+{
+    TraceWriter writer;
+    // Added out of order on purpose; write() must sort by (cycle, src).
+    writer.add({.cycle = 20, .src = 3, .dst = 1, .cls = 0});
+    writer.add({.cycle = 5, .src = 0, .dst = 2, .cls = 1});
+    writer.add({.cycle = 20, .src = 1, .dst = 0, .cls = 0});
+    ASSERT_EQ(writer.size(), 3u);
+
+    const std::string file = path("trace.bin");
+    std::string error;
+    ASSERT_TRUE(writer.write(file, &error)) << error;
+
+    const auto loaded = readTraceFile(file, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    ASSERT_EQ(loaded->records.size(), 3u);
+    EXPECT_EQ(loaded->records[0],
+              (TraceRecord{.cycle = 5, .src = 0, .dst = 2, .cls = 1}));
+    EXPECT_EQ(loaded->records[1],
+              (TraceRecord{.cycle = 20, .src = 1, .dst = 0, .cls = 0}));
+    EXPECT_EQ(loaded->records[2],
+              (TraceRecord{.cycle = 20, .src = 3, .dst = 1, .cls = 0}));
+
+    EXPECT_NE(loaded->digest, 0u);
+    const auto digest = traceFileDigest(file);
+    ASSERT_TRUE(digest.has_value());
+    EXPECT_EQ(*digest, loaded->digest);
+}
+
+TEST_F(TraceFileTest, EmptyTraceRoundTrips)
+{
+    TraceWriter writer;
+    const std::string file = path("empty.bin");
+    ASSERT_TRUE(writer.write(file));
+    const auto loaded = readTraceFile(file);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->records.empty());
+}
+
+TEST_F(TraceFileTest, DuplicateSrcCycleIsRejectedAtWrite)
+{
+    TraceWriter writer;
+    writer.add({.cycle = 7, .src = 2, .dst = 1, .cls = 0});
+    writer.add({.cycle = 7, .src = 2, .dst = 3, .cls = 0});
+    std::string error;
+    EXPECT_FALSE(writer.write(path("dup.bin"), &error));
+    EXPECT_NE(error.find("two records for node 2"), std::string::npos)
+        << error;
+}
+
+TEST_F(TraceFileTest, OutOfRangeFieldsAreRejectedAtWrite)
+{
+    {
+        TraceWriter writer;
+        writer.add({.cycle = static_cast<noc::Cycle>(1) << 33,
+                    .src = 0,
+                    .dst = 1,
+                    .cls = 0});
+        std::string error;
+        EXPECT_FALSE(writer.write(path("cycle.bin"), &error));
+        EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+    }
+    {
+        TraceWriter writer;
+        writer.add({.cycle = 1, .src = 70000, .dst = 1, .cls = 0});
+        std::string error;
+        EXPECT_FALSE(writer.write(path("src.bin"), &error));
+    }
+}
+
+TEST_F(TraceFileTest, MissingFileIsReported)
+{
+    std::string error;
+    EXPECT_FALSE(readTraceFile(path("nope.bin"), &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(traceFileDigest(path("nope.bin")).has_value());
+}
+
+TEST_F(TraceFileTest, BadMagicIsRejected)
+{
+    TraceWriter writer;
+    writer.add({.cycle = 1, .src = 0, .dst = 1, .cls = 0});
+    const std::string file = path("magic.bin");
+    ASSERT_TRUE(writer.write(file));
+
+    std::string bytes = readBytes(file);
+    bytes[0] = 'X';
+    writeBytes(file, bytes);
+
+    std::string error;
+    EXPECT_FALSE(readTraceFile(file, &error).has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(TraceFileTest, TruncatedFileIsRejected)
+{
+    TraceWriter writer;
+    writer.add({.cycle = 1, .src = 0, .dst = 1, .cls = 0});
+    writer.add({.cycle = 2, .src = 1, .dst = 0, .cls = 0});
+    const std::string file = path("trunc.bin");
+    ASSERT_TRUE(writer.write(file));
+
+    std::string bytes = readBytes(file);
+    bytes.resize(bytes.size() - 5);
+    writeBytes(file, bytes);
+
+    std::string error;
+    EXPECT_FALSE(readTraceFile(file, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceFileTest, PayloadCorruptionFailsTheCrc)
+{
+    TraceWriter writer;
+    writer.add({.cycle = 9, .src = 0, .dst = 1, .cls = 0});
+    const std::string file = path("crc.bin");
+    ASSERT_TRUE(writer.write(file));
+
+    std::string bytes = readBytes(file);
+    bytes[16] = static_cast<char>(bytes[16] ^ 0x40); // first record byte
+    writeBytes(file, bytes);
+
+    std::string error;
+    EXPECT_FALSE(readTraceFile(file, &error).has_value());
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST_F(TraceFileTest, DigestChangesWithContent)
+{
+    TraceWriter a;
+    a.add({.cycle = 1, .src = 0, .dst = 1, .cls = 0});
+    TraceWriter b;
+    b.add({.cycle = 1, .src = 0, .dst = 2, .cls = 0});
+    ASSERT_TRUE(a.write(path("a.bin")));
+    ASSERT_TRUE(b.write(path("b.bin")));
+    EXPECT_NE(*traceFileDigest(path("a.bin")),
+              *traceFileDigest(path("b.bin")));
+}
+
+} // namespace
+} // namespace nocalert::traffic

@@ -1,0 +1,609 @@
+/**
+ * @file
+ * Unit battery for the workload engine: spec validation (every error
+ * names the bad field), the CLI phase-program / burst parsers, the
+ * counter-mode purity of the phased backend (skipping idle cycles is
+ * unobservable), the burst modulator's hash determinism, and the
+ * record -> replay loop of the trace backend.
+ */
+
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nocalert::traffic {
+namespace {
+
+namespace fs = std::filesystem;
+
+noc::NetworkConfig
+mesh4()
+{
+    noc::NetworkConfig config;
+    config.width = 4;
+    config.height = 4;
+    return config;
+}
+
+PhasedSpec
+twoPhases()
+{
+    PhasedSpec spec;
+    spec.segments.push_back({.begin = 0,
+                             .end = 100,
+                             .pattern = noc::TrafficPattern::UniformRandom,
+                             .rate = 0.1,
+                             .classWeights = {},
+                             .hotspot = {}});
+    spec.segments.push_back({.begin = 150,
+                             .end = 300,
+                             .pattern = noc::TrafficPattern::Transpose,
+                             .rate = 0.2,
+                             .classWeights = {},
+                             .hotspot = {}});
+    spec.seed = 7;
+    return spec;
+}
+
+WorkloadSpec
+phasedWorkload()
+{
+    WorkloadSpec workload;
+    workload.kind = WorkloadKind::Phased;
+    workload.phased = twoPhases();
+    return workload;
+}
+
+// ---- names ----
+
+TEST(WorkloadKindNames, RoundTrip)
+{
+    for (const WorkloadKind kind :
+         {WorkloadKind::Synthetic, WorkloadKind::Phased,
+          WorkloadKind::Trace}) {
+        const auto back = workloadKindFromName(workloadKindName(kind));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(workloadKindFromName("mystery").has_value());
+}
+
+// ---- validation: every rejection names the offending field ----
+
+TEST(WorkloadValidation, SyntheticErrorsNameTheField)
+{
+    WorkloadSpec workload;
+    workload.synthetic.injectionRate = 1.5;
+    std::string error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("injectionRate"), std::string::npos) << error;
+
+    workload.synthetic.injectionRate = 0.1;
+    workload.synthetic.pattern = noc::TrafficPattern::Hotspot;
+    workload.synthetic.hotspot.node = 99;
+    error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("hotspot.node"), std::string::npos) << error;
+}
+
+TEST(WorkloadValidation, PhasedErrorsNameSegmentAndField)
+{
+    WorkloadSpec workload = phasedWorkload();
+    EXPECT_EQ(validateWorkloadSpec(mesh4(), workload), "");
+
+    // Empty program.
+    workload.phased.segments.clear();
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload)
+                  .find("phased.segments"),
+              std::string::npos);
+
+    // end <= begin.
+    workload = phasedWorkload();
+    workload.phased.segments[1].end = workload.phased.segments[1].begin;
+    std::string error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("segments[1].end"), std::string::npos) << error;
+
+    // Overlap.
+    workload = phasedWorkload();
+    workload.phased.segments[1].begin = 50;
+    error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("overlaps"), std::string::npos) << error;
+
+    // Per-segment traffic fields reuse the TrafficSpec validator,
+    // prefixed with the segment path.
+    workload = phasedWorkload();
+    workload.phased.segments[0].rate = -0.5;
+    error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("segments[0].rate"), std::string::npos) << error;
+
+    workload = phasedWorkload();
+    workload.phased.segments[0].classWeights = {1.0};
+    error = validateWorkloadSpec(mesh4(), workload);
+    EXPECT_NE(error.find("classWeights"), std::string::npos) << error;
+}
+
+TEST(WorkloadValidation, BurstErrorsNameTheField)
+{
+    WorkloadSpec workload = phasedWorkload();
+    workload.phased.burst.enabled = true;
+    workload.phased.burst.period = 0;
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload)
+                  .find("burst.period"),
+              std::string::npos);
+
+    workload.phased.burst.period = 32;
+    workload.phased.burst.onProbability = 1.5;
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload)
+                  .find("burst.onProbability"),
+              std::string::npos);
+
+    workload.phased.burst.onProbability = 0.5;
+    workload.phased.burst.layers = 0;
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload)
+                  .find("burst.layers"),
+              std::string::npos);
+}
+
+TEST(WorkloadValidation, TraceErrorsNameTheField)
+{
+    WorkloadSpec workload;
+    workload.kind = WorkloadKind::Trace;
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload).find("trace.path"),
+              std::string::npos);
+
+    workload.trace.path = "whatever.bin";
+    workload.trace.stopCycle = -7;
+    EXPECT_NE(validateWorkloadSpec(mesh4(), workload)
+                  .find("trace.stopCycle"),
+              std::string::npos);
+}
+
+// ---- CLI parsers ----
+
+TEST(PhaseProgramParser, ParsesSegmentsAndHotspot)
+{
+    PhasedSpec spec;
+    const std::string error = parsePhaseProgram(
+        "0:2000:uniform:0.05,2000:4000:hotspot:0.1:5:0.4", spec);
+    ASSERT_EQ(error, "");
+    ASSERT_EQ(spec.segments.size(), 2u);
+    EXPECT_EQ(spec.segments[0].begin, 0);
+    EXPECT_EQ(spec.segments[0].end, 2000);
+    EXPECT_EQ(spec.segments[0].pattern,
+              noc::TrafficPattern::UniformRandom);
+    EXPECT_DOUBLE_EQ(spec.segments[0].rate, 0.05);
+    EXPECT_EQ(spec.segments[1].pattern, noc::TrafficPattern::Hotspot);
+    EXPECT_EQ(spec.segments[1].hotspot.node, 5);
+    EXPECT_DOUBLE_EQ(spec.segments[1].hotspot.fraction, 0.4);
+}
+
+TEST(PhaseProgramParser, ErrorsNameSegmentAndField)
+{
+    PhasedSpec spec;
+    std::string error = parsePhaseProgram("", spec);
+    EXPECT_NE(error.find("at least one segment"), std::string::npos)
+        << error;
+
+    error = parsePhaseProgram("0:100:uniform", spec);
+    EXPECT_NE(error.find("phase segment 0"), std::string::npos) << error;
+
+    error = parsePhaseProgram("0:100:uniform:0.05,100:200:warp:0.1",
+                              spec);
+    EXPECT_NE(error.find("phase segment 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("warp"), std::string::npos) << error;
+
+    error = parsePhaseProgram("0:100:uniform:fast", spec);
+    EXPECT_NE(error.find("rate 'fast'"), std::string::npos) << error;
+}
+
+TEST(BurstSpecParser, RoundTripAndErrors)
+{
+    BurstSpec burst;
+    ASSERT_EQ(parseBurstSpec("64:0.5:2:0:3", burst), "");
+    EXPECT_TRUE(burst.enabled);
+    EXPECT_EQ(burst.period, 64);
+    EXPECT_DOUBLE_EQ(burst.onProbability, 0.5);
+    EXPECT_DOUBLE_EQ(burst.onMultiplier, 2.0);
+    EXPECT_DOUBLE_EQ(burst.offMultiplier, 0.0);
+    EXPECT_EQ(burst.layers, 3u);
+
+    BurstSpec defaults;
+    ASSERT_EQ(parseBurstSpec("32:0.25:4:0.5", defaults), "");
+    EXPECT_EQ(defaults.layers, 1u);
+
+    BurstSpec bad;
+    EXPECT_NE(parseBurstSpec("64:0.5", bad).find("burst spec"),
+              std::string::npos);
+    EXPECT_NE(parseBurstSpec("x:0.5:2:0", bad).find("period"),
+              std::string::npos);
+}
+
+// ---- the phase schedule ----
+
+TEST(PhaseSchedule, SegmentLookupHandlesGapsStopAndRepeat)
+{
+    PhasedSpec spec = twoPhases(); // [0,100) and [150,300)
+    EXPECT_EQ(phaseSegmentAt(spec, 0), 0);
+    EXPECT_EQ(phaseSegmentAt(spec, 99), 0);
+    EXPECT_EQ(phaseSegmentAt(spec, 100), -1); // gap
+    EXPECT_EQ(phaseSegmentAt(spec, 149), -1);
+    EXPECT_EQ(phaseSegmentAt(spec, 150), 1);
+    EXPECT_EQ(phaseSegmentAt(spec, 299), 1);
+    EXPECT_EQ(phaseSegmentAt(spec, 300), -1); // past the program
+
+    spec.repeat = true;
+    EXPECT_EQ(phaseSegmentAt(spec, 300), 0); // wraps to cycle 0
+    EXPECT_EQ(phaseSegmentAt(spec, 399), 0);
+    EXPECT_EQ(phaseSegmentAt(spec, 450), 1);
+    EXPECT_EQ(phaseSegmentAt(spec, 430), -1); // wrapped gap
+
+    spec.stopCycle = 320;
+    EXPECT_EQ(phaseSegmentAt(spec, 319), 0);
+    EXPECT_EQ(phaseSegmentAt(spec, 320), -1); // stopped
+}
+
+// ---- the phased backend ----
+
+TEST(PhasedBackend, IdleAtImpliesNoPacketAnywhere)
+{
+    const noc::NetworkConfig config = mesh4();
+    PhasedGenerator gen(config, twoPhases());
+    for (noc::Cycle cycle = 0; cycle < 350; ++cycle) {
+        if (!gen.idleAt(cycle))
+            continue;
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node)
+            EXPECT_FALSE(gen.generate(config, node, cycle).has_value())
+                << "cycle " << cycle << " node " << node;
+    }
+}
+
+TEST(PhasedBackend, SkippingIdleCyclesIsUnobservable)
+{
+    // The active-set kernels skip whole cycles where idleAt() is true;
+    // the packets generated afterwards must be bit-identical to a
+    // dense sweep that calls generate() on every cycle regardless.
+    const noc::NetworkConfig config = mesh4();
+    PhasedGenerator dense(config, twoPhases());
+    PhasedGenerator skipping(config, twoPhases());
+
+    for (noc::Cycle cycle = 0; cycle < 350; ++cycle) {
+        const bool idle = skipping.idleAt(cycle);
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const auto a = dense.generate(config, node, cycle);
+            const std::optional<noc::Packet> b =
+                idle ? std::optional<noc::Packet>()
+                     : skipping.generate(config, node, cycle);
+            ASSERT_EQ(a.has_value(), b.has_value())
+                << "cycle " << cycle << " node " << node;
+            if (a) {
+                EXPECT_EQ(a->id, b->id);
+                EXPECT_EQ(a->dst, b->dst);
+                EXPECT_EQ(a->msgClass, b->msgClass);
+            }
+        }
+    }
+    EXPECT_EQ(dense.packetsCreated(), skipping.packetsCreated());
+    EXPECT_GT(dense.packetsCreated(), 0u);
+}
+
+TEST(PhasedBackend, NodeOrderIsIrrelevant)
+{
+    // Counter-mode draws: each (node, cycle) has a private stream, so
+    // visiting nodes in reverse produces the same packets.
+    const noc::NetworkConfig config = mesh4();
+    PhasedGenerator forward(config, twoPhases());
+    PhasedGenerator backward(config, twoPhases());
+
+    for (noc::Cycle cycle = 0; cycle < 300; ++cycle) {
+        std::vector<std::optional<noc::Packet>> a(
+            static_cast<std::size_t>(config.numNodes()));
+        std::vector<std::optional<noc::Packet>> b(a.size());
+        for (noc::NodeId n = 0; n < config.numNodes(); ++n)
+            a[static_cast<std::size_t>(n)] =
+                forward.generate(config, n, cycle);
+        for (noc::NodeId n = config.numNodes() - 1; n >= 0; --n)
+            b[static_cast<std::size_t>(n)] =
+                backward.generate(config, n, cycle);
+        for (std::size_t n = 0; n < a.size(); ++n) {
+            ASSERT_EQ(a[n].has_value(), b[n].has_value());
+            if (a[n]) {
+                EXPECT_EQ(a[n]->id, b[n]->id);
+                EXPECT_EQ(a[n]->dst, b[n]->dst);
+            }
+        }
+    }
+}
+
+TEST(PhasedBackend, SegmentPatternsAreHonored)
+{
+    // A transpose phase must only emit transpose destinations.
+    const noc::NetworkConfig config = mesh4();
+    PhasedSpec spec = twoPhases();
+    PhasedGenerator gen(config, spec);
+    std::uint64_t transposed = 0;
+    for (noc::Cycle cycle = 150; cycle < 300; ++cycle) {
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const auto pkt = gen.generate(config, node, cycle);
+            if (!pkt)
+                continue;
+            const int x = node % config.width;
+            const int y = node / config.width;
+            EXPECT_EQ(pkt->dst, x * config.width + y);
+            ++transposed;
+        }
+    }
+    EXPECT_GT(transposed, 0u);
+}
+
+TEST(PhasedBackend, BurstMultiplierIsAPureHash)
+{
+    const noc::NetworkConfig config = mesh4();
+    PhasedSpec spec = twoPhases();
+    spec.burst.enabled = true;
+    spec.burst.period = 16;
+    spec.burst.onProbability = 0.5;
+    spec.burst.onMultiplier = 3.0;
+    spec.burst.offMultiplier = 0.25;
+    spec.burst.layers = 2;
+
+    PhasedGenerator a(config, spec);
+    PhasedGenerator b(config, spec);
+    bool saw_on = false;
+    bool saw_off = false;
+    for (noc::Cycle cycle = 0; cycle < 300; ++cycle) {
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const double m = a.burstMultiplier(node, cycle);
+            EXPECT_EQ(m, b.burstMultiplier(node, cycle));
+            // Two layers, each contributing x3 or x0.25.
+            EXPECT_TRUE(m == 9.0 || m == 0.75 || m == 0.0625)
+                << "multiplier " << m;
+            saw_on |= m == 9.0;
+            saw_off |= m == 0.0625;
+        }
+    }
+    EXPECT_TRUE(saw_on);
+    EXPECT_TRUE(saw_off);
+
+    // Within one epoch the multiplier is constant per (node, layer).
+    EXPECT_EQ(a.burstMultiplier(3, 0), a.burstMultiplier(3, 15));
+
+    // Disabled bursts multiply by exactly 1.
+    PhasedGenerator plain(config, twoPhases());
+    EXPECT_EQ(plain.burstMultiplier(0, 42), 1.0);
+}
+
+TEST(PhasedBackend, ExtremeBurstProbabilitiesPinTheMultiplier)
+{
+    const noc::NetworkConfig config = mesh4();
+    PhasedSpec spec = twoPhases();
+    spec.burst.enabled = true;
+    spec.burst.period = 8;
+    spec.burst.onMultiplier = 2.0;
+    spec.burst.offMultiplier = 0.5;
+    spec.burst.layers = 1;
+
+    spec.burst.onProbability = 1.0;
+    PhasedGenerator always_on(config, spec);
+    spec.burst.onProbability = 0.0;
+    PhasedGenerator always_off(config, spec);
+    for (noc::Cycle cycle = 0; cycle < 64; ++cycle) {
+        EXPECT_EQ(always_on.burstMultiplier(1, cycle), 2.0);
+        EXPECT_EQ(always_off.burstMultiplier(1, cycle), 0.5);
+    }
+}
+
+// ---- record -> replay ----
+
+class RecordReplay : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("nocalert_workload_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(RecordReplay, ReplayEqualsTheRecordedWorkload)
+{
+    const noc::NetworkConfig config = mesh4();
+    noc::TrafficSpec synthetic;
+    synthetic.injectionRate = 0.1;
+    synthetic.seed = 11;
+    const WorkloadSpec original = WorkloadSpec::fromSynthetic(synthetic);
+
+    const std::string file = path("run.trace");
+    std::string error;
+    ASSERT_TRUE(recordTrace(config, original, 250, file, &error))
+        << error;
+
+    WorkloadSpec replay;
+    replay.kind = WorkloadKind::Trace;
+    replay.trace.path = file;
+    ASSERT_TRUE(stampTraceSpec(replay.trace, &error)) << error;
+    EXPECT_NE(replay.trace.digest, 0u);
+    EXPECT_GT(replay.trace.records, 0u);
+
+    WorkloadGenerator a(config, original);
+    WorkloadGenerator b(config, replay);
+    for (noc::Cycle cycle = 0; cycle < 250; ++cycle) {
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const auto pa = a.generate(config, node, cycle);
+            const auto pb = b.generate(config, node, cycle);
+            ASSERT_EQ(pa.has_value(), pb.has_value())
+                << "cycle " << cycle << " node " << node;
+            if (pa) {
+                EXPECT_EQ(pa->dst, pb->dst);
+                EXPECT_EQ(pa->msgClass, pb->msgClass);
+                EXPECT_EQ(pa->src, pb->src);
+            }
+        }
+    }
+    EXPECT_EQ(a.packetsCreated(), b.packetsCreated());
+    EXPECT_EQ(b.packetsCreated(), replay.trace.records);
+}
+
+TEST_F(RecordReplay, TraceIdleCyclesAreSkippable)
+{
+    const noc::NetworkConfig config = mesh4();
+    WorkloadSpec workload = phasedWorkload();
+    const std::string file = path("phased.trace");
+    ASSERT_TRUE(recordTrace(config, workload, 300, file));
+
+    WorkloadSpec replay;
+    replay.kind = WorkloadKind::Trace;
+    replay.trace.path = file;
+    ASSERT_TRUE(stampTraceSpec(replay.trace));
+
+    WorkloadGenerator dense(config, replay);
+    WorkloadGenerator skipping(config, replay);
+    bool skipped_some = false;
+    for (noc::Cycle cycle = 0; cycle < 300; ++cycle) {
+        const bool idle = skipping.idleAt(cycle);
+        skipped_some |= idle;
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const auto a = dense.generate(config, node, cycle);
+            if (idle) {
+                EXPECT_FALSE(a.has_value());
+                continue;
+            }
+            const auto b = skipping.generate(config, node, cycle);
+            ASSERT_EQ(a.has_value(), b.has_value());
+            if (a) {
+                EXPECT_EQ(a->dst, b->dst);
+            }
+        }
+    }
+    // The phase gap [100,150) must be skippable in the replay too.
+    EXPECT_TRUE(skipped_some);
+    EXPECT_EQ(dense.packetsCreated(), skipping.packetsCreated());
+}
+
+TEST_F(RecordReplay, StampRejectsAPinnedDigestMismatch)
+{
+    const noc::NetworkConfig config = mesh4();
+    noc::TrafficSpec synthetic;
+    synthetic.injectionRate = 0.1;
+    const std::string file = path("pin.trace");
+    ASSERT_TRUE(recordTrace(config, WorkloadSpec::fromSynthetic(synthetic),
+                            100, file));
+
+    TraceSpec spec;
+    spec.path = file;
+    ASSERT_TRUE(stampTraceSpec(spec));
+
+    spec.digest ^= 1; // caller pins a *different* trace
+    std::string error;
+    EXPECT_FALSE(stampTraceSpec(spec, &error));
+    EXPECT_NE(error.find("digest mismatch"), std::string::npos) << error;
+}
+
+TEST_F(RecordReplay, ReplayRejectsRecordsOutsideTheMesh)
+{
+    // A trace recorded for a bigger mesh names nodes a 4x4 run does
+    // not have; generator construction must refuse it loudly.
+    TraceWriter writer;
+    writer.add({.cycle = 1, .src = 0, .dst = 63, .cls = 0});
+    const std::string file = path("big.trace");
+    ASSERT_TRUE(writer.write(file));
+
+    WorkloadSpec replay;
+    replay.kind = WorkloadKind::Trace;
+    replay.trace.path = file;
+    ASSERT_TRUE(stampTraceSpec(replay.trace));
+
+    const noc::NetworkConfig config = mesh4();
+    EXPECT_DEATH(WorkloadGenerator(config, replay),
+                 "but the mesh has 16 nodes");
+}
+
+TEST_F(RecordReplay, CopiedGeneratorResumesFromItsExactPosition)
+{
+    // The campaign copies a warmed network (and with it the workload
+    // generator); the copy must continue the replay from the same
+    // cursor, not restart it.
+    const noc::NetworkConfig config = mesh4();
+    noc::TrafficSpec synthetic;
+    synthetic.injectionRate = 0.15;
+    synthetic.seed = 5;
+    const std::string file = path("resume.trace");
+    ASSERT_TRUE(recordTrace(config, WorkloadSpec::fromSynthetic(synthetic),
+                            200, file));
+
+    WorkloadSpec replay;
+    replay.kind = WorkloadKind::Trace;
+    replay.trace.path = file;
+    ASSERT_TRUE(stampTraceSpec(replay.trace));
+
+    WorkloadGenerator straight(config, replay);
+    WorkloadGenerator first_half(config, replay);
+    for (noc::Cycle cycle = 0; cycle < 100; ++cycle)
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            straight.generate(config, node, cycle);
+            first_half.generate(config, node, cycle);
+        }
+
+    WorkloadGenerator resumed(first_half); // the snapshot copy
+    for (noc::Cycle cycle = 100; cycle < 200; ++cycle)
+        for (noc::NodeId node = 0; node < config.numNodes(); ++node) {
+            const auto a = straight.generate(config, node, cycle);
+            const auto b = resumed.generate(config, node, cycle);
+            ASSERT_EQ(a.has_value(), b.has_value());
+            if (a) {
+                EXPECT_EQ(a->dst, b->dst);
+                EXPECT_EQ(a->id, b->id);
+            }
+        }
+    EXPECT_EQ(straight.packetsCreated(), resumed.packetsCreated());
+}
+
+// ---- WorkloadSpec plumbing ----
+
+TEST(WorkloadSpecPlumbing, SeedAndStopCycleTrackTheActiveBackend)
+{
+    WorkloadSpec synthetic;
+    synthetic.synthetic.seed = 42;
+    EXPECT_EQ(synthetic.seed(), 42u);
+    synthetic.setStopCycle(500);
+    EXPECT_EQ(synthetic.stopCycle(), 500);
+    EXPECT_EQ(synthetic.synthetic.stopCycle, 500);
+
+    WorkloadSpec phased = phasedWorkload();
+    phased.setSeed(9);
+    EXPECT_EQ(phased.seed(), 9u);
+    phased.setStopCycle(123);
+    EXPECT_EQ(phased.phased.stopCycle, 123);
+
+    WorkloadSpec trace;
+    trace.kind = WorkloadKind::Trace;
+    trace.setSeed(77); // no-op: replay draws nothing
+    EXPECT_EQ(trace.seed(), 0u);
+    trace.setStopCycle(64);
+    EXPECT_EQ(trace.trace.stopCycle, 64);
+}
+
+} // namespace
+} // namespace nocalert::traffic
